@@ -1,0 +1,65 @@
+//! Criterion ablation of DHE sizing: hash count `k` and decoder widths
+//! (the Uniform-vs-Varied design choice of §IV-B1 / Table IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{Dhe, DheConfig};
+use secemb_bench::synthetic_indices;
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let dim = 64usize;
+    let indices = synthetic_indices(32, 1_000_000);
+    let mut group = c.benchmark_group("ablation_dhe_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[64usize, 256, 1024] {
+        let dhe = Dhe::new(
+            DheConfig::new(dim, k, vec![k / 2, k / 4]),
+            &mut StdRng::seed_from_u64(0),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| dhe.infer(&indices));
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_vs_varied(c: &mut Criterion) {
+    let dim = 64usize;
+    let indices = synthetic_indices(32, 1_000_000);
+    let mut group = c.benchmark_group("ablation_dhe_sizing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let uniform = Dhe::new(DheConfig::uniform(dim), &mut StdRng::seed_from_u64(0));
+    group.bench_function("uniform_1e7", |b| b.iter(|| uniform.infer(&indices)));
+    for &rows in &[10_000_000u64, 1_000_000, 10_000] {
+        let varied = Dhe::new(DheConfig::varied(dim, rows), &mut StdRng::seed_from_u64(0));
+        group.bench_with_input(BenchmarkId::new("varied", rows), &rows, |b, _| {
+            b.iter(|| varied.infer(&indices));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_parallelism(c: &mut Criterion) {
+    // DHE's "superior batch parallelism" (§VI-D2): threads split a batch.
+    let dim = 64usize;
+    let dhe = Dhe::new(DheConfig::uniform(dim), &mut StdRng::seed_from_u64(0));
+    let indices = synthetic_indices(128, 1_000_000);
+    let mut group = c.benchmark_group("ablation_dhe_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| dhe.infer_threaded(&indices, t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_scaling, bench_uniform_vs_varied, bench_batch_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion bench behind Table VII / Fig. 12: end-to-end DLRM inference
+//! latency per protection technique (scaled model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{DheConfig, Technique};
+use secemb_data::{CriteoSpec, SyntheticCtr};
+use secemb_dlrm::{Dlrm, EmbeddingKind, SecureDlrm};
+
+fn scaled_model() -> (Dlrm, SyntheticCtr) {
+    // Kaggle-shaped, tables capped, per-feature Varied DHE sizing.
+    let mut spec = CriteoSpec::kaggle().scaled(2048);
+    spec.table_sizes.truncate(8);
+    spec.embedding_dim = 16;
+    spec.bottom_mlp = vec![64, 32, 16];
+    spec.top_mlp = vec![64, 1];
+    let gen = SyntheticCtr::new(spec.clone(), 0);
+    let kinds: Vec<EmbeddingKind> = spec
+        .table_sizes
+        .iter()
+        .map(|&n| EmbeddingKind::Dhe(DheConfig::varied(16, n)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    (Dlrm::with_kinds(spec, &kinds, &mut rng), gen)
+}
+
+fn bench_dlrm_e2e(c: &mut Criterion) {
+    let (model, gen) = scaled_model();
+    let batch = gen.batch(32, &mut StdRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("table7_dlrm_e2e");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for tech in [
+        Technique::IndexLookup,
+        Technique::LinearScan,
+        Technique::CircuitOram,
+        Technique::Dhe,
+    ] {
+        let mut secure = SecureDlrm::from_trained(&model, &vec![tech; 8], 3);
+        group.bench_function(format!("{tech:?}"), |b| {
+            b.iter(|| secure.infer(&batch));
+        });
+    }
+    // The hybrid: scan for small tables, DHE for large (threshold 512).
+    let alloc: Vec<Technique> = model
+        .spec()
+        .table_sizes
+        .iter()
+        .map(|&n| secemb::hybrid::choose_technique(n, 512))
+        .collect();
+    let mut hybrid = SecureDlrm::from_trained(&model, &alloc, 4);
+    group.bench_function("HybridVaried", |b| b.iter(|| hybrid.infer(&batch)));
+    group.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    // Fig. 12: hybrid vs Circuit ORAM as the batch grows.
+    let (model, gen) = scaled_model();
+    let mut group = c.benchmark_group("fig12_batch_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &bs in &[8usize, 32, 128] {
+        let batch = gen.batch(bs, &mut StdRng::seed_from_u64(5));
+        let mut oram = SecureDlrm::from_trained(&model, &vec![Technique::CircuitOram; 8], 6);
+        group.bench_with_input(BenchmarkId::new("circuit_oram", bs), &bs, |b, _| {
+            b.iter(|| oram.infer(&batch));
+        });
+        let alloc: Vec<Technique> = model
+            .spec()
+            .table_sizes
+            .iter()
+            .map(|&n| secemb::hybrid::choose_technique(n, 512))
+            .collect();
+        let mut hybrid = SecureDlrm::from_trained(&model, &alloc, 7);
+        group.bench_with_input(BenchmarkId::new("hybrid_varied", bs), &bs, |b, _| {
+            b.iter(|| hybrid.infer(&batch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dlrm_e2e, bench_batch_scaling);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench behind Fig. 4: secure embedding generation latency per
+//! technique across table sizes (batch 32, dim 16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable};
+use secemb_bench::{synthetic_indices, synthetic_table};
+
+fn bench_embedding(c: &mut Criterion) {
+    let dim = 16usize;
+    let batch = 32usize;
+    let mut group = c.benchmark_group("fig4_embedding_latency_dim16");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &n in &[256u64, 2048, 16384] {
+        let table = synthetic_table(n as usize, dim);
+        let indices = synthetic_indices(batch, n);
+
+        let mut lookup = IndexLookup::new(table.clone());
+        group.bench_with_input(BenchmarkId::new("index_lookup", n), &n, |b, _| {
+            b.iter(|| lookup.generate_batch(&indices));
+        });
+
+        let mut scan = LinearScan::new(table.clone());
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| scan.generate_batch(&indices));
+        });
+
+        let mut path = OramTable::path(&table, StdRng::seed_from_u64(n));
+        group.bench_with_input(BenchmarkId::new("path_oram", n), &n, |b, _| {
+            b.iter(|| path.generate_batch(&indices));
+        });
+
+        let mut circuit = OramTable::circuit(&table, StdRng::seed_from_u64(n));
+        group.bench_with_input(BenchmarkId::new("circuit_oram", n), &n, |b, _| {
+            b.iter(|| circuit.generate_batch(&indices));
+        });
+
+        let mut varied = Dhe::new(DheConfig::varied(dim, n), &mut StdRng::seed_from_u64(0));
+        group.bench_with_input(BenchmarkId::new("dhe_varied", n), &n, |b, _| {
+            b.iter(|| varied.generate_batch(&indices));
+        });
+    }
+
+    // DHE Uniform is size-independent; bench once.
+    let mut uniform = Dhe::new(DheConfig::uniform(dim), &mut StdRng::seed_from_u64(0));
+    let indices = synthetic_indices(batch, 1_000_000);
+    group.bench_function("dhe_uniform", |b| {
+        b.iter(|| uniform.generate_batch(&indices));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

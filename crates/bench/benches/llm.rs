@@ -1,0 +1,73 @@
+//! Criterion bench behind Fig. 5 / Fig. 15: LLM prefill and decode
+//! latency per embedding technique (scaled GPT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::Technique;
+use secemb_llm::{Gpt, GptConfig, GptServing, KvCache, TokenEmbeddingKind};
+
+fn scaled_gpt() -> Gpt {
+    let config = GptConfig {
+        vocab: 4096,
+        dim: 64,
+        heads: 4,
+        layers: 2,
+        max_seq: 128,
+    };
+    let kind = TokenEmbeddingKind::Dhe(config.dhe_config());
+    Gpt::new(config, &kind, &mut StdRng::seed_from_u64(0))
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    let gpt = scaled_gpt();
+    let prompt: Vec<usize> = (0..64).map(|i| (i * 37) % 4096).collect();
+    let mut group = c.benchmark_group("fig15_prefill_64tok");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for tech in [
+        Technique::IndexLookup,
+        Technique::LinearScan,
+        Technique::CircuitOram,
+        Technique::Dhe,
+    ] {
+        let mut serve = GptServing::new(&gpt, tech, 1);
+        group.bench_function(format!("{tech:?}"), |b| {
+            b.iter(|| {
+                let mut cache = KvCache::default();
+                serve.prefill(&prompt, &mut cache)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let gpt = scaled_gpt();
+    let prompt: Vec<usize> = (0..32).map(|i| (i * 37) % 4096).collect();
+    let mut group = c.benchmark_group("fig15_decode_tbt");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for tech in [
+        Technique::IndexLookup,
+        Technique::CircuitOram,
+        Technique::Dhe,
+    ] {
+        let mut serve = GptServing::new(&gpt, tech, 1);
+        let mut cache = KvCache::default();
+        serve.prefill(&prompt, &mut cache);
+        group.bench_function(format!("{tech:?}"), |b| {
+            b.iter_batched(
+                || cache.clone(),
+                |mut kv| serve.decode(7, &mut kv),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefill, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion bench behind Fig. 10 and the ORAM design-choice ablations
+//! called out in DESIGN.md: Path vs Circuit, stash size, recursion cutoff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb_oram::{CircuitOram, Oram, OramConfig, PathOram};
+
+fn blocks(n: u32, words: usize) -> Vec<Vec<u32>> {
+    (0..n).map(|i| vec![i; words]).collect()
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let words = 16usize;
+    let mut group = c.benchmark_group("fig10_controllers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1024u32, 8192] {
+        let data = blocks(n, words);
+        let mut path = PathOram::new(&data, OramConfig::path(words), StdRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::new("path", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7) % n as u64;
+                path.read(i)
+            });
+        });
+        let mut circuit =
+            CircuitOram::new(&data, OramConfig::circuit(words), StdRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::new("circuit", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7) % n as u64;
+                circuit.read(i)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stash_ablation(c: &mut Criterion) {
+    // Ablation: Path ORAM latency is dominated by stash size (the cmov
+    // scan loops); Circuit ORAM with Path-sized stash loses its edge.
+    let words = 16usize;
+    let n = 4096u32;
+    let data = blocks(n, words);
+    let mut group = c.benchmark_group("ablation_stash_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &stash in &[10usize, 50, 150] {
+        let mut cfg = OramConfig::path(words);
+        cfg.stash_capacity = stash.max(40); // Path needs headroom to stay safe
+        let mut path = PathOram::new(&data, cfg, StdRng::seed_from_u64(2));
+        group.bench_with_input(BenchmarkId::new("path_stash", cfg.stash_capacity), &stash, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 13) % n as u64;
+                path.read(i)
+            });
+        });
+        let mut ccfg = OramConfig::circuit(words);
+        ccfg.stash_capacity = stash;
+        let mut circuit = CircuitOram::new(&data, ccfg, StdRng::seed_from_u64(2));
+        group.bench_with_input(BenchmarkId::new("circuit_stash", stash), &stash, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 13) % n as u64;
+                circuit.read(i)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursion_ablation(c: &mut Criterion) {
+    // Ablation: flat (obliviously scanned) position map vs recursive one.
+    let words = 16usize;
+    let n = 8192u32;
+    let data = blocks(n, words);
+    let mut group = c.benchmark_group("ablation_posmap_recursion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, threshold) in [("flat_posmap", u64::MAX), ("recursive_posmap", 1u64 << 10)] {
+        let mut cfg = OramConfig::circuit(words);
+        cfg.recursion_threshold = threshold;
+        let mut oram = CircuitOram::new(&data, cfg, StdRng::seed_from_u64(3));
+        group.bench_function(label, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 29) % n as u64;
+                oram.read(i)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers, bench_stash_ablation, bench_recursion_ablation);
+criterion_main!(benches);

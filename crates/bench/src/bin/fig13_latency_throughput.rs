@@ -1,0 +1,79 @@
+//! Fig. 13: latency/throughput under increasing co-location — hybrid
+//! (scan for small tables) vs all-DHE embedding workloads.
+
+use secemb::Technique;
+use secemb_bench::{fmt_ns, print_table, SCALE_NOTE};
+use secemb_dlrm::colocate::{run_colocated, Workload};
+use secemb_data::CriteoSpec;
+use std::time::Duration;
+
+/// One "model instance" = one workload per sparse feature would be too
+/// fine-grained for threads; instead each co-located instance runs its
+/// model's *dominant* embedding workload mix, approximated here by one
+/// large-table job (DHE or scan per allocation) plus one small-table scan.
+fn instance(all_dhe: bool, dim: usize, batch: usize) -> Vec<Workload> {
+    let spec = CriteoSpec::terabyte().scaled(16384);
+    let small = 512u64;
+    let large = *spec.table_sizes.iter().max().unwrap();
+    vec![
+        Workload::new(
+            if all_dhe {
+                Technique::Dhe
+            } else {
+                Technique::LinearScan
+            },
+            small,
+            dim,
+            batch,
+        ),
+        Workload::new(Technique::Dhe, large, dim, batch),
+    ]
+}
+
+fn main() {
+    println!("Fig. 13: latency-bounded throughput under co-location (Terabyte shape)");
+    println!("{SCALE_NOTE}\n");
+    let window = Duration::from_millis(250);
+    let (dim, batch) = (64usize, 32usize);
+    let max_instances = std::thread::available_parallelism()
+        .map(|n| (n.get() / 2).clamp(2, 8))
+        .unwrap_or(4);
+
+    for (label, all_dhe) in [("DHE Varied (all features DHE)", true), ("Hybrid Varied", false)] {
+        println!("--- {label} ---");
+        let mut rows_out = Vec::new();
+        for n in 1..=max_instances {
+            let mut workloads = Vec::new();
+            for _ in 0..n {
+                workloads.extend(instance(all_dhe, dim, batch));
+            }
+            let result = run_colocated(&workloads, window);
+            // Model latency ≈ sum of its two feature workloads' latencies.
+            let per_model: Vec<f64> = result
+                .mean_latency_ns
+                .chunks(2)
+                .map(|c| c.iter().sum())
+                .collect();
+            let mean = per_model.iter().sum::<f64>() / per_model.len() as f64;
+            let total_iters: u64 = result
+                .iterations
+                .chunks(2)
+                .map(|c| *c.iter().min().unwrap())
+                .sum();
+            let throughput =
+                total_iters as f64 * batch as f64 / result.elapsed.as_secs_f64().max(1e-9);
+            rows_out.push(vec![
+                n.to_string(),
+                fmt_ns(mean),
+                format!("{throughput:.0}/s"),
+            ]);
+        }
+        print_table(&["co-located models", "model latency", "throughput"], &rows_out);
+        println!();
+    }
+    println!(
+        "Expected shape (paper, SLA 20 ms): the hybrid reaches higher throughput\n\
+         at equal latency than all-DHE (1.4-1.6x), because its small tables are\n\
+         served by cheap scans, freeing compute for the DHE-bound large tables."
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 14: fine-tuning perplexity of the table-based vs DHE-based LLM.
+//!
+//! The paper fine-tunes GPT-2 medium on OpenWebText; we train a scaled GPT
+//! on a seeded Markov corpus with a known entropy floor. The claim under
+//! test is *relative*: the DHE model converges to a perplexity close to
+//! the table model's (paper: 15.0 vs 14.6, a 2.7% gap).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::DheConfig;
+use secemb_bench::SCALE_NOTE;
+use secemb_data::MarkovCorpus;
+use secemb_llm::{Gpt, GptConfig, TokenEmbeddingKind};
+use secemb_nn::Adam;
+
+fn sequences(corpus: &MarkovCorpus, n: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| corpus.sample_sequence(len, &mut rng)).collect()
+}
+
+fn main() {
+    println!("Fig. 14: fine-tuning perplexity, table vs DHE token embedding");
+    println!("{SCALE_NOTE}\n");
+    let vocab = 64usize;
+    let corpus = MarkovCorpus::new(vocab, 2, 11);
+    println!(
+        "corpus: vocab {vocab}, entropy floor = perplexity {:.2} (uniform would be {vocab})\n",
+        corpus.entropy_floor_nats().exp()
+    );
+    let config = GptConfig {
+        vocab,
+        dim: 32,
+        heads: 2,
+        layers: 2,
+        max_seq: 48,
+    };
+    let test = sequences(&corpus, 8, 40, 999);
+    let steps = 120usize;
+    let report_every = 20usize;
+
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for (label, kind) in [
+        ("Table".to_string(), TokenEmbeddingKind::Table),
+        (
+            "DHE".to_string(),
+            TokenEmbeddingKind::Dhe(DheConfig::new(config.dim, 2 * config.dim, vec![
+                2 * config.dim;
+                2
+            ])),
+        ),
+    ] {
+        let mut gpt = Gpt::new(config, &kind, &mut StdRng::seed_from_u64(1));
+        let mut opt = Adam::new(3e-3);
+        let mut curve = vec![gpt.perplexity(&test)];
+        for step in 0..steps {
+            let batch = sequences(&corpus, 4, 40, 5000 + step as u64);
+            gpt.train_step(&batch, &mut opt);
+            if (step + 1) % report_every == 0 {
+                curve.push(gpt.perplexity(&test));
+            }
+        }
+        println!(
+            "{label:>6}: {}",
+            curve
+                .iter()
+                .map(|p| format!("{p:7.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        curves.push((label, curve));
+    }
+    let table_final = *curves[0].1.last().unwrap();
+    let dhe_final = *curves[1].1.last().unwrap();
+    println!(
+        "\nfinal perplexity: table {table_final:.2}, DHE {dhe_final:.2} \
+         ({:+.1}% relative)",
+        100.0 * (dhe_final - table_final) / table_final
+    );
+    println!(
+        "Paper's Fig. 14: both curves descend together; the DHE model ends within\n\
+         a few percent of the table model (14.6 vs 15.0). Note the paper's\n\
+         finding that fine-tuning the ENTIRE model (not just the embedding) is\n\
+         what makes this work — this run trains everything end-to-end too."
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig. 2: storage vs computation embedding generation, normalized
+//! latency and memory at DLRM batch size 32.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable};
+use secemb_bench::{fmt_bytes, fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE};
+
+fn main() {
+    println!("Fig. 2: embedding generation methods (DLRM batch = 32)");
+    println!("{SCALE_NOTE}\n");
+    let (rows, dim, batch) = (32_768u64, 64usize, 32usize);
+    println!("table: {rows} rows x dim {dim}\n");
+    let table = synthetic_table(rows as usize, dim);
+    let indices = synthetic_indices(batch, rows);
+
+    let mut results: Vec<(String, f64, u64)> = Vec::new();
+
+    let mut lookup = IndexLookup::new(table.clone());
+    let t = median_ns(5, || {
+        std::hint::black_box(lookup.generate_batch(&indices));
+    });
+    results.push(("Table lookup (non-secure)".into(), t, lookup.memory_bytes()));
+
+    let mut scan = LinearScan::new(table.clone());
+    let t = median_ns(3, || {
+        std::hint::black_box(scan.generate_batch(&indices));
+    });
+    results.push(("Table + linear scan".into(), t, scan.memory_bytes()));
+
+    let mut circuit = OramTable::circuit(&table, StdRng::seed_from_u64(1));
+    let t = median_ns(3, || {
+        std::hint::black_box(circuit.generate_batch(&indices));
+    });
+    results.push(("Table + Circuit ORAM".into(), t, circuit.memory_bytes()));
+
+    let mut dhe = Dhe::new(DheConfig::uniform(dim), &mut StdRng::seed_from_u64(2));
+    let t = median_ns(3, || {
+        std::hint::black_box(dhe.generate_batch(&indices));
+    });
+    results.push(("DHE (computation)".into(), t, dhe.memory_bytes()));
+
+    let base = results[0].1;
+    let rows_out: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, ns, mem)| {
+            vec![
+                name.clone(),
+                fmt_ns(*ns),
+                format!("{:.1}x", ns / base),
+                fmt_bytes(*mem),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Method", "Latency", "Normalized", "Memory"],
+        &rows_out,
+    );
+    println!(
+        "\nPaper's Fig. 2 message: lookup is fastest but insecure; among secure\n\
+         methods the storage ones pay in latency (scan) or both latency and\n\
+         memory (ORAM), while DHE pays compute for a tiny footprint."
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 6: profiled linear-scan/DHE switching thresholds across execution
+//! configurations (Algorithm 2's offline step).
+
+use secemb::hybrid::Profiler;
+use secemb_bench::{print_table, SCALE_NOTE};
+
+fn main() {
+    println!("Fig. 6: table-size thresholds for switching linear scan -> DHE");
+    println!("(profiled on THIS machine, embedding dim 64, Uniform DHE)");
+    println!("{SCALE_NOTE}\n");
+
+    let sizes: Vec<u64> = (4..=17).map(|p| 1u64 << p).collect();
+    let profiler = Profiler {
+        dim: 64,
+        sizes,
+        repeats: 3,
+        varied_dhe: false,
+    };
+    let batches = [1usize, 8, 32, 128];
+    let threads = [1usize, 2, 4];
+    let profile = profiler.profile_grid(&batches, &threads);
+
+    let mut rows_out = Vec::new();
+    for &b in &batches {
+        let mut row = vec![format!("batch {b}")];
+        for &t in &threads {
+            row.push(profile.threshold(b, t).to_string());
+        }
+        rows_out.push(row);
+    }
+    print_table(&["", "1 thread", "2 threads", "4 threads"], &rows_out);
+
+    println!("\nprofile JSON (Algorithm 2 artifact, feed to the online allocator):");
+    println!("{}", profile.to_json());
+    println!(
+        "\nExpected shape (paper): thresholds decrease with batch size (DHE's\n\
+         weight reuse) and increase with threads (scan's cache reuse across\n\
+         queries). On hosts whose kernels lack a GEMM-vs-GEMV efficiency gap\n\
+         these secondary trends flatten (see EXPERIMENTS.md deviation 2); the\n\
+         artifact itself — per-configuration thresholds serialized for the\n\
+         online allocator — is what Algorithm 3 consumes."
+    );
+}

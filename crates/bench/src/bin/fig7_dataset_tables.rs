@@ -1,0 +1,64 @@
+//! Fig. 7: where the Criteo tables fall relative to the hybrid's
+//! scan/DHE switching range.
+
+use secemb::hybrid::Profiler;
+use secemb_data::CriteoSpec;
+
+fn classify(sizes: &[u64], lo: u64, hi: u64) -> (usize, usize, usize) {
+    let scan = sizes.iter().filter(|&&n| n < lo).count();
+    let flex = sizes.iter().filter(|&&n| (lo..=hi).contains(&n)).count();
+    let dhe = sizes.iter().filter(|&&n| n > hi).count();
+    (scan, flex, dhe)
+}
+
+fn main() {
+    println!("Fig. 7: dataset tables vs the hybrid switching range\n");
+
+    // Profile the threshold range across execution configurations.
+    let sizes: Vec<u64> = (4..=17).map(|p| 1u64 << p).collect();
+    let profiler = Profiler {
+        dim: 64,
+        sizes,
+        repeats: 3,
+        varied_dhe: false,
+    };
+    let profile = profiler.profile_grid(&[1, 32, 128], &[1, 4]);
+    let lo = profile.entries.iter().map(|e| e.threshold).min().unwrap();
+    let hi = profile.entries.iter().map(|e| e.threshold).max().unwrap();
+    println!("profiled threshold range on this machine: [{lo}, {hi}] rows\n");
+
+    for spec in [CriteoSpec::kaggle(), CriteoSpec::terabyte()] {
+        let mut sorted = spec.table_sizes.clone();
+        sorted.sort_unstable();
+        println!("{} — {} tables:", spec.name, sorted.len());
+        for &n in &sorted {
+            let mark = if n < lo {
+                "scan"
+            } else if n <= hi {
+                "FLEX (red in the paper)"
+            } else {
+                "DHE"
+            };
+            println!("  {n:>10}  {mark}");
+        }
+        let (s, f, d) = classify(&sorted, lo, hi);
+        let total_mem: u64 = sorted.iter().sum::<u64>() * spec.embedding_dim as u64 * 4;
+        let dhe_mem: u64 = sorted
+            .iter()
+            .filter(|&&n| n > hi)
+            .sum::<u64>()
+            * spec.embedding_dim as u64
+            * 4;
+        println!(
+            "  -> {s} always-scan, {f} configuration-dependent, {d} always-DHE \
+             ({:.1}% of table bytes always-DHE)\n",
+            100.0 * dhe_mem as f64 / total_mem as f64
+        );
+    }
+    println!(
+        "Paper: 7/26 (Kaggle) and 9/26 (Terabyte) tables always benefit from DHE\n\
+         — 99.7% of the memory footprint — with 3 and 6 tables in the flexible\n\
+         range. Exact splits differ per profiled machine; the structure (most\n\
+         bytes always-DHE, a few mid-size tables flexible) should match."
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 8: latency inflation as identical embedding workloads are
+//! co-located on the same machine.
+
+use secemb::Technique;
+use secemb_bench::{fmt_ns, print_table, SCALE_NOTE};
+use secemb_dlrm::colocate::{run_colocated, Workload};
+use std::time::Duration;
+
+fn main() {
+    println!("Fig. 8: co-location interference (same technique replicated)");
+    println!("{SCALE_NOTE}\n");
+    let window = Duration::from_millis(250);
+    let counts = [1usize, 2, 4, 8, 16];
+
+    for (label, technique, rows) in [
+        ("Linear scan, 8192-row table", Technique::LinearScan, 8192u64),
+        ("DHE (scaled Uniform, k=256)", Technique::Dhe, 8192),
+    ] {
+        println!("--- {label} (dim 64, batch 32) ---");
+        let mut solo = 0.0;
+        let mut rows_out = Vec::new();
+        for &n in &counts {
+            let workloads = vec![Workload::new(technique, rows, 64, 32); n];
+            let result = run_colocated(&workloads, window);
+            let mean = result.overall_mean_ns();
+            if n == 1 {
+                solo = mean;
+            }
+            rows_out.push(vec![
+                n.to_string(),
+                fmt_ns(mean),
+                format!("{:.2}x", mean / solo.max(1.0)),
+                format!("{:.0}/s", result.throughput_per_sec(32)),
+            ]);
+        }
+        print_table(
+            &["co-located", "mean latency", "vs solo", "throughput"],
+            &rows_out,
+        );
+        println!();
+    }
+    println!(
+        "Expected shape (paper): latency inflates as replicas contend for cores,\n\
+         cache and memory bandwidth; scan (bandwidth-bound) typically inflates\n\
+         more than DHE (compute-bound) once cores are oversubscribed."
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 9: latency for different scan/DHE splits at a fixed co-location
+//! level, across table sizes around the switching threshold.
+
+use secemb_bench::{fmt_ns, print_table, SCALE_NOTE};
+use secemb_dlrm::colocate::{run_colocated, split_workloads};
+use std::time::Duration;
+
+fn main() {
+    // Paper: N = 24 co-located models; scaled to the host's cores.
+    let total = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(4, 8))
+        .unwrap_or(4);
+    println!("Fig. 9: latency vs DHE/scan allocation at fixed co-location N = {total}");
+    println!("(x-axis of the paper's figure: how many of the N models use DHE)");
+    println!("{SCALE_NOTE}\n");
+    let window = Duration::from_millis(200);
+    let dim = 64;
+    let batch = 32;
+
+    let sizes = [512u64, 2048, 8192, 32768];
+    let mut rows_out = Vec::new();
+    for dhe_count in 0..=total {
+        let mut row = vec![format!("{dhe_count} DHE / {} scan", total - dhe_count)];
+        for &rows in &sizes {
+            let workloads = split_workloads(total, dhe_count, rows, dim, batch);
+            let result = run_colocated(&workloads, window);
+            row.push(fmt_ns(result.overall_mean_ns()));
+        }
+        rows_out.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("allocation".to_string())
+        .chain(sizes.iter().map(|s| format!("{s} rows")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&headers_ref, &rows_out);
+
+    println!(
+        "\nExpected shape (paper, Fig. 9): for small tables the all-scan end (top\n\
+         row) is fastest; for large tables the all-DHE end (bottom row) wins; the\n\
+         crossover table size sits near the single-model threshold, which is why\n\
+         the paper reuses single-model thresholds for co-located deployments."
+    );
+}

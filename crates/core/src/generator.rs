@@ -1,0 +1,140 @@
+//! The [`EmbeddingGenerator`] trait and the [`Technique`] taxonomy.
+
+use secemb_tensor::Matrix;
+
+/// The embedding generation techniques studied in the paper (Fig. 2,
+/// Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Direct table lookup — fast, **not** side-channel safe.
+    IndexLookup,
+    /// Whole-table oblivious scan, `O(n)` per query.
+    LinearScan,
+    /// Table behind Path ORAM, `O(log² n)` per query.
+    PathOram,
+    /// Table behind Circuit ORAM, `O(log² n)` per query with a small stash.
+    CircuitOram,
+    /// Deep Hash Embedding — compute-based, `O(k²)` per query.
+    Dhe,
+}
+
+impl Technique {
+    /// All techniques, in the paper's presentation order.
+    pub const ALL: [Technique; 5] = [
+        Technique::IndexLookup,
+        Technique::LinearScan,
+        Technique::PathOram,
+        Technique::CircuitOram,
+        Technique::Dhe,
+    ];
+
+    /// Whether the technique's memory access pattern hides the index.
+    pub fn is_oblivious(self) -> bool {
+        !matches!(self, Technique::IndexLookup)
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::IndexLookup => "Index Lookup (non-secure)",
+            Technique::LinearScan => "Linear Scan",
+            Technique::PathOram => "Path ORAM",
+            Technique::CircuitOram => "Circuit ORAM",
+            Technique::Dhe => "DHE",
+        }
+    }
+
+    /// Asymptotic computation complexity per lookup (Table I).
+    pub fn computation_complexity(self) -> &'static str {
+        match self {
+            Technique::IndexLookup => "O(1)",
+            Technique::LinearScan => "O(n)",
+            Technique::PathOram | Technique::CircuitOram => "O(log^2 n)",
+            Technique::Dhe => "O(k^2)",
+        }
+    }
+
+    /// Asymptotic memory complexity (Table I).
+    pub fn memory_complexity(self) -> &'static str {
+        match self {
+            Technique::IndexLookup | Technique::LinearScan => "O(n)",
+            Technique::PathOram | Technique::CircuitOram => "O(n)",
+            Technique::Dhe => "O(k^2)",
+        }
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A source of embedding vectors for categorical feature values.
+///
+/// `generate*` takes `&mut self` because the ORAM-backed generator mutates
+/// internal state on every access; the stateless generators also provide
+/// shared-reference batch methods used by the multi-threaded harness.
+pub trait EmbeddingGenerator {
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+
+    /// Number of distinct feature values (table rows / hash domain size).
+    fn num_embeddings(&self) -> u64;
+
+    /// Generates the embedding for one feature value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_embeddings()` (the bound is public).
+    fn generate(&mut self, index: u64) -> Vec<f32> {
+        let m = self.generate_batch(&[index]);
+        m.row(0).to_vec()
+    }
+
+    /// Generates embeddings for a batch of feature values
+    /// (`indices.len() × dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    fn generate_batch(&mut self, indices: &[u64]) -> Matrix;
+
+    /// Which technique this generator implements.
+    fn technique(&self) -> Technique;
+
+    /// Bytes of model state this generator keeps resident.
+    fn memory_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obliviousness_classification() {
+        assert!(!Technique::IndexLookup.is_oblivious());
+        for t in [
+            Technique::LinearScan,
+            Technique::PathOram,
+            Technique::CircuitOram,
+            Technique::Dhe,
+        ] {
+            assert!(t.is_oblivious(), "{t} must be oblivious");
+        }
+    }
+
+    #[test]
+    fn table_i_complexities() {
+        assert_eq!(Technique::LinearScan.computation_complexity(), "O(n)");
+        assert_eq!(Technique::CircuitOram.computation_complexity(), "O(log^2 n)");
+        assert_eq!(Technique::Dhe.computation_complexity(), "O(k^2)");
+        assert_eq!(Technique::Dhe.memory_complexity(), "O(k^2)");
+    }
+
+    #[test]
+    fn all_covers_every_variant() {
+        assert_eq!(Technique::ALL.len(), 5);
+        assert_eq!(format!("{}", Technique::Dhe), "DHE");
+    }
+}

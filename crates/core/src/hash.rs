@@ -1,0 +1,149 @@
+//! Carter–Wegman universal hashing (DHE's encoder, Algorithm 1 step 1–2).
+
+use rand::Rng;
+use secemb_trace::tracer::{self, regions};
+
+/// The Mersenne prime 2^61 − 1, used as the modulus `p` of every hash
+/// function (comfortably above the paper's bucket count `m = 10^6`).
+pub const HASH_PRIME: u64 = (1 << 61) - 1;
+
+/// A family of `k` universal hash functions
+/// `h_i(x) = ((a_i · x + b_i) mod p) mod m`, plus the uniform transform of
+/// the bucket indices into `[-1, 1]` that feeds the DHE decoder.
+///
+/// The computation touches the same coefficients in the same order for any
+/// input `x` — the property that makes DHE's access pattern secret-
+/// independent.
+#[derive(Clone, Debug)]
+pub struct UniversalHashFamily {
+    a: Vec<u64>,
+    b: Vec<u64>,
+    m: u64,
+}
+
+impl UniversalHashFamily {
+    /// Samples `k` functions with bucket count `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `m < 2`.
+    pub fn new(k: usize, m: u64, rng: &mut impl Rng) -> Self {
+        assert!(k > 0, "UniversalHashFamily: k must be positive");
+        assert!(m >= 2, "UniversalHashFamily: need at least 2 buckets");
+        UniversalHashFamily {
+            a: (0..k).map(|_| rng.gen_range(1..HASH_PRIME)).collect(),
+            b: (0..k).map(|_| rng.gen_range(0..HASH_PRIME)).collect(),
+            m,
+        }
+    }
+
+    /// Number of hash functions `k`.
+    pub fn k(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Bucket count `m`.
+    pub fn buckets(&self) -> u64 {
+        self.m
+    }
+
+    /// The `i`-th hash of `x`, in `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn hash(&self, i: usize, x: u64) -> u64 {
+        let t = (self.a[i] as u128 * x as u128 + self.b[i] as u128) % HASH_PRIME as u128;
+        (t % self.m as u128) as u64
+    }
+
+    /// Encodes `x` into `k` real values in `[-1, 1]` (Algorithm 1 steps
+    /// 1–2), appending them to `out`.
+    pub fn encode_into(&self, x: u64, out: &mut Vec<f32>) {
+        tracer::read(regions::DHE_HASH, 0, (self.k() * 16) as u32);
+        let denom = (self.m - 1) as f32;
+        for i in 0..self.k() {
+            let y = self.hash(i, x) as f32;
+            out.push(2.0 * y / denom - 1.0);
+        }
+    }
+
+    /// Encodes `x` into a fresh vector.
+    pub fn encode(&self, x: u64) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.k());
+        self.encode_into(x, &mut out);
+        out
+    }
+
+    /// Bytes of coefficient storage.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.a.len() + self.b.len()) as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn family(k: usize) -> UniversalHashFamily {
+        UniversalHashFamily::new(k, 1_000_000, &mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let f = family(8);
+        for x in [0u64, 1, 999_999_937, u64::MAX / 3] {
+            for i in 0..8 {
+                let h = f.hash(i, x);
+                assert!(h < 1_000_000);
+                assert_eq!(h, f.hash(i, x), "hashing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn different_functions_differ() {
+        let f = family(16);
+        let hashes: Vec<u64> = (0..16).map(|i| f.hash(i, 12345)).collect();
+        let distinct: std::collections::HashSet<_> = hashes.iter().collect();
+        assert!(distinct.len() > 8, "functions should mostly disagree");
+    }
+
+    #[test]
+    fn encoding_is_bounded() {
+        let f = family(32);
+        let enc = f.encode(777);
+        assert_eq!(enc.len(), 32);
+        assert!(enc.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        // One function, many inputs: occupancy of m=10 buckets is balanced.
+        let f = UniversalHashFamily::new(1, 10, &mut StdRng::seed_from_u64(7));
+        let mut counts = [0u32; 10];
+        for x in 0..10_000u64 {
+            counts[f.hash(0, x) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn trace_is_input_independent() {
+        let f = family(4);
+        let v = secemb_trace::check::compare_traces(&[0u64, u64::MAX / 7], |&x| {
+            f.encode(x);
+        });
+        assert!(v.is_oblivious());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        family(0);
+    }
+}

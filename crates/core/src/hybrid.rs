@@ -1,0 +1,421 @@
+//! The hybrid scheme: offline profiling and online allocation
+//! (Algorithms 2 and 3, §IV-C).
+//!
+//! DLRM models carry tens of tables spanning sizes from a handful of rows
+//! to tens of millions, and Fig. 4 shows no single secure technique wins
+//! across that range: linear scan is fastest for small tables, DHE for
+//! large ones. The hybrid scheme:
+//!
+//! 1. **Offline** ([`Profiler`]): measures linear-scan and DHE latency
+//!    across table sizes for each execution configuration (batch size ×
+//!    thread count) and records the crossover threshold in a
+//!    [`ThresholdTable`].
+//! 2. **Offline**: trains one all-DHE model, then materializes plain tables
+//!    (via [`crate::Dhe::to_table`]) for features that may run as scans —
+//!    no per-configuration retraining.
+//! 3. **Online** ([`allocate`]): picks scan or DHE per feature from the
+//!    profiled threshold for the current configuration. The decision
+//!    depends only on public quantities (table size, batch, threads), so
+//!    the hybrid inherits the security of its parts (§V-B).
+
+use crate::{Dhe, DheConfig, LinearScan, Technique};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One profiled execution configuration and its crossover threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdEntry {
+    /// Embedding-generation batch size.
+    pub batch: usize,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Table sizes strictly below this use linear scan; at or above, DHE.
+    pub threshold: u64,
+}
+
+/// The profiled threshold database (Fig. 6), one entry per execution
+/// configuration, for a fixed embedding dimension.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    /// Embedding dimension the profile was taken at.
+    pub dim: usize,
+    /// Profiled entries.
+    pub entries: Vec<ThresholdEntry>,
+}
+
+impl ThresholdTable {
+    /// The threshold for `(batch, threads)`, falling back to the entry with
+    /// the nearest configuration (log-distance) when no exact match exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn threshold(&self, batch: usize, threads: usize) -> u64 {
+        assert!(!self.entries.is_empty(), "empty threshold table");
+        let dist = |e: &ThresholdEntry| {
+            let b = ((e.batch.max(1) as f64).ln() - (batch.max(1) as f64).ln()).abs();
+            let t = ((e.threads.max(1) as f64).ln() - (threads.max(1) as f64).ln()).abs();
+            b + t
+        };
+        self.entries
+            .iter()
+            .min_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap())
+            .unwrap()
+            .threshold
+    }
+
+    /// Serializes to JSON (the on-disk artifact the paper's Jupyter
+    /// notebook produces).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("threshold table serializes")
+    }
+
+    /// Parses a JSON profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// A set of [`ThresholdTable`]s covering multiple embedding dimensions —
+/// the full Algorithm 2 artifact ("done once per system **for each
+/// embedding dimension**", §IV-C1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileDatabase {
+    /// One profile per embedding dimension.
+    pub profiles: Vec<ThresholdTable>,
+}
+
+impl ProfileDatabase {
+    /// Builds a database from per-dimension profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or contains duplicate dimensions.
+    pub fn new(profiles: Vec<ThresholdTable>) -> Self {
+        assert!(!profiles.is_empty(), "empty profile database");
+        let mut dims: Vec<usize> = profiles.iter().map(|p| p.dim).collect();
+        dims.sort_unstable();
+        assert!(
+            dims.windows(2).all(|w| w[0] != w[1]),
+            "duplicate dimension in profile database"
+        );
+        ProfileDatabase { profiles }
+    }
+
+    /// The threshold for `(dim, batch, threads)`, using the profile whose
+    /// dimension is nearest in log space (embedding cost scales with dim,
+    /// so neighbouring dims have neighbouring thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any selected profile has no entries.
+    pub fn threshold(&self, dim: usize, batch: usize, threads: usize) -> u64 {
+        let dist = |p: &ThresholdTable| {
+            ((p.dim.max(1) as f64).ln() - (dim.max(1) as f64).ln()).abs()
+        };
+        self.profiles
+            .iter()
+            .min_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap())
+            .expect("non-empty by construction")
+            .threshold(batch, threads)
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile database serializes")
+    }
+
+    /// Parses a JSON database.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Algorithm 3's per-feature decision: linear scan below the threshold,
+/// DHE at or above it.
+pub fn choose_technique(table_size: u64, threshold: u64) -> Technique {
+    if table_size < threshold {
+        Technique::LinearScan
+    } else {
+        Technique::Dhe
+    }
+}
+
+/// Allocates a technique to every feature of a model for the current
+/// execution configuration (Algorithm 3 over a whole model).
+pub fn allocate(
+    profile: &ThresholdTable,
+    table_sizes: &[u64],
+    batch: usize,
+    threads: usize,
+) -> Vec<Technique> {
+    let threshold = profile.threshold(batch, threads);
+    table_sizes
+        .iter()
+        .map(|&n| choose_technique(n, threshold))
+        .collect()
+}
+
+/// Offline latency profiler (Algorithm 2 step 1).
+///
+/// Measures wall-clock latency of linear scan and DHE over synthetic
+/// tables of increasing size and locates the crossover. Profiling "is of
+/// low effort … done once per system for each embedding dimension"
+/// (§IV-C1).
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    /// Embedding dimension to profile.
+    pub dim: usize,
+    /// Table sizes to sweep (ascending).
+    pub sizes: Vec<u64>,
+    /// Measurement repetitions per point (median is used).
+    pub repeats: usize,
+    /// Whether the DHE side uses Varied sizing (as deployed) or Uniform.
+    pub varied_dhe: bool,
+}
+
+impl Profiler {
+    /// A profiler over `sizes` at dimension `dim` with sensible defaults.
+    pub fn new(dim: usize, sizes: Vec<u64>) -> Self {
+        Profiler {
+            dim,
+            sizes,
+            repeats: 5,
+            varied_dhe: false,
+        }
+    }
+
+    /// Median wall-clock nanoseconds for one batch of linear-scan
+    /// generation over a synthetic table of `rows` rows.
+    pub fn measure_scan(&self, rows: u64, batch: usize, threads: usize) -> f64 {
+        let table = Matrix::from_fn(rows as usize, self.dim, |r, c| (r + c) as f32 * 1e-3);
+        let scan = LinearScan::new(table);
+        let indices: Vec<u64> = (0..batch as u64).map(|i| (i * 7919) % rows).collect();
+        self.median_ns(|| {
+            std::hint::black_box(scan.generate_batch_threaded(&indices, threads));
+        })
+    }
+
+    /// Median wall-clock nanoseconds for one batch of DHE generation sized
+    /// for a table of `rows` rows.
+    pub fn measure_dhe(&self, rows: u64, batch: usize, threads: usize) -> f64 {
+        let config = if self.varied_dhe {
+            DheConfig::varied(self.dim, rows)
+        } else {
+            DheConfig::uniform(self.dim)
+        };
+        let dhe = Dhe::new(config, &mut StdRng::seed_from_u64(0));
+        let indices: Vec<u64> = (0..batch as u64).map(|i| (i * 7919) % rows.max(1)).collect();
+        self.median_ns(|| {
+            std::hint::black_box(dhe.infer_threaded(&indices, threads));
+        })
+    }
+
+    /// Sweeps the size grid and returns the crossover threshold: the first
+    /// size at which DHE is at least as fast as linear scan (or one past
+    /// the largest size when scan always wins).
+    pub fn find_threshold(&self, batch: usize, threads: usize) -> u64 {
+        for &rows in &self.sizes {
+            let scan = self.measure_scan(rows, batch, threads);
+            let dhe = self.measure_dhe(rows, batch, threads);
+            if dhe <= scan {
+                return rows;
+            }
+        }
+        self.sizes.last().map_or(0, |&s| s + 1)
+    }
+
+    /// Profiles a full (batch × threads) grid into a [`ThresholdTable`]
+    /// (the Fig. 6 artifact).
+    pub fn profile_grid(&self, batches: &[usize], thread_counts: &[usize]) -> ThresholdTable {
+        let mut entries = Vec::new();
+        for &batch in batches {
+            for &threads in thread_counts {
+                entries.push(ThresholdEntry {
+                    batch,
+                    threads,
+                    threshold: self.find_threshold(batch, threads),
+                });
+            }
+        }
+        ThresholdTable {
+            dim: self.dim,
+            entries,
+        }
+    }
+
+    fn median_ns(&self, mut f: impl FnMut()) -> f64 {
+        let mut samples: Vec<f64> = (0..self.repeats.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ThresholdTable {
+        ThresholdTable {
+            dim: 64,
+            entries: vec![
+                ThresholdEntry {
+                    batch: 1,
+                    threads: 1,
+                    threshold: 8000,
+                },
+                ThresholdEntry {
+                    batch: 32,
+                    threads: 1,
+                    threshold: 3300,
+                },
+                ThresholdEntry {
+                    batch: 32,
+                    threads: 8,
+                    threshold: 9000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn exact_and_nearest_lookup() {
+        let p = profile();
+        assert_eq!(p.threshold(32, 1), 3300);
+        assert_eq!(p.threshold(32, 8), 9000);
+        // Nearest for an unseen configuration.
+        assert_eq!(p.threshold(30, 1), 3300);
+        assert_eq!(p.threshold(1, 2), 8000);
+    }
+
+    #[test]
+    fn allocation_splits_on_threshold() {
+        let p = profile();
+        let sizes = [10u64, 3299, 3300, 1_000_000];
+        let alloc = allocate(&p, &sizes, 32, 1);
+        assert_eq!(
+            alloc,
+            vec![
+                Technique::LinearScan,
+                Technique::LinearScan,
+                Technique::Dhe,
+                Technique::Dhe
+            ]
+        );
+    }
+
+    #[test]
+    fn choose_boundary() {
+        assert_eq!(choose_technique(99, 100), Technique::LinearScan);
+        assert_eq!(choose_technique(100, 100), Technique::Dhe);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = profile();
+        let back = ThresholdTable::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+        assert!(ThresholdTable::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn profiler_scan_grows_with_size() {
+        let prof = Profiler {
+            dim: 16,
+            sizes: vec![64, 4096],
+            repeats: 3,
+            varied_dhe: false,
+        };
+        let small = prof.measure_scan(64, 8, 1);
+        let large = prof.measure_scan(4096, 8, 1);
+        assert!(
+            large > small * 4.0,
+            "scan must grow ~linearly: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn profiler_finds_a_threshold_in_range() {
+        let prof = Profiler {
+            dim: 16,
+            sizes: vec![16, 256, 4096, 65536, 262144],
+            repeats: 3,
+            varied_dhe: false,
+        };
+        let t = prof.find_threshold(32, 1);
+        // Uniform DHE (k=1024) costs far more than scanning 16 rows and far
+        // less than scanning 262144; the crossover must be interior.
+        assert!(t > 16 && t <= 262144, "threshold {t} out of expected range");
+    }
+
+    #[test]
+    fn database_picks_nearest_dimension() {
+        let db = ProfileDatabase::new(vec![
+            ThresholdTable {
+                dim: 16,
+                entries: vec![ThresholdEntry {
+                    batch: 32,
+                    threads: 1,
+                    threshold: 1000,
+                }],
+            },
+            ThresholdTable {
+                dim: 64,
+                entries: vec![ThresholdEntry {
+                    batch: 32,
+                    threads: 1,
+                    threshold: 3300,
+                }],
+            },
+        ]);
+        assert_eq!(db.threshold(16, 32, 1), 1000);
+        assert_eq!(db.threshold(64, 32, 1), 3300);
+        assert_eq!(db.threshold(20, 32, 1), 1000, "nearest in log space");
+        assert_eq!(db.threshold(48, 32, 1), 3300);
+        let back = ProfileDatabase::from_json(&db.to_json()).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dimension")]
+    fn database_rejects_duplicate_dims() {
+        let t = ThresholdTable {
+            dim: 16,
+            entries: vec![],
+        };
+        ProfileDatabase::new(vec![t.clone(), t]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty profile database")]
+    fn database_rejects_empty() {
+        ProfileDatabase::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty threshold table")]
+    fn empty_profile_panics() {
+        ThresholdTable {
+            dim: 16,
+            entries: vec![],
+        }
+        .threshold(1, 1);
+    }
+}

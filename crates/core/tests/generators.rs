@@ -1,0 +1,137 @@
+//! Property-based cross-generator tests: every secure storage generator
+//! must be extensionally equal to the direct lookup, and DHE must be a
+//! pure function of its inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{
+    footprint, Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable,
+};
+use secemb_oram::OramConfig;
+use secemb_tensor::Matrix;
+
+fn table(rows: usize, dim: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, dim, |r, c| {
+        let x = (r * dim + c) as u64 ^ seed;
+        (x.wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f32 * 1e-3 - 8.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scan_equals_lookup(
+        rows in 1usize..64,
+        dim in 1usize..12,
+        seed in any::<u64>(),
+        picks in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let t = table(rows, dim, seed);
+        let indices: Vec<u64> = picks.iter().map(|&p| p % rows as u64).collect();
+        let mut lookup = IndexLookup::new(t.clone());
+        let mut scan = LinearScan::new(t);
+        prop_assert_eq!(
+            lookup.generate_batch(&indices),
+            scan.generate_batch(&indices)
+        );
+    }
+
+    #[test]
+    fn orams_equal_lookup(
+        rows in 2usize..48,
+        seed in any::<u64>(),
+        picks in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let dim = 4;
+        let t = table(rows, dim, seed);
+        let indices: Vec<u64> = picks.iter().map(|&p| p % rows as u64).collect();
+        let mut lookup = IndexLookup::new(t.clone());
+        let expect = lookup.generate_batch(&indices);
+        let mut path = OramTable::path(&t, StdRng::seed_from_u64(seed));
+        prop_assert_eq!(path.generate_batch(&indices), expect.clone());
+        let mut circuit = OramTable::circuit(&t, StdRng::seed_from_u64(seed));
+        prop_assert_eq!(circuit.generate_batch(&indices), expect);
+    }
+
+    #[test]
+    fn dhe_is_a_pure_function(
+        k in 1usize..32,
+        dim in 1usize..8,
+        seed in any::<u64>(),
+        ids in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let mut dhe = Dhe::new(
+            DheConfig::new(dim, k, vec![k.max(2)]),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let a = dhe.generate_batch(&ids);
+        let b = dhe.generate_batch(&ids);
+        prop_assert_eq!(a.clone(), b);
+        // Batch equals singles.
+        for (row, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(a.row(row).to_vec(), dhe.generate(id));
+        }
+        prop_assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dhe_to_table_round_trips_through_scan(
+        seed in any::<u64>(),
+        n in 2u64..24,
+    ) {
+        let dhe = Dhe::new(DheConfig::new(3, 8, vec![8]), &mut StdRng::seed_from_u64(seed));
+        let table = dhe.to_table(n);
+        let mut scan = LinearScan::new(table);
+        for id in 0..n {
+            prop_assert_eq!(scan.generate(id), dhe.infer(&[id]).row(0).to_vec());
+        }
+    }
+
+    #[test]
+    fn footprints_are_monotone_in_table_size(
+        small in 2u64..1000,
+        extra in 1u64..100_000,
+        dim in 1usize..128,
+    ) {
+        let large = small + extra;
+        prop_assert!(footprint::table_bytes(small, dim) < footprint::table_bytes(large, dim));
+        let cfg = OramConfig::circuit(dim);
+        prop_assert!(
+            footprint::tree_oram_bytes(small, &cfg) <= footprint::tree_oram_bytes(large, &cfg)
+        );
+        // ORAM always costs more than the raw table it protects.
+        prop_assert!(
+            footprint::tree_oram_bytes(small, &cfg) > footprint::table_bytes(small, dim)
+        );
+    }
+
+    #[test]
+    fn varied_dhe_never_exceeds_uniform(rows in 1u64..20_000_000, dim in 1usize..256) {
+        let varied = DheConfig::varied(dim, rows);
+        let uniform = DheConfig::uniform(dim);
+        prop_assert!(varied.param_count() <= uniform.param_count().max(varied.param_count()));
+        prop_assert!(varied.k <= uniform.k.max(varied.k));
+        if rows >= 10_000_000 {
+            prop_assert_eq!(varied.k, uniform.k);
+        }
+    }
+
+    #[test]
+    fn memory_reporting_is_consistent(
+        rows in 2usize..32,
+        dim in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let t = table(rows, dim, seed);
+        let lookup = IndexLookup::new(t.clone());
+        let scan = LinearScan::new(t.clone());
+        prop_assert_eq!(lookup.memory_bytes(), scan.memory_bytes());
+        let oram = OramTable::circuit(&t, StdRng::seed_from_u64(seed));
+        prop_assert_eq!(
+            EmbeddingGenerator::memory_bytes(&oram),
+            footprint::tree_oram_bytes(rows as u64, &OramConfig::circuit(dim))
+        );
+    }
+}

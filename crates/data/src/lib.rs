@@ -1,0 +1,28 @@
+//! Synthetic stand-ins for the paper's datasets.
+//!
+//! The paper evaluates on the Criteo Kaggle and Terabyte click logs (2 TB
+//! of proprietary-licensed data), Meta's 2022 synthetic embedding-trace
+//! release (788 tables), and OpenWebText. None of those can ship with a
+//! reproduction, and none is needed for the paper's *relative* claims:
+//!
+//! - [`criteo`] keeps the real per-feature cardinalities (the quantity
+//!   that drives every latency/footprint figure) and generates click
+//!   samples from a planted, learnable CTR function, so "DHE matches the
+//!   table's accuracy" (Table V) remains a falsifiable experiment.
+//! - [`meta`] reproduces the Meta dataset's *shape*: 788 tables,
+//!   log-spaced sizes up to 4×10^7 (Table VIII needs only the sizes).
+//! - [`corpus`] generates text from a seeded Markov chain with bounded
+//!   entropy, so fine-tuning curves (Fig. 14) have a meaningful floor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod criteo;
+pub mod meta;
+pub mod tokenizer;
+
+pub use corpus::MarkovCorpus;
+pub use criteo::{CriteoSample, CriteoSpec, SyntheticCtr};
+pub use meta::meta_table_sizes;
+pub use tokenizer::Tokenizer;

@@ -1,0 +1,68 @@
+//! A size-distribution stand-in for Meta's 2022 embedding-trace dataset.
+
+/// Generates the 788 table sizes of a Meta-2022-shaped DLRM (§VI-C /
+/// Table VIII): sizes are log-spaced from tiny lookup tables to 4×10^7
+/// rows, with the long tail of small tables real production models show.
+///
+/// The distribution is deterministic (no RNG): table `i` of `count` gets
+/// `round(4e7^(q^3))`-ish rows where `q = i / (count-1)`, i.e. most tables
+/// are small and a few are enormous — matching the paper's description
+/// that the Meta model has "many more tables (788) that are also larger"
+/// with sizes up to 4e7 "unlike Criteo which only go up to 1e7".
+pub fn meta_table_sizes(count: usize, max_rows: u64) -> Vec<u64> {
+    assert!(count > 0, "need at least one table");
+    let max = (max_rows.max(2)) as f64;
+    (0..count)
+        .map(|i| {
+            let q = if count == 1 {
+                1.0
+            } else {
+                i as f64 / (count - 1) as f64
+            };
+            // Cubic warp: ~87% of tables below 10% of the max exponent.
+            let exponent = q * q * q;
+            (max.powf(exponent)).round().max(2.0) as u64
+        })
+        .collect()
+}
+
+/// The paper's Meta-2022 configuration: 788 tables, up to 4×10^7 rows.
+pub fn paper_meta_sizes() -> Vec<u64> {
+    meta_table_sizes(788, 40_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let sizes = paper_meta_sizes();
+        assert_eq!(sizes.len(), 788);
+        assert_eq!(*sizes.last().unwrap(), 40_000_000);
+        assert!(*sizes.first().unwrap() <= 10);
+        // Long tail: most tables are small.
+        let small = sizes.iter().filter(|&&n| n < 10_000).count();
+        assert!(small > 500, "only {small} tables below 1e4");
+        // But several are beyond Criteo's 1e7 cap.
+        let huge = sizes.iter().filter(|&&n| n > 10_000_000).count();
+        assert!(huge >= 10, "only {huge} tables above 1e7");
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let sizes = meta_table_sizes(100, 1_000_000);
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_table() {
+        assert_eq!(meta_table_sizes(1, 500), vec![500]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn zero_tables_panics() {
+        meta_table_sizes(0, 100);
+    }
+}

@@ -1,0 +1,141 @@
+//! A small word-level tokenizer.
+//!
+//! The paper's threat model has tokenization happen on the trusted client
+//! (§III: "the tokenizer is typically open-sourced … encoding and decoding
+//! … happen on a trusted local device"). This tokenizer plays that role in
+//! the examples: it turns text into the token ids whose *embedding lookup*
+//! is the thing being protected server-side.
+
+use std::collections::HashMap;
+
+/// A frequency-ordered word-level tokenizer with an `<unk>` fallback.
+#[derive(Clone, Debug)]
+pub struct Tokenizer {
+    vocab: Vec<String>,
+    ids: HashMap<String, usize>,
+}
+
+/// Id of the unknown-word token (always 0).
+pub const UNK: usize = 0;
+
+impl Tokenizer {
+    /// Builds a vocabulary of at most `max_vocab` words from `corpus`
+    /// (whitespace-split, lowercased), most frequent first, with `<unk>`
+    /// at id 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_vocab < 2` (there must be room for `<unk>` and at
+    /// least one real word).
+    pub fn train(corpus: &str, max_vocab: usize) -> Self {
+        assert!(max_vocab >= 2, "max_vocab must be at least 2");
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for word in corpus.split_whitespace() {
+            *counts.entry(word.to_lowercase()).or_insert(0) += 1;
+        }
+        let mut by_freq: Vec<(String, u64)> = counts.into_iter().collect();
+        // Frequency descending, then lexicographic for determinism.
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut vocab = vec!["<unk>".to_string()];
+        vocab.extend(by_freq.into_iter().take(max_vocab - 1).map(|(w, _)| w));
+        let ids = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        Tokenizer { vocab, ids }
+    }
+
+    /// Vocabulary size (including `<unk>`).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encodes text into token ids (unknown words become [`UNK`]).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.split_whitespace()
+            .map(|w| *self.ids.get(&w.to_lowercase()).unwrap_or(&UNK))
+            .collect()
+    }
+
+    /// Decodes ids back into a space-joined string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn decode(&self, tokens: &[usize]) -> String {
+        tokens
+            .iter()
+            .map(|&t| {
+                self.vocab
+                    .get(t)
+                    .unwrap_or_else(|| panic!("token {t} out of range"))
+                    .as_str()
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The word for a token id, if in range.
+    pub fn word(&self, token: usize) -> Option<&str> {
+        self.vocab.get(token).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "the cat sat on the mat the cat ran";
+
+    #[test]
+    fn frequency_order_and_round_trip() {
+        let t = Tokenizer::train(CORPUS, 16);
+        assert_eq!(t.word(0), Some("<unk>"));
+        assert_eq!(t.word(1), Some("the"), "most frequent word first");
+        assert_eq!(t.word(2), Some("cat"));
+        let ids = t.encode("the cat sat");
+        assert_eq!(t.decode(&ids), "the cat sat");
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let t = Tokenizer::train(CORPUS, 16);
+        assert_eq!(t.encode("the zebra"), vec![1, UNK]);
+        assert_eq!(t.decode(&[UNK]), "<unk>");
+    }
+
+    #[test]
+    fn vocab_cap_keeps_frequent_words() {
+        let t = Tokenizer::train(CORPUS, 3); // <unk> + 2 words
+        assert_eq!(t.vocab_size(), 3);
+        assert_eq!(t.word(1), Some("the"));
+        assert_eq!(t.word(2), Some("cat"));
+        assert_eq!(t.encode("sat"), vec![UNK]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let t = Tokenizer::train("Hello hello HELLO world", 8);
+        assert_eq!(t.encode("hello"), t.encode("HeLLo"));
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let a = Tokenizer::train("b a b a", 8);
+        let b = Tokenizer::train("b a b a", 8);
+        assert_eq!(a.encode("a b"), b.encode("a b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_bad_id() {
+        Tokenizer::train(CORPUS, 4).decode(&[99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_vocab must be at least 2")]
+    fn tiny_vocab_rejected() {
+        Tokenizer::train(CORPUS, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Co-located model execution (Figs. 8, 9 and 13).
+//!
+//! Data centers run many model replicas on one socket; co-location causes
+//! cache and memory-bandwidth contention that shifts the scan/DHE
+//! trade-off. This harness runs `N` independent embedding workloads on `N`
+//! OS threads simultaneously and reports per-iteration latency and
+//! aggregate throughput — real contention on the host, not a model of it.
+
+use secemb::{Dhe, DheConfig, LinearScan, Technique};
+use secemb_tensor::Matrix;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One co-located worker's workload description.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which technique the worker runs (LinearScan or Dhe).
+    pub technique: Technique,
+    /// Table rows (sizes the scan table).
+    pub rows: u64,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Embedding-generation batch size per iteration.
+    pub batch: usize,
+    /// DHE architecture for `Technique::Dhe` workers; `None` uses a scaled
+    /// Uniform architecture (`k = 256`), which keeps DHE cost table-size
+    /// independent — the regime where the Fig. 9 crossover exists.
+    pub dhe: Option<DheConfig>,
+}
+
+impl Workload {
+    /// A workload with the default (scaled Uniform) DHE sizing.
+    pub fn new(technique: Technique, rows: u64, dim: usize, batch: usize) -> Self {
+        Workload {
+            technique,
+            rows,
+            dim,
+            batch,
+            dhe: None,
+        }
+    }
+}
+
+/// Aggregate results of a co-located run.
+#[derive(Clone, Debug)]
+pub struct ColocationResult {
+    /// Mean per-iteration latency of each worker, in nanoseconds.
+    pub mean_latency_ns: Vec<f64>,
+    /// Completed iterations of each worker.
+    pub iterations: Vec<u64>,
+    /// Wall-clock length of the measurement window.
+    pub elapsed: Duration,
+}
+
+impl ColocationResult {
+    /// Mean latency across all workers (ns).
+    pub fn overall_mean_ns(&self) -> f64 {
+        if self.mean_latency_ns.is_empty() {
+            return 0.0;
+        }
+        self.mean_latency_ns.iter().sum::<f64>() / self.mean_latency_ns.len() as f64
+    }
+
+    /// System throughput in inferences per second
+    /// (`batch × iterations / elapsed`, summed over workers).
+    pub fn throughput_per_sec(&self, batch: usize) -> f64 {
+        let total: u64 = self.iterations.iter().sum();
+        (total as f64 * batch as f64) / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs every workload on its own thread for `window`, all workers
+/// starting together, and measures per-iteration latency under contention.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty, or a workload uses a technique other
+/// than `LinearScan` / `Dhe` (the only contenders in the DLRM hybrid).
+pub fn run_colocated(workloads: &[Workload], window: Duration) -> ColocationResult {
+    assert!(!workloads.is_empty(), "no workloads");
+    // Pre-build each worker's state so setup cost stays outside the window.
+    let states: Vec<WorkerState> = workloads.iter().map(WorkerState::build).collect();
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let results: Vec<(f64, u64)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = states
+            .iter()
+            .map(|state| {
+                let stop = &stop;
+                s.spawn(move |_| {
+                    let mut iters = 0u64;
+                    let mut total_ns = 0f64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let it0 = Instant::now();
+                        state.run_once();
+                        total_ns += it0.elapsed().as_nanos() as f64;
+                        iters += 1;
+                    }
+                    (total_ns / iters.max(1) as f64, iters)
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("colocated worker panicked");
+    let elapsed = t0.elapsed();
+    ColocationResult {
+        mean_latency_ns: results.iter().map(|&(ns, _)| ns).collect(),
+        iterations: results.iter().map(|&(_, n)| n).collect(),
+        elapsed,
+    }
+}
+
+enum WorkerState {
+    Scan { scan: LinearScan, indices: Vec<u64> },
+    Dhe { dhe: Dhe, indices: Vec<u64> },
+}
+
+impl WorkerState {
+    fn build(w: &Workload) -> Self {
+        let indices: Vec<u64> = (0..w.batch as u64).map(|i| (i * 2654435761) % w.rows).collect();
+        match w.technique {
+            Technique::LinearScan => WorkerState::Scan {
+                scan: LinearScan::new(Matrix::from_fn(w.rows as usize, w.dim, |r, c| {
+                    (r + c) as f32 * 1e-4
+                })),
+                indices,
+            },
+            Technique::Dhe => WorkerState::Dhe {
+                dhe: Dhe::new(
+                    w.dhe.clone().unwrap_or_else(|| {
+                        DheConfig::new(w.dim, 256, vec![128, 64])
+                    }),
+                    &mut rand::rngs::mock::StepRng::new(1, 7),
+                ),
+                indices,
+            },
+            other => panic!("co-location workloads are scan/DHE only, got {other}"),
+        }
+    }
+
+    fn run_once(&self) {
+        match self {
+            WorkerState::Scan { scan, indices } => {
+                std::hint::black_box(scan.generate_batch_ref(indices));
+            }
+            WorkerState::Dhe { dhe, indices } => {
+                std::hint::black_box(dhe.infer(indices));
+            }
+        }
+    }
+}
+
+/// Builds the Fig. 9 sweep: `total` co-located workers of which
+/// `dhe_count` run DHE and the rest linear scan, all over the same table
+/// size.
+pub fn split_workloads(total: usize, dhe_count: usize, rows: u64, dim: usize, batch: usize) -> Vec<Workload> {
+    assert!(dhe_count <= total, "dhe_count exceeds total");
+    (0..total)
+        .map(|i| {
+            Workload::new(
+                if i < dhe_count {
+                    Technique::Dhe
+                } else {
+                    Technique::LinearScan
+                },
+                rows,
+                dim,
+                batch,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_completes_iterations() {
+        let w = Workload::new(Technique::LinearScan, 256, 16, 4);
+        let r = run_colocated(&[w], Duration::from_millis(50));
+        assert_eq!(r.iterations.len(), 1);
+        assert!(r.iterations[0] > 0);
+        assert!(r.mean_latency_ns[0] > 0.0);
+        assert!(r.throughput_per_sec(4) > 0.0);
+    }
+
+    #[test]
+    fn colocation_increases_latency() {
+        let mk = |n: usize| vec![Workload::new(Technique::LinearScan, 4096, 64, 8); n];
+        let solo = run_colocated(&mk(1), Duration::from_millis(120));
+        let crowded = run_colocated(&mk(8), Duration::from_millis(120));
+        // Contention cannot make the mean faster by a large margin; in
+        // practice it is slower, but allow CI noise with a loose bound.
+        assert!(
+            crowded.overall_mean_ns() > solo.overall_mean_ns() * 0.8,
+            "crowded {} vs solo {}",
+            crowded.overall_mean_ns(),
+            solo.overall_mean_ns()
+        );
+    }
+
+    #[test]
+    fn split_builds_requested_mix() {
+        let ws = split_workloads(6, 2, 100, 8, 4);
+        let dhe = ws.iter().filter(|w| w.technique == Technique::Dhe).count();
+        assert_eq!(dhe, 2);
+        assert_eq!(ws.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dhe_count exceeds total")]
+    fn split_rejects_bad_counts() {
+        split_workloads(2, 3, 10, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan/DHE only")]
+    fn rejects_oram_workload() {
+        let w = Workload::new(Technique::PathOram, 16, 4, 1);
+        run_colocated(&[w], Duration::from_millis(1));
+    }
+}

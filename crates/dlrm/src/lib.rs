@@ -1,0 +1,31 @@
+//! A Deep Learning Recommendation Model (DLRM) with pluggable secure
+//! embedding generation.
+//!
+//! The architecture follows Naumov et al. (Fig. 1a of the paper): a bottom
+//! MLP for dense features, one embedding per sparse feature, an all-pairs
+//! dot-product [`DotInteraction`] of the resulting vectors, and a top MLP
+//! producing a click-through logit.
+//!
+//! Two layers of functionality live here:
+//!
+//! - [`Dlrm`] — the *trainable* model. Sparse features can be embedding
+//!   tables or DHE stacks ([`SparseLayer`]); everything trains end-to-end
+//!   with BCE, which is how the Table V accuracy-parity experiment runs.
+//! - [`SecureDlrm`] — the *serving* model: frozen MLP weights with
+//!   branchless ReLU, plus one [`secemb::EmbeddingGenerator`] per sparse
+//!   feature chosen per Algorithm 3 (linear scan, ORAM, DHE, or the
+//!   non-secure lookup baseline). [`colocate`] adds the multi-model
+//!   contention harness behind Figs. 8, 9 and 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colocate;
+pub mod metrics;
+mod interaction;
+mod model;
+mod secure;
+
+pub use interaction::DotInteraction;
+pub use model::{Dlrm, EmbeddingKind, SparseLayer};
+pub use secure::{FeatureGenerator, SecureDlrm};

@@ -1,0 +1,116 @@
+//! Evaluation metrics for CTR models.
+//!
+//! The paper reports accuracy (Table V); production CTR work standardizes
+//! on ROC-AUC, which is threshold-free — provided here for both [`crate::Dlrm`]
+//! and [`crate::SecureDlrm`] evaluation.
+
+/// Area under the ROC curve from `(score, label)` pairs, computed by the
+/// rank statistic (equivalent to the Mann–Whitney U estimator). Tied
+/// scores receive the average rank, so constant predictors score exactly
+/// 0.5.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+///
+/// ```
+/// use secemb_dlrm::metrics::roc_auc;
+/// // Perfect separation.
+/// assert_eq!(roc_auc(&[(0.9, 1.0), (0.8, 1.0), (0.2, 0.0)]), 1.0);
+/// // Perfectly inverted.
+/// assert_eq!(roc_auc(&[(0.1, 1.0), (0.9, 0.0)]), 0.0);
+/// ```
+pub fn roc_auc(scored: &[(f32, f32)]) -> f64 {
+    let positives = scored.iter().filter(|&&(_, l)| l > 0.5).count();
+    let negatives = scored.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Average ranks with tie handling.
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| scored[a].0.partial_cmp(&scored[b].0).unwrap());
+    let mut ranks = vec![0.0f64; scored.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scored[order[j + 1]].0 == scored[order[i]].0 {
+            j += 1;
+        }
+        // Positions i..=j share the same score: average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    let pos_rank_sum: f64 = scored
+        .iter()
+        .zip(ranks.iter())
+        .filter(|((_, l), _)| *l > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = pos_rank_sum - (positives as f64 * (positives as f64 + 1.0)) / 2.0;
+    u / (positives as f64 * negatives as f64)
+}
+
+/// Log loss (mean binary cross-entropy) from `(probability, label)` pairs,
+/// clamped away from 0/1 for numerical safety.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn log_loss(scored: &[(f32, f32)]) -> f64 {
+    assert!(!scored.is_empty(), "log_loss: empty input");
+    let eps = 1e-7f64;
+    scored
+        .iter()
+        .map(|&(p, l)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            if l > 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / scored.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_extremes_and_chance() {
+        assert_eq!(roc_auc(&[(0.9, 1.0), (0.1, 0.0)]), 1.0);
+        assert_eq!(roc_auc(&[(0.1, 1.0), (0.9, 0.0)]), 0.0);
+        // Constant predictor: all ties -> 0.5.
+        let flat = [(0.5f32, 1.0f32), (0.5, 0.0), (0.5, 1.0), (0.5, 0.0)];
+        assert_eq!(roc_auc(&flat), 0.5);
+        // Single class -> 0.5 by convention.
+        assert_eq!(roc_auc(&[(0.7, 1.0), (0.3, 1.0)]), 0.5);
+        assert_eq!(roc_auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn auc_partial_ranking() {
+        // 2 of 4 positive; one inversion.
+        let s = [(0.9f32, 1.0f32), (0.7, 0.0), (0.6, 1.0), (0.2, 0.0)];
+        // Pairs: (0.9,0.7)+ (0.9,0.2)+ (0.6,0.7)- (0.6,0.2)+ => 3/4.
+        assert!((roc_auc(&s) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        let confident_right = [(0.99f32, 1.0f32), (0.01, 0.0)];
+        let confident_wrong = [(0.01f32, 1.0f32), (0.99, 0.0)];
+        assert!(log_loss(&confident_right) < 0.05);
+        assert!(log_loss(&confident_wrong) > 4.0);
+        let half = [(0.5f32, 1.0f32)];
+        assert!((log_loss(&half) - (2.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn log_loss_rejects_empty() {
+        log_loss(&[]);
+    }
+}

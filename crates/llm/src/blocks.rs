@@ -1,0 +1,194 @@
+//! Transformer blocks: pre-norm attention + GeLU feed-forward.
+
+use rand::Rng;
+use secemb_nn::{CausalSelfAttention, Gelu, LayerNorm, Linear, Module, Param};
+use secemb_tensor::{ops, Matrix};
+
+/// GPT-2's position-wise feed-forward: `Linear(d→4d) → GeLU → Linear(4d→d)`.
+#[derive(Debug)]
+pub struct FeedForward {
+    up: Linear,
+    gelu: Gelu,
+    down: Linear,
+}
+
+impl FeedForward {
+    /// Creates the feed-forward for model width `dim`.
+    pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
+        FeedForward {
+            up: Linear::new(dim, 4 * dim, rng),
+            gelu: Gelu::new(),
+            down: Linear::new(4 * dim, dim, rng),
+        }
+    }
+
+    /// Cache-free serving path.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        self.down.apply(&ops::gelu(&self.up.apply(x)))
+    }
+}
+
+impl Module for FeedForward {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let h = self.up.forward(input);
+        let h = self.gelu.forward(&h);
+        self.down.forward(&h)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let g = self.down.backward(grad_output);
+        let g = self.gelu.backward(&g);
+        self.up.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.up.visit_params(f);
+        self.down.visit_params(f);
+    }
+}
+
+/// One pre-norm transformer block:
+/// `x + attn(ln1(x))` then `x + ff(ln2(x))`.
+#[derive(Debug)]
+pub struct Block {
+    ln1: LayerNorm,
+    attn: CausalSelfAttention,
+    ln2: LayerNorm,
+    ff: FeedForward,
+}
+
+impl Block {
+    /// Creates a block for width `dim` with `heads` attention heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        Block {
+            ln1: LayerNorm::new(dim),
+            attn: CausalSelfAttention::new(dim, heads, rng),
+            ln2: LayerNorm::new(dim),
+            ff: FeedForward::new(dim, rng),
+        }
+    }
+
+    /// The attention sub-layer (serving needs its projections).
+    pub fn attention(&self) -> &CausalSelfAttention {
+        &self.attn
+    }
+
+    /// First layer norm (before attention).
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// Second layer norm (before the feed-forward).
+    pub fn ln2(&self) -> &LayerNorm {
+        &self.ln2
+    }
+
+    /// The feed-forward sub-layer.
+    pub fn feed_forward(&self) -> &FeedForward {
+        &self.ff
+    }
+}
+
+impl Module for Block {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let a = self.attn.forward(&self.ln1.forward(input));
+        let x = input.add(&a);
+        let f = self.ff.forward(&self.ln2.forward(&x));
+        x.add(&f)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        // x2 = x1 + ff(ln2(x1)): dx1 = g + ln2_back(ff_back(g))
+        let g_ff = self.ff.backward(grad_output);
+        let g_ln2 = self.ln2.backward(&g_ff);
+        let dx1 = grad_output.add(&g_ln2);
+        // x1 = x0 + attn(ln1(x0))
+        let g_attn = self.attn.backward(&dx1);
+        let g_ln1 = self.ln1.backward(&g_attn);
+        dx1.add(&g_ln1)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params(f);
+        self.attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.ff.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = Block::new(8, 2, &mut rng);
+        let x = Matrix::from_fn(5, 8, |r, c| ((r * 8 + c) as f32 * 0.3).sin() * 0.2);
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), (5, 8));
+        let dx = b.backward(&Matrix::full(5, 8, 1.0));
+        assert_eq!(dx.shape(), (5, 8));
+    }
+
+    #[test]
+    fn block_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Block::new(4, 1, &mut rng);
+        let x = Matrix::from_fn(3, 4, |r, c| ((r + 2 * c) as f32 * 0.21).cos() * 0.3);
+        b.forward(&x);
+        let dx = b.backward(&Matrix::full(3, 4, 1.0));
+        let h = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= h;
+            let fd = ((b.forward(&xp).sum() - b.forward(&xm).sum()) / (2.0 * h as f64)) as f32;
+            let a = dx.as_slice()[i];
+            // Relative tolerance: f32 finite differences lose precision
+            // when the residual stream amplifies the objective.
+            assert!(
+                (a - fd).abs() < 5e-2 + 0.02 * a.abs().max(fd.abs()),
+                "dx[{i}] {a} vs {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedforward_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ff = FeedForward::new(4, &mut rng);
+        let x = Matrix::from_fn(2, 4, |r, c| (r as f32 - c as f32) * 0.2);
+        ff.forward(&x);
+        let dx = ff.backward(&Matrix::full(2, 4, 1.0));
+        let h = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= h;
+            let fd = ((ff.apply(&xp).sum() - ff.apply(&xm).sum()) / (2.0 * h as f64)) as f32;
+            assert!(
+                (dx.as_slice()[i] - fd).abs() < 2e-2,
+                "dx[{i}] {} vs {fd}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn apply_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ff = FeedForward::new(6, &mut rng);
+        let x = Matrix::from_fn(4, 6, |r, c| (r + c) as f32 * 0.1);
+        let trained = ff.forward(&x);
+        assert!(trained.allclose(&ff.apply(&x), 1e-6));
+    }
+}

@@ -1,0 +1,124 @@
+//! Activation layers.
+
+use crate::Module;
+use secemb_tensor::{ops, Matrix};
+
+/// ReLU layer.
+///
+/// The forward map here is the mathematical one; the *secure* element-wise
+/// kernel (`secemb_obliv::ct_relu`) is bit-identical, which the integration
+/// tests assert. Training uses this layer; secure inference swaps in the
+/// branchless kernel.
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    pre: Option<Matrix>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.pre = Some(input.clone());
+        ops::relu(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let pre = self.pre.as_ref().expect("Relu::backward before forward");
+        grad_output.hadamard(&ops::relu_grad_mask(pre))
+    }
+}
+
+/// GeLU layer (tanh approximation, as in GPT-2).
+#[derive(Clone, Debug, Default)]
+pub struct Gelu {
+    pre: Option<Matrix>,
+}
+
+impl Gelu {
+    /// Creates a GeLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Gelu {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.pre = Some(input.clone());
+        ops::gelu(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let pre = self.pre.as_ref().expect("Gelu::backward before forward");
+        grad_output.hadamard(&ops::gelu_grad(pre))
+    }
+}
+
+/// Logistic sigmoid layer.
+#[derive(Clone, Debug, Default)]
+pub struct Sigmoid {
+    out: Option<Matrix>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Sigmoid {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let out = ops::sigmoid(input);
+        self.out = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let y = self.out.as_ref().expect("Sigmoid::backward before forward");
+        grad_output.zip_map(y, |g, s| g * s * (1.0 - s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut dyn Module, fresh: impl Fn(&Matrix) -> Matrix) {
+        let x = Matrix::from_vec(1, 5, vec![-2.0, -0.5, 0.1, 0.9, 2.5]);
+        layer.forward(&x);
+        let dx = layer.backward(&Matrix::full(1, 5, 1.0));
+        let h = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= h;
+            let fd = ((fresh(&xp).sum() - fresh(&xm).sum()) / (2.0 * h as f64)) as f32;
+            assert!(
+                (dx.as_slice()[i] - fd).abs() < 5e-2,
+                "i={i}: {} vs {fd}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_grad() {
+        finite_diff_check(&mut Relu::new(), |x| ops::relu(x));
+    }
+
+    #[test]
+    fn gelu_grad() {
+        finite_diff_check(&mut Gelu::new(), |x| ops::gelu(x));
+    }
+
+    #[test]
+    fn sigmoid_grad() {
+        finite_diff_check(&mut Sigmoid::new(), |x| ops::sigmoid(x));
+    }
+}

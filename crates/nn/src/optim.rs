@@ -1,0 +1,170 @@
+//! Optimizers.
+
+use crate::{Module, Param};
+
+/// An optimization algorithm that updates a module's parameters in place
+/// from their accumulated gradients.
+pub trait Optimizer {
+    /// Applies one update step to every parameter of `module`.
+    fn step(&mut self, module: &mut dyn Module);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0 }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, module: &mut dyn Module) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        module.visit_params(&mut |p: &mut Param| {
+            if mu == 0.0 {
+                for (w, &g) in p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
+                    *w -= lr * g;
+                }
+            } else {
+                for ((w, &g), m) in p
+                    .value
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(p.grad.as_slice())
+                    .zip(p.m.as_mut_slice().iter_mut())
+                {
+                    *m = mu * *m + g;
+                    *w -= lr * *m;
+                }
+            }
+        });
+    }
+}
+
+/// Adam with bias correction (the optimizer used for both the DLRM and LLM
+/// training runs in the paper's artifact).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, module: &mut dyn Module) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        module.visit_params(&mut |p: &mut Param| {
+            let grads = p.grad.as_slice().to_vec();
+            for (((w, g), m), v) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grads.iter())
+                .zip(p.m.as_mut_slice().iter_mut())
+                .zip(p.v.as_mut_slice().iter_mut())
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mse_loss, Linear, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secemb_tensor::Matrix;
+
+    fn fit(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Linear::new(1, 1, &mut rng);
+        // Learn y = 3x + 1.
+        let x = Matrix::from_vec(8, 1, (0..8).map(|i| i as f32 * 0.25).collect());
+        let y = x.map(|v| 3.0 * v + 1.0);
+        let mut last = f64::MAX;
+        for _ in 0..steps {
+            let pred = net.forward(&x);
+            let (loss, grad) = mse_loss(&pred, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges() {
+        assert!(fit(&mut Sgd::new(0.1), 300) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(fit(&mut Sgd::with_momentum(0.05, 0.9), 300) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges() {
+        assert!(fit(&mut Adam::new(0.05), 400) < 1e-3);
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step with grad g, update ≈ lr * sign(g).
+        let mut l = Linear::from_parts(Matrix::zeros(1, 1), Matrix::zeros(1, 1));
+        let x = Matrix::from_vec(1, 1, vec![1.0]);
+        let y = Matrix::from_vec(1, 1, vec![10.0]);
+        let pred = l.forward(&x);
+        let (_, grad) = mse_loss(&pred, &y);
+        l.backward(&grad);
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut l);
+        // grad is negative (pred < target), so weight should increase by ~lr.
+        let w = l.weight().value.get(0, 0);
+        assert!((w - 0.01).abs() < 1e-4, "w = {w}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Trainable parameters with inline gradient and Adam state.
+
+use secemb_tensor::Matrix;
+
+/// A trainable tensor: value, accumulated gradient, and optimizer moments.
+///
+/// Adam's first/second-moment buffers live inside the parameter so that
+/// optimizers can stay stateless and parameter traversal order never needs
+/// to be stable across steps.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    pub(crate) m: Matrix,
+    pub(crate) v: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Accumulates `delta` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&mut self, delta: &Matrix) {
+        assert_eq!(self.grad.shape(), delta.shape(), "accumulate_grad shape");
+        for (g, &d) in self
+            .grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(delta.as_slice().iter())
+        {
+            *g += d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::full(2, 2, 1.0));
+        p.accumulate_grad(&Matrix::full(2, 2, 3.0));
+        p.accumulate_grad(&Matrix::full(2, 2, 2.0));
+        assert_eq!(p.grad.as_slice(), &[5.0; 4]);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulate_grad shape")]
+    fn shape_mismatch_panics() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.accumulate_grad(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,137 @@
+//! The [`Choice`] type: a secret boolean carried as a full-width mask.
+
+use core::hint::black_box;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A secret boolean represented as an all-zeros (`false`) or all-ones
+/// (`true`) 64-bit mask.
+///
+/// `Choice` is the unit of predication in this crate: instead of branching on
+/// a secret condition, callers construct a `Choice` with one of the
+/// constant-time predicates in [`crate::cmp`] and apply it with the selectors
+/// in [`crate::select`]. This mirrors how ZeroTrace funnels every secret
+/// condition through its `cmov` assembly helper.
+///
+/// The boolean combinators (`&`, `|`, `^`, `!`) are plain bitwise operations
+/// on the masks, so combining choices is itself constant time.
+///
+/// ```
+/// use secemb_obliv::Choice;
+/// let a = Choice::from_bool(true);
+/// let b = Choice::from_bool(false);
+/// assert!((a & !b).to_bool());
+/// assert!(!(a & b).to_bool());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice(u64);
+
+impl Choice {
+    /// The `false` choice (all-zeros mask).
+    pub const FALSE: Choice = Choice(0);
+    /// The `true` choice (all-ones mask).
+    pub const TRUE: Choice = Choice(u64::MAX);
+
+    /// Converts a (public or already-leaked) `bool` into a mask.
+    ///
+    /// The conversion `b as u64` followed by a wrapping negation is
+    /// branchless; `black_box` stops the optimizer from collapsing later
+    /// selects back into conditional jumps.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        Choice(black_box((b as u64).wrapping_neg()))
+    }
+
+    /// Builds a `Choice` from the low bit of `w` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; bits above the lowest are ignored.
+    #[inline]
+    pub fn from_lsb(w: u64) -> Self {
+        Choice(black_box((w & 1).wrapping_neg()))
+    }
+
+    /// Returns the underlying mask: `0` or `u64::MAX`.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Collapses the choice back into a `bool`.
+    ///
+    /// Declassifies the value: only call this once the condition is no longer
+    /// secret (e.g. in tests, or on public control decisions).
+    #[inline]
+    pub fn to_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl Not for Choice {
+    type Output = Choice;
+    #[inline]
+    fn not(self) -> Choice {
+        Choice(!self.0)
+    }
+}
+
+impl BitAnd for Choice {
+    type Output = Choice;
+    #[inline]
+    fn bitand(self, rhs: Choice) -> Choice {
+        Choice(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Choice {
+    type Output = Choice;
+    #[inline]
+    fn bitor(self, rhs: Choice) -> Choice {
+        Choice(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Choice {
+    type Output = Choice;
+    #[inline]
+    fn bitxor(self, rhs: Choice) -> Choice {
+        Choice(self.0 ^ rhs.0)
+    }
+}
+
+impl From<bool> for Choice {
+    fn from(b: bool) -> Self {
+        Choice::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bool() {
+        assert!(Choice::from_bool(true).to_bool());
+        assert!(!Choice::from_bool(false).to_bool());
+        assert_eq!(Choice::from_bool(true).mask(), u64::MAX);
+        assert_eq!(Choice::from_bool(false).mask(), 0);
+    }
+
+    #[test]
+    fn from_lsb_ignores_high_bits() {
+        assert!(Choice::from_lsb(1).to_bool());
+        assert!(Choice::from_lsb(0xff01).to_bool());
+        assert!(!Choice::from_lsb(0xff00).to_bool());
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let t = Choice::TRUE;
+        let f = Choice::FALSE;
+        assert_eq!(t & f, f);
+        assert_eq!(t | f, t);
+        assert_eq!(t ^ t, f);
+        assert_eq!(!f, t);
+        assert_eq!(Choice::from(true), t);
+    }
+}

@@ -1,0 +1,142 @@
+//! Constant-time comparison predicates producing [`Choice`] masks.
+//!
+//! Each predicate is a short, branch-free bit-manipulation sequence. These
+//! are the building blocks that let the ORAM stash and the linear-scan
+//! generator test "is this the block/row I want?" without revealing which
+//! iteration matched.
+
+use crate::Choice;
+
+/// Constant-time equality of two `u64` values.
+///
+/// ```
+/// use secemb_obliv::cmp;
+/// assert!(cmp::eq_u64(42, 42).to_bool());
+/// assert!(!cmp::eq_u64(42, 43).to_bool());
+/// ```
+#[inline]
+pub fn eq_u64(a: u64, b: u64) -> Choice {
+    let x = a ^ b;
+    // x == 0  <=>  (x | x.wrapping_neg()) has its top bit clear.
+    let nonzero = (x | x.wrapping_neg()) >> 63;
+    Choice::from_lsb(nonzero ^ 1)
+}
+
+/// Constant-time inequality of two `u64` values.
+#[inline]
+pub fn ne_u64(a: u64, b: u64) -> Choice {
+    !eq_u64(a, b)
+}
+
+/// Constant-time unsigned less-than: `a < b`.
+///
+/// ```
+/// use secemb_obliv::cmp;
+/// assert!(cmp::lt_u64(3, 5).to_bool());
+/// assert!(!cmp::lt_u64(5, 5).to_bool());
+/// assert!(!cmp::lt_u64(9, 5).to_bool());
+/// ```
+#[inline]
+pub fn lt_u64(a: u64, b: u64) -> Choice {
+    // Standard borrow-bit trick, constant time for all inputs.
+    let borrow = (((!a) & b) | (((!a) | b) & (a.wrapping_sub(b)))) >> 63;
+    Choice::from_lsb(borrow)
+}
+
+/// Constant-time unsigned less-than-or-equal: `a <= b`.
+#[inline]
+pub fn le_u64(a: u64, b: u64) -> Choice {
+    !lt_u64(b, a)
+}
+
+/// Constant-time unsigned greater-than: `a > b`.
+#[inline]
+pub fn gt_u64(a: u64, b: u64) -> Choice {
+    lt_u64(b, a)
+}
+
+/// Constant-time unsigned greater-than-or-equal: `a >= b`.
+#[inline]
+pub fn ge_u64(a: u64, b: u64) -> Choice {
+    !lt_u64(a, b)
+}
+
+/// Constant-time "strictly greater" on non-NaN `f32` values.
+///
+/// Uses the standard monotonic integer mapping of IEEE-754 floats: flipping
+/// the sign bit for non-negative values and all bits for negative values
+/// produces integers whose unsigned order matches the float order.
+///
+/// NaN inputs give an unspecified (but still constant-time) result; the
+/// model code never compares NaNs.
+///
+/// ```
+/// use secemb_obliv::cmp;
+/// assert!(cmp::gt_f32(1.5, -2.0).to_bool());
+/// assert!(!cmp::gt_f32(-3.0, -2.0).to_bool());
+/// ```
+#[inline]
+pub fn gt_f32(a: f32, b: f32) -> Choice {
+    gt_u64(monotone_bits(a) as u64, monotone_bits(b) as u64)
+}
+
+/// Constant-time "strictly less" on non-NaN `f32` values.
+#[inline]
+pub fn lt_f32(a: f32, b: f32) -> Choice {
+    gt_f32(b, a)
+}
+
+/// Maps an `f32` to a `u32` whose unsigned order matches the float total
+/// order on non-NaN values (-0.0 orders just below +0.0).
+#[inline]
+pub fn monotone_bits(x: f32) -> u32 {
+    // `-0.0 + 0.0` is `+0.0` under round-to-nearest, so both zeros map to
+    // the same integer (branchlessly).
+    let b = (x + 0.0).to_bits();
+    let sign = ((b as i32) >> 31) as u32; // all-ones if negative
+    // Negative: flip every bit. Non-negative: flip only the sign bit.
+    b ^ (sign | 0x8000_0000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_and_ne() {
+        for &(a, b) in &[(0u64, 0u64), (1, 0), (u64::MAX, u64::MAX), (7, 8)] {
+            assert_eq!(eq_u64(a, b).to_bool(), a == b);
+            assert_eq!(ne_u64(a, b).to_bool(), a != b);
+        }
+    }
+
+    #[test]
+    fn unsigned_orderings() {
+        let cases = [
+            (0u64, 0u64),
+            (0, 1),
+            (1, 0),
+            (u64::MAX, 0),
+            (0, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (1 << 63, (1 << 63) - 1),
+        ];
+        for &(a, b) in &cases {
+            assert_eq!(lt_u64(a, b).to_bool(), a < b, "lt {a} {b}");
+            assert_eq!(le_u64(a, b).to_bool(), a <= b, "le {a} {b}");
+            assert_eq!(gt_u64(a, b).to_bool(), a > b, "gt {a} {b}");
+            assert_eq!(ge_u64(a, b).to_bool(), a >= b, "ge {a} {b}");
+        }
+    }
+
+    #[test]
+    fn float_ordering() {
+        let xs = [-1e30f32, -2.0, -0.5, -0.0, 0.0, 0.5, 2.0, 1e30];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(gt_f32(a, b).to_bool(), a > b, "gt {a} {b}");
+                assert_eq!(lt_f32(a, b).to_bool(), a < b, "lt {a} {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Oblivious whole-table scans: copy-out, max, and argmax.
+//!
+//! These routines visit *every* element of their input exactly once, in
+//! index order, so the memory access sequence is a public function of the
+//! (public) input shape alone. They implement:
+//!
+//! - the paper's **linear scan** embedding generation (§IV-A1, §V-A2), and
+//! - the **oblivious argmax** used for greedy LLM decoding (§V-C).
+
+use crate::{cmp, select};
+
+/// Obliviously copies row `secret_index` of a row-major `table` into `out`.
+///
+/// Every row of the table is read; the matching row is blended into `out`
+/// with a mask, exactly like the AVX-512 `blend` implementation in the
+/// paper. Rows are `dim` consecutive `f32`s.
+///
+/// # Panics
+///
+/// Panics if `table.len()` is not a multiple of `dim`, if `out.len() != dim`,
+/// or if `secret_index` is out of range (the range bound `n` is public;
+/// a caller-side bug, not a secret leak).
+///
+/// ```
+/// use secemb_obliv::scan;
+/// let table = [1.0f32, 2.0, /* row 1 */ 3.0, 4.0, /* row 2 */ 5.0, 6.0];
+/// let mut out = [0.0f32; 2];
+/// scan::scan_copy_row(&table, 2, 2, &mut out);
+/// assert_eq!(out, [5.0, 6.0]);
+/// ```
+pub fn scan_copy_row(table: &[f32], dim: usize, secret_index: u64, out: &mut [f32]) {
+    assert!(dim > 0, "scan_copy_row: dim must be positive");
+    assert_eq!(table.len() % dim, 0, "scan_copy_row: table not a multiple of dim");
+    assert_eq!(out.len(), dim, "scan_copy_row: out length != dim");
+    let n = (table.len() / dim) as u64;
+    assert!(secret_index < n, "scan_copy_row: index out of range");
+    for (row, chunk) in table.chunks_exact(dim).enumerate() {
+        let hit = cmp::eq_u64(row as u64, secret_index);
+        select::assign_slice_f32(hit, out, chunk);
+    }
+}
+
+/// Obliviously copies one row for each index in a batch.
+///
+/// The scan order is batch-major: for each index, the whole table is
+/// scanned (matching the paper's implementation, which scans the table per
+/// input in a batch and benefits from cache reuse across the batch).
+///
+/// # Panics
+///
+/// Same conditions as [`scan_copy_row`], with `out.len() == indices.len() * dim`.
+pub fn scan_copy_rows(table: &[f32], dim: usize, indices: &[u64], out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        indices.len() * dim,
+        "scan_copy_rows: out length != batch * dim"
+    );
+    for (idx, out_row) in indices.iter().zip(out.chunks_exact_mut(dim)) {
+        scan_copy_row(table, dim, *idx, out_row);
+    }
+}
+
+/// Oblivious maximum of a non-empty `f32` slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn max_f32(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "max_f32: empty slice");
+    let mut best = xs[0];
+    for &x in &xs[1..] {
+        let take = cmp::gt_f32(x, best);
+        best = select::f32(take, x, best);
+    }
+    best
+}
+
+/// Oblivious argmax of a non-empty `f32` slice.
+///
+/// Returns the index of the *first* maximal element, computed with a single
+/// pass of constant-time compares and selects — the "linear scan that copies
+/// the maximum value obliviously using cmov" the paper uses to protect
+/// greedy sampling over LLM output logits.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+///
+/// ```
+/// use secemb_obliv::scan;
+/// assert_eq!(scan::argmax_f32(&[0.1, 0.9, 0.4, 0.9]), 1);
+/// ```
+pub fn argmax_f32(xs: &[f32]) -> u64 {
+    assert!(!xs.is_empty(), "argmax_f32: empty slice");
+    let mut best = xs[0];
+    let mut best_idx = 0u64;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        let take = cmp::gt_f32(x, best);
+        best = select::f32(take, x, best);
+        best_idx = select::u64(take, i as u64, best_idx);
+    }
+    best_idx
+}
+
+/// Oblivious top-`k`: indices of the `k` largest elements, in descending
+/// value order, computed as `k` oblivious argmax passes with constant-time
+/// masking of already-selected positions.
+///
+/// `O(k·n)` compares/selects, all data-independent — the building block
+/// for protected top-k sampling over LLM logits (the paper secures greedy
+/// argmax; this extends the same construction to sampled decoding).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `k == 0` or `k > xs.len()`.
+///
+/// ```
+/// use secemb_obliv::scan;
+/// assert_eq!(scan::top_k_f32(&[0.1, 0.9, 0.4, 0.7], 2), vec![1, 3]);
+/// ```
+pub fn top_k_f32(xs: &[f32], k: usize) -> Vec<u64> {
+    assert!(!xs.is_empty(), "top_k_f32: empty slice");
+    assert!(k > 0 && k <= xs.len(), "top_k_f32: k out of range");
+    let mut masked: Vec<f32> = xs.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let idx = argmax_f32(&masked);
+        out.push(idx);
+        // Constant-time knockout of the winner: every element is rewritten,
+        // the winner to -inf, the rest to themselves.
+        for (i, m) in masked.iter_mut().enumerate() {
+            let hit = cmp::eq_u64(i as u64, idx);
+            *m = select::f32(hit, f32::NEG_INFINITY, *m);
+        }
+    }
+    out
+}
+
+/// Oblivious inner product of a one-hot(`secret_index`) vector with a table.
+///
+/// Mathematically identical to [`scan_copy_row`] but expressed as the
+/// multiply-accumulate form used by MPC/HE baselines: `out += onehot[i] *
+/// row_i` for every row. Provided for cross-checking and the ablation bench.
+///
+/// # Panics
+///
+/// Same conditions as [`scan_copy_row`].
+pub fn onehot_matmul_row(table: &[f32], dim: usize, secret_index: u64, out: &mut [f32]) {
+    assert!(dim > 0, "onehot_matmul_row: dim must be positive");
+    assert_eq!(table.len() % dim, 0, "onehot_matmul_row: table not a multiple of dim");
+    assert_eq!(out.len(), dim, "onehot_matmul_row: out length != dim");
+    let n = (table.len() / dim) as u64;
+    assert!(secret_index < n, "onehot_matmul_row: index out of range");
+    out.fill(0.0);
+    for (row, chunk) in table.chunks_exact(dim).enumerate() {
+        let hit = cmp::eq_u64(row as u64, secret_index);
+        // one-hot coefficient as a float obtained branchlessly
+        let coeff = select::f32(hit, 1.0, 0.0);
+        for (o, &v) in out.iter_mut().zip(chunk.iter()) {
+            *o += coeff * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize, dim: usize) -> Vec<f32> {
+        (0..n * dim).map(|i| i as f32 * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn copy_row_matches_direct_index() {
+        let (n, dim) = (17, 5);
+        let t = table(n, dim);
+        for idx in 0..n {
+            let mut out = vec![0.0f32; dim];
+            scan_copy_row(&t, dim, idx as u64, &mut out);
+            assert_eq!(&out[..], &t[idx * dim..(idx + 1) * dim]);
+        }
+    }
+
+    #[test]
+    fn copy_rows_batch() {
+        let (n, dim) = (9, 3);
+        let t = table(n, dim);
+        let indices = [8u64, 0, 4, 4];
+        let mut out = vec![0.0f32; indices.len() * dim];
+        scan_copy_rows(&t, dim, &indices, &mut out);
+        for (b, &idx) in indices.iter().enumerate() {
+            assert_eq!(
+                &out[b * dim..(b + 1) * dim],
+                &t[idx as usize * dim..(idx as usize + 1) * dim]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn copy_row_rejects_oob() {
+        let t = table(4, 2);
+        let mut out = vec![0.0f32; 2];
+        scan_copy_row(&t, 2, 4, &mut out);
+    }
+
+    #[test]
+    fn max_and_argmax() {
+        let xs = [0.5f32, -1.0, 3.25, 3.0, -7.5];
+        assert_eq!(max_f32(&xs), 3.25);
+        assert_eq!(argmax_f32(&xs), 2);
+    }
+
+    #[test]
+    fn argmax_first_of_ties() {
+        assert_eq!(argmax_f32(&[1.0, 2.0, 2.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn argmax_single() {
+        assert_eq!(argmax_f32(&[42.0]), 0);
+        assert_eq!(max_f32(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn top_k_descending_and_distinct() {
+        let xs = [0.5f32, -1.0, 3.25, 3.0, -7.5, 3.25];
+        let top = top_k_f32(&xs, 4);
+        assert_eq!(top, vec![2, 5, 3, 0]);
+        // k = n returns a permutation.
+        let all = top_k_f32(&xs, 6);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn top_1_is_argmax() {
+        let xs = [1.0f32, 9.0, 2.0];
+        assert_eq!(top_k_f32(&xs, 1), vec![argmax_f32(&xs)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn top_k_rejects_oversized_k() {
+        top_k_f32(&[1.0], 2);
+    }
+
+    #[test]
+    fn onehot_matches_scan() {
+        let (n, dim) = (11, 4);
+        let t = table(n, dim);
+        for idx in [0u64, 5, 10] {
+            let mut a = vec![0.0f32; dim];
+            let mut b = vec![1.0f32; dim]; // pre-filled: must be overwritten
+            scan_copy_row(&t, dim, idx, &mut b);
+            onehot_matmul_row(&t, dim, idx, &mut a);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Oblivious (data-independent) sorting networks.
+//!
+//! Circuit ORAM's eviction pass prepares per-level metadata and then
+//! performs a fixed sequence of conditional moves. A bitonic sorting
+//! network gives the same guarantee for full sorts: the sequence of
+//! compare-exchange pairs depends only on the (public) length, never on the
+//! values. We use it for deterministic, trace-stable ordering of stash
+//! metadata and expose it as a general primitive.
+
+use crate::{cmp, ct_swap_u64, Choice};
+
+/// Sorts `keys` ascending with a bitonic network, applying every
+/// compare-exchange to `values` as well (a key/value oblivious sort).
+///
+/// The input is physically padded to the next power of two with sentinel
+/// entries that compare greater than every real entry (even real entries
+/// whose key is `u64::MAX`, via a lexicographic tie-break on a dummy flag),
+/// then the classic bitonic network runs. The pad amount depends only on the
+/// (public) slice length.
+///
+/// # Panics
+///
+/// Panics if `keys.len() != values.len()`.
+///
+/// ```
+/// use secemb_obliv::sort;
+/// let mut keys = vec![3u64, 1, 2];
+/// let mut vals = vec![30u64, 10, 20];
+/// sort::bitonic_by_key(&mut keys, &mut vals);
+/// assert_eq!(keys, vec![1, 2, 3]);
+/// assert_eq!(vals, vec![10, 20, 30]);
+/// ```
+pub fn bitonic_by_key(keys: &mut [u64], values: &mut [u64]) {
+    assert_eq!(keys.len(), values.len(), "bitonic_by_key: length mismatch");
+    let n = keys.len();
+    if n < 2 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    let mut k_buf: Vec<u64> = Vec::with_capacity(padded);
+    let mut v_buf: Vec<u64> = Vec::with_capacity(padded);
+    let mut dummy: Vec<u64> = Vec::with_capacity(padded);
+    k_buf.extend_from_slice(keys);
+    v_buf.extend_from_slice(values);
+    dummy.resize(n, 0);
+    k_buf.resize(padded, u64::MAX);
+    v_buf.resize(padded, 0);
+    dummy.resize(padded, 1);
+
+    // k: size of sub-sequences being merged; j: compare-exchange distance.
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded {
+                let l = i ^ j;
+                if l > i {
+                    // Indices derive from loop counters only: public.
+                    let gt = lex_gt(k_buf[i], dummy[i], k_buf[l], dummy[l]);
+                    let ascending = i & k == 0;
+                    let out_of_order = if ascending { gt } else { !gt };
+                    exchange(&mut k_buf, &mut v_buf, i, l, out_of_order);
+                    let (da, db) = split_two(&mut dummy, i, l);
+                    ct_swap_u64(out_of_order, da, db);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    keys.copy_from_slice(&k_buf[..n]);
+    values.copy_from_slice(&v_buf[..n]);
+}
+
+/// Lexicographic `(key, dummy) > (key, dummy)` in constant time.
+fn lex_gt(ka: u64, da: u64, kb: u64, db: u64) -> Choice {
+    cmp::gt_u64(ka, kb) | (cmp::eq_u64(ka, kb) & cmp::gt_u64(da, db))
+}
+
+/// Sorts `keys` ascending (no satellite values).
+pub fn bitonic(keys: &mut [u64]) {
+    let mut dummy: Vec<u64> = vec![0; keys.len()];
+    bitonic_by_key(keys, &mut dummy);
+}
+
+fn exchange(keys: &mut [u64], values: &mut [u64], i: usize, l: usize, cond: Choice) {
+    let (ka, kb) = split_two(keys, i, l);
+    ct_swap_u64(cond, ka, kb);
+    let (va, vb) = split_two(values, i, l);
+    ct_swap_u64(cond, va, vb);
+}
+
+/// Borrows two distinct elements of a slice mutably. `i < l` required.
+fn split_two(xs: &mut [u64], i: usize, l: usize) -> (&mut u64, &mut u64) {
+    debug_assert!(i < l);
+    let (head, tail) = xs.split_at_mut(l);
+    (&mut head[i], &mut tail[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_various_lengths() {
+        for n in 0..40usize {
+            let mut keys: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % 101).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            bitonic(&mut keys);
+            assert_eq!(keys, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn carries_values() {
+        let mut keys = vec![5u64, 3, 9, 1, 7];
+        let mut vals: Vec<u64> = keys.iter().map(|k| k * 100).collect();
+        bitonic_by_key(&mut keys, &mut vals);
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert_eq!(vals, vec![100, 300, 500, 700, 900]);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let mut keys = vec![2u64, 2, 1, 1, 3, 3, 2];
+        bitonic(&mut keys);
+        assert_eq!(keys, vec![1, 1, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_values() {
+        let mut keys = vec![1u64, 2];
+        let mut vals = vec![1u64];
+        bitonic_by_key(&mut keys, &mut vals);
+    }
+}

@@ -1,0 +1,99 @@
+//! ORAM blocks.
+
+use secemb_obliv::{cmp, select, Choice};
+
+/// The id carried by dummy (empty) blocks.
+pub const DUMMY_ID: u64 = u64::MAX;
+
+/// One ORAM block: logical id, assigned leaf, and payload words.
+///
+/// A block with [`DUMMY_ID`] is a placeholder; its leaf and data are
+/// meaningless. Dummies are physically identical to real blocks so that
+/// bucket reads/writes cannot reveal occupancy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Logical block id, or [`DUMMY_ID`].
+    pub id: u64,
+    /// Leaf label this block is mapped to.
+    pub leaf: u64,
+    /// Payload (`block_words` `u32`s).
+    pub data: Vec<u32>,
+}
+
+impl Block {
+    /// A dummy block with a zeroed payload of `words` words.
+    pub fn dummy(words: usize) -> Self {
+        Block {
+            id: DUMMY_ID,
+            leaf: 0,
+            data: vec![0; words],
+        }
+    }
+
+    /// Whether this block is a dummy.
+    pub fn is_dummy(&self) -> bool {
+        self.id == DUMMY_ID
+    }
+
+    /// Constant-time: overwrite `self` with `src` when `cond` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if payload lengths differ.
+    pub fn ct_assign_from(&mut self, cond: Choice, src: &Block) {
+        assert_eq!(self.data.len(), src.data.len(), "ct_assign_from: words");
+        self.id = select::u64(cond, src.id, self.id);
+        self.leaf = select::u64(cond, src.leaf, self.leaf);
+        for (d, &s) in self.data.iter_mut().zip(src.data.iter()) {
+            *d = select::u32(cond, s, *d);
+        }
+    }
+
+    /// Constant-time: mark this block dummy when `cond` is set.
+    pub fn ct_clear(&mut self, cond: Choice) {
+        self.id = select::u64(cond, DUMMY_ID, self.id);
+    }
+
+    /// Constant-time id match that is never true for dummies.
+    pub fn ct_is(&self, id: u64) -> Choice {
+        cmp::eq_u64(self.id, id) & !cmp::eq_u64(self.id, DUMMY_ID)
+    }
+
+    /// Constant-time dummy test.
+    pub fn ct_is_dummy(&self) -> Choice {
+        cmp::eq_u64(self.id, DUMMY_ID)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_properties() {
+        let d = Block::dummy(4);
+        assert!(d.is_dummy());
+        assert!(d.ct_is_dummy().to_bool());
+        assert!(!d.ct_is(DUMMY_ID).to_bool(), "dummies never match an id");
+        assert_eq!(d.data, vec![0; 4]);
+    }
+
+    #[test]
+    fn ct_assign_and_clear() {
+        let src = Block {
+            id: 7,
+            leaf: 3,
+            data: vec![1, 2],
+        };
+        let mut dst = Block::dummy(2);
+        dst.ct_assign_from(Choice::FALSE, &src);
+        assert!(dst.is_dummy());
+        dst.ct_assign_from(Choice::TRUE, &src);
+        assert_eq!(dst, src);
+        assert!(dst.ct_is(7).to_bool());
+        dst.ct_clear(Choice::FALSE);
+        assert!(!dst.is_dummy());
+        dst.ct_clear(Choice::TRUE);
+        assert!(dst.is_dummy());
+    }
+}

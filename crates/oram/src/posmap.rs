@@ -1,0 +1,212 @@
+//! The (possibly recursive) position map.
+//!
+//! Maps block id → leaf label. Below the recursion threshold it is a flat
+//! array scanned obliviously on every access (ZeroTrace does the same for
+//! its terminal level). Above it, labels are packed
+//! [`crate::OramConfig::posmap_fanout`] to a block and stored in a smaller
+//! ORAM of the *same controller type*, recursively.
+
+use crate::config::OramConfig;
+use crate::stats::AccessStats;
+use crate::Oram;
+use secemb_obliv::{cmp, select};
+use secemb_trace::tracer::{self, RegionId};
+
+/// A position map: either a flat obliviously-scanned array or a recursive
+/// ORAM of packed labels.
+pub enum PosMap {
+    /// Flat array; every lookup scans all entries.
+    Plain {
+        /// `labels[id]` = current leaf of block `id`.
+        labels: Vec<u64>,
+        /// Trace region for the scans.
+        region: RegionId,
+    },
+    /// Labels packed `fanout` per block inside a smaller ORAM.
+    Recursive {
+        /// The inner ORAM holding packed label blocks.
+        inner: Box<dyn Oram>,
+        /// Labels per block.
+        fanout: usize,
+    },
+}
+
+impl std::fmt::Debug for PosMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PosMap::Plain { labels, .. } => write!(f, "PosMap::Plain({} labels)", labels.len()),
+            PosMap::Recursive { fanout, .. } => write!(f, "PosMap::Recursive(fanout {fanout})"),
+        }
+    }
+}
+
+impl PosMap {
+    /// Builds a position map for `labels`, recursing with `make_inner` when
+    /// the label count exceeds `config.recursion_threshold`.
+    ///
+    /// `make_inner` receives the packed label blocks and the inner block
+    /// width and must return an ORAM of the caller's own controller type —
+    /// this is how recursion stays Path-in-Path / Circuit-in-Circuit
+    /// without the position map knowing about either.
+    pub fn build(
+        labels: Vec<u64>,
+        config: &OramConfig,
+        region: RegionId,
+        make_inner: &mut dyn FnMut(Vec<Vec<u32>>, usize) -> Box<dyn Oram>,
+    ) -> Self {
+        if (labels.len() as u64) <= config.recursion_threshold {
+            return PosMap::Plain { labels, region };
+        }
+        let fanout = config.posmap_fanout;
+        let blocks: Vec<Vec<u32>> = labels
+            .chunks(fanout)
+            .map(|chunk| {
+                let mut words = vec![0u32; fanout];
+                for (w, &l) in words.iter_mut().zip(chunk.iter()) {
+                    *w = u32::try_from(l).expect("leaf label exceeds u32");
+                }
+                words
+            })
+            .collect();
+        PosMap::Recursive {
+            inner: make_inner(blocks, fanout),
+            fanout,
+        }
+    }
+
+    /// Number of ids tracked.
+    #[allow(dead_code)] // exercised by tests; part of the internal contract
+    pub fn len(&self) -> u64 {
+        match self {
+            PosMap::Plain { labels, .. } => labels.len() as u64,
+            PosMap::Recursive { inner, fanout } => inner.len() * *fanout as u64,
+        }
+    }
+
+    /// Whether the map is empty.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Obliviously reads the current leaf of `id` and replaces it with
+    /// `new_leaf`, returning the old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (the range is public).
+    pub fn get_and_set(&mut self, id: u64, new_leaf: u64, stats: &mut AccessStats) -> u64 {
+        match self {
+            PosMap::Plain { labels, region } => {
+                assert!((id as usize) < labels.len(), "posmap id out of range");
+                stats.posmap_accesses += 1;
+                let bytes = (labels.len() * 8) as u32;
+                tracer::read(*region, 0, bytes);
+                tracer::write(*region, 0, bytes);
+                let mut old = 0u64;
+                for (i, slot) in labels.iter_mut().enumerate() {
+                    let hit = cmp::eq_u64(i as u64, id);
+                    old = select::u64(hit, *slot, old);
+                    *slot = select::u64(hit, new_leaf, *slot);
+                }
+                old
+            }
+            PosMap::Recursive { inner, fanout } => {
+                stats.posmap_accesses += 1;
+                let fanout = *fanout;
+                let block_id = id / fanout as u64;
+                let slot = id % fanout as u64;
+                let mut old = 0u32;
+                inner.access_mut(block_id, &mut |words: &mut [u32]| {
+                    // The in-block slot index is secret (derived from id):
+                    // scan all fanout words with constant-time selection.
+                    let new = u32::try_from(new_leaf).expect("leaf label exceeds u32");
+                    for (w_idx, w) in words.iter_mut().enumerate() {
+                        let hit = cmp::eq_u64(w_idx as u64, slot);
+                        old = select::u32(hit, *w, old);
+                        *w = select::u32(hit, new, *w);
+                    }
+                });
+                old as u64
+            }
+        }
+    }
+
+    /// Statistics accumulated by recursive levels (zero for plain maps).
+    pub fn inner_stats(&self) -> AccessStats {
+        match self {
+            PosMap::Plain { .. } => AccessStats::default(),
+            PosMap::Recursive { inner, .. } => inner.stats(),
+        }
+    }
+
+    /// Resets recursive-level statistics.
+    pub fn reset_inner_stats(&mut self) {
+        if let PosMap::Recursive { inner, .. } = self {
+            inner.reset_stats();
+        }
+    }
+
+    /// Memory in bytes (flat array or the whole inner ORAM).
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            PosMap::Plain { labels, .. } => labels.len() as u64 * 8,
+            PosMap::Recursive { inner, .. } => inner.memory_bytes(),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secemb_trace::tracer::regions;
+
+    fn plain(n: u64) -> PosMap {
+        PosMap::Plain {
+            labels: (0..n).map(|i| i % 4).collect(),
+            region: regions::oram_posmap(0),
+        }
+    }
+
+    #[test]
+    fn plain_get_and_set() {
+        let mut pm = plain(8);
+        let mut stats = AccessStats::default();
+        assert_eq!(pm.get_and_set(5, 99, &mut stats), 1);
+        assert_eq!(pm.get_and_set(5, 7, &mut stats), 99);
+        assert_eq!(pm.get_and_set(0, 1, &mut stats), 0);
+        assert_eq!(stats.posmap_accesses, 3);
+        assert_eq!(pm.len(), 8);
+    }
+
+    #[test]
+    fn plain_scan_is_whole_region() {
+        let mut pm = plain(8);
+        let mut stats = AccessStats::default();
+        let ((), trace) = tracer::record_trace(|| {
+            pm.get_and_set(3, 0, &mut stats);
+        });
+        assert_eq!(trace.len(), 2); // read + write of the entire array
+        assert_eq!(trace.events()[0].len, 64);
+    }
+
+    #[test]
+    fn build_stays_plain_below_threshold() {
+        let cfg = OramConfig::path(4);
+        let pm = PosMap::build(
+            vec![0; 100],
+            &cfg,
+            regions::oram_posmap(0),
+            &mut |_, _| unreachable!("must not recurse below threshold"),
+        );
+        assert!(matches!(pm, PosMap::Plain { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plain_rejects_oob() {
+        let mut pm = plain(4);
+        pm.get_and_set(4, 0, &mut AccessStats::default());
+    }
+}

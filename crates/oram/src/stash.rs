@@ -1,0 +1,328 @@
+//! The oblivious stash.
+//!
+//! A fixed-capacity array of block slots. Every operation visits *all*
+//! slots with constant-time predicated updates, mirroring ZeroTrace's
+//! `cmov`-hardened stash loops; each full pass is reported to the tracer as
+//! one whole-stash access.
+
+use crate::block::Block;
+use crate::config::OramConfig;
+use crate::stats::AccessStats;
+use secemb_obliv::Choice;
+use secemb_trace::tracer::{self, RegionId};
+
+/// A fixed-size oblivious stash.
+#[derive(Clone, Debug)]
+pub struct Stash {
+    slots: Vec<Block>,
+    region: RegionId,
+    block_bytes: u64,
+}
+
+impl Stash {
+    /// Creates a stash of `config.stash_capacity` dummy slots.
+    pub fn new(config: &OramConfig, region: RegionId) -> Self {
+        Stash {
+            slots: vec![Block::dummy(config.block_words); config.stash_capacity],
+            region,
+            block_bytes: config.block_bytes(),
+        }
+    }
+
+    /// Capacity in slots.
+    #[allow(dead_code)] // exercised by tests
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of real (non-dummy) blocks currently held. This declassifies
+    /// occupancy, which is public in both controllers (it is bounded by the
+    /// stash-overflow theorem, not by the access sequence).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|b| !b.is_dummy()).count()
+    }
+
+    /// Immutable view of the slots (for metadata preparation).
+    #[allow(dead_code)] // exercised by setup-time tests
+    pub fn slots(&self) -> &[Block] {
+        &self.slots
+    }
+
+    /// Obliviously inserts `block` into some dummy slot (full scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics with "stash overflow" if no slot was free — the negligible-
+    /// probability failure event of the ORAM theorems, which must abort
+    /// rather than silently drop a block.
+    pub fn insert(&mut self, block: &Block, stats: &mut AccessStats) {
+        self.trace_scan(stats, true);
+        let mut placed = Choice::FALSE;
+        for slot in &mut self.slots {
+            let take = slot.ct_is_dummy() & !placed;
+            slot.ct_assign_from(take, block);
+            placed = placed | take;
+        }
+        assert!(
+            placed.to_bool() || block.is_dummy(),
+            "stash overflow: no free slot (capacity {})",
+            self.slots.len()
+        );
+    }
+
+    /// Obliviously finds block `id`, remaps it to `new_leaf`, applies
+    /// `mutate` to its payload, and returns `(found, payload)` — the payload
+    /// *after* mutation, or zeros when absent.
+    ///
+    /// Performs exactly two full scans (locate+extract, then write-back)
+    /// regardless of where — or whether — the block is found.
+    pub fn find_update(
+        &mut self,
+        id: u64,
+        new_leaf: u64,
+        mutate: &mut dyn FnMut(&mut [u32]),
+        stats: &mut AccessStats,
+    ) -> (bool, Vec<u32>) {
+        // Scan 1: extract a copy of the matching block.
+        self.trace_scan(stats, true);
+        let words = self.slots.first().map_or(0, |b| b.data.len());
+        let mut found = Block::dummy(words);
+        let mut hit = Choice::FALSE;
+        for slot in &self.slots {
+            let take = slot.ct_is(id);
+            found.ct_assign_from(take, slot);
+            hit = hit | take;
+        }
+        // Mutate the copy (public-shape computation on secret data).
+        found.leaf = new_leaf;
+        mutate(&mut found.data);
+        found.id = id;
+        // Scan 2: write the mutated copy back into the matching slot.
+        self.trace_scan(stats, false);
+        for slot in &mut self.slots {
+            let take = slot.ct_is(id);
+            slot.ct_assign_from(take, &found);
+        }
+        let payload = if hit.to_bool() {
+            found.data.clone()
+        } else {
+            vec![0; words]
+        };
+        (hit.to_bool(), payload)
+    }
+
+    /// Obliviously extracts (removes and returns a copy of) block `id`;
+    /// returns a dummy if absent. One full scan.
+    pub fn extract(&mut self, id: u64, stats: &mut AccessStats) -> Block {
+        self.trace_scan(stats, true);
+        let words = self.slots.first().map_or(0, |b| b.data.len());
+        let mut out = Block::dummy(words);
+        for slot in &mut self.slots {
+            let take = slot.ct_is(id);
+            out.ct_assign_from(take, slot);
+            slot.ct_clear(take);
+        }
+        out
+    }
+
+    /// Obliviously extracts the block that can go deepest on the path to
+    /// `path_leaf` (ties broken by slot order); returns a dummy when the
+    /// stash is empty. Used by Circuit ORAM's eviction. One full scan.
+    pub fn extract_deepest(
+        &mut self,
+        deepest_legal: impl Fn(u64) -> u32,
+        stats: &mut AccessStats,
+    ) -> Block {
+        self.trace_scan(stats, true);
+        let words = self.slots.first().map_or(0, |b| b.data.len());
+        // Pass 1 (plain metadata, constant shape): find the winner index.
+        let mut best: Option<(u32, usize)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.is_dummy() {
+                continue;
+            }
+            let depth = deepest_legal(slot.leaf);
+            if best.map_or(true, |(d, _)| depth > d) {
+                best = Some((depth, i));
+            }
+        }
+        // Pass 2: constant-time extraction by index.
+        let mut out = Block::dummy(words);
+        if let Some((_, winner)) = best {
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                let take = Choice::from_bool(i == winner);
+                out.ct_assign_from(take, slot);
+                slot.ct_clear(take);
+            }
+        }
+        out
+    }
+
+    /// Obliviously extracts the first block eligible to reside at
+    /// `min_level` or deeper (per `deepest_legal`); returns a dummy when
+    /// none qualifies. One full scan. This is Path ORAM's write-back
+    /// selection — the loop the paper singles out as Path ORAM's cost
+    /// driver, since it runs once per bucket slot per level.
+    pub fn extract_eligible(
+        &mut self,
+        min_level: u32,
+        deepest_legal: impl Fn(u64) -> u32,
+        stats: &mut AccessStats,
+    ) -> Block {
+        self.trace_scan(stats, true);
+        let words = self.slots.first().map_or(0, |b| b.data.len());
+        let mut out = Block::dummy(words);
+        let mut done = Choice::FALSE;
+        for slot in &mut self.slots {
+            let eligible =
+                !slot.ct_is_dummy() & Choice::from_bool(deepest_legal(slot.leaf) >= min_level);
+            let take = eligible & !done;
+            out.ct_assign_from(take, slot);
+            slot.ct_clear(take);
+            done = done | take;
+        }
+        out
+    }
+
+    /// Whether any real block exists, and the deepest level reachable by a
+    /// stash block on the path scored by `deepest_legal`.
+    pub fn deepest_level(&self, deepest_legal: impl Fn(u64) -> u32) -> Option<u32> {
+        self.slots
+            .iter()
+            .filter(|b| !b.is_dummy())
+            .map(|b| deepest_legal(b.leaf))
+            .max()
+    }
+
+    /// Direct insertion for initial placement (setup time, untraced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stash is full.
+    pub fn insert_untraced(&mut self, block: Block) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.is_dummy())
+            .expect("stash overflow during initial placement");
+        *slot = block;
+    }
+
+    /// Stash memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.slots.len() as u64 * self.block_bytes
+    }
+
+    fn trace_scan(&self, stats: &mut AccessStats, read: bool) {
+        stats.stash_scans += 1;
+        stats.stash_slots_scanned += self.slots.len() as u64;
+        let len = (self.slots.len() as u64 * self.block_bytes) as u32;
+        if read {
+            tracer::read(self.region, 0, len);
+        } else {
+            tracer::write(self.region, 0, len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secemb_trace::tracer::regions;
+
+    fn stash(cap: usize) -> (Stash, AccessStats) {
+        let mut cfg = OramConfig::path(2);
+        cfg.stash_capacity = cap;
+        (Stash::new(&cfg, regions::ORAM_STASH), AccessStats::default())
+    }
+
+    fn blk(id: u64, leaf: u64) -> Block {
+        Block {
+            id,
+            leaf,
+            data: vec![id as u32, (id * 2) as u32],
+        }
+    }
+
+    #[test]
+    fn insert_find_extract() {
+        let (mut s, mut st) = stash(4);
+        s.insert(&blk(5, 1), &mut st);
+        s.insert(&blk(9, 2), &mut st);
+        assert_eq!(s.occupancy(), 2);
+
+        let (found, data) = s.find_update(5, 7, &mut |d| d[0] += 100, &mut st);
+        assert!(found);
+        assert_eq!(data, vec![105, 10]);
+
+        let b = s.extract(5, &mut st);
+        assert_eq!(b.id, 5);
+        assert_eq!(b.leaf, 7, "leaf was remapped by find_update");
+        assert_eq!(b.data, vec![105, 10]);
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    #[test]
+    fn find_missing_reports_absent() {
+        let (mut s, mut st) = stash(4);
+        s.insert(&blk(1, 0), &mut st);
+        let (found, data) = s.find_update(99, 0, &mut |_| {}, &mut st);
+        assert!(!found);
+        assert_eq!(data, vec![0, 0]);
+        assert_eq!(s.occupancy(), 1, "missing lookups must not corrupt state");
+    }
+
+    #[test]
+    fn extract_deepest_prefers_depth() {
+        let (mut s, mut st) = stash(4);
+        s.insert(&blk(1, 0b000), &mut st);
+        s.insert(&blk(2, 0b110), &mut st);
+        // Score: common-prefix depth with path 0b111 (3 levels).
+        let score = |leaf: u64| -> u32 {
+            let x = leaf ^ 0b111;
+            if x == 0 {
+                3
+            } else {
+                3 - 1 - (63 - x.leading_zeros()).min(2)
+            }
+        };
+        assert_eq!(s.deepest_level(score), Some(2));
+        let b = s.extract_deepest(score, &mut st);
+        assert_eq!(b.id, 2);
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    #[test]
+    fn extract_deepest_on_empty_gives_dummy() {
+        let (mut s, mut st) = stash(2);
+        assert!(s.extract_deepest(|_| 0, &mut st).is_dummy());
+        assert_eq!(s.deepest_level(|_| 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "stash overflow")]
+    fn overflow_panics() {
+        let (mut s, mut st) = stash(1);
+        s.insert(&blk(1, 0), &mut st);
+        s.insert(&blk(2, 0), &mut st);
+    }
+
+    #[test]
+    fn dummy_insert_never_overflows() {
+        let (mut s, mut st) = stash(1);
+        s.insert(&blk(1, 0), &mut st);
+        s.insert(&Block::dummy(2), &mut st); // no-op, must not panic
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    #[test]
+    fn scans_are_whole_stash_events() {
+        let (mut s, mut st) = stash(3);
+        let ((), trace) = secemb_trace::tracer::record_trace(|| {
+            s.insert(&blk(1, 0), &mut st);
+        });
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].len as u64, 3 * s.block_bytes);
+        assert_eq!(st.stash_slots_scanned, 3);
+    }
+}

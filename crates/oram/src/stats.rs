@@ -1,0 +1,83 @@
+//! Access accounting used by the enclave cost model and the benches.
+
+/// Cumulative counters over an ORAM's lifetime (or since the last reset).
+///
+/// The enclave cost model in `secemb-enclave` converts these into simulated
+/// latency; Fig. 10's ZeroTrace-variant comparison is driven entirely by
+/// these counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Completed logical accesses (top level only).
+    pub accesses: u64,
+    /// Tree buckets read.
+    pub bucket_reads: u64,
+    /// Tree buckets written.
+    pub bucket_writes: u64,
+    /// Full stash scans performed.
+    pub stash_scans: u64,
+    /// Individual block slots visited during stash scans.
+    pub stash_slots_scanned: u64,
+    /// Accesses into position-map structures (flat scans or recursive
+    /// ORAM accesses, summed across recursion levels).
+    pub posmap_accesses: u64,
+    /// Total payload bytes moved between tree and stash.
+    pub bytes_moved: u64,
+}
+
+impl AccessStats {
+    /// Adds another counter set into this one (used to fold recursion
+    /// levels into the top-level report).
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.accesses += other.accesses;
+        self.bucket_reads += other.bucket_reads;
+        self.bucket_writes += other.bucket_writes;
+        self.stash_scans += other.stash_scans;
+        self.stash_slots_scanned += other.stash_slots_scanned;
+        self.posmap_accesses += other.posmap_accesses;
+        self.bytes_moved += other.bytes_moved;
+    }
+
+    /// Mean buckets touched (read + write) per logical access.
+    pub fn buckets_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        (self.bucket_reads + self.bucket_writes) as f64 / self.accesses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = AccessStats {
+            accesses: 1,
+            bucket_reads: 10,
+            ..Default::default()
+        };
+        let b = AccessStats {
+            accesses: 2,
+            bucket_reads: 5,
+            bytes_moved: 100,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.bucket_reads, 15);
+        assert_eq!(a.bytes_moved, 100);
+    }
+
+    #[test]
+    fn buckets_per_access() {
+        let s = AccessStats {
+            accesses: 4,
+            bucket_reads: 12,
+            bucket_writes: 8,
+            ..Default::default()
+        };
+        assert_eq!(s.buckets_per_access(), 5.0);
+        assert_eq!(AccessStats::default().buckets_per_access(), 0.0);
+    }
+}

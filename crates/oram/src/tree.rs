@@ -1,0 +1,200 @@
+//! The bucket tree shared by both controllers.
+
+use crate::block::Block;
+use crate::config::OramConfig;
+use secemb_trace::tracer::{self, RegionId};
+
+/// A complete binary tree of buckets, each holding `Z` (possibly dummy)
+/// blocks.
+///
+/// Levels are numbered from the root (level 0) to the leaves (level
+/// `levels`). Leaf labels are `0..leaves`. Every bucket read/write reports a
+/// whole-bucket access to the tracer under this tree's region id — buckets
+/// are always moved in their entirety, exactly like the encrypted bucket
+/// transfers of a real controller.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    levels: u32,
+    z: usize,
+    words: usize,
+    buckets: Vec<Vec<Block>>,
+    region: RegionId,
+}
+
+impl Tree {
+    /// Builds an empty tree able to hold `n_blocks` real blocks at ~25%
+    /// occupancy (leaves = next power of two of `n_blocks / 2`).
+    pub fn new(n_blocks: u64, config: &OramConfig, region: RegionId) -> Self {
+        let leaves = (n_blocks.div_ceil(2)).next_power_of_two().max(1);
+        let levels = leaves.trailing_zeros();
+        let bucket_count = (2 * leaves - 1) as usize;
+        let bucket = vec![Block::dummy(config.block_words); config.bucket_size];
+        Tree {
+            levels,
+            z: config.bucket_size,
+            words: config.block_words,
+            buckets: vec![bucket; bucket_count],
+            region,
+        }
+    }
+
+    /// Leaf count (a power of two).
+    pub fn leaves(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Index of the deepest level (root is level 0); a path has
+    /// `levels() + 1` buckets.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Payload words per block.
+    pub fn block_words(&self) -> usize {
+        self.words
+    }
+
+    /// Blocks per bucket.
+    pub fn bucket_size(&self) -> usize {
+        self.z
+    }
+
+    /// Flat index of the bucket at `level` on the path to `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > levels()` or `leaf >= leaves()`.
+    pub fn bucket_index(&self, level: u32, leaf: u64) -> usize {
+        assert!(level <= self.levels, "level out of range");
+        assert!(leaf < self.leaves(), "leaf out of range");
+        ((1u64 << level) - 1 + (leaf >> (self.levels - level))) as usize
+    }
+
+    /// The deepest level at which a block mapped to `block_leaf` may reside
+    /// on the path to `path_leaf` (0 = root only).
+    pub fn deepest_legal(&self, block_leaf: u64, path_leaf: u64) -> u32 {
+        let x = block_leaf ^ path_leaf;
+        if x == 0 {
+            self.levels
+        } else {
+            let highest_differing = 63 - x.leading_zeros();
+            self.levels - 1 - highest_differing
+        }
+    }
+
+    /// Reads (a clone of) the bucket at `level` on the path to `leaf`,
+    /// reporting the access.
+    pub fn read_bucket(&self, level: u32, leaf: u64) -> Vec<Block> {
+        let idx = self.bucket_index(level, leaf);
+        self.trace(idx, true);
+        self.buckets[idx].clone()
+    }
+
+    /// Writes the bucket at `level` on the path to `leaf`, reporting the
+    /// access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` does not contain exactly `Z` blocks.
+    pub fn write_bucket(&mut self, level: u32, leaf: u64, bucket: Vec<Block>) {
+        assert_eq!(bucket.len(), self.z, "write_bucket: wrong bucket size");
+        let idx = self.bucket_index(level, leaf);
+        self.trace(idx, false);
+        self.buckets[idx] = bucket;
+    }
+
+    /// Direct slot access for initial placement (no trace: setup time).
+    pub fn bucket_mut_untraced(&mut self, level: u32, leaf: u64) -> &mut Vec<Block> {
+        let idx = self.bucket_index(level, leaf);
+        &mut self.buckets[idx]
+    }
+
+    /// Bytes per bucket on the (simulated) wire.
+    pub fn bucket_bytes(&self) -> u64 {
+        self.z as u64 * (self.words as u64 * 4 + 16)
+    }
+
+    /// Total tree memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.buckets.len() as u64 * self.bucket_bytes()
+    }
+
+    fn trace(&self, bucket_idx: usize, read: bool) {
+        let offset = bucket_idx as u64 * self.bucket_bytes();
+        let len = self.bucket_bytes() as u32;
+        if read {
+            tracer::read(self.region, offset, len);
+        } else {
+            tracer::write(self.region, offset, len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(n: u64) -> Tree {
+        Tree::new(n, &OramConfig::path(4), RegionId(2))
+    }
+
+    #[test]
+    fn sizing() {
+        let t = tree(64);
+        assert_eq!(t.leaves(), 32);
+        assert_eq!(t.levels(), 5);
+        assert_eq!(t.memory_bytes(), 63 * 4 * (16 + 16));
+        assert_eq!(tree(1).leaves(), 1);
+        assert_eq!(tree(1).levels(), 0);
+    }
+
+    #[test]
+    fn bucket_indexing_root_and_leaves() {
+        let t = tree(16); // leaves = 8, levels = 3
+        assert_eq!(t.bucket_index(0, 0), 0);
+        assert_eq!(t.bucket_index(0, 7), 0, "root shared by all paths");
+        assert_eq!(t.bucket_index(3, 0), 7);
+        assert_eq!(t.bucket_index(3, 7), 14);
+        // Siblings share their parent.
+        assert_eq!(t.bucket_index(2, 0), t.bucket_index(2, 1));
+        assert_ne!(t.bucket_index(2, 0), t.bucket_index(2, 2));
+    }
+
+    #[test]
+    fn deepest_legal_levels() {
+        let t = tree(16); // levels = 3
+        assert_eq!(t.deepest_legal(5, 5), 3);
+        assert_eq!(t.deepest_legal(0b100, 0b101), 2);
+        assert_eq!(t.deepest_legal(0b110, 0b101), 1);
+        assert_eq!(t.deepest_legal(0b000, 0b111), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut t = tree(8);
+        let mut bucket = t.read_bucket(0, 0);
+        bucket[0] = Block {
+            id: 42,
+            leaf: 1,
+            data: vec![1, 2, 3, 4],
+        };
+        t.write_bucket(0, 0, bucket);
+        assert_eq!(t.read_bucket(0, 3)[0].id, 42, "root visible from all paths");
+    }
+
+    #[test]
+    fn traces_whole_buckets() {
+        let t = tree(8);
+        let ((), trace) = secemb_trace::tracer::record_trace(|| {
+            t.read_bucket(1, 0);
+        });
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].len as u64, t.bucket_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf out of range")]
+    fn rejects_bad_leaf() {
+        tree(8).bucket_index(0, 100);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: both ORAM controllers must behave exactly like a
+//! plain array under arbitrary read/write workloads, keep their stash
+//! bounded, and keep their access pattern structurally input-independent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb_oram::{CircuitOram, Oram, OramConfig, PathOram};
+use secemb_trace::tracer::record_trace;
+
+/// A workload step: read or overwrite one block.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u64),
+    Write(u64, u32),
+}
+
+fn ops(n_blocks: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..n_blocks).prop_map(Op::Read),
+            (0..n_blocks, any::<u32>()).prop_map(|(i, v)| Op::Write(i, v)),
+        ],
+        0..len,
+    )
+}
+
+fn check_against_model(oram: &mut dyn Oram, workload: &[Op]) -> Result<(), TestCaseError> {
+    let n = oram.len();
+    let words = oram.block_words();
+    let mut model: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32; words]).collect();
+    for op in workload {
+        match *op {
+            Op::Read(i) => {
+                prop_assert_eq!(&oram.read(i), &model[i as usize]);
+            }
+            Op::Write(i, v) => {
+                let val = vec![v; words];
+                oram.write(i, &val);
+                model[i as usize] = val;
+            }
+        }
+    }
+    // Final full sweep: nothing lost, nothing corrupted.
+    for i in 0..n {
+        prop_assert_eq!(&oram.read(i), &model[i as usize]);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn path_oram_matches_array_semantics(
+        seed in any::<u64>(),
+        workload in ops(48, 60),
+    ) {
+        let blocks: Vec<Vec<u32>> = (0..48u32).map(|i| vec![i; 3]).collect();
+        let mut oram = PathOram::new(&blocks, OramConfig::path(3), StdRng::seed_from_u64(seed));
+        check_against_model(&mut oram, &workload)?;
+        prop_assert!(oram.stash_occupancy() <= 150);
+    }
+
+    #[test]
+    fn circuit_oram_matches_array_semantics(
+        seed in any::<u64>(),
+        workload in ops(48, 60),
+    ) {
+        let blocks: Vec<Vec<u32>> = (0..48u32).map(|i| vec![i; 3]).collect();
+        let mut oram =
+            CircuitOram::new(&blocks, OramConfig::circuit(3), StdRng::seed_from_u64(seed));
+        check_against_model(&mut oram, &workload)?;
+        prop_assert!(oram.stash_occupancy() <= 10, "stash bound violated");
+    }
+
+    #[test]
+    fn recursive_posmap_preserves_semantics(
+        seed in any::<u64>(),
+        workload in ops(100, 40),
+    ) {
+        let mut cfg = OramConfig::circuit(2);
+        cfg.recursion_threshold = 16;
+        cfg.posmap_fanout = 4;
+        let blocks: Vec<Vec<u32>> = (0..100u32).map(|i| vec![i; 2]).collect();
+        let mut oram = CircuitOram::new(&blocks, cfg, StdRng::seed_from_u64(seed));
+        check_against_model(&mut oram, &workload)?;
+    }
+
+    #[test]
+    fn access_trace_structure_is_id_independent(
+        seed in any::<u64>(),
+        a in 0u64..64,
+        b in 0u64..64,
+    ) {
+        let blocks: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i; 4]).collect();
+        let mut oram =
+            CircuitOram::new(&blocks, OramConfig::circuit(4), StdRng::seed_from_u64(seed));
+        let shape = |oram: &mut CircuitOram, id: u64| {
+            let ((), t) = record_trace(|| {
+                oram.read(id);
+            });
+            t.events()
+                .iter()
+                .map(|e| (e.region.0, e.len, matches!(e.kind, secemb_trace::AccessKind::Read)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(shape(&mut oram, a), shape(&mut oram, b));
+    }
+
+    #[test]
+    fn stats_grow_monotonically(
+        seed in any::<u64>(),
+        reads in 1usize..20,
+    ) {
+        let blocks: Vec<Vec<u32>> = (0..32u32).map(|i| vec![i; 2]).collect();
+        let mut oram = PathOram::new(&blocks, OramConfig::path(2), StdRng::seed_from_u64(seed));
+        let mut last = 0u64;
+        for i in 0..reads {
+            oram.read((i % 32) as u64);
+            let s = oram.stats();
+            prop_assert_eq!(s.accesses, i as u64 + 1);
+            prop_assert!(s.bytes_moved > last);
+            last = s.bytes_moved;
+        }
+    }
+}

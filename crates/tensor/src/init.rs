@@ -1,0 +1,65 @@
+//! Weight initialization.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// This is what the DHE decoder and the MLP stacks in the paper's reference
+/// implementations use for their dense layers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct XavierInit;
+
+impl XavierInit {
+    /// Samples a `fan_out × fan_in` weight matrix (rows = output features),
+    /// the layout [`crate::Matrix::matmul_transpose_b`] consumes directly.
+    pub fn sample(self, fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Matrix {
+        let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+        Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..=bound))
+    }
+}
+
+/// Samples a matrix with i.i.d. normal entries of the given std deviation
+/// (GPT-2 uses `N(0, 0.02)` for most weights).
+pub fn normal_init(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        // Box–Muller transform.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = XavierInit.sample(64, 32, &mut rng);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= bound + 1e-6));
+        assert_eq!(w.shape(), (64, 32));
+        // Not all zeros / not constant.
+        assert!(w.as_slice().iter().any(|&x| x != w.as_slice()[0]));
+    }
+
+    #[test]
+    fn normal_has_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = normal_init(100, 100, 0.02, &mut rng);
+        let mean = w.mean();
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / w.len() as f64;
+        assert!(mean.abs() < 1e-3);
+        assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,31 @@
+//! Dense row-major `f32` matrix kernels.
+//!
+//! This crate stands in for the numerical core of PyTorch in the paper's
+//! pipeline: everything DHE, DLRM and the GPT-2-style model need reduces to
+//! dense matrix multiplication, element-wise maps, broadcasting adds and
+//! row-wise reductions, all on `f32`. The kernels are deliberately simple
+//! (register-blocked ikj matmul, no SIMD intrinsics) — absolute speed is
+//! irrelevant to the reproduction, but *relative* cost between methods
+//! (table lookup vs. O(n) scan vs. O(k²) DHE matmuls) must be faithful, and
+//! that only requires honest O(m·n·k) kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use secemb_tensor::Matrix;
+//!
+//! let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Matrix::eye(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod init;
+mod matrix;
+pub mod ops;
+
+pub use init::{normal_init, XavierInit};
+pub use matrix::Matrix;

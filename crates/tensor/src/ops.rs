@@ -1,0 +1,234 @@
+//! Activation functions and row-wise operations used by the models.
+//!
+//! Forward maps and the derivative forms needed by the autograd layer in
+//! `secemb-nn` live together here so they stay consistent.
+
+use crate::Matrix;
+
+/// ReLU applied element-wise (branching reference; the *secure* variant
+/// lives in `secemb_obliv::ct_relu`).
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+/// Derivative mask of ReLU at the pre-activation values: 1 where `x > 0`.
+pub fn relu_grad_mask(pre: &Matrix) -> Matrix {
+    pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// The tanh-approximated GeLU used by GPT-2.
+pub fn gelu(m: &Matrix) -> Matrix {
+    m.map(gelu_scalar)
+}
+
+/// Scalar GeLU (tanh approximation).
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GeLU.
+pub fn gelu_grad(pre: &Matrix) -> Matrix {
+    const C: f32 = 0.797_884_6;
+    pre.map(|x| {
+        let x3 = 0.044715 * x * x * x;
+        let t = (C * (x + x3)).tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+    })
+}
+
+/// Logistic sigmoid applied element-wise.
+pub fn sigmoid(m: &Matrix) -> Matrix {
+    m.map(sigmoid_scalar)
+}
+
+/// Scalar logistic sigmoid, numerically stable on both tails.
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Row-wise softmax (numerically stabilized by the row max).
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// Row-wise softmax in place.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Row-wise log-softmax.
+pub fn log_softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    let cols = out.cols();
+    if cols == 0 {
+        return out;
+    }
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= logsum;
+        }
+    }
+    out
+}
+
+/// Layer normalization over each row: `(x - mean) / sqrt(var + eps)` then
+/// scale/shift by `gamma`/`beta`.
+///
+/// Returns the normalized matrix together with per-row `(mean, inv_std)`
+/// needed by the backward pass.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` length differs from the column count.
+pub fn layer_norm_rows(
+    m: &Matrix,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> (Matrix, Vec<(f32, f32)>) {
+    assert_eq!(gamma.len(), m.cols(), "layer_norm: gamma length");
+    assert_eq!(beta.len(), m.cols(), "layer_norm: beta length");
+    let mut out = m.clone();
+    let mut stats = Vec::with_capacity(m.rows());
+    let cols = m.cols() as f32;
+    for r in 0..m.rows() {
+        let row = out.row_mut(r);
+        let mean = row.iter().sum::<f32>() / cols;
+        let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / cols;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (x, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta.iter())) {
+            *x = (*x - mean) * inv_std * g + b;
+        }
+        stats.push((mean, inv_std));
+    }
+    (out, stats)
+}
+
+/// Index of the largest element in each row (non-oblivious reference).
+pub fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    m.iter_rows()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_mask() {
+        let m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        assert_eq!(relu(&m).as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        assert_eq!(relu_grad_mask(&m).as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        // Known values of the tanh-approximation.
+        assert!((gelu_scalar(0.0)).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_finite_difference() {
+        let xs = Matrix::from_vec(1, 5, vec![-2.0, -0.5, 0.0, 0.5, 2.0]);
+        let analytic = gelu_grad(&xs);
+        let h = 1e-3f32;
+        for (i, &x) in xs.as_slice().iter().enumerate() {
+            let fd = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            assert!(
+                (analytic.as_slice()[i] - fd).abs() < 1e-2,
+                "x={x}: analytic {} vs fd {fd}",
+                analytic.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_on_tails() {
+        assert!((sigmoid_scalar(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid_scalar(-100.0) >= 0.0);
+        assert!(sigmoid_scalar(-100.0) < 1e-6);
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 1000., 1001., 1002.]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Rows with equal offsets give identical distributions (stability).
+        assert!(
+            (s.get(0, 0) - s.get(1, 0)).abs() < 1e-6,
+            "softmax must be shift-invariant"
+        );
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let m = Matrix::from_vec(1, 4, vec![0.1, -0.3, 2.0, 0.7]);
+        let ls = log_softmax_rows(&m);
+        let s = softmax_rows(&m);
+        for i in 0..4 {
+            assert!((ls.as_slice()[i].exp() - s.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let m = Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        let (out, stats) = layer_norm_rows(&m, &gamma, &beta, 1e-5);
+        let mean: f32 = out.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = out.row(0).iter().map(|&x| x * x).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-2);
+        assert_eq!(stats.len(), 1);
+        assert!((stats[0].0 - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let m = Matrix::from_vec(2, 3, vec![0., 5., 2., 9., 1., 1.]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! A set-associative LRU cache simulator.
+//!
+//! Models the shared last-level cache that the paper's demonstration attack
+//! (§III-A) observes. Addresses are mapped to sets by line-address modulo
+//! set count, the placement used by the eviction-set construction in
+//! PRIME+SCOPE-style attacks.
+
+/// Configuration of a simulated cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+}
+
+impl CacheConfig {
+    /// A small LLC slice resembling the paper's attack setup: enough sets to
+    /// give each embedding-table row its own set for a 256-entry, dim-64
+    /// table.
+    pub fn demo_llc() -> Self {
+        CacheConfig {
+            sets: 1024,
+            ways: 12,
+            line_size: 64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.line_size
+    }
+}
+
+/// Result of one simulated access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was filled (possibly evicting another line).
+    Miss,
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: line tags in LRU order (front = most recent).
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `line_size` is not a power of two.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets > 0 && config.ways > 0, "cache dims must be nonzero");
+        assert!(
+            config.line_size.is_power_of_two(),
+            "line_size must be a power of two"
+        );
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The set index an address maps to.
+    pub fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.config.line_size) % self.config.sets as u64) as usize
+    }
+
+    /// Simulates an access to `addr`, updating LRU state.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        let line = addr / self.config.line_size;
+        let set_idx = (line % self.config.sets as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            if set.len() == self.config.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    /// Whether the line containing `addr` is currently cached (no state
+    /// change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.config.line_size;
+        let set_idx = (line % self.config.sets as u64) as usize;
+        self.sets[set_idx].contains(&line)
+    }
+
+    /// Number of valid lines in the set that `addr` maps to.
+    pub fn set_occupancy(&self, addr: u64) -> usize {
+        self.sets[self.set_of(addr)].len()
+    }
+
+    /// Cumulative (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_size: 64,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+        assert_eq!(c.access(0), AccessOutcome::Hit);
+        assert_eq!(c.access(32), AccessOutcome::Hit, "same line");
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(64); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(64));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 in a 2-way cache: 0, 256, 512.
+        c.access(0);
+        c.access(256);
+        c.access(0); // touch 0: now 256 is LRU
+        c.access(512); // evicts 256
+        assert!(c.contains(0));
+        assert!(!c.contains(256));
+        assert!(c.contains(512));
+    }
+
+    #[test]
+    fn occupancy_and_reset() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(256);
+        assert_eq!(c.set_occupancy(0), 2);
+        c.reset();
+        assert_eq!(c.set_occupancy(0), 0);
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn capacity() {
+        assert_eq!(CacheConfig::demo_llc().capacity(), 1024 * 12 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        Cache::new(CacheConfig {
+            sets: 1,
+            ways: 1,
+            line_size: 48,
+        });
+    }
+}

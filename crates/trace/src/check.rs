@@ -1,0 +1,162 @@
+//! The obliviousness checker: trace-equivalence across secret inputs.
+//!
+//! A computation is *memory-trace oblivious* if the sequence of addresses it
+//! touches is the same for every secret input. [`compare_traces`] makes this
+//! an executable property: it runs a closure once per candidate secret,
+//! records each run's trace, and reports whether all traces are identical —
+//! exactly, or at a coarser observation granularity.
+
+use crate::event::Trace;
+use crate::tracer::record_trace;
+
+/// Outcome of a trace-equivalence check over a set of secret inputs.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    traces: Vec<Trace>,
+    /// Index (into the secrets slice) of the first run whose trace differs
+    /// from run 0, if any.
+    first_divergence: Option<usize>,
+}
+
+impl Verdict {
+    /// `true` when every run produced a byte-identical access trace.
+    pub fn is_oblivious(&self) -> bool {
+        self.first_divergence.is_none()
+    }
+
+    /// The run index whose trace first diverged from run 0, if any.
+    pub fn first_divergence(&self) -> Option<usize> {
+        self.first_divergence
+    }
+
+    /// The recorded traces, one per secret, in input order.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Checks equivalence at cache-line granularity instead of exact
+    /// event equality: returns `true` if the ordered sequences of touched
+    /// line addresses agree across all runs.
+    ///
+    /// This is the right granularity for the paper's LLC attacker (§III-A:
+    /// "cache line granularity attack is accurate enough to leak the
+    /// indices").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a nonzero power of two.
+    pub fn is_line_oblivious(&self, line_size: u64) -> bool {
+        all_equal(self.traces.iter().map(|t| t.line_trace(line_size)))
+    }
+
+    /// Checks equivalence at page granularity (controlled-channel attacker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a nonzero power of two.
+    pub fn is_page_oblivious(&self, page_size: u64) -> bool {
+        all_equal(self.traces.iter().map(|t| t.page_trace(page_size)))
+    }
+}
+
+fn all_equal<T: PartialEq>(mut iter: impl Iterator<Item = T>) -> bool {
+    match iter.next() {
+        None => true,
+        Some(first) => iter.all(|t| t == first),
+    }
+}
+
+/// Runs `f` once per secret in `secrets`, recording each run's memory trace,
+/// and compares all traces against the first.
+///
+/// The closure must perform its secret-dependent work through instrumented
+/// code (code that calls [`crate::tracer::read`]/[`crate::tracer::write`]);
+/// un-instrumented accesses are invisible to the checker.
+///
+/// # Panics
+///
+/// Panics if a trace session is already active on this thread.
+///
+/// ```
+/// use secemb_trace::{check, tracer};
+/// // A scan touches every row regardless of the secret: oblivious.
+/// let scan = |_: &u64| {
+///     for row in 0..8u64 {
+///         tracer::read(tracer::RegionId(0), row * 64, 64);
+///     }
+/// };
+/// assert!(check::compare_traces(&[0u64, 7], scan).is_oblivious());
+/// ```
+pub fn compare_traces<S>(secrets: &[S], mut f: impl FnMut(&S)) -> Verdict {
+    let mut traces = Vec::with_capacity(secrets.len());
+    for s in secrets {
+        let ((), trace) = record_trace(|| f(s));
+        traces.push(trace);
+    }
+    let first_divergence = traces
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(_, t)| **t != traces[0])
+        .map(|(i, _)| i);
+    Verdict {
+        traces,
+        first_divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{self, RegionId};
+
+    #[test]
+    fn oblivious_closure_passes() {
+        let v = compare_traces(&[0u64, 1, 2], |_| {
+            tracer::read(RegionId(0), 0, 64);
+            tracer::read(RegionId(0), 64, 64);
+        });
+        assert!(v.is_oblivious());
+        assert!(v.is_line_oblivious(64));
+        assert!(v.is_page_oblivious(4096));
+        assert_eq!(v.first_divergence(), None);
+        assert_eq!(v.traces().len(), 3);
+    }
+
+    #[test]
+    fn leaky_closure_fails() {
+        let v = compare_traces(&[0u64, 3], |&idx| {
+            tracer::read(RegionId(0), idx * 64, 64);
+        });
+        assert!(!v.is_oblivious());
+        assert_eq!(v.first_divergence(), Some(1));
+        assert!(!v.is_line_oblivious(64));
+    }
+
+    #[test]
+    fn sub_line_leak_invisible_at_line_granularity() {
+        // Two secrets touch different offsets within the SAME cache line:
+        // exact traces differ, line traces agree.
+        let v = compare_traces(&[0u64, 1], |&idx| {
+            tracer::read(RegionId(0), idx * 8, 8);
+        });
+        assert!(!v.is_oblivious());
+        assert!(v.is_line_oblivious(64));
+    }
+
+    #[test]
+    fn page_granularity_coarser_than_line() {
+        // Different lines within the same page.
+        let v = compare_traces(&[0u64, 10], |&idx| {
+            tracer::read(RegionId(0), idx * 64, 64);
+        });
+        assert!(!v.is_line_oblivious(64));
+        assert!(v.is_page_oblivious(4096));
+    }
+
+    #[test]
+    fn empty_secrets_trivially_oblivious() {
+        let v = compare_traces(&[] as &[u64], |_| {});
+        assert!(v.is_oblivious());
+    }
+}

@@ -1,0 +1,192 @@
+//! Trace events and the [`Trace`] container.
+
+use crate::tracer::RegionId;
+
+/// Whether an access was a load or a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A memory load.
+    Read,
+    /// A memory store.
+    Write,
+}
+
+/// One logical memory access: `len` bytes at `offset` within a region.
+///
+/// Offsets are region-relative; [`AccessEvent::address`] maps them into a
+/// synthetic flat address space (regions are placed 2^40 bytes apart, far
+/// beyond any realistic region size) so cache/DRAM models can operate on
+/// plain addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AccessEvent {
+    /// The logical region (table, ORAM tree, stash, ...) touched.
+    pub region: RegionId,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Number of bytes touched.
+    pub len: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl AccessEvent {
+    /// The synthetic flat address of the first byte of this access.
+    pub fn address(&self) -> u64 {
+        ((self.region.0 as u64) << 40) | self.offset
+    }
+}
+
+/// An ordered sequence of [`AccessEvent`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<AccessEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: AccessEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in program order.
+    pub fn events(&self) -> &[AccessEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total bytes touched (reads + writes).
+    pub fn bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.len as u64).sum()
+    }
+
+    /// The trace as seen at cache-line granularity: the ordered sequence of
+    /// distinct line addresses each access covers.
+    ///
+    /// An access spanning multiple lines contributes one entry per line, in
+    /// ascending order, mirroring how the hardware would issue fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero or not a power of two.
+    pub fn line_trace(&self, line_size: u64) -> Vec<u64> {
+        assert!(
+            line_size.is_power_of_two(),
+            "line_size must be a nonzero power of two"
+        );
+        let mut lines = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let start = e.address() / line_size;
+            let end = (e.address() + e.len.max(1) as u64 - 1) / line_size;
+            for line in start..=end {
+                lines.push(line);
+            }
+        }
+        lines
+    }
+
+    /// The trace at page granularity (`page_size` bytes per page), with
+    /// consecutive duplicates collapsed — what a controlled-channel (page
+    /// fault) attacker observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero or not a power of two.
+    pub fn page_trace(&self, page_size: u64) -> Vec<u64> {
+        assert!(
+            page_size.is_power_of_two(),
+            "page_size must be a nonzero power of two"
+        );
+        let mut pages: Vec<u64> = Vec::new();
+        for e in &self.events {
+            let p = e.address() / page_size;
+            if pages.last() != Some(&p) {
+                pages.push(p);
+            }
+        }
+        pages
+    }
+}
+
+impl FromIterator<AccessEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = AccessEvent>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<AccessEvent> for Trace {
+    fn extend<I: IntoIterator<Item = AccessEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(region: u32, offset: u64, len: u32) -> AccessEvent {
+        AccessEvent {
+            region: RegionId(region),
+            offset,
+            len,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn addresses_separate_regions() {
+        assert_ne!(ev(0, 100, 4).address(), ev(1, 100, 4).address());
+        assert_eq!(ev(2, 8, 4).address(), (2u64 << 40) | 8);
+    }
+
+    #[test]
+    fn line_trace_splits_spanning_access() {
+        let t: Trace = [ev(0, 60, 16)].into_iter().collect();
+        // 16 bytes at offset 60 cross the line boundary at 64.
+        assert_eq!(t.line_trace(64), vec![0, 1]);
+    }
+
+    #[test]
+    fn line_trace_zero_len_counts_once() {
+        let t: Trace = [ev(0, 4, 0)].into_iter().collect();
+        assert_eq!(t.line_trace(64), vec![0]);
+    }
+
+    #[test]
+    fn page_trace_collapses_runs() {
+        let t: Trace = [ev(0, 0, 4), ev(0, 8, 4), ev(0, 5000, 4), ev(0, 16, 4)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.page_trace(4096), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn bytes_and_len() {
+        let t: Trace = [ev(0, 0, 4), ev(1, 0, 8)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.bytes(), 12);
+        assert!(!t.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_trace_rejects_bad_line_size() {
+        Trace::new().line_trace(48);
+    }
+}

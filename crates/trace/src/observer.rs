@@ -1,0 +1,257 @@
+//! Coarse-grained side-channel observer models.
+//!
+//! §III-A(2) of the paper lists channels beyond the LLC: page-fault
+//! controlled channels and the DRAM row buffer. These observers replay a
+//! recorded [`Trace`] through the corresponding channel model and report
+//! what the attacker would see, so tests can assert that protected
+//! implementations look identical at *every* granularity.
+
+use crate::event::Trace;
+
+/// What a controlled-channel (page fault) attacker observes: the ordered
+/// sequence of page numbers touched, with consecutive repeats collapsed
+/// (repeat accesses to a present page fault only once per present-bit
+/// reset).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageObservation {
+    /// Ordered distinct-page sequence.
+    pub pages: Vec<u64>,
+}
+
+/// Replays `trace` through a page-granularity observer.
+///
+/// # Panics
+///
+/// Panics if `page_size` is not a nonzero power of two.
+pub fn observe_pages(trace: &Trace, page_size: u64) -> PageObservation {
+    PageObservation {
+        pages: trace.page_trace(page_size),
+    }
+}
+
+/// DRAM row-buffer model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Bytes per DRAM row (per bank).
+    pub row_size: u64,
+    /// Number of banks; consecutive rows interleave across banks.
+    pub banks: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // 8 KiB rows, 16 banks: representative of DDR4 parts.
+        DramConfig {
+            row_size: 8192,
+            banks: 16,
+        }
+    }
+}
+
+/// What a DRAMA-style attacker observes: per access, whether it hit the
+/// currently open row in its bank (fast) or forced an activate (slow).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DramObservation {
+    /// `true` = row-buffer hit for the corresponding trace event.
+    pub row_hits: Vec<bool>,
+    /// The (bank, row) pair of each access, the raw signal an attacker on
+    /// the memory bus would see.
+    pub bank_rows: Vec<(u64, u64)>,
+}
+
+impl DramObservation {
+    /// Fraction of accesses that hit the open row.
+    pub fn hit_rate(&self) -> f64 {
+        if self.row_hits.is_empty() {
+            return 0.0;
+        }
+        self.row_hits.iter().filter(|&&h| h).count() as f64 / self.row_hits.len() as f64
+    }
+}
+
+/// Replays `trace` through an open-page DRAM row-buffer model.
+///
+/// # Panics
+///
+/// Panics if `row_size` is not a nonzero power of two or `banks` is zero.
+pub fn observe_dram(trace: &Trace, config: DramConfig) -> DramObservation {
+    assert!(
+        config.row_size.is_power_of_two(),
+        "row_size must be a power of two"
+    );
+    assert!(config.banks > 0, "banks must be nonzero");
+    let mut open_rows: Vec<Option<u64>> = vec![None; config.banks as usize];
+    let mut obs = DramObservation::default();
+    for e in trace.events() {
+        let global_row = e.address() / config.row_size;
+        let bank = global_row % config.banks;
+        let row = global_row / config.banks;
+        let slot = &mut open_rows[bank as usize];
+        let hit = *slot == Some(row);
+        *slot = Some(row);
+        obs.row_hits.push(hit);
+        obs.bank_rows.push((bank, row));
+    }
+    obs
+}
+
+/// TLB model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Page size in bytes (power of two).
+    pub page_size: u64,
+    /// Fully-associative TLB entry count.
+    pub entries: usize,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        // A second-level TLB of 1536 entries over 4 KiB pages (Ice Lake).
+        TlbConfig {
+            page_size: 4096,
+            entries: 1536,
+        }
+    }
+}
+
+/// What a TLB-timing attacker observes: per access, whether the page
+/// translation was resident (fast) or walked (slow). §III-A(2) lists TLB
+/// timing among the channels that leak table indices at page granularity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlbObservation {
+    /// `true` = TLB hit for the corresponding trace event.
+    pub hits: Vec<bool>,
+}
+
+impl TlbObservation {
+    /// Fraction of accesses whose translation was resident.
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits.is_empty() {
+            return 0.0;
+        }
+        self.hits.iter().filter(|&&h| h).count() as f64 / self.hits.len() as f64
+    }
+}
+
+/// Replays `trace` through a fully-associative LRU TLB model.
+///
+/// # Panics
+///
+/// Panics if `page_size` is not a nonzero power of two or `entries` is 0.
+pub fn observe_tlb(trace: &Trace, config: TlbConfig) -> TlbObservation {
+    assert!(
+        config.page_size.is_power_of_two(),
+        "page_size must be a power of two"
+    );
+    assert!(config.entries > 0, "entries must be nonzero");
+    let mut lru: Vec<u64> = Vec::with_capacity(config.entries);
+    let mut obs = TlbObservation::default();
+    for e in trace.events() {
+        let page = e.address() / config.page_size;
+        if let Some(pos) = lru.iter().position(|&p| p == page) {
+            lru.remove(pos);
+            lru.insert(0, page);
+            obs.hits.push(true);
+        } else {
+            if lru.len() == config.entries {
+                lru.pop();
+            }
+            lru.insert(0, page);
+            obs.hits.push(false);
+        }
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessEvent, AccessKind};
+    use crate::tracer::RegionId;
+
+    fn trace_of(offsets: &[u64]) -> Trace {
+        offsets
+            .iter()
+            .map(|&offset| AccessEvent {
+                region: RegionId(0),
+                offset,
+                len: 64,
+                kind: AccessKind::Read,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn page_observer_collapses() {
+        let t = trace_of(&[0, 100, 5000, 6000, 100]);
+        let obs = observe_pages(&t, 4096);
+        assert_eq!(obs.pages, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn dram_row_hits() {
+        let cfg = DramConfig {
+            row_size: 1024,
+            banks: 2,
+        };
+        // Rows (global): 0,0,1,0 -> banks 0,0,1,0; rows-in-bank 0,0,0,0
+        let t = trace_of(&[0, 512, 1024, 0]);
+        let obs = observe_dram(&t, cfg);
+        assert_eq!(obs.row_hits, vec![false, true, false, true]);
+        assert_eq!(obs.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn dram_bank_conflict_reopens() {
+        let cfg = DramConfig {
+            row_size: 1024,
+            banks: 1,
+        };
+        // Same bank, alternating rows: never a hit after the first open.
+        let t = trace_of(&[0, 1024, 0, 1024]);
+        let obs = observe_dram(&t, cfg);
+        assert_eq!(obs.row_hits, vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn empty_trace_hit_rate() {
+        assert_eq!(observe_dram(&Trace::new(), DramConfig::default()).hit_rate(), 0.0);
+        assert_eq!(observe_tlb(&Trace::new(), TlbConfig::default()).hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn tlb_hits_within_page_misses_across() {
+        let cfg = TlbConfig {
+            page_size: 4096,
+            entries: 2,
+        };
+        // Pages: 0, 0, 1, 2 (evicts 0), 0 (miss again).
+        let t = trace_of(&[0, 100, 4096, 8192, 0]);
+        let obs = observe_tlb(&t, cfg);
+        assert_eq!(obs.hits, vec![false, true, false, false, false]);
+    }
+
+    #[test]
+    fn tlb_lru_keeps_recent_pages() {
+        let cfg = TlbConfig {
+            page_size: 4096,
+            entries: 2,
+        };
+        // Touch page 0, 1, re-touch 0 (now MRU), add 2 -> evicts 1.
+        let t = trace_of(&[0, 4096, 0, 8192, 0, 4096]);
+        let obs = observe_tlb(&t, cfg);
+        assert_eq!(obs.hits, vec![false, false, true, false, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must be nonzero")]
+    fn tlb_rejects_zero_entries() {
+        observe_tlb(
+            &Trace::new(),
+            TlbConfig {
+                page_size: 4096,
+                entries: 0,
+            },
+        );
+    }
+}

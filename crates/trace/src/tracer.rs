@@ -1,0 +1,176 @@
+//! Thread-local access recording.
+//!
+//! Instrumented code (the embedding generators, the ORAM controllers) calls
+//! [`read`] / [`write()`](fn@write) at every *logical* memory access whose address could
+//! depend on a secret. When no [`TraceSession`] is active these calls reduce
+//! to a thread-local flag check, so production paths stay cheap; when a
+//! session is active every access is appended to its [`Trace`].
+
+use crate::event::{AccessEvent, AccessKind, Trace};
+use std::cell::RefCell;
+
+/// Identifies a logical memory region (an embedding table, an ORAM tree,
+/// a stash, ...). Instrumented components pick stable region ids so traces
+/// are comparable across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// Well-known region ids used by the workspace crates.
+pub mod regions {
+    use super::RegionId;
+
+    /// An embedding table's raw storage.
+    pub const TABLE: RegionId = RegionId(1);
+    /// An ORAM bucket tree.
+    pub const ORAM_TREE: RegionId = RegionId(2);
+    /// An ORAM stash.
+    pub const ORAM_STASH: RegionId = RegionId(3);
+    /// An ORAM position map level (add the level index to `0`).
+    pub const ORAM_POSMAP_BASE: RegionId = RegionId(16);
+    /// DHE hash coefficients.
+    pub const DHE_HASH: RegionId = RegionId(4);
+    /// DHE fully-connected weights.
+    pub const DHE_FC: RegionId = RegionId(5);
+    /// Model output buffers.
+    pub const OUTPUT: RegionId = RegionId(6);
+
+    /// The position-map region for recursion level `level`.
+    pub fn oram_posmap(level: u32) -> RegionId {
+        RegionId(ORAM_POSMAP_BASE.0 + level)
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Trace>> = const { RefCell::new(None) };
+}
+
+/// Records a read of `len` bytes at `offset` in `region`, if tracing is on.
+#[inline]
+pub fn read(region: RegionId, offset: u64, len: u32) {
+    record(region, offset, len, AccessKind::Read);
+}
+
+/// Records a write of `len` bytes at `offset` in `region`, if tracing is on.
+#[inline]
+pub fn write(region: RegionId, offset: u64, len: u32) {
+    record(region, offset, len, AccessKind::Write);
+}
+
+#[inline]
+fn record(region: RegionId, offset: u64, len: u32, kind: AccessKind) {
+    ACTIVE.with(|cell| {
+        if let Some(trace) = cell.borrow_mut().as_mut() {
+            trace.push(AccessEvent {
+                region,
+                offset,
+                len,
+                kind,
+            });
+        }
+    });
+}
+
+/// Whether a trace session is currently active on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|cell| cell.borrow().is_some())
+}
+
+/// An active recording session. Created with [`TraceSession::start`];
+/// recording stops and the trace is returned by [`TraceSession::finish`]
+/// (or discarded when the session is dropped).
+///
+/// Sessions do not nest: starting a second session on the same thread
+/// panics, because silently splicing two recorders would corrupt both
+/// traces.
+///
+/// ```
+/// use secemb_trace::{tracer, TraceSession};
+/// let session = TraceSession::start();
+/// tracer::read(tracer::RegionId(1), 0, 64);
+/// let trace = session.finish();
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceSession {
+    finished: bool,
+}
+
+impl TraceSession {
+    /// Begins recording on the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active on this thread.
+    pub fn start() -> Self {
+        ACTIVE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            assert!(slot.is_none(), "TraceSession already active on this thread");
+            *slot = Some(Trace::new());
+        });
+        TraceSession { finished: false }
+    }
+
+    /// Stops recording and returns everything recorded since `start`.
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        ACTIVE.with(|cell| cell.borrow_mut().take().expect("session was active"))
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|cell| {
+                cell.borrow_mut().take();
+            });
+        }
+    }
+}
+
+/// Runs `f` under a fresh trace session and returns its trace alongside the
+/// closure's result.
+pub fn record_trace<T>(f: impl FnOnce() -> T) -> (T, Trace) {
+    let session = TraceSession::start();
+    let out = f();
+    (out, session.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_while_active() {
+        read(RegionId(0), 0, 4); // no session: ignored
+        let (_, trace) = record_trace(|| {
+            read(RegionId(0), 8, 4);
+            write(RegionId(1), 16, 8);
+        });
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events()[0].kind, AccessKind::Read);
+        assert_eq!(trace.events()[1].kind, AccessKind::Write);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn drop_discards() {
+        {
+            let _session = TraceSession::start();
+            read(RegionId(0), 0, 4);
+        }
+        assert!(!is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nesting_panics() {
+        let _a = TraceSession::start();
+        let _b = TraceSession::start();
+    }
+
+    #[test]
+    fn posmap_regions_distinct() {
+        assert_ne!(regions::oram_posmap(0), regions::oram_posmap(1));
+        assert_ne!(regions::oram_posmap(0), regions::TABLE);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the tracing and cache substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb_trace::attack::{run_eviction_attack, AttackConfig};
+use secemb_trace::cache::{Cache, CacheConfig};
+use secemb_trace::check::compare_traces;
+use secemb_trace::event::{AccessEvent, AccessKind, Trace};
+use secemb_trace::tracer::{self, RegionId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn line_trace_covers_every_touched_byte(
+        offset in 0u64..10_000,
+        len in 1u32..512,
+    ) {
+        let t: Trace = [AccessEvent {
+            region: RegionId(0),
+            offset,
+            len,
+            kind: AccessKind::Read,
+        }]
+        .into_iter()
+        .collect();
+        let lines = t.line_trace(64);
+        // Every byte of the access falls in some reported line.
+        for b in offset..offset + len as u64 {
+            prop_assert!(lines.contains(&(b / 64)));
+        }
+        // And lines are contiguous.
+        prop_assert!(lines.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn page_trace_never_repeats_adjacent(
+        offsets in prop::collection::vec(0u64..100_000, 1..60),
+    ) {
+        let t: Trace = offsets
+            .iter()
+            .map(|&offset| AccessEvent {
+                region: RegionId(0),
+                offset,
+                len: 8,
+                kind: AccessKind::Read,
+            })
+            .collect();
+        let pages = t.page_trace(4096);
+        prop_assert!(pages.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn cache_contains_after_access(addrs in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut cache = Cache::new(CacheConfig {
+            sets: 64,
+            ways: 4,
+            line_size: 64,
+        });
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(cache.contains(a), "line must be resident right after access");
+        }
+        let (h, m) = cache.stats();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+    }
+
+    #[test]
+    fn cache_set_occupancy_bounded(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let cfg = CacheConfig {
+            sets: 16,
+            ways: 3,
+            line_size: 64,
+        };
+        let mut cache = Cache::new(cfg);
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(cache.set_occupancy(a) <= 3);
+        }
+    }
+
+    #[test]
+    fn identical_closures_always_oblivious(secrets in prop::collection::vec(any::<u64>(), 1..6)) {
+        let v = compare_traces(&secrets, |_| {
+            tracer::read(RegionId(1), 0, 64);
+            tracer::write(RegionId(1), 64, 32);
+        });
+        prop_assert!(v.is_oblivious());
+    }
+
+    #[test]
+    fn secret_offset_closures_leak_unless_equal(a in 0u64..1000, b in 0u64..1000) {
+        let v = compare_traces(&[a, b], |&s| {
+            tracer::read(RegionId(1), s * 4096, 64);
+        });
+        prop_assert_eq!(v.is_oblivious(), a == b);
+    }
+
+    #[test]
+    fn attack_recovers_any_monitored_index(victim in 0u64..25, seed in any::<u64>()) {
+        let row_bytes = 256u64;
+        let t: Trace = [AccessEvent {
+            region: tracer::regions::TABLE,
+            offset: victim * row_bytes,
+            len: row_bytes as u32,
+            kind: AccessKind::Read,
+        }]
+        .into_iter()
+        .collect();
+        let result = run_eviction_attack(
+            &t,
+            row_bytes,
+            CacheConfig::demo_llc(),
+            AttackConfig {
+                noise_ns: 2.0,
+                ..AttackConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(result.recovered_index, victim);
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's §III attack, end to end: record a victim DLRM embedding
+//! lookup's memory trace, mount the eviction-set attack against it through
+//! the shared-cache model, and watch the secret index fall out — then
+//! watch every protected generator defeat the same attacker.
+//!
+//! ```bash
+//! cargo run --release --example attack_demo
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable};
+use secemb_tensor::Matrix;
+use secemb_trace::attack::{run_eviction_attack, AttackConfig};
+use secemb_trace::cache::CacheConfig;
+use secemb_trace::observer::{observe_dram, observe_pages, DramConfig};
+use secemb_trace::tracer::record_trace;
+
+fn main() {
+    // The "gender table with 2 entries" of the Taobao example generalizes:
+    // here, a 256-entry table where the index encodes a private attribute.
+    let (rows, dim) = (256usize, 64usize);
+    let table = Matrix::from_fn(rows, dim, |r, c| (r + c) as f32);
+    let secret = 171u64;
+    let row_bytes = (dim * 4) as u64;
+    let mut rng = StdRng::seed_from_u64(9);
+
+    let mut generators: Vec<(&str, Box<dyn FnMut(u64)>)> = Vec::new();
+    let mut lookup = IndexLookup::new(table.clone());
+    generators.push(("index lookup", Box::new(move |i| {
+        lookup.generate(i);
+    })));
+    let mut scan = LinearScan::new(table.clone());
+    generators.push(("linear scan", Box::new(move |i| {
+        scan.generate(i);
+    })));
+    let mut oram = OramTable::circuit(&table, StdRng::seed_from_u64(4));
+    generators.push(("circuit ORAM", Box::new(move |i| {
+        oram.generate(i);
+    })));
+    let mut dhe = Dhe::new(DheConfig::new(dim, 64, vec![64]), &mut StdRng::seed_from_u64(5));
+    generators.push(("DHE", Box::new(move |i| {
+        dhe.generate(i);
+    })));
+
+    // An attack "works" only if the recovered index *tracks* the secret:
+    // attack several different secrets and count the hits.
+    let secrets = [secret, 3, 200];
+    println!("victim secret indices tried: {secrets:?}\n");
+    for (name, gen) in &mut generators {
+        let mut hits = 0;
+        let mut last = None;
+        for &s in &secrets {
+            let ((), trace) = record_trace(|| gen(s));
+            let result = run_eviction_attack(
+                &trace,
+                row_bytes,
+                CacheConfig::demo_llc(),
+                AttackConfig {
+                    probe_candidates: rows,
+                    ..AttackConfig::default()
+                },
+                &mut rng,
+            );
+            if result.recovered_index == s {
+                hits += 1;
+            }
+            last = Some((trace, result));
+        }
+        let (trace, result) = last.unwrap();
+        let pages = observe_pages(&trace, 4096);
+        let dram = observe_dram(&trace, DramConfig::default());
+        let verdict = if hits == secrets.len() { "LEAKED" } else { "protected" };
+        println!(
+            "{name:>13}: attacker tracked {hits}/{} secrets (last margin {:>7.1} ns) -> {verdict:9} \
+             | {} page-visits, DRAM row-hit rate {:.0}%",
+            secrets.len(),
+            result.margin_ns(),
+            pages.pages.len(),
+            100.0 * dram.hit_rate(),
+        );
+    }
+    println!(
+        "\nOnly the unprotected lookup lets the attacker track the secret; against\n\
+         the protected generators the recovered index is independent of it."
+    );
+}

@@ -1,0 +1,89 @@
+//! End-to-end DLRM with the paper's hybrid scheme (Algorithms 2 + 3):
+//! train an all-DHE model on a synthetic click task, profile this machine
+//! for scan/DHE thresholds, allocate per feature, and serve securely —
+//! verifying the secure model predicts exactly what the trained one does.
+//!
+//! ```bash
+//! cargo run --release --example dlrm_hybrid
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::hybrid::{allocate, Profiler};
+use secemb::{DheConfig, Technique};
+use secemb_data::{CriteoSpec, SyntheticCtr};
+use secemb_dlrm::{Dlrm, EmbeddingKind, SecureDlrm};
+use secemb_nn::Adam;
+
+fn main() {
+    // A scaled Criteo-Kaggle-shaped model: 8 sparse features of mixed size.
+    let mut spec = CriteoSpec::kaggle().scaled(1024);
+    spec.table_sizes.truncate(8);
+    spec.embedding_dim = 8;
+    spec.bottom_mlp = vec![32, 16, 8];
+    spec.top_mlp = vec![32, 1];
+    println!("model: {} features, table sizes {:?}\n", 8, spec.table_sizes);
+
+    // --- Offline: train ONE all-DHE model (Algorithm 2 step 2 will derive
+    // tables from it for whichever features end up as scans).
+    let gen = SyntheticCtr::new(spec.clone(), 11);
+    let kinds: Vec<EmbeddingKind> = spec
+        .table_sizes
+        .iter()
+        .map(|&n| EmbeddingKind::Dhe(DheConfig::new(8, 32.max((n / 16) as usize).min(64), vec![32])))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = Dlrm::with_kinds(spec.clone(), &kinds, &mut rng);
+    let mut opt = Adam::new(0.01);
+    print!("training all-DHE model");
+    for step in 0..300 {
+        let batch = gen.batch(64, &mut rng);
+        model.train_step(&batch, &mut opt);
+        if step % 100 == 0 {
+            print!(".");
+        }
+    }
+    let test = gen.batch(800, &mut StdRng::seed_from_u64(99));
+    println!(" done; test accuracy {:.2}%", 100.0 * model.accuracy(&test));
+
+    // --- Offline: profile this machine (Algorithm 2 step 1).
+    let profiler = Profiler {
+        dim: 8,
+        sizes: (4..=11).map(|p| 1u64 << p).collect(),
+        repeats: 3,
+        varied_dhe: true,
+    };
+    let profile = profiler.profile_grid(&[32], &[1]);
+    println!("\nprofiled threshold (batch 32, 1 thread): {} rows", profile.threshold(32, 1));
+
+    // --- Online: allocate per feature and build the secure serving model
+    // (Algorithm 3).
+    let allocation = allocate(&profile, &spec.table_sizes, 32, 1);
+    for (n, t) in spec.table_sizes.iter().zip(&allocation) {
+        println!("  table {n:>5} rows -> {t}");
+    }
+    let mut secure = SecureDlrm::from_trained(&model, &allocation, 5);
+
+    // The secure model must agree with the trained model bit-for-bit-ish:
+    // "no accuracy loss" is exact here, not statistical.
+    let batch = gen.batch(64, &mut StdRng::seed_from_u64(1234));
+    let reference = model.forward(&batch);
+    let served = secure.infer(&batch);
+    let max_err = reference
+        .as_slice()
+        .iter()
+        .zip(served.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("\nmax |trained - secure| logit difference: {max_err:.2e}");
+    assert!(max_err < 1e-4);
+
+    // And it should be dramatically smaller than an ORAM deployment.
+    let oram = SecureDlrm::from_trained(&model, &vec![Technique::CircuitOram; 8], 6);
+    println!(
+        "memory: hybrid {} B vs all-ORAM {} B ({:.0}x)",
+        secure.memory_bytes(),
+        oram.memory_bytes(),
+        oram.memory_bytes() as f64 / secure.memory_bytes() as f64
+    );
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the SecEmb reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library surface simply
+//! re-exports the workspace crates so examples can use one import root.
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use secemb;
+pub use secemb_data as data;
+pub use secemb_dlrm as dlrm;
+pub use secemb_enclave as enclave;
+pub use secemb_llm as llm;
+pub use secemb_nn as nn;
+pub use secemb_obliv as obliv;
+pub use secemb_oram as oram;
+pub use secemb_tensor as tensor;
+pub use secemb_trace as trace;

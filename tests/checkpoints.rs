@@ -1,0 +1,80 @@
+//! Checkpoint integration: whole trained models (DLRM and GPT, table- and
+//! DHE-embedded) survive a serialize/deserialize round trip bit-exactly —
+//! the train-once / serve-anywhere workflow of Algorithm 2.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secemb::{DheConfig, Technique};
+use secemb_data::{CriteoSpec, SyntheticCtr};
+use secemb_dlrm::{Dlrm, EmbeddingKind, SecureDlrm};
+use secemb_llm::{Gpt, GptConfig, GptServing, TokenEmbeddingKind};
+use secemb_nn::{Adam, Checkpoint};
+
+#[test]
+fn dlrm_round_trips_through_checkpoint() {
+    let mut spec = CriteoSpec::kaggle().scaled(64);
+    spec.table_sizes.truncate(3);
+    spec.embedding_dim = 8;
+    spec.bottom_mlp = vec![16, 8];
+    spec.top_mlp = vec![16, 1];
+    let gen = SyntheticCtr::new(spec.clone(), 2);
+    let kind = EmbeddingKind::Dhe(DheConfig::new(8, 16, vec![16]));
+
+    let mut trained = Dlrm::new(spec.clone(), &kind, &mut StdRng::seed_from_u64(1));
+    let mut opt = Adam::new(0.01);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..25 {
+        let batch = gen.batch(16, &mut rng);
+        trained.train_step(&batch, &mut opt);
+    }
+    let batch = gen.batch(6, &mut rng);
+    let reference = trained.forward(&batch);
+
+    let bytes = Checkpoint::save(&mut trained);
+    // A fresh model with different random init, same architecture.
+    let mut restored = Dlrm::new(spec, &kind, &mut StdRng::seed_from_u64(999));
+    assert!(!reference.allclose(&restored.forward(&batch), 1e-6));
+    Checkpoint::load(&bytes, &mut restored).unwrap();
+    assert!(reference.allclose(&restored.forward(&batch), 0.0));
+
+    // And the restored model can be deployed securely.
+    let mut secure = SecureDlrm::from_trained(&restored, &[Technique::LinearScan; 3], 4);
+    assert!(reference.allclose(&secure.infer(&batch), 1e-4));
+}
+
+#[test]
+fn gpt_round_trips_through_checkpoint() {
+    let config = GptConfig::tiny(20);
+    for kind in [
+        TokenEmbeddingKind::Table,
+        TokenEmbeddingKind::Dhe(DheConfig::new(config.dim, 16, vec![16])),
+    ] {
+        let mut trained = Gpt::new(config, &kind, &mut StdRng::seed_from_u64(5));
+        let prompt = [1usize, 7, 13];
+        let reference = trained.forward_sequence(&prompt);
+
+        let bytes = Checkpoint::save(&mut trained);
+        let mut restored = Gpt::new(config, &kind, &mut StdRng::seed_from_u64(777));
+        Checkpoint::load(&bytes, &mut restored).unwrap();
+        assert!(reference.allclose(&restored.forward_sequence(&prompt), 0.0));
+
+        // Serving from the restored weights generates identically.
+        let mut a = GptServing::new(&trained, Technique::IndexLookup, 0);
+        let mut b = GptServing::new(&restored, Technique::IndexLookup, 0);
+        assert_eq!(a.generate(&prompt, 5), b.generate(&prompt, 5));
+    }
+}
+
+#[test]
+fn checkpoint_rejects_cross_architecture_restore() {
+    let config = GptConfig::tiny(20);
+    let table_kind = TokenEmbeddingKind::Table;
+    let dhe_kind = TokenEmbeddingKind::Dhe(DheConfig::new(config.dim, 16, vec![16]));
+    let mut table_model = Gpt::new(config, &table_kind, &mut StdRng::seed_from_u64(1));
+    let mut dhe_model = Gpt::new(config, &dhe_kind, &mut StdRng::seed_from_u64(2));
+    let bytes = Checkpoint::save(&mut table_model);
+    assert!(
+        Checkpoint::load(&bytes, &mut dhe_model).is_err(),
+        "a table checkpoint must not silently load into a DHE model"
+    );
+}
