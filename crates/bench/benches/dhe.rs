@@ -61,5 +61,10 @@ fn bench_batch_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_k_scaling, bench_uniform_vs_varied, bench_batch_parallelism);
+criterion_group!(
+    benches,
+    bench_k_scaling,
+    bench_uniform_vs_varied,
+    bench_batch_parallelism
+);
 criterion_main!(benches);

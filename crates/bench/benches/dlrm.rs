@@ -38,7 +38,7 @@ fn bench_dlrm_e2e(c: &mut Criterion) {
         Technique::CircuitOram,
         Technique::Dhe,
     ] {
-        let mut secure = SecureDlrm::from_trained(&model, &vec![tech; 8], 3);
+        let mut secure = SecureDlrm::from_trained(&model, &[tech; 8], 3);
         group.bench_function(format!("{tech:?}"), |b| {
             b.iter(|| secure.infer(&batch));
         });
@@ -64,7 +64,7 @@ fn bench_batch_scaling(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for &bs in &[8usize, 32, 128] {
         let batch = gen.batch(bs, &mut StdRng::seed_from_u64(5));
-        let mut oram = SecureDlrm::from_trained(&model, &vec![Technique::CircuitOram; 8], 6);
+        let mut oram = SecureDlrm::from_trained(&model, &[Technique::CircuitOram; 8], 6);
         group.bench_with_input(BenchmarkId::new("circuit_oram", bs), &bs, |b, _| {
             b.iter(|| oram.infer(&batch));
         });

@@ -58,7 +58,9 @@ fn bench_relu(c: &mut Criterion) {
 
 fn bench_argmax(c: &mut Criterion) {
     // The secure greedy-sampling primitive over GPT-2-sized logits.
-    let logits: Vec<f32> = (0..50257).map(|i| ((i * 31) as f32 * 0.001).sin()).collect();
+    let logits: Vec<f32> = (0..50257)
+        .map(|i| ((i * 31) as f32 * 0.001).sin())
+        .collect();
     let mut group = c.benchmark_group("oblivious_argmax_vocab50257");
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_secs(1));

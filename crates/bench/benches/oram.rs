@@ -53,13 +53,17 @@ fn bench_stash_ablation(c: &mut Criterion) {
         let mut cfg = OramConfig::path(words);
         cfg.stash_capacity = stash.max(40); // Path needs headroom to stay safe
         let mut path = PathOram::new(&data, cfg, StdRng::seed_from_u64(2));
-        group.bench_with_input(BenchmarkId::new("path_stash", cfg.stash_capacity), &stash, |b, _| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 13) % n as u64;
-                path.read(i)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("path_stash", cfg.stash_capacity),
+            &stash,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 13) % n as u64;
+                    path.read(i)
+                });
+            },
+        );
         let mut ccfg = OramConfig::circuit(words);
         ccfg.stash_capacity = stash;
         let mut circuit = CircuitOram::new(&data, ccfg, StdRng::seed_from_u64(2));
@@ -98,5 +102,10 @@ fn bench_recursion_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_controllers, bench_stash_ablation, bench_recursion_ablation);
+criterion_group!(
+    benches,
+    bench_controllers,
+    bench_stash_ablation,
+    bench_recursion_ablation
+);
 criterion_main!(benches);

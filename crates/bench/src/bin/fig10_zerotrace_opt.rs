@@ -34,7 +34,11 @@ fn main() {
 
     type Builder = fn(&[Vec<u32>], usize) -> Box<dyn Oram>;
     let path_builder: Builder = |data, words| {
-        Box::new(PathOram::new(data, OramConfig::path(words), StdRng::seed_from_u64(1)))
+        Box::new(PathOram::new(
+            data,
+            OramConfig::path(words),
+            StdRng::seed_from_u64(1),
+        ))
     };
     let circuit_builder: Builder = |data, words| {
         Box::new(CircuitOram::new(
@@ -43,7 +47,10 @@ fn main() {
             StdRng::seed_from_u64(1),
         ))
     };
-    for (name, build) in [("Path ORAM", path_builder), ("Circuit ORAM", circuit_builder)] {
+    for (name, build) in [
+        ("Path ORAM", path_builder),
+        ("Circuit ORAM", circuit_builder),
+    ] {
         println!("--- {name} ---");
         let mut rows_out = Vec::new();
         for &n in &[1024u32, 4096, 16384] {
@@ -65,7 +72,13 @@ fn main() {
             rows_out.push(row);
         }
         print_table(
-            &["table size", "ZT-Original", "ZT-Gramine", "ZT-Gramine-Opt", "reduction G/Opt"],
+            &[
+                "table size",
+                "ZT-Original",
+                "ZT-Gramine",
+                "ZT-Gramine-Opt",
+                "reduction G/Opt",
+            ],
             &rows_out,
         );
         println!();

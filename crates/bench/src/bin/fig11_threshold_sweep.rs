@@ -42,7 +42,10 @@ fn main() {
             .iter()
             .map(|&n| choose_technique(n, thr))
             .collect();
-        let scan_count = alloc.iter().filter(|&&t| t == Technique::LinearScan).count();
+        let scan_count = alloc
+            .iter()
+            .filter(|&&t| t == Technique::LinearScan)
+            .count();
         let mut secure = SecureDlrm::from_trained(&model, &alloc, 3);
         let ns = median_ns(3, || {
             std::hint::black_box(secure.infer(&batch));

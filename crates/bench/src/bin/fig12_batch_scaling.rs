@@ -37,7 +37,7 @@ fn main() {
     for &bs in &[8usize, 16, 32, 64, 128] {
         let batch = gen.batch(bs, &mut StdRng::seed_from_u64(bs as u64));
 
-        let mut oram = SecureDlrm::from_trained(&model, &vec![Technique::CircuitOram; 12], 2);
+        let mut oram = SecureDlrm::from_trained(&model, &[Technique::CircuitOram; 12], 2);
         let oram_ns = median_ns(2, || {
             std::hint::black_box(oram.infer(&batch));
         });

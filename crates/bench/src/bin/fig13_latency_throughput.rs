@@ -3,8 +3,8 @@
 
 use secemb::Technique;
 use secemb_bench::{fmt_ns, print_table, SCALE_NOTE};
-use secemb_dlrm::colocate::{run_colocated, Workload};
 use secemb_data::CriteoSpec;
+use secemb_dlrm::colocate::{run_colocated, Workload};
 use std::time::Duration;
 
 /// One "model instance" = one workload per sparse feature would be too
@@ -39,7 +39,10 @@ fn main() {
         .map(|n| (n.get() / 2).clamp(2, 8))
         .unwrap_or(4);
 
-    for (label, all_dhe) in [("DHE Varied (all features DHE)", true), ("Hybrid Varied", false)] {
+    for (label, all_dhe) in [
+        ("DHE Varied (all features DHE)", true),
+        ("Hybrid Varied", false),
+    ] {
         println!("--- {label} ---");
         let mut rows_out = Vec::new();
         for n in 1..=max_instances {
@@ -68,7 +71,10 @@ fn main() {
                 format!("{throughput:.0}/s"),
             ]);
         }
-        print_table(&["co-located models", "model latency", "throughput"], &rows_out);
+        print_table(
+            &["co-located models", "model latency", "throughput"],
+            &rows_out,
+        );
         println!();
     }
     println!(

@@ -1,0 +1,106 @@
+//! Fig. 13 (serving-system view): latency-throughput sweep against the
+//! `secemb-serve` TCP server with a 20 ms SLA.
+//!
+//! Where `fig13_latency_throughput` measures raw co-located generator
+//! loops, this binary drives the full serving path — TCP framing,
+//! coalescing, admission control — with a paced open-loop load generator,
+//! and reports the p50/p95/p99 latency and rejection rate at each offered
+//! rate. The backend is the paper's hybrid: a small scan-served table and
+//! a large DHE-served table behind one threshold.
+
+use secemb::GeneratorSpec;
+use secemb_bench::{print_table, SCALE_NOTE};
+use secemb_serve::loadgen::{run_load, LoadConfig};
+use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    println!("Fig. 13 (serving): latency-throughput sweep, hybrid backend, 20 ms SLA");
+    println!("{SCALE_NOTE}\n");
+
+    let threshold = 100_000;
+    let specs = [
+        GeneratorSpec::Hybrid {
+            rows: 4_096,
+            dim: 64,
+            threshold,
+        },
+        GeneratorSpec::Hybrid {
+            rows: 1 << 20,
+            dim: 64,
+            threshold,
+        },
+    ];
+    let mut config = EngineConfig::new(
+        specs
+            .iter()
+            .map(|&spec| TableConfig {
+                spec,
+                seed: 42,
+                queue_capacity: 1024,
+                cost_override_ns: None,
+            })
+            .collect(),
+    );
+    config.policy = BatchPolicy {
+        max_batch: 64,
+        max_wait: Duration::from_micros(500),
+    };
+
+    eprintln!("building tables and probing costs...");
+    let engine = Arc::new(Engine::start(config));
+    for (id, info) in engine.tables().iter().enumerate() {
+        println!(
+            "table {id}: {} rows x {} dim, {} ({:.0} ns/query)",
+            info.rows, info.dim, info.technique, info.per_query_ns
+        );
+    }
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+    println!();
+
+    for (label, table) in [
+        ("scan-served (small table)", 0),
+        ("DHE-served (large table)", 1),
+    ] {
+        println!("--- {label} ---");
+        let mut rows_out = Vec::new();
+        for rate in [250.0, 500.0, 1000.0, 2000.0, 4000.0] {
+            let report = run_load(&LoadConfig {
+                addr,
+                connections: 8,
+                table,
+                batch: 4,
+                offered_rps: rate,
+                duration: Duration::from_secs(2),
+                deadline: Some(Duration::from_millis(20)),
+                seed: 1,
+            })
+            .expect("load run");
+            rows_out.push(vec![
+                format!("{rate:.0}"),
+                format!("{:.0}", report.achieved_rps),
+                format!("{:.2}", report.latency.p50_ns / 1e6),
+                format!("{:.2}", report.latency.p95_ns / 1e6),
+                format!("{:.2}", report.latency.p99_ns / 1e6),
+                format!("{:.1}%", report.rejected_fraction() * 100.0),
+            ]);
+        }
+        print_table(
+            &[
+                "offered/s",
+                "achieved/s",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "rejected",
+            ],
+            &rows_out,
+        );
+        println!();
+    }
+
+    let snap = engine.stats().snapshot();
+    println!("server stats after sweep:\n{snap}");
+}

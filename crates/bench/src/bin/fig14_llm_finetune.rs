@@ -15,7 +15,9 @@ use secemb_nn::Adam;
 
 fn sequences(corpus: &MarkovCorpus, n: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| corpus.sample_sequence(len, &mut rng)).collect()
+    (0..n)
+        .map(|_| corpus.sample_sequence(len, &mut rng))
+        .collect()
 }
 
 fn main() {
@@ -43,10 +45,11 @@ fn main() {
         ("Table".to_string(), TokenEmbeddingKind::Table),
         (
             "DHE".to_string(),
-            TokenEmbeddingKind::Dhe(DheConfig::new(config.dim, 2 * config.dim, vec![
-                2 * config.dim;
-                2
-            ])),
+            TokenEmbeddingKind::Dhe(DheConfig::new(
+                config.dim,
+                2 * config.dim,
+                vec![2 * config.dim; 2],
+            )),
         ),
     ] {
         let mut gpt = Gpt::new(config, &kind, &mut StdRng::seed_from_u64(1));
@@ -55,7 +58,7 @@ fn main() {
         for step in 0..steps {
             let batch = sequences(&corpus, 4, 40, 5000 + step as u64);
             gpt.train_step(&batch, &mut opt);
-            if (step + 1) % report_every == 0 {
+            if (step + 1).is_multiple_of(report_every) {
                 curve.push(gpt.perplexity(&test));
             }
         }

@@ -33,9 +33,16 @@ fn main() {
     ];
 
     for &batch in &[1usize, 4, 8] {
-        println!("--- inference batch {batch} (prefill embeds {} tokens) ---", batch * prompt_len);
+        println!(
+            "--- inference batch {batch} (prefill embeds {} tokens) ---",
+            batch * prompt_len
+        );
         let prompts: Vec<Vec<usize>> = (0..batch)
-            .map(|b| (0..prompt_len).map(|i| (b * 997 + i * 37) % config.vocab).collect())
+            .map(|b| {
+                (0..prompt_len)
+                    .map(|i| (b * 997 + i * 37) % config.vocab)
+                    .collect()
+            })
             .collect();
         let mut rows_out = Vec::new();
         let mut circuit_ref: Option<(f64, f64)> = None;
@@ -90,7 +97,10 @@ fn main() {
                 }
             }
         }
-        print_table(&["technique", "Prefill/TTFT", "Decode/TBT", "DHE speed-up"], &rows_out);
+        print_table(
+            &["technique", "Prefill/TTFT", "Decode/TBT", "DHE speed-up"],
+            &rows_out,
+        );
         println!();
     }
     println!(

@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secemb::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable};
-use secemb_bench::{fmt_bytes, fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE};
+use secemb_bench::{
+    fmt_bytes, fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE,
+};
 
 fn main() {
     println!("Fig. 2: embedding generation methods (DLRM batch = 32)");
@@ -52,10 +54,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["Method", "Latency", "Normalized", "Memory"],
-        &rows_out,
-    );
+    print_table(&["Method", "Latency", "Normalized", "Memory"], &rows_out);
     println!(
         "\nPaper's Fig. 2 message: lookup is fastest but insecure; among secure\n\
          methods the storage ones pay in latency (scan) or both latency and\n\

@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secemb::{Dhe, DheConfig, EmbeddingGenerator, LinearScan, OramTable};
-use secemb_bench::{fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE};
+use secemb_bench::{
+    fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE,
+};
 
 fn main() {
     println!("Fig. 4: latency vs table size (batch 32, 1 thread)");

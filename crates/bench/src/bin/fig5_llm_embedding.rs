@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secemb::{Dhe, DheConfig, EmbeddingGenerator, LinearScan, OramTable};
-use secemb_bench::{fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE};
+use secemb_bench::{
+    fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, SCALE_NOTE,
+};
 
 fn main() {
     // Paper: vocab 50257 (GPT-2), dims 768–8192, batches from 1 (decode)
@@ -46,7 +48,10 @@ fn main() {
                 fmt_ns(dhe_ns),
             ]);
         }
-        print_table(&["dim", "LinearScan", "Circuit ORAM", "DHE (2xdim)"], &rows_out);
+        print_table(
+            &["dim", "LinearScan", "Circuit ORAM", "DHE (2xdim)"],
+            &rows_out,
+        );
         println!();
     }
     println!(

@@ -43,12 +43,8 @@ fn main() {
         }
         let (s, f, d) = classify(&sorted, lo, hi);
         let total_mem: u64 = sorted.iter().sum::<u64>() * spec.embedding_dim as u64 * 4;
-        let dhe_mem: u64 = sorted
-            .iter()
-            .filter(|&&n| n > hi)
-            .sum::<u64>()
-            * spec.embedding_dim as u64
-            * 4;
+        let dhe_mem: u64 =
+            sorted.iter().filter(|&&n| n > hi).sum::<u64>() * spec.embedding_dim as u64 * 4;
         println!(
             "  -> {s} always-scan, {f} configuration-dependent, {d} always-DHE \
              ({:.1}% of table bytes always-DHE)\n",

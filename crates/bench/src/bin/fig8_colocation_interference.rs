@@ -13,7 +13,11 @@ fn main() {
     let counts = [1usize, 2, 4, 8, 16];
 
     for (label, technique, rows) in [
-        ("Linear scan, 8192-row table", Technique::LinearScan, 8192u64),
+        (
+            "Linear scan, 8192-row table",
+            Technique::LinearScan,
+            8192u64,
+        ),
         ("DHE (scaled Uniform, k=256)", Technique::Dhe, 8192),
     ] {
         println!("--- {label} (dim 64, batch 32) ---");

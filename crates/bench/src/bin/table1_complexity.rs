@@ -26,6 +26,8 @@ fn main() {
         &["Method", "Computation", "Memory Space", "Model Accuracy"],
         &rows,
     );
-    println!("\nNon-secure baseline: {} — O(1) compute, O(n) memory, but leaks the index.",
-        Technique::IndexLookup.label());
+    println!(
+        "\nNon-secure baseline: {} — O(1) compute, O(n) memory, but leaks the index.",
+        Technique::IndexLookup.label()
+    );
 }

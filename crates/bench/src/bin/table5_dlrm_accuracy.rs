@@ -24,8 +24,7 @@ fn main() {
     spec.top_mlp = vec![32, 1];
     let gen = SyntheticCtr::new(spec.clone(), 42);
     let test = gen.batch(1500, &mut StdRng::seed_from_u64(7777));
-    let base_rate: f64 =
-        test.iter().map(|s| s.label as f64).sum::<f64>() / test.len() as f64;
+    let base_rate: f64 = test.iter().map(|s| s.label as f64).sum::<f64>() / test.len() as f64;
     println!(
         "test set: {} samples, majority-class accuracy {:.2}%\n",
         test.len(),
@@ -37,10 +36,7 @@ fn main() {
     let uniform = DheConfig::new(8, 256, vec![128, 64]);
     let configs: Vec<(&str, Vec<EmbeddingKind>)> = vec![
         ("Table", vec![EmbeddingKind::Table; 8]),
-        (
-            "DHE Uniform",
-            vec![EmbeddingKind::Dhe(uniform.clone()); 8],
-        ),
+        ("DHE Uniform", vec![EmbeddingKind::Dhe(uniform.clone()); 8]),
         (
             "DHE Varied",
             spec.table_sizes
@@ -52,7 +48,10 @@ fn main() {
                     EmbeddingKind::Dhe(DheConfig::new(
                         8,
                         ((256.0 * scale) as usize).max(64),
-                        vec![((128.0 * scale) as usize).max(32), ((64.0 * scale) as usize).max(16)],
+                        vec![
+                            ((128.0 * scale) as usize).max(32),
+                            ((64.0 * scale) as usize).max(16),
+                        ],
                     ))
                 })
                 .collect(),

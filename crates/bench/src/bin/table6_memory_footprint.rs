@@ -62,8 +62,16 @@ fn main() {
     for (i, &label) in labels.iter().enumerate() {
         rows_out.push(vec![
             label.to_string(),
-            format!("{:.1} MB ({:.2}%)", mb(kaggle_vals[i]), 100.0 * kaggle_vals[i] as f64 / kaggle_vals[0] as f64),
-            format!("{:.1} MB ({:.2}%)", mb(tb_vals[i]), 100.0 * tb_vals[i] as f64 / tb_vals[0] as f64),
+            format!(
+                "{:.1} MB ({:.2}%)",
+                mb(kaggle_vals[i]),
+                100.0 * kaggle_vals[i] as f64 / kaggle_vals[0] as f64
+            ),
+            format!(
+                "{:.1} MB ({:.2}%)",
+                mb(tb_vals[i]),
+                100.0 * tb_vals[i] as f64 / tb_vals[0] as f64
+            ),
         ]);
     }
     print_table(&["Representation", "Kaggle", "Terabyte"], &rows_out);

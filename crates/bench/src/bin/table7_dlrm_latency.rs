@@ -10,7 +10,10 @@ use secemb_data::{CriteoSpec, SyntheticCtr};
 use secemb_dlrm::{Dlrm, EmbeddingKind, SecureDlrm};
 
 fn run(spec_name: &str, spec: CriteoSpec) {
-    println!("--- {spec_name} (tables capped, dim {}) ---", spec.embedding_dim);
+    println!(
+        "--- {spec_name} (tables capped, dim {}) ---",
+        spec.embedding_dim
+    );
     let dim = spec.embedding_dim;
     let gen = SyntheticCtr::new(spec.clone(), 0);
     let batch = gen.batch(32, &mut StdRng::seed_from_u64(1));
@@ -51,11 +54,36 @@ fn run(spec_name: &str, spec: CriteoSpec) {
         measurements.push((label.to_string(), ns));
     };
 
-    measure("Index Lookup (non-secure)", &varied_model, vec![Technique::IndexLookup; n_feat], 5);
-    measure("Linear Scan", &varied_model, vec![Technique::LinearScan; n_feat], 2);
-    measure("Path ORAM", &varied_model, vec![Technique::PathOram; n_feat], 2);
-    measure("Circuit ORAM", &varied_model, vec![Technique::CircuitOram; n_feat], 2);
-    measure("DHE Uniform", &uniform_model, vec![Technique::Dhe; n_feat], 3);
+    measure(
+        "Index Lookup (non-secure)",
+        &varied_model,
+        vec![Technique::IndexLookup; n_feat],
+        5,
+    );
+    measure(
+        "Linear Scan",
+        &varied_model,
+        vec![Technique::LinearScan; n_feat],
+        2,
+    );
+    measure(
+        "Path ORAM",
+        &varied_model,
+        vec![Technique::PathOram; n_feat],
+        2,
+    );
+    measure(
+        "Circuit ORAM",
+        &varied_model,
+        vec![Technique::CircuitOram; n_feat],
+        2,
+    );
+    measure(
+        "DHE Uniform",
+        &uniform_model,
+        vec![Technique::Dhe; n_feat],
+        3,
+    );
     measure("DHE Varied", &varied_model, vec![Technique::Dhe; n_feat], 3);
     measure("Hybrid Uniform", &uniform_model, uniform_alloc, 3);
     measure("Hybrid Varied", &varied_model, varied_alloc, 3);
@@ -79,7 +107,10 @@ fn run(spec_name: &str, spec: CriteoSpec) {
             ]
         })
         .collect();
-    print_table(&["Technique", "End-to-end latency", "vs Circuit ORAM"], &rows_out);
+    print_table(
+        &["Technique", "End-to-end latency", "vs Circuit ORAM"],
+        &rows_out,
+    );
     println!();
 }
 

@@ -10,7 +10,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secemb::footprint::{dhe_bytes, table_bytes, tree_oram_bytes};
 use secemb::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable};
-use secemb_bench::{fmt_bytes, fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, LatencyCurve, SCALE_NOTE};
+use secemb_bench::{
+    fmt_bytes, fmt_ns, median_ns, print_table, synthetic_indices, synthetic_table, LatencyCurve,
+    SCALE_NOTE,
+};
 use secemb_data::meta_table_sizes;
 use secemb_oram::OramConfig;
 
@@ -46,7 +49,8 @@ fn main() {
     );
     let path_curve = LatencyCurve::measure(
         |n| {
-            let mut g = OramTable::path(&synthetic_table(n as usize, dim), StdRng::seed_from_u64(n));
+            let mut g =
+                OramTable::path(&synthetic_table(n as usize, dim), StdRng::seed_from_u64(n));
             let idx = synthetic_indices(batch, n);
             median_ns(2, || {
                 std::hint::black_box(g.generate_batch(&idx));
@@ -66,7 +70,10 @@ fn main() {
         &grid,
     );
     let dhe_uniform_ns = {
-        let g = Dhe::new(DheConfig::new(dim, 256, vec![128, 64]), &mut StdRng::seed_from_u64(0));
+        let g = Dhe::new(
+            DheConfig::new(dim, 256, vec![128, 64]),
+            &mut StdRng::seed_from_u64(0),
+        );
         let idx = synthetic_indices(batch, 1_000_000);
         median_ns(3, || {
             std::hint::black_box(g.infer(&idx));
@@ -91,7 +98,13 @@ fn main() {
     let lat_circuit = sum(&|n| circuit_curve.eval(n));
     let lat_dhe_u = 788.0 * dhe_uniform_ns;
     let lat_dhe_v = sum(&|n| dhe_varied_curve.eval(n));
-    let lat_hyb_u = sum(&|n| if n < threshold { scan_curve.eval(n) } else { dhe_uniform_ns });
+    let lat_hyb_u = sum(&|n| {
+        if n < threshold {
+            scan_curve.eval(n)
+        } else {
+            dhe_uniform_ns
+        }
+    });
     let lat_hyb_v = sum(&|n| {
         if n < threshold {
             scan_curve.eval(n)
@@ -143,7 +156,13 @@ fn main() {
     })
     .collect();
     print_table(
-        &["Technique", "Embedding latency (788 tables)", "vs Circuit", "Memory", "vs table"],
+        &[
+            "Technique",
+            "Embedding latency (788 tables)",
+            "vs Circuit",
+            "Memory",
+            "vs table",
+        ],
         &rows_out,
     );
     println!(

@@ -13,7 +13,8 @@ use secemb_tensor::Matrix;
 use std::time::Instant;
 
 /// Scaling disclaimer printed by the binaries.
-pub const SCALE_NOTE: &str = "NOTE: sizes are scaled down from the paper's testbed (see EXPERIMENTS.md); \
+pub const SCALE_NOTE: &str =
+    "NOTE: sizes are scaled down from the paper's testbed (see EXPERIMENTS.md); \
 compare shapes and ratios, not absolute numbers.";
 
 /// Median wall-clock nanoseconds over `repeats` runs of `f`.
@@ -82,12 +83,16 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 
 /// A deterministic synthetic "trained" table.
 pub fn synthetic_table(rows: usize, dim: usize) -> Matrix {
-    Matrix::from_fn(rows, dim, |r, c| ((r * 31 + c * 7) as f32 * 0.013).sin() * 0.1)
+    Matrix::from_fn(rows, dim, |r, c| {
+        ((r * 31 + c * 7) as f32 * 0.013).sin() * 0.1
+    })
 }
 
 /// Deterministic batch of lookup indices for a table of `rows` rows.
 pub fn synthetic_indices(batch: usize, rows: u64) -> Vec<u64> {
-    (0..batch as u64).map(|i| (i * 2654435761) % rows.max(1)).collect()
+    (0..batch as u64)
+        .map(|i| (i * 2654435761) % rows.max(1))
+        .collect()
 }
 
 /// An ASCII bar for quick visual comparison in figure binaries.

@@ -168,8 +168,8 @@ impl Dhe {
         // Decode through the MLP; weight reads have a fixed pattern.
         let mut fc_offset = 0u64;
         for (i, layer) in self.layers.iter().enumerate() {
-            let bytes = ((layer.in_features() * layer.out_features() + layer.out_features())
-                * 4) as u32;
+            let bytes =
+                ((layer.in_features() * layer.out_features() + layer.out_features()) * 4) as u32;
             tracer::read(regions::DHE_FC, fc_offset, bytes);
             fc_offset += bytes as u64;
             x = layer.apply(&x);

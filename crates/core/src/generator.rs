@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn table_i_complexities() {
         assert_eq!(Technique::LinearScan.computation_complexity(), "O(n)");
-        assert_eq!(Technique::CircuitOram.computation_complexity(), "O(log^2 n)");
+        assert_eq!(
+            Technique::CircuitOram.computation_complexity(),
+            "O(log^2 n)"
+        );
         assert_eq!(Technique::Dhe.computation_complexity(), "O(k^2)");
         assert_eq!(Technique::Dhe.memory_complexity(), "O(k^2)");
     }

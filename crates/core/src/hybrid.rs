@@ -22,11 +22,18 @@ use crate::{Dhe, DheConfig, LinearScan, Technique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secemb_tensor::Matrix;
-use serde::{Deserialize, Serialize};
+use secemb_wire::json::{self, JsonError, Value};
 use std::time::Instant;
 
+fn field_error(ty: &str, field: &str) -> JsonError {
+    JsonError {
+        message: format!("{ty}: missing or invalid field '{field}'"),
+        position: 0,
+    }
+}
+
 /// One profiled execution configuration and its crossover threshold.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ThresholdEntry {
     /// Embedding-generation batch size.
     pub batch: usize,
@@ -36,9 +43,32 @@ pub struct ThresholdEntry {
     pub threshold: u64,
 }
 
+impl ThresholdEntry {
+    fn to_value(self) -> Value {
+        Value::obj([
+            ("batch", Value::Num(self.batch as f64)),
+            ("threads", Value::Num(self.threads as f64)),
+            ("threshold", Value::Num(self.threshold as f64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let field = |name| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| field_error("ThresholdEntry", name))
+        };
+        Ok(ThresholdEntry {
+            batch: field("batch")? as usize,
+            threads: field("threads")? as usize,
+            threshold: field("threshold")?,
+        })
+    }
+}
+
 /// The profiled threshold database (Fig. 6), one entry per execution
 /// configuration, for a fixed embedding dimension.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThresholdTable {
     /// Embedding dimension the profile was taken at.
     pub dim: usize,
@@ -70,7 +100,7 @@ impl ThresholdTable {
     /// Serializes to JSON (the on-disk artifact the paper's Jupyter
     /// notebook produces).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("threshold table serializes")
+        self.to_value().to_pretty()
     }
 
     /// Parses a JSON profile.
@@ -78,15 +108,40 @@ impl ThresholdTable {
     /// # Errors
     ///
     /// Returns the underlying parse error on malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        Self::from_value(&json::parse(s)?)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("dim", Value::Num(self.dim as f64)),
+            (
+                "entries",
+                Value::Arr(self.entries.iter().map(|e| e.to_value()).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let dim = v
+            .get("dim")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| field_error("ThresholdTable", "dim"))?;
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| field_error("ThresholdTable", "entries"))?
+            .iter()
+            .map(ThresholdEntry::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThresholdTable { dim, entries })
     }
 }
 
 /// A set of [`ThresholdTable`]s covering multiple embedding dimensions —
 /// the full Algorithm 2 artifact ("done once per system **for each
 /// embedding dimension**", §IV-C1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProfileDatabase {
     /// One profile per embedding dimension.
     pub profiles: Vec<ThresholdTable>,
@@ -117,9 +172,8 @@ impl ProfileDatabase {
     ///
     /// Panics if any selected profile has no entries.
     pub fn threshold(&self, dim: usize, batch: usize, threads: usize) -> u64 {
-        let dist = |p: &ThresholdTable| {
-            ((p.dim.max(1) as f64).ln() - (dim.max(1) as f64).ln()).abs()
-        };
+        let dist =
+            |p: &ThresholdTable| ((p.dim.max(1) as f64).ln() - (dim.max(1) as f64).ln()).abs();
         self.profiles
             .iter()
             .min_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap())
@@ -129,7 +183,11 @@ impl ProfileDatabase {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile database serializes")
+        Value::obj([(
+            "profiles",
+            Value::Arr(self.profiles.iter().map(|p| p.to_value()).collect()),
+        )])
+        .to_pretty()
     }
 
     /// Parses a JSON database.
@@ -137,8 +195,16 @@ impl ProfileDatabase {
     /// # Errors
     ///
     /// Returns the underlying parse error on malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v = json::parse(s)?;
+        let profiles = v
+            .get("profiles")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| field_error("ProfileDatabase", "profiles"))?
+            .iter()
+            .map(ThresholdTable::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProfileDatabase { profiles })
     }
 }
 
@@ -216,7 +282,9 @@ impl Profiler {
             DheConfig::uniform(self.dim)
         };
         let dhe = Dhe::new(config, &mut StdRng::seed_from_u64(0));
-        let indices: Vec<u64> = (0..batch as u64).map(|i| (i * 7919) % rows.max(1)).collect();
+        let indices: Vec<u64> = (0..batch as u64)
+            .map(|i| (i * 7919) % rows.max(1))
+            .collect();
         self.median_ns(|| {
             std::hint::black_box(dhe.infer_threaded(&indices, threads));
         })
@@ -333,6 +401,9 @@ mod tests {
         let back = ThresholdTable::from_json(&p.to_json()).unwrap();
         assert_eq!(p, back);
         assert!(ThresholdTable::from_json("not json").is_err());
+        // Well-formed JSON with the wrong shape is still an error.
+        assert!(ThresholdTable::from_json("{\"dim\": 64}").is_err());
+        assert!(ThresholdTable::from_json("{\"dim\": 64, \"entries\": [{\"batch\": 1}]}").is_err());
     }
 
     #[test]

@@ -50,6 +50,8 @@ mod lookup;
 mod oram_table;
 mod scan_table;
 pub mod security;
+mod spec;
+pub mod stats;
 
 pub use dhe::{Dhe, DheConfig};
 pub use generator::{EmbeddingGenerator, Technique};
@@ -57,3 +59,4 @@ pub use hash::UniversalHashFamily;
 pub use lookup::IndexLookup;
 pub use oram_table::OramTable;
 pub use scan_table::LinearScan;
+pub use spec::{measure_cost, CostEstimate, GeneratorSpec, SpecParseError};

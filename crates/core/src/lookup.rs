@@ -96,7 +96,10 @@ mod tests {
             l.generate_batch(&[idx]);
         });
         assert!(!verdict.is_oblivious(), "direct lookup must leak");
-        assert!(!verdict.is_page_oblivious(64), "even coarse channels see it");
+        assert!(
+            !verdict.is_page_oblivious(64),
+            "even coarse channels see it"
+        );
     }
 
     #[test]

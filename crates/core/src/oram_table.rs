@@ -12,7 +12,7 @@ use secemb_tensor::Matrix;
 /// internal ORAM structures must be updated sequentially and parallelism is
 /// not possible" (§V-A1).
 pub struct OramTable {
-    oram: Box<dyn Oram>,
+    oram: Box<dyn Oram + Send>,
     technique: Technique,
     dim: usize,
     rows: u64,
@@ -54,10 +54,8 @@ impl OramTable {
             .iter_rows()
             .map(|row| row.iter().map(|v| v.to_bits()).collect())
             .collect();
-        let oram: Box<dyn Oram> = match technique {
-            Technique::PathOram => {
-                Box::new(PathOram::new(&blocks, OramConfig::path(dim), rng))
-            }
+        let oram: Box<dyn Oram + Send> = match technique {
+            Technique::PathOram => Box::new(PathOram::new(&blocks, OramConfig::path(dim), rng)),
             Technique::CircuitOram => {
                 Box::new(CircuitOram::new(&blocks, OramConfig::circuit(dim), rng))
             }

@@ -43,12 +43,7 @@ impl LinearScan {
         let mut out = Matrix::zeros(indices.len(), dim);
         for (b, &idx) in indices.iter().enumerate() {
             tracer::read(regions::TABLE, 0, table_bytes);
-            secemb_obliv::scan::scan_copy_row(
-                self.table.as_slice(),
-                dim,
-                idx,
-                out.row_mut(b),
-            );
+            secemb_obliv::scan::scan_copy_row(self.table.as_slice(), dim, idx, out.row_mut(b));
         }
         out
     }
@@ -71,9 +66,8 @@ impl LinearScan {
         let chunk = indices.len().div_ceil(threads);
         let out_slice = out.as_mut_slice();
         crossbeam::thread::scope(|s| {
-            for (idx_chunk, out_chunk) in indices
-                .chunks(chunk)
-                .zip(out_slice.chunks_mut(chunk * dim))
+            for (idx_chunk, out_chunk) in
+                indices.chunks(chunk).zip(out_slice.chunks_mut(chunk * dim))
             {
                 s.spawn(move |_| {
                     // Worker threads have no active trace session; the scan

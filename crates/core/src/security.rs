@@ -73,23 +73,24 @@ mod tests {
     fn lookup_fails_both_checks() {
         let mut g = IndexLookup::new(table());
         assert!(!verify_exact(&mut g, &[0, 63]).is_oblivious());
-        assert!(!verify_structural(&mut g, &[0, 63]) || {
-            // Structure (one read of row_bytes) is identical — the leak is
-            // in the offsets, which structural checking deliberately
-            // ignores. Exact checking is the one that must catch it.
-            true
-        });
+        assert!(
+            !verify_structural(&mut g, &[0, 63]) || {
+                // Structure (one read of row_bytes) is identical — the leak is
+                // in the offsets, which structural checking deliberately
+                // ignores. Exact checking is the one that must catch it.
+                true
+            }
+        );
     }
 
     #[test]
     fn scan_passes_exact() {
         let mut g = LinearScan::new(table());
         assert!(verify_exact(&mut g, &[0, 31, 63]).is_oblivious());
-        assert!(verify_exact_batched(
-            &mut g,
-            &[vec![0, 1, 2], vec![63, 62, 61], vec![5, 5, 5]]
-        )
-        .is_oblivious());
+        assert!(
+            verify_exact_batched(&mut g, &[vec![0, 1, 2], vec![63, 62, 61], vec![5, 5, 5]])
+                .is_oblivious()
+        );
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Declarative generator construction and online cost estimation — the
+//! pieces a serving layer needs to stand up backends and reason about
+//! their latency.
+
+use crate::hybrid::choose_technique;
+use crate::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable, Technique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secemb_tensor::Matrix;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// A buildable description of one embedding backend.
+///
+/// Specs are `Copy`-able plain data, so they can cross threads and be
+/// parsed from command lines; [`GeneratorSpec::build`] materializes the
+/// actual generator (synthetic weights, deterministic in `seed`) on
+/// whatever thread will own it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeneratorSpec {
+    /// Insecure direct lookup (baseline).
+    Lookup {
+        /// Table rows.
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// Oblivious linear scan.
+    Scan {
+        /// Table rows.
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// Path ORAM table.
+    PathOram {
+        /// Table rows.
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// Circuit ORAM table.
+    CircuitOram {
+        /// Table rows.
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// Deep hash embedding (Varied sizing, as deployed).
+    Dhe {
+        /// Nominal table rows (drives Varied sizing).
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// The paper's hybrid: scan below `threshold` rows, DHE at or above
+    /// (Algorithm 3 applied to a single table).
+    Hybrid {
+        /// Table rows.
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+        /// Profiled scan/DHE crossover.
+        threshold: u64,
+    },
+}
+
+impl GeneratorSpec {
+    /// Table rows the spec describes.
+    pub fn rows(&self) -> u64 {
+        match *self {
+            GeneratorSpec::Lookup { rows, .. }
+            | GeneratorSpec::Scan { rows, .. }
+            | GeneratorSpec::PathOram { rows, .. }
+            | GeneratorSpec::CircuitOram { rows, .. }
+            | GeneratorSpec::Dhe { rows, .. }
+            | GeneratorSpec::Hybrid { rows, .. } => rows,
+        }
+    }
+
+    /// Embedding dimension the spec describes.
+    pub fn dim(&self) -> usize {
+        match *self {
+            GeneratorSpec::Lookup { dim, .. }
+            | GeneratorSpec::Scan { dim, .. }
+            | GeneratorSpec::PathOram { dim, .. }
+            | GeneratorSpec::CircuitOram { dim, .. }
+            | GeneratorSpec::Dhe { dim, .. }
+            | GeneratorSpec::Hybrid { dim, .. } => dim,
+        }
+    }
+
+    /// The technique [`build`](Self::build) will produce. For `Hybrid`
+    /// this resolves the threshold decision.
+    pub fn technique(&self) -> Technique {
+        match *self {
+            GeneratorSpec::Lookup { .. } => Technique::IndexLookup,
+            GeneratorSpec::Scan { .. } => Technique::LinearScan,
+            GeneratorSpec::PathOram { .. } => Technique::PathOram,
+            GeneratorSpec::CircuitOram { .. } => Technique::CircuitOram,
+            GeneratorSpec::Dhe { .. } => Technique::Dhe,
+            GeneratorSpec::Hybrid {
+                rows, threshold, ..
+            } => choose_technique(rows, threshold),
+        }
+    }
+
+    /// Builds the generator with synthetic weights derived from `seed`.
+    ///
+    /// The result is `Send`, so a worker thread can own it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `dim` is zero.
+    pub fn build(&self, seed: u64) -> Box<dyn EmbeddingGenerator + Send> {
+        let (rows, dim) = (self.rows(), self.dim());
+        assert!(rows > 0, "GeneratorSpec: zero rows");
+        assert!(dim > 0, "GeneratorSpec: zero dim");
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.technique() {
+            Technique::IndexLookup => {
+                Box::new(IndexLookup::new(synthetic_table(rows, dim, &mut rng)))
+            }
+            Technique::LinearScan => {
+                Box::new(LinearScan::new(synthetic_table(rows, dim, &mut rng)))
+            }
+            Technique::PathOram => {
+                let table = synthetic_table(rows, dim, &mut rng);
+                Box::new(OramTable::path(&table, rng))
+            }
+            Technique::CircuitOram => {
+                let table = synthetic_table(rows, dim, &mut rng);
+                Box::new(OramTable::circuit(&table, rng))
+            }
+            Technique::Dhe => Box::new(Dhe::new(DheConfig::varied(dim, rows), &mut rng)),
+        }
+    }
+}
+
+fn synthetic_table(rows: u64, dim: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows as usize, dim, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+impl fmt::Display for GeneratorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GeneratorSpec::Lookup { .. } => "lookup",
+            GeneratorSpec::Scan { .. } => "scan",
+            GeneratorSpec::PathOram { .. } => "path",
+            GeneratorSpec::CircuitOram { .. } => "circuit",
+            GeneratorSpec::Dhe { .. } => "dhe",
+            GeneratorSpec::Hybrid { .. } => "hybrid",
+        };
+        write!(f, "{name}:{}x{}", self.rows(), self.dim())?;
+        if let GeneratorSpec::Hybrid { threshold, .. } = self {
+            write!(f, ":{threshold}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from [`GeneratorSpec::from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecParseError(String);
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad generator spec '{}'; expected TECH:ROWSxDIM \
+             (TECH in lookup|scan|path|circuit|dhe, or hybrid:ROWSxDIM:THRESHOLD)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+impl FromStr for GeneratorSpec {
+    type Err = SpecParseError;
+
+    /// Parses compact CLI syntax: `scan:4096x64`, `dhe:1000000x64`,
+    /// `hybrid:100000x64:8000`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || SpecParseError(s.to_string());
+        let mut parts = s.split(':');
+        let tech = parts.next().ok_or_else(err)?;
+        let shape = parts.next().ok_or_else(err)?;
+        let (rows_s, dim_s) = shape.split_once('x').ok_or_else(err)?;
+        let rows: u64 = rows_s.parse().map_err(|_| err())?;
+        let dim: usize = dim_s.parse().map_err(|_| err())?;
+        let spec = match tech {
+            "lookup" => GeneratorSpec::Lookup { rows, dim },
+            "scan" => GeneratorSpec::Scan { rows, dim },
+            "path" => GeneratorSpec::PathOram { rows, dim },
+            "circuit" => GeneratorSpec::CircuitOram { rows, dim },
+            "dhe" => GeneratorSpec::Dhe { rows, dim },
+            "hybrid" => {
+                let threshold: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                GeneratorSpec::Hybrid {
+                    rows,
+                    dim,
+                    threshold,
+                }
+            }
+            _ => return Err(err()),
+        };
+        if parts.next().is_some() || rows == 0 || dim == 0 {
+            return Err(err());
+        }
+        Ok(spec)
+    }
+}
+
+/// A measured per-query cost, the basis of serving-time admission control.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Median wall-clock nanoseconds per single query, measured at the
+    /// probe batch size (amortized).
+    pub per_query_ns: f64,
+    /// Batch size the probe ran at.
+    pub probe_batch: usize,
+}
+
+impl CostEstimate {
+    /// Estimated nanoseconds to generate a batch of `n` queries.
+    pub fn batch_ns(&self, n: usize) -> f64 {
+        self.per_query_ns * n as f64
+    }
+}
+
+/// Probes `generator` with a few warm batches and returns the median
+/// amortized per-query cost.
+///
+/// # Panics
+///
+/// Panics if `probe_batch` or `repeats` is zero.
+pub fn measure_cost(
+    generator: &mut dyn EmbeddingGenerator,
+    probe_batch: usize,
+    repeats: usize,
+) -> CostEstimate {
+    assert!(probe_batch > 0, "measure_cost: zero probe batch");
+    assert!(repeats > 0, "measure_cost: zero repeats");
+    let n = generator.num_embeddings();
+    let indices: Vec<u64> = (0..probe_batch as u64).map(|i| (i * 7919) % n).collect();
+    // One warm-up batch to fault in lazily-touched state (ORAM paths,
+    // DHE activations) before timing.
+    std::hint::black_box(generator.generate_batch(&indices));
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(generator.generate_batch(&indices));
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    CostEstimate {
+        per_query_ns: samples[samples.len() / 2] / probe_batch as f64,
+        probe_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for text in [
+            "lookup:100x8",
+            "scan:4096x64",
+            "path:64x16",
+            "circuit:64x16",
+            "dhe:1000000x64",
+            "hybrid:100000x64:8000",
+        ] {
+            let spec: GeneratorSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "scan",
+            "scan:64",
+            "scan:0x8",
+            "scan:64x0",
+            "scan:64x8:9",
+            "hybrid:64x8",
+            "warp:64x8",
+            "scan:axb",
+        ] {
+            assert!(bad.parse::<GeneratorSpec>().is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn hybrid_resolves_by_threshold() {
+        let small = GeneratorSpec::Hybrid {
+            rows: 100,
+            dim: 8,
+            threshold: 1000,
+        };
+        let large = GeneratorSpec::Hybrid {
+            rows: 100_000,
+            dim: 8,
+            threshold: 1000,
+        };
+        assert_eq!(small.technique(), Technique::LinearScan);
+        assert_eq!(large.technique(), Technique::Dhe);
+    }
+
+    #[test]
+    fn build_is_deterministic_in_seed() {
+        let spec = GeneratorSpec::Scan { rows: 50, dim: 4 };
+        let mut a = spec.build(7);
+        let mut b = spec.build(7);
+        let mut c = spec.build(8);
+        let out_a = a.generate_batch(&[0, 49, 13]);
+        assert_eq!(out_a, b.generate_batch(&[0, 49, 13]));
+        assert_ne!(out_a, c.generate_batch(&[0, 49, 13]));
+        assert_eq!(a.technique(), Technique::LinearScan);
+        assert_eq!(a.num_embeddings(), 50);
+        assert_eq!(a.dim(), 4);
+    }
+
+    #[test]
+    fn every_variant_builds_and_serves() {
+        let specs = [
+            GeneratorSpec::Lookup { rows: 32, dim: 4 },
+            GeneratorSpec::Scan { rows: 32, dim: 4 },
+            GeneratorSpec::PathOram { rows: 32, dim: 4 },
+            GeneratorSpec::CircuitOram { rows: 32, dim: 4 },
+            GeneratorSpec::Dhe { rows: 32, dim: 4 },
+        ];
+        for spec in specs {
+            let mut g = spec.build(1);
+            let out = g.generate_batch(&[0, 31, 5]);
+            assert_eq!(out.shape(), (3, 4), "{spec}");
+            assert_eq!(g.technique(), spec.technique(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn workers_can_own_built_generators() {
+        let spec = GeneratorSpec::CircuitOram { rows: 32, dim: 4 };
+        let handle = std::thread::spawn(move || {
+            let mut g = spec.build(3);
+            g.generate_batch(&[1, 2, 3]).shape()
+        });
+        assert_eq!(handle.join().unwrap(), (3, 4));
+    }
+
+    #[test]
+    fn cost_probe_scales_with_table() {
+        let mut small = GeneratorSpec::Scan { rows: 64, dim: 16 }.build(0);
+        let mut large = GeneratorSpec::Scan {
+            rows: 16384,
+            dim: 16,
+        }
+        .build(0);
+        let cs = measure_cost(small.as_mut(), 8, 3);
+        let cl = measure_cost(large.as_mut(), 8, 3);
+        assert!(cs.per_query_ns > 0.0);
+        assert!(
+            cl.per_query_ns > cs.per_query_ns * 10.0,
+            "scan cost must track table size: {} vs {}",
+            cs.per_query_ns,
+            cl.per_query_ns
+        );
+        assert_eq!(cl.batch_ns(2), cl.per_query_ns * 2.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Latency summary statistics shared by the serving stack and the
+//! co-location benchmarks.
+
+/// Nearest-rank percentile of an **ascending-sorted** sample set.
+///
+/// `p` is in `[0, 100]`. Returns 0.0 for an empty slice so callers can
+/// print summaries of idle servers without special-casing.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// A compact latency distribution: the numbers a Fig. 13-style SLA curve
+/// is drawn from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: usize,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: f64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: f64,
+    /// Worst observed, nanoseconds.
+    pub max_ns: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (order irrelevant; the slice is copied).
+    pub fn from_ns(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self::from_sorted_ns(&sorted)
+    }
+
+    /// Summarizes an already-ascending sample set without copying.
+    pub fn from_sorted_ns(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_ns: 0.0,
+                p50_ns: 0.0,
+                p95_ns: 0.0,
+                p99_ns: 0.0,
+                max_ns: 0.0,
+            };
+        }
+        LatencySummary {
+            count: sorted.len(),
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ns: percentile(sorted, 50.0),
+            p95_ns: percentile(sorted, 95.0),
+            p99_ns: percentile(sorted, 99.0),
+            max_ns: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us max={:.1}us",
+            self.count,
+            self.mean_ns / 1e3,
+            self.p50_ns / 1e3,
+            self.p95_ns / 1e3,
+            self.p99_ns / 1e3,
+            self.max_ns / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 95.0), 95.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_from_unsorted() {
+        let s = LatencySummary::from_ns(&[3000.0, 1000.0, 2000.0, 4000.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean_ns, 2500.0);
+        assert_eq!(s.p50_ns, 2000.0);
+        assert_eq!(s.max_ns, 4000.0);
+        assert!(s.to_string().contains("p99="));
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencySummary::from_ns(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_p() {
+        percentile(&[1.0], 101.0);
+    }
+}

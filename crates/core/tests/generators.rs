@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secemb::{
-    footprint, Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable,
-};
+use secemb::{footprint, Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable};
 use secemb_oram::OramConfig;
 use secemb_tensor::Matrix;
 

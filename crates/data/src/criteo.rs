@@ -5,8 +5,8 @@ use rand::Rng;
 /// Per-feature cardinalities of the Criteo Kaggle (Display Advertising
 /// Challenge) dataset: 26 sparse features, 13 dense features.
 pub const KAGGLE_CARDINALITIES: [u64; 26] = [
-    1460, 583, 10_131_227, 2_202_608, 305, 24, 12_517, 633, 3, 93_145, 5_683, 8_351_593, 3_194,
-    27, 14_992, 5_461_306, 10, 5_652, 2_173, 4, 7_046_547, 18, 15, 286_181, 105, 142_572,
+    1460, 583, 10_131_227, 2_202_608, 305, 24, 12_517, 633, 3, 93_145, 5_683, 8_351_593, 3_194, 27,
+    14_992, 5_461_306, 10, 5_652, 2_173, 4, 7_046_547, 18, 15, 286_181, 105, 142_572,
 ];
 
 /// Per-feature cardinalities of the Criteo Terabyte dataset with the
@@ -14,8 +14,7 @@ pub const KAGGLE_CARDINALITIES: [u64; 26] = [
 /// up to 1e7").
 pub const TERABYTE_CARDINALITIES: [u64; 26] = [
     9_980_333, 36_084, 17_217, 7_378, 20_134, 3, 7_112, 1_442, 61, 9_758_201, 1_333_352, 313_829,
-    10, 2_208, 11_156, 122, 4, 970, 14, 9_994_222, 7_267_859, 9_946_608, 415_421, 12_420, 101,
-    36,
+    10, 2_208, 11_156, 122, 4, 970, 14, 9_994_222, 7_267_859, 9_946_608, 415_421, 12_420, 101, 36,
 ];
 
 /// Static description of a DLRM dataset/model pairing (Table IV).
@@ -149,7 +148,11 @@ impl SyntheticCtr {
             logit += d as f64 * self.dense_weight(i);
         }
         let p = 1.0 / (1.0 + (-logit).exp());
-        let label = if rng.gen_bool(p.clamp(0.0, 1.0)) { 1.0 } else { 0.0 };
+        let label = if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            1.0
+        } else {
+            0.0
+        };
         CriteoSample {
             dense,
             sparse,
@@ -249,7 +252,10 @@ mod tests {
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let lo: f32 = scored[..1000].iter().map(|&(_, l)| l).sum::<f32>() / 1000.0;
         let hi: f32 = scored[3000..].iter().map(|&(_, l)| l).sum::<f32>() / 1000.0;
-        assert!(hi > lo + 0.2, "label/logit correlation too weak: {lo} vs {hi}");
+        assert!(
+            hi > lo + 0.2,
+            "label/logit correlation too weak: {lo} vs {hi}"
+        );
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! OS threads simultaneously and reports per-iteration latency and
 //! aggregate throughput — real contention on the host, not a model of it.
 
+use secemb::stats::LatencySummary;
 use secemb::{Dhe, DheConfig, LinearScan, Technique};
 use secemb_tensor::Matrix;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
+
+/// Warm-up iterations each worker runs before the measurement window
+/// opens (first-touch page faults and cache fills stay out of the tail).
+pub const DEFAULT_WARMUP_ITERS: u32 = 3;
 
 /// One co-located worker's workload description.
 #[derive(Clone, Debug)]
@@ -44,9 +50,12 @@ impl Workload {
 /// Aggregate results of a co-located run.
 #[derive(Clone, Debug)]
 pub struct ColocationResult {
+    /// Per-iteration latency distribution of each worker (same
+    /// percentile definition as the serving layer's `ServerStats`).
+    pub latency: Vec<LatencySummary>,
     /// Mean per-iteration latency of each worker, in nanoseconds.
     pub mean_latency_ns: Vec<f64>,
-    /// Completed iterations of each worker.
+    /// Completed (measured) iterations of each worker, warm-up excluded.
     pub iterations: Vec<u64>,
     /// Wall-clock length of the measurement window.
     pub elapsed: Duration,
@@ -69,46 +78,71 @@ impl ColocationResult {
     }
 }
 
-/// Runs every workload on its own thread for `window`, all workers
-/// starting together, and measures per-iteration latency under contention.
+/// Runs every workload on its own thread for `window` with
+/// [`DEFAULT_WARMUP_ITERS`] warm-up iterations per worker.
+///
+/// See [`run_colocated_warmed`].
+pub fn run_colocated(workloads: &[Workload], window: Duration) -> ColocationResult {
+    run_colocated_warmed(workloads, window, DEFAULT_WARMUP_ITERS)
+}
+
+/// Runs every workload on its own thread, all workers starting together,
+/// and measures per-iteration latency under contention.
+///
+/// Each worker first runs `warmup_iters` un-timed iterations; only once
+/// every worker has warmed up does the measurement window open, so the
+/// reported distributions cover steady-state contention only.
 ///
 /// # Panics
 ///
 /// Panics if `workloads` is empty, or a workload uses a technique other
 /// than `LinearScan` / `Dhe` (the only contenders in the DLRM hybrid).
-pub fn run_colocated(workloads: &[Workload], window: Duration) -> ColocationResult {
+pub fn run_colocated_warmed(
+    workloads: &[Workload],
+    window: Duration,
+    warmup_iters: u32,
+) -> ColocationResult {
     assert!(!workloads.is_empty(), "no workloads");
     // Pre-build each worker's state so setup cost stays outside the window.
     let states: Vec<WorkerState> = workloads.iter().map(WorkerState::build).collect();
     let stop = AtomicBool::new(false);
-    let t0 = Instant::now();
-    let results: Vec<(f64, u64)> = crossbeam::thread::scope(|s| {
+    // Workers + the timing thread rendezvous here after warm-up.
+    let warmed = Barrier::new(states.len() + 1);
+    let mut elapsed = Duration::ZERO;
+    let samples: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = states
             .iter()
             .map(|state| {
-                let stop = &stop;
+                let (stop, warmed) = (&stop, &warmed);
                 s.spawn(move |_| {
-                    let mut iters = 0u64;
-                    let mut total_ns = 0f64;
+                    for _ in 0..warmup_iters {
+                        state.run_once();
+                    }
+                    warmed.wait();
+                    let mut latencies_ns = Vec::new();
                     while !stop.load(Ordering::Relaxed) {
                         let it0 = Instant::now();
                         state.run_once();
-                        total_ns += it0.elapsed().as_nanos() as f64;
-                        iters += 1;
+                        latencies_ns.push(it0.elapsed().as_nanos() as f64);
                     }
-                    (total_ns / iters.max(1) as f64, iters)
+                    latencies_ns
                 })
             })
             .collect();
+        warmed.wait();
+        let t0 = Instant::now();
         std::thread::sleep(window);
         stop.store(true, Ordering::Relaxed);
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        elapsed = t0.elapsed();
+        results
     })
     .expect("colocated worker panicked");
-    let elapsed = t0.elapsed();
+    let latency: Vec<LatencySummary> = samples.iter().map(|s| LatencySummary::from_ns(s)).collect();
     ColocationResult {
-        mean_latency_ns: results.iter().map(|&(ns, _)| ns).collect(),
-        iterations: results.iter().map(|&(_, n)| n).collect(),
+        mean_latency_ns: latency.iter().map(|l| l.mean_ns).collect(),
+        iterations: samples.iter().map(|s| s.len() as u64).collect(),
+        latency,
         elapsed,
     }
 }
@@ -120,7 +154,9 @@ enum WorkerState {
 
 impl WorkerState {
     fn build(w: &Workload) -> Self {
-        let indices: Vec<u64> = (0..w.batch as u64).map(|i| (i * 2654435761) % w.rows).collect();
+        let indices: Vec<u64> = (0..w.batch as u64)
+            .map(|i| (i * 2654435761) % w.rows)
+            .collect();
         match w.technique {
             Technique::LinearScan => WorkerState::Scan {
                 scan: LinearScan::new(Matrix::from_fn(w.rows as usize, w.dim, |r, c| {
@@ -130,9 +166,9 @@ impl WorkerState {
             },
             Technique::Dhe => WorkerState::Dhe {
                 dhe: Dhe::new(
-                    w.dhe.clone().unwrap_or_else(|| {
-                        DheConfig::new(w.dim, 256, vec![128, 64])
-                    }),
+                    w.dhe
+                        .clone()
+                        .unwrap_or_else(|| DheConfig::new(w.dim, 256, vec![128, 64])),
                     &mut rand::rngs::mock::StepRng::new(1, 7),
                 ),
                 indices,
@@ -156,7 +192,13 @@ impl WorkerState {
 /// Builds the Fig. 9 sweep: `total` co-located workers of which
 /// `dhe_count` run DHE and the rest linear scan, all over the same table
 /// size.
-pub fn split_workloads(total: usize, dhe_count: usize, rows: u64, dim: usize, batch: usize) -> Vec<Workload> {
+pub fn split_workloads(
+    total: usize,
+    dhe_count: usize,
+    rows: u64,
+    dim: usize,
+    batch: usize,
+) -> Vec<Workload> {
     assert!(dhe_count <= total, "dhe_count exceeds total");
     (0..total)
         .map(|i| {
@@ -186,6 +228,21 @@ mod tests {
         assert!(r.iterations[0] > 0);
         assert!(r.mean_latency_ns[0] > 0.0);
         assert!(r.throughput_per_sec(4) > 0.0);
+    }
+
+    #[test]
+    fn latency_summaries_are_consistent() {
+        let w = Workload::new(Technique::LinearScan, 512, 16, 4);
+        // Explicit warm-up count, including the zero-warm-up edge case.
+        for warmup in [0, 5] {
+            let r =
+                run_colocated_warmed(std::slice::from_ref(&w), Duration::from_millis(40), warmup);
+            let l = &r.latency[0];
+            assert_eq!(l.count as u64, r.iterations[0]);
+            assert_eq!(l.mean_ns, r.mean_latency_ns[0]);
+            assert!(l.p50_ns <= l.p95_ns && l.p95_ns <= l.p99_ns && l.p99_ns <= l.max_ns);
+            assert!(l.p50_ns > 0.0);
+        }
     }
 
     #[test]

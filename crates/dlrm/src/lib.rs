@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod colocate;
-pub mod metrics;
 mod interaction;
+pub mod metrics;
 mod model;
 mod secure;
 

@@ -144,17 +144,15 @@ impl Dlrm {
             .zip(kinds)
             .enumerate()
             .map(|(f, (&rows, kind))| match kind {
-                EmbeddingKind::Table => {
-                    SparseLayer::Table(Embedding::new(rows as usize, dim, rng))
-                }
+                EmbeddingKind::Table => SparseLayer::Table(Embedding::new(rows as usize, dim, rng)),
                 EmbeddingKind::Dhe(cfg) => {
                     assert_eq!(cfg.dim, dim, "DHE dim must match the model");
                     // Decorrelate the per-feature hash encoders while keeping
                     // them a pure function of (config, feature index), so a
                     // checkpoint restores into an identical architecture.
-                    let cfg = cfg
-                        .clone()
-                        .with_hash_seed(cfg.hash_seed ^ (f as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    let cfg = cfg.clone().with_hash_seed(
+                        cfg.hash_seed ^ (f as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
                     SparseLayer::Dhe(Dhe::new(cfg, rng).with_domain(rows))
                 }
             })

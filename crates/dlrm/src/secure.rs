@@ -287,7 +287,7 @@ mod tests {
             Technique::CircuitOram,
             Technique::Dhe,
         ] {
-            let mut secure = SecureDlrm::from_trained(&model, &vec![tech; 3], 9);
+            let mut secure = SecureDlrm::from_trained(&model, &[tech; 3], 9);
             outputs.push(secure.infer(&batch));
         }
         for (i, o) in outputs.iter().enumerate().skip(1) {
@@ -314,8 +314,8 @@ mod tests {
     #[test]
     fn oram_memory_dwarfs_dhe_memory() {
         let (model, _) = trained_dhe_model();
-        let oram = SecureDlrm::from_trained(&model, &vec![Technique::CircuitOram; 3], 0);
-        let dhe = SecureDlrm::from_trained(&model, &vec![Technique::Dhe; 3], 0);
+        let oram = SecureDlrm::from_trained(&model, &[Technique::CircuitOram; 3], 0);
+        let dhe = SecureDlrm::from_trained(&model, &[Technique::Dhe; 3], 0);
         assert!(oram.memory_bytes() > dhe.memory_bytes());
     }
 
@@ -325,7 +325,7 @@ mod tests {
         let spec = tiny_spec();
         let mut rng = StdRng::seed_from_u64(0);
         let model = Dlrm::new(spec, &EmbeddingKind::Table, &mut rng);
-        SecureDlrm::from_trained(&model, &vec![Technique::Dhe; 3], 0);
+        SecureDlrm::from_trained(&model, &[Technique::Dhe; 3], 0);
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl GptConfig {
         assert!(self.vocab > 1, "vocab must exceed 1");
         assert!(self.dim > 0 && self.layers > 0 && self.max_seq > 0);
         assert!(
-            self.heads > 0 && self.dim % self.heads == 0,
+            self.heads > 0 && self.dim.is_multiple_of(self.heads),
             "dim must divide into heads"
         );
     }
@@ -106,7 +106,11 @@ impl std::fmt::Debug for Gpt {
             self.config.vocab,
             self.config.dim,
             self.config.layers,
-            if self.head.is_none() { "tied" } else { "untied" }
+            if self.head.is_none() {
+                "tied"
+            } else {
+                "untied"
+            }
         )
     }
 }
@@ -121,9 +125,10 @@ impl Gpt {
     pub fn new(config: GptConfig, kind: &TokenEmbeddingKind, rng: &mut impl Rng) -> Self {
         config.validate();
         let (embedding, head) = match kind {
-            TokenEmbeddingKind::Table => {
-                (LlmEmbedding::Table(Embedding::new(config.vocab, config.dim, rng)), None)
-            }
+            TokenEmbeddingKind::Table => (
+                LlmEmbedding::Table(Embedding::new(config.vocab, config.dim, rng)),
+                None,
+            ),
             TokenEmbeddingKind::Dhe(cfg) => {
                 assert_eq!(cfg.dim, config.dim, "DHE dim must match the model width");
                 (
@@ -333,7 +338,9 @@ mod tests {
 
     fn sequences(corpus: &MarkovCorpus, n: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| corpus.sample_sequence(len, &mut rng)).collect()
+        (0..n)
+            .map(|_| corpus.sample_sequence(len, &mut rng))
+            .collect()
     }
 
     #[test]

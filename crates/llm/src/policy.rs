@@ -153,7 +153,7 @@ mod tests {
             logits = serve.decode(next, &mut cache);
         }
         assert_eq!(expect, got);
-        let _ = policy.embed(&prompt.to_vec());
+        let _ = policy.embed(prompt.as_ref());
     }
 
     #[test]

@@ -399,7 +399,7 @@ mod tests {
         // Decoding token-by-token with the KV cache must give the same
         // logits as re-running the whole prefix each time.
         let gpt = table_model();
-        let tokens = vec![5usize, 1, 8, 20, 11];
+        let tokens = [5usize, 1, 8, 20, 11];
         let mut serve = GptServing::new(&gpt, Technique::IndexLookup, 0);
         let mut cache = KvCache::default();
         let mut incremental = vec![serve.prefill(&tokens[..2], &mut cache)];

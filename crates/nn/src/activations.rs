@@ -109,16 +109,16 @@ mod tests {
 
     #[test]
     fn relu_grad() {
-        finite_diff_check(&mut Relu::new(), |x| ops::relu(x));
+        finite_diff_check(&mut Relu::new(), ops::relu);
     }
 
     #[test]
     fn gelu_grad() {
-        finite_diff_check(&mut Gelu::new(), |x| ops::gelu(x));
+        finite_diff_check(&mut Gelu::new(), ops::gelu);
     }
 
     #[test]
     fn sigmoid_grad() {
-        finite_diff_check(&mut Sigmoid::new(), |x| ops::sigmoid(x));
+        finite_diff_check(&mut Sigmoid::new(), ops::sigmoid);
     }
 }

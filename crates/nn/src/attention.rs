@@ -39,7 +39,10 @@ impl CausalSelfAttention {
     ///
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide into heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide into heads"
+        );
         CausalSelfAttention {
             q: Linear::new(dim, dim, rng),
             k: Linear::new(dim, dim, rng),
@@ -91,15 +94,19 @@ impl CausalSelfAttention {
 
     fn write_head(dst: &mut Matrix, src: &Matrix, head: usize, head_size: usize) {
         for r in 0..dst.rows() {
-            dst.row_mut(r)[head * head_size..(head + 1) * head_size]
-                .copy_from_slice(src.row(r));
+            dst.row_mut(r)[head * head_size..(head + 1) * head_size].copy_from_slice(src.row(r));
         }
     }
 }
 
 impl std::fmt::Debug for CausalSelfAttention {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CausalSelfAttention(dim={}, heads={})", self.dim(), self.heads)
+        write!(
+            f,
+            "CausalSelfAttention(dim={}, heads={})",
+            self.dim(),
+            self.heads
+        )
     }
 }
 
@@ -244,7 +251,8 @@ mod tests {
             xp.as_mut_slice()[i] += h;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= h;
-            let fd = ((attn.forward(&xp).sum() - attn.forward(&xm).sum()) / (2.0 * h as f64)) as f32;
+            let fd =
+                ((attn.forward(&xp).sum() - attn.forward(&xm).sum()) / (2.0 * h as f64)) as f32;
             assert!(
                 (dx.as_slice()[i] - fd).abs() < 2e-2,
                 "dx[{i}] = {} vs fd {fd}",

@@ -8,8 +8,8 @@
 //! and serialized to a small self-describing binary format.
 
 use crate::Module;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use secemb_tensor::Matrix;
+use secemb_wire::bytes::{ByteReader, ByteWriter};
 use std::fmt;
 
 /// Magic bytes identifying the format.
@@ -139,13 +139,9 @@ impl Checkpoint {
     }
 
     /// Serializes to the SECB binary format.
-    pub fn to_bytes(&self) -> Bytes {
-        let payload: usize = self
-            .tensors
-            .iter()
-            .map(|t| 8 + t.len() * 4)
-            .sum::<usize>();
-        let mut buf = BytesMut::with_capacity(12 + payload);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self.tensors.iter().map(|t| 8 + t.len() * 4).sum::<usize>();
+        let mut buf = ByteWriter::with_capacity(12 + payload);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.tensors.len() as u32);
@@ -156,7 +152,7 @@ impl Checkpoint {
                 buf.put_f32_le(v);
             }
         }
-        buf.freeze()
+        buf.into_vec()
     }
 
     /// Parses the SECB binary format.
@@ -165,23 +161,22 @@ impl Checkpoint {
     ///
     /// Returns [`CheckpointError`] on a malformed stream.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        let mut buf = bytes;
+        let mut buf = ByteReader::new(bytes);
         if buf.remaining() < 12 {
             return Err(CheckpointError::BadHeader);
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC || buf.get_u32_le() != VERSION {
+        let magic = buf.get_slice(4).expect("length checked");
+        if magic != MAGIC || buf.get_u32_le().expect("length checked") != VERSION {
             return Err(CheckpointError::BadHeader);
         }
-        let count = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le().expect("length checked") as usize;
         let mut tensors = Vec::with_capacity(count.min(1 << 16));
         for tensor in 0..count {
             if buf.remaining() < 8 {
                 return Err(CheckpointError::Truncated);
             }
-            let rows = buf.get_u32_le() as usize;
-            let cols = buf.get_u32_le() as usize;
+            let rows = buf.get_u32_le().expect("length checked") as usize;
+            let cols = buf.get_u32_le().expect("length checked") as usize;
             let elems = rows
                 .checked_mul(cols)
                 .filter(|&e| e <= 1 << 30)
@@ -191,7 +186,7 @@ impl Checkpoint {
             }
             let mut data = Vec::with_capacity(elems);
             for _ in 0..elems {
-                data.push(buf.get_f32_le());
+                data.push(buf.get_f32_le().expect("length checked"));
             }
             tensors.push(Matrix::from_vec(rows, cols, data));
         }
@@ -199,7 +194,7 @@ impl Checkpoint {
     }
 
     /// Convenience: capture + serialize.
-    pub fn save(module: &mut dyn Module) -> Bytes {
+    pub fn save(module: &mut dyn Module) -> Vec<u8> {
         Self::capture(module).to_bytes()
     }
 
@@ -240,7 +235,10 @@ mod tests {
 
         let bytes = Checkpoint::save(&mut a);
         Checkpoint::load(&bytes, &mut b).unwrap();
-        assert!(before.allclose(&b.forward(&x), 0.0), "restored net must match");
+        assert!(
+            before.allclose(&b.forward(&x), 0.0),
+            "restored net must match"
+        );
     }
 
     #[test]
@@ -275,25 +273,28 @@ mod tests {
 
     #[test]
     fn rejects_malformed_bytes() {
-        assert_eq!(Checkpoint::from_bytes(b"xx"), Err(CheckpointError::BadHeader));
+        assert_eq!(
+            Checkpoint::from_bytes(b"xx"),
+            Err(CheckpointError::BadHeader)
+        );
         assert_eq!(
             Checkpoint::from_bytes(b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00"),
             Err(CheckpointError::BadHeader)
         );
         // Valid header claiming one tensor, then nothing.
-        let mut buf = BytesMut::new();
+        let mut buf = ByteWriter::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(1);
         assert_eq!(
-            Checkpoint::from_bytes(&buf),
+            Checkpoint::from_bytes(&buf.clone().into_vec()),
             Err(CheckpointError::Truncated)
         );
         // Corrupt (overflowing) shape.
         buf.put_u32_le(u32::MAX);
         buf.put_u32_le(u32::MAX);
         assert!(matches!(
-            Checkpoint::from_bytes(&buf),
+            Checkpoint::from_bytes(&buf.into_vec()),
             Err(CheckpointError::CorruptShape { tensor: 0 })
         ));
     }

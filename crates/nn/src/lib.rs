@@ -39,8 +39,8 @@
 #![warn(missing_docs)]
 
 mod activations;
-mod checkpoint;
 mod attention;
+mod checkpoint;
 mod embedding;
 mod feedforward;
 mod linear;
@@ -51,8 +51,8 @@ mod optim;
 mod param;
 
 pub use activations::{Gelu, Relu, Sigmoid};
-pub use checkpoint::{Checkpoint, CheckpointError};
 pub use attention::CausalSelfAttention;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use embedding::Embedding;
 pub use feedforward::Mlp;
 pub use linear::Linear;

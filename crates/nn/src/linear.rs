@@ -32,7 +32,11 @@ impl Linear {
     ///
     /// Panics if `bias` columns differ from weight rows.
     pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
-        assert_eq!(bias.cols(), weight.rows(), "from_parts: bias/weight mismatch");
+        assert_eq!(
+            bias.cols(),
+            weight.rows(),
+            "from_parts: bias/weight mismatch"
+        );
         assert_eq!(bias.rows(), 1, "from_parts: bias must be 1 x out");
         Linear {
             weight: Param::new(weight),
@@ -155,7 +159,12 @@ mod tests {
             );
         }
         // Bias grad is the batch size for a sum objective.
-        assert!(l.bias.grad.as_slice().iter().all(|&g| (g - 2.0).abs() < 1e-5));
+        assert!(l
+            .bias
+            .grad
+            .as_slice()
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-5));
     }
 
     #[test]

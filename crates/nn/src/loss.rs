@@ -12,7 +12,12 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
     assert!(!pred.is_empty(), "mse_loss: empty input");
     let n = pred.len() as f64;
     let diff = pred.sub(target);
-    let loss = diff.as_slice().iter().map(|&d| (d as f64) * (d as f64)).sum::<f64>() / n;
+    let loss = diff
+        .as_slice()
+        .iter()
+        .map(|&d| (d as f64) * (d as f64))
+        .sum::<f64>()
+        / n;
     let grad = diff.scale(2.0 / n as f32);
     (loss, grad)
 }

@@ -127,7 +127,10 @@ impl Module for LayerNorm {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self.cache.as_ref().expect("LayerNorm::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("LayerNorm::backward before forward");
         let d = self.dim();
         let n = d as f32;
         let mut dx = Matrix::zeros(grad_output.rows(), d);

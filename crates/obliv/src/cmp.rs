@@ -94,7 +94,7 @@ pub fn monotone_bits(x: f32) -> u32 {
     // the same integer (branchlessly).
     let b = (x + 0.0).to_bits();
     let sign = ((b as i32) >> 31) as u32; // all-ones if negative
-    // Negative: flip every bit. Non-negative: flip only the sign bit.
+                                          // Negative: flip every bit. Non-negative: flip only the sign bit.
     b ^ (sign | 0x8000_0000)
 }
 

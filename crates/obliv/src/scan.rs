@@ -30,7 +30,11 @@ use crate::{cmp, select};
 /// ```
 pub fn scan_copy_row(table: &[f32], dim: usize, secret_index: u64, out: &mut [f32]) {
     assert!(dim > 0, "scan_copy_row: dim must be positive");
-    assert_eq!(table.len() % dim, 0, "scan_copy_row: table not a multiple of dim");
+    assert_eq!(
+        table.len() % dim,
+        0,
+        "scan_copy_row: table not a multiple of dim"
+    );
     assert_eq!(out.len(), dim, "scan_copy_row: out length != dim");
     let n = (table.len() / dim) as u64;
     assert!(secret_index < n, "scan_copy_row: index out of range");
@@ -147,7 +151,11 @@ pub fn top_k_f32(xs: &[f32], k: usize) -> Vec<u64> {
 /// Same conditions as [`scan_copy_row`].
 pub fn onehot_matmul_row(table: &[f32], dim: usize, secret_index: u64, out: &mut [f32]) {
     assert!(dim > 0, "onehot_matmul_row: dim must be positive");
-    assert_eq!(table.len() % dim, 0, "onehot_matmul_row: table not a multiple of dim");
+    assert_eq!(
+        table.len() % dim,
+        0,
+        "onehot_matmul_row: table not a multiple of dim"
+    );
     assert_eq!(out.len(), dim, "onehot_matmul_row: out length != dim");
     let n = (table.len() / dim) as u64;
     assert!(secret_index < n, "onehot_matmul_row: index out of range");

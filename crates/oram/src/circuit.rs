@@ -184,7 +184,7 @@ impl CircuitOram {
                         continue;
                     }
                     let d = score(b.leaf);
-                    if best.map_or(true, |(bd, _)| d > bd) {
+                    if best.is_none_or(|(bd, _)| d > bd) {
                         best = Some((d, s));
                     }
                 }
@@ -296,7 +296,11 @@ mod tests {
 
     fn build(n: u32, words: usize, seed: u64) -> CircuitOram {
         let blocks: Vec<Vec<u32>> = (0..n).map(|i| vec![i; words]).collect();
-        CircuitOram::new(&blocks, OramConfig::circuit(words), StdRng::seed_from_u64(seed))
+        CircuitOram::new(
+            &blocks,
+            OramConfig::circuit(words),
+            StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]

@@ -74,7 +74,11 @@ mod tests {
         let c = OramConfig::circuit(64);
         assert_eq!(c.stash_capacity, 10);
         assert_eq!(c.recursion_threshold, 1 << 12);
-        assert_eq!(p.stash_capacity / c.stash_capacity, 15, "paper: 15x smaller");
+        assert_eq!(
+            p.stash_capacity / c.stash_capacity,
+            15,
+            "paper: 15x smaller"
+        );
     }
 
     #[test]

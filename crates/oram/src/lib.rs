@@ -42,11 +42,11 @@
 #![warn(missing_docs)]
 
 mod block;
-pub(crate) mod setup;
 mod circuit;
 mod config;
 mod path;
 mod posmap;
+pub(crate) mod setup;
 mod stash;
 mod stats;
 mod tree;

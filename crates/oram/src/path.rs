@@ -160,7 +160,11 @@ mod tests {
 
     fn build(n: u32, words: usize, seed: u64) -> PathOram {
         let blocks: Vec<Vec<u32>> = (0..n).map(|i| vec![i; words]).collect();
-        PathOram::new(&blocks, OramConfig::path(words), StdRng::seed_from_u64(seed))
+        PathOram::new(
+            &blocks,
+            OramConfig::path(words),
+            StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]

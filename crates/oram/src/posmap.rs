@@ -24,8 +24,9 @@ pub enum PosMap {
     },
     /// Labels packed `fanout` per block inside a smaller ORAM.
     Recursive {
-        /// The inner ORAM holding packed label blocks.
-        inner: Box<dyn Oram>,
+        /// The inner ORAM holding packed label blocks. `Send` so whole
+        /// controllers can move onto serving worker threads.
+        inner: Box<dyn Oram + Send>,
         /// Labels per block.
         fanout: usize,
     },
@@ -52,7 +53,7 @@ impl PosMap {
         labels: Vec<u64>,
         config: &OramConfig,
         region: RegionId,
-        make_inner: &mut dyn FnMut(Vec<Vec<u32>>, usize) -> Box<dyn Oram>,
+        make_inner: &mut dyn FnMut(Vec<Vec<u32>>, usize) -> Box<dyn Oram + Send>,
     ) -> Self {
         if (labels.len() as u64) <= config.recursion_threshold {
             return PosMap::Plain { labels, region };
@@ -154,7 +155,6 @@ impl PosMap {
             PosMap::Recursive { inner, .. } => inner.memory_bytes(),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -194,12 +194,9 @@ mod tests {
     #[test]
     fn build_stays_plain_below_threshold() {
         let cfg = OramConfig::path(4);
-        let pm = PosMap::build(
-            vec![0; 100],
-            &cfg,
-            regions::oram_posmap(0),
-            &mut |_, _| unreachable!("must not recurse below threshold"),
-        );
+        let pm = PosMap::build(vec![0; 100], &cfg, regions::oram_posmap(0), &mut |_, _| {
+            unreachable!("must not recurse below threshold")
+        });
         assert!(matches!(pm, PosMap::Plain { .. }));
     }
 

@@ -142,7 +142,7 @@ impl Stash {
                 continue;
             }
             let depth = deepest_legal(slot.leaf);
-            if best.map_or(true, |(d, _)| depth > d) {
+            if best.is_none_or(|(d, _)| depth > d) {
                 best = Some((depth, i));
             }
         }
@@ -233,7 +233,10 @@ mod tests {
     fn stash(cap: usize) -> (Stash, AccessStats) {
         let mut cfg = OramConfig::path(2);
         cfg.stash_capacity = cap;
-        (Stash::new(&cfg, regions::ORAM_STASH), AccessStats::default())
+        (
+            Stash::new(&cfg, regions::ORAM_STASH),
+            AccessStats::default(),
+        )
     }
 
     fn blk(id: u64, leaf: u64) -> Block {

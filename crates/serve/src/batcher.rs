@@ -1,0 +1,108 @@
+//! Adaptive batching: coalescing queued requests into one generator call.
+//!
+//! Amortizing fixed per-call overheads over a coalesced batch is where the
+//! paper's batch-scaling results (Fig. 12) translate into serving
+//! throughput. The coalescing itself is a pure function
+//! ([`execute_batch`]) so its correctness and obliviousness can be tested
+//! on the caller's thread, outside the worker machinery.
+
+use secemb::EmbeddingGenerator;
+use secemb_tensor::Matrix;
+use std::time::Duration;
+
+/// When a worker stops coalescing and runs the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Coalesce at most this many *queries* (summed over requests).
+    pub max_batch: usize,
+    /// Wait at most this long after the first queued request before
+    /// dispatching, even if the batch is not full.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Runs one coalesced batch: concatenates every group's indices, makes a
+/// **single** `generate_batch` call, and splits the result back into one
+/// matrix per group, preserving order.
+///
+/// Each returned matrix is byte-identical to what a direct
+/// `generate_batch` on that group alone would produce, because every
+/// generator computes rows independently of their batch neighbours.
+///
+/// # Panics
+///
+/// Panics if a group is empty or contains an out-of-range index (the
+/// engine validates both at admission).
+pub fn execute_batch(generator: &mut dyn EmbeddingGenerator, groups: &[Vec<u64>]) -> Vec<Matrix> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = groups.iter().map(Vec::len).sum();
+    let mut flat = Vec::with_capacity(total);
+    for g in groups {
+        assert!(!g.is_empty(), "execute_batch: empty group");
+        flat.extend_from_slice(g);
+    }
+    let out = generator.generate_batch(&flat);
+    let dim = out.cols();
+    let data = out.as_slice();
+    let mut result = Vec::with_capacity(groups.len());
+    let mut start = 0;
+    for g in groups {
+        let rows = g.len();
+        result.push(Matrix::from_vec(
+            rows,
+            dim,
+            data[start * dim..(start + rows) * dim].to_vec(),
+        ));
+        start += rows;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secemb::GeneratorSpec;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = BatchPolicy::default();
+        assert!(p.max_batch > 0);
+        assert!(p.max_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn split_matches_direct_per_group() {
+        let spec = GeneratorSpec::Scan { rows: 100, dim: 8 };
+        let mut coalesced = spec.build(9);
+        let mut direct = spec.build(9);
+        let groups = vec![vec![5u64, 99], vec![0], vec![41, 41, 7]];
+        let outs = execute_batch(coalesced.as_mut(), &groups);
+        assert_eq!(outs.len(), 3);
+        for (g, m) in groups.iter().zip(&outs) {
+            assert_eq!(m, &direct.generate_batch(g));
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let mut g = GeneratorSpec::Scan { rows: 10, dim: 4 }.build(0);
+        assert!(execute_batch(g.as_mut(), &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_is_a_bug() {
+        let mut g = GeneratorSpec::Scan { rows: 10, dim: 4 }.build(0);
+        execute_batch(g.as_mut(), &[vec![]]);
+    }
+}

@@ -1,0 +1,133 @@
+//! The `secemb-serve-load` binary: a paced load generator that sweeps
+//! offered rates against a running server and reports the Fig. 13-style
+//! latency-throughput curve.
+//!
+//! ```text
+//! secemb-serve-load --addr ADDR [--table N] [--conns N] [--batch N]
+//!                   [--secs S] [--deadline-ms D] [--rate R]...
+//! ```
+//!
+//! `--deadline-ms 0` sends no deadline. Each `--rate` adds one sweep
+//! point (requests/second).
+
+use secemb_serve::loadgen::{run_load, LoadConfig};
+use secemb_serve::Client;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+struct Args {
+    addr: SocketAddr,
+    table: usize,
+    conns: usize,
+    batch: usize,
+    secs: f64,
+    deadline: Option<Duration>,
+    rates: Vec<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: secemb-serve-load --addr ADDR [--table N] [--conns N] [--batch N] \
+         [--secs S] [--deadline-ms D] [--rate R]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut addr = None;
+    let mut args = Args {
+        addr: "127.0.0.1:7878".parse().expect("literal addr"),
+        table: 0,
+        conns: 8,
+        batch: 4,
+        secs: 2.0,
+        deadline: Some(Duration::from_millis(20)),
+        rates: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => {
+                addr = value().to_socket_addrs().unwrap_or_else(|_| usage()).next();
+            }
+            "--table" => args.table = value().parse().unwrap_or_else(|_| usage()),
+            "--conns" => args.conns = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
+            "--secs" => args.secs = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--rate" => args.rates.push(value().parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    match addr {
+        Some(a) => args.addr = a,
+        None => usage(),
+    }
+    if args.rates.is_empty() {
+        args.rates = vec![250.0, 500.0, 1000.0, 2000.0, 4000.0];
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let tables = match Client::connect(args.addr).and_then(|mut c| c.tables()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("connect {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("server {} serves {} table(s):", args.addr, tables.len());
+    for (id, t) in tables.iter().enumerate() {
+        println!(
+            "  table {id}: {} rows x {} dim, {} ({:.0} ns/query)",
+            t.rows, t.dim, t.technique, t.per_query_ns
+        );
+    }
+    println!(
+        "sweep: table {}, {} conns, batch {}, {}s/point, deadline {}",
+        args.table,
+        args.conns,
+        args.batch,
+        args.secs,
+        args.deadline
+            .map_or("none".to_string(), |d| format!("{}ms", d.as_millis())),
+    );
+    println!(
+        "{:>10} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "offered/s", "achieved/s", "p50 ms", "p95 ms", "p99 ms", "rej %"
+    );
+    for &rate in &args.rates {
+        let report = run_load(&LoadConfig {
+            addr: args.addr,
+            connections: args.conns,
+            table: args.table,
+            batch: args.batch,
+            offered_rps: rate,
+            duration: Duration::from_secs_f64(args.secs),
+            deadline: args.deadline,
+            seed: 1,
+        });
+        match report {
+            Ok(r) => println!(
+                "{:>10.0} {:>10.0} {:>9.2} {:>9.2} {:>9.2} {:>7.1}%",
+                r.offered_rps,
+                r.achieved_rps,
+                r.latency.p50_ns / 1e6,
+                r.latency.p95_ns / 1e6,
+                r.latency.p99_ns / 1e6,
+                r.rejected_fraction() * 100.0
+            ),
+            Err(e) => {
+                eprintln!("rate {rate}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The `secemb-serve-server` binary: a TCP embedding server.
+//!
+//! ```text
+//! secemb-serve-server [--listen ADDR] [--table SPEC]... [--max-batch N]
+//!                     [--max-wait-us N] [--queue N] [--seed N]
+//! ```
+//!
+//! `SPEC` is `TECH:ROWSxDIM` (`lookup|scan|path|circuit|dhe`) or
+//! `hybrid:ROWSxDIM:THRESHOLD`; repeat `--table` for multiple shards.
+//! Defaults serve a scan+DHE hybrid pair resembling a small DLRM.
+
+use secemb::GeneratorSpec;
+use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    specs: Vec<GeneratorSpec>,
+    max_batch: usize,
+    max_wait: Duration,
+    queue: usize,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: secemb-serve-server [--listen ADDR] [--table SPEC]... \
+         [--max-batch N] [--max-wait-us N] [--queue N] [--seed N]\n\
+         SPEC: lookup|scan|path|circuit|dhe:ROWSxDIM, or hybrid:ROWSxDIM:THRESHOLD"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7878".to_string(),
+        specs: Vec::new(),
+        max_batch: 64,
+        max_wait: Duration::from_micros(500),
+        queue: 1024,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--listen" => args.listen = value(),
+            "--table" => match value().parse() {
+                Ok(spec) => args.specs.push(spec),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
+            "--max-batch" => args.max_batch = value().parse().unwrap_or_else(|_| usage()),
+            "--max-wait-us" => {
+                args.max_wait = Duration::from_micros(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--queue" => args.queue = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if args.specs.is_empty() {
+        // A small hybrid deployment: one scan-served table below the
+        // crossover, one DHE-served table above it.
+        args.specs = vec![
+            GeneratorSpec::Hybrid {
+                rows: 4_096,
+                dim: 64,
+                threshold: 100_000,
+            },
+            GeneratorSpec::Hybrid {
+                rows: 1_000_000,
+                dim: 64,
+                threshold: 100_000,
+            },
+        ];
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let tables = args
+        .specs
+        .iter()
+        .map(|&spec| TableConfig {
+            spec,
+            seed: args.seed,
+            queue_capacity: args.queue,
+            cost_override_ns: None,
+        })
+        .collect();
+    let mut config = EngineConfig::new(tables);
+    config.policy = BatchPolicy {
+        max_batch: args.max_batch,
+        max_wait: args.max_wait,
+    };
+
+    eprintln!(
+        "building {} table(s) and probing costs...",
+        args.specs.len()
+    );
+    let engine = Arc::new(Engine::start(config));
+    for (id, info) in engine.tables().iter().enumerate() {
+        eprintln!(
+            "  table {id}: {} rows x {} dim, {} ({:.0} ns/query)",
+            info.rows, info.dim, info.technique, info.per_query_ns
+        );
+    }
+
+    let server = match Server::start(Arc::clone(&engine), &args.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("listening on {}", server.addr());
+
+    // Serve until killed, printing a stats line every 10 s of activity.
+    let mut last_completed = 0;
+    loop {
+        std::thread::sleep(Duration::from_secs(10));
+        let snap = engine.stats().snapshot();
+        if snap.completed != last_completed {
+            last_completed = snap.completed;
+            eprintln!("{snap}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A minimal blocking client for the serving protocol.
+
+use crate::protocol::{
+    decode_server, encode_generate, encode_stats_request, encode_tables_request, ServerMsg,
+};
+use secemb_wire::frame::{read_frame, write_frame, FrameError};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One TCP connection to a `secemb-serve` server. Requests are
+/// synchronous: one in flight per client (use several clients for
+/// concurrency).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Description of one served table as reported by the server.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteTable {
+    /// Table rows (valid indices are `0..rows`).
+    pub rows: u64,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// The server's admission cost estimate, nanoseconds per query.
+    pub per_query_ns: f64,
+    /// Technique label.
+    pub technique: String,
+}
+
+fn bad_reply(kind: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply: {kind}"),
+    )
+}
+
+fn from_frame_error(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, payload: &[u8]) -> io::Result<ServerMsg> {
+        write_frame(&mut self.writer, payload)?;
+        let reply = read_frame(&mut self.reader).map_err(from_frame_error)?;
+        decode_server(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Requests embeddings for `indices` from `table`.
+    ///
+    /// Returns the server's verdict: `Embeddings` or `Rejected`.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors; rejections are **not**
+    /// errors.
+    pub fn generate(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deadline: Option<Duration>,
+    ) -> io::Result<ServerMsg> {
+        match self.round_trip(&encode_generate(table, indices, deadline))? {
+            msg @ (ServerMsg::Embeddings(_) | ServerMsg::Rejected(_)) => Ok(msg),
+            _ => Err(bad_reply("expected embeddings or rejection")),
+        }
+    }
+
+    /// Lists the server's tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn tables(&mut self) -> io::Result<Vec<RemoteTable>> {
+        match self.round_trip(&encode_tables_request())? {
+            ServerMsg::Tables(ts) => Ok(ts
+                .into_iter()
+                .map(|(rows, dim, per_query_ns, technique)| RemoteTable {
+                    rows,
+                    dim,
+                    per_query_ns,
+                    technique,
+                })
+                .collect()),
+            _ => Err(bad_reply("expected table list")),
+        }
+    }
+
+    /// Fetches the server's statistics snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        match self.round_trip(&encode_stats_request())? {
+            ServerMsg::Stats(json) => Ok(json),
+            _ => Err(bad_reply("expected stats")),
+        }
+    }
+}

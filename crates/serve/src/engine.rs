@@ -1,0 +1,399 @@
+//! The serving engine: per-table shards, worker threads, and SLA-aware
+//! admission control.
+//!
+//! Each table is a *shard*: one worker thread that owns the generator
+//! (generation takes `&mut self` — ORAM mutates on every access) and
+//! drains a bounded queue, coalescing requests per [`BatchPolicy`].
+//! Admission control uses a profiled per-query cost to predict queue
+//! delay and sheds load *explicitly*: a request the server cannot serve
+//! in time is answered `Rejected`, never silently dropped and never
+//! allowed to grow the queue without bound.
+
+use crate::batcher::{execute_batch, BatchPolicy};
+use crate::request::{RejectReason, Request, Response};
+use crate::stats::ServerStats;
+use crossbeam::channel::{self, Sender, TrySendError};
+use secemb::{measure_cost, GeneratorSpec, Technique};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One table the engine serves.
+#[derive(Clone, Copy, Debug)]
+pub struct TableConfig {
+    /// What backs the table.
+    pub spec: GeneratorSpec,
+    /// Seed for the synthetic weights (same seed ⇒ same table).
+    pub seed: u64,
+    /// Bounded queue length, in *requests*. Submissions beyond it are
+    /// rejected `QueueFull`.
+    pub queue_capacity: usize,
+    /// Per-query cost override in nanoseconds; when `None` the engine
+    /// probes the built generator at startup ([`measure_cost`]).
+    pub cost_override_ns: Option<f64>,
+}
+
+impl TableConfig {
+    /// A table with default seed, queue bound and probed cost.
+    pub fn new(spec: GeneratorSpec) -> Self {
+        TableConfig {
+            spec,
+            seed: 42,
+            queue_capacity: 1024,
+            cost_override_ns: None,
+        }
+    }
+}
+
+/// Engine-wide configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The tables to serve; request `table` ids index this list.
+    pub tables: Vec<TableConfig>,
+    /// Coalescing policy, shared by every shard.
+    pub policy: BatchPolicy,
+    /// Batch size of the startup cost probe.
+    pub probe_batch: usize,
+    /// Repetitions of the startup cost probe.
+    pub probe_repeats: usize,
+}
+
+impl EngineConfig {
+    /// Default engine settings over `tables`.
+    pub fn new(tables: Vec<TableConfig>) -> Self {
+        EngineConfig {
+            tables,
+            policy: BatchPolicy::default(),
+            probe_batch: 8,
+            probe_repeats: 3,
+        }
+    }
+}
+
+/// Public metadata of one running shard.
+#[derive(Clone, Copy, Debug)]
+pub struct TableInfo {
+    /// Table rows (index domain).
+    pub rows: u64,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Technique actually serving the table (hybrid specs resolved).
+    pub technique: Technique,
+    /// Per-query cost used for admission, nanoseconds.
+    pub per_query_ns: f64,
+}
+
+struct Job {
+    indices: Vec<u64>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shard {
+    tx: Sender<Job>,
+    pending_queries: Arc<AtomicU64>,
+    info: TableInfo,
+}
+
+/// A pending reply to one submitted request.
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Response {
+        // A dead worker (panicked generator) surfaces as backpressure
+        // rather than a client-side hang or panic.
+        self.rx
+            .recv()
+            .unwrap_or(Response::Rejected(RejectReason::QueueFull))
+    }
+
+    fn resolved(response: Response) -> Self {
+        let (tx, rx) = mpsc::channel();
+        tx.send(response).expect("receiver held");
+        Ticket { rx }
+    }
+}
+
+/// The in-process serving engine. `Arc<Engine>` is shared freely across
+/// client threads; dropping the last handle stops and joins the workers.
+pub struct Engine {
+    shards: Vec<Shard>,
+    policy: BatchPolicy,
+    stats: Arc<ServerStats>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Builds every table, probes per-query costs, and starts one worker
+    /// thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.tables` is empty or a table has a zero queue
+    /// capacity.
+    pub fn start(config: EngineConfig) -> Self {
+        assert!(!config.tables.is_empty(), "engine with no tables");
+        let stats = Arc::new(ServerStats::new());
+        let mut shards = Vec::with_capacity(config.tables.len());
+        let mut workers = Vec::with_capacity(config.tables.len());
+        for (id, t) in config.tables.iter().enumerate() {
+            assert!(t.queue_capacity > 0, "table {id}: zero queue capacity");
+            let mut generator = t.spec.build(t.seed);
+            let per_query_ns = t.cost_override_ns.unwrap_or_else(|| {
+                measure_cost(generator.as_mut(), config.probe_batch, config.probe_repeats)
+                    .per_query_ns
+            });
+            let info = TableInfo {
+                rows: t.spec.rows(),
+                dim: t.spec.dim(),
+                technique: generator.technique(),
+                per_query_ns,
+            };
+            let (tx, rx) = channel::bounded::<Job>(t.queue_capacity);
+            let pending = Arc::new(AtomicU64::new(0));
+            let worker = {
+                let pending = Arc::clone(&pending);
+                let stats = Arc::clone(&stats);
+                let policy = config.policy;
+                let technique = info.technique;
+                std::thread::Builder::new()
+                    .name(format!("secemb-shard-{id}"))
+                    .spawn(move || loop {
+                        let first = match rx.recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // engine dropped
+                        };
+                        let window_end = first.enqueued + policy.max_wait;
+                        let mut jobs = vec![first];
+                        let mut queries = jobs[0].indices.len();
+                        while queries < policy.max_batch {
+                            let now = Instant::now();
+                            if now >= window_end {
+                                break;
+                            }
+                            match rx.recv_timeout(window_end - now) {
+                                Ok(job) => {
+                                    queries += job.indices.len();
+                                    jobs.push(job);
+                                }
+                                Err(_) => break, // window elapsed or engine dropped
+                            }
+                        }
+                        let now = Instant::now();
+                        let (live, stale): (Vec<Job>, Vec<Job>) = jobs
+                            .into_iter()
+                            .partition(|j| j.deadline.is_none_or(|d| now <= d));
+                        for job in stale {
+                            pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                            stats
+                                .record_rejected(RejectReason::DeadlineExceeded, job.indices.len());
+                            let _ = job
+                                .reply
+                                .send(Response::Rejected(RejectReason::DeadlineExceeded));
+                        }
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let groups: Vec<Vec<u64>> =
+                            live.iter().map(|j| j.indices.clone()).collect();
+                        stats.record_batch(groups.iter().map(Vec::len).sum());
+                        let outputs = execute_batch(generator.as_mut(), &groups);
+                        for (job, out) in live.into_iter().zip(outputs) {
+                            pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                            stats.record_completed(
+                                technique,
+                                job.indices.len(),
+                                job.enqueued.elapsed().as_nanos() as f64,
+                            );
+                            let _ = job.reply.send(Response::Embeddings(out));
+                        }
+                    })
+                    .expect("spawn shard worker")
+            };
+            shards.push(Shard {
+                tx,
+                pending_queries: pending,
+                info,
+            });
+            workers.push(worker);
+        }
+        Engine {
+            shards,
+            policy: config.policy,
+            stats,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Metadata for every shard, indexed by table id.
+    pub fn tables(&self) -> Vec<TableInfo> {
+        self.shards.iter().map(|s| s.info).collect()
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Submits a request, returning immediately with a [`Ticket`].
+    /// Admission control may resolve the ticket to `Rejected` without
+    /// enqueueing anything.
+    pub fn submit(&self, request: Request) -> Ticket {
+        let Some(shard) = self.shards.get(request.table) else {
+            self.stats.record_rejected(RejectReason::UnknownTable, 0);
+            return Ticket::resolved(Response::Rejected(RejectReason::UnknownTable));
+        };
+        let n = request.indices.len();
+        if n == 0 || request.indices.iter().any(|&i| i >= shard.info.rows) {
+            self.stats.record_rejected(RejectReason::BadRequest, 0);
+            return Ticket::resolved(Response::Rejected(RejectReason::BadRequest));
+        }
+        // SLA gate: predicted queue delay + own compute + worst-case
+        // coalescing wait, against the caller's budget.
+        if let Some(deadline) = request.deadline {
+            let queued = shard.pending_queries.load(Ordering::Relaxed);
+            let estimate_ns = (queued + n as u64) as f64 * shard.info.per_query_ns
+                + self.policy.max_wait.as_nanos() as f64;
+            if estimate_ns > deadline.as_nanos() as f64 {
+                self.stats
+                    .record_rejected(RejectReason::DeadlineUnmeetable, 0);
+                return Ticket::resolved(Response::Rejected(RejectReason::DeadlineUnmeetable));
+            }
+        }
+        let enqueued = Instant::now();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            deadline: request.deadline.map(|d| enqueued + d),
+            indices: request.indices,
+            enqueued,
+            reply: reply_tx,
+        };
+        shard.pending_queries.fetch_add(n as u64, Ordering::Relaxed);
+        match shard.tx.try_send(job) {
+            Ok(()) => {
+                self.stats.record_accepted(n);
+                Ticket { rx: reply_rx }
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                shard.pending_queries.fetch_sub(n as u64, Ordering::Relaxed);
+                self.stats.record_rejected(RejectReason::QueueFull, 0);
+                Ticket::resolved(Response::Rejected(RejectReason::QueueFull))
+            }
+        }
+    }
+
+    /// Submits and blocks for the response.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+
+    /// Queries admitted but not yet answered, across all shards.
+    pub fn queue_depth(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.pending_queries.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Disconnect the queues so every worker's recv() returns Err,
+        // then wait for them to finish in-flight batches.
+        self.shards.clear();
+        for handle in self.workers.lock().expect("worker list").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fast_table() -> TableConfig {
+        TableConfig {
+            spec: GeneratorSpec::Scan { rows: 64, dim: 8 },
+            seed: 7,
+            queue_capacity: 64,
+            cost_override_ns: Some(1_000.0),
+        }
+    }
+
+    #[test]
+    fn serves_correct_rows() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let mut reference = GeneratorSpec::Scan { rows: 64, dim: 8 }.build(7);
+        let response = engine.call(Request::new(0, vec![3, 63, 0]));
+        let out = response.embeddings().expect("accepted");
+        assert_eq!(out, &reference.generate_batch(&[3, 63, 0]));
+    }
+
+    #[test]
+    fn unknown_table_and_bad_request() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        assert_eq!(
+            engine.call(Request::new(5, vec![1])).rejection(),
+            Some(RejectReason::UnknownTable)
+        );
+        assert_eq!(
+            engine.call(Request::new(0, vec![])).rejection(),
+            Some(RejectReason::BadRequest)
+        );
+        assert_eq!(
+            engine.call(Request::new(0, vec![64])).rejection(),
+            Some(RejectReason::BadRequest)
+        );
+        // Rejections leave no queued work behind.
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn impossible_deadline_is_rejected_at_admission() {
+        let mut table = fast_table();
+        table.cost_override_ns = Some(10_000_000.0); // 10ms per query
+        let engine = Engine::start(EngineConfig::new(vec![table]));
+        let response =
+            engine.call(Request::new(0, vec![1, 2, 3]).with_deadline(Duration::from_millis(1)));
+        assert_eq!(response.rejection(), Some(RejectReason::DeadlineUnmeetable));
+    }
+
+    #[test]
+    fn tables_report_metadata() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let info = engine.tables();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].rows, 64);
+        assert_eq!(info[0].dim, 8);
+        assert_eq!(info[0].technique, Technique::LinearScan);
+        assert_eq!(info[0].per_query_ns, 1_000.0);
+    }
+
+    #[test]
+    fn probed_cost_is_positive() {
+        let mut table = fast_table();
+        table.cost_override_ns = None;
+        let engine = Engine::start(EngineConfig::new(vec![table]));
+        assert!(engine.tables()[0].per_query_ns > 0.0);
+    }
+
+    #[test]
+    fn drop_joins_workers_with_requests_in_flight() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| engine.submit(Request::new(0, vec![i])))
+            .collect();
+        drop(engine);
+        // Every ticket resolves (either served before shutdown or
+        // converted to a rejection) — no hangs, no losses.
+        for t in tickets {
+            let _ = t.wait();
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `secemb-serve`: a batched, multi-worker embedding-serving subsystem
+//! with SLA-aware admission control.
+//!
+//! The paper evaluates secure embedding generation under production
+//! serving constraints — batching (Fig. 12), co-located replicas
+//! (Figs. 8/9), and a 20 ms SLA (Fig. 13). This crate is the serving
+//! system those experiments imply:
+//!
+//! - [`Request`]/[`Response`]: a batch of secret indices against one
+//!   table, answered with an embedding matrix or an explicit
+//!   [`Rejected`](Response::Rejected) — load shedding is never silent.
+//! - [`BatchPolicy`]/[`execute_batch`]: adaptive coalescing of queued
+//!   requests up to a batch-size/latency budget, as a single generator
+//!   call per dispatch.
+//! - [`Engine`]: one worker thread per table shard owning its generator
+//!   (built from a [`secemb::GeneratorSpec`]), fed by a bounded
+//!   crossbeam channel.
+//! - Admission control: a profiled per-query cost predicts queue delay;
+//!   requests whose deadline cannot be met are rejected *before*
+//!   consuming queue space ([`RejectReason::DeadlineUnmeetable`]), full
+//!   queues push back ([`RejectReason::QueueFull`]), and requests that
+//!   go stale in the queue are answered
+//!   [`RejectReason::DeadlineExceeded`].
+//! - [`ServerStats`]: per-technique query counts, queue depth,
+//!   batch-size histogram and p50/p95/p99 latency.
+//! - [`Server`]/[`Client`]: a length-prefixed binary protocol over
+//!   plain TCP, plus a paced [`loadgen`] for latency-throughput sweeps.
+//!
+//! Security note: the serving layer never branches on index *values* —
+//! only on public quantities (counts, deadlines, table ids) — so the
+//! obliviousness of the underlying generators is preserved across
+//! coalescing (verified by trace-equivalence tests in
+//! `tests/serving.rs`).
+//!
+//! ```
+//! use secemb::GeneratorSpec;
+//! use secemb_serve::{Engine, EngineConfig, Request, TableConfig};
+//!
+//! let engine = Engine::start(EngineConfig::new(vec![TableConfig::new(
+//!     GeneratorSpec::Scan { rows: 100, dim: 8 },
+//! )]));
+//! let response = engine.call(Request::new(0, vec![42, 7]));
+//! assert_eq!(response.embeddings().unwrap().shape(), (2, 8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod client;
+mod engine;
+pub mod loadgen;
+pub mod protocol;
+mod request;
+mod server;
+mod stats;
+
+pub use batcher::{execute_batch, BatchPolicy};
+pub use client::{Client, RemoteTable};
+pub use engine::{Engine, EngineConfig, TableConfig, TableInfo, Ticket};
+pub use request::{RejectReason, Request, Response};
+pub use server::Server;
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,187 @@
+//! Load generation: paced request streams for latency-throughput sweeps
+//! (the serving-side analogue of the paper's Fig. 13 SLA curves).
+
+use crate::client::Client;
+use crate::protocol::ServerMsg;
+use crate::request::RejectReason;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secemb::stats::LatencySummary;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One load run's parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent connections (each a closed loop of paced requests).
+    pub connections: usize,
+    /// Table to query.
+    pub table: usize,
+    /// Indices per request.
+    pub batch: usize,
+    /// Offered load, requests/second across all connections.
+    pub offered_rps: f64,
+    /// Measurement length.
+    pub duration: Duration,
+    /// Per-request deadline sent to the server, if any.
+    pub deadline: Option<Duration>,
+    /// RNG seed for index selection.
+    pub seed: u64,
+}
+
+/// Aggregated result of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Offered load (echoed from the config).
+    pub offered_rps: f64,
+    /// Successfully answered requests per second.
+    pub achieved_rps: f64,
+    /// Requests answered with embeddings.
+    pub completed: u64,
+    /// Requests explicitly rejected, per reason index
+    /// ([`RejectReason::ALL`] order).
+    pub rejected: [u64; RejectReason::ALL.len()],
+    /// Client-observed round-trip latency of completed requests.
+    pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    /// Total rejections across reasons.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+
+    /// Fraction of requests rejected.
+    pub fn rejected_fraction(&self) -> f64 {
+        let total = self.completed + self.total_rejected();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_rejected() as f64 / total as f64
+    }
+}
+
+/// Runs one paced load test against a running server.
+///
+/// Each connection sends requests on a fixed schedule
+/// (`connections / offered_rps` apart) and blocks for each response, so
+/// per-connection concurrency is 1 and total concurrency is
+/// `connections`. If the server is slower than the schedule, the pacing
+/// debt is dropped (the generator does not retroactively burst), so
+/// `achieved_rps` saturates at server capacity.
+///
+/// # Errors
+///
+/// Returns connection errors. Rejections are reported, not errors.
+///
+/// # Panics
+///
+/// Panics if `connections`, `batch` or `offered_rps` is zero/negative,
+/// or if the requested table does not exist on the server.
+pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
+    assert!(config.connections > 0, "run_load: zero connections");
+    assert!(config.batch > 0, "run_load: zero batch");
+    assert!(config.offered_rps > 0.0, "run_load: non-positive rate");
+    let rows = {
+        let mut probe = Client::connect(config.addr)?;
+        let tables = probe.tables()?;
+        match tables.get(config.table) {
+            Some(t) => t.rows,
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "server has no table {} (it serves {})",
+                        config.table,
+                        tables.len()
+                    ),
+                ));
+            }
+        }
+    };
+    let interval = Duration::from_secs_f64(config.connections as f64 / config.offered_rps);
+
+    struct ThreadResult {
+        latencies_ns: Vec<f64>,
+        rejected: [u64; RejectReason::ALL.len()],
+        io_error: Option<io::Error>,
+    }
+
+    let results: Vec<ThreadResult> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|conn_id| {
+                s.spawn(move |_| {
+                    let mut result = ThreadResult {
+                        latencies_ns: Vec::new(),
+                        rejected: [0; RejectReason::ALL.len()],
+                        io_error: None,
+                    };
+                    let mut client = match Client::connect(config.addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            result.io_error = Some(e);
+                            return result;
+                        }
+                    };
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed ^ (conn_id as u64).wrapping_mul(0x9E37));
+                    let end = Instant::now() + config.duration;
+                    // Stagger connection start times across one interval.
+                    let mut next_send = Instant::now()
+                        + interval.mul_f64(conn_id as f64 / config.connections as f64);
+                    while next_send < end {
+                        let now = Instant::now();
+                        if now < next_send {
+                            std::thread::sleep(next_send - now);
+                        }
+                        let indices: Vec<u64> =
+                            (0..config.batch).map(|_| rng.gen_range(0..rows)).collect();
+                        let t0 = Instant::now();
+                        match client.generate(config.table, &indices, config.deadline) {
+                            Ok(ServerMsg::Embeddings(_)) => {
+                                result.latencies_ns.push(t0.elapsed().as_nanos() as f64);
+                            }
+                            Ok(ServerMsg::Rejected(reason)) => {
+                                result.rejected[reason.index()] += 1;
+                            }
+                            Ok(_) => unreachable!("generate() filters reply kinds"),
+                            Err(e) => {
+                                result.io_error = Some(e);
+                                return result;
+                            }
+                        }
+                        // Fixed schedule from the previous slot; drop debt
+                        // if we fell behind rather than bursting later.
+                        next_send = (next_send + interval).max(Instant::now());
+                    }
+                    result
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("load thread panicked");
+
+    let mut latencies = Vec::new();
+    let mut rejected = [0u64; RejectReason::ALL.len()];
+    for mut r in results {
+        if let Some(e) = r.io_error.take() {
+            return Err(e);
+        }
+        latencies.extend(r.latencies_ns);
+        for (total, n) in rejected.iter_mut().zip(r.rejected) {
+            *total += n;
+        }
+    }
+    let completed = latencies.len() as u64;
+    Ok(LoadReport {
+        offered_rps: config.offered_rps,
+        achieved_rps: completed as f64 / config.duration.as_secs_f64(),
+        completed,
+        rejected,
+        latency: LatencySummary::from_ns(&latencies),
+    })
+}

@@ -1,0 +1,332 @@
+//! The binary serving protocol.
+//!
+//! Every message travels as one length-prefixed frame
+//! ([`secemb_wire::frame`]); the payload starts with a one-byte tag.
+//!
+//! Client → server:
+//!
+//! | tag | payload |
+//! |---|---|
+//! | 1 `Generate` | `u32` table, `u64` deadline ns (0 = none), `u32` count, `count × u64` indices |
+//! | 2 `Tables` | — |
+//! | 3 `Stats` | — |
+//!
+//! Server → client:
+//!
+//! | tag | payload |
+//! |---|---|
+//! | 1 `Embeddings` | `u32` rows, `u32` cols, `rows·cols × f32` |
+//! | 2 `Rejected` | `u8` reason code ([`RejectReason::index`]) |
+//! | 3 `Tables` | `u32` count, then per table: `u64` rows, `u32` dim, `u64` per-query ns (bits of `f64`), string technique label |
+//! | 4 `Stats` | string (the JSON snapshot) |
+
+use crate::engine::TableInfo;
+use crate::request::{RejectReason, Response};
+use secemb_tensor::Matrix;
+use secemb_wire::bytes::{ByteReader, ByteWriter, Truncated};
+use std::fmt;
+use std::time::Duration;
+
+const TAG_GENERATE: u8 = 1;
+const TAG_TABLES: u8 = 2;
+const TAG_STATS: u8 = 3;
+
+const TAG_EMBEDDINGS: u8 = 1;
+const TAG_REJECTED: u8 = 2;
+const TAG_TABLES_RESP: u8 = 3;
+const TAG_STATS_RESP: u8 = 4;
+
+/// Largest index count one `Generate` message may carry; guards the
+/// decoder against allocating on a corrupt count field.
+pub const MAX_INDICES: usize = 1 << 20;
+
+/// Malformed message payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Payload ended early.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A count/shape field exceeds protocol limits.
+    BadField(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "message payload truncated"),
+            ProtocolError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtocolError::BadField(name) => write!(f, "field '{name}' out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<Truncated> for ProtocolError {
+    fn from(_: Truncated) -> Self {
+        ProtocolError::Truncated
+    }
+}
+
+/// A decoded client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Generate embeddings.
+    Generate {
+        /// Target table id.
+        table: usize,
+        /// The secret indices.
+        indices: Vec<u64>,
+        /// Latency budget, if any.
+        deadline: Option<Duration>,
+    },
+    /// List served tables.
+    Tables,
+    /// Fetch the statistics snapshot.
+    Stats,
+}
+
+/// A decoded server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMsg {
+    /// The generated embeddings.
+    Embeddings(Matrix),
+    /// The request was refused.
+    Rejected(RejectReason),
+    /// Table metadata: `(rows, dim, per_query_ns, technique label)`.
+    Tables(Vec<(u64, usize, f64, String)>),
+    /// The JSON statistics snapshot.
+    Stats(String),
+}
+
+/// Encodes a `Generate` request payload.
+pub fn encode_generate(table: usize, indices: &[u64], deadline: Option<Duration>) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(17 + indices.len() * 8);
+    w.put_u8(TAG_GENERATE);
+    w.put_u32_le(table as u32);
+    w.put_u64_le(deadline.map_or(0, |d| d.as_nanos() as u64));
+    w.put_u32_le(indices.len() as u32);
+    for &i in indices {
+        w.put_u64_le(i);
+    }
+    w.into_vec()
+}
+
+/// Encodes a `Tables` request payload.
+pub fn encode_tables_request() -> Vec<u8> {
+    vec![TAG_TABLES]
+}
+
+/// Encodes a `Stats` request payload.
+pub fn encode_stats_request() -> Vec<u8> {
+    vec![TAG_STATS]
+}
+
+/// Decodes a client message payload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on a truncated payload, unknown tag, or an
+/// index count above [`MAX_INDICES`].
+pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, ProtocolError> {
+    let mut r = ByteReader::new(payload);
+    match r.get_u8()? {
+        TAG_GENERATE => {
+            let table = r.get_u32_le()? as usize;
+            let deadline_ns = r.get_u64_le()?;
+            let count = r.get_u32_le()? as usize;
+            if count > MAX_INDICES {
+                return Err(ProtocolError::BadField("index count"));
+            }
+            let mut indices = Vec::with_capacity(count);
+            for _ in 0..count {
+                indices.push(r.get_u64_le()?);
+            }
+            Ok(ClientMsg::Generate {
+                table,
+                indices,
+                deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
+            })
+        }
+        TAG_TABLES => Ok(ClientMsg::Tables),
+        TAG_STATS => Ok(ClientMsg::Stats),
+        t => Err(ProtocolError::BadTag(t)),
+    }
+}
+
+/// Encodes an engine [`Response`] as a server message payload.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    match response {
+        Response::Embeddings(m) => {
+            let mut w = ByteWriter::with_capacity(9 + m.len() * 4);
+            w.put_u8(TAG_EMBEDDINGS);
+            w.put_u32_le(m.rows() as u32);
+            w.put_u32_le(m.cols() as u32);
+            for &v in m.as_slice() {
+                w.put_f32_le(v);
+            }
+            w.into_vec()
+        }
+        Response::Rejected(reason) => vec![TAG_REJECTED, reason.index() as u8],
+    }
+}
+
+/// Encodes the `Tables` response payload.
+pub fn encode_tables(tables: &[TableInfo]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_TABLES_RESP);
+    w.put_u32_le(tables.len() as u32);
+    for t in tables {
+        w.put_u64_le(t.rows);
+        w.put_u32_le(t.dim as u32);
+        w.put_u64_le(t.per_query_ns.to_bits());
+        w.put_str(t.technique.label());
+    }
+    w.into_vec()
+}
+
+/// Encodes the `Stats` response payload.
+pub fn encode_stats(json: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(5 + json.len());
+    w.put_u8(TAG_STATS_RESP);
+    w.put_str(json);
+    w.into_vec()
+}
+
+/// Decodes a server message payload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on truncation, an unknown tag, an unknown
+/// reject code, or an implausible embedding shape.
+pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, ProtocolError> {
+    let mut r = ByteReader::new(payload);
+    match r.get_u8()? {
+        TAG_EMBEDDINGS => {
+            let rows = r.get_u32_le()? as usize;
+            let cols = r.get_u32_le()? as usize;
+            let elems = rows
+                .checked_mul(cols)
+                .filter(|&e| e * 4 == r.remaining())
+                .ok_or(ProtocolError::BadField("embedding shape"))?;
+            let mut data = Vec::with_capacity(elems);
+            for _ in 0..elems {
+                data.push(r.get_f32_le()?);
+            }
+            Ok(ServerMsg::Embeddings(Matrix::from_vec(rows, cols, data)))
+        }
+        TAG_REJECTED => {
+            let code = r.get_u8()? as usize;
+            let reason = *RejectReason::ALL
+                .get(code)
+                .ok_or(ProtocolError::BadField("reject code"))?;
+            Ok(ServerMsg::Rejected(reason))
+        }
+        TAG_TABLES_RESP => {
+            let count = r.get_u32_le()? as usize;
+            if count > 1 << 16 {
+                return Err(ProtocolError::BadField("table count"));
+            }
+            let mut tables = Vec::with_capacity(count);
+            for _ in 0..count {
+                let rows = r.get_u64_le()?;
+                let dim = r.get_u32_le()? as usize;
+                let per_query_ns = f64::from_bits(r.get_u64_le()?);
+                let label = r.get_str()?;
+                tables.push((rows, dim, per_query_ns, label));
+            }
+            Ok(ServerMsg::Tables(tables))
+        }
+        TAG_STATS_RESP => Ok(ServerMsg::Stats(r.get_str()?)),
+        t => Err(ProtocolError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secemb::Technique;
+
+    #[test]
+    fn generate_round_trips() {
+        let payload = encode_generate(3, &[9, 0, u64::MAX], Some(Duration::from_millis(20)));
+        let msg = decode_client(&payload).unwrap();
+        assert_eq!(
+            msg,
+            ClientMsg::Generate {
+                table: 3,
+                indices: vec![9, 0, u64::MAX],
+                deadline: Some(Duration::from_millis(20)),
+            }
+        );
+        // deadline 0 means none.
+        let msg = decode_client(&encode_generate(0, &[1], None)).unwrap();
+        assert!(matches!(msg, ClientMsg::Generate { deadline: None, .. }));
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        assert_eq!(
+            decode_client(&encode_tables_request()).unwrap(),
+            ClientMsg::Tables
+        );
+        assert_eq!(
+            decode_client(&encode_stats_request()).unwrap(),
+            ClientMsg::Stats
+        );
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 - 1.5);
+        let back = decode_server(&encode_response(&Response::Embeddings(m.clone()))).unwrap();
+        assert_eq!(back, ServerMsg::Embeddings(m));
+
+        for reason in RejectReason::ALL {
+            let back = decode_server(&encode_response(&Response::Rejected(reason))).unwrap();
+            assert_eq!(back, ServerMsg::Rejected(reason));
+        }
+    }
+
+    #[test]
+    fn tables_and_stats_round_trip() {
+        let info = TableInfo {
+            rows: 4096,
+            dim: 64,
+            technique: Technique::Dhe,
+            per_query_ns: 1234.5,
+        };
+        let back = decode_server(&encode_tables(&[info])).unwrap();
+        assert_eq!(
+            back,
+            ServerMsg::Tables(vec![(4096, 64, 1234.5, "DHE".into())])
+        );
+
+        let back = decode_server(&encode_stats("{\"a\":1}")).unwrap();
+        assert_eq!(back, ServerMsg::Stats("{\"a\":1}".into()));
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors() {
+        assert_eq!(decode_client(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_client(&[99]), Err(ProtocolError::BadTag(99)));
+        assert_eq!(decode_server(&[77]), Err(ProtocolError::BadTag(77)));
+        // Generate claiming absurd count.
+        let mut bad = encode_generate(0, &[1], None);
+        bad[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_client(&bad).is_err());
+        // Embeddings whose declared shape disagrees with the payload.
+        let mut bad = encode_response(&Response::Embeddings(Matrix::zeros(2, 2)));
+        bad[1..5].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(
+            decode_server(&bad),
+            Err(ProtocolError::BadField("embedding shape"))
+        );
+        // Unknown reject code.
+        assert_eq!(
+            decode_server(&[TAG_REJECTED, 200]),
+            Err(ProtocolError::BadField("reject code"))
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! The serving request/response model.
+
+use secemb_tensor::Matrix;
+use std::fmt;
+use std::time::Duration;
+
+/// One embedding-generation request: a batch of secret indices against
+/// one table, with an optional latency budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Which table (shard) to query.
+    pub table: usize,
+    /// The secret indices. These never appear in rejection messages,
+    /// logs or statistics — only their count does.
+    pub indices: Vec<u64>,
+    /// Total latency budget from submission, if the caller has an SLA.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no deadline.
+    pub fn new(table: usize, indices: Vec<u64>) -> Self {
+        Request {
+            table,
+            indices,
+            deadline: None,
+        }
+    }
+
+    /// Sets the latency budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a request was refused rather than answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The shard's bounded queue was full (backpressure).
+    QueueFull,
+    /// Admission control predicted the queue delay alone would blow the
+    /// deadline, so the work was never enqueued.
+    DeadlineUnmeetable,
+    /// The deadline passed while the request waited in the queue; the
+    /// embedding was not computed.
+    DeadlineExceeded,
+    /// No table with the requested id exists.
+    UnknownTable,
+    /// Empty index list or an index outside the table.
+    BadRequest,
+}
+
+impl RejectReason {
+    /// Every reason, in wire-code order.
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::QueueFull,
+        RejectReason::DeadlineUnmeetable,
+        RejectReason::DeadlineExceeded,
+        RejectReason::UnknownTable,
+        RejectReason::BadRequest,
+    ];
+
+    /// Stable index into [`RejectReason::ALL`] (also the wire code).
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::DeadlineUnmeetable => 1,
+            RejectReason::DeadlineExceeded => 2,
+            RejectReason::UnknownTable => 3,
+            RejectReason::BadRequest => 4,
+        }
+    }
+
+    /// Short machine-friendly label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineUnmeetable => "deadline_unmeetable",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::UnknownTable => "unknown_table",
+            RejectReason::BadRequest => "bad_request",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The server's answer: embeddings, or an explicit refusal. Load shedding
+/// is never silent — every admitted or refused request produces exactly
+/// one `Response`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// One embedding row per requested index, in request order.
+    Embeddings(Matrix),
+    /// The request was refused; no embedding was computed.
+    Rejected(RejectReason),
+}
+
+impl Response {
+    /// The embedding matrix, if the request succeeded.
+    pub fn embeddings(&self) -> Option<&Matrix> {
+        match self {
+            Response::Embeddings(m) => Some(m),
+            Response::Rejected(_) => None,
+        }
+    }
+
+    /// The rejection reason, if the request was refused.
+    pub fn rejection(&self) -> Option<RejectReason> {
+        match self {
+            Response::Embeddings(_) => None,
+            Response::Rejected(r) => Some(*r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_deadline() {
+        let r = Request::new(2, vec![1, 2, 3]).with_deadline(Duration::from_millis(20));
+        assert_eq!(r.table, 2);
+        assert_eq!(r.deadline, Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn reason_indices_match_all_order() {
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(RejectReason::QueueFull.to_string(), "queue_full");
+    }
+
+    #[test]
+    fn response_accessors() {
+        let ok = Response::Embeddings(Matrix::zeros(1, 2));
+        assert!(ok.embeddings().is_some());
+        assert_eq!(ok.rejection(), None);
+        let no = Response::Rejected(RejectReason::QueueFull);
+        assert!(no.embeddings().is_none());
+        assert_eq!(no.rejection(), Some(RejectReason::QueueFull));
+    }
+}

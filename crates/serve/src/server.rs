@@ -1,0 +1,121 @@
+//! The TCP front end: length-prefixed frames over `std::net`.
+
+use crate::engine::Engine;
+use crate::protocol::{decode_client, encode_response, encode_stats, encode_tables, ClientMsg};
+use crate::request::Request;
+use secemb_wire::frame::{read_frame, write_frame, FrameError};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP server. One OS thread accepts connections; each
+/// connection gets its own handler thread that drives the shared
+/// [`Engine`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `bind` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(engine: Arc<Engine>, bind: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(bind)?;
+        // Non-blocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("secemb-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let engine = Arc::clone(&engine);
+                                let _ = std::thread::Builder::new()
+                                    .name("secemb-conn".into())
+                                    .spawn(move || {
+                                        let _ = handle_connection(engine, stream);
+                                    });
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Existing connections finish naturally when their clients
+    /// disconnect.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(engine: Arc<Engine>, stream: TcpStream) -> Result<(), FrameError> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return Ok(()), // client hung up
+            Err(e) => return Err(e),
+        };
+        let reply = match decode_client(&payload) {
+            Ok(ClientMsg::Generate {
+                table,
+                indices,
+                deadline,
+            }) => {
+                let mut request = Request::new(table, indices);
+                request.deadline = deadline;
+                encode_response(&engine.call(request))
+            }
+            Ok(ClientMsg::Tables) => encode_tables(&engine.tables()),
+            Ok(ClientMsg::Stats) => encode_stats(&engine.stats().snapshot().to_json()),
+            // A malformed frame is unrecoverable mid-stream: drop the
+            // connection rather than guess at framing.
+            Err(_) => return Ok(()),
+        };
+        write_frame(&mut writer, &reply)?;
+    }
+}

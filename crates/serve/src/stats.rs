@@ -1,0 +1,304 @@
+//! Server-side observability: request counters, queue depth, batch-size
+//! histogram and latency percentiles.
+
+use crate::request::RejectReason;
+use secemb::stats::LatencySummary;
+use secemb::Technique;
+use secemb_wire::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latency samples kept for percentile estimation. Once full, new samples
+/// overwrite the oldest (a sliding window over recent traffic).
+const RESERVOIR_CAP: usize = 1 << 16;
+
+/// Histogram buckets: batch size `b` lands in bucket `ceil(log2(b))`,
+/// i.e. bucket `k` counts batches with `2^(k-1) < b <= 2^k`.
+const HIST_BUCKETS: usize = 16;
+
+fn tech_index(t: Technique) -> usize {
+    Technique::ALL
+        .iter()
+        .position(|&x| x == t)
+        .expect("technique is in ALL")
+}
+
+/// Lock-free (except the latency reservoir) counters shared by every
+/// shard worker and front-end thread.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: [AtomicU64; RejectReason::ALL.len()],
+    queries_by_technique: [AtomicU64; Technique::ALL.len()],
+    batch_hist: [AtomicU64; HIST_BUCKETS],
+    queue_depth: AtomicU64,
+    samples_seen: AtomicU64,
+    latencies_ns: Mutex<Vec<f64>>,
+}
+
+impl ServerStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a request passing admission control.
+    pub fn record_accepted(&self, queries: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth
+            .fetch_add(queries as u64, Ordering::Relaxed);
+    }
+
+    /// Records a rejection. For post-admission rejections (a stale request
+    /// found at dequeue) the queued queries are also released.
+    pub fn record_rejected(&self, reason: RejectReason, queued_queries: usize) {
+        self.rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+        self.queue_depth
+            .fetch_sub(queued_queries as u64, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched coalesced batch of `queries` total queries.
+    pub fn record_batch(&self, queries: usize) {
+        let bucket = if queries <= 1 {
+            0
+        } else {
+            (usize::BITS - (queries - 1).leading_zeros()) as usize
+        };
+        self.batch_hist[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed request: its technique, query count, and
+    /// submission-to-reply latency.
+    pub fn record_completed(&self, technique: Technique, queries: usize, latency_ns: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth
+            .fetch_sub(queries as u64, Ordering::Relaxed);
+        self.queries_by_technique[tech_index(technique)]
+            .fetch_add(queries as u64, Ordering::Relaxed);
+        let seen = self.samples_seen.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut samples = self.latencies_ns.lock().expect("stats lock");
+        if samples.len() < RESERVOIR_CAP {
+            samples.push(latency_ns);
+        } else {
+            samples[seen % RESERVOIR_CAP] = latency_ns;
+        }
+    }
+
+    /// Queries currently admitted but not yet answered.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of every counter for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let latency = {
+            let samples = self.latencies_ns.lock().expect("stats lock");
+            LatencySummary::from_ns(&samples)
+        };
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: RejectReason::ALL
+                .iter()
+                .map(|r| (*r, self.rejected[r.index()].load(Ordering::Relaxed)))
+                .collect(),
+            queries_by_technique: Technique::ALL
+                .iter()
+                .map(|t| {
+                    (
+                        *t,
+                        self.queries_by_technique[tech_index(*t)].load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+            batch_hist: self
+                .batch_hist
+                .iter()
+                .enumerate()
+                .map(|(k, c)| (1usize << k, c.load(Ordering::Relaxed)))
+                .collect(),
+            queue_depth: self.queue_depth(),
+            latency,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests past admission control.
+    pub accepted: u64,
+    /// Requests answered with embeddings.
+    pub completed: u64,
+    /// Rejections, per reason.
+    pub rejected: Vec<(RejectReason, u64)>,
+    /// Completed queries per technique.
+    pub queries_by_technique: Vec<(Technique, u64)>,
+    /// `(bucket_upper_bound, count)` — dispatched batches with total
+    /// query count in `(upper/2, upper]`.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Queries admitted but unanswered at snapshot time.
+    pub queue_depth: u64,
+    /// Submission-to-reply latency over recent completed requests.
+    pub latency: LatencySummary,
+}
+
+impl StatsSnapshot {
+    /// Total rejections across reasons.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Serializes to the stats-endpoint JSON document.
+    pub fn to_json(&self) -> String {
+        Value::obj([
+            ("accepted", Value::Num(self.accepted as f64)),
+            ("completed", Value::Num(self.completed as f64)),
+            (
+                "rejected",
+                Value::Obj(
+                    self.rejected
+                        .iter()
+                        .map(|(r, c)| (r.label().to_string(), Value::Num(*c as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "queries_by_technique",
+                Value::Obj(
+                    self.queries_by_technique
+                        .iter()
+                        .map(|(t, c)| (t.label().to_string(), Value::Num(*c as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "batch_hist",
+                Value::Arr(
+                    self.batch_hist
+                        .iter()
+                        .filter(|&&(_, c)| c > 0)
+                        .map(|&(ub, c)| {
+                            Value::obj([
+                                ("le", Value::Num(ub as f64)),
+                                ("count", Value::Num(c as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("queue_depth", Value::Num(self.queue_depth as f64)),
+            (
+                "latency",
+                Value::obj([
+                    ("count", Value::Num(self.latency.count as f64)),
+                    ("mean_ns", Value::Num(self.latency.mean_ns)),
+                    ("p50_ns", Value::Num(self.latency.p50_ns)),
+                    ("p95_ns", Value::Num(self.latency.p95_ns)),
+                    ("p99_ns", Value::Num(self.latency.p99_ns)),
+                    ("max_ns", Value::Num(self.latency.max_ns)),
+                ]),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "accepted={} completed={} rejected={} queue_depth={}",
+            self.accepted,
+            self.completed,
+            self.total_rejected(),
+            self.queue_depth
+        )?;
+        writeln!(f, "latency: {}", self.latency)?;
+        let hist: Vec<String> = self
+            .batch_hist
+            .iter()
+            .filter(|&&(_, c)| c > 0)
+            .map(|&(ub, c)| format!("<={ub}:{c}"))
+            .collect();
+        write!(f, "batches: [{}]", hist.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secemb_wire::json;
+
+    #[test]
+    fn lifecycle_counters_balance() {
+        let s = ServerStats::new();
+        s.record_accepted(4);
+        s.record_accepted(2);
+        assert_eq!(s.queue_depth(), 6);
+        s.record_completed(Technique::LinearScan, 4, 1000.0);
+        s.record_rejected(RejectReason::DeadlineExceeded, 2);
+        assert_eq!(s.queue_depth(), 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.total_rejected(), 1);
+        assert_eq!(snap.latency.count, 1);
+        let scan_queries = snap
+            .queries_by_technique
+            .iter()
+            .find(|(t, _)| *t == Technique::LinearScan)
+            .unwrap()
+            .1;
+        assert_eq!(scan_queries, 4);
+    }
+
+    #[test]
+    fn batch_histogram_buckets() {
+        let s = ServerStats::new();
+        for q in [1, 2, 3, 4, 5, 64] {
+            s.record_batch(q);
+        }
+        let snap = s.snapshot();
+        let count_at = |ub: usize| {
+            snap.batch_hist
+                .iter()
+                .find(|&&(u, _)| u == ub)
+                .map_or(0, |&(_, c)| c)
+        };
+        assert_eq!(count_at(1), 1); // batch 1
+        assert_eq!(count_at(2), 1); // batch 2
+        assert_eq!(count_at(4), 2); // batches 3, 4
+        assert_eq!(count_at(8), 1); // batch 5
+        assert_eq!(count_at(64), 1); // batch 64
+    }
+
+    #[test]
+    fn admission_rejects_do_not_touch_queue_depth() {
+        let s = ServerStats::new();
+        s.record_rejected(RejectReason::QueueFull, 0);
+        assert_eq!(s.queue_depth(), 0);
+        assert_eq!(s.snapshot().total_rejected(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let s = ServerStats::new();
+        s.record_accepted(8);
+        s.record_batch(8);
+        s.record_completed(Technique::Dhe, 8, 2_000_000.0);
+        let doc = json::parse(&s.snapshot().to_json()).unwrap();
+        assert_eq!(doc.get("completed").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("queries_by_technique")
+                .unwrap()
+                .get("DHE")
+                .unwrap()
+                .as_u64(),
+            Some(8)
+        );
+        assert!(doc.get("latency").unwrap().get("p99_ns").is_some());
+        assert!(s.snapshot().to_string().contains("completed=1"));
+    }
+}

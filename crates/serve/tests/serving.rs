@@ -1,0 +1,219 @@
+//! End-to-end serving-path tests: batching correctness, obliviousness
+//! under coalescing, deadline handling, backpressure and the TCP wire.
+
+use secemb::GeneratorSpec;
+use secemb_serve::{
+    execute_batch, BatchPolicy, Client, Engine, EngineConfig, RejectReason, Request, Response,
+    Server, TableConfig,
+};
+use secemb_tensor::Matrix;
+use secemb_trace::check::compare_traces;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The engine's end-to-end answers are bit-identical to calling the same
+/// generator (same spec, same seed) directly, with no serving layer.
+#[test]
+fn engine_matches_direct_generation() {
+    let spec = GeneratorSpec::Scan { rows: 257, dim: 16 };
+    let engine = Engine::start(EngineConfig::new(vec![TableConfig {
+        spec,
+        seed: 42,
+        queue_capacity: 64,
+        cost_override_ns: None,
+    }]));
+    let mut reference = spec.build(42);
+
+    for indices in [vec![0u64], vec![256, 0, 131], vec![7, 7, 7, 7]] {
+        let response = engine.call(Request::new(0, indices.clone()));
+        let served = response.embeddings().expect("request accepted");
+        let direct = reference.generate_batch(&indices);
+        assert_eq!(bits(served), bits(&direct), "indices {indices:?}");
+    }
+}
+
+/// Coalescing several requests into one generator dispatch returns rows
+/// bit-identical to running each request as its own batch, across
+/// techniques (Fig. 12's batching must not change results).
+#[test]
+fn coalesced_batches_are_byte_identical() {
+    let specs = [
+        GeneratorSpec::Scan { rows: 64, dim: 8 },
+        GeneratorSpec::Dhe { rows: 96, dim: 8 },
+        GeneratorSpec::Hybrid {
+            rows: 80,
+            dim: 8,
+            threshold: 1_000_000,
+        },
+    ];
+    let groups: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![5], vec![63, 0, 17, 9]];
+    for spec in specs {
+        let mut coalesced_gen = spec.build(9);
+        let mut direct_gen = spec.build(9);
+
+        let coalesced = execute_batch(coalesced_gen.as_mut(), &groups);
+        assert_eq!(coalesced.len(), groups.len());
+        for (group, served) in groups.iter().zip(&coalesced) {
+            let direct = direct_gen.generate_batch(group);
+            assert_eq!(bits(served), bits(&direct), "{spec} group {group:?}");
+        }
+    }
+}
+
+/// Coalescing preserves obliviousness: for a scan-backed table, the memory
+/// trace of a coalesced dispatch is identical for different secret index
+/// sets of the same shape.
+#[test]
+fn coalescing_preserves_scan_obliviousness() {
+    let mut generator = GeneratorSpec::Scan { rows: 128, dim: 8 }.build(3);
+    // Same public shape (2 requests of 2 and 1 queries), different secrets.
+    let secrets: Vec<Vec<Vec<u64>>> = vec![
+        vec![vec![1, 2], vec![5]],
+        vec![vec![127, 0], vec![64]],
+        vec![vec![9, 9], vec![9]],
+    ];
+    let verdict = compare_traces(&secrets, |groups| {
+        execute_batch(generator.as_mut(), groups);
+    });
+    assert!(
+        verdict.is_oblivious(),
+        "coalesced scan trace diverged at secret {:?}",
+        verdict.first_divergence()
+    );
+    assert!(verdict.is_line_oblivious(64));
+}
+
+/// And the converse sanity check: a non-oblivious lookup table *does*
+/// diverge under the same harness, so the test above has teeth.
+#[test]
+fn coalescing_detects_lookup_leak() {
+    let mut generator = GeneratorSpec::Lookup { rows: 128, dim: 8 }.build(3);
+    let secrets: Vec<Vec<Vec<u64>>> = vec![vec![vec![1, 2]], vec![vec![127, 0]]];
+    let verdict = compare_traces(&secrets, |groups| {
+        execute_batch(generator.as_mut(), groups);
+    });
+    assert!(!verdict.is_oblivious());
+}
+
+/// Requests that go stale while queued behind slow work are answered with
+/// an explicit `Rejected(DeadlineExceeded)` — never silently dropped.
+#[test]
+fn stale_requests_are_rejected_not_dropped() {
+    let mut config = EngineConfig::new(vec![TableConfig {
+        spec: GeneratorSpec::Scan {
+            rows: 1 << 17,
+            dim: 64,
+        },
+        seed: 1,
+        queue_capacity: 64,
+        // Claim zero cost so admission control lets everything in; the
+        // genuinely slow scans then make queued deadlines expire.
+        cost_override_ns: Some(0.0),
+    }]);
+    config.policy = BatchPolicy {
+        max_batch: 4,
+        max_wait: Duration::ZERO,
+    };
+    config.probe_repeats = 1;
+    let engine = Engine::start(config);
+
+    // Three no-deadline requests occupy the worker for several scans...
+    let slow: Vec<_> = (0..3)
+        .map(|_| engine.submit(Request::new(0, vec![1, 2, 3, 4])))
+        .collect();
+    // ...so these queued 1 ms deadlines expire before they are dequeued.
+    let urgent: Vec<_> = (0..4)
+        .map(|_| engine.submit(Request::new(0, vec![9]).with_deadline(Duration::from_millis(1))))
+        .collect();
+
+    let mut completed = 0;
+    let mut expired = 0;
+    for ticket in slow.into_iter().chain(urgent) {
+        match ticket.wait() {
+            Response::Embeddings(m) => {
+                assert_eq!(m.cols(), 64);
+                completed += 1;
+            }
+            Response::Rejected(RejectReason::DeadlineExceeded) => expired += 1,
+            Response::Rejected(other) => panic!("unexpected rejection {other}"),
+        }
+    }
+    assert_eq!(completed + expired, 7, "every request must be answered");
+    assert!(completed >= 3, "no-deadline requests always complete");
+    assert!(expired >= 1, "at least one queued deadline must expire");
+
+    let snap = engine.stats().snapshot();
+    assert_eq!(snap.completed + snap.total_rejected(), 7);
+}
+
+/// Overload pushes back with `Rejected(QueueFull)` instead of queueing
+/// without bound; accepted + rejected accounts for every submission.
+#[test]
+fn overload_rejects_queue_full() {
+    let engine = Engine::start(EngineConfig::new(vec![TableConfig {
+        spec: GeneratorSpec::Scan {
+            rows: 1 << 16,
+            dim: 32,
+        },
+        seed: 1,
+        queue_capacity: 2,
+        cost_override_ns: Some(0.0),
+    }]));
+
+    let tickets: Vec<_> = (0..20)
+        .map(|i| engine.submit(Request::new(0, vec![i as u64])))
+        .collect();
+
+    let mut completed = 0;
+    let mut shed = 0;
+    for ticket in tickets {
+        match ticket.wait() {
+            Response::Embeddings(_) => completed += 1,
+            Response::Rejected(RejectReason::QueueFull) => shed += 1,
+            Response::Rejected(other) => panic!("unexpected rejection {other}"),
+        }
+    }
+    assert_eq!(completed + shed, 20, "every request must be answered");
+    assert!(shed >= 1, "a 2-deep queue cannot absorb a 20-request burst");
+    assert!(completed >= 1);
+}
+
+/// Full TCP round trip: served embeddings match direct generation, table
+/// metadata is faithful, and the stats endpoint returns parseable JSON.
+#[test]
+fn tcp_round_trip_matches_direct_generation() {
+    let spec = GeneratorSpec::Scan { rows: 128, dim: 8 };
+    let engine = Arc::new(Engine::start(EngineConfig::new(vec![TableConfig::new(
+        spec,
+    )])));
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let tables = client.tables().expect("tables");
+    assert_eq!(tables.len(), 1);
+    assert_eq!((tables[0].rows, tables[0].dim), (128, 8));
+    assert!(tables[0].per_query_ns > 0.0);
+
+    let indices = vec![3u64, 7, 9];
+    let served = match client.generate(0, &indices, None).expect("generate") {
+        secemb_serve::protocol::ServerMsg::Embeddings(m) => m,
+        other => panic!("expected embeddings, got {other:?}"),
+    };
+    let direct = spec.build(42).generate_batch(&indices);
+    assert_eq!(bits(&served), bits(&direct));
+
+    // Out-of-range index over the wire is an explicit rejection.
+    match client.generate(0, &[999], None).expect("generate") {
+        secemb_serve::protocol::ServerMsg::Rejected(RejectReason::BadRequest) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    let stats = client.stats_json().expect("stats");
+    let value = secemb_wire::json::parse(&stats).expect("valid stats JSON");
+    assert_eq!(value.get("accepted").and_then(|v| v.as_u64()), Some(1));
+    assert!(value.get("latency").is_some());
+}

@@ -94,7 +94,10 @@ pub fn run_eviction_attack(
     config: AttackConfig,
     rng: &mut impl Rng,
 ) -> AttackResult {
-    assert!(config.probe_candidates > 0, "must probe at least one candidate");
+    assert!(
+        config.probe_candidates > 0,
+        "must probe at least one candidate"
+    );
     let mut sums = vec![0.0f64; config.probe_candidates];
 
     for _ in 0..config.repeats.max(1) {

@@ -60,7 +60,10 @@ impl Cache {
     ///
     /// Panics if any dimension is zero or `line_size` is not a power of two.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.sets > 0 && config.ways > 0, "cache dims must be nonzero");
+        assert!(
+            config.sets > 0 && config.ways > 0,
+            "cache dims must be nonzero"
+        );
         assert!(
             config.line_size.is_power_of_two(),
             "line_size must be a power of two"

@@ -215,8 +215,14 @@ mod tests {
 
     #[test]
     fn empty_trace_hit_rate() {
-        assert_eq!(observe_dram(&Trace::new(), DramConfig::default()).hit_rate(), 0.0);
-        assert_eq!(observe_tlb(&Trace::new(), TlbConfig::default()).hit_rate(), 0.0);
+        assert_eq!(
+            observe_dram(&Trace::new(), DramConfig::default()).hit_rate(),
+            0.0
+        );
+        assert_eq!(
+            observe_tlb(&Trace::new(), TlbConfig::default()).hit_rate(),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload bytes. Readers enforce a maximum frame size so a corrupt or
+//! hostile peer cannot make the server allocate unbounded memory.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default cap on a single frame's payload (16 MiB) — comfortably above
+/// the largest embedding response the serving protocol produces.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Error produced while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream error.
+    Io(io::Error),
+    /// The stream closed cleanly before a length prefix arrived.
+    Closed,
+    /// The declared payload length exceeds the reader's cap.
+    TooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// The reader's maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Closed => write!(f, "stream closed between frames"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates any error from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, capped at [`DEFAULT_MAX_FRAME`].
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] if the stream ends cleanly before a prefix,
+/// [`FrameError::TooLarge`] if the prefix exceeds the cap, and
+/// [`FrameError::Io`] for anything else (including EOF mid-frame).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    read_frame_limited(r, DEFAULT_MAX_FRAME)
+}
+
+/// Reads one frame's payload with an explicit size cap.
+///
+/// # Errors
+///
+/// Same as [`read_frame`].
+pub fn read_frame_limited<R: Read>(r: &mut R, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // A clean close before any prefix byte is a normal end of stream; a
+    // close mid-prefix or mid-payload is a protocol error.
+    match r.read(&mut prefix) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) => r.read_exact(&mut prefix[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut prefix)?;
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { declared: len, max });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 300]).unwrap();
+
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"first");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), vec![0xAB; 300]);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        match read_frame_limited(&mut cur, 1024) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_payload_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"shor"); // 4 of 8 promised bytes
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+}

@@ -1,0 +1,25 @@
+//! Dependency-free serialization for the SecEmb workspace.
+//!
+//! Three layers, each usable alone:
+//!
+//! - [`json`] — a minimal JSON document model ([`json::Value`]), parser and
+//!   writer, used for profile artifacts ([`secemb::hybrid::ThresholdTable`]'s
+//!   on-disk form) and human-readable server statistics.
+//! - [`bytes`] — little-endian cursor types ([`bytes::ByteWriter`],
+//!   [`bytes::ByteReader`]) for compact binary formats (model checkpoints,
+//!   the serving protocol).
+//! - [`frame`] — length-prefixed framing over any `Read`/`Write` stream,
+//!   the transport under `secemb-serve`'s TCP protocol.
+//!
+//! The workspace's build environment has no access to crates.io, so this
+//! crate replaces what `serde`/`serde_json`/`bytes` provided, scoped to
+//! exactly what the repository needs.
+//!
+//! [`secemb::hybrid::ThresholdTable`]: https://docs.rs/secemb
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod frame;
+pub mod json;

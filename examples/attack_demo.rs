@@ -25,23 +25,39 @@ fn main() {
     let row_bytes = (dim * 4) as u64;
     let mut rng = StdRng::seed_from_u64(9);
 
-    let mut generators: Vec<(&str, Box<dyn FnMut(u64)>)> = Vec::new();
+    type Generator<'a> = (&'a str, Box<dyn FnMut(u64)>);
+    let mut generators: Vec<Generator> = Vec::new();
     let mut lookup = IndexLookup::new(table.clone());
-    generators.push(("index lookup", Box::new(move |i| {
-        lookup.generate(i);
-    })));
+    generators.push((
+        "index lookup",
+        Box::new(move |i| {
+            lookup.generate(i);
+        }),
+    ));
     let mut scan = LinearScan::new(table.clone());
-    generators.push(("linear scan", Box::new(move |i| {
-        scan.generate(i);
-    })));
+    generators.push((
+        "linear scan",
+        Box::new(move |i| {
+            scan.generate(i);
+        }),
+    ));
     let mut oram = OramTable::circuit(&table, StdRng::seed_from_u64(4));
-    generators.push(("circuit ORAM", Box::new(move |i| {
-        oram.generate(i);
-    })));
-    let mut dhe = Dhe::new(DheConfig::new(dim, 64, vec![64]), &mut StdRng::seed_from_u64(5));
-    generators.push(("DHE", Box::new(move |i| {
-        dhe.generate(i);
-    })));
+    generators.push((
+        "circuit ORAM",
+        Box::new(move |i| {
+            oram.generate(i);
+        }),
+    ));
+    let mut dhe = Dhe::new(
+        DheConfig::new(dim, 64, vec![64]),
+        &mut StdRng::seed_from_u64(5),
+    );
+    generators.push((
+        "DHE",
+        Box::new(move |i| {
+            dhe.generate(i);
+        }),
+    ));
 
     // An attack "works" only if the recovered index *tracks* the secret:
     // attack several different secrets and count the hits.
@@ -70,7 +86,11 @@ fn main() {
         let (trace, result) = last.unwrap();
         let pages = observe_pages(&trace, 4096);
         let dram = observe_dram(&trace, DramConfig::default());
-        let verdict = if hits == secrets.len() { "LEAKED" } else { "protected" };
+        let verdict = if hits == secrets.len() {
+            "LEAKED"
+        } else {
+            "protected"
+        };
         println!(
             "{name:>13}: attacker tracked {hits}/{} secrets (last margin {:>7.1} ns) -> {verdict:9} \
              | {} page-visits, DRAM row-hit rate {:.0}%",

@@ -22,7 +22,10 @@ fn main() {
     spec.embedding_dim = 8;
     spec.bottom_mlp = vec![32, 16, 8];
     spec.top_mlp = vec![32, 1];
-    println!("model: {} features, table sizes {:?}\n", 8, spec.table_sizes);
+    println!(
+        "model: {} features, table sizes {:?}\n",
+        8, spec.table_sizes
+    );
 
     // --- Offline: train ONE all-DHE model (Algorithm 2 step 2 will derive
     // tables from it for whichever features end up as scans).
@@ -30,7 +33,13 @@ fn main() {
     let kinds: Vec<EmbeddingKind> = spec
         .table_sizes
         .iter()
-        .map(|&n| EmbeddingKind::Dhe(DheConfig::new(8, 32.max((n / 16) as usize).min(64), vec![32])))
+        .map(|&n| {
+            EmbeddingKind::Dhe(DheConfig::new(
+                8,
+                32.max((n / 16) as usize).min(64),
+                vec![32],
+            ))
+        })
         .collect();
     let mut rng = StdRng::seed_from_u64(3);
     let mut model = Dlrm::with_kinds(spec.clone(), &kinds, &mut rng);
@@ -54,7 +63,10 @@ fn main() {
         varied_dhe: true,
     };
     let profile = profiler.profile_grid(&[32], &[1]);
-    println!("\nprofiled threshold (batch 32, 1 thread): {} rows", profile.threshold(32, 1));
+    println!(
+        "\nprofiled threshold (batch 32, 1 thread): {} rows",
+        profile.threshold(32, 1)
+    );
 
     // --- Online: allocate per feature and build the secure serving model
     // (Algorithm 3).
@@ -79,7 +91,7 @@ fn main() {
     assert!(max_err < 1e-4);
 
     // And it should be dramatically smaller than an ORAM deployment.
-    let oram = SecureDlrm::from_trained(&model, &vec![Technique::CircuitOram; 8], 6);
+    let oram = SecureDlrm::from_trained(&model, &[Technique::CircuitOram; 8], 6);
     println!(
         "memory: hybrid {} B vs all-ORAM {} B ({:.0}x)",
         secure.memory_bytes(),

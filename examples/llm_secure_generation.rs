@@ -33,13 +33,17 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     print!("fine-tuning DHE-embedded GPT");
     for step in 0..80 {
-        let batch: Vec<Vec<usize>> = (0..4).map(|_| corpus.sample_sequence(32, &mut rng)).collect();
+        let batch: Vec<Vec<usize>> = (0..4)
+            .map(|_| corpus.sample_sequence(32, &mut rng))
+            .collect();
         gpt.train_step(&batch, &mut opt);
         if step % 20 == 0 {
             print!(".");
         }
     }
-    let test: Vec<Vec<usize>> = (0..6).map(|_| corpus.sample_sequence(32, &mut rng)).collect();
+    let test: Vec<Vec<usize>> = (0..6)
+        .map(|_| corpus.sample_sequence(32, &mut rng))
+        .collect();
     println!(" perplexity {:.2} (vocab {vocab})\n", gpt.perplexity(&test));
 
     let prompt: Vec<usize> = corpus.sample_sequence(12, &mut rng);

@@ -40,8 +40,7 @@ fn main() {
         layers: 2,
         max_seq: 48,
     };
-    let kind =
-        secemb_llm::TokenEmbeddingKind::Dhe(DheConfig::new(config.dim, 64, vec![64]));
+    let kind = secemb_llm::TokenEmbeddingKind::Dhe(DheConfig::new(config.dim, 64, vec![64]));
     let mut gpt = Gpt::new(config, &kind, &mut StdRng::seed_from_u64(0));
     let training_ids = tokenizer.encode(CORPUS);
     let mut opt = Adam::new(3e-3);

@@ -13,7 +13,7 @@ use secemb_tensor::Matrix;
 fn main() {
     // A "trained" 1,000-row, dim-16 embedding table.
     let table = Matrix::from_fn(1000, 16, |r, c| ((r * 16 + c) as f32 * 0.01).sin());
-    let secret_index = 042u64;
+    let secret_index = 42u64;
 
     // 1. The fast, vulnerable baseline: direct lookup.
     let mut lookup = IndexLookup::new(table.clone());
@@ -30,7 +30,10 @@ fn main() {
     // 4. DHE: no table at all — embeddings are *computed* from the index.
     //    (An untrained DHE gives different values; training makes it match
     //    task accuracy, which the DLRM/LLM examples demonstrate.)
-    let mut dhe = Dhe::new(DheConfig::new(16, 64, vec![32]), &mut StdRng::seed_from_u64(1));
+    let mut dhe = Dhe::new(
+        DheConfig::new(16, 64, vec![32]),
+        &mut StdRng::seed_from_u64(1),
+    );
     let dhe_emb = dhe.generate(secret_index);
     assert_eq!(dhe_emb.len(), 16);
 

@@ -1,0 +1,104 @@
+//! In-process embedding serving: a hybrid backend behind the
+//! `secemb-serve` engine, hammered by concurrent client threads, with the
+//! server's own statistics printed at the end.
+//!
+//! ```bash
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! No sockets here — threads call the engine directly, which is the
+//! "co-located frontend" deployment. `secemb-serve-server` /
+//! `secemb-serve-load` wrap the same engine in TCP for the networked one.
+
+use secemb::GeneratorSpec;
+use secemb_serve::{Engine, EngineConfig, Request, Response, TableConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // Two tables of the paper's hybrid: below the threshold the engine
+    // serves with an oblivious linear scan, above it with DHE.
+    let threshold = 100_000;
+    let tables = vec![
+        GeneratorSpec::Hybrid {
+            rows: 4_096,
+            dim: 64,
+            threshold,
+        },
+        GeneratorSpec::Hybrid {
+            rows: 262_144,
+            dim: 64,
+            threshold,
+        },
+    ];
+    println!(
+        "building {} tables and probing per-query cost...",
+        tables.len()
+    );
+    let engine = Arc::new(Engine::start(EngineConfig::new(
+        tables
+            .into_iter()
+            .map(|spec| TableConfig {
+                spec,
+                seed: 42,
+                queue_capacity: 256,
+                cost_override_ns: None,
+            })
+            .collect(),
+    )));
+    for (id, info) in engine.tables().iter().enumerate() {
+        println!(
+            "  table {id}: {} rows x {} dim via {} ({:.0} ns/query)",
+            info.rows, info.dim, info.technique, info.per_query_ns
+        );
+    }
+
+    // Four client threads, each issuing a stream of small batches with a
+    // 20 ms deadline (the paper's SLA). Indices are secret; the serving
+    // layer only ever branches on public shapes.
+    let clients = 4;
+    let requests_per_client = 50;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            let tables = engine.tables();
+            std::thread::spawn(move || {
+                let mut served = 0u32;
+                let mut rejected = 0u32;
+                for i in 0..requests_per_client {
+                    let table = (c + i) % tables.len();
+                    let indices: Vec<u64> = (0..4)
+                        .map(|q| ((c + i + q) as u64 * 7919) % tables[table].rows)
+                        .collect();
+                    let request =
+                        Request::new(table, indices).with_deadline(Duration::from_millis(20));
+                    match engine.call(request) {
+                        Response::Embeddings(m) => {
+                            assert_eq!(m.shape(), (4, 64));
+                            served += 1;
+                        }
+                        Response::Rejected(reason) => {
+                            rejected += 1;
+                            // Load shedding is explicit, never a hang or a drop.
+                            let _ = reason;
+                        }
+                    }
+                }
+                (served, rejected)
+            })
+        })
+        .collect();
+
+    let mut served = 0;
+    let mut rejected = 0;
+    for h in handles {
+        let (s, r) = h.join().expect("client thread");
+        served += s;
+        rejected += r;
+    }
+    println!(
+        "\n{} requests: {served} served, {rejected} rejected",
+        clients * requests_per_client
+    );
+    println!("\nserver stats:\n{}", engine.stats().snapshot());
+}

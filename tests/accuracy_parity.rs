@@ -61,12 +61,14 @@ fn llm_table_and_dhe_converge_together() {
         let mut opt = Adam::new(3e-3);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
-            let batch: Vec<Vec<usize>> =
-                (0..4).map(|_| corpus.sample_sequence(20, &mut rng)).collect();
+            let batch: Vec<Vec<usize>> = (0..4)
+                .map(|_| corpus.sample_sequence(20, &mut rng))
+                .collect();
             gpt.train_step(&batch, &mut opt);
         }
-        let test: Vec<Vec<usize>> =
-            (0..6).map(|_| corpus.sample_sequence(20, &mut StdRng::seed_from_u64(9))).collect();
+        let test: Vec<Vec<usize>> = (0..6)
+            .map(|_| corpus.sample_sequence(20, &mut StdRng::seed_from_u64(9)))
+            .collect();
         results.push(gpt.perplexity(&test));
     }
     let (table_ppl, dhe_ppl) = (results[0], results[1]);
@@ -107,7 +109,7 @@ fn dhe_to_table_conversion_is_output_exact() {
         Technique::PathOram,
         Technique::CircuitOram,
     ] {
-        let mut secure = SecureDlrm::from_trained(&model, &vec![tech; 3], 6);
+        let mut secure = SecureDlrm::from_trained(&model, &[tech; 3], 6);
         assert!(
             reference.allclose(&secure.infer(&batch), 1e-4),
             "{tech} conversion changed outputs"

@@ -68,7 +68,10 @@ fn dlrm_lookup_inference_leaks() {
     let verdict = compare_traces(&variants, |batch| {
         secure.infer(batch);
     });
-    assert!(!verdict.is_oblivious(), "non-secure serving must be detectable");
+    assert!(
+        !verdict.is_oblivious(),
+        "non-secure serving must be detectable"
+    );
 }
 
 #[test]
@@ -97,7 +100,11 @@ fn llm_generation_with_dhe_is_trace_oblivious() {
     // *generated* continuation depends on the prompt, and greedy decoding
     // feeds tokens back in — so we compare the trace of prefill plus the
     // FIRST decode step, which consumes secret-dependent tokens.
-    let prompts = [vec![1usize, 2, 3, 4], vec![20, 19, 18, 17], vec![7, 7, 7, 7]];
+    let prompts = [
+        vec![1usize, 2, 3, 4],
+        vec![20, 19, 18, 17],
+        vec![7, 7, 7, 7],
+    ];
     let verdict = compare_traces(&prompts, |prompt| {
         let mut cache = KvCache::default();
         let logits = serve.prefill(prompt, &mut cache);
@@ -110,7 +117,11 @@ fn llm_generation_with_dhe_is_trace_oblivious() {
 #[test]
 fn llm_scan_serving_is_trace_oblivious_and_lookup_is_not() {
     let config = GptConfig::tiny(24);
-    let gpt = Gpt::new(config, &TokenEmbeddingKind::Table, &mut StdRng::seed_from_u64(1));
+    let gpt = Gpt::new(
+        config,
+        &TokenEmbeddingKind::Table,
+        &mut StdRng::seed_from_u64(1),
+    );
     let prompts = [vec![0usize, 5, 9], vec![23, 11, 2]];
 
     let mut scan_serve = GptServing::new(&gpt, Technique::LinearScan, 0);
@@ -133,7 +144,11 @@ fn oram_decode_traces_match_across_secret_tokens() {
     // The LLM hybrid's decode path: Circuit ORAM embedder; traces must be
     // structurally identical for different secret tokens.
     let config = GptConfig::tiny(32);
-    let gpt = Gpt::new(config, &TokenEmbeddingKind::Table, &mut StdRng::seed_from_u64(2));
+    let gpt = Gpt::new(
+        config,
+        &TokenEmbeddingKind::Table,
+        &mut StdRng::seed_from_u64(2),
+    );
     let mut serve = GptServing::new(&gpt, Technique::CircuitOram, 3);
     let mut shapes = Vec::new();
     for &token in &[0usize, 15, 31] {
@@ -158,12 +173,17 @@ fn markov_corpus_feeds_llm_training_pipeline() {
     // Smoke the full data->train->serve pipeline across crates.
     let corpus = MarkovCorpus::new(24, 1, 3);
     let config = GptConfig::tiny(24);
-    let mut gpt = Gpt::new(config, &TokenEmbeddingKind::Table, &mut StdRng::seed_from_u64(4));
+    let mut gpt = Gpt::new(
+        config,
+        &TokenEmbeddingKind::Table,
+        &mut StdRng::seed_from_u64(4),
+    );
     let mut opt = secemb_nn::Adam::new(3e-3);
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..10 {
-        let batch: Vec<Vec<usize>> =
-            (0..2).map(|_| corpus.sample_sequence(16, &mut rng)).collect();
+        let batch: Vec<Vec<usize>> = (0..2)
+            .map(|_| corpus.sample_sequence(16, &mut rng))
+            .collect();
         gpt.train_step(&batch, &mut opt);
     }
     let mut serve = GptServing::new(&gpt, Technique::LinearScan, 0);

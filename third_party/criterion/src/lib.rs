@@ -1,0 +1,273 @@
+//! Vendored stand-in for the `criterion 0.5` API subset this workspace's
+//! benches use. It is a plain timing harness: per benchmark it runs a
+//! warm-up pass, then `sample_size` timed iterations, and prints
+//! median/min/max to stdout. No statistics, plots, or baselines.
+//!
+//! When invoked with `--test` (what `cargo test` passes to `harness =
+//! false` bench targets) every benchmark runs exactly once, so test runs
+//! stay fast. All other Criterion CLI flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by this harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<u64>,
+    iterations: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness has a fixed one-pass
+    /// warm-up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement length is
+    /// `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let iterations = if self.test_mode { 1 } else { self.sample_size };
+        // Warm-up pass (not recorded).
+        {
+            let mut warm = Vec::new();
+            f(&mut Bencher {
+                samples: &mut warm,
+                iterations: 1,
+            });
+        }
+        f(&mut Bencher {
+            samples: &mut samples,
+            iterations,
+        });
+        report(&self.name, &id.label, &samples);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn report(group: &str, label: &str, samples: &[u64]) {
+    if samples.is_empty() {
+        println!("{group}/{label}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{group}/{label}: median {} (min {}, max {}, n={})",
+        fmt_ns(median),
+        fmt_ns(sorted[0]),
+        fmt_ns(sorted[sorted.len() - 1]),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// The harness entry point; holds global configuration.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(5);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.bench_function(BenchmarkId::from_parameter(7), |b| {
+                b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        // test_mode: one warm-up + one timed call per bench_function.
+        assert_eq!(ran, 2);
+    }
+}

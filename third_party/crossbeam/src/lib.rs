@@ -1,0 +1,263 @@
+//! Vendored stand-in for the `crossbeam 0.8` API subset this workspace
+//! uses: scoped threads (delegating to `std::thread::scope`, which is the
+//! std library's adoption of crossbeam's design) and MPMC channels
+//! (bounded/unbounded, built over `std::sync::mpsc` with a shared
+//! receiver). See `third_party/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning surface.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as stdthread;
+
+    /// Boxed panic payload, as returned by `std::thread::JoinHandle::join`.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle: spawn threads that may borrow from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in it are joined before
+    /// this returns. `Err` carries the payload of the first panic (from an
+    /// unjoined child or from the closure itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the scope closure or an unjoined
+    /// spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    //! MPMC channels: `std::sync::mpsc` senders with a mutex-shared
+    //! receiver so that consumers can be cloned (crossbeam's key addition
+    //! over plain mpsc).
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, TryRecvError};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half (cloneable).
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// The receiving half (cloneable; receivers compete for messages).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if the channel is full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and all senders
+        /// are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Receive with a timeout.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError`] on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError`] when empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .try_recv()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len() as i32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            // Not joining: the panic must surface as the scope's Err.
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 3);
+        assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_compete() {
+        let (tx, rx) = channel::bounded::<u32>(16);
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.try_recv() {
+            got.push(v);
+            if let Ok(v2) = rx2.try_recv() {
+                got.push(v2);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}
