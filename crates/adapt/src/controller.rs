@@ -1,0 +1,379 @@
+//! The adaptive control loop: samples → drift → re-profile → reallocate.
+//!
+//! One [`AdaptiveController`] watches one [`Engine`]. Every step it
+//! drains the per-table service-cost samples the shard workers exported,
+//! feeds them to per-table [`DriftDetector`]s, and — when any table's
+//! cost has verifiably shifted — runs a bounded [`reprofile`] round,
+//! derives a fresh versioned [`AllocationPlan`] from the updated
+//! threshold, and applies it to the engine as an atomic epoch-tagged
+//! swap. Tables whose technique survives the reallocation keep serving
+//! uninterrupted but get re-costed admission control (the drifted cost
+//! estimate was the problem); tables whose side of the crossover flipped
+//! are rebuilt and hot-swapped between batches.
+//!
+//! The loop can run synchronously ([`AdaptiveController::step`], used by
+//! tests and benchmarks that want deterministic phase boundaries) or on
+//! its own background thread ([`AdaptiveController::start`]).
+
+use crate::drift::{DriftConfig, DriftDetector};
+use crate::reprofile::{reprofile, ReprofileConfig};
+use secemb::hybrid::{choose_technique, AllocationPlan, PlannedTable};
+use secemb_serve::Engine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Controller tuning.
+#[derive(Clone, Debug)]
+pub struct AdaptConfig {
+    /// Step interval in background mode.
+    pub poll: Duration,
+    /// Minimum gap between reallocations — one plan swap must settle (and
+    /// its detectors re-arm on fresh samples) before the next can start.
+    pub cooldown: Duration,
+    /// Per-table drift detector tuning.
+    pub drift: DriftConfig,
+    /// Re-profiling budget and window.
+    pub reprofile: ReprofileConfig,
+    /// Execution batch size the threshold is profiled for.
+    pub batch: usize,
+    /// Worker thread count the threshold is profiled for.
+    pub threads: usize,
+}
+
+impl AdaptConfig {
+    /// Defaults at dimension `dim`: 100 ms poll, 2 s cooldown.
+    pub fn new(dim: usize) -> Self {
+        AdaptConfig {
+            poll: Duration::from_millis(100),
+            cooldown: Duration::from_secs(2),
+            drift: DriftConfig::default(),
+            reprofile: ReprofileConfig::new(dim),
+            batch: 8,
+            threads: 1,
+        }
+    }
+}
+
+/// What one controller step did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// No table shows sustained drift; nothing to do.
+    Stable,
+    /// Drift detected, but the previous reallocation is too recent.
+    CoolingDown,
+    /// A new plan was derived and applied.
+    Reallocated {
+        /// Version of the applied plan.
+        version: u64,
+        /// Engine epoch after the swap.
+        epoch: u64,
+        /// The re-profiled threshold the plan encodes.
+        threshold: u64,
+        /// Whether any table changed technique (false = the reallocation
+        /// only refreshed admission-control costs).
+        techniques_changed: bool,
+    },
+}
+
+/// The drift-reacting control loop for one engine.
+pub struct AdaptiveController {
+    engine: Arc<Engine>,
+    config: AdaptConfig,
+    detectors: Vec<DriftDetector>,
+    threshold: u64,
+    next_version: u64,
+    last_swap: Option<Instant>,
+    reallocations: u64,
+    last_plan: Option<AllocationPlan>,
+}
+
+impl AdaptiveController {
+    /// A controller defending `initial_threshold` (the offline profile's
+    /// crossover) over `engine`'s tables. Detector baselines start at the
+    /// engine's startup per-query cost estimates.
+    pub fn new(engine: Arc<Engine>, initial_threshold: u64, config: AdaptConfig) -> Self {
+        let detectors = engine
+            .tables()
+            .iter()
+            .map(|t| DriftDetector::new(config.drift, t.per_query_ns))
+            .collect();
+        AdaptiveController {
+            engine,
+            config,
+            detectors,
+            threshold: initial_threshold,
+            next_version: 1,
+            last_swap: None,
+            reallocations: 0,
+            last_plan: None,
+        }
+    }
+
+    /// The threshold the active allocation was derived from.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Plans applied so far.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// The most recently applied plan, if any — serialize with
+    /// [`AllocationPlan::to_json`] to persist it.
+    pub fn last_plan(&self) -> Option<&AllocationPlan> {
+        self.last_plan.as_ref()
+    }
+
+    /// Runs one control step: drain samples, update detectors, and if any
+    /// table drifted (outside the cooldown window) re-profile and apply a
+    /// new plan. The re-profiling happens on the calling thread — in
+    /// background mode that is the controller thread, never a worker.
+    pub fn step(&mut self) -> StepOutcome {
+        for (table, detector) in self.detectors.iter_mut().enumerate() {
+            detector.observe_all(&self.engine.drain_samples(table));
+        }
+        if !self.detectors.iter().any(DriftDetector::drifted) {
+            return StepOutcome::Stable;
+        }
+        if let Some(at) = self.last_swap {
+            if at.elapsed() < self.config.cooldown {
+                return StepOutcome::CoolingDown;
+            }
+        }
+        let report = reprofile(
+            &self.config.reprofile,
+            self.threshold,
+            self.config.batch,
+            self.config.threads,
+        );
+        let infos = self.engine.tables();
+        let tables: Vec<PlannedTable> = infos
+            .iter()
+            .zip(&self.detectors)
+            .map(|(info, detector)| {
+                let technique = choose_technique(info.rows, report.threshold);
+                PlannedTable {
+                    rows: info.rows,
+                    technique,
+                    // A table keeping its technique keeps serving the same
+                    // kernel, so the drift EWMA is the best cost estimate;
+                    // a flipped table's cost is unknown until the freshly
+                    // built generator is probed at apply time.
+                    per_query_ns: if technique == info.technique {
+                        detector.ewma_ns()
+                    } else {
+                        -1.0
+                    },
+                }
+            })
+            .collect();
+        let techniques_changed = infos
+            .iter()
+            .zip(&tables)
+            .any(|(info, planned)| info.technique != planned.technique);
+        let plan = AllocationPlan {
+            version: self.next_version,
+            dim: self.config.reprofile.dim,
+            batch: self.config.batch,
+            threads: self.config.threads,
+            threshold: report.threshold,
+            tables,
+        };
+        let epoch = self
+            .engine
+            .apply_plan(&plan)
+            .expect("controller derives plans from the engine's own tables");
+        // Re-arm every detector against the applied plan's costs (probed
+        // values for flipped tables), and discard samples that straddled
+        // the swap.
+        for (info, detector) in self.engine.tables().iter().zip(&mut self.detectors) {
+            detector.rebase(info.per_query_ns.max(1.0));
+        }
+        for table in 0..self.detectors.len() {
+            let _ = self.engine.drain_samples(table);
+        }
+        self.threshold = report.threshold;
+        self.next_version += 1;
+        self.last_swap = Some(Instant::now());
+        self.reallocations += 1;
+        self.last_plan = Some(plan);
+        StepOutcome::Reallocated {
+            version: self.next_version - 1,
+            epoch,
+            threshold: report.threshold,
+            techniques_changed,
+        }
+    }
+
+    /// Moves the controller to a background thread stepping every
+    /// `config.poll`. Stop (and get the controller back for inspection)
+    /// with [`ControllerHandle::stop`].
+    pub fn start(self) -> ControllerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let poll = self.config.poll;
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("secemb-adapt".into())
+                .spawn(move || {
+                    let mut controller = self;
+                    while !stop.load(Ordering::Relaxed) {
+                        controller.step();
+                        // Sleep in short slices so stop() returns promptly
+                        // even with a long poll interval.
+                        let deadline = Instant::now() + poll;
+                        while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                            std::thread::sleep(poll.min(Duration::from_millis(10)));
+                        }
+                    }
+                    controller
+                })
+                .expect("spawn controller thread")
+        };
+        ControllerHandle { stop, thread }
+    }
+}
+
+/// A running background controller.
+pub struct ControllerHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<AdaptiveController>,
+}
+
+impl ControllerHandle {
+    /// Signals the loop to stop and returns the controller with its final
+    /// state (threshold, reallocation count, last plan).
+    pub fn stop(self) -> AdaptiveController {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().expect("controller thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secemb::GeneratorSpec;
+    use secemb_serve::{EngineConfig, Request, TableConfig};
+
+    /// An engine whose admission baseline is absurdly low, so real service
+    /// costs register as massive upward drift after a handful of batches.
+    fn drifting_engine() -> Arc<Engine> {
+        Arc::new(Engine::start(EngineConfig::new(vec![TableConfig {
+            spec: GeneratorSpec::Scan { rows: 64, dim: 8 },
+            seed: 7,
+            queue_capacity: 256,
+            cost_override_ns: Some(0.001),
+        }])))
+    }
+
+    fn quick_config() -> AdaptConfig {
+        AdaptConfig {
+            poll: Duration::from_millis(5),
+            cooldown: Duration::ZERO,
+            drift: DriftConfig {
+                min_samples: 4,
+                ..DriftConfig::default()
+            },
+            reprofile: ReprofileConfig {
+                dim: 8,
+                window_factor: 2.0,
+                points: 3,
+                repeats: 1,
+                throttle: Duration::from_micros(100),
+                varied_dhe: false,
+            },
+            batch: 4,
+            threads: 1,
+        }
+    }
+
+    fn drive(engine: &Engine, requests: u64) {
+        for i in 0..requests {
+            engine
+                .call(Request::new(0, vec![i % 64]))
+                .embeddings()
+                .expect("served");
+        }
+    }
+
+    #[test]
+    fn no_traffic_is_stable() {
+        let engine = drifting_engine();
+        let mut c = AdaptiveController::new(Arc::clone(&engine), 512, quick_config());
+        assert_eq!(c.step(), StepOutcome::Stable);
+        assert_eq!(c.reallocations(), 0);
+        assert!(c.last_plan().is_none());
+    }
+
+    #[test]
+    fn drift_triggers_reallocation_and_recosting() {
+        let engine = drifting_engine();
+        let mut c = AdaptiveController::new(Arc::clone(&engine), 512, quick_config());
+        drive(&engine, 16);
+        let outcome = c.step();
+        let StepOutcome::Reallocated {
+            version,
+            epoch,
+            threshold,
+            ..
+        } = outcome
+        else {
+            panic!("expected reallocation, got {outcome:?}");
+        };
+        assert_eq!(version, 1);
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.plan_version(), 1);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(c.threshold(), threshold);
+        // Admission control now budgets with a realistic cost, not the
+        // poisoned 0.001 ns baseline.
+        assert!(engine.tables()[0].per_query_ns > 1.0);
+        let plan = c.last_plan().expect("plan recorded");
+        assert_eq!(plan.version, 1);
+        assert!(plan.is_monotone());
+        // The persisted artifact round-trips.
+        assert_eq!(AllocationPlan::from_json(&plan.to_json()).unwrap(), *plan);
+    }
+
+    #[test]
+    fn cooldown_blocks_back_to_back_swaps() {
+        let engine = drifting_engine();
+        let mut config = quick_config();
+        config.cooldown = Duration::from_secs(3600);
+        let mut c = AdaptiveController::new(Arc::clone(&engine), 512, config);
+        drive(&engine, 16);
+        assert!(matches!(c.step(), StepOutcome::Reallocated { .. }));
+        // Detectors re-armed; drive fresh drift against the new baseline.
+        // Even if it trips, the cooldown must hold the second swap.
+        drive(&engine, 16);
+        for _ in 0..10 {
+            let outcome = c.step();
+            assert!(
+                outcome == StepOutcome::Stable || outcome == StepOutcome::CoolingDown,
+                "cooldown violated: {outcome:?}"
+            );
+        }
+        assert_eq!(c.reallocations(), 1);
+    }
+
+    #[test]
+    fn background_loop_reallocates_and_stops() {
+        let engine = drifting_engine();
+        let c = AdaptiveController::new(Arc::clone(&engine), 512, quick_config());
+        let handle = c.start();
+        drive(&engine, 16);
+        let waited = Instant::now();
+        while engine.epoch() == 0 {
+            assert!(
+                waited.elapsed() < Duration::from_secs(10),
+                "background controller never reallocated"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let c = handle.stop();
+        assert!(c.reallocations() >= 1);
+        assert_eq!(engine.epoch(), c.reallocations());
+    }
+}

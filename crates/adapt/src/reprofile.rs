@@ -1,0 +1,167 @@
+//! Bounded, throttled background re-profiling.
+//!
+//! A full Algorithm 2 sweep is an offline luxury; online we re-measure
+//! only a log window around the previous threshold
+//! ([`Profiler::refine_sizes`]) and sleep between grid points so the
+//! probe's own scan/DHE kernels never monopolize the cores the serving
+//! workers need. The result is the paper's crossover search re-run under
+//! *current* machine conditions, at `points × repeats` measurements of
+//! total cost, off the request path.
+
+use secemb::hybrid::Profiler;
+use std::time::{Duration, Instant};
+
+/// Re-profiling budget and window.
+#[derive(Clone, Debug)]
+pub struct ReprofileConfig {
+    /// Embedding dimension to profile at (must match the served tables).
+    pub dim: usize,
+    /// Half-width of the search window as a multiplier: sizes span
+    /// `[old / window_factor, old * window_factor]`.
+    pub window_factor: f64,
+    /// Grid points inside the window.
+    pub points: usize,
+    /// Measurement repetitions per point (median is used).
+    pub repeats: usize,
+    /// Sleep between consecutive grid points — the throttle keeping the
+    /// probe from competing with the request path.
+    pub throttle: Duration,
+    /// Whether the DHE side uses Varied sizing (as deployed) or Uniform.
+    ///
+    /// Defaults to `true`: when a re-profile flips a table to DHE, the
+    /// serving engine deploys the Varied configuration
+    /// ([`secemb::GeneratorSpec::build`] sizes DHE by table rows), so an
+    /// online probe must measure the variant it would deploy or the
+    /// resulting plan describes a generator nobody runs.
+    pub varied_dhe: bool,
+}
+
+impl ReprofileConfig {
+    /// A bounded probe at dimension `dim`: 5 points across a 4× window,
+    /// 3 repeats, 2 ms throttle, Varied DHE sizing (as deployed).
+    pub fn new(dim: usize) -> Self {
+        ReprofileConfig {
+            dim,
+            window_factor: 4.0,
+            points: 5,
+            repeats: 3,
+            throttle: Duration::from_millis(2),
+            varied_dhe: true,
+        }
+    }
+}
+
+/// What one re-profiling round measured.
+#[derive(Clone, Copy, Debug)]
+pub struct ReprofileReport {
+    /// The updated scan/DHE crossover. Clamped to the window: the low
+    /// edge when DHE already won there, one past the high edge when scan
+    /// won everywhere (see [`Profiler::find_threshold_near`]).
+    pub threshold: u64,
+    /// Grid points actually measured (scan + DHE each).
+    pub points_probed: usize,
+    /// Wall-clock cost of the round, throttle sleeps included.
+    pub elapsed: Duration,
+}
+
+/// Runs one bounded re-profiling round around `old_threshold` for the
+/// `(batch, threads)` execution configuration.
+///
+/// Semantics match [`Profiler::find_threshold_near`] — the first grid
+/// size where DHE is at least as fast as scan — but measured point by
+/// point with `config.throttle` sleeps in between, and stopping early
+/// once the crossover is found (sizes above it don't need probing).
+///
+/// # Panics
+///
+/// Panics if `config.window_factor <= 1.0` or `config.points < 2`.
+pub fn reprofile(
+    config: &ReprofileConfig,
+    old_threshold: u64,
+    batch: usize,
+    threads: usize,
+) -> ReprofileReport {
+    let t0 = Instant::now();
+    let sizes = Profiler::refine_sizes(old_threshold, config.window_factor, config.points);
+    let profiler = Profiler {
+        dim: config.dim,
+        sizes: Vec::new(), // sizes are stepped manually below
+        repeats: config.repeats,
+        varied_dhe: config.varied_dhe,
+    };
+    let mut threshold = sizes.last().map_or(0, |&s| s + 1);
+    let mut points_probed = 0;
+    for (i, &rows) in sizes.iter().enumerate() {
+        if i > 0 {
+            std::thread::sleep(config.throttle);
+        }
+        let scan = profiler.measure_scan(rows, batch, threads);
+        let dhe = profiler.measure_dhe(rows, batch, threads);
+        points_probed += 1;
+        if dhe <= scan {
+            threshold = rows;
+            break;
+        }
+    }
+    ReprofileReport {
+        threshold,
+        points_probed,
+        elapsed: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReprofileConfig {
+        ReprofileConfig {
+            dim: 8,
+            window_factor: 2.0,
+            points: 3,
+            repeats: 1,
+            throttle: Duration::from_micros(100),
+            varied_dhe: false,
+        }
+    }
+
+    #[test]
+    fn threshold_stays_inside_the_window() {
+        let config = tiny();
+        let report = reprofile(&config, 512, 4, 1);
+        let lo = (512.0 / config.window_factor) as u64;
+        let hi = (512.0 * config.window_factor) as u64 + 2;
+        assert!(
+            (lo..=hi).contains(&report.threshold),
+            "threshold {} outside [{lo}, {hi}]",
+            report.threshold
+        );
+        assert!(report.points_probed >= 1 && report.points_probed <= config.points);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn early_stop_skips_sizes_above_the_crossover() {
+        // A huge window whose low edge is already far above any real
+        // scan/DHE crossover at dim 8: DHE wins at the first point, so
+        // exactly one point is probed.
+        let config = ReprofileConfig {
+            window_factor: 1.5,
+            ..tiny()
+        };
+        let report = reprofile(&config, 4_000_000, 4, 1);
+        assert_eq!(report.points_probed, 1);
+        let window_low_edge = Profiler::refine_sizes(4_000_000, 1.5, 3)[0];
+        assert_eq!(report.threshold, window_low_edge);
+    }
+
+    #[test]
+    #[should_panic(expected = "refine window must widen")]
+    fn degenerate_window_is_rejected() {
+        let config = ReprofileConfig {
+            window_factor: 1.0,
+            ..tiny()
+        };
+        reprofile(&config, 100, 1, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Fig. 13 (adaptive view): static vs adaptive serving across a
+//! co-location drift event.
+//!
+//! Two identical serving engines face the same mixed-table Poisson load
+//! under a 20 ms SLA, both allocated from the same offline profile: the
+//! `Profiler`'s default uniform-DHE estimate of the scan/DHE crossover,
+//! with both tables sized below it and therefore scan-served. Mid-run,
+//! contending scan workloads are started on the same machine (the
+//! Figs. 8/9 neighbour effect). The bandwidth-bound oblivious scan over
+//! the larger table inflates badly; the offline plan is now stale. The
+//! *static* engine keeps serving on it; the *adaptive* engine runs a
+//! `secemb-adapt` controller that detects the drift from live service
+//! samples, re-profiles a bounded window around the old threshold under
+//! the live conditions — measuring the DHE variant it would actually
+//! deploy — and hot-swaps the allocation. The table compares SLA miss
+//! fraction (deadline violations + rejections, over all requests) per
+//! phase.
+//!
+//! `--tiny` shrinks tables, rates and durations to a seconds-long smoke
+//! run for CI; the numbers it prints are not meaningful measurements.
+
+use secemb::hybrid::Profiler;
+use secemb::{GeneratorSpec, Technique};
+use secemb_adapt::{AdaptConfig, AdaptiveController};
+use secemb_bench::{print_table, SCALE_NOTE};
+use secemb_dlrm::colocate::{start_disturbance, Workload};
+use secemb_serve::loadgen::{run_load, LoadConfig, LoadReport, Schedule};
+use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 64;
+const BATCH: usize = 8;
+
+struct Params {
+    profile_sizes: Vec<u64>,
+    repeats: usize,
+    rate: f64,
+    phase_secs: f64,
+    noise_workers: usize,
+    noise_rows: u64,
+}
+
+fn params(tiny: bool) -> Params {
+    if tiny {
+        Params {
+            profile_sizes: vec![64, 256, 1024, 4096],
+            repeats: 3,
+            rate: 200.0,
+            phase_secs: 0.4,
+            noise_workers: 2,
+            noise_rows: 1 << 14,
+        }
+    } else {
+        Params {
+            profile_sizes: (12..=17).map(|p| 1u64 << p).collect(),
+            repeats: 5,
+            rate: 1_000.0,
+            phase_secs: 2.5,
+            noise_workers: 4,
+            noise_rows: 1 << 18,
+        }
+    }
+}
+
+fn start_engine(rows: [u64; 2], threshold: u64) -> Arc<Engine> {
+    let tables = rows
+        .iter()
+        .map(|&rows| TableConfig {
+            // Hybrid spec: the clean plan allocates each table by size.
+            spec: GeneratorSpec::Hybrid {
+                rows,
+                dim: DIM,
+                threshold,
+            },
+            seed: 42,
+            queue_capacity: 1024,
+            cost_override_ns: None,
+        })
+        .collect();
+    let mut config = EngineConfig::new(tables);
+    config.policy = BatchPolicy {
+        max_batch: 64,
+        max_wait: Duration::from_micros(500),
+    };
+    Arc::new(Engine::start(config))
+}
+
+fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
+    run_load(&LoadConfig {
+        addr,
+        connections: 4,
+        tables: vec![0, 1],
+        batch: 4,
+        offered_rps: p.rate,
+        schedule: Schedule::Poisson,
+        duration: Duration::from_secs_f64(p.phase_secs),
+        deadline: Some(Duration::from_millis(20)),
+        seed,
+    })
+    .expect("load run")
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let p = params(tiny);
+    println!("Fig. 13 (adaptive): static vs adaptive serving across a co-location drift event");
+    println!("{SCALE_NOTE}\n");
+
+    // Offline profile (Algorithm 2) under clean conditions: both engines
+    // start from the same honest threshold.
+    eprintln!("profiling clean scan/DHE crossover...");
+    let profiler = Profiler {
+        repeats: p.repeats,
+        ..Profiler::new(DIM, p.profile_sizes.clone())
+    };
+    let threshold = profiler.find_threshold(BATCH, 1);
+    // Table 0 sits far below the crossover (small enough to stay
+    // cache-resident under neighbours); table 1 sits just below it — the
+    // placement that goes wrong once contention inflates the
+    // bandwidth-bound scan and the live crossover moves past it.
+    let rows = [(threshold / 8).max(16), (threshold as f64 * 0.8) as u64];
+    println!("clean threshold: {threshold} rows; tables: {rows:?} x {DIM} dim\n");
+
+    let static_engine = start_engine(rows, threshold);
+    let adaptive_engine = start_engine(rows, threshold);
+    for (name, engine) in [("static", &static_engine), ("adaptive", &adaptive_engine)] {
+        for (id, info) in engine.tables().iter().enumerate() {
+            println!(
+                "{name} table {id}: {} ({:.0} ns/query)",
+                info.technique, info.per_query_ns
+            );
+        }
+    }
+    let static_server =
+        Server::start(Arc::clone(&static_engine), "127.0.0.1:0").expect("bind static");
+    let adaptive_server =
+        Server::start(Arc::clone(&adaptive_engine), "127.0.0.1:0").expect("bind adaptive");
+
+    let mut adapt_config = AdaptConfig::new(DIM);
+    adapt_config.poll = Duration::from_millis(20);
+    adapt_config.cooldown = Duration::from_millis(300);
+    adapt_config.drift.min_samples = if tiny { 8 } else { 16 };
+    adapt_config.reprofile.points = if tiny { 3 } else { 5 };
+    adapt_config.reprofile.repeats = p.repeats.min(3);
+    adapt_config.batch = BATCH;
+    let controller = AdaptiveController::new(Arc::clone(&adaptive_engine), threshold, adapt_config);
+    let handle = controller.start();
+
+    let mut rows_out = Vec::new();
+    let mut report_phase = |phase: &str, seed: u64| {
+        let s = drive(static_server.addr(), &p, seed);
+        let a = drive(adaptive_server.addr(), &p, seed);
+        rows_out.push(vec![
+            phase.to_string(),
+            format!("{:.1}%", s.sla_miss_fraction() * 100.0),
+            format!("{:.1}%", a.sla_miss_fraction() * 100.0),
+            format!("{:.2}", s.latency.p99_ns / 1e6),
+            format!("{:.2}", a.latency.p99_ns / 1e6),
+        ]);
+        (s, a)
+    };
+
+    eprintln!("phase 1: clean baseline...");
+    report_phase("pre-drift", 1);
+
+    eprintln!(
+        "phase 2: starting {} contending scan workloads, letting the controller settle...",
+        p.noise_workers
+    );
+    let noise: Vec<Workload> = (0..p.noise_workers)
+        .map(|_| Workload::new(Technique::LinearScan, p.noise_rows, DIM, BATCH))
+        .collect();
+    let disturbance = start_disturbance(&noise);
+    report_phase("drift onset", 2);
+
+    eprintln!("phase 3: post-drift steady state...");
+    let (post_static, post_adaptive) = report_phase("post-drift", 3);
+    let iters = disturbance.stop();
+
+    print_table(
+        &[
+            "phase",
+            "static miss",
+            "adaptive miss",
+            "static p99 ms",
+            "adaptive p99 ms",
+        ],
+        &rows_out,
+    );
+    println!();
+
+    let controller = handle.stop();
+    println!(
+        "controller: {} reallocation(s), threshold {} -> {}",
+        controller.reallocations(),
+        threshold,
+        controller.threshold()
+    );
+    if let Some(plan) = controller.last_plan() {
+        println!(
+            "last plan: version {}, engine epoch {}",
+            plan.version,
+            adaptive_engine.epoch()
+        );
+    }
+    for (id, info) in adaptive_engine.tables().iter().enumerate() {
+        println!(
+            "adaptive table {id} now: {} ({:.0} ns/query)",
+            info.technique, info.per_query_ns
+        );
+    }
+    println!(
+        "disturbance: {} workers, {} total iterations",
+        iters.len(),
+        iters.iter().sum::<u64>()
+    );
+    println!(
+        "post-drift SLA miss: static {:.1}% vs adaptive {:.1}%",
+        post_static.sla_miss_fraction() * 100.0,
+        post_adaptive.sla_miss_fraction() * 100.0,
+    );
+}

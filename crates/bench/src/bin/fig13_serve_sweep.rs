@@ -3,31 +3,42 @@
 //!
 //! Where `fig13_latency_throughput` measures raw co-located generator
 //! loops, this binary drives the full serving path — TCP framing,
-//! coalescing, admission control — with a paced open-loop load generator,
-//! and reports the p50/p95/p99 latency and rejection rate at each offered
+//! coalescing, admission control — with an open-loop load generator, and
+//! reports the p50/p95/p99 latency and rejection rate at each offered
 //! rate. The backend is the paper's hybrid: a small scan-served table and
 //! a large DHE-served table behind one threshold.
+//!
+//! `--tiny` shrinks tables, rates and durations to a seconds-long smoke
+//! run for CI; the numbers it prints are not meaningful measurements.
 
 use secemb::GeneratorSpec;
 use secemb_bench::{print_table, SCALE_NOTE};
-use secemb_serve::loadgen::{run_load, LoadConfig};
+use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
     println!("Fig. 13 (serving): latency-throughput sweep, hybrid backend, 20 ms SLA");
     println!("{SCALE_NOTE}\n");
 
     let threshold = 100_000;
+    let (small_rows, large_rows): (u64, u64) = if tiny { (256, 512) } else { (4_096, 1 << 20) };
+    let rates: &[f64] = if tiny {
+        &[100.0]
+    } else {
+        &[250.0, 500.0, 1000.0, 2000.0, 4000.0]
+    };
+    let secs = if tiny { 0.3 } else { 2.0 };
     let specs = [
         GeneratorSpec::Hybrid {
-            rows: 4_096,
+            rows: small_rows,
             dim: 64,
             threshold,
         },
         GeneratorSpec::Hybrid {
-            rows: 1 << 20,
+            rows: large_rows,
             dim: 64,
             threshold,
         },
@@ -60,20 +71,18 @@ fn main() {
     let addr = server.addr();
     println!();
 
-    for (label, table) in [
-        ("scan-served (small table)", 0),
-        ("DHE-served (large table)", 1),
-    ] {
+    for (label, table) in [("table 0 (small)", 0), ("table 1 (large)", 1)] {
         println!("--- {label} ---");
         let mut rows_out = Vec::new();
-        for rate in [250.0, 500.0, 1000.0, 2000.0, 4000.0] {
+        for &rate in rates {
             let report = run_load(&LoadConfig {
                 addr,
                 connections: 8,
-                table,
+                tables: vec![table],
                 batch: 4,
                 offered_rps: rate,
-                duration: Duration::from_secs(2),
+                schedule: Schedule::Paced,
+                duration: Duration::from_secs_f64(secs),
                 deadline: Some(Duration::from_millis(20)),
                 seed: 1,
             })
@@ -100,6 +109,36 @@ fn main() {
         );
         println!();
     }
+
+    // Mixed-table Poisson traffic: both shards at once, bursty arrivals.
+    println!("--- mixed tables, poisson arrivals ---");
+    let mut rows_out = Vec::new();
+    for &rate in rates {
+        let report = run_load(&LoadConfig {
+            addr,
+            connections: 8,
+            tables: vec![0, 1],
+            batch: 4,
+            offered_rps: rate,
+            schedule: Schedule::Poisson,
+            duration: Duration::from_secs_f64(secs),
+            deadline: Some(Duration::from_millis(20)),
+            seed: 1,
+        })
+        .expect("load run");
+        rows_out.push(vec![
+            format!("{rate:.0}"),
+            format!("{:.0}", report.achieved_rps),
+            format!("{:.2}", report.latency.p99_ns / 1e6),
+            format!("{:.1}%", report.rejected_fraction() * 100.0),
+            format!("{:.1}%", report.sla_miss_fraction() * 100.0),
+        ]);
+    }
+    print_table(
+        &["offered/s", "achieved/s", "p99 ms", "rejected", "sla miss"],
+        &rows_out,
+    );
+    println!();
 
     let snap = engine.stats().snapshot();
     println!("server stats after sweep:\n{snap}");

@@ -44,6 +44,24 @@ impl Technique {
         }
     }
 
+    /// Short machine-friendly key (matches the [`crate::GeneratorSpec`]
+    /// CLI syntax), stable across releases — the serialization name used
+    /// by allocation plans.
+    pub fn key(self) -> &'static str {
+        match self {
+            Technique::IndexLookup => "lookup",
+            Technique::LinearScan => "scan",
+            Technique::PathOram => "path",
+            Technique::CircuitOram => "circuit",
+            Technique::Dhe => "dhe",
+        }
+    }
+
+    /// Parses a [`Technique::key`] back to the technique.
+    pub fn from_key(key: &str) -> Option<Technique> {
+        Technique::ALL.into_iter().find(|t| t.key() == key)
+    }
+
     /// Asymptotic computation complexity per lookup (Table I).
     pub fn computation_complexity(self) -> &'static str {
         match self {
@@ -139,5 +157,13 @@ mod tests {
     fn all_covers_every_variant() {
         assert_eq!(Technique::ALL.len(), 5);
         assert_eq!(format!("{}", Technique::Dhe), "DHE");
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for t in Technique::ALL {
+            assert_eq!(Technique::from_key(t.key()), Some(t));
+        }
+        assert_eq!(Technique::from_key("warp"), None);
     }
 }

@@ -208,6 +208,170 @@ impl ProfileDatabase {
     }
 }
 
+/// One table's slot in a versioned [`AllocationPlan`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannedTable {
+    /// Table rows (public).
+    pub rows: u64,
+    /// Technique assigned by the plan's threshold.
+    pub technique: Technique,
+    /// Estimated per-query cost for admission control, nanoseconds.
+    /// Non-positive means "unknown — probe at apply time".
+    pub per_query_ns: f64,
+}
+
+impl PlannedTable {
+    fn to_value(self) -> Value {
+        Value::obj([
+            ("rows", Value::Num(self.rows as f64)),
+            ("technique", Value::Str(self.technique.key().to_string())),
+            ("per_query_ns", Value::Num(self.per_query_ns)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let rows = v
+            .get("rows")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| field_error("PlannedTable", "rows"))?;
+        let technique = v
+            .get("technique")
+            .and_then(Value::as_str)
+            .and_then(Technique::from_key)
+            .ok_or_else(|| field_error("PlannedTable", "technique"))?;
+        let per_query_ns = v
+            .get("per_query_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| field_error("PlannedTable", "per_query_ns"))?;
+        Ok(PlannedTable {
+            rows,
+            technique,
+            per_query_ns,
+        })
+    }
+}
+
+/// A versioned snapshot of Algorithm 3's output for a whole model: which
+/// technique serves each table, under which profiled threshold, plus the
+/// admission-control cost estimates — the artifact a serving layer swaps
+/// atomically when re-profiling detects drift.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllocationPlan {
+    /// Monotonically increasing plan version (0 = the offline plan).
+    pub version: u64,
+    /// Embedding dimension the plan was profiled at.
+    pub dim: usize,
+    /// Execution batch size the threshold was profiled for.
+    pub batch: usize,
+    /// Worker thread count the threshold was profiled for.
+    pub threads: usize,
+    /// The active scan/DHE crossover.
+    pub threshold: u64,
+    /// Per-table assignments, indexed by table id.
+    pub tables: Vec<PlannedTable>,
+}
+
+impl AllocationPlan {
+    /// Derives a plan from a profiled threshold: Algorithm 3 applied to
+    /// every table, stamped with `version`.
+    ///
+    /// `costs[i]` is the per-query cost estimate for table `i`
+    /// (non-positive = unknown, to be probed when the plan is applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != table_sizes.len()`.
+    pub fn derive(
+        version: u64,
+        dim: usize,
+        threshold: u64,
+        table_sizes: &[u64],
+        costs: &[f64],
+        batch: usize,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(
+            table_sizes.len(),
+            costs.len(),
+            "one cost estimate per table"
+        );
+        AllocationPlan {
+            version,
+            dim,
+            batch,
+            threads,
+            threshold,
+            tables: table_sizes
+                .iter()
+                .zip(costs)
+                .map(|(&rows, &per_query_ns)| PlannedTable {
+                    rows,
+                    technique: choose_technique(rows, threshold),
+                    per_query_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether the assignment is monotone in table size: sorting tables by
+    /// `rows` never flips from DHE back to scan. Every plan produced by
+    /// [`derive`](Self::derive) satisfies this by construction (Algorithm 3
+    /// thresholds on a single public size), so a `false` here means the
+    /// plan was corrupted in transit.
+    pub fn is_monotone(&self) -> bool {
+        let mut by_size: Vec<&PlannedTable> = self.tables.iter().collect();
+        by_size.sort_by_key(|t| t.rows);
+        by_size
+            .windows(2)
+            .all(|w| !(w[0].technique == Technique::Dhe && w[1].technique == Technique::LinearScan))
+    }
+
+    /// Serializes to JSON (the persisted plan artifact).
+    pub fn to_json(&self) -> String {
+        Value::obj([
+            ("version", Value::Num(self.version as f64)),
+            ("dim", Value::Num(self.dim as f64)),
+            ("batch", Value::Num(self.batch as f64)),
+            ("threads", Value::Num(self.threads as f64)),
+            ("threshold", Value::Num(self.threshold as f64)),
+            (
+                "tables",
+                Value::Arr(self.tables.iter().map(|t| t.to_value()).collect()),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a persisted plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v = json::parse(s)?;
+        let field = |name| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| field_error("AllocationPlan", name))
+        };
+        let tables = v
+            .get("tables")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| field_error("AllocationPlan", "tables"))?
+            .iter()
+            .map(PlannedTable::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AllocationPlan {
+            version: field("version")?,
+            dim: field("dim")? as usize,
+            batch: field("batch")? as usize,
+            threads: field("threads")? as usize,
+            threshold: field("threshold")?,
+            tables,
+        })
+    }
+}
+
 /// Algorithm 3's per-feature decision: linear scan below the threshold,
 /// DHE at or above it.
 pub fn choose_technique(table_size: u64, threshold: u64) -> Technique {
@@ -302,6 +466,57 @@ impl Profiler {
             }
         }
         self.sizes.last().map_or(0, |&s| s + 1)
+    }
+
+    /// A log-spaced size grid of `points` sizes spanning
+    /// `[old / window_factor, old * window_factor]` around a previously
+    /// profiled threshold — the bounded search window for online
+    /// re-profiling, where the crossover is expected to have *moved*, not
+    /// teleported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_factor <= 1.0` or `points < 2`.
+    pub fn refine_sizes(old_threshold: u64, window_factor: f64, points: usize) -> Vec<u64> {
+        assert!(window_factor > 1.0, "refine window must widen the search");
+        assert!(points >= 2, "refinement needs at least two grid points");
+        let center = (old_threshold.max(2)) as f64;
+        let lo = (center / window_factor).max(2.0).ln();
+        let hi = (center * window_factor).ln();
+        let mut sizes: Vec<u64> = (0..points)
+            .map(|i| {
+                let t = i as f64 / (points - 1) as f64;
+                (lo + t * (hi - lo)).exp().round() as u64
+            })
+            .collect();
+        sizes.dedup();
+        sizes
+    }
+
+    /// Online re-entry into Algorithm 2: re-measures only a bounded window
+    /// around `old_threshold` (see [`refine_sizes`](Self::refine_sizes))
+    /// and returns the updated crossover under *current* machine
+    /// conditions. Cost is `points × repeats` measurements instead of a
+    /// full grid sweep — cheap enough to run off the request path.
+    ///
+    /// When DHE already wins at the window's low edge the crossover has
+    /// fallen below the window and the low edge is returned (an upper
+    /// bound); when scan wins everywhere it has risen above and one past
+    /// the high edge is returned (a lower bound). Either answer moves the
+    /// allocation in the right direction; a later round can refine again.
+    pub fn find_threshold_near(
+        &self,
+        old_threshold: u64,
+        window_factor: f64,
+        points: usize,
+        batch: usize,
+        threads: usize,
+    ) -> u64 {
+        let probe = Profiler {
+            sizes: Self::refine_sizes(old_threshold, window_factor, points),
+            ..self.clone()
+        };
+        probe.find_threshold(batch, threads)
     }
 
     /// Profiles a full (batch × threads) grid into a [`ThresholdTable`]
@@ -478,6 +693,74 @@ mod tests {
     #[should_panic(expected = "empty profile database")]
     fn database_rejects_empty() {
         ProfileDatabase::new(vec![]);
+    }
+
+    #[test]
+    fn plan_derivation_and_round_trip() {
+        let sizes = [100u64, 5_000, 1_000_000];
+        let costs = [1500.0, 72_000.5, -1.0];
+        let plan = AllocationPlan::derive(3, 64, 8000, &sizes, &costs, 32, 4);
+        assert_eq!(plan.tables.len(), 3);
+        assert_eq!(plan.tables[0].technique, Technique::LinearScan);
+        assert_eq!(plan.tables[1].technique, Technique::LinearScan);
+        assert_eq!(plan.tables[2].technique, Technique::Dhe);
+        assert!(plan.is_monotone());
+        let back = AllocationPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+        assert!(AllocationPlan::from_json("{\"version\": 1}").is_err());
+        assert!(AllocationPlan::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn corrupted_plan_is_not_monotone() {
+        let mut plan = AllocationPlan::derive(0, 8, 1000, &[10, 10_000], &[0.0, 0.0], 1, 1);
+        // Table id order is irrelevant; monotonicity is in *size*.
+        plan.tables.swap(0, 1);
+        assert!(plan.is_monotone());
+        // Corrupt: the small table claims DHE while the large one scans.
+        plan.tables[0].technique = Technique::LinearScan; // 10_000 rows
+        plan.tables[1].technique = Technique::Dhe; // 10 rows
+        assert!(!plan.is_monotone());
+    }
+
+    #[test]
+    fn refine_sizes_bracket_the_old_threshold() {
+        let sizes = Profiler::refine_sizes(8000, 4.0, 5);
+        assert!(sizes.len() >= 2);
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "ascending: {sizes:?}"
+        );
+        assert_eq!(sizes[0], 2000);
+        assert_eq!(*sizes.last().unwrap(), 32000);
+        assert!(sizes.contains(&8000));
+        // Degenerate old threshold still yields a usable grid.
+        let tiny = Profiler::refine_sizes(0, 4.0, 4);
+        assert!(tiny[0] >= 2);
+    }
+
+    #[test]
+    fn find_threshold_near_is_bounded_and_interior() {
+        let prof = Profiler {
+            dim: 16,
+            sizes: vec![],
+            repeats: 2,
+            varied_dhe: false,
+        };
+        // The full-profile test showed the true crossover lies well inside
+        // [16, 262144]; searching near a stale guess must stay in-window.
+        let t = prof.find_threshold_near(4096, 64.0, 7, 32, 1);
+        let window = Profiler::refine_sizes(4096, 64.0, 7);
+        assert!(
+            t >= window[0] && t <= window.last().unwrap() + 1,
+            "refined threshold {t} outside window {window:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost estimate per table")]
+    fn plan_rejects_mismatched_costs() {
+        AllocationPlan::derive(0, 8, 100, &[10], &[], 1, 1);
     }
 
     #[test]

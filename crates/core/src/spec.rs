@@ -106,6 +106,19 @@ impl GeneratorSpec {
         }
     }
 
+    /// The spec serving `rows × dim` with a fixed `technique` — the
+    /// inverse of [`technique`](Self::technique), used when a live
+    /// reallocation pins a table to a plan-chosen technique.
+    pub fn with_technique(rows: u64, dim: usize, technique: Technique) -> GeneratorSpec {
+        match technique {
+            Technique::IndexLookup => GeneratorSpec::Lookup { rows, dim },
+            Technique::LinearScan => GeneratorSpec::Scan { rows, dim },
+            Technique::PathOram => GeneratorSpec::PathOram { rows, dim },
+            Technique::CircuitOram => GeneratorSpec::CircuitOram { rows, dim },
+            Technique::Dhe => GeneratorSpec::Dhe { rows, dim },
+        }
+    }
+
     /// Builds the generator with synthetic weights derived from `seed`.
     ///
     /// The result is `Send`, so a worker thread can own it.
@@ -342,6 +355,15 @@ mod tests {
             let out = g.generate_batch(&[0, 31, 5]);
             assert_eq!(out.shape(), (3, 4), "{spec}");
             assert_eq!(g.technique(), spec.technique(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn with_technique_inverts_technique() {
+        for t in Technique::ALL {
+            let spec = GeneratorSpec::with_technique(64, 8, t);
+            assert_eq!(spec.technique(), t);
+            assert_eq!((spec.rows(), spec.dim()), (64, 8));
         }
     }
 

@@ -10,7 +10,7 @@ use secemb::stats::LatencySummary;
 use secemb::{Dhe, DheConfig, LinearScan, Technique};
 use secemb_tensor::Matrix;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Warm-up iterations each worker runs before the measurement window
@@ -189,6 +189,80 @@ impl WorkerState {
     }
 }
 
+/// A long-running co-location disturbance: noisy-neighbour workloads on
+/// their own OS threads, hammering the memory system until stopped.
+///
+/// Where [`run_colocated`] opens a fixed measurement window,
+/// `Disturbance` is open-ended — the drift *source* rather than the
+/// measurement. Start one mid-experiment to make a serving engine's
+/// offline profile stale (Figs. 9 and 13), then watch the adaptive
+/// controller react.
+pub struct Disturbance {
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<u64>>,
+}
+
+/// Starts one disturbance thread per workload, each looping its kernel
+/// (scan or DHE) back-to-back with no pacing — maximum cache and
+/// bandwidth pressure per thread.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or contains a technique other than
+/// `LinearScan` / `Dhe`.
+pub fn start_disturbance(workloads: &[Workload]) -> Disturbance {
+    assert!(!workloads.is_empty(), "no workloads");
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let state = WorkerState::build(w);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("secemb-noise-{i}"))
+                .spawn(move || {
+                    let mut iters = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        state.run_once();
+                        iters += 1;
+                    }
+                    iters
+                })
+                .expect("spawn disturbance worker")
+        })
+        .collect();
+    Disturbance { stop, workers }
+}
+
+impl Disturbance {
+    /// Number of noise threads running.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Signals every noise thread to stop, joins them, and returns the
+    /// iterations each completed.
+    pub fn stop(mut self) -> Vec<u64> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.workers
+            .drain(..)
+            .map(|h| h.join().expect("disturbance worker panicked"))
+            .collect()
+    }
+}
+
+impl Drop for Disturbance {
+    fn drop(&mut self) {
+        // Stopped on drop so an early test failure can't leak spinning
+        // threads into later measurements.
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Builds the Fig. 9 sweep: `total` co-located workers of which
 /// `dhe_count` run DHE and the rest linear scan, all over the same table
 /// size.
@@ -272,6 +346,23 @@ mod tests {
     #[should_panic(expected = "dhe_count exceeds total")]
     fn split_rejects_bad_counts() {
         split_workloads(2, 3, 10, 4, 1);
+    }
+
+    #[test]
+    fn disturbance_runs_until_stopped() {
+        let ws = vec![Workload::new(Technique::LinearScan, 256, 16, 4); 2];
+        let d = start_disturbance(&ws);
+        assert_eq!(d.workers(), 2);
+        std::thread::sleep(Duration::from_millis(30));
+        let iters = d.stop();
+        assert_eq!(iters.len(), 2);
+        assert!(iters.iter().all(|&n| n > 0), "noise threads must spin");
+    }
+
+    #[test]
+    fn disturbance_stops_on_drop() {
+        let d = start_disturbance(&[Workload::new(Technique::Dhe, 64, 8, 2)]);
+        drop(d); // must not hang or leak the thread
     }
 
     #[test]

@@ -1,34 +1,38 @@
-//! The `secemb-serve-load` binary: a paced load generator that sweeps
-//! offered rates against a running server and reports the Fig. 13-style
+//! The `secemb-serve-load` binary: a load generator that sweeps offered
+//! rates against a running server and reports the Fig. 13-style
 //! latency-throughput curve.
 //!
 //! ```text
-//! secemb-serve-load --addr ADDR [--table N] [--conns N] [--batch N]
-//!                   [--secs S] [--deadline-ms D] [--rate R]...
+//! secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N]
+//!                   [--secs S] [--deadline-ms D] [--schedule paced|poisson]
+//!                   [--rate R]...
 //! ```
 //!
 //! `--deadline-ms 0` sends no deadline. Each `--rate` adds one sweep
-//! point (requests/second).
+//! point (requests/second). Repeating `--table` mixes traffic uniformly
+//! over the listed tables; `--schedule poisson` replaces the fixed pacing
+//! with exponential inter-arrival gaps at the same mean rate.
 
-use secemb_serve::loadgen::{run_load, LoadConfig};
+use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::Client;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 struct Args {
     addr: SocketAddr,
-    table: usize,
+    tables: Vec<usize>,
     conns: usize,
     batch: usize,
     secs: f64,
     deadline: Option<Duration>,
+    schedule: Schedule,
     rates: Vec<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: secemb-serve-load --addr ADDR [--table N] [--conns N] [--batch N] \
-         [--secs S] [--deadline-ms D] [--rate R]..."
+        "usage: secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N] \
+         [--secs S] [--deadline-ms D] [--schedule paced|poisson] [--rate R]..."
     );
     std::process::exit(2);
 }
@@ -37,11 +41,12 @@ fn parse_args() -> Args {
     let mut addr = None;
     let mut args = Args {
         addr: "127.0.0.1:7878".parse().expect("literal addr"),
-        table: 0,
+        tables: Vec::new(),
         conns: 8,
         batch: 4,
         secs: 2.0,
         deadline: Some(Duration::from_millis(20)),
+        schedule: Schedule::Paced,
         rates: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -51,7 +56,9 @@ fn parse_args() -> Args {
             "--addr" => {
                 addr = value().to_socket_addrs().unwrap_or_else(|_| usage()).next();
             }
-            "--table" => args.table = value().parse().unwrap_or_else(|_| usage()),
+            "--table" => args
+                .tables
+                .push(value().parse().unwrap_or_else(|_| usage())),
             "--conns" => args.conns = value().parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
             "--secs" => args.secs = value().parse().unwrap_or_else(|_| usage()),
@@ -59,6 +66,7 @@ fn parse_args() -> Args {
                 let ms: u64 = value().parse().unwrap_or_else(|_| usage());
                 args.deadline = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--schedule" => args.schedule = value().parse().unwrap_or_else(|_| usage()),
             "--rate" => args.rates.push(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
@@ -66,6 +74,9 @@ fn parse_args() -> Args {
     match addr {
         Some(a) => args.addr = a,
         None => usage(),
+    }
+    if args.tables.is_empty() {
+        args.tables = vec![0];
     }
     if args.rates.is_empty() {
         args.rates = vec![250.0, 500.0, 1000.0, 2000.0, 4000.0];
@@ -90,9 +101,11 @@ fn main() {
             t.rows, t.dim, t.technique, t.per_query_ns
         );
     }
+    let table_list: Vec<String> = args.tables.iter().map(usize::to_string).collect();
     println!(
-        "sweep: table {}, {} conns, batch {}, {}s/point, deadline {}",
-        args.table,
+        "sweep: table(s) {}, {} schedule, {} conns, batch {}, {}s/point, deadline {}",
+        table_list.join(","),
+        args.schedule.label(),
         args.conns,
         args.batch,
         args.secs,
@@ -100,29 +113,31 @@ fn main() {
             .map_or("none".to_string(), |d| format!("{}ms", d.as_millis())),
     );
     println!(
-        "{:>10} {:>10} {:>9} {:>9} {:>9} {:>8}",
-        "offered/s", "achieved/s", "p50 ms", "p95 ms", "p99 ms", "rej %"
+        "{:>10} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "offered/s", "achieved/s", "p50 ms", "p95 ms", "p99 ms", "rej %", "miss %"
     );
     for &rate in &args.rates {
         let report = run_load(&LoadConfig {
             addr: args.addr,
             connections: args.conns,
-            table: args.table,
+            tables: args.tables.clone(),
             batch: args.batch,
             offered_rps: rate,
+            schedule: args.schedule,
             duration: Duration::from_secs_f64(args.secs),
             deadline: args.deadline,
             seed: 1,
         });
         match report {
             Ok(r) => println!(
-                "{:>10.0} {:>10.0} {:>9.2} {:>9.2} {:>9.2} {:>7.1}%",
+                "{:>10.0} {:>10.0} {:>9.2} {:>9.2} {:>9.2} {:>7.1}% {:>7.1}%",
                 r.offered_rps,
                 r.achieved_rps,
                 r.latency.p50_ns / 1e6,
                 r.latency.p95_ns / 1e6,
                 r.latency.p99_ns / 1e6,
-                r.rejected_fraction() * 100.0
+                r.rejected_fraction() * 100.0,
+                r.sla_miss_fraction() * 100.0
             ),
             Err(e) => {
                 eprintln!("rate {rate}: {e}");

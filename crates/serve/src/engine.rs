@@ -1,5 +1,5 @@
-//! The serving engine: per-table shards, worker threads, and SLA-aware
-//! admission control.
+//! The serving engine: per-table shards, worker threads, SLA-aware
+//! admission control, and live plan reallocation.
 //!
 //! Each table is a *shard*: one worker thread that owns the generator
 //! (generation takes `&mut self` — ORAM mutates on every access) and
@@ -8,16 +8,45 @@
 //! delay and sheds load *explicitly*: a request the server cannot serve
 //! in time is answered `Rejected`, never silently dropped and never
 //! allowed to grow the queue without bound.
+//!
+//! # Live reallocation
+//!
+//! The active allocation is *versioned* and *epoch-tagged*. A controller
+//! (see the `secemb-adapt` crate) builds replacement generators **off**
+//! the request path and calls [`Engine::apply_plan`]; each worker swaps
+//! to its new generator between batches through a per-shard control
+//! channel, so in-flight batches finish on the old generator and no
+//! request is dropped. Admission-control cost estimates flip to the new
+//! plan's values in the same epoch bump, under one swap lock — a
+//! concurrent request observes either the old plan or the new one, never
+//! a mix.
 
 use crate::batcher::{execute_batch, BatchPolicy};
 use crate::request::{RejectReason, Request, Response};
 use crate::stats::ServerStats;
-use crossbeam::channel::{self, Sender, TrySendError};
-use secemb::{measure_cost, GeneratorSpec, Technique};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use secemb::hybrid::AllocationPlan;
+use secemb::{measure_cost, EmbeddingGenerator, GeneratorSpec, Technique};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long an idle worker waits on its job queue before checking the
+/// control channel — the upper bound on swap application latency for a
+/// completely idle shard.
+const IDLE_CONTROL_POLL: Duration = Duration::from_millis(5);
+
+/// Per-shard control-channel depth. Swap orders are rare (one per applied
+/// plan, serialized by the engine's swap lock) and the worker drains the
+/// channel between batches, so this never fills in practice; if it ever
+/// did, the sender would briefly block until the worker catches up.
+const CONTROL_QUEUE_CAP: usize = 32;
+
+/// Per-shard cap on buffered drift samples; when full, new samples
+/// overwrite the oldest (the drift detector only cares about *recent*
+/// cost).
+const SAMPLE_CAP: usize = 4096;
 
 /// One table the engine serves.
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +113,38 @@ pub struct TableInfo {
     pub per_query_ns: f64,
 }
 
+/// Error from [`Engine::apply_plan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan's table count does not match the engine's shard count.
+    TableCountMismatch {
+        /// Tables in the plan.
+        plan: usize,
+        /// Shards in the engine.
+        engine: usize,
+    },
+    /// A planned table's row count disagrees with the shard it targets.
+    RowsMismatch {
+        /// Offending table id.
+        table: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::TableCountMismatch { plan, engine } => {
+                write!(f, "plan covers {plan} tables, engine serves {engine}")
+            }
+            PlanError::RowsMismatch { table } => {
+                write!(f, "plan row count disagrees with shard for table {table}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 struct Job {
     indices: Vec<u64>,
     deadline: Option<Instant>,
@@ -91,10 +152,69 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
+/// A control message to one shard worker: swap to the next epoch's
+/// generator. Built off the worker thread so the swap itself is a pointer
+/// exchange between batches.
+struct SwapOrder {
+    generator: Box<dyn EmbeddingGenerator + Send>,
+    technique: Technique,
+    epoch: u64,
+}
+
 struct Shard {
     tx: Sender<Job>,
+    ctrl_tx: Sender<SwapOrder>,
     pending_queries: Arc<AtomicU64>,
-    info: TableInfo,
+    /// Admission-control cost, f64 bits — updated atomically on swap so
+    /// the submit path never takes a lock.
+    cost_ns_bits: Arc<AtomicU64>,
+    /// Full metadata (infrequent reads; updated under the swap lock).
+    info: Arc<Mutex<TableInfo>>,
+    /// Recent per-query service-time samples exported to drift detectors.
+    samples: Arc<Mutex<SampleRing>>,
+    /// Original build parameters, kept so a reallocation can rebuild the
+    /// same logical table (same seed ⇒ same weights) under a new spec.
+    config: TableConfig,
+}
+
+/// Fixed-capacity overwrite-oldest ring for drift samples.
+struct SampleRing {
+    buf: Vec<f64>,
+    next: usize,
+    full: bool,
+}
+
+impl SampleRing {
+    fn new() -> Self {
+        SampleRing {
+            buf: Vec::with_capacity(SAMPLE_CAP),
+            next: 0,
+            full: false,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.buf.len() < SAMPLE_CAP {
+            self.buf.push(v);
+        } else {
+            self.full = true;
+            self.buf[self.next] = v;
+        }
+        self.next = (self.next + 1) % SAMPLE_CAP;
+    }
+
+    /// Removes and returns the buffered samples in arrival order.
+    fn drain(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.full {
+            out.extend_from_slice(&self.buf[self.next..]);
+        }
+        out.extend_from_slice(&self.buf[..self.next.min(self.buf.len())]);
+        self.buf.clear();
+        self.next = 0;
+        self.full = false;
+        out
+    }
 }
 
 /// A pending reply to one submitted request.
@@ -125,7 +245,31 @@ pub struct Engine {
     shards: Vec<Shard>,
     policy: BatchPolicy,
     stats: Arc<ServerStats>,
+    /// Epoch of the active allocation; bumped exactly once per applied
+    /// plan, under `swap_lock`.
+    epoch: AtomicU64,
+    /// Version of the most recently applied [`AllocationPlan`] (0 =
+    /// startup allocation).
+    plan_version: AtomicU64,
+    /// Serializes [`Engine::apply_plan`] calls so epochs are totally
+    /// ordered.
+    swap_lock: Mutex<()>,
+    probe_batch: usize,
+    probe_repeats: usize,
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Everything a worker thread needs, bundled to keep the spawn site flat.
+struct WorkerSetup {
+    id: usize,
+    rx: Receiver<Job>,
+    ctrl_rx: Receiver<SwapOrder>,
+    generator: Box<dyn EmbeddingGenerator + Send>,
+    technique: Technique,
+    pending: Arc<AtomicU64>,
+    stats: Arc<ServerStats>,
+    samples: Arc<Mutex<SampleRing>>,
+    policy: BatchPolicy,
 }
 
 impl Engine {
@@ -155,89 +299,145 @@ impl Engine {
                 per_query_ns,
             };
             let (tx, rx) = channel::bounded::<Job>(t.queue_capacity);
+            let (ctrl_tx, ctrl_rx) = channel::bounded::<SwapOrder>(CONTROL_QUEUE_CAP);
             let pending = Arc::new(AtomicU64::new(0));
-            let worker = {
-                let pending = Arc::clone(&pending);
-                let stats = Arc::clone(&stats);
-                let policy = config.policy;
-                let technique = info.technique;
-                std::thread::Builder::new()
-                    .name(format!("secemb-shard-{id}"))
-                    .spawn(move || loop {
-                        let first = match rx.recv() {
-                            Ok(job) => job,
-                            Err(_) => return, // engine dropped
-                        };
-                        let window_end = first.enqueued + policy.max_wait;
-                        let mut jobs = vec![first];
-                        let mut queries = jobs[0].indices.len();
-                        while queries < policy.max_batch {
-                            let now = Instant::now();
-                            if now >= window_end {
-                                break;
-                            }
-                            match rx.recv_timeout(window_end - now) {
-                                Ok(job) => {
-                                    queries += job.indices.len();
-                                    jobs.push(job);
-                                }
-                                Err(_) => break, // window elapsed or engine dropped
-                            }
-                        }
-                        let now = Instant::now();
-                        let (live, stale): (Vec<Job>, Vec<Job>) = jobs
-                            .into_iter()
-                            .partition(|j| j.deadline.is_none_or(|d| now <= d));
-                        for job in stale {
-                            pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
-                            stats
-                                .record_rejected(RejectReason::DeadlineExceeded, job.indices.len());
-                            let _ = job
-                                .reply
-                                .send(Response::Rejected(RejectReason::DeadlineExceeded));
-                        }
-                        if live.is_empty() {
-                            continue;
-                        }
-                        let groups: Vec<Vec<u64>> =
-                            live.iter().map(|j| j.indices.clone()).collect();
-                        stats.record_batch(groups.iter().map(Vec::len).sum());
-                        let outputs = execute_batch(generator.as_mut(), &groups);
-                        for (job, out) in live.into_iter().zip(outputs) {
-                            pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
-                            stats.record_completed(
-                                technique,
-                                job.indices.len(),
-                                job.enqueued.elapsed().as_nanos() as f64,
-                            );
-                            let _ = job.reply.send(Response::Embeddings(out));
-                        }
-                    })
-                    .expect("spawn shard worker")
+            let samples = Arc::new(Mutex::new(SampleRing::new()));
+            let setup = WorkerSetup {
+                id,
+                rx,
+                ctrl_rx,
+                technique: info.technique,
+                generator,
+                pending: Arc::clone(&pending),
+                stats: Arc::clone(&stats),
+                samples: Arc::clone(&samples),
+                policy: config.policy,
             };
+            workers.push(spawn_worker(setup));
             shards.push(Shard {
                 tx,
+                ctrl_tx,
                 pending_queries: pending,
-                info,
+                cost_ns_bits: Arc::new(AtomicU64::new(per_query_ns.to_bits())),
+                info: Arc::new(Mutex::new(info)),
+                samples,
+                config: *t,
             });
-            workers.push(worker);
         }
         Engine {
             shards,
             policy: config.policy,
             stats,
+            epoch: AtomicU64::new(0),
+            plan_version: AtomicU64::new(0),
+            swap_lock: Mutex::new(()),
+            probe_batch: config.probe_batch,
+            probe_repeats: config.probe_repeats,
             workers: Mutex::new(workers),
         }
     }
 
     /// Metadata for every shard, indexed by table id.
     pub fn tables(&self) -> Vec<TableInfo> {
-        self.shards.iter().map(|s| s.info).collect()
+        self.shards
+            .iter()
+            .map(|s| *s.info.lock().expect("table info"))
+            .collect()
     }
 
     /// Shared statistics handle.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The epoch of the active allocation (bumped once per applied plan).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Version of the most recently applied plan (0 before any swap).
+    pub fn plan_version(&self) -> u64 {
+        self.plan_version.load(Ordering::SeqCst)
+    }
+
+    /// Drains the recent per-query service-time samples (nanoseconds,
+    /// amortized over coalesced batches) recorded by `table`'s worker —
+    /// the feed a drift detector consumes. Returns an empty vector for an
+    /// unknown table id.
+    pub fn drain_samples(&self, table: usize) -> Vec<f64> {
+        self.shards
+            .get(table)
+            .map_or_else(Vec::new, |s| s.samples.lock().expect("sample ring").drain())
+    }
+
+    /// Applies a new allocation plan **live**: builds the replacement
+    /// generator for every table whose technique changes (on the calling
+    /// thread — never a worker's), then atomically bumps the epoch and
+    /// hands each worker its swap order. Workers exchange generators
+    /// between batches, so in-flight batches finish on the old epoch's
+    /// generator and no request is dropped or re-queued.
+    ///
+    /// Admission-control costs switch to the plan's estimates in the same
+    /// critical section; a planned cost `<= 0` (unknown) is probed here on
+    /// the freshly built generator before the swap is published.
+    ///
+    /// Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the plan does not describe this engine's
+    /// tables; the active allocation is untouched on error.
+    pub fn apply_plan(&self, plan: &AllocationPlan) -> Result<u64, PlanError> {
+        if plan.tables.len() != self.shards.len() {
+            return Err(PlanError::TableCountMismatch {
+                plan: plan.tables.len(),
+                engine: self.shards.len(),
+            });
+        }
+        for (id, (planned, shard)) in plan.tables.iter().zip(&self.shards).enumerate() {
+            if planned.rows != shard.config.spec.rows() {
+                return Err(PlanError::RowsMismatch { table: id });
+            }
+        }
+        // Build (and if necessary probe) every replacement off the swap
+        // lock's critical section — construction can take seconds for
+        // large ORAM tables and must not stall admission.
+        let mut orders = Vec::with_capacity(self.shards.len());
+        for (planned, shard) in plan.tables.iter().zip(&self.shards) {
+            let spec = GeneratorSpec::with_technique(
+                shard.config.spec.rows(),
+                shard.config.spec.dim(),
+                planned.technique,
+            );
+            let mut generator = spec.build(shard.config.seed);
+            let per_query_ns = if planned.per_query_ns > 0.0 {
+                planned.per_query_ns
+            } else {
+                measure_cost(generator.as_mut(), self.probe_batch, self.probe_repeats).per_query_ns
+            };
+            orders.push((generator, planned.technique, per_query_ns));
+        }
+        let _swap = self.swap_lock.lock().expect("swap lock");
+        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        for (shard, (generator, technique, per_query_ns)) in self.shards.iter().zip(orders) {
+            // A dedicated control channel: the swap order lands even when
+            // the job queue is saturated with backpressured requests.
+            let _ = shard.ctrl_tx.send(SwapOrder {
+                generator,
+                technique,
+                epoch,
+            });
+            shard
+                .cost_ns_bits
+                .store(per_query_ns.to_bits(), Ordering::SeqCst);
+            let mut info = shard.info.lock().expect("table info");
+            info.technique = technique;
+            info.per_query_ns = per_query_ns;
+        }
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.plan_version.store(plan.version, Ordering::SeqCst);
+        self.stats.record_plan(plan.version, epoch);
+        Ok(epoch)
     }
 
     /// Submits a request, returning immediately with a [`Ticket`].
@@ -248,17 +448,20 @@ impl Engine {
             self.stats.record_rejected(RejectReason::UnknownTable, 0);
             return Ticket::resolved(Response::Rejected(RejectReason::UnknownTable));
         };
+        let rows = shard.config.spec.rows();
         let n = request.indices.len();
-        if n == 0 || request.indices.iter().any(|&i| i >= shard.info.rows) {
+        if n == 0 || request.indices.iter().any(|&i| i >= rows) {
             self.stats.record_rejected(RejectReason::BadRequest, 0);
             return Ticket::resolved(Response::Rejected(RejectReason::BadRequest));
         }
         // SLA gate: predicted queue delay + own compute + worst-case
-        // coalescing wait, against the caller's budget.
+        // coalescing wait, against the caller's budget. The cost is the
+        // *active plan's* estimate, refreshed on every reallocation.
         if let Some(deadline) = request.deadline {
+            let per_query_ns = f64::from_bits(shard.cost_ns_bits.load(Ordering::SeqCst));
             let queued = shard.pending_queries.load(Ordering::Relaxed);
-            let estimate_ns = (queued + n as u64) as f64 * shard.info.per_query_ns
-                + self.policy.max_wait.as_nanos() as f64;
+            let estimate_ns =
+                (queued + n as u64) as f64 * per_query_ns + self.policy.max_wait.as_nanos() as f64;
             if estimate_ns > deadline.as_nanos() as f64 {
                 self.stats
                     .record_rejected(RejectReason::DeadlineUnmeetable, 0);
@@ -301,6 +504,97 @@ impl Engine {
     }
 }
 
+fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
+    let WorkerSetup {
+        id,
+        rx,
+        ctrl_rx,
+        mut generator,
+        mut technique,
+        pending,
+        stats,
+        samples,
+        policy,
+    } = setup;
+    std::thread::Builder::new()
+        .name(format!("secemb-shard-{id}"))
+        .spawn(move || loop {
+            // Apply any pending reallocation between batches: the swap is
+            // a pointer exchange, so requests already dispatched ran to
+            // completion on the old generator.
+            while let Ok(order) = ctrl_rx.try_recv() {
+                generator = order.generator;
+                technique = order.technique;
+                stats.record_swap_applied(order.epoch);
+            }
+            let first = match rx.recv_timeout(IDLE_CONTROL_POLL) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => continue, // idle: re-check control
+                Err(RecvTimeoutError::Disconnected) => return, // engine dropped
+            };
+            let window_end = first.enqueued + policy.max_wait;
+            let mut jobs = vec![first];
+            let mut queries = jobs[0].indices.len();
+            while queries < policy.max_batch {
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                match rx.recv_timeout(window_end - now) {
+                    Ok(job) => {
+                        queries += job.indices.len();
+                        jobs.push(job);
+                    }
+                    Err(_) => break, // window elapsed or engine dropped
+                }
+            }
+            let now = Instant::now();
+            let (live, stale): (Vec<Job>, Vec<Job>) = jobs
+                .into_iter()
+                .partition(|j| j.deadline.is_none_or(|d| now <= d));
+            for job in stale {
+                pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                stats.record_rejected(RejectReason::DeadlineExceeded, job.indices.len());
+                let _ = job
+                    .reply
+                    .send(Response::Rejected(RejectReason::DeadlineExceeded));
+            }
+            if live.is_empty() {
+                continue;
+            }
+            // Re-drain control before dispatch: a swap ordered before these
+            // requests were admitted must not be overtaken by them just
+            // because the worker was already blocked on the job queue.
+            while let Ok(order) = ctrl_rx.try_recv() {
+                generator = order.generator;
+                technique = order.technique;
+                stats.record_swap_applied(order.epoch);
+            }
+            let groups: Vec<Vec<u64>> = live.iter().map(|j| j.indices.clone()).collect();
+            let total_queries: usize = groups.iter().map(Vec::len).sum();
+            stats.record_batch(total_queries);
+            let dispatch = Instant::now();
+            let outputs = execute_batch(generator.as_mut(), &groups);
+            // Export the amortized service cost of this batch as one
+            // drift sample: the same per-query quantity admission control
+            // budgets with, measured under live co-location conditions.
+            samples
+                .lock()
+                .expect("sample ring")
+                .push(dispatch.elapsed().as_nanos() as f64 / total_queries as f64);
+            for (job, out) in live.into_iter().zip(outputs) {
+                pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                stats.record_completed(
+                    technique,
+                    job.indices.len(),
+                    job.enqueued.elapsed().as_nanos() as f64,
+                );
+                let _ = job.reply.send(Response::Embeddings(out));
+            }
+        })
+        .expect("spawn shard worker")
+}
+
 impl Drop for Engine {
     fn drop(&mut self) {
         // Disconnect the queues so every worker's recv() returns Err,
@@ -315,6 +609,7 @@ impl Drop for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use secemb::hybrid::PlannedTable;
     use std::time::Duration;
 
     fn fast_table() -> TableConfig {
@@ -323,6 +618,27 @@ mod tests {
             seed: 7,
             queue_capacity: 64,
             cost_override_ns: Some(1_000.0),
+        }
+    }
+
+    fn plan_for(engine: &Engine, version: u64, techniques: &[Technique]) -> AllocationPlan {
+        let tables = engine
+            .tables()
+            .iter()
+            .zip(techniques)
+            .map(|(info, &technique)| PlannedTable {
+                rows: info.rows,
+                technique,
+                per_query_ns: 2_000.0,
+            })
+            .collect();
+        AllocationPlan {
+            version,
+            dim: 8,
+            batch: 8,
+            threads: 1,
+            threshold: 0,
+            tables,
         }
     }
 
@@ -381,6 +697,107 @@ mod tests {
         table.cost_override_ns = None;
         let engine = Engine::start(EngineConfig::new(vec![table]));
         assert!(engine.tables()[0].per_query_ns > 0.0);
+    }
+
+    #[test]
+    fn apply_plan_swaps_technique_cost_and_epoch() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.plan_version(), 0);
+
+        let plan = plan_for(&engine, 7, &[Technique::Dhe]);
+        let epoch = engine.apply_plan(&plan).expect("valid plan");
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.plan_version(), 7);
+        let info = &engine.tables()[0];
+        assert_eq!(info.technique, Technique::Dhe);
+        assert_eq!(info.per_query_ns, 2_000.0);
+
+        // Wait for the worker to pick up the swap: a request that raced
+        // the swap order may legitimately still be served on the old
+        // epoch's generator.
+        let stats = engine.stats();
+        let waited = Instant::now();
+        while stats.snapshot().swaps_applied < 1 {
+            assert!(
+                waited.elapsed() < Duration::from_secs(5),
+                "swap never applied"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Served output now matches a DHE generator built from the same
+        // seed — the swap actually replaced the backend.
+        let mut reference = GeneratorSpec::Dhe { rows: 64, dim: 8 }.build(7);
+        let out = engine
+            .call(Request::new(0, vec![5, 9]))
+            .embeddings()
+            .expect("served")
+            .clone();
+        assert_eq!(out, reference.generate_batch(&[5, 9]));
+    }
+
+    #[test]
+    fn apply_plan_rejects_mismatched_plans() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let empty = AllocationPlan {
+            version: 1,
+            dim: 8,
+            batch: 8,
+            threads: 1,
+            threshold: 0,
+            tables: vec![],
+        };
+        assert_eq!(
+            engine.apply_plan(&empty),
+            Err(PlanError::TableCountMismatch { plan: 0, engine: 1 })
+        );
+        let mut wrong_rows = plan_for(&engine, 1, &[Technique::Dhe]);
+        wrong_rows.tables[0].rows = 65;
+        assert_eq!(
+            engine.apply_plan(&wrong_rows),
+            Err(PlanError::RowsMismatch { table: 0 })
+        );
+        // Failed plans leave the allocation untouched.
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.tables()[0].technique, Technique::LinearScan);
+    }
+
+    #[test]
+    fn unknown_plan_cost_is_probed_at_apply() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let mut plan = plan_for(&engine, 1, &[Technique::Dhe]);
+        plan.tables[0].per_query_ns = -1.0; // unknown: probe at apply
+        engine.apply_plan(&plan).expect("valid plan");
+        assert!(engine.tables()[0].per_query_ns > 0.0);
+    }
+
+    #[test]
+    fn workers_export_service_samples() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        for i in 0..8 {
+            engine.call(Request::new(0, vec![i]));
+        }
+        let samples = engine.drain_samples(0);
+        assert!(!samples.is_empty(), "completed batches must leave samples");
+        assert!(samples.iter().all(|&s| s > 0.0));
+        // Draining empties the ring; an unknown table yields nothing.
+        assert!(engine.drain_samples(0).is_empty());
+        assert!(engine.drain_samples(99).is_empty());
+    }
+
+    #[test]
+    fn sample_ring_overwrites_oldest() {
+        let mut ring = SampleRing::new();
+        for i in 0..(SAMPLE_CAP + 3) {
+            ring.push(i as f64);
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), SAMPLE_CAP);
+        assert_eq!(drained[0], 3.0, "oldest three were overwritten");
+        assert_eq!(*drained.last().unwrap(), (SAMPLE_CAP + 2) as f64);
+        assert!(ring.drain().is_empty());
     }
 
     #[test]

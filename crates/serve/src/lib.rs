@@ -57,7 +57,7 @@ mod stats;
 
 pub use batcher::{execute_batch, BatchPolicy};
 pub use client::{Client, RemoteTable};
-pub use engine::{Engine, EngineConfig, TableConfig, TableInfo, Ticket};
+pub use engine::{Engine, EngineConfig, PlanError, TableConfig, TableInfo, Ticket};
 pub use request::{RejectReason, Request, Response};
 pub use server::Server;
 pub use stats::{ServerStats, StatsSnapshot};

@@ -1,5 +1,6 @@
-//! Load generation: paced request streams for latency-throughput sweeps
-//! (the serving-side analogue of the paper's Fig. 13 SLA curves).
+//! Load generation: paced and Poisson request streams, optionally mixed
+//! over several tables, for latency-throughput sweeps (the serving-side
+//! analogue of the paper's Fig. 13 SLA curves).
 
 use crate::client::Client;
 use crate::protocol::ServerMsg;
@@ -9,26 +10,65 @@ use rand::{Rng, SeedableRng};
 use secemb::stats::LatencySummary;
 use std::io;
 use std::net::SocketAddr;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
+
+/// How request send times are spaced on each connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Fixed inter-request interval (deterministic, zero burstiness) —
+    /// a lower bound on queueing pressure at a given offered rate.
+    #[default]
+    Paced,
+    /// Exponential inter-arrival times (an open-loop Poisson process per
+    /// connection) — the memoryless arrivals real front-ends see, with
+    /// bursts that stress admission control at the same mean rate.
+    Poisson,
+}
+
+impl Schedule {
+    /// Short CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Schedule::Paced => "paced",
+            Schedule::Poisson => "poisson",
+        }
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "paced" => Ok(Schedule::Paced),
+            "poisson" => Ok(Schedule::Poisson),
+            other => Err(format!("unknown schedule '{other}' (paced|poisson)")),
+        }
+    }
+}
 
 /// One load run's parameters.
 #[derive(Clone, Debug)]
 pub struct LoadConfig {
     /// Server address.
     pub addr: SocketAddr,
-    /// Concurrent connections (each a closed loop of paced requests).
+    /// Concurrent connections (each a closed loop of scheduled requests).
     pub connections: usize,
-    /// Table to query.
-    pub table: usize,
+    /// Tables to query; each request picks one uniformly at random, so a
+    /// multi-entry list produces mixed traffic across shards.
+    pub tables: Vec<usize>,
     /// Indices per request.
     pub batch: usize,
     /// Offered load, requests/second across all connections.
     pub offered_rps: f64,
+    /// Inter-arrival schedule.
+    pub schedule: Schedule,
     /// Measurement length.
     pub duration: Duration,
     /// Per-request deadline sent to the server, if any.
     pub deadline: Option<Duration>,
-    /// RNG seed for index selection.
+    /// RNG seed for index/table selection and Poisson arrivals.
     pub seed: u64,
 }
 
@@ -41,6 +81,10 @@ pub struct LoadReport {
     pub achieved_rps: f64,
     /// Requests answered with embeddings.
     pub completed: u64,
+    /// Completed requests whose client-observed round trip still exceeded
+    /// the deadline — answered, but in SLA violation. Always 0 when no
+    /// deadline was set.
+    pub deadline_violations: u64,
     /// Requests explicitly rejected, per reason index
     /// ([`RejectReason::ALL`] order).
     pub rejected: [u64; RejectReason::ALL.len()],
@@ -62,16 +106,29 @@ impl LoadReport {
         }
         self.total_rejected() as f64 / total as f64
     }
+
+    /// Fraction of requests that missed their SLA: rejected outright or
+    /// completed past the deadline. The quantity the adaptive controller
+    /// is judged on.
+    pub fn sla_miss_fraction(&self) -> f64 {
+        let total = self.completed + self.total_rejected();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.deadline_violations + self.total_rejected()) as f64 / total as f64
+    }
 }
 
-/// Runs one paced load test against a running server.
+/// Runs one load test against a running server.
 ///
-/// Each connection sends requests on a fixed schedule
-/// (`connections / offered_rps` apart) and blocks for each response, so
-/// per-connection concurrency is 1 and total concurrency is
-/// `connections`. If the server is slower than the schedule, the pacing
-/// debt is dropped (the generator does not retroactively burst), so
-/// `achieved_rps` saturates at server capacity.
+/// Each connection issues requests on its schedule and blocks for each
+/// response, so per-connection concurrency is 1 and total concurrency is
+/// `connections`. Under [`Schedule::Paced`] sends are
+/// `connections / offered_rps` apart; under [`Schedule::Poisson`] the
+/// gaps are exponential with that mean. Either way, if the server is
+/// slower than the schedule the pacing debt is dropped (the generator
+/// does not retroactively burst), so `achieved_rps` saturates at server
+/// capacity.
 ///
 /// # Errors
 ///
@@ -79,43 +136,47 @@ impl LoadReport {
 ///
 /// # Panics
 ///
-/// Panics if `connections`, `batch` or `offered_rps` is zero/negative,
-/// or if the requested table does not exist on the server.
+/// Panics if `connections`, `batch`, `tables` or `offered_rps` is
+/// zero/empty/negative, or if a requested table does not exist on the
+/// server.
 pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     assert!(config.connections > 0, "run_load: zero connections");
     assert!(config.batch > 0, "run_load: zero batch");
+    assert!(!config.tables.is_empty(), "run_load: no tables");
     assert!(config.offered_rps > 0.0, "run_load: non-positive rate");
-    let rows = {
+    // rows[i] = index domain of config.tables[i].
+    let rows: Vec<u64> = {
         let mut probe = Client::connect(config.addr)?;
-        let tables = probe.tables()?;
-        match tables.get(config.table) {
-            Some(t) => t.rows,
-            None => {
-                return Err(io::Error::new(
+        let served = probe.tables()?;
+        config
+            .tables
+            .iter()
+            .map(|&id| match served.get(id) {
+                Some(t) => Ok(t.rows),
+                None => Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
-                    format!(
-                        "server has no table {} (it serves {})",
-                        config.table,
-                        tables.len()
-                    ),
-                ));
-            }
-        }
+                    format!("server has no table {id} (it serves {})", served.len()),
+                )),
+            })
+            .collect::<io::Result<_>>()?
     };
-    let interval = Duration::from_secs_f64(config.connections as f64 / config.offered_rps);
+    let mean_interval = Duration::from_secs_f64(config.connections as f64 / config.offered_rps);
 
     struct ThreadResult {
         latencies_ns: Vec<f64>,
+        deadline_violations: u64,
         rejected: [u64; RejectReason::ALL.len()],
         io_error: Option<io::Error>,
     }
 
+    let rows = &rows;
     let results: Vec<ThreadResult> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..config.connections)
             .map(|conn_id| {
                 s.spawn(move |_| {
                     let mut result = ThreadResult {
                         latencies_ns: Vec::new(),
+                        deadline_violations: 0,
                         rejected: [0; RejectReason::ALL.len()],
                         io_error: None,
                     };
@@ -131,18 +192,25 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                     let end = Instant::now() + config.duration;
                     // Stagger connection start times across one interval.
                     let mut next_send = Instant::now()
-                        + interval.mul_f64(conn_id as f64 / config.connections as f64);
+                        + mean_interval.mul_f64(conn_id as f64 / config.connections as f64);
                     while next_send < end {
                         let now = Instant::now();
                         if now < next_send {
                             std::thread::sleep(next_send - now);
                         }
-                        let indices: Vec<u64> =
-                            (0..config.batch).map(|_| rng.gen_range(0..rows)).collect();
+                        let slot = rng.gen_range(0..config.tables.len());
+                        let table = config.tables[slot];
+                        let indices: Vec<u64> = (0..config.batch)
+                            .map(|_| rng.gen_range(0..rows[slot]))
+                            .collect();
                         let t0 = Instant::now();
-                        match client.generate(config.table, &indices, config.deadline) {
+                        match client.generate(table, &indices, config.deadline) {
                             Ok(ServerMsg::Embeddings(_)) => {
-                                result.latencies_ns.push(t0.elapsed().as_nanos() as f64);
+                                let elapsed = t0.elapsed();
+                                if config.deadline.is_some_and(|d| elapsed > d) {
+                                    result.deadline_violations += 1;
+                                }
+                                result.latencies_ns.push(elapsed.as_nanos() as f64);
                             }
                             Ok(ServerMsg::Rejected(reason)) => {
                                 result.rejected[reason.index()] += 1;
@@ -153,9 +221,18 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                                 return result;
                             }
                         }
-                        // Fixed schedule from the previous slot; drop debt
-                        // if we fell behind rather than bursting later.
-                        next_send = (next_send + interval).max(Instant::now());
+                        let gap = match config.schedule {
+                            Schedule::Paced => mean_interval,
+                            // Inverse-CDF sample of Exp(1/mean): the gap
+                            // is -ln(1-U) * mean, U uniform in [0,1).
+                            Schedule::Poisson => {
+                                let u: f64 = rng.gen();
+                                mean_interval.mul_f64(-(1.0 - u).ln())
+                            }
+                        };
+                        // Schedule from the previous slot; drop debt if we
+                        // fell behind rather than bursting later.
+                        next_send = (next_send + gap).max(Instant::now());
                     }
                     result
                 })
@@ -166,12 +243,14 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     .expect("load thread panicked");
 
     let mut latencies = Vec::new();
+    let mut deadline_violations = 0;
     let mut rejected = [0u64; RejectReason::ALL.len()];
     for mut r in results {
         if let Some(e) = r.io_error.take() {
             return Err(e);
         }
         latencies.extend(r.latencies_ns);
+        deadline_violations += r.deadline_violations;
         for (total, n) in rejected.iter_mut().zip(r.rejected) {
             *total += n;
         }
@@ -181,7 +260,52 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         offered_rps: config.offered_rps,
         achieved_rps: completed as f64 / config.duration.as_secs_f64(),
         completed,
+        deadline_violations,
         rejected,
         latency: LatencySummary::from_ns(&latencies),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_parses_and_labels() {
+        assert_eq!("paced".parse::<Schedule>().unwrap(), Schedule::Paced);
+        assert_eq!("poisson".parse::<Schedule>().unwrap(), Schedule::Poisson);
+        assert!("burst".parse::<Schedule>().is_err());
+        assert_eq!(Schedule::Poisson.label(), "poisson");
+        assert_eq!(Schedule::default(), Schedule::Paced);
+    }
+
+    #[test]
+    fn report_fractions() {
+        let mut report = LoadReport {
+            offered_rps: 100.0,
+            achieved_rps: 90.0,
+            completed: 90,
+            deadline_violations: 6,
+            rejected: [4, 0, 0, 0, 0],
+            latency: LatencySummary::from_ns(&[]),
+        };
+        report.rejected[1] = 6;
+        assert_eq!(report.total_rejected(), 10);
+        assert!((report.rejected_fraction() - 0.1).abs() < 1e-12);
+        assert!((report.sla_miss_fraction() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_fractions_are_zero() {
+        let report = LoadReport {
+            offered_rps: 1.0,
+            achieved_rps: 0.0,
+            completed: 0,
+            deadline_violations: 0,
+            rejected: [0; RejectReason::ALL.len()],
+            latency: LatencySummary::from_ns(&[]),
+        };
+        assert_eq!(report.rejected_fraction(), 0.0);
+        assert_eq!(report.sla_miss_fraction(), 0.0);
+    }
 }

@@ -17,8 +17,8 @@
 //! |---|---|
 //! | 1 `Embeddings` | `u32` rows, `u32` cols, `rows·cols × f32` |
 //! | 2 `Rejected` | `u8` reason code ([`RejectReason::index`]) |
-//! | 3 `Tables` | `u32` count, then per table: `u64` rows, `u32` dim, `u64` per-query ns (bits of `f64`), string technique label |
-//! | 4 `Stats` | string (the JSON snapshot) |
+//! | 3 `Tables` | `u32` count, then per table: `u64` rows, `u32` dim, `f64` per-query ns, string technique label |
+//! | 4 `Stats` | string (the JSON snapshot, including the active plan's `version`/`epoch` under `"plan"`) |
 
 use crate::engine::TableInfo;
 use crate::request::{RejectReason, Response};
@@ -180,7 +180,7 @@ pub fn encode_tables(tables: &[TableInfo]) -> Vec<u8> {
     for t in tables {
         w.put_u64_le(t.rows);
         w.put_u32_le(t.dim as u32);
-        w.put_u64_le(t.per_query_ns.to_bits());
+        w.put_f64_le(t.per_query_ns);
         w.put_str(t.technique.label());
     }
     w.into_vec()
@@ -232,7 +232,7 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, ProtocolError> {
             for _ in 0..count {
                 let rows = r.get_u64_le()?;
                 let dim = r.get_u32_le()? as usize;
-                let per_query_ns = f64::from_bits(r.get_u64_le()?);
+                let per_query_ns = r.get_f64_le()?;
                 let label = r.get_str()?;
                 tables.push((rows, dim, per_query_ns, label));
             }

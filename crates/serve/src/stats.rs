@@ -34,6 +34,9 @@ pub struct ServerStats {
     batch_hist: [AtomicU64; HIST_BUCKETS],
     queue_depth: AtomicU64,
     samples_seen: AtomicU64,
+    plan_version: AtomicU64,
+    epoch: AtomicU64,
+    swaps_applied: AtomicU64,
     latencies_ns: Mutex<Vec<f64>>,
 }
 
@@ -85,6 +88,17 @@ impl ServerStats {
         }
     }
 
+    /// Records that a new allocation plan became active.
+    pub fn record_plan(&self, version: u64, epoch: u64) {
+        self.plan_version.store(version, Ordering::SeqCst);
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Records one shard worker picking up its swap order.
+    pub fn record_swap_applied(&self, _epoch: u64) {
+        self.swaps_applied.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Queries currently admitted but not yet answered.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -119,6 +133,9 @@ impl ServerStats {
                 .map(|(k, c)| (1usize << k, c.load(Ordering::Relaxed)))
                 .collect(),
             queue_depth: self.queue_depth(),
+            plan_version: self.plan_version.load(Ordering::SeqCst),
+            epoch: self.epoch.load(Ordering::SeqCst),
+            swaps_applied: self.swaps_applied.load(Ordering::Relaxed),
             latency,
         }
     }
@@ -140,6 +157,12 @@ pub struct StatsSnapshot {
     pub batch_hist: Vec<(usize, u64)>,
     /// Queries admitted but unanswered at snapshot time.
     pub queue_depth: u64,
+    /// Version of the active allocation plan (0 = startup allocation).
+    pub plan_version: u64,
+    /// Epoch of the active allocation (bumped once per applied plan).
+    pub epoch: u64,
+    /// Per-shard swap orders picked up by workers across all epochs.
+    pub swaps_applied: u64,
     /// Submission-to-reply latency over recent completed requests.
     pub latency: LatencySummary,
 }
@@ -189,6 +212,14 @@ impl StatsSnapshot {
                 ),
             ),
             ("queue_depth", Value::Num(self.queue_depth as f64)),
+            (
+                "plan",
+                Value::obj([
+                    ("version", Value::Num(self.plan_version as f64)),
+                    ("epoch", Value::Num(self.epoch as f64)),
+                    ("swaps_applied", Value::Num(self.swaps_applied as f64)),
+                ]),
+            ),
             (
                 "latency",
                 Value::obj([
@@ -288,8 +319,14 @@ mod tests {
         s.record_accepted(8);
         s.record_batch(8);
         s.record_completed(Technique::Dhe, 8, 2_000_000.0);
+        s.record_plan(3, 1);
+        s.record_swap_applied(1);
         let doc = json::parse(&s.snapshot().to_json()).unwrap();
         assert_eq!(doc.get("completed").unwrap().as_u64(), Some(1));
+        let plan = doc.get("plan").unwrap();
+        assert_eq!(plan.get("version").unwrap().as_u64(), Some(3));
+        assert_eq!(plan.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(plan.get("swaps_applied").unwrap().as_u64(), Some(1));
         assert_eq!(
             doc.get("queries_by_technique")
                 .unwrap()

@@ -67,6 +67,12 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian `f64` (as its IEEE-754 bit pattern, so
+    /// NaN payloads and signed zeros survive the trip).
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a length-prefixed (u32) UTF-8 string.
     pub fn put_str(&mut self, s: &str) {
         self.put_u32_le(s.len() as u32);
@@ -164,6 +170,15 @@ impl<'a> ByteReader<'a> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Truncated`] if fewer than 8 bytes remain.
+    pub fn get_f64_le(&mut self) -> Result<f64, Truncated> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
     /// Reads a length-prefixed (u32) UTF-8 string; invalid UTF-8 is
     /// replaced.
     ///
@@ -187,6 +202,7 @@ mod tests {
         w.put_u32_le(0xDEAD_BEEF);
         w.put_u64_le(u64::MAX - 3);
         w.put_f32_le(-1.5);
+        w.put_f64_le(1234.5678);
         w.put_str("héllo");
         w.put_slice(&[1, 2, 3]);
         assert!(!w.is_empty());
@@ -197,6 +213,7 @@ mod tests {
         assert_eq!(r.get_u32_le().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64_le().unwrap(), u64::MAX - 3);
         assert_eq!(r.get_f32_le().unwrap(), -1.5);
+        assert_eq!(r.get_f64_le().unwrap(), 1234.5678);
         assert_eq!(r.get_str().unwrap(), "héllo");
         assert_eq!(r.get_slice(3).unwrap(), &[1, 2, 3]);
         assert_eq!(r.remaining(), 0);
