@@ -13,7 +13,7 @@ const DIM: usize = 8;
 const ROWS: [u64; 2] = [48, 96];
 const SEEDS: [u64; 2] = [7, 9];
 
-fn two_table_engine() -> Arc<Engine> {
+fn two_table_engine_with_replicas(replicas: usize) -> Arc<Engine> {
     let tables = ROWS
         .iter()
         .zip(SEEDS)
@@ -24,7 +24,13 @@ fn two_table_engine() -> Arc<Engine> {
             cost_override_ns: Some(1_000.0),
         })
         .collect();
-    Arc::new(Engine::start(EngineConfig::new(tables)))
+    let mut config = EngineConfig::new(tables);
+    config.shard.replicas = replicas;
+    Arc::new(Engine::start(config))
+}
+
+fn two_table_engine() -> Arc<Engine> {
+    two_table_engine_with_replicas(1)
 }
 
 fn dhe_flip_plan(version: u64) -> AllocationPlan {
@@ -131,6 +137,84 @@ fn concurrent_requests_see_old_or_new_plan_never_mixed() {
         assert_eq!(new_seen, new_seen_target, "submitter starved post-swap");
     }
     // Accounting: accepted == completed, nothing lost in the swap.
+    assert_eq!(snapshot.accepted, snapshot.completed);
+    assert_eq!(snapshot.total_rejected(), 0);
+    assert_eq!(engine.queue_depth(), 0);
+}
+
+/// With `replicas > 1`, a live swap must be atomic **across the
+/// replicas of each shard**: every submitter issues requests serially,
+/// and any replica may serve each of them, so one old-epoch output after
+/// a new-epoch output would mean a straggler replica kept serving the
+/// old generator while a sibling already served the new one. The
+/// per-shard swap barrier forbids exactly that.
+#[test]
+fn replicated_swap_never_mixes_epochs_across_replicas() {
+    const REPLICAS: usize = 2;
+    let engine = two_table_engine_with_replicas(REPLICAS);
+    let submitters: Vec<(usize, Vec<u64>)> = (0..4)
+        .map(|t| {
+            let table = t % 2;
+            let indices = vec![t as u64, (t as u64 + 11) % ROWS[table], 3];
+            (table, indices)
+        })
+        .collect();
+    for (table, indices) in &submitters {
+        assert_ne!(
+            reference(*table, Technique::LinearScan, indices),
+            reference(*table, Technique::Dhe, indices),
+            "test needs distinguishable outputs"
+        );
+    }
+
+    let new_seen_target = 20;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let engine_ref = &engine;
+    let transitions: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = submitters
+            .iter()
+            .map(|(table, indices)| {
+                s.spawn(move || {
+                    let old = reference(*table, Technique::LinearScan, indices);
+                    let new = reference(*table, Technique::Dhe, indices);
+                    let (mut old_seen, mut new_seen) = (0u64, 0u64);
+                    while new_seen < new_seen_target && Instant::now() < deadline {
+                        let response = engine_ref.call(Request::new(*table, indices.clone()));
+                        let out = response.embeddings().expect("no request may be dropped");
+                        let got = bits(out);
+                        if got == old {
+                            assert_eq!(
+                                new_seen, 0,
+                                "old-epoch output after a new-epoch output: \
+                                 a replica swapped late"
+                            );
+                            old_seen += 1;
+                        } else if got == new {
+                            new_seen += 1;
+                        } else {
+                            panic!("output matches neither epoch's generator: torn swap");
+                        }
+                    }
+                    (old_seen, new_seen)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let epoch = engine.apply_plan(&dhe_flip_plan(1)).expect("valid plan");
+        assert_eq!(epoch, 1);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let snapshot = engine.stats().snapshot();
+    // Every replica of every shard picked up its swap before apply_plan
+    // returned (the epoch is published only after all acks).
+    assert_eq!(snapshot.swaps_applied, (ROWS.len() * REPLICAS) as u64);
+    assert_eq!(snapshot.replicas, REPLICAS as u64);
+    assert_eq!(snapshot.worker_batches.len(), ROWS.len() * REPLICAS);
+    for (old_seen, new_seen) in transitions {
+        assert!(old_seen > 0, "submitter never observed the startup plan");
+        assert_eq!(new_seen, new_seen_target, "submitter starved post-swap");
+    }
     assert_eq!(snapshot.accepted, snapshot.completed);
     assert_eq!(snapshot.total_rejected(), 0);
     assert_eq!(engine.queue_depth(), 0);

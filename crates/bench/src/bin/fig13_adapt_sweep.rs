@@ -97,6 +97,7 @@ fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
         schedule: Schedule::Poisson,
         duration: Duration::from_secs_f64(p.phase_secs),
         deadline: Some(Duration::from_millis(20)),
+        pipeline_depth: 1,
         seed,
     })
     .expect("load run")

@@ -8,6 +8,11 @@
 //! rate. The backend is the paper's hybrid: a small scan-served table and
 //! a large DHE-served table behind one threshold.
 //!
+//! `--replicas R` runs R worker threads per table shard; a
+//! `--pipeline-depth K` keeps K requests in flight per connection. The
+//! replication sweep in EXPERIMENTS.md compares `--replicas 1
+//! --pipeline-depth 1` against `--replicas 4 --pipeline-depth 8`.
+//!
 //! `--tiny` shrinks tables, rates and durations to a seconds-long smoke
 //! run for CI; the numbers it prints are not meaningful measurements.
 
@@ -18,9 +23,25 @@ use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
+fn flag_value(name: &str) -> Option<String> {
+    let mut it = std::env::args();
+    while let Some(arg) = it.next() {
+        if arg == name {
+            return it.next();
+        }
+    }
+    None
+}
+
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let replicas: usize = flag_value("--replicas").map_or(1, |v| v.parse().expect("--replicas N"));
+    let pipeline_depth: usize =
+        flag_value("--pipeline-depth").map_or(1, |v| v.parse().expect("--pipeline-depth K"));
+    assert!(replicas > 0, "--replicas must be positive");
+    assert!(pipeline_depth > 0, "--pipeline-depth must be positive");
     println!("Fig. 13 (serving): latency-throughput sweep, hybrid backend, 20 ms SLA");
+    println!("replicas/table: {replicas}, pipeline depth/connection: {pipeline_depth}");
     println!("{SCALE_NOTE}\n");
 
     let threshold = 100_000;
@@ -58,6 +79,7 @@ fn main() {
         max_batch: 64,
         max_wait: Duration::from_micros(500),
     };
+    config.shard.replicas = replicas;
 
     eprintln!("building tables and probing costs...");
     let engine = Arc::new(Engine::start(config));
@@ -84,6 +106,7 @@ fn main() {
                 schedule: Schedule::Paced,
                 duration: Duration::from_secs_f64(secs),
                 deadline: Some(Duration::from_millis(20)),
+                pipeline_depth,
                 seed: 1,
             })
             .expect("load run");
@@ -123,6 +146,7 @@ fn main() {
             schedule: Schedule::Poisson,
             duration: Duration::from_secs_f64(secs),
             deadline: Some(Duration::from_millis(20)),
+            pipeline_depth,
             seed: 1,
         })
         .expect("load run");

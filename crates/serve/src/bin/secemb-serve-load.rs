@@ -5,13 +5,15 @@
 //! ```text
 //! secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N]
 //!                   [--secs S] [--deadline-ms D] [--schedule paced|poisson]
-//!                   [--rate R]...
+//!                   [--pipeline-depth K] [--rate R]...
 //! ```
 //!
 //! `--deadline-ms 0` sends no deadline. Each `--rate` adds one sweep
 //! point (requests/second). Repeating `--table` mixes traffic uniformly
 //! over the listed tables; `--schedule poisson` replaces the fixed pacing
-//! with exponential inter-arrival gaps at the same mean rate.
+//! with exponential inter-arrival gaps at the same mean rate;
+//! `--pipeline-depth K` keeps up to K id-matched requests in flight per
+//! connection (default 1, the classic closed loop).
 
 use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::Client;
@@ -26,13 +28,15 @@ struct Args {
     secs: f64,
     deadline: Option<Duration>,
     schedule: Schedule,
+    pipeline_depth: usize,
     rates: Vec<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N] \
-         [--secs S] [--deadline-ms D] [--schedule paced|poisson] [--rate R]..."
+         [--secs S] [--deadline-ms D] [--schedule paced|poisson] [--pipeline-depth K] \
+         [--rate R]..."
     );
     std::process::exit(2);
 }
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         secs: 2.0,
         deadline: Some(Duration::from_millis(20)),
         schedule: Schedule::Paced,
+        pipeline_depth: 1,
         rates: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -67,6 +72,12 @@ fn parse_args() -> Args {
                 args.deadline = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--schedule" => args.schedule = value().parse().unwrap_or_else(|_| usage()),
+            "--pipeline-depth" => {
+                args.pipeline_depth = value().parse().unwrap_or_else(|_| usage());
+                if args.pipeline_depth == 0 {
+                    usage();
+                }
+            }
             "--rate" => args.rates.push(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
@@ -103,10 +114,11 @@ fn main() {
     }
     let table_list: Vec<String> = args.tables.iter().map(usize::to_string).collect();
     println!(
-        "sweep: table(s) {}, {} schedule, {} conns, batch {}, {}s/point, deadline {}",
+        "sweep: table(s) {}, {} schedule, {} conns x depth {}, batch {}, {}s/point, deadline {}",
         table_list.join(","),
         args.schedule.label(),
         args.conns,
+        args.pipeline_depth,
         args.batch,
         args.secs,
         args.deadline
@@ -126,6 +138,7 @@ fn main() {
             schedule: args.schedule,
             duration: Duration::from_secs_f64(args.secs),
             deadline: args.deadline,
+            pipeline_depth: args.pipeline_depth,
             seed: 1,
         });
         match report {

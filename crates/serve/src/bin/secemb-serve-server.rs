@@ -3,6 +3,7 @@
 //! ```text
 //! secemb-serve-server [--listen ADDR] [--table SPEC]... [--max-batch N]
 //!                     [--max-wait-us N] [--queue N] [--seed N]
+//!                     [--replicas N]
 //! ```
 //!
 //! `SPEC` is `TECH:ROWSxDIM` (`lookup|scan|path|circuit|dhe`) or
@@ -21,12 +22,13 @@ struct Args {
     max_wait: Duration,
     queue: usize,
     seed: u64,
+    replicas: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-serve-server [--listen ADDR] [--table SPEC]... \
-         [--max-batch N] [--max-wait-us N] [--queue N] [--seed N]\n\
+         [--max-batch N] [--max-wait-us N] [--queue N] [--seed N] [--replicas N]\n\
          SPEC: lookup|scan|path|circuit|dhe:ROWSxDIM, or hybrid:ROWSxDIM:THRESHOLD"
     );
     std::process::exit(2);
@@ -40,6 +42,7 @@ fn parse_args() -> Args {
         max_wait: Duration::from_micros(500),
         queue: 1024,
         seed: 42,
+        replicas: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,6 +62,12 @@ fn parse_args() -> Args {
             }
             "--queue" => args.queue = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--replicas" => {
+                args.replicas = value().parse().unwrap_or_else(|_| usage());
+                if args.replicas == 0 {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
@@ -98,10 +107,12 @@ fn main() {
         max_batch: args.max_batch,
         max_wait: args.max_wait,
     };
+    config.shard.replicas = args.replicas;
 
     eprintln!(
-        "building {} table(s) and probing costs...",
-        args.specs.len()
+        "building {} table(s) x {} replica(s) and probing costs...",
+        args.specs.len(),
+        args.replicas
     );
     let engine = Arc::new(Engine::start(config));
     for (id, info) in engine.tables().iter().enumerate() {

@@ -1,19 +1,50 @@
-//! A minimal blocking client for the serving protocol.
+//! A blocking client for the serving protocol, with optional pipelining.
+//!
+//! Every request carries a client-chosen `request_id`; the server echoes
+//! it on the response, which may arrive **out of order** relative to
+//! other in-flight requests on the same connection. [`Client`] offers
+//! both the classic synchronous calls ([`Client::generate`] etc.) and a
+//! pipelined path: [`Client::call_async`] sends without waiting and
+//! [`Client::drain_next`] collects whichever response completes next,
+//! id-matched. [`Client::into_split`] separates the two stream halves so
+//! a sender thread and a receiver thread can run the pipeline without a
+//! shared lock.
 
 use crate::protocol::{
     decode_server, encode_generate, encode_stats_request, encode_tables_request, ServerMsg,
 };
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// One TCP connection to a `secemb-serve` server. Requests are
-/// synchronous: one in flight per client (use several clients for
-/// concurrency).
+/// One TCP connection to a `secemb-serve` server. Synchronous calls and
+/// pipelined [`Client::call_async`] submissions may be mixed freely: the
+/// client buffers out-of-order arrivals and hands each response back
+/// under the id it was sent with.
 pub struct Client {
-    reader: BufReader<TcpStream>,
+    sender: ClientSender,
+    receiver: ClientReceiver,
+    /// Ids sent via [`Client::call_async`] whose responses have not been
+    /// handed to the caller yet.
+    outstanding: HashSet<u64>,
+    /// Responses that arrived while a synchronous call was waiting for a
+    /// different id; drained first by [`Client::drain_next`].
+    ready: VecDeque<(u64, ServerMsg)>,
+}
+
+/// Write half of a split [`Client`]: assigns request ids and sends
+/// frames. Owned by the pipeline's sender thread.
+pub struct ClientSender {
     writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+/// Read half of a split [`Client`]: blocks for the next response frame.
+/// Owned by the pipeline's receiver thread.
+pub struct ClientReceiver {
+    reader: BufReader<TcpStream>,
 }
 
 /// Description of one served table as reported by the server.
@@ -43,6 +74,53 @@ fn from_frame_error(e: FrameError) -> io::Error {
     }
 }
 
+impl ClientSender {
+    /// Sends a generate request without waiting, returning the request id
+    /// its response will carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn send_generate(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deadline: Option<Duration>,
+    ) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(
+            &mut self.writer,
+            &encode_generate(id, table, indices, deadline),
+        )?;
+        Ok(id)
+    }
+
+    /// Closes both directions of the connection, unblocking a receiver
+    /// thread parked in [`ClientReceiver::recv`]. Used by pipelined
+    /// drivers to tear down on error or at end of run.
+    pub fn shutdown(&self) {
+        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+    }
+}
+
+impl ClientReceiver {
+    /// Blocks for the next response frame, whatever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors; a clean server close
+    /// surfaces as [`io::ErrorKind::UnexpectedEof`].
+    pub fn recv(&mut self) -> io::Result<(u64, ServerMsg)> {
+        let payload = read_frame(&mut self.reader).map_err(|e| match e {
+            FrameError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"),
+            other => from_frame_error(other),
+        })?;
+        decode_server(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
 impl Client {
     /// Connects to a server.
     ///
@@ -53,15 +131,96 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
+            receiver: ClientReceiver {
+                reader: BufReader::new(stream.try_clone()?),
+            },
+            sender: ClientSender {
+                writer: BufWriter::new(stream),
+                next_id: 1,
+            },
+            outstanding: HashSet::new(),
+            ready: VecDeque::new(),
         })
     }
 
-    fn round_trip(&mut self, payload: &[u8]) -> io::Result<ServerMsg> {
-        write_frame(&mut self.writer, payload)?;
-        let reply = read_frame(&mut self.reader).map_err(from_frame_error)?;
-        decode_server(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    /// Splits the connection into independently owned send and receive
+    /// halves for a two-thread pipeline. Responses already buffered by
+    /// synchronous calls are discarded, so split a client *before*
+    /// pipelining on it, not mid-stream.
+    pub fn into_split(self) -> (ClientSender, ClientReceiver) {
+        (self.sender, self.receiver)
+    }
+
+    /// Requests in flight via [`Client::call_async`] whose responses have
+    /// not yet been returned by [`Client::drain_next`].
+    pub fn pending(&self) -> usize {
+        self.outstanding.len() + self.ready.len()
+    }
+
+    /// Sends a generate request without waiting for the response,
+    /// returning the id that will identify it. Any number may be in
+    /// flight; collect them with [`Client::drain_next`].
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn call_async(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deadline: Option<Duration>,
+    ) -> io::Result<u64> {
+        let id = self.sender.send_generate(table, indices, deadline)?;
+        self.outstanding.insert(id);
+        Ok(id)
+    }
+
+    /// Returns the next completed pipelined response as `(request_id,
+    /// verdict)`, in whatever order the server finished them.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors, or `InvalidData` if called
+    /// with nothing pending or the server invents an unknown id.
+    pub fn drain_next(&mut self) -> io::Result<(u64, ServerMsg)> {
+        if let Some(hit) = self.ready.pop_front() {
+            self.outstanding.remove(&hit.0);
+            return Ok(hit);
+        }
+        if self.outstanding.is_empty() {
+            return Err(bad_reply("drain_next with nothing in flight"));
+        }
+        let (id, msg) = self.receiver.recv()?;
+        if !self.outstanding.remove(&id) {
+            return Err(bad_reply("response for an id never sent"));
+        }
+        match msg {
+            msg @ (ServerMsg::Embeddings(_) | ServerMsg::Rejected(_)) => Ok((id, msg)),
+            _ => Err(bad_reply("expected embeddings or rejection")),
+        }
+    }
+
+    /// Sends `payload` and blocks until the response carrying `id`
+    /// arrives, parking any pipelined responses that land first.
+    fn round_trip(&mut self, id: u64, payload: &[u8]) -> io::Result<ServerMsg> {
+        write_frame(&mut self.sender.writer, payload)?;
+        loop {
+            let (got, msg) = self.receiver.recv()?;
+            if got == id {
+                return Ok(msg);
+            }
+            if self.outstanding.contains(&got) {
+                self.ready.push_back((got, msg));
+            } else {
+                return Err(bad_reply("response for an id never sent"));
+            }
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.sender.next_id;
+        self.sender.next_id = self.sender.next_id.wrapping_add(1);
+        id
     }
 
     /// Requests embeddings for `indices` from `table`.
@@ -78,7 +237,8 @@ impl Client {
         indices: &[u64],
         deadline: Option<Duration>,
     ) -> io::Result<ServerMsg> {
-        match self.round_trip(&encode_generate(table, indices, deadline))? {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_generate(id, table, indices, deadline))? {
             msg @ (ServerMsg::Embeddings(_) | ServerMsg::Rejected(_)) => Ok(msg),
             _ => Err(bad_reply("expected embeddings or rejection")),
         }
@@ -90,7 +250,8 @@ impl Client {
     ///
     /// Returns transport or protocol errors.
     pub fn tables(&mut self) -> io::Result<Vec<RemoteTable>> {
-        match self.round_trip(&encode_tables_request())? {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_tables_request(id))? {
             ServerMsg::Tables(ts) => Ok(ts
                 .into_iter()
                 .map(|(rows, dim, per_query_ns, technique)| RemoteTable {
@@ -110,7 +271,8 @@ impl Client {
     ///
     /// Returns transport or protocol errors.
     pub fn stats_json(&mut self) -> io::Result<String> {
-        match self.round_trip(&encode_stats_request())? {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_stats_request(id))? {
             ServerMsg::Stats(json) => Ok(json),
             _ => Err(bad_reply("expected stats")),
         }

@@ -1,25 +1,31 @@
-//! The serving engine: per-table shards, worker threads, SLA-aware
-//! admission control, and live plan reallocation.
+//! The serving engine: per-table shards, replicated worker threads,
+//! SLA-aware admission control, and live plan reallocation.
 //!
-//! Each table is a *shard*: one worker thread that owns the generator
-//! (generation takes `&mut self` — ORAM mutates on every access) and
-//! drains a bounded queue, coalescing requests per [`BatchPolicy`].
-//! Admission control uses a profiled per-query cost to predict queue
-//! delay and sheds load *explicitly*: a request the server cannot serve
-//! in time is answered `Rejected`, never silently dropped and never
-//! allowed to grow the queue without bound.
+//! Each table is a *shard*: [`ShardPolicy::replicas`] worker threads
+//! drain one shared MPMC job queue, each owning an **independent**
+//! generator built from the same [`GeneratorSpec`] and seed (generation
+//! takes `&mut self` — ORAM mutates on every access, so stash and
+//! position-map state is strictly per-replica and each replica's access
+//! trace stays input-independent on its own). Workers coalesce requests
+//! per [`BatchPolicy`]. Admission control uses a profiled per-query cost
+//! to predict queue delay and sheds load *explicitly*: a request the
+//! server cannot serve in time is answered `Rejected`, never silently
+//! dropped and never allowed to grow the queue without bound.
 //!
 //! # Live reallocation
 //!
 //! The active allocation is *versioned* and *epoch-tagged*. A controller
 //! (see the `secemb-adapt` crate) builds replacement generators **off**
-//! the request path and calls [`Engine::apply_plan`]; each worker swaps
-//! to its new generator between batches through a per-shard control
-//! channel, so in-flight batches finish on the old generator and no
-//! request is dropped. Admission-control cost estimates flip to the new
-//! plan's values in the same epoch bump, under one swap lock — a
-//! concurrent request observes either the old plan or the new one, never
-//! a mix.
+//! the request path and calls [`Engine::apply_plan`]; every replica of a
+//! shard swaps to its own new generator through a per-replica control
+//! channel. The replicas of one shard rendezvous on a barrier before
+//! installing, so no replica serves the new epoch while a sibling still
+//! runs an old-epoch batch — responses never mix epochs within a table.
+//! The engine's epoch counter is published only after **every** replica
+//! has acknowledged its swap, and admission-control cost estimates flip
+//! to the new plan's values in the same critical section, under one swap
+//! lock — a concurrent request observes either the old plan or the new
+//! one, never a mix.
 
 use crate::batcher::{execute_batch, BatchPolicy};
 use crate::request::{RejectReason, Request, Response};
@@ -28,20 +34,26 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError}
 use secemb::hybrid::AllocationPlan;
 use secemb::{measure_cost, EmbeddingGenerator, GeneratorSpec, Technique};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long an idle worker waits on its job queue before checking the
 /// control channel — the upper bound on swap application latency for a
-/// completely idle shard.
+/// completely idle shard replica.
 const IDLE_CONTROL_POLL: Duration = Duration::from_millis(5);
 
-/// Per-shard control-channel depth. Swap orders are rare (one per applied
-/// plan, serialized by the engine's swap lock) and the worker drains the
-/// channel between batches, so this never fills in practice; if it ever
-/// did, the sender would briefly block until the worker catches up.
+/// Per-replica control-channel depth. Swap orders are rare (one per
+/// applied plan, serialized by the engine's swap lock) and each replica
+/// drains its channel between batches, so this never fills in practice;
+/// if it ever did, the sender would briefly block until the worker
+/// catches up.
 const CONTROL_QUEUE_CAP: usize = 32;
+
+/// How long [`Engine::apply_plan`] waits for one replica's swap
+/// acknowledgement before publishing the epoch anyway. Only a replica
+/// whose generator panicked can miss the window.
+const SWAP_ACK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Per-shard cap on buffered drift samples; when full, new samples
 /// overwrite the oldest (the drift detector only cares about *recent*
@@ -53,7 +65,8 @@ const SAMPLE_CAP: usize = 4096;
 pub struct TableConfig {
     /// What backs the table.
     pub spec: GeneratorSpec,
-    /// Seed for the synthetic weights (same seed ⇒ same table).
+    /// Seed for the synthetic weights (same seed ⇒ same table, and the
+    /// same embedding values from every replica).
     pub seed: u64,
     /// Bounded queue length, in *requests*. Submissions beyond it are
     /// rejected `QueueFull`.
@@ -75,6 +88,22 @@ impl TableConfig {
     }
 }
 
+/// How each table shard is replicated across worker threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Worker threads per table, all draining the shard's one job queue.
+    /// Each replica owns an independent generator instance (same spec,
+    /// same seed ⇒ identical outputs; private ORAM state ⇒ per-replica
+    /// trace equivalence).
+    pub replicas: usize,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy { replicas: 1 }
+    }
+}
+
 /// Engine-wide configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -82,6 +111,8 @@ pub struct EngineConfig {
     pub tables: Vec<TableConfig>,
     /// Coalescing policy, shared by every shard.
     pub policy: BatchPolicy,
+    /// Replication policy, shared by every shard.
+    pub shard: ShardPolicy,
     /// Batch size of the startup cost probe.
     pub probe_batch: usize,
     /// Repetitions of the startup cost probe.
@@ -94,6 +125,7 @@ impl EngineConfig {
         EngineConfig {
             tables,
             policy: BatchPolicy::default(),
+            shard: ShardPolicy::default(),
             probe_batch: 8,
             probe_repeats: 3,
         }
@@ -145,25 +177,37 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Where a job's answer goes. A boxed closure rather than a channel so
+/// the TCP front end can route replies straight into a connection's
+/// writer without a per-request thread or channel hop.
+type ReplyFn = Box<dyn FnOnce(Response) + Send + 'static>;
+
 struct Job {
     indices: Vec<u64>,
     deadline: Option<Instant>,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplyFn,
 }
 
-/// A control message to one shard worker: swap to the next epoch's
+/// A control message to one shard replica: swap to the next epoch's
 /// generator. Built off the worker thread so the swap itself is a pointer
 /// exchange between batches.
 struct SwapOrder {
     generator: Box<dyn EmbeddingGenerator + Send>,
     technique: Technique,
     epoch: u64,
+    /// Rendezvous of every replica of this shard: all replicas finish
+    /// their old-epoch batches before any installs the new generator.
+    barrier: Arc<Barrier>,
+    /// Tells [`Engine::apply_plan`] this replica installed its swap; the
+    /// epoch is published only once every replica has acked.
+    ack: mpsc::Sender<()>,
 }
 
 struct Shard {
     tx: Sender<Job>,
-    ctrl_tx: Sender<SwapOrder>,
+    /// One control channel per replica, in replica order.
+    ctrl_txs: Vec<Sender<SwapOrder>>,
     pending_queries: Arc<AtomicU64>,
     /// Admission-control cost, f64 bits — updated atomically on swap so
     /// the submit path never takes a lock.
@@ -231,12 +275,6 @@ impl Ticket {
             .recv()
             .unwrap_or(Response::Rejected(RejectReason::QueueFull))
     }
-
-    fn resolved(response: Response) -> Self {
-        let (tx, rx) = mpsc::channel();
-        tx.send(response).expect("receiver held");
-        Ticket { rx }
-    }
 }
 
 /// The in-process serving engine. `Arc<Engine>` is shared freely across
@@ -244,15 +282,16 @@ impl Ticket {
 pub struct Engine {
     shards: Vec<Shard>,
     policy: BatchPolicy,
+    replicas: usize,
     stats: Arc<ServerStats>,
     /// Epoch of the active allocation; bumped exactly once per applied
-    /// plan, under `swap_lock`.
+    /// plan, under `swap_lock`, after every replica acks.
     epoch: AtomicU64,
     /// Version of the most recently applied [`AllocationPlan`] (0 =
     /// startup allocation).
     plan_version: AtomicU64,
     /// Serializes [`Engine::apply_plan`] calls so epochs are totally
-    /// ordered.
+    /// ordered and at most one swap barrier is outstanding per shard.
     swap_lock: Mutex<()>,
     probe_batch: usize,
     probe_repeats: usize,
@@ -261,62 +300,80 @@ pub struct Engine {
 
 /// Everything a worker thread needs, bundled to keep the spawn site flat.
 struct WorkerSetup {
-    id: usize,
+    table: usize,
+    replica: usize,
     rx: Receiver<Job>,
     ctrl_rx: Receiver<SwapOrder>,
     generator: Box<dyn EmbeddingGenerator + Send>,
     technique: Technique,
     pending: Arc<AtomicU64>,
     stats: Arc<ServerStats>,
+    batches: Arc<AtomicU64>,
     samples: Arc<Mutex<SampleRing>>,
     policy: BatchPolicy,
 }
 
 impl Engine {
-    /// Builds every table, probes per-query costs, and starts one worker
-    /// thread per shard.
+    /// Builds every table, probes per-query costs, and starts
+    /// `shard.replicas` worker threads per shard, all draining the
+    /// shard's one job queue.
     ///
     /// # Panics
     ///
-    /// Panics if `config.tables` is empty or a table has a zero queue
-    /// capacity.
+    /// Panics if `config.tables` is empty, a table has a zero queue
+    /// capacity, or `config.shard.replicas` is zero.
     pub fn start(config: EngineConfig) -> Self {
         assert!(!config.tables.is_empty(), "engine with no tables");
+        let replicas = config.shard.replicas;
+        assert!(replicas > 0, "engine with zero replicas per shard");
         let stats = Arc::new(ServerStats::new());
+        stats.set_replicas(replicas as u64);
         let mut shards = Vec::with_capacity(config.tables.len());
-        let mut workers = Vec::with_capacity(config.tables.len());
+        let mut workers = Vec::with_capacity(config.tables.len() * replicas);
         for (id, t) in config.tables.iter().enumerate() {
             assert!(t.queue_capacity > 0, "table {id}: zero queue capacity");
-            let mut generator = t.spec.build(t.seed);
+            // Each replica owns an independent generator built from the
+            // same spec and seed: identical outputs, private ORAM state.
+            let mut generators: Vec<_> = (0..replicas).map(|_| t.spec.build(t.seed)).collect();
             let per_query_ns = t.cost_override_ns.unwrap_or_else(|| {
-                measure_cost(generator.as_mut(), config.probe_batch, config.probe_repeats)
-                    .per_query_ns
+                measure_cost(
+                    generators[0].as_mut(),
+                    config.probe_batch,
+                    config.probe_repeats,
+                )
+                .per_query_ns
             });
             let info = TableInfo {
                 rows: t.spec.rows(),
                 dim: t.spec.dim(),
-                technique: generator.technique(),
+                technique: generators[0].technique(),
                 per_query_ns,
             };
             let (tx, rx) = channel::bounded::<Job>(t.queue_capacity);
-            let (ctrl_tx, ctrl_rx) = channel::bounded::<SwapOrder>(CONTROL_QUEUE_CAP);
             let pending = Arc::new(AtomicU64::new(0));
             let samples = Arc::new(Mutex::new(SampleRing::new()));
-            let setup = WorkerSetup {
-                id,
-                rx,
-                ctrl_rx,
-                technique: info.technique,
-                generator,
-                pending: Arc::clone(&pending),
-                stats: Arc::clone(&stats),
-                samples: Arc::clone(&samples),
-                policy: config.policy,
-            };
-            workers.push(spawn_worker(setup));
+            let mut ctrl_txs = Vec::with_capacity(replicas);
+            for (replica, generator) in generators.drain(..).enumerate() {
+                let (ctrl_tx, ctrl_rx) = channel::bounded::<SwapOrder>(CONTROL_QUEUE_CAP);
+                ctrl_txs.push(ctrl_tx);
+                let setup = WorkerSetup {
+                    table: id,
+                    replica,
+                    rx: rx.clone(),
+                    ctrl_rx,
+                    technique: info.technique,
+                    generator,
+                    pending: Arc::clone(&pending),
+                    stats: Arc::clone(&stats),
+                    batches: stats.register_worker(id, replica),
+                    samples: Arc::clone(&samples),
+                    policy: config.policy,
+                };
+                workers.push(spawn_worker(setup));
+            }
             shards.push(Shard {
                 tx,
-                ctrl_tx,
+                ctrl_txs,
                 pending_queries: pending,
                 cost_ns_bits: Arc::new(AtomicU64::new(per_query_ns.to_bits())),
                 info: Arc::new(Mutex::new(info)),
@@ -327,6 +384,7 @@ impl Engine {
         Engine {
             shards,
             policy: config.policy,
+            replicas,
             stats,
             epoch: AtomicU64::new(0),
             plan_version: AtomicU64::new(0),
@@ -345,6 +403,11 @@ impl Engine {
             .collect()
     }
 
+    /// Worker threads per shard.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
     /// Shared statistics handle.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
@@ -361,7 +424,7 @@ impl Engine {
     }
 
     /// Drains the recent per-query service-time samples (nanoseconds,
-    /// amortized over coalesced batches) recorded by `table`'s worker —
+    /// amortized over coalesced batches) recorded by `table`'s workers —
     /// the feed a drift detector consumes. Returns an empty vector for an
     /// unknown table id.
     pub fn drain_samples(&self, table: usize) -> Vec<f64> {
@@ -370,16 +433,21 @@ impl Engine {
             .map_or_else(Vec::new, |s| s.samples.lock().expect("sample ring").drain())
     }
 
-    /// Applies a new allocation plan **live**: builds the replacement
-    /// generator for every table whose technique changes (on the calling
-    /// thread — never a worker's), then atomically bumps the epoch and
-    /// hands each worker its swap order. Workers exchange generators
-    /// between batches, so in-flight batches finish on the old epoch's
-    /// generator and no request is dropped or re-queued.
+    /// Applies a new allocation plan **live**: builds one replacement
+    /// generator *per replica* for every table (on the calling thread —
+    /// never a worker's), then hands each replica its swap order through
+    /// its own control channel. The replicas of a shard rendezvous on a
+    /// barrier before installing, so all old-epoch batches complete
+    /// before any new-epoch batch is dispatched — responses never mix
+    /// epochs within a table even with `replicas > 1`. In-flight batches
+    /// finish on the old epoch's generator and no request is dropped or
+    /// re-queued.
     ///
     /// Admission-control costs switch to the plan's estimates in the same
     /// critical section; a planned cost `<= 0` (unknown) is probed here on
-    /// the freshly built generator before the swap is published.
+    /// a freshly built generator before the swap is published. The engine
+    /// epoch is stored only after every replica acknowledges its swap, so
+    /// on return the whole fleet serves the new plan.
     ///
     /// Returns the new epoch.
     ///
@@ -402,31 +470,44 @@ impl Engine {
         // Build (and if necessary probe) every replacement off the swap
         // lock's critical section — construction can take seconds for
         // large ORAM tables and must not stall admission.
-        let mut orders = Vec::with_capacity(self.shards.len());
+        let mut staged = Vec::with_capacity(self.shards.len());
         for (planned, shard) in plan.tables.iter().zip(&self.shards) {
             let spec = GeneratorSpec::with_technique(
                 shard.config.spec.rows(),
                 shard.config.spec.dim(),
                 planned.technique,
             );
-            let mut generator = spec.build(shard.config.seed);
+            let mut generators: Vec<_> = (0..self.replicas)
+                .map(|_| spec.build(shard.config.seed))
+                .collect();
             let per_query_ns = if planned.per_query_ns > 0.0 {
                 planned.per_query_ns
             } else {
-                measure_cost(generator.as_mut(), self.probe_batch, self.probe_repeats).per_query_ns
+                measure_cost(generators[0].as_mut(), self.probe_batch, self.probe_repeats)
+                    .per_query_ns
             };
-            orders.push((generator, planned.technique, per_query_ns));
+            staged.push((generators, planned.technique, per_query_ns));
         }
         let _swap = self.swap_lock.lock().expect("swap lock");
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
-        for (shard, (generator, technique, per_query_ns)) in self.shards.iter().zip(orders) {
-            // A dedicated control channel: the swap order lands even when
-            // the job queue is saturated with backpressured requests.
-            let _ = shard.ctrl_tx.send(SwapOrder {
-                generator,
-                technique,
-                epoch,
-            });
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut expected_acks = 0usize;
+        for (shard, (generators, technique, per_query_ns)) in self.shards.iter().zip(staged) {
+            // One barrier per shard: its replicas install in lockstep.
+            let barrier = Arc::new(Barrier::new(shard.ctrl_txs.len()));
+            for (ctrl_tx, generator) in shard.ctrl_txs.iter().zip(generators) {
+                // A dedicated control channel per replica: the swap order
+                // lands even when the job queue is saturated with
+                // backpressured requests.
+                let _ = ctrl_tx.send(SwapOrder {
+                    generator,
+                    technique,
+                    epoch,
+                    barrier: Arc::clone(&barrier),
+                    ack: ack_tx.clone(),
+                });
+                expected_acks += 1;
+            }
             shard
                 .cost_ns_bits
                 .store(per_query_ns.to_bits(), Ordering::SeqCst);
@@ -434,60 +515,89 @@ impl Engine {
             info.technique = technique;
             info.per_query_ns = per_query_ns;
         }
+        drop(ack_tx);
+        // The epoch becomes observable only after every replica has
+        // installed its new generator; a missing ack (panicked replica)
+        // degrades to a timeout instead of wedging the controller.
+        for _ in 0..expected_acks {
+            if ack_rx.recv_timeout(SWAP_ACK_TIMEOUT).is_err() {
+                break;
+            }
+        }
         self.epoch.store(epoch, Ordering::SeqCst);
         self.plan_version.store(plan.version, Ordering::SeqCst);
         self.stats.record_plan(plan.version, epoch);
         Ok(epoch)
     }
 
-    /// Submits a request, returning immediately with a [`Ticket`].
-    /// Admission control may resolve the ticket to `Rejected` without
-    /// enqueueing anything.
-    pub fn submit(&self, request: Request) -> Ticket {
+    /// Submits a request whose response is delivered by calling `reply`
+    /// exactly once, on whatever thread resolves it — immediately on the
+    /// submitting thread for admission rejections, or on a shard worker
+    /// for served/stale requests. This is the pipelined front end's entry
+    /// point: the TCP server passes a closure that encodes the response
+    /// with its request id and hands it to the connection's writer.
+    pub fn submit_with(&self, request: Request, reply: ReplyFn) {
         let Some(shard) = self.shards.get(request.table) else {
             self.stats.record_rejected(RejectReason::UnknownTable, 0);
-            return Ticket::resolved(Response::Rejected(RejectReason::UnknownTable));
+            reply(Response::Rejected(RejectReason::UnknownTable));
+            return;
         };
         let rows = shard.config.spec.rows();
         let n = request.indices.len();
         if n == 0 || request.indices.iter().any(|&i| i >= rows) {
             self.stats.record_rejected(RejectReason::BadRequest, 0);
-            return Ticket::resolved(Response::Rejected(RejectReason::BadRequest));
+            reply(Response::Rejected(RejectReason::BadRequest));
+            return;
         }
         // SLA gate: predicted queue delay + own compute + worst-case
         // coalescing wait, against the caller's budget. The cost is the
-        // *active plan's* estimate, refreshed on every reallocation.
+        // *active plan's* estimate, refreshed on every reallocation; the
+        // queue drains `replicas`-wide, so the per-replica backlog is the
+        // shard backlog divided by the replica count.
         if let Some(deadline) = request.deadline {
             let per_query_ns = f64::from_bits(shard.cost_ns_bits.load(Ordering::SeqCst));
             let queued = shard.pending_queries.load(Ordering::Relaxed);
-            let estimate_ns =
-                (queued + n as u64) as f64 * per_query_ns + self.policy.max_wait.as_nanos() as f64;
+            let backlog = (queued + n as u64) as f64 / self.replicas as f64;
+            let estimate_ns = backlog * per_query_ns + self.policy.max_wait.as_nanos() as f64;
             if estimate_ns > deadline.as_nanos() as f64 {
                 self.stats
                     .record_rejected(RejectReason::DeadlineUnmeetable, 0);
-                return Ticket::resolved(Response::Rejected(RejectReason::DeadlineUnmeetable));
+                reply(Response::Rejected(RejectReason::DeadlineUnmeetable));
+                return;
             }
         }
         let enqueued = Instant::now();
-        let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
             deadline: request.deadline.map(|d| enqueued + d),
             indices: request.indices,
             enqueued,
-            reply: reply_tx,
+            reply,
         };
         shard.pending_queries.fetch_add(n as u64, Ordering::Relaxed);
         match shard.tx.try_send(job) {
             Ok(()) => {
                 self.stats.record_accepted(n);
-                Ticket { rx: reply_rx }
             }
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
                 shard.pending_queries.fetch_sub(n as u64, Ordering::Relaxed);
                 self.stats.record_rejected(RejectReason::QueueFull, 0);
-                Ticket::resolved(Response::Rejected(RejectReason::QueueFull))
+                (job.reply)(Response::Rejected(RejectReason::QueueFull));
             }
         }
+    }
+
+    /// Submits a request, returning immediately with a [`Ticket`].
+    /// Admission control may resolve the ticket to `Rejected` without
+    /// enqueueing anything.
+    pub fn submit(&self, request: Request) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(
+            request,
+            Box::new(move |response| {
+                let _ = tx.send(response);
+            }),
+        );
+        Ticket { rx }
     }
 
     /// Submits and blocks for the response.
@@ -504,29 +614,60 @@ impl Engine {
     }
 }
 
+/// Applies every pending swap order on this replica's control channel.
+/// Each order rendezvouses with the shard's sibling replicas before the
+/// exchange, so old- and new-epoch batches never overlap within a shard.
+fn drain_control(
+    ctrl_rx: &Receiver<SwapOrder>,
+    generator: &mut Box<dyn EmbeddingGenerator + Send>,
+    technique: &mut Technique,
+    stats: &ServerStats,
+) {
+    while let Ok(order) = ctrl_rx.try_recv() {
+        order.barrier.wait();
+        *generator = order.generator;
+        *technique = order.technique;
+        stats.record_swap_applied(order.epoch);
+        let _ = order.ack.send(());
+    }
+}
+
+/// Answers `DeadlineExceeded` for every job in `jobs` whose deadline has
+/// passed, returning the still-live remainder.
+fn shed_stale(jobs: Vec<Job>, pending: &AtomicU64, stats: &ServerStats) -> Vec<Job> {
+    let now = Instant::now();
+    let (live, stale): (Vec<Job>, Vec<Job>) = jobs
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| now <= d));
+    for job in stale {
+        pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+        stats.record_rejected(RejectReason::DeadlineExceeded, job.indices.len());
+        (job.reply)(Response::Rejected(RejectReason::DeadlineExceeded));
+    }
+    live
+}
+
 fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
     let WorkerSetup {
-        id,
+        table,
+        replica,
         rx,
         ctrl_rx,
         mut generator,
         mut technique,
         pending,
         stats,
+        batches,
         samples,
         policy,
     } = setup;
     std::thread::Builder::new()
-        .name(format!("secemb-shard-{id}"))
+        .name(format!("secemb-shard-{table}.{replica}"))
         .spawn(move || loop {
             // Apply any pending reallocation between batches: the swap is
             // a pointer exchange, so requests already dispatched ran to
             // completion on the old generator.
-            while let Ok(order) = ctrl_rx.try_recv() {
-                generator = order.generator;
-                technique = order.technique;
-                stats.record_swap_applied(order.epoch);
-            }
+            drain_control(&ctrl_rx, &mut generator, &mut technique, &stats);
             let first = match rx.recv_timeout(IDLE_CONTROL_POLL) {
                 Ok(job) => job,
                 Err(RecvTimeoutError::Timeout) => continue, // idle: re-check control
@@ -548,31 +689,26 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
                     Err(_) => break, // window elapsed or engine dropped
                 }
             }
-            let now = Instant::now();
-            let (live, stale): (Vec<Job>, Vec<Job>) = jobs
-                .into_iter()
-                .partition(|j| j.deadline.is_none_or(|d| now <= d));
-            for job in stale {
-                pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
-                stats.record_rejected(RejectReason::DeadlineExceeded, job.indices.len());
-                let _ = job
-                    .reply
-                    .send(Response::Rejected(RejectReason::DeadlineExceeded));
-            }
+            let live = shed_stale(jobs, &pending, &stats);
             if live.is_empty() {
                 continue;
             }
             // Re-drain control before dispatch: a swap ordered before these
             // requests were admitted must not be overtaken by them just
             // because the worker was already blocked on the job queue.
-            while let Ok(order) = ctrl_rx.try_recv() {
-                generator = order.generator;
-                technique = order.technique;
-                stats.record_swap_applied(order.epoch);
+            drain_control(&ctrl_rx, &mut generator, &mut technique, &stats);
+            // Re-check deadlines *immediately* before dispatch — the swap
+            // rendezvous above can block behind a sibling's batch, and a
+            // job that expired in that window must be rejected, not
+            // executed and counted as served.
+            let live = shed_stale(live, &pending, &stats);
+            if live.is_empty() {
+                continue;
             }
             let groups: Vec<Vec<u64>> = live.iter().map(|j| j.indices.clone()).collect();
             let total_queries: usize = groups.iter().map(Vec::len).sum();
             stats.record_batch(total_queries);
+            batches.fetch_add(1, Ordering::Relaxed);
             let dispatch = Instant::now();
             let outputs = execute_batch(generator.as_mut(), &groups);
             // Export the amortized service cost of this batch as one
@@ -589,7 +725,7 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
                     job.indices.len(),
                     job.enqueued.elapsed().as_nanos() as f64,
                 );
-                let _ = job.reply.send(Response::Embeddings(out));
+                (job.reply)(Response::Embeddings(out));
             }
         })
         .expect("spawn shard worker")
@@ -649,6 +785,26 @@ mod tests {
         let response = engine.call(Request::new(0, vec![3, 63, 0]));
         let out = response.embeddings().expect("accepted");
         assert_eq!(out, &reference.generate_batch(&[3, 63, 0]));
+    }
+
+    #[test]
+    fn replicated_shard_serves_identical_rows() {
+        let mut config = EngineConfig::new(vec![fast_table()]);
+        config.shard.replicas = 3;
+        let engine = Engine::start(config);
+        assert_eq!(engine.replicas(), 3);
+        let mut reference = GeneratorSpec::Scan { rows: 64, dim: 8 }.build(7);
+        // Enough requests that several replicas certainly serve some;
+        // every answer must be bit-identical to the reference build.
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|i| engine.submit(Request::new(0, vec![i % 64, (i * 7) % 64])))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let i = i as u64;
+            let expect = reference.generate_batch(&[i % 64, (i * 7) % 64]);
+            let out = t.wait();
+            assert_eq!(out.embeddings().expect("served"), &expect);
+        }
     }
 
     #[test]
@@ -714,18 +870,9 @@ mod tests {
         assert_eq!(info.technique, Technique::Dhe);
         assert_eq!(info.per_query_ns, 2_000.0);
 
-        // Wait for the worker to pick up the swap: a request that raced
-        // the swap order may legitimately still be served on the old
-        // epoch's generator.
-        let stats = engine.stats();
-        let waited = Instant::now();
-        while stats.snapshot().swaps_applied < 1 {
-            assert!(
-                waited.elapsed() < Duration::from_secs(5),
-                "swap never applied"
-            );
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        // apply_plan waits for every replica's ack before publishing the
+        // epoch, so the swap is already applied on return.
+        assert_eq!(engine.stats().snapshot().swaps_applied, 1);
 
         // Served output now matches a DHE generator built from the same
         // seed — the swap actually replaced the backend.
@@ -736,6 +883,26 @@ mod tests {
             .expect("served")
             .clone();
         assert_eq!(out, reference.generate_batch(&[5, 9]));
+    }
+
+    #[test]
+    fn apply_plan_swaps_every_replica() {
+        let mut config = EngineConfig::new(vec![fast_table()]);
+        config.shard.replicas = 4;
+        let engine = Engine::start(config);
+        let plan = plan_for(&engine, 1, &[Technique::Dhe]);
+        engine.apply_plan(&plan).expect("valid plan");
+        // One ack per replica, all collected before apply_plan returned.
+        assert_eq!(engine.stats().snapshot().swaps_applied, 4);
+        let mut reference = GeneratorSpec::Dhe { rows: 64, dim: 8 }.build(7);
+        for _ in 0..8 {
+            let out = engine
+                .call(Request::new(0, vec![5, 9]))
+                .embeddings()
+                .expect("served")
+                .clone();
+            assert_eq!(out, reference.generate_batch(&[5, 9]));
+        }
     }
 
     #[test]
@@ -802,7 +969,9 @@ mod tests {
 
     #[test]
     fn drop_joins_workers_with_requests_in_flight() {
-        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let mut config = EngineConfig::new(vec![fast_table()]);
+        config.shard.replicas = 2;
+        let engine = Engine::start(config);
         let tickets: Vec<Ticket> = (0..8)
             .map(|i| engine.submit(Request::new(0, vec![i])))
             .collect();

@@ -12,9 +12,10 @@
 //! - [`BatchPolicy`]/[`execute_batch`]: adaptive coalescing of queued
 //!   requests up to a batch-size/latency budget, as a single generator
 //!   call per dispatch.
-//! - [`Engine`]: one worker thread per table shard owning its generator
-//!   (built from a [`secemb::GeneratorSpec`]), fed by a bounded
-//!   crossbeam channel.
+//! - [`Engine`]: [`ShardPolicy::replicas`] worker threads per table
+//!   shard draining one shared MPMC queue, each owning an independent
+//!   generator (built from the same [`secemb::GeneratorSpec`] and seed,
+//!   so replicas agree on values while ORAM state stays per-replica).
 //! - Admission control: a profiled per-query cost predicts queue delay;
 //!   requests whose deadline cannot be met are rejected *before*
 //!   consuming queue space ([`RejectReason::DeadlineUnmeetable`]), full
@@ -24,7 +25,11 @@
 //! - [`ServerStats`]: per-technique query counts, queue depth,
 //!   batch-size histogram and p50/p95/p99 latency.
 //! - [`Server`]/[`Client`]: a length-prefixed binary protocol over
-//!   plain TCP, plus a paced [`loadgen`] for latency-throughput sweeps.
+//!   plain TCP. Every frame carries a client-chosen request id, so one
+//!   connection can pipeline many requests and match out-of-order
+//!   responses; the server runs a reader + writer thread per connection
+//!   and joins them all on shutdown. [`loadgen`] drives paced/Poisson
+//!   latency-throughput sweeps with a `pipeline_depth` knob.
 //!
 //! Security note: the serving layer never branches on index *values* —
 //! only on public quantities (counts, deadlines, table ids) — so the
@@ -56,8 +61,8 @@ mod server;
 mod stats;
 
 pub use batcher::{execute_batch, BatchPolicy};
-pub use client::{Client, RemoteTable};
-pub use engine::{Engine, EngineConfig, PlanError, TableConfig, TableInfo, Ticket};
+pub use client::{Client, ClientReceiver, ClientSender, RemoteTable};
+pub use engine::{Engine, EngineConfig, PlanError, ShardPolicy, TableConfig, TableInfo, Ticket};
 pub use request::{RejectReason, Request, Response};
 pub use server::Server;
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{ServerStats, StatsSnapshot, WorkerBatches};

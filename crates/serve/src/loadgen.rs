@@ -8,9 +8,12 @@ use crate::request::RejectReason;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secemb::stats::LatencySummary;
+use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// How request send times are spaced on each connection.
@@ -68,6 +71,11 @@ pub struct LoadConfig {
     pub duration: Duration,
     /// Per-request deadline sent to the server, if any.
     pub deadline: Option<Duration>,
+    /// Requests in flight per connection. 1 is the classic closed loop
+    /// (each request waits for its response); a depth `K > 1` pipelines
+    /// up to `K` id-matched requests on each connection, the way a
+    /// batching front-end multiplexes one upstream socket.
+    pub pipeline_depth: usize,
     /// RNG seed for index/table selection and Poisson arrivals.
     pub seed: u64,
 }
@@ -121,11 +129,15 @@ impl LoadReport {
 
 /// Runs one load test against a running server.
 ///
-/// Each connection issues requests on its schedule and blocks for each
-/// response, so per-connection concurrency is 1 and total concurrency is
-/// `connections`. Under [`Schedule::Paced`] sends are
-/// `connections / offered_rps` apart; under [`Schedule::Poisson`] the
-/// gaps are exponential with that mean. Either way, if the server is
+/// Each connection issues requests on its schedule with up to
+/// `pipeline_depth` in flight (depth 1 is a classic closed loop), so
+/// total concurrency is `connections * pipeline_depth`. A dedicated
+/// receiver thread per connection collects responses in completion
+/// order, matching them to send times by request id, so latency is
+/// client-observed round trip even when responses return out of order.
+/// Under [`Schedule::Paced`] sends are `connections / offered_rps`
+/// apart; under [`Schedule::Poisson`] the gaps are exponential with that
+/// mean. Either way, if the server (or an exhausted pipeline window) is
 /// slower than the schedule the pacing debt is dropped (the generator
 /// does not retroactively burst), so `achieved_rps` saturates at server
 /// capacity.
@@ -136,14 +148,15 @@ impl LoadReport {
 ///
 /// # Panics
 ///
-/// Panics if `connections`, `batch`, `tables` or `offered_rps` is
-/// zero/empty/negative, or if a requested table does not exist on the
-/// server.
+/// Panics if `connections`, `batch`, `tables`, `offered_rps` or
+/// `pipeline_depth` is zero/empty/negative, or if a requested table does
+/// not exist on the server.
 pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     assert!(config.connections > 0, "run_load: zero connections");
     assert!(config.batch > 0, "run_load: zero batch");
     assert!(!config.tables.is_empty(), "run_load: no tables");
     assert!(config.offered_rps > 0.0, "run_load: non-positive rate");
+    assert!(config.pipeline_depth > 0, "run_load: zero pipeline depth");
     // rows[i] = index domain of config.tables[i].
     let rows: Vec<u64> = {
         let mut probe = Client::connect(config.addr)?;
@@ -169,24 +182,101 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         io_error: Option<io::Error>,
     }
 
+    /// The receiver thread's share of a connection's tallies.
+    #[derive(Default)]
+    struct RecvResult {
+        latencies_ns: Vec<f64>,
+        deadline_violations: u64,
+        rejected: [u64; RejectReason::ALL.len()],
+        io_error: Option<io::Error>,
+    }
+
     let rows = &rows;
     let results: Vec<ThreadResult> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..config.connections)
             .map(|conn_id| {
-                s.spawn(move |_| {
+                s.spawn(move |s| {
                     let mut result = ThreadResult {
                         latencies_ns: Vec::new(),
                         deadline_violations: 0,
                         rejected: [0; RejectReason::ALL.len()],
                         io_error: None,
                     };
-                    let mut client = match Client::connect(config.addr) {
+                    let client = match Client::connect(config.addr) {
                         Ok(c) => c,
                         Err(e) => {
                             result.io_error = Some(e);
                             return result;
                         }
                     };
+                    let (mut sender, mut receiver) = client.into_split();
+                    let depth = config.pipeline_depth;
+                    // Depth semaphore: the sender takes a permit per send
+                    // and the receiver returns one per response, capping
+                    // requests in flight at `depth`.
+                    let (permit_tx, permit_rx) = mpsc::channel::<()>();
+                    for _ in 0..depth {
+                        permit_tx.send(()).expect("receiver end held locally");
+                    }
+                    // Send-time metadata, in send order; the receiver
+                    // drains it on demand to match ids to start times.
+                    let (meta_tx, meta_rx) = mpsc::channel::<(u64, Instant)>();
+                    // Distinguishes a deliberate teardown (sender closed
+                    // the socket after the run) from a mid-run failure.
+                    let done = Arc::new(AtomicBool::new(false));
+                    let rx_done = Arc::clone(&done);
+                    let rx_handle = s.spawn(move |_| {
+                        let mut rx = RecvResult::default();
+                        let mut inflight: HashMap<u64, Instant> = HashMap::new();
+                        loop {
+                            let (id, msg) = match receiver.recv() {
+                                Ok(reply) => reply,
+                                Err(e) => {
+                                    if !rx_done.load(Ordering::Relaxed) {
+                                        rx.io_error = Some(e);
+                                    }
+                                    break;
+                                }
+                            };
+                            // The meta for this id was sent right after
+                            // the frame, so at most a few recv()s away.
+                            let t0 = loop {
+                                if let Some(t0) = inflight.remove(&id) {
+                                    break Some(t0);
+                                }
+                                match meta_rx.recv() {
+                                    Ok((sent_id, t0)) => {
+                                        inflight.insert(sent_id, t0);
+                                    }
+                                    Err(_) => break None, // sender died mid-request
+                                }
+                            };
+                            let Some(t0) = t0 else { break };
+                            match msg {
+                                ServerMsg::Embeddings(_) => {
+                                    let elapsed = t0.elapsed();
+                                    if config.deadline.is_some_and(|d| elapsed > d) {
+                                        rx.deadline_violations += 1;
+                                    }
+                                    rx.latencies_ns.push(elapsed.as_nanos() as f64);
+                                }
+                                ServerMsg::Rejected(reason) => {
+                                    rx.rejected[reason.index()] += 1;
+                                }
+                                _ => {
+                                    rx.io_error = Some(io::Error::new(
+                                        io::ErrorKind::InvalidData,
+                                        "unexpected reply to a generate request",
+                                    ));
+                                    break;
+                                }
+                            }
+                            if permit_tx.send(()).is_err() {
+                                break; // sender finished and reclaimed
+                            }
+                        }
+                        rx
+                    });
                     let mut rng =
                         StdRng::seed_from_u64(config.seed ^ (conn_id as u64).wrapping_mul(0x9E37));
                     let end = Instant::now() + config.duration;
@@ -198,27 +288,27 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         if now < next_send {
                             std::thread::sleep(next_send - now);
                         }
+                        // The pipeline window is the backpressure point: a
+                        // full window blocks here, and the pacing debt it
+                        // causes is dropped below like any other.
+                        if permit_rx.recv().is_err() {
+                            break; // receiver died; its error is collected at join
+                        }
                         let slot = rng.gen_range(0..config.tables.len());
                         let table = config.tables[slot];
                         let indices: Vec<u64> = (0..config.batch)
                             .map(|_| rng.gen_range(0..rows[slot]))
                             .collect();
                         let t0 = Instant::now();
-                        match client.generate(table, &indices, config.deadline) {
-                            Ok(ServerMsg::Embeddings(_)) => {
-                                let elapsed = t0.elapsed();
-                                if config.deadline.is_some_and(|d| elapsed > d) {
-                                    result.deadline_violations += 1;
+                        match sender.send_generate(table, &indices, config.deadline) {
+                            Ok(id) => {
+                                if meta_tx.send((id, t0)).is_err() {
+                                    break;
                                 }
-                                result.latencies_ns.push(elapsed.as_nanos() as f64);
                             }
-                            Ok(ServerMsg::Rejected(reason)) => {
-                                result.rejected[reason.index()] += 1;
-                            }
-                            Ok(_) => unreachable!("generate() filters reply kinds"),
                             Err(e) => {
                                 result.io_error = Some(e);
-                                return result;
+                                break;
                             }
                         }
                         let gap = match config.schedule {
@@ -233,6 +323,28 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         // Schedule from the previous slot; drop debt if we
                         // fell behind rather than bursting later.
                         next_send = (next_send + gap).max(Instant::now());
+                    }
+                    // Drain: when all `depth` permits are back, every
+                    // outstanding response has been processed.
+                    if result.io_error.is_none() {
+                        for _ in 0..depth {
+                            if permit_rx.recv().is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    done.store(true, Ordering::Relaxed);
+                    sender.shutdown(); // unblock a receiver parked in recv()
+                    drop(meta_tx);
+                    if let Ok(rx) = rx_handle.join() {
+                        result.latencies_ns.extend(rx.latencies_ns);
+                        result.deadline_violations += rx.deadline_violations;
+                        for (total, n) in result.rejected.iter_mut().zip(rx.rejected) {
+                            *total += n;
+                        }
+                        if result.io_error.is_none() {
+                            result.io_error = rx.io_error;
+                        }
                     }
                     result
                 })

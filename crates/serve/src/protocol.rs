@@ -1,24 +1,29 @@
 //! The binary serving protocol.
 //!
 //! Every message travels as one length-prefixed frame
-//! ([`secemb_wire::frame`]); the payload starts with a one-byte tag.
+//! ([`secemb_wire::frame`]); the payload starts with a one-byte tag
+//! followed by a `u64` request id. The id is chosen by the client and
+//! echoed verbatim in the response, which is what makes *pipelining*
+//! possible: a client may have many requests in flight on one
+//! connection, and responses may come back out of order (the server's
+//! shards finish independently) — the id is the only correlation.
 //!
 //! Client → server:
 //!
 //! | tag | payload |
 //! |---|---|
-//! | 1 `Generate` | `u32` table, `u64` deadline ns (0 = none), `u32` count, `count × u64` indices |
-//! | 2 `Tables` | — |
-//! | 3 `Stats` | — |
+//! | 1 `Generate` | `u64` request id, `u32` table, `u64` deadline ns (0 = none), `u32` count, `count × u64` indices |
+//! | 2 `Tables` | `u64` request id |
+//! | 3 `Stats` | `u64` request id |
 //!
 //! Server → client:
 //!
 //! | tag | payload |
 //! |---|---|
-//! | 1 `Embeddings` | `u32` rows, `u32` cols, `rows·cols × f32` |
-//! | 2 `Rejected` | `u8` reason code ([`RejectReason::index`]) |
-//! | 3 `Tables` | `u32` count, then per table: `u64` rows, `u32` dim, `f64` per-query ns, string technique label |
-//! | 4 `Stats` | string (the JSON snapshot, including the active plan's `version`/`epoch` under `"plan"`) |
+//! | 1 `Embeddings` | `u64` request id, `u32` rows, `u32` cols, `rows·cols × f32` |
+//! | 2 `Rejected` | `u64` request id, `u8` reason code ([`RejectReason::index`]) |
+//! | 3 `Tables` | `u64` request id, `u32` count, then per table: `u64` rows, `u32` dim, `f64` per-query ns, string technique label |
+//! | 4 `Stats` | `u64` request id, string (the JSON snapshot, including the active plan's `version`/`epoch` under `"plan"` and the shard `"replicas"`) |
 
 use crate::engine::TableInfo;
 use crate::request::{RejectReason, Response};
@@ -101,9 +106,15 @@ pub enum ServerMsg {
 }
 
 /// Encodes a `Generate` request payload.
-pub fn encode_generate(table: usize, indices: &[u64], deadline: Option<Duration>) -> Vec<u8> {
-    let mut w = ByteWriter::with_capacity(17 + indices.len() * 8);
+pub fn encode_generate(
+    request_id: u64,
+    table: usize,
+    indices: &[u64],
+    deadline: Option<Duration>,
+) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(25 + indices.len() * 8);
     w.put_u8(TAG_GENERATE);
+    w.put_u64_le(request_id);
     w.put_u32_le(table as u32);
     w.put_u64_le(deadline.map_or(0, |d| d.as_nanos() as u64));
     w.put_u32_le(indices.len() as u32);
@@ -114,24 +125,32 @@ pub fn encode_generate(table: usize, indices: &[u64], deadline: Option<Duration>
 }
 
 /// Encodes a `Tables` request payload.
-pub fn encode_tables_request() -> Vec<u8> {
-    vec![TAG_TABLES]
+pub fn encode_tables_request(request_id: u64) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(9);
+    w.put_u8(TAG_TABLES);
+    w.put_u64_le(request_id);
+    w.into_vec()
 }
 
 /// Encodes a `Stats` request payload.
-pub fn encode_stats_request() -> Vec<u8> {
-    vec![TAG_STATS]
+pub fn encode_stats_request(request_id: u64) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(9);
+    w.put_u8(TAG_STATS);
+    w.put_u64_le(request_id);
+    w.into_vec()
 }
 
-/// Decodes a client message payload.
+/// Decodes a client message payload into its request id and message.
 ///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on a truncated payload, unknown tag, or an
 /// index count above [`MAX_INDICES`].
-pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, ProtocolError> {
+pub fn decode_client(payload: &[u8]) -> Result<(u64, ClientMsg), ProtocolError> {
     let mut r = ByteReader::new(payload);
-    match r.get_u8()? {
+    let tag = r.get_u8()?;
+    let request_id = r.get_u64_le()?;
+    let msg = match tag {
         TAG_GENERATE => {
             let table = r.get_u32_le()? as usize;
             let deadline_ns = r.get_u64_le()?;
@@ -143,24 +162,26 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, ProtocolError> {
             for _ in 0..count {
                 indices.push(r.get_u64_le()?);
             }
-            Ok(ClientMsg::Generate {
+            ClientMsg::Generate {
                 table,
                 indices,
                 deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
-            })
+            }
         }
-        TAG_TABLES => Ok(ClientMsg::Tables),
-        TAG_STATS => Ok(ClientMsg::Stats),
-        t => Err(ProtocolError::BadTag(t)),
-    }
+        TAG_TABLES => ClientMsg::Tables,
+        TAG_STATS => ClientMsg::Stats,
+        t => return Err(ProtocolError::BadTag(t)),
+    };
+    Ok((request_id, msg))
 }
 
 /// Encodes an engine [`Response`] as a server message payload.
-pub fn encode_response(response: &Response) -> Vec<u8> {
+pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
     match response {
         Response::Embeddings(m) => {
-            let mut w = ByteWriter::with_capacity(9 + m.len() * 4);
+            let mut w = ByteWriter::with_capacity(17 + m.len() * 4);
             w.put_u8(TAG_EMBEDDINGS);
+            w.put_u64_le(request_id);
             w.put_u32_le(m.rows() as u32);
             w.put_u32_le(m.cols() as u32);
             for &v in m.as_slice() {
@@ -168,14 +189,21 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             }
             w.into_vec()
         }
-        Response::Rejected(reason) => vec![TAG_REJECTED, reason.index() as u8],
+        Response::Rejected(reason) => {
+            let mut w = ByteWriter::with_capacity(10);
+            w.put_u8(TAG_REJECTED);
+            w.put_u64_le(request_id);
+            w.put_u8(reason.index() as u8);
+            w.into_vec()
+        }
     }
 }
 
 /// Encodes the `Tables` response payload.
-pub fn encode_tables(tables: &[TableInfo]) -> Vec<u8> {
+pub fn encode_tables(request_id: u64, tables: &[TableInfo]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u8(TAG_TABLES_RESP);
+    w.put_u64_le(request_id);
     w.put_u32_le(tables.len() as u32);
     for t in tables {
         w.put_u64_le(t.rows);
@@ -187,22 +215,25 @@ pub fn encode_tables(tables: &[TableInfo]) -> Vec<u8> {
 }
 
 /// Encodes the `Stats` response payload.
-pub fn encode_stats(json: &str) -> Vec<u8> {
-    let mut w = ByteWriter::with_capacity(5 + json.len());
+pub fn encode_stats(request_id: u64, json: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(13 + json.len());
     w.put_u8(TAG_STATS_RESP);
+    w.put_u64_le(request_id);
     w.put_str(json);
     w.into_vec()
 }
 
-/// Decodes a server message payload.
+/// Decodes a server message payload into its request id and message.
 ///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on truncation, an unknown tag, an unknown
 /// reject code, or an implausible embedding shape.
-pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, ProtocolError> {
+pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> {
     let mut r = ByteReader::new(payload);
-    match r.get_u8()? {
+    let tag = r.get_u8()?;
+    let request_id = r.get_u64_le()?;
+    let msg = match tag {
         TAG_EMBEDDINGS => {
             let rows = r.get_u32_le()? as usize;
             let cols = r.get_u32_le()? as usize;
@@ -214,14 +245,14 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, ProtocolError> {
             for _ in 0..elems {
                 data.push(r.get_f32_le()?);
             }
-            Ok(ServerMsg::Embeddings(Matrix::from_vec(rows, cols, data)))
+            ServerMsg::Embeddings(Matrix::from_vec(rows, cols, data))
         }
         TAG_REJECTED => {
             let code = r.get_u8()? as usize;
             let reason = *RejectReason::ALL
                 .get(code)
                 .ok_or(ProtocolError::BadField("reject code"))?;
-            Ok(ServerMsg::Rejected(reason))
+            ServerMsg::Rejected(reason)
         }
         TAG_TABLES_RESP => {
             let count = r.get_u32_le()? as usize;
@@ -236,11 +267,12 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, ProtocolError> {
                 let label = r.get_str()?;
                 tables.push((rows, dim, per_query_ns, label));
             }
-            Ok(ServerMsg::Tables(tables))
+            ServerMsg::Tables(tables)
         }
-        TAG_STATS_RESP => Ok(ServerMsg::Stats(r.get_str()?)),
-        t => Err(ProtocolError::BadTag(t)),
-    }
+        TAG_STATS_RESP => ServerMsg::Stats(r.get_str()?),
+        t => return Err(ProtocolError::BadTag(t)),
+    };
+    Ok((request_id, msg))
 }
 
 #[cfg(test)]
@@ -250,8 +282,9 @@ mod tests {
 
     #[test]
     fn generate_round_trips() {
-        let payload = encode_generate(3, &[9, 0, u64::MAX], Some(Duration::from_millis(20)));
-        let msg = decode_client(&payload).unwrap();
+        let payload = encode_generate(77, 3, &[9, 0, u64::MAX], Some(Duration::from_millis(20)));
+        let (id, msg) = decode_client(&payload).unwrap();
+        assert_eq!(id, 77);
         assert_eq!(
             msg,
             ClientMsg::Generate {
@@ -261,32 +294,44 @@ mod tests {
             }
         );
         // deadline 0 means none.
-        let msg = decode_client(&encode_generate(0, &[1], None)).unwrap();
+        let (id, msg) = decode_client(&encode_generate(u64::MAX, 0, &[1], None)).unwrap();
+        assert_eq!(id, u64::MAX);
         assert!(matches!(msg, ClientMsg::Generate { deadline: None, .. }));
     }
 
     #[test]
     fn control_messages_round_trip() {
         assert_eq!(
-            decode_client(&encode_tables_request()).unwrap(),
-            ClientMsg::Tables
+            decode_client(&encode_tables_request(4)).unwrap(),
+            (4, ClientMsg::Tables)
         );
         assert_eq!(
-            decode_client(&encode_stats_request()).unwrap(),
-            ClientMsg::Stats
+            decode_client(&encode_stats_request(5)).unwrap(),
+            (5, ClientMsg::Stats)
         );
     }
 
     #[test]
     fn responses_round_trip() {
         let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 - 1.5);
-        let back = decode_server(&encode_response(&Response::Embeddings(m.clone()))).unwrap();
-        assert_eq!(back, ServerMsg::Embeddings(m));
+        let back = decode_server(&encode_response(9, &Response::Embeddings(m.clone()))).unwrap();
+        assert_eq!(back, (9, ServerMsg::Embeddings(m)));
 
         for reason in RejectReason::ALL {
-            let back = decode_server(&encode_response(&Response::Rejected(reason))).unwrap();
-            assert_eq!(back, ServerMsg::Rejected(reason));
+            let back = decode_server(&encode_response(11, &Response::Rejected(reason))).unwrap();
+            assert_eq!(back, (11, ServerMsg::Rejected(reason)));
         }
+    }
+
+    #[test]
+    fn ids_are_echoed_not_invented() {
+        // Distinct ids on otherwise-identical messages stay distinct —
+        // the correlation a pipelined client depends on.
+        let a = encode_response(1, &Response::Rejected(RejectReason::QueueFull));
+        let b = encode_response(2, &Response::Rejected(RejectReason::QueueFull));
+        assert_ne!(a, b);
+        assert_eq!(decode_server(&a).unwrap().0, 1);
+        assert_eq!(decode_server(&b).unwrap().0, 2);
     }
 
     #[test]
@@ -297,35 +342,48 @@ mod tests {
             technique: Technique::Dhe,
             per_query_ns: 1234.5,
         };
-        let back = decode_server(&encode_tables(&[info])).unwrap();
+        let back = decode_server(&encode_tables(3, &[info])).unwrap();
         assert_eq!(
             back,
-            ServerMsg::Tables(vec![(4096, 64, 1234.5, "DHE".into())])
+            (3, ServerMsg::Tables(vec![(4096, 64, 1234.5, "DHE".into())]))
         );
 
-        let back = decode_server(&encode_stats("{\"a\":1}")).unwrap();
-        assert_eq!(back, ServerMsg::Stats("{\"a\":1}".into()));
+        let back = decode_server(&encode_stats(8, "{\"a\":1}")).unwrap();
+        assert_eq!(back, (8, ServerMsg::Stats("{\"a\":1}".into())));
     }
 
     #[test]
     fn malformed_payloads_are_errors() {
         assert_eq!(decode_client(&[]), Err(ProtocolError::Truncated));
-        assert_eq!(decode_client(&[99]), Err(ProtocolError::BadTag(99)));
-        assert_eq!(decode_server(&[77]), Err(ProtocolError::BadTag(77)));
-        // Generate claiming absurd count.
-        let mut bad = encode_generate(0, &[1], None);
-        bad[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_client(&[99, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::BadTag(99))
+        );
+        assert_eq!(
+            decode_server(&[77, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::BadTag(77))
+        );
+        // A tag with a truncated id is Truncated, not BadTag.
+        assert_eq!(
+            decode_client(&[TAG_TABLES, 0, 0]),
+            Err(ProtocolError::Truncated)
+        );
+        // Generate claiming absurd count (count field sits after tag+id+table+deadline).
+        let mut bad = encode_generate(0, 0, &[1], None);
+        bad[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_client(&bad).is_err());
         // Embeddings whose declared shape disagrees with the payload.
-        let mut bad = encode_response(&Response::Embeddings(Matrix::zeros(2, 2)));
-        bad[1..5].copy_from_slice(&3u32.to_le_bytes());
+        let mut bad = encode_response(0, &Response::Embeddings(Matrix::zeros(2, 2)));
+        bad[9..13].copy_from_slice(&3u32.to_le_bytes());
         assert_eq!(
             decode_server(&bad),
             Err(ProtocolError::BadField("embedding shape"))
         );
         // Unknown reject code.
+        let mut bad = encode_response(0, &Response::Rejected(RejectReason::QueueFull));
+        *bad.last_mut().unwrap() = 200;
         assert_eq!(
-            decode_server(&[TAG_REJECTED, 200]),
+            decode_server(&bad),
             Err(ProtocolError::BadField("reject code"))
         );
     }

@@ -1,23 +1,42 @@
 //! The TCP front end: length-prefixed frames over `std::net`.
+//!
+//! Each connection is served by a **reader** thread (the handler) and a
+//! **writer** thread around a reply channel, so one connection can have
+//! many requests in flight: the reader decodes frames and submits them to
+//! the engine with a closure that encodes the response under the frame's
+//! request id and hands it to the writer. Responses are therefore written
+//! in *completion* order, not arrival order — clients match them by id.
+//!
+//! The accept loop blocks in `accept` (no polling); `shutdown` wakes it
+//! with a self-connection, closes every live connection's stream and
+//! joins every handler thread before returning.
 
 use crate::engine::Engine;
 use crate::protocol::{decode_client, encode_response, encode_stats, encode_tables, ClientMsg};
 use crate::request::Request;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
-use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// One live connection: its handler thread plus a server-side handle on
+/// the stream so shutdown can force a blocked read to return.
+struct Connection {
+    handle: JoinHandle<()>,
+    stream: TcpStream,
+}
+
 /// A running TCP server. One OS thread accepts connections; each
-/// connection gets its own handler thread that drives the shared
-/// [`Engine`].
+/// connection gets a reader (handler) thread and a writer thread that
+/// drive the shared [`Engine`]. All of them are joined on shutdown.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
 }
 
 impl Server {
@@ -29,29 +48,49 @@ impl Server {
     /// Returns the bind error.
     pub fn start(engine: Arc<Engine>, bind: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
-        // Non-blocking accept so the loop can observe the stop flag.
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::<Connection>::new()));
         let accept_handle = {
             let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
             std::thread::Builder::new()
                 .name("secemb-accept".into())
-                .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let engine = Arc::clone(&engine);
-                                let _ = std::thread::Builder::new()
-                                    .name("secemb-conn".into())
-                                    .spawn(move || {
-                                        let _ = handle_connection(engine, stream);
-                                    });
+                .spawn(move || loop {
+                    // Blocking accept: zero idle CPU, zero accept latency.
+                    // `stop_and_join` wakes it with a self-connection.
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break; // the wakeup connection (or a late client)
                             }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(1));
+                            let mut conns = connections.lock().expect("connection registry");
+                            // Reap naturally finished connections so the
+                            // registry tracks live handlers, not history.
+                            conns.retain(|c| !c.handle.is_finished());
+                            let Ok(server_side) = stream.try_clone() else {
+                                continue;
+                            };
+                            let engine = Arc::clone(&engine);
+                            let stop = Arc::clone(&stop);
+                            let handle = std::thread::Builder::new()
+                                .name("secemb-conn".into())
+                                .spawn(move || {
+                                    let _ = handle_connection(engine, stream, stop);
+                                })
+                                .expect("spawn connection handler");
+                            conns.push(Connection {
+                                handle,
+                                stream: server_side,
+                            });
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
                             }
-                            Err(_) => break,
+                            // Transient accept failure (fd exhaustion,
+                            // aborted handshake): back off briefly.
+                            std::thread::sleep(Duration::from_millis(10));
                         }
                     }
                 })
@@ -61,6 +100,7 @@ impl Server {
             addr,
             stop,
             accept_handle: Some(accept_handle),
+            connections,
         })
     }
 
@@ -69,17 +109,30 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// Existing connections finish naturally when their clients
-    /// disconnect.
+    /// Stops accepting, closes every live connection's stream, and joins
+    /// the accept thread **and every connection handler** — no detached
+    /// threads outlive the server.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        if self.stop.swap(true, Ordering::Relaxed) {
+            return; // already shut down
+        }
+        // Wake the blocking accept with a throwaway self-connection.
+        let _ = TcpStream::connect(wake_addr(self.addr));
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
+        }
+        let mut conns = self.connections.lock().expect("connection registry");
+        for conn in conns.iter() {
+            // Force blocked reads (and writes) on the handler to return;
+            // its reader then drains and the writer flushes what it can.
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        for conn in conns.drain(..) {
+            let _ = conn.handle.join();
         }
     }
 }
@@ -90,32 +143,103 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(engine: Arc<Engine>, stream: TcpStream) -> Result<(), FrameError> {
+/// Where to self-connect to wake a listener blocked on `addr`: a wildcard
+/// bind address is not connectable, so aim at loopback on the same port.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let ip = match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, addr.port())
+}
+
+/// Reader half of one connection. Decodes frames and dispatches them;
+/// responses flow through `reply_tx` to the writer thread, each already
+/// encoded under its request id. Joins the writer before returning, so
+/// joining the handler thread joins the whole connection.
+fn handle_connection(
+    engine: Arc<Engine>,
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer_handle = std::thread::Builder::new()
+        .name("secemb-conn-wr".into())
+        .spawn(move || write_replies(stream, &reply_rx))
+        .expect("spawn connection writer");
+    let result = loop {
+        // Between frames is the safe point to observe shutdown: nothing
+        // is half-read, and in-flight requests still get their replies.
+        if stop.load(Ordering::Relaxed) {
+            break Ok(());
+        }
         let payload = match read_frame(&mut reader) {
             Ok(p) => p,
-            Err(FrameError::Closed) => return Ok(()), // client hung up
-            Err(e) => return Err(e),
+            Err(FrameError::Closed) => break Ok(()), // client hung up
+            Err(FrameError::Io(_)) if stop.load(Ordering::Relaxed) => {
+                break Ok(()); // shutdown closed the stream under us
+            }
+            Err(e) => break Err(e),
         };
-        let reply = match decode_client(&payload) {
-            Ok(ClientMsg::Generate {
-                table,
-                indices,
-                deadline,
-            }) => {
+        match decode_client(&payload) {
+            Ok((
+                id,
+                ClientMsg::Generate {
+                    table,
+                    indices,
+                    deadline,
+                },
+            )) => {
                 let mut request = Request::new(table, indices);
                 request.deadline = deadline;
-                encode_response(&engine.call(request))
+                let tx = reply_tx.clone();
+                // The engine answers on whatever thread resolves the
+                // request; the closure routes it straight to this
+                // connection's writer, tagged with the caller's id.
+                engine.submit_with(
+                    request,
+                    Box::new(move |response| {
+                        let _ = tx.send(encode_response(id, &response));
+                    }),
+                );
             }
-            Ok(ClientMsg::Tables) => encode_tables(&engine.tables()),
-            Ok(ClientMsg::Stats) => encode_stats(&engine.stats().snapshot().to_json()),
+            Ok((id, ClientMsg::Tables)) => {
+                let _ = reply_tx.send(encode_tables(id, &engine.tables()));
+            }
+            Ok((id, ClientMsg::Stats)) => {
+                let _ = reply_tx.send(encode_stats(id, &engine.stats().snapshot().to_json()));
+            }
             // A malformed frame is unrecoverable mid-stream: drop the
             // connection rather than guess at framing.
-            Err(_) => return Ok(()),
-        };
-        write_frame(&mut writer, &reply)?;
+            Err(_) => break Ok(()),
+        }
+    };
+    // Dropping our sender lets the writer exit once every in-flight
+    // request's closure has fired (or been dropped by a stopping engine).
+    drop(reply_tx);
+    let _ = writer_handle.join();
+    result
+}
+
+/// Writer half of one connection: drains encoded reply frames until every
+/// sender (the reader plus all in-flight reply closures) is gone or the
+/// socket dies. Flushes once per drained burst, not per frame.
+fn write_replies(stream: TcpStream, reply_rx: &mpsc::Receiver<Vec<u8>>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(frame) = reply_rx.recv() {
+        if write_frame(&mut writer, &frame).is_err() {
+            return;
+        }
+        while let Ok(frame) = reply_rx.try_recv() {
+            if write_frame(&mut writer, &frame).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
     }
 }

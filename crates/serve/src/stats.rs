@@ -6,7 +6,7 @@ use secemb::stats::LatencySummary;
 use secemb::Technique;
 use secemb_wire::json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Latency samples kept for percentile estimation. Once full, new samples
 /// overwrite the oldest (a sliding window over recent traffic).
@@ -37,6 +37,11 @@ pub struct ServerStats {
     plan_version: AtomicU64,
     epoch: AtomicU64,
     swaps_applied: AtomicU64,
+    replicas: AtomicU64,
+    /// One `(table, replica, batches)` entry per shard worker, registered
+    /// at engine startup; the counter itself stays lock-free on the hot
+    /// path (workers hold the `Arc` and only `fetch_add`).
+    worker_batches: Mutex<Vec<(usize, usize, Arc<AtomicU64>)>>,
     latencies_ns: Mutex<Vec<f64>>,
 }
 
@@ -99,6 +104,25 @@ impl ServerStats {
         self.swaps_applied.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the engine's replication factor (worker threads per table).
+    pub fn set_replicas(&self, replicas: u64) {
+        self.replicas.store(replicas, Ordering::Relaxed);
+    }
+
+    /// Registers one shard worker and returns its dispatched-batch
+    /// counter. Called once per worker at engine startup; the worker
+    /// increments the returned counter on every batch it dispatches, so
+    /// snapshots can show how evenly load spreads across replicas.
+    pub fn register_worker(&self, table: usize, replica: usize) -> Arc<AtomicU64> {
+        let counter = Arc::new(AtomicU64::new(0));
+        self.worker_batches.lock().expect("stats lock").push((
+            table,
+            replica,
+            Arc::clone(&counter),
+        ));
+        counter
+    }
+
     /// Queries currently admitted but not yet answered.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -136,9 +160,32 @@ impl ServerStats {
             plan_version: self.plan_version.load(Ordering::SeqCst),
             epoch: self.epoch.load(Ordering::SeqCst),
             swaps_applied: self.swaps_applied.load(Ordering::Relaxed),
+            replicas: self.replicas.load(Ordering::Relaxed),
+            worker_batches: self
+                .worker_batches
+                .lock()
+                .expect("stats lock")
+                .iter()
+                .map(|(table, replica, counter)| WorkerBatches {
+                    table: *table,
+                    replica: *replica,
+                    batches: counter.load(Ordering::Relaxed),
+                })
+                .collect(),
             latency,
         }
     }
+}
+
+/// Batches dispatched by one shard worker (one replica of one table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerBatches {
+    /// Table id the worker serves.
+    pub table: usize,
+    /// Replica index within the table's shard.
+    pub replica: usize,
+    /// Coalesced batches this worker has dispatched.
+    pub batches: u64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -163,6 +210,10 @@ pub struct StatsSnapshot {
     pub epoch: u64,
     /// Per-shard swap orders picked up by workers across all epochs.
     pub swaps_applied: u64,
+    /// Worker threads per table (the engine's replication factor).
+    pub replicas: u64,
+    /// Batches dispatched per worker, one entry per `(table, replica)`.
+    pub worker_batches: Vec<WorkerBatches>,
     /// Submission-to-reply latency over recent completed requests.
     pub latency: LatencySummary,
 }
@@ -212,6 +263,22 @@ impl StatsSnapshot {
                 ),
             ),
             ("queue_depth", Value::Num(self.queue_depth as f64)),
+            ("replicas", Value::Num(self.replicas as f64)),
+            (
+                "worker_batches",
+                Value::Arr(
+                    self.worker_batches
+                        .iter()
+                        .map(|w| {
+                            Value::obj([
+                                ("table", Value::Num(w.table as f64)),
+                                ("replica", Value::Num(w.replica as f64)),
+                                ("batches", Value::Num(w.batches as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "plan",
                 Value::obj([
@@ -337,5 +404,36 @@ mod tests {
         );
         assert!(doc.get("latency").unwrap().get("p99_ns").is_some());
         assert!(s.snapshot().to_string().contains("completed=1"));
+    }
+
+    #[test]
+    fn worker_registry_tracks_per_replica_batches() {
+        let s = ServerStats::new();
+        s.set_replicas(2);
+        let w00 = s.register_worker(0, 0);
+        let w01 = s.register_worker(0, 1);
+        w00.fetch_add(3, Ordering::Relaxed);
+        w01.fetch_add(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.replicas, 2);
+        assert_eq!(
+            snap.worker_batches,
+            vec![
+                WorkerBatches {
+                    table: 0,
+                    replica: 0,
+                    batches: 3
+                },
+                WorkerBatches {
+                    table: 0,
+                    replica: 1,
+                    batches: 5
+                },
+            ]
+        );
+        let doc = json::parse(&snap.to_json()).unwrap();
+        assert_eq!(doc.get("replicas").unwrap().as_u64(), Some(2));
+        let workers = doc.get("worker_batches").unwrap().as_arr().unwrap();
+        assert_eq!(workers[1].get("batches").unwrap().as_u64(), Some(5));
     }
 }
