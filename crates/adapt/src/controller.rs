@@ -14,11 +14,19 @@
 //! The loop can run synchronously ([`AdaptiveController::step`], used by
 //! tests and benchmarks that want deterministic phase boundaries) or on
 //! its own background thread ([`AdaptiveController::start`]).
+//!
+//! Every observation publishes the detector state into the engine's
+//! telemetry registry (`adapt_ewma_ns{table}`, `adapt_cusum_up`/`down`,
+//! `adapt_drift_ratio`, `adapt_samples_seen`, plus the controller-level
+//! `adapt_reallocations_total`, `adapt_threshold_rows` and
+//! `adapt_last_outcome`), so a `METRICS` scrape or JSONL export of the
+//! serving stack shows why — or why not — the controller acted.
 
 use crate::drift::{DriftConfig, DriftDetector};
 use crate::reprofile::{reprofile, ReprofileConfig};
 use secemb::hybrid::{choose_technique, AllocationPlan, PlannedTable};
 use secemb_serve::Engine;
+use secemb_telemetry::{Counter, Gauge, Registry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,6 +84,43 @@ pub enum StepOutcome {
     },
 }
 
+/// Per-table drift gauges exported into the engine's telemetry registry,
+/// so one `METRICS` scrape or JSONL snapshot shows the detector state
+/// alongside serving latency. Gauges hold whole-table aggregates only —
+/// never anything derived from request contents.
+struct TableGauges {
+    ewma_ns: Arc<Gauge>,
+    baseline_ns: Arc<Gauge>,
+    cusum_up: Arc<Gauge>,
+    cusum_down: Arc<Gauge>,
+    drift_ratio: Arc<Gauge>,
+    samples_seen: Arc<Gauge>,
+}
+
+impl TableGauges {
+    fn new(registry: &Registry, table: usize) -> Self {
+        let t = table.to_string();
+        let labels: [(&str, &str); 1] = [("table", &t)];
+        TableGauges {
+            ewma_ns: registry.gauge_with("adapt_ewma_ns", &labels),
+            baseline_ns: registry.gauge_with("adapt_baseline_ns", &labels),
+            cusum_up: registry.gauge_with("adapt_cusum_up", &labels),
+            cusum_down: registry.gauge_with("adapt_cusum_down", &labels),
+            drift_ratio: registry.gauge_with("adapt_drift_ratio", &labels),
+            samples_seen: registry.gauge_with("adapt_samples_seen", &labels),
+        }
+    }
+
+    fn publish(&self, detector: &DriftDetector) {
+        self.ewma_ns.set(detector.ewma_ns());
+        self.baseline_ns.set(detector.baseline_ns());
+        self.cusum_up.set(detector.cusum_up());
+        self.cusum_down.set(detector.cusum_down());
+        self.drift_ratio.set(detector.drift_ratio());
+        self.samples_seen.set(detector.samples_seen() as f64);
+    }
+}
+
 /// The drift-reacting control loop for one engine.
 pub struct AdaptiveController {
     engine: Arc<Engine>,
@@ -86,6 +131,10 @@ pub struct AdaptiveController {
     last_swap: Option<Instant>,
     reallocations: u64,
     last_plan: Option<AllocationPlan>,
+    table_gauges: Vec<TableGauges>,
+    reallocations_total: Arc<Counter>,
+    threshold_rows: Arc<Gauge>,
+    last_outcome: Arc<Gauge>,
 }
 
 impl AdaptiveController {
@@ -93,13 +142,18 @@ impl AdaptiveController {
     /// crossover) over `engine`'s tables. Detector baselines start at the
     /// engine's startup per-query cost estimates.
     pub fn new(engine: Arc<Engine>, initial_threshold: u64, config: AdaptConfig) -> Self {
-        let detectors = engine
+        let detectors: Vec<DriftDetector> = engine
             .tables()
             .iter()
             .map(|t| DriftDetector::new(config.drift, t.per_query_ns))
             .collect();
+        let registry = engine.metrics();
+        let table_gauges = (0..detectors.len())
+            .map(|table| TableGauges::new(&registry, table))
+            .collect();
+        let threshold_rows = registry.gauge("adapt_threshold_rows");
+        threshold_rows.set(initial_threshold as f64);
         AdaptiveController {
-            engine,
             config,
             detectors,
             threshold: initial_threshold,
@@ -107,6 +161,11 @@ impl AdaptiveController {
             last_swap: None,
             reallocations: 0,
             last_plan: None,
+            table_gauges,
+            reallocations_total: registry.counter("adapt_reallocations_total"),
+            threshold_rows,
+            last_outcome: registry.gauge("adapt_last_outcome"),
+            engine,
         }
     }
 
@@ -126,19 +185,40 @@ impl AdaptiveController {
         self.last_plan.as_ref()
     }
 
+    /// Drains the engine's per-table service-cost samples into the drift
+    /// detectors and publishes the detector state (`adapt_ewma_ns`,
+    /// `adapt_cusum_up`/`down`, `adapt_drift_ratio`, ... per table) into
+    /// the engine's telemetry registry. Returns whether any table shows
+    /// sustained drift.
+    ///
+    /// [`step`](Self::step) calls this internally; call it directly to
+    /// monitor drift passively — e.g. a benchmark that wants detector
+    /// readings without ever triggering a reallocation.
+    pub fn observe(&mut self) -> bool {
+        for (table, detector) in self.detectors.iter_mut().enumerate() {
+            detector.observe_all(&self.engine.drain_samples(table));
+        }
+        for (detector, gauges) in self.detectors.iter().zip(&self.table_gauges) {
+            gauges.publish(detector);
+        }
+        self.detectors.iter().any(DriftDetector::drifted)
+    }
+
     /// Runs one control step: drain samples, update detectors, and if any
     /// table drifted (outside the cooldown window) re-profile and apply a
     /// new plan. The re-profiling happens on the calling thread — in
     /// background mode that is the controller thread, never a worker.
+    ///
+    /// Each step also records its outcome in the `adapt_last_outcome`
+    /// gauge (0 = stable, 1 = cooling down, 2 = reallocated).
     pub fn step(&mut self) -> StepOutcome {
-        for (table, detector) in self.detectors.iter_mut().enumerate() {
-            detector.observe_all(&self.engine.drain_samples(table));
-        }
-        if !self.detectors.iter().any(DriftDetector::drifted) {
+        if !self.observe() {
+            self.last_outcome.set(0.0);
             return StepOutcome::Stable;
         }
         if let Some(at) = self.last_swap {
             if at.elapsed() < self.config.cooldown {
+                self.last_outcome.set(1.0);
                 return StepOutcome::CoolingDown;
             }
         }
@@ -199,6 +279,14 @@ impl AdaptiveController {
         self.last_swap = Some(Instant::now());
         self.reallocations += 1;
         self.last_plan = Some(plan);
+        // Re-publish the (rebased) detector state so exports never show
+        // pre-swap CUSUM sums against the post-swap baseline.
+        for (detector, gauges) in self.detectors.iter().zip(&self.table_gauges) {
+            gauges.publish(detector);
+        }
+        self.reallocations_total.inc();
+        self.threshold_rows.set(report.threshold as f64);
+        self.last_outcome.set(2.0);
         StepOutcome::Reallocated {
             version: self.next_version - 1,
             epoch,
@@ -356,6 +444,44 @@ mod tests {
             );
         }
         assert_eq!(c.reallocations(), 1);
+    }
+
+    #[test]
+    fn observe_publishes_gauges_without_reallocating() {
+        use secemb_telemetry::MetricValue;
+        let engine = drifting_engine();
+        let mut c = AdaptiveController::new(Arc::clone(&engine), 512, quick_config());
+        drive(&engine, 16);
+        assert!(c.observe(), "poisoned baseline must register as drift");
+        assert_eq!(c.reallocations(), 0, "observe alone never reallocates");
+        let snap = engine.metrics().snapshot();
+        let gauge = |name: &str, labels: &[(&str, &str)]| match snap.get(name, labels) {
+            Some(MetricValue::Gauge(v)) => *v,
+            other => panic!("{name}: expected gauge, got {other:?}"),
+        };
+        let table = [("table", "0")];
+        assert!(gauge("adapt_ewma_ns", &table) > 1.0);
+        assert!(gauge("adapt_drift_ratio", &table) > 1.0);
+        assert!(gauge("adapt_cusum_up", &table) > 0.0);
+        assert!(gauge("adapt_samples_seen", &table) >= 4.0);
+        assert_eq!(gauge("adapt_threshold_rows", &[]), 512.0);
+
+        // A full step reallocates, rebases the detectors, and records all
+        // three controller-level metrics.
+        assert!(matches!(c.step(), StepOutcome::Reallocated { .. }));
+        let snap = engine.metrics().snapshot();
+        let gauge = |name: &str, labels: &[(&str, &str)]| match snap.get(name, labels) {
+            Some(MetricValue::Gauge(v)) => *v,
+            other => panic!("{name}: expected gauge, got {other:?}"),
+        };
+        match snap.get("adapt_reallocations_total", &[]) {
+            Some(MetricValue::Counter(1)) => {}
+            other => panic!("reallocations_total: {other:?}"),
+        }
+        assert_eq!(gauge("adapt_last_outcome", &[]), 2.0);
+        assert_eq!(gauge("adapt_threshold_rows", &[]), c.threshold() as f64);
+        assert_eq!(gauge("adapt_samples_seen", &table), 0.0, "rebased");
+        assert_eq!(gauge("adapt_cusum_up", &table), 0.0, "rebased");
     }
 
     #[test]

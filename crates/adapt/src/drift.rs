@@ -123,6 +123,18 @@ impl DriftDetector {
         self.samples_seen
     }
 
+    /// Accumulated upward CUSUM statistic (log-ratio units); drift fires
+    /// when this exceeds [`DriftConfig::h`].
+    pub fn cusum_up(&self) -> f64 {
+        self.cusum_up
+    }
+
+    /// Accumulated downward CUSUM statistic (log-ratio units); drift
+    /// fires when this exceeds [`DriftConfig::h`].
+    pub fn cusum_down(&self) -> f64 {
+        self.cusum_down
+    }
+
     /// Re-arms the detector against a fresh baseline — called after a
     /// reallocation, when the new plan's cost estimate becomes the thing
     /// to defend.

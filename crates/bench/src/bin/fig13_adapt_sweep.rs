@@ -18,11 +18,16 @@
 //!
 //! `--tiny` shrinks tables, rates and durations to a seconds-long smoke
 //! run for CI; the numbers it prints are not meaningful measurements.
+//!
+//! The final `drift gauges:` line emits the adaptive controller's
+//! detector state (per-table EWMA/CUSUM/drift-ratio gauges, threshold,
+//! reallocation count, last outcome) as one JSON object, scraped from
+//! the adaptive engine's telemetry registry.
 
 use secemb::hybrid::Profiler;
 use secemb::{GeneratorSpec, Technique};
 use secemb_adapt::{AdaptConfig, AdaptiveController};
-use secemb_bench::{print_table, SCALE_NOTE};
+use secemb_bench::{drift_gauges_json, print_table, SCALE_NOTE};
 use secemb_dlrm::colocate::{start_disturbance, Workload};
 use secemb_serve::loadgen::{run_load, LoadConfig, LoadReport, Schedule};
 use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
@@ -99,6 +104,7 @@ fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
         deadline: Some(Duration::from_millis(20)),
         pipeline_depth: 1,
         seed,
+        record_requests: false,
     })
     .expect("load run")
 }
@@ -192,7 +198,10 @@ fn main() {
     );
     println!();
 
-    let controller = handle.stop();
+    let mut controller = handle.stop();
+    // Flush the final detector state into the adaptive engine's registry
+    // so the drift-gauge line reflects end-of-run conditions.
+    controller.observe();
     println!(
         "controller: {} reallocation(s), threshold {} -> {}",
         controller.reallocations(),
@@ -221,5 +230,9 @@ fn main() {
         "post-drift SLA miss: static {:.1}% vs adaptive {:.1}%",
         post_static.sla_miss_fraction() * 100.0,
         post_adaptive.sla_miss_fraction() * 100.0,
+    );
+    println!(
+        "drift gauges: {}",
+        drift_gauges_json(&adaptive_engine.metrics().snapshot()).to_compact()
     );
 }

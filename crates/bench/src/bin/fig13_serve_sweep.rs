@@ -15,11 +15,20 @@
 //!
 //! `--tiny` shrinks tables, rates and durations to a seconds-long smoke
 //! run for CI; the numbers it prints are not meaningful measurements.
+//!
+//! Telemetry: `--telemetry-out FILE` appends a JSONL registry snapshot
+//! after every sweep point; `--no-telemetry` disables the registry for
+//! A/B overhead runs (EXPERIMENTS.md records the delta). A passive
+//! drift monitor observes the engine's service samples between points —
+//! never reallocating — and the final `drift gauges:` line emits its
+//! detector state as one JSON object.
 
 use secemb::GeneratorSpec;
-use secemb_bench::{print_table, SCALE_NOTE};
+use secemb_adapt::{AdaptConfig, AdaptiveController};
+use secemb_bench::{drift_gauges_json, print_table, SCALE_NOTE};
 use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
+use secemb_telemetry::JsonlExporter;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,6 +44,8 @@ fn flag_value(name: &str) -> Option<String> {
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let telemetry = !std::env::args().any(|a| a == "--no-telemetry");
+    let telemetry_out = flag_value("--telemetry-out");
     let replicas: usize = flag_value("--replicas").map_or(1, |v| v.parse().expect("--replicas N"));
     let pipeline_depth: usize =
         flag_value("--pipeline-depth").map_or(1, |v| v.parse().expect("--pipeline-depth K"));
@@ -42,6 +53,9 @@ fn main() {
     assert!(pipeline_depth > 0, "--pipeline-depth must be positive");
     println!("Fig. 13 (serving): latency-throughput sweep, hybrid backend, 20 ms SLA");
     println!("replicas/table: {replicas}, pipeline depth/connection: {pipeline_depth}");
+    if !telemetry {
+        println!("telemetry: disabled (overhead A/B run)");
+    }
     println!("{SCALE_NOTE}\n");
 
     let threshold = 100_000;
@@ -80,6 +94,7 @@ fn main() {
         max_wait: Duration::from_micros(500),
     };
     config.shard.replicas = replicas;
+    config.telemetry = telemetry;
 
     eprintln!("building tables and probing costs...");
     let engine = Arc::new(Engine::start(config));
@@ -91,6 +106,23 @@ fn main() {
     }
     let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind ephemeral port");
     let addr = server.addr();
+    let _exporter = telemetry_out.as_ref().map(|path| {
+        let interval = Duration::from_millis(if tiny { 100 } else { 500 });
+        match JsonlExporter::start(engine.metrics(), std::path::Path::new(path), interval) {
+            Ok(exporter) => {
+                eprintln!("telemetry -> {path} every {interval:?}");
+                exporter
+            }
+            Err(e) => {
+                eprintln!("telemetry out {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    // A passive drift monitor: observes the engine's live service-cost
+    // samples after each sweep point (publishing adapt_* gauges) but
+    // never triggers a reallocation — step() is never called.
+    let mut monitor = AdaptiveController::new(Arc::clone(&engine), threshold, AdaptConfig::new(64));
     println!();
 
     for (label, table) in [("table 0 (small)", 0), ("table 1 (large)", 1)] {
@@ -108,8 +140,10 @@ fn main() {
                 deadline: Some(Duration::from_millis(20)),
                 pipeline_depth,
                 seed: 1,
+                record_requests: false,
             })
             .expect("load run");
+            monitor.observe();
             rows_out.push(vec![
                 format!("{rate:.0}"),
                 format!("{:.0}", report.achieved_rps),
@@ -148,8 +182,10 @@ fn main() {
             deadline: Some(Duration::from_millis(20)),
             pipeline_depth,
             seed: 1,
+            record_requests: false,
         })
         .expect("load run");
+        monitor.observe();
         rows_out.push(vec![
             format!("{rate:.0}"),
             format!("{:.0}", report.achieved_rps),
@@ -166,4 +202,8 @@ fn main() {
 
     let snap = engine.stats().snapshot();
     println!("server stats after sweep:\n{snap}");
+    println!(
+        "drift gauges: {}",
+        drift_gauges_json(&engine.metrics().snapshot()).to_compact()
+    );
 }

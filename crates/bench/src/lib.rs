@@ -9,7 +9,9 @@
 
 #![forbid(unsafe_code)]
 
+use secemb_telemetry::RegistrySnapshot;
 use secemb_tensor::Matrix;
+use secemb_wire::json::Value;
 use std::time::Instant;
 
 /// Scaling disclaimer printed by the binaries.
@@ -78,6 +80,22 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
     for row in rows {
         line(row);
+    }
+}
+
+/// The drift-detector view of a telemetry registry snapshot, as one JSON
+/// object: every `adapt_*` metric (per-table EWMA/CUSUM/drift-ratio
+/// gauges plus the controller-level threshold, outcome and reallocation
+/// counts), keyed `name{labels}`. Empty when no controller is attached
+/// or telemetry is disabled.
+pub fn drift_gauges_json(snapshot: &RegistrySnapshot) -> Value {
+    match snapshot.to_json() {
+        Value::Obj(map) => Value::Obj(
+            map.into_iter()
+                .filter(|(key, _)| key.starts_with("adapt_"))
+                .collect(),
+        ),
+        other => other,
     }
 }
 
@@ -198,6 +216,22 @@ mod tests {
         for rows in [1u64, 100, 1_000_000] {
             assert!((curve.eval(rows) - 42.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn drift_gauges_json_keeps_only_adapt_metrics() {
+        let r = secemb_telemetry::Registry::new();
+        r.gauge("adapt_drift_ratio").set(1.5);
+        r.counter("adapt_reallocations_total").inc();
+        r.counter("requests_completed_total").inc();
+        let s = drift_gauges_json(&r.snapshot()).to_compact();
+        assert!(s.contains("adapt_drift_ratio"), "{s}");
+        assert!(s.contains("adapt_reallocations_total"), "{s}");
+        assert!(!s.contains("requests_completed_total"), "{s}");
+        // Disabled registries export nothing.
+        let off = secemb_telemetry::Registry::disabled();
+        off.gauge("adapt_drift_ratio").set(1.5);
+        assert_eq!(drift_gauges_json(&off.snapshot()).to_compact(), "{}");
     }
 
     #[test]

@@ -123,6 +123,21 @@ pub trait EmbeddingGenerator {
 
     /// Bytes of model state this generator keeps resident.
     fn memory_bytes(&self) -> u64;
+
+    /// Cumulative ORAM access statistics, for generators backed by an
+    /// oblivious RAM controller (`None` otherwise).
+    ///
+    /// Whole-workload aggregates only — exposing them cannot reveal
+    /// which embedding indices were requested.
+    fn access_stats(&self) -> Option<secemb_oram::AccessStats> {
+        None
+    }
+
+    /// Current ORAM stash occupancy in blocks, for generators backed by
+    /// a stash-holding controller (`None` otherwise).
+    fn stash_occupancy(&self) -> Option<usize> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,14 @@ impl EmbeddingGenerator for OramTable {
     fn memory_bytes(&self) -> u64 {
         self.oram.memory_bytes()
     }
+
+    fn access_stats(&self) -> Option<secemb_oram::AccessStats> {
+        Some(self.oram.stats())
+    }
+
+    fn stash_occupancy(&self) -> Option<usize> {
+        Some(self.oram.stash_occupancy())
+    }
 }
 
 #[cfg(test)]

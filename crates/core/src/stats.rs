@@ -65,6 +65,44 @@ impl LatencySummary {
             max_ns: sorted[sorted.len() - 1],
         }
     }
+
+    /// Summarizes a histogram given as ascending `(upper_bound_ns,
+    /// count)` buckets plus the exact sum of the recorded samples.
+    ///
+    /// Percentiles are nearest-rank over the bucket counts: each
+    /// reported value is the upper bound of the bucket containing that
+    /// rank, so the error is bounded by the histogram's bucket width.
+    /// The mean uses the exact `sum_ns`, not bucket midpoints.
+    pub fn from_bucket_counts(sum_ns: f64, buckets: &[(f64, u64)]) -> Self {
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        if count == 0 {
+            return Self::from_sorted_ns(&[]);
+        }
+        let rank_value = |p: f64| -> f64 {
+            let rank = (((p / 100.0) * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for &(upper, c) in buckets {
+                seen += c;
+                if seen >= rank {
+                    return upper;
+                }
+            }
+            buckets[buckets.len() - 1].0
+        };
+        LatencySummary {
+            count: count as usize,
+            mean_ns: sum_ns / count as f64,
+            p50_ns: rank_value(50.0),
+            p95_ns: rank_value(95.0),
+            p99_ns: rank_value(99.0),
+            max_ns: buckets
+                .iter()
+                .rev()
+                .find(|&&(_, c)| c > 0)
+                .map(|&(u, _)| u)
+                .unwrap_or(0.0),
+        }
+    }
 }
 
 impl std::fmt::Display for LatencySummary {
@@ -119,5 +157,31 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn percentile_rejects_bad_p() {
         percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn bucket_summary_pins_known_percentiles() {
+        // 100 samples: 50 at <=1000, 30 at <=2000, 15 at <=3000, 5 at <=4000.
+        let buckets = [(1000.0, 50u64), (2000.0, 30), (3000.0, 15), (4000.0, 5)];
+        let sum = 50.0 * 1000.0 + 30.0 * 2000.0 + 15.0 * 3000.0 + 5.0 * 4000.0;
+        let s = LatencySummary::from_bucket_counts(sum, &buckets);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 1000.0, "rank 50 lands in the first bucket");
+        assert_eq!(s.p95_ns, 3000.0, "rank 95 lands in the third bucket");
+        assert_eq!(s.p99_ns, 4000.0, "rank 99 lands in the last bucket");
+        assert_eq!(s.max_ns, 4000.0);
+        assert_eq!(s.mean_ns, sum / 100.0);
+    }
+
+    #[test]
+    fn bucket_summary_empty_and_trailing_zeros() {
+        let s = LatencySummary::from_bucket_counts(0.0, &[]);
+        assert_eq!(s.count, 0);
+        let s = LatencySummary::from_bucket_counts(10.0, &[(10.0, 1), (20.0, 0)]);
+        assert_eq!(
+            s.max_ns, 10.0,
+            "empty trailing buckets must not inflate max"
+        );
+        assert_eq!(s.p99_ns, 10.0);
     }
 }

@@ -172,6 +172,42 @@ impl CostModel {
         }
         ((footprint_bytes - self.epc_bytes) as f64 / 4096.0) * self.page_swap_ns
     }
+
+    /// Modeled enclave event counts for the counted work — the discrete
+    /// events behind [`CostModel::cost_ns`], exported as telemetry
+    /// gauges by the serving layer.
+    ///
+    /// All inputs are whole-workload aggregates; none of the outputs can
+    /// distinguish *which* blocks were accessed.
+    pub fn counters(&self, stats: &AccessStats) -> EnclaveCounters {
+        let buckets = (stats.bucket_reads + stats.bucket_writes) as f64;
+        let ocalls = (stats.accesses as f64 * self.crossings_per_access
+            + buckets * self.crossings_per_bucket)
+            .round() as u64;
+        let epc_page_swaps = if stats.bytes_moved > self.epc_bytes {
+            (stats.bytes_moved - self.epc_bytes).div_ceil(4096)
+        } else {
+            0
+        };
+        EnclaveCounters {
+            ocalls,
+            epc_page_swaps,
+            // Every byte crossing the tree/stash boundary passes through
+            // the memory-encryption engine.
+            encrypted_bytes: stats.bytes_moved,
+        }
+    }
+}
+
+/// Discrete enclave event counts modeled from [`AccessStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnclaveCounters {
+    /// Enclave boundary crossings (ecall/ocall pairs).
+    pub ocalls: u64,
+    /// 4 KiB EPC pages swapped because the working set exceeded the EPC.
+    pub epc_page_swaps: u64,
+    /// Bytes passed through the memory-encryption engine.
+    pub encrypted_bytes: u64,
 }
 
 #[cfg(test)]
@@ -187,7 +223,27 @@ mod tests {
             stash_slots_scanned: 80 * 150,
             posmap_accesses: 1,
             bytes_moved: 36 * 1088,
+            evictions: 1,
         }
+    }
+
+    #[test]
+    fn counters_track_crossings_and_paging() {
+        let s = sample_stats();
+        let inside = CostModel::scalable_sgx();
+        // Tree in-enclave: one crossing pair per access, none per bucket.
+        assert_eq!(inside.counters(&s).ocalls, 1);
+        assert_eq!(inside.counters(&s).encrypted_bytes, s.bytes_moved);
+        assert_eq!(inside.counters(&s).epc_page_swaps, 0);
+
+        let outside = CostModel::zerotrace(ZeroTraceVariant::Original);
+        // Tree outside: every bucket transfer crosses the boundary too.
+        assert_eq!(outside.counters(&s).ocalls, 1 + 36);
+
+        let mut tiny_epc = inside;
+        tiny_epc.epc_bytes = 4096;
+        let swaps = tiny_epc.counters(&s).epc_page_swaps;
+        assert_eq!(swaps, (s.bytes_moved - 4096).div_ceil(4096));
     }
 
     #[test]

@@ -216,6 +216,7 @@ impl CircuitOram {
         }
         self.stats.bucket_writes += (levels + 1) as u64;
         self.stats.bytes_moved += (levels as u64 + 1) * self.tree.bucket_bytes();
+        self.stats.evictions += 1;
     }
 }
 
@@ -277,6 +278,10 @@ impl Oram for CircuitOram {
         let mut s = self.stats;
         s.merge(&self.posmap.inner_stats());
         s
+    }
+
+    fn stash_occupancy(&self) -> usize {
+        self.stash.occupancy()
     }
 
     fn reset_stats(&mut self) {

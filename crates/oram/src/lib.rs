@@ -104,6 +104,14 @@ pub trait Oram {
     /// Cumulative access statistics.
     fn stats(&self) -> AccessStats;
 
+    /// Current stash occupancy in blocks (0 for stash-less schemes).
+    ///
+    /// A whole-structure quantity sampled between accesses — safe to
+    /// export as a gauge without leaking which block was requested.
+    fn stash_occupancy(&self) -> usize {
+        0
+    }
+
     /// Resets the statistics counters.
     fn reset_stats(&mut self);
 

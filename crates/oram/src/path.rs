@@ -126,6 +126,7 @@ impl Oram for PathOram {
             self.stats.bucket_writes += 1;
             self.stats.bytes_moved += self.tree.bucket_bytes();
         }
+        self.stats.evictions += 1;
         data
     }
 
@@ -141,6 +142,10 @@ impl Oram for PathOram {
         let mut s = self.stats;
         s.merge(&self.posmap.inner_stats());
         s
+    }
+
+    fn stash_occupancy(&self) -> usize {
+        self.stash.occupancy()
     }
 
     fn reset_stats(&mut self) {

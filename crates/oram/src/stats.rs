@@ -22,6 +22,10 @@ pub struct AccessStats {
     pub posmap_accesses: u64,
     /// Total payload bytes moved between tree and stash.
     pub bytes_moved: u64,
+    /// Eviction passes performed (path write-backs for Path ORAM, evict
+    /// rounds for Circuit ORAM). A per-access-shape count, never keyed
+    /// by block identity.
+    pub evictions: u64,
 }
 
 impl AccessStats {
@@ -35,6 +39,7 @@ impl AccessStats {
         self.stash_slots_scanned += other.stash_slots_scanned;
         self.posmap_accesses += other.posmap_accesses;
         self.bytes_moved += other.bytes_moved;
+        self.evictions += other.evictions;
     }
 
     /// Mean buckets touched (read + write) per logical access.

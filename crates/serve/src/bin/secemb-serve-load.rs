@@ -5,7 +5,8 @@
 //! ```text
 //! secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N]
 //!                   [--secs S] [--deadline-ms D] [--schedule paced|poisson]
-//!                   [--pipeline-depth K] [--rate R]...
+//!                   [--pipeline-depth K] [--rate R]... [--out FILE]
+//!                   [--scrape-metrics]
 //! ```
 //!
 //! `--deadline-ms 0` sends no deadline. Each `--rate` adds one sweep
@@ -13,11 +14,16 @@
 //! over the listed tables; `--schedule poisson` replaces the fixed pacing
 //! with exponential inter-arrival gaps at the same mean rate;
 //! `--pipeline-depth K` keeps up to K id-matched requests in flight per
-//! connection (default 1, the classic closed loop).
+//! connection (default 1, the classic closed loop). `--out FILE` appends
+//! one JSON line per answered request (latency, per-stage breakdown,
+//! table, SLA verdict, reject reason); `--scrape-metrics` fetches the
+//! server's Prometheus `METRICS` frame after the sweep and prints it.
 
 use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::Client;
+use std::io::Write;
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
@@ -30,13 +36,15 @@ struct Args {
     schedule: Schedule,
     pipeline_depth: usize,
     rates: Vec<f64>,
+    out: Option<PathBuf>,
+    scrape_metrics: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N] \
          [--secs S] [--deadline-ms D] [--schedule paced|poisson] [--pipeline-depth K] \
-         [--rate R]..."
+         [--rate R]... [--out FILE] [--scrape-metrics]"
     );
     std::process::exit(2);
 }
@@ -53,6 +61,8 @@ fn parse_args() -> Args {
         schedule: Schedule::Paced,
         pipeline_depth: 1,
         rates: Vec::new(),
+        out: None,
+        scrape_metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +89,8 @@ fn parse_args() -> Args {
                 }
             }
             "--rate" => args.rates.push(value().parse().unwrap_or_else(|_| usage())),
+            "--out" => args.out = Some(PathBuf::from(value())),
+            "--scrape-metrics" => args.scrape_metrics = true,
             _ => usage(),
         }
     }
@@ -97,6 +109,12 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let mut out = args.out.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("create {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
 
     let tables = match Client::connect(args.addr).and_then(|mut c| c.tables()) {
         Ok(t) => t,
@@ -140,20 +158,50 @@ fn main() {
             deadline: args.deadline,
             pipeline_depth: args.pipeline_depth,
             seed: 1,
+            record_requests: out.is_some(),
         });
         match report {
-            Ok(r) => println!(
-                "{:>10.0} {:>10.0} {:>9.2} {:>9.2} {:>9.2} {:>7.1}% {:>7.1}%",
-                r.offered_rps,
-                r.achieved_rps,
-                r.latency.p50_ns / 1e6,
-                r.latency.p95_ns / 1e6,
-                r.latency.p99_ns / 1e6,
-                r.rejected_fraction() * 100.0,
-                r.sla_miss_fraction() * 100.0
-            ),
+            Ok(r) => {
+                println!(
+                    "{:>10.0} {:>10.0} {:>9.2} {:>9.2} {:>9.2} {:>7.1}% {:>7.1}%",
+                    r.offered_rps,
+                    r.achieved_rps,
+                    r.latency.p50_ns / 1e6,
+                    r.latency.p95_ns / 1e6,
+                    r.latency.p99_ns / 1e6,
+                    r.rejected_fraction() * 100.0,
+                    r.sla_miss_fraction() * 100.0
+                );
+                if let Some(file) = out.as_mut() {
+                    for record in &r.records {
+                        // Stamp each record with its sweep point so one
+                        // file covers the whole sweep.
+                        let line = record.to_json();
+                        let line = format!(
+                            "{{\"offered_rps\":{rate},{}",
+                            line.strip_prefix('{').expect("record json object")
+                        );
+                        if writeln!(file, "{line}").is_err() {
+                            eprintln!("write records: short write");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("rate {rate}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.out {
+        eprintln!("per-request records -> {}", path.display());
+    }
+    if args.scrape_metrics {
+        match Client::connect(args.addr).and_then(|mut c| c.metrics_text()) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("scrape metrics: {e}");
                 std::process::exit(1);
             }
         }

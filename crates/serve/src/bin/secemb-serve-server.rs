@@ -3,15 +3,21 @@
 //! ```text
 //! secemb-serve-server [--listen ADDR] [--table SPEC]... [--max-batch N]
 //!                     [--max-wait-us N] [--queue N] [--seed N]
-//!                     [--replicas N]
+//!                     [--replicas N] [--telemetry-out FILE]
+//!                     [--stats-interval S] [--no-telemetry]
 //! ```
 //!
 //! `SPEC` is `TECH:ROWSxDIM` (`lookup|scan|path|circuit|dhe`) or
 //! `hybrid:ROWSxDIM:THRESHOLD`; repeat `--table` for multiple shards.
 //! Defaults serve a scan+DHE hybrid pair resembling a small DLRM.
+//! `--telemetry-out FILE` appends a JSONL registry snapshot every
+//! `--stats-interval` seconds; `--no-telemetry` disables the metrics
+//! registry entirely (responses still carry stage breakdowns).
 
 use secemb::GeneratorSpec;
 use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
+use secemb_telemetry::JsonlExporter;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,12 +29,16 @@ struct Args {
     queue: usize,
     seed: u64,
     replicas: usize,
+    telemetry_out: Option<PathBuf>,
+    stats_interval: Duration,
+    telemetry: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-serve-server [--listen ADDR] [--table SPEC]... \
-         [--max-batch N] [--max-wait-us N] [--queue N] [--seed N] [--replicas N]\n\
+         [--max-batch N] [--max-wait-us N] [--queue N] [--seed N] [--replicas N] \
+         [--telemetry-out FILE] [--stats-interval S] [--no-telemetry]\n\
          SPEC: lookup|scan|path|circuit|dhe:ROWSxDIM, or hybrid:ROWSxDIM:THRESHOLD"
     );
     std::process::exit(2);
@@ -43,6 +53,9 @@ fn parse_args() -> Args {
         queue: 1024,
         seed: 42,
         replicas: 1,
+        telemetry_out: None,
+        stats_interval: Duration::from_secs(10),
+        telemetry: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +81,15 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--telemetry-out" => args.telemetry_out = Some(PathBuf::from(value())),
+            "--stats-interval" => {
+                let secs: f64 = value().parse().unwrap_or_else(|_| usage());
+                if secs <= 0.0 {
+                    usage();
+                }
+                args.stats_interval = Duration::from_secs_f64(secs);
+            }
+            "--no-telemetry" => args.telemetry = false,
             _ => usage(),
         }
     }
@@ -108,6 +130,7 @@ fn main() {
         max_wait: args.max_wait,
     };
     config.shard.replicas = args.replicas;
+    config.telemetry = args.telemetry;
 
     eprintln!(
         "building {} table(s) x {} replica(s) and probing costs...",
@@ -131,10 +154,30 @@ fn main() {
     };
     eprintln!("listening on {}", server.addr());
 
-    // Serve until killed, printing a stats line every 10 s of activity.
+    // Periodic JSONL registry snapshots, if requested. The exporter runs
+    // its own thread; holding the handle keeps it alive for the server's
+    // lifetime.
+    let _exporter = args.telemetry_out.as_ref().map(|path| {
+        match JsonlExporter::start(engine.metrics(), path, args.stats_interval) {
+            Ok(exporter) => {
+                eprintln!(
+                    "telemetry -> {} every {:?}",
+                    path.display(),
+                    args.stats_interval
+                );
+                exporter
+            }
+            Err(e) => {
+                eprintln!("telemetry out {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    });
+
+    // Serve until killed, printing a stats line per interval of activity.
     let mut last_completed = 0;
     loop {
-        std::thread::sleep(Duration::from_secs(10));
+        std::thread::sleep(args.stats_interval);
         let snap = engine.stats().snapshot();
         if snap.completed != last_completed {
             last_completed = snap.completed;

@@ -11,7 +11,8 @@
 //! shared lock.
 
 use crate::protocol::{
-    decode_server, encode_generate, encode_stats_request, encode_tables_request, ServerMsg,
+    decode_server, encode_generate, encode_metrics_request, encode_stats_request,
+    encode_tables_request, ServerMsg,
 };
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::collections::{HashSet, VecDeque};
@@ -195,7 +196,7 @@ impl Client {
             return Err(bad_reply("response for an id never sent"));
         }
         match msg {
-            msg @ (ServerMsg::Embeddings(_) | ServerMsg::Rejected(_)) => Ok((id, msg)),
+            msg @ (ServerMsg::Embeddings(..) | ServerMsg::Rejected(_)) => Ok((id, msg)),
             _ => Err(bad_reply("expected embeddings or rejection")),
         }
     }
@@ -239,7 +240,7 @@ impl Client {
     ) -> io::Result<ServerMsg> {
         let id = self.fresh_id();
         match self.round_trip(id, &encode_generate(id, table, indices, deadline))? {
-            msg @ (ServerMsg::Embeddings(_) | ServerMsg::Rejected(_)) => Ok(msg),
+            msg @ (ServerMsg::Embeddings(..) | ServerMsg::Rejected(_)) => Ok(msg),
             _ => Err(bad_reply("expected embeddings or rejection")),
         }
     }
@@ -275,6 +276,20 @@ impl Client {
         match self.round_trip(id, &encode_stats_request(id))? {
             ServerMsg::Stats(json) => Ok(json),
             _ => Err(bad_reply("expected stats")),
+        }
+    }
+
+    /// Fetches the server's full metrics registry in Prometheus text
+    /// exposition format.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_metrics_request(id))? {
+            ServerMsg::Metrics(text) => Ok(text),
+            _ => Err(bad_reply("expected metrics")),
         }
     }
 }

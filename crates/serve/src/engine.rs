@@ -33,6 +33,8 @@ use crate::stats::ServerStats;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use secemb::hybrid::AllocationPlan;
 use secemb::{measure_cost, EmbeddingGenerator, GeneratorSpec, Technique};
+use secemb_enclave::CostModel;
+use secemb_telemetry::{Counter, Gauge, Registry, Stage, StageBreakdown};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
@@ -117,6 +119,11 @@ pub struct EngineConfig {
     pub probe_batch: usize,
     /// Repetitions of the startup cost probe.
     pub probe_repeats: usize,
+    /// Whether the metrics registry records (default true). With
+    /// telemetry off the registry hands out inert handles — the code
+    /// path is identical, only the atomic stores are skipped — and
+    /// responses still carry their stage breakdowns.
+    pub telemetry: bool,
 }
 
 impl EngineConfig {
@@ -128,6 +135,7 @@ impl EngineConfig {
             shard: ShardPolicy::default(),
             probe_batch: 8,
             probe_repeats: 3,
+            telemetry: true,
         }
     }
 }
@@ -186,6 +194,11 @@ struct Job {
     indices: Vec<u64>,
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// Time spent in validation + admission control before enqueue.
+    admit_ns: u64,
+    /// When a worker popped this job off the shard queue (initialized to
+    /// `enqueued`; overwritten at dequeue).
+    dequeued: Instant,
     reply: ReplyFn,
 }
 
@@ -308,9 +321,69 @@ struct WorkerSetup {
     technique: Technique,
     pending: Arc<AtomicU64>,
     stats: Arc<ServerStats>,
-    batches: Arc<AtomicU64>,
+    batches: Arc<Counter>,
+    probes: WorkerProbes,
     samples: Arc<Mutex<SampleRing>>,
     policy: BatchPolicy,
+}
+
+/// Per-worker gauges for the layers *below* the serving stack: ORAM
+/// controller aggregates (stash occupancy, eviction passes, bucket
+/// traffic) and modeled enclave event counts derived from the same
+/// [`secemb_oram::AccessStats`] through a [`CostModel`].
+///
+/// Everything published here is a whole-batch aggregate over access
+/// *shapes* — bucket counts, byte volumes, stash depth — never anything
+/// keyed by which embedding index was requested, so exporting it does not
+/// re-open the side channel the generators close.
+struct WorkerProbes {
+    stash: Arc<Gauge>,
+    evictions: Arc<Gauge>,
+    bucket_reads: Arc<Gauge>,
+    bucket_writes: Arc<Gauge>,
+    bytes_moved: Arc<Gauge>,
+    ocalls: Arc<Gauge>,
+    epc_page_swaps: Arc<Gauge>,
+    encrypted_bytes: Arc<Gauge>,
+    cost_model: CostModel,
+}
+
+impl WorkerProbes {
+    fn new(registry: &Registry, table: usize, replica: usize) -> Self {
+        let t = table.to_string();
+        let r = replica.to_string();
+        let labels: [(&str, &str); 2] = [("table", &t), ("replica", &r)];
+        WorkerProbes {
+            stash: registry.gauge_with("oram_stash_occupancy", &labels),
+            evictions: registry.gauge_with("oram_evictions", &labels),
+            bucket_reads: registry.gauge_with("oram_bucket_reads", &labels),
+            bucket_writes: registry.gauge_with("oram_bucket_writes", &labels),
+            bytes_moved: registry.gauge_with("oram_bytes_moved", &labels),
+            ocalls: registry.gauge_with("enclave_ocalls", &labels),
+            epc_page_swaps: registry.gauge_with("enclave_epc_page_swaps", &labels),
+            encrypted_bytes: registry.gauge_with("enclave_encrypted_bytes", &labels),
+            cost_model: CostModel::scalable_sgx(),
+        }
+    }
+
+    /// Publishes this replica's cumulative below-serve aggregates. Called
+    /// once per dispatched batch; a no-op for generators that expose no
+    /// access statistics (e.g. linear scan, DHE).
+    fn publish(&self, generator: &dyn EmbeddingGenerator) {
+        if let Some(stats) = generator.access_stats() {
+            self.evictions.set(stats.evictions as f64);
+            self.bucket_reads.set(stats.bucket_reads as f64);
+            self.bucket_writes.set(stats.bucket_writes as f64);
+            self.bytes_moved.set(stats.bytes_moved as f64);
+            let c = self.cost_model.counters(&stats);
+            self.ocalls.set(c.ocalls as f64);
+            self.epc_page_swaps.set(c.epc_page_swaps as f64);
+            self.encrypted_bytes.set(c.encrypted_bytes as f64);
+        }
+        if let Some(occ) = generator.stash_occupancy() {
+            self.stash.set(occ as f64);
+        }
+    }
 }
 
 impl Engine {
@@ -326,7 +399,12 @@ impl Engine {
         assert!(!config.tables.is_empty(), "engine with no tables");
         let replicas = config.shard.replicas;
         assert!(replicas > 0, "engine with zero replicas per shard");
-        let stats = Arc::new(ServerStats::new());
+        let registry = Arc::new(if config.telemetry {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        });
+        let stats = Arc::new(ServerStats::with_registry(Arc::clone(&registry)));
         stats.set_replicas(replicas as u64);
         let mut shards = Vec::with_capacity(config.tables.len());
         let mut workers = Vec::with_capacity(config.tables.len() * replicas);
@@ -366,6 +444,7 @@ impl Engine {
                     pending: Arc::clone(&pending),
                     stats: Arc::clone(&stats),
                     batches: stats.register_worker(id, replica),
+                    probes: WorkerProbes::new(&registry, id, replica),
                     samples: Arc::clone(&samples),
                     policy: config.policy,
                 };
@@ -411,6 +490,18 @@ impl Engine {
     /// Shared statistics handle.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The metrics registry behind [`Engine::stats`]. Inert (records
+    /// nothing, snapshots empty) when the engine was started with
+    /// `telemetry: false`.
+    pub fn metrics(&self) -> Arc<Registry> {
+        self.stats.registry()
+    }
+
+    /// Renders the full registry in Prometheus text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.stats.render_prometheus()
     }
 
     /// The epoch of the active allocation (bumped once per applied plan).
@@ -537,6 +628,7 @@ impl Engine {
     /// point: the TCP server passes a closure that encodes the response
     /// with its request id and hands it to the connection's writer.
     pub fn submit_with(&self, request: Request, reply: ReplyFn) {
+        let t0 = Instant::now();
         let Some(shard) = self.shards.get(request.table) else {
             self.stats.record_rejected(RejectReason::UnknownTable, 0);
             reply(Response::Rejected(RejectReason::UnknownTable));
@@ -571,6 +663,8 @@ impl Engine {
             deadline: request.deadline.map(|d| enqueued + d),
             indices: request.indices,
             enqueued,
+            admit_ns: enqueued.saturating_duration_since(t0).as_nanos() as u64,
+            dequeued: enqueued,
             reply,
         };
         shard.pending_queries.fetch_add(n as u64, Ordering::Relaxed);
@@ -658,6 +752,7 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
         pending,
         stats,
         batches,
+        probes,
         samples,
         policy,
     } = setup;
@@ -668,11 +763,12 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
             // a pointer exchange, so requests already dispatched ran to
             // completion on the old generator.
             drain_control(&ctrl_rx, &mut generator, &mut technique, &stats);
-            let first = match rx.recv_timeout(IDLE_CONTROL_POLL) {
+            let mut first = match rx.recv_timeout(IDLE_CONTROL_POLL) {
                 Ok(job) => job,
                 Err(RecvTimeoutError::Timeout) => continue, // idle: re-check control
                 Err(RecvTimeoutError::Disconnected) => return, // engine dropped
             };
+            first.dequeued = Instant::now();
             let window_end = first.enqueued + policy.max_wait;
             let mut jobs = vec![first];
             let mut queries = jobs[0].indices.len();
@@ -682,7 +778,8 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
                     break;
                 }
                 match rx.recv_timeout(window_end - now) {
-                    Ok(job) => {
+                    Ok(mut job) => {
+                        job.dequeued = Instant::now();
                         queries += job.indices.len();
                         jobs.push(job);
                     }
@@ -708,24 +805,49 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
             let groups: Vec<Vec<u64>> = live.iter().map(|j| j.indices.clone()).collect();
             let total_queries: usize = groups.iter().map(Vec::len).sum();
             stats.record_batch(total_queries);
-            batches.fetch_add(1, Ordering::Relaxed);
+            batches.inc();
             let dispatch = Instant::now();
             let outputs = execute_batch(generator.as_mut(), &groups);
+            let generated = Instant::now();
+            probes.publish(generator.as_ref());
             // Export the amortized service cost of this batch as one
             // drift sample: the same per-query quantity admission control
             // budgets with, measured under live co-location conditions.
-            samples
-                .lock()
-                .expect("sample ring")
-                .push(dispatch.elapsed().as_nanos() as f64 / total_queries as f64);
+            samples.lock().expect("sample ring").push(
+                generated.saturating_duration_since(dispatch).as_nanos() as f64
+                    / total_queries as f64,
+            );
             for (job, out) in live.into_iter().zip(outputs) {
                 pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
-                stats.record_completed(
-                    technique,
-                    job.indices.len(),
-                    job.enqueued.elapsed().as_nanos() as f64,
+                let done = Instant::now();
+                // Per-stage attribution: the stages telescope, so their
+                // sum equals the recorded latency exactly (the `write`
+                // stage belongs to the transport and is recorded by the
+                // connection writer, not here).
+                let mut stages = StageBreakdown::default();
+                stages.set(Stage::Admit, job.admit_ns);
+                stages.set(
+                    Stage::Queue,
+                    job.dequeued
+                        .saturating_duration_since(job.enqueued)
+                        .as_nanos() as u64,
                 );
-                (job.reply)(Response::Embeddings(out));
+                stages.set(
+                    Stage::Batch,
+                    dispatch.saturating_duration_since(job.dequeued).as_nanos() as u64,
+                );
+                stages.set(
+                    Stage::Generate,
+                    generated.saturating_duration_since(dispatch).as_nanos() as u64,
+                );
+                stages.set(
+                    Stage::Reply,
+                    done.saturating_duration_since(generated).as_nanos() as u64,
+                );
+                let latency_ns =
+                    job.admit_ns + done.saturating_duration_since(job.enqueued).as_nanos() as u64;
+                stats.record_completed(technique, job.indices.len(), latency_ns as f64, &stages);
+                (job.reply)(Response::Embeddings(out, stages));
             }
         })
         .expect("spawn shard worker")

@@ -23,7 +23,14 @@
 //!   go stale in the queue are answered
 //!   [`RejectReason::DeadlineExceeded`].
 //! - [`ServerStats`]: per-technique query counts, queue depth,
-//!   batch-size histogram and p50/p95/p99 latency.
+//!   batch-size histogram and p50/p95/p99 latency — all recorded into a
+//!   lock-free `secemb-telemetry` [`Registry`] shared with the layers
+//!   below (ORAM stash/eviction gauges, modeled enclave counters), so
+//!   one snapshot, JSONL export, or Prometheus `METRICS` frame covers
+//!   the whole stack.
+//! - Per-stage latency attribution: every served [`Response`] carries a
+//!   [`StageBreakdown`] (`admit`/`queue`/`batch`/`generate`/`reply`/
+//!   `write` nanoseconds), and each stage feeds its own histogram.
 //! - [`Server`]/[`Client`]: a length-prefixed binary protocol over
 //!   plain TCP. Every frame carries a client-chosen request id, so one
 //!   connection can pipeline many requests and match out-of-order
@@ -64,5 +71,6 @@ pub use batcher::{execute_batch, BatchPolicy};
 pub use client::{Client, ClientReceiver, ClientSender, RemoteTable};
 pub use engine::{Engine, EngineConfig, PlanError, ShardPolicy, TableConfig, TableInfo, Ticket};
 pub use request::{RejectReason, Request, Response};
+pub use secemb_telemetry::{Registry, Stage, StageBreakdown};
 pub use server::Server;
 pub use stats::{ServerStats, StatsSnapshot, WorkerBatches};

@@ -8,6 +8,7 @@ use crate::request::RejectReason;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secemb::stats::LatencySummary;
+use secemb_telemetry::{Stage, StageBreakdown};
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
@@ -78,6 +79,72 @@ pub struct LoadConfig {
     pub pipeline_depth: usize,
     /// RNG seed for index/table selection and Poisson arrivals.
     pub seed: u64,
+    /// When true, the report carries one [`RequestRecord`] per answered
+    /// request (completed or rejected) for per-request JSONL export.
+    pub record_requests: bool,
+}
+
+/// One answered request, as the client observed it. Only present in a
+/// [`LoadReport`] when [`LoadConfig::record_requests`] was set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestRecord {
+    /// Which load connection issued the request.
+    pub conn: usize,
+    /// Table the request targeted.
+    pub table: usize,
+    /// Client-observed round-trip latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Server-attributed per-stage breakdown; `None` for rejections.
+    pub stages: Option<StageBreakdown>,
+    /// Whether the round trip met the configured deadline (vacuously true
+    /// without one). Meaningless for rejections.
+    pub sla_ok: bool,
+    /// The server's explicit rejection, if the request was refused.
+    pub rejected: Option<RejectReason>,
+}
+
+impl RequestRecord {
+    /// SLA verdict label: `ok`, `sla_violation` or `rejected`.
+    pub fn verdict(&self) -> &'static str {
+        if self.rejected.is_some() {
+            "rejected"
+        } else if self.sla_ok {
+            "ok"
+        } else {
+            "sla_violation"
+        }
+    }
+
+    /// One compact JSON object (a JSONL line without the newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"conn\":{},\"table\":{},\"latency_ns\":{},\"verdict\":\"{}\",\"reject_reason\":",
+            self.conn,
+            self.table,
+            self.latency_ns,
+            self.verdict()
+        );
+        match self.rejected {
+            Some(reason) => out.push_str(&format!("\"{reason}\"")),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"stages\":");
+        match &self.stages {
+            Some(stages) => {
+                out.push('{');
+                for (i, stage) in Stage::ALL.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{}", stage.label(), stages.get(*stage)));
+                }
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// Aggregated result of one load run.
@@ -98,6 +165,9 @@ pub struct LoadReport {
     pub rejected: [u64; RejectReason::ALL.len()],
     /// Client-observed round-trip latency of completed requests.
     pub latency: LatencySummary,
+    /// Per-request records, in no particular order; empty unless
+    /// [`LoadConfig::record_requests`] was set.
+    pub records: Vec<RequestRecord>,
 }
 
 impl LoadReport {
@@ -179,6 +249,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         latencies_ns: Vec<f64>,
         deadline_violations: u64,
         rejected: [u64; RejectReason::ALL.len()],
+        records: Vec<RequestRecord>,
         io_error: Option<io::Error>,
     }
 
@@ -188,6 +259,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         latencies_ns: Vec<f64>,
         deadline_violations: u64,
         rejected: [u64; RejectReason::ALL.len()],
+        records: Vec<RequestRecord>,
         io_error: Option<io::Error>,
     }
 
@@ -200,6 +272,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         latencies_ns: Vec::new(),
                         deadline_violations: 0,
                         rejected: [0; RejectReason::ALL.len()],
+                        records: Vec::new(),
                         io_error: None,
                     };
                     let client = match Client::connect(config.addr) {
@@ -219,15 +292,16 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         permit_tx.send(()).expect("receiver end held locally");
                     }
                     // Send-time metadata, in send order; the receiver
-                    // drains it on demand to match ids to start times.
-                    let (meta_tx, meta_rx) = mpsc::channel::<(u64, Instant)>();
+                    // drains it on demand to match ids to their target
+                    // table and start time.
+                    let (meta_tx, meta_rx) = mpsc::channel::<(u64, usize, Instant)>();
                     // Distinguishes a deliberate teardown (sender closed
                     // the socket after the run) from a mid-run failure.
                     let done = Arc::new(AtomicBool::new(false));
                     let rx_done = Arc::clone(&done);
                     let rx_handle = s.spawn(move |_| {
                         let mut rx = RecvResult::default();
-                        let mut inflight: HashMap<u64, Instant> = HashMap::new();
+                        let mut inflight: HashMap<u64, (usize, Instant)> = HashMap::new();
                         loop {
                             let (id, msg) = match receiver.recv() {
                                 Ok(reply) => reply,
@@ -240,28 +314,49 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                             };
                             // The meta for this id was sent right after
                             // the frame, so at most a few recv()s away.
-                            let t0 = loop {
-                                if let Some(t0) = inflight.remove(&id) {
-                                    break Some(t0);
+                            let meta = loop {
+                                if let Some(meta) = inflight.remove(&id) {
+                                    break Some(meta);
                                 }
                                 match meta_rx.recv() {
-                                    Ok((sent_id, t0)) => {
-                                        inflight.insert(sent_id, t0);
+                                    Ok((sent_id, table, t0)) => {
+                                        inflight.insert(sent_id, (table, t0));
                                     }
                                     Err(_) => break None, // sender died mid-request
                                 }
                             };
-                            let Some(t0) = t0 else { break };
+                            let Some((table, t0)) = meta else { break };
                             match msg {
-                                ServerMsg::Embeddings(_) => {
+                                ServerMsg::Embeddings(_, stages) => {
                                     let elapsed = t0.elapsed();
-                                    if config.deadline.is_some_and(|d| elapsed > d) {
+                                    let sla_ok = config.deadline.is_none_or(|d| elapsed <= d);
+                                    if !sla_ok {
                                         rx.deadline_violations += 1;
                                     }
                                     rx.latencies_ns.push(elapsed.as_nanos() as f64);
+                                    if config.record_requests {
+                                        rx.records.push(RequestRecord {
+                                            conn: conn_id,
+                                            table,
+                                            latency_ns: elapsed.as_nanos() as u64,
+                                            stages: Some(stages),
+                                            sla_ok,
+                                            rejected: None,
+                                        });
+                                    }
                                 }
                                 ServerMsg::Rejected(reason) => {
                                     rx.rejected[reason.index()] += 1;
+                                    if config.record_requests {
+                                        rx.records.push(RequestRecord {
+                                            conn: conn_id,
+                                            table,
+                                            latency_ns: t0.elapsed().as_nanos() as u64,
+                                            stages: None,
+                                            sla_ok: false,
+                                            rejected: Some(reason),
+                                        });
+                                    }
                                 }
                                 _ => {
                                     rx.io_error = Some(io::Error::new(
@@ -302,7 +397,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         let t0 = Instant::now();
                         match sender.send_generate(table, &indices, config.deadline) {
                             Ok(id) => {
-                                if meta_tx.send((id, t0)).is_err() {
+                                if meta_tx.send((id, table, t0)).is_err() {
                                     break;
                                 }
                             }
@@ -339,6 +434,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                     if let Ok(rx) = rx_handle.join() {
                         result.latencies_ns.extend(rx.latencies_ns);
                         result.deadline_violations += rx.deadline_violations;
+                        result.records.extend(rx.records);
                         for (total, n) in result.rejected.iter_mut().zip(rx.rejected) {
                             *total += n;
                         }
@@ -357,12 +453,14 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     let mut latencies = Vec::new();
     let mut deadline_violations = 0;
     let mut rejected = [0u64; RejectReason::ALL.len()];
+    let mut records = Vec::new();
     for mut r in results {
         if let Some(e) = r.io_error.take() {
             return Err(e);
         }
         latencies.extend(r.latencies_ns);
         deadline_violations += r.deadline_violations;
+        records.extend(r.records);
         for (total, n) in rejected.iter_mut().zip(r.rejected) {
             *total += n;
         }
@@ -375,6 +473,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         deadline_violations,
         rejected,
         latency: LatencySummary::from_ns(&latencies),
+        records,
     })
 }
 
@@ -400,6 +499,7 @@ mod tests {
             deadline_violations: 6,
             rejected: [4, 0, 0, 0, 0],
             latency: LatencySummary::from_ns(&[]),
+            records: Vec::new(),
         };
         report.rejected[1] = 6;
         assert_eq!(report.total_rejected(), 10);
@@ -416,8 +516,51 @@ mod tests {
             deadline_violations: 0,
             rejected: [0; RejectReason::ALL.len()],
             latency: LatencySummary::from_ns(&[]),
+            records: Vec::new(),
         };
         assert_eq!(report.rejected_fraction(), 0.0);
         assert_eq!(report.sla_miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn request_record_verdicts_and_json() {
+        let mut stages = StageBreakdown::default();
+        stages.set(Stage::Queue, 10);
+        stages.set(Stage::Generate, 90);
+        let ok = RequestRecord {
+            conn: 2,
+            table: 1,
+            latency_ns: 123,
+            stages: Some(stages),
+            sla_ok: true,
+            rejected: None,
+        };
+        assert_eq!(ok.verdict(), "ok");
+        let json = ok.to_json();
+        assert!(json.contains("\"conn\":2"));
+        assert!(json.contains("\"latency_ns\":123"));
+        assert!(json.contains("\"reject_reason\":null"));
+        assert!(json.contains("\"queue\":10"));
+        assert!(json.contains("\"generate\":90"));
+
+        let late = RequestRecord {
+            sla_ok: false,
+            ..ok.clone()
+        };
+        assert_eq!(late.verdict(), "sla_violation");
+
+        let no = RequestRecord {
+            conn: 0,
+            table: 0,
+            latency_ns: 55,
+            stages: None,
+            sla_ok: false,
+            rejected: Some(RejectReason::QueueFull),
+        };
+        assert_eq!(no.verdict(), "rejected");
+        let json = no.to_json();
+        assert!(json.contains("\"verdict\":\"rejected\""));
+        assert!(json.contains("\"reject_reason\":\"queue_full\""));
+        assert!(json.contains("\"stages\":null"));
     }
 }

@@ -15,18 +15,21 @@
 //! | 1 `Generate` | `u64` request id, `u32` table, `u64` deadline ns (0 = none), `u32` count, `count × u64` indices |
 //! | 2 `Tables` | `u64` request id |
 //! | 3 `Stats` | `u64` request id |
+//! | 4 `Metrics` | `u64` request id |
 //!
 //! Server → client:
 //!
 //! | tag | payload |
 //! |---|---|
-//! | 1 `Embeddings` | `u64` request id, `u32` rows, `u32` cols, `rows·cols × f32` |
+//! | 1 `Embeddings` | `u64` request id, `u32` rows, `u32` cols, `u8` stage count, `count × u64` per-stage ns (lifecycle order, see [`Stage::ALL`]), `rows·cols × f32` |
 //! | 2 `Rejected` | `u64` request id, `u8` reason code ([`RejectReason::index`]) |
 //! | 3 `Tables` | `u64` request id, `u32` count, then per table: `u64` rows, `u32` dim, `f64` per-query ns, string technique label |
-//! | 4 `Stats` | `u64` request id, string (the JSON snapshot, including the active plan's `version`/`epoch` under `"plan"` and the shard `"replicas"`) |
+//! | 4 `Stats` | `u64` request id, string (the JSON snapshot, including the active plan's `version`/`epoch` under `"plan"`, the shard `"replicas"`, and the per-stage latency summaries under `"stages"`) |
+//! | 5 `Metrics` | `u64` request id, string (Prometheus text exposition of the server's metrics registry) |
 
 use crate::engine::TableInfo;
 use crate::request::{RejectReason, Response};
+use secemb_telemetry::{Stage, StageBreakdown};
 use secemb_tensor::Matrix;
 use secemb_wire::bytes::{ByteReader, ByteWriter, Truncated};
 use std::fmt;
@@ -35,11 +38,17 @@ use std::time::Duration;
 const TAG_GENERATE: u8 = 1;
 const TAG_TABLES: u8 = 2;
 const TAG_STATS: u8 = 3;
+const TAG_METRICS: u8 = 4;
 
 const TAG_EMBEDDINGS: u8 = 1;
 const TAG_REJECTED: u8 = 2;
 const TAG_TABLES_RESP: u8 = 3;
 const TAG_STATS_RESP: u8 = 4;
+const TAG_METRICS_RESP: u8 = 5;
+
+/// Largest per-stage value count an `Embeddings` frame may carry; newer
+/// servers may append stages, older clients ignore the extras.
+const MAX_STAGES: usize = 64;
 
 /// Largest index count one `Generate` message may carry; guards the
 /// decoder against allocating on a corrupt count field.
@@ -90,19 +99,23 @@ pub enum ClientMsg {
     Tables,
     /// Fetch the statistics snapshot.
     Stats,
+    /// Fetch the Prometheus-style metrics rendering.
+    Metrics,
 }
 
 /// A decoded server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServerMsg {
-    /// The generated embeddings.
-    Embeddings(Matrix),
+    /// The generated embeddings and their per-stage latency breakdown.
+    Embeddings(Matrix, StageBreakdown),
     /// The request was refused.
     Rejected(RejectReason),
     /// Table metadata: `(rows, dim, per_query_ns, technique label)`.
     Tables(Vec<(u64, usize, f64, String)>),
     /// The JSON statistics snapshot.
     Stats(String),
+    /// The Prometheus text exposition of the server's metrics.
+    Metrics(String),
 }
 
 /// Encodes a `Generate` request payload.
@@ -140,6 +153,14 @@ pub fn encode_stats_request(request_id: u64) -> Vec<u8> {
     w.into_vec()
 }
 
+/// Encodes a `Metrics` request payload.
+pub fn encode_metrics_request(request_id: u64) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(9);
+    w.put_u8(TAG_METRICS);
+    w.put_u64_le(request_id);
+    w.into_vec()
+}
+
 /// Decodes a client message payload into its request id and message.
 ///
 /// # Errors
@@ -170,6 +191,7 @@ pub fn decode_client(payload: &[u8]) -> Result<(u64, ClientMsg), ProtocolError> 
         }
         TAG_TABLES => ClientMsg::Tables,
         TAG_STATS => ClientMsg::Stats,
+        TAG_METRICS => ClientMsg::Metrics,
         t => return Err(ProtocolError::BadTag(t)),
     };
     Ok((request_id, msg))
@@ -178,12 +200,17 @@ pub fn decode_client(payload: &[u8]) -> Result<(u64, ClientMsg), ProtocolError> 
 /// Encodes an engine [`Response`] as a server message payload.
 pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
     match response {
-        Response::Embeddings(m) => {
-            let mut w = ByteWriter::with_capacity(17 + m.len() * 4);
+        Response::Embeddings(m, stages) => {
+            let n_stages = Stage::ALL.len();
+            let mut w = ByteWriter::with_capacity(18 + n_stages * 8 + m.len() * 4);
             w.put_u8(TAG_EMBEDDINGS);
             w.put_u64_le(request_id);
             w.put_u32_le(m.rows() as u32);
             w.put_u32_le(m.cols() as u32);
+            w.put_u8(n_stages as u8);
+            for (_, ns) in stages.iter() {
+                w.put_u64_le(ns);
+            }
             for &v in m.as_slice() {
                 w.put_f32_le(v);
             }
@@ -223,6 +250,15 @@ pub fn encode_stats(request_id: u64, json: &str) -> Vec<u8> {
     w.into_vec()
 }
 
+/// Encodes the `Metrics` response payload.
+pub fn encode_metrics(request_id: u64, text: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(13 + text.len());
+    w.put_u8(TAG_METRICS_RESP);
+    w.put_u64_le(request_id);
+    w.put_str(text);
+    w.into_vec()
+}
+
 /// Decodes a server message payload into its request id and message.
 ///
 /// # Errors
@@ -237,6 +273,17 @@ pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> 
         TAG_EMBEDDINGS => {
             let rows = r.get_u32_le()? as usize;
             let cols = r.get_u32_le()? as usize;
+            let n_stages = r.get_u8()? as usize;
+            if n_stages > MAX_STAGES {
+                return Err(ProtocolError::BadField("stage count"));
+            }
+            let mut stages = StageBreakdown::default();
+            for i in 0..n_stages {
+                let ns = r.get_u64_le()?;
+                if let Some(&stage) = Stage::ALL.get(i) {
+                    stages.set(stage, ns);
+                }
+            }
             let elems = rows
                 .checked_mul(cols)
                 .filter(|&e| e * 4 == r.remaining())
@@ -245,7 +292,7 @@ pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> 
             for _ in 0..elems {
                 data.push(r.get_f32_le()?);
             }
-            ServerMsg::Embeddings(Matrix::from_vec(rows, cols, data))
+            ServerMsg::Embeddings(Matrix::from_vec(rows, cols, data), stages)
         }
         TAG_REJECTED => {
             let code = r.get_u8()? as usize;
@@ -270,6 +317,7 @@ pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> 
             ServerMsg::Tables(tables)
         }
         TAG_STATS_RESP => ServerMsg::Stats(r.get_str()?),
+        TAG_METRICS_RESP => ServerMsg::Metrics(r.get_str()?),
         t => return Err(ProtocolError::BadTag(t)),
     };
     Ok((request_id, msg))
@@ -309,13 +357,24 @@ mod tests {
             decode_client(&encode_stats_request(5)).unwrap(),
             (5, ClientMsg::Stats)
         );
+        assert_eq!(
+            decode_client(&encode_metrics_request(6)).unwrap(),
+            (6, ClientMsg::Metrics)
+        );
     }
 
     #[test]
     fn responses_round_trip() {
         let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 - 1.5);
-        let back = decode_server(&encode_response(9, &Response::Embeddings(m.clone()))).unwrap();
-        assert_eq!(back, (9, ServerMsg::Embeddings(m)));
+        let mut stages = StageBreakdown::default();
+        stages.set(Stage::Queue, 1_234);
+        stages.set(Stage::Generate, u64::MAX);
+        let back = decode_server(&encode_response(
+            9,
+            &Response::Embeddings(m.clone(), stages),
+        ))
+        .unwrap();
+        assert_eq!(back, (9, ServerMsg::Embeddings(m, stages)));
 
         for reason in RejectReason::ALL {
             let back = decode_server(&encode_response(11, &Response::Rejected(reason))).unwrap();
@@ -350,6 +409,10 @@ mod tests {
 
         let back = decode_server(&encode_stats(8, "{\"a\":1}")).unwrap();
         assert_eq!(back, (8, ServerMsg::Stats("{\"a\":1}".into())));
+
+        let text = "# TYPE secemb_requests_completed_total counter\n";
+        let back = decode_server(&encode_metrics(12, text)).unwrap();
+        assert_eq!(back, (12, ServerMsg::Metrics(text.into())));
     }
 
     #[test]
@@ -372,8 +435,12 @@ mod tests {
         let mut bad = encode_generate(0, 0, &[1], None);
         bad[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_client(&bad).is_err());
-        // Embeddings whose declared shape disagrees with the payload.
-        let mut bad = encode_response(0, &Response::Embeddings(Matrix::zeros(2, 2)));
+        // Embeddings whose declared shape disagrees with the payload
+        // (the rows field sits right after the tag and id).
+        let mut bad = encode_response(
+            0,
+            &Response::Embeddings(Matrix::zeros(2, 2), StageBreakdown::default()),
+        );
         bad[9..13].copy_from_slice(&3u32.to_le_bytes());
         assert_eq!(
             decode_server(&bad),

@@ -1,5 +1,6 @@
 //! The serving request/response model.
 
+use secemb_telemetry::StageBreakdown;
 use secemb_tensor::Matrix;
 use std::fmt;
 use std::time::Duration;
@@ -96,8 +97,9 @@ impl fmt::Display for RejectReason {
 /// one `Response`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
-    /// One embedding row per requested index, in request order.
-    Embeddings(Matrix),
+    /// One embedding row per requested index, in request order, plus
+    /// the per-stage latency attribution for this request.
+    Embeddings(Matrix, StageBreakdown),
     /// The request was refused; no embedding was computed.
     Rejected(RejectReason),
 }
@@ -106,7 +108,15 @@ impl Response {
     /// The embedding matrix, if the request succeeded.
     pub fn embeddings(&self) -> Option<&Matrix> {
         match self {
-            Response::Embeddings(m) => Some(m),
+            Response::Embeddings(m, _) => Some(m),
+            Response::Rejected(_) => None,
+        }
+    }
+
+    /// The per-stage latency breakdown, if the request succeeded.
+    pub fn stages(&self) -> Option<&StageBreakdown> {
+        match self {
+            Response::Embeddings(_, s) => Some(s),
             Response::Rejected(_) => None,
         }
     }
@@ -114,7 +124,7 @@ impl Response {
     /// The rejection reason, if the request was refused.
     pub fn rejection(&self) -> Option<RejectReason> {
         match self {
-            Response::Embeddings(_) => None,
+            Response::Embeddings(..) => None,
             Response::Rejected(r) => Some(*r),
         }
     }
@@ -141,11 +151,13 @@ mod tests {
 
     #[test]
     fn response_accessors() {
-        let ok = Response::Embeddings(Matrix::zeros(1, 2));
+        let ok = Response::Embeddings(Matrix::zeros(1, 2), StageBreakdown::default());
         assert!(ok.embeddings().is_some());
+        assert!(ok.stages().is_some());
         assert_eq!(ok.rejection(), None);
         let no = Response::Rejected(RejectReason::QueueFull);
         assert!(no.embeddings().is_none());
+        assert!(no.stages().is_none());
         assert_eq!(no.rejection(), Some(RejectReason::QueueFull));
     }
 }

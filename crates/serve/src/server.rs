@@ -12,15 +12,18 @@
 //! joins every handler thread before returning.
 
 use crate::engine::Engine;
-use crate::protocol::{decode_client, encode_response, encode_stats, encode_tables, ClientMsg};
+use crate::protocol::{
+    decode_client, encode_metrics, encode_response, encode_stats, encode_tables, ClientMsg,
+};
 use crate::request::Request;
+use crate::stats::ServerStats;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One live connection: its handler thread plus a server-side handle on
 /// the stream so shutdown can force a blocked read to return.
@@ -165,11 +168,16 @@ fn handle_connection(
 ) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
-    let writer_handle = std::thread::Builder::new()
-        .name("secemb-conn-wr".into())
-        .spawn(move || write_replies(stream, &reply_rx))
-        .expect("spawn connection writer");
+    // Replies carry their enqueue instant so the writer can attribute the
+    // `write` stage (reply enqueue → socket flush) after the fact.
+    let (reply_tx, reply_rx) = mpsc::channel::<(Instant, Vec<u8>)>();
+    let writer_handle = {
+        let stats = engine.stats();
+        std::thread::Builder::new()
+            .name("secemb-conn-wr".into())
+            .spawn(move || write_replies(stream, &reply_rx, &stats))
+            .expect("spawn connection writer")
+    };
     let result = loop {
         // Between frames is the safe point to observe shutdown: nothing
         // is half-read, and in-flight requests still get their replies.
@@ -202,15 +210,20 @@ fn handle_connection(
                 engine.submit_with(
                     request,
                     Box::new(move |response| {
-                        let _ = tx.send(encode_response(id, &response));
+                        let _ = tx.send((Instant::now(), encode_response(id, &response)));
                     }),
                 );
             }
             Ok((id, ClientMsg::Tables)) => {
-                let _ = reply_tx.send(encode_tables(id, &engine.tables()));
+                let _ = reply_tx.send((Instant::now(), encode_tables(id, &engine.tables())));
             }
             Ok((id, ClientMsg::Stats)) => {
-                let _ = reply_tx.send(encode_stats(id, &engine.stats().snapshot().to_json()));
+                let json = engine.stats().snapshot().to_json();
+                let _ = reply_tx.send((Instant::now(), encode_stats(id, &json)));
+            }
+            Ok((id, ClientMsg::Metrics)) => {
+                let text = engine.render_metrics();
+                let _ = reply_tx.send((Instant::now(), encode_metrics(id, &text)));
             }
             // A malformed frame is unrecoverable mid-stream: drop the
             // connection rather than guess at framing.
@@ -226,20 +239,32 @@ fn handle_connection(
 
 /// Writer half of one connection: drains encoded reply frames until every
 /// sender (the reader plus all in-flight reply closures) is gone or the
-/// socket dies. Flushes once per drained burst, not per frame.
-fn write_replies(stream: TcpStream, reply_rx: &mpsc::Receiver<Vec<u8>>) {
+/// socket dies. Flushes once per drained burst, not per frame. Each
+/// frame's reply-enqueue → flush time feeds the `write` stage histogram.
+fn write_replies(
+    stream: TcpStream,
+    reply_rx: &mpsc::Receiver<(Instant, Vec<u8>)>,
+    stats: &ServerStats,
+) {
     let mut writer = BufWriter::new(stream);
-    while let Ok(frame) = reply_rx.recv() {
+    let mut burst: Vec<Instant> = Vec::new();
+    while let Ok((t0, frame)) = reply_rx.recv() {
+        burst.clear();
         if write_frame(&mut writer, &frame).is_err() {
             return;
         }
-        while let Ok(frame) = reply_rx.try_recv() {
+        burst.push(t0);
+        while let Ok((t0, frame)) = reply_rx.try_recv() {
             if write_frame(&mut writer, &frame).is_err() {
                 return;
             }
+            burst.push(t0);
         }
         if writer.flush().is_err() {
             return;
+        }
+        for t0 in &burst {
+            stats.record_write_ns(t0.elapsed().as_nanos() as u64);
         }
     }
 }

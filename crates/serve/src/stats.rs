@@ -1,16 +1,20 @@
 //! Server-side observability: request counters, queue depth, batch-size
-//! histogram and latency percentiles.
+//! histogram, and registry-backed latency + per-stage histograms.
+//!
+//! Everything on the hot path is lock-free: counters and histograms are
+//! `secemb-telemetry` handles (relaxed atomics), replacing the mutexed
+//! latency reservoir the server used to carry. The registry is shared —
+//! `ServerStats` pre-registers the serving metrics, and the layers below
+//! (ORAM probes, enclave counters, the adapt controller) add their own
+//! gauges to the same registry, so one snapshot covers the whole stack.
 
 use crate::request::RejectReason;
 use secemb::stats::LatencySummary;
 use secemb::Technique;
+use secemb_telemetry::{Counter, Histogram, Registry, Stage, StageBreakdown};
 use secemb_wire::json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-
-/// Latency samples kept for percentile estimation. Once full, new samples
-/// overwrite the oldest (a sliding window over recent traffic).
-const RESERVOIR_CAP: usize = 1 << 16;
 
 /// Histogram buckets: batch size `b` lands in bucket `ceil(log2(b))`,
 /// i.e. bucket `k` counts batches with `2^(k-1) < b <= 2^k`.
@@ -23,37 +27,75 @@ fn tech_index(t: Technique) -> usize {
         .expect("technique is in ALL")
 }
 
-/// Lock-free (except the latency reservoir) counters shared by every
-/// shard worker and front-end thread.
-#[derive(Debug, Default)]
+/// Lock-free counters shared by every shard worker and front-end thread.
+///
+/// Counter and histogram state lives in the [`Registry`] (so it shows up
+/// in JSONL snapshots and `METRICS` frames); a few exact values the
+/// snapshot needs (queue depth, plan version/epoch) are kept as plain
+/// atomics and mirrored into gauges by [`ServerStats::publish_gauges`].
+#[derive(Debug)]
 pub struct ServerStats {
-    accepted: AtomicU64,
-    completed: AtomicU64,
-    rejected: [AtomicU64; RejectReason::ALL.len()],
-    queries_by_technique: [AtomicU64; Technique::ALL.len()],
+    registry: Arc<Registry>,
+    accepted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: [Arc<Counter>; RejectReason::ALL.len()],
+    queries_by_technique: [Arc<Counter>; Technique::ALL.len()],
+    latency: Arc<Histogram>,
+    stage_hists: [Arc<Histogram>; Stage::ALL.len()],
+    swaps_applied: Arc<Counter>,
     batch_hist: [AtomicU64; HIST_BUCKETS],
     queue_depth: AtomicU64,
-    samples_seen: AtomicU64,
     plan_version: AtomicU64,
     epoch: AtomicU64,
-    swaps_applied: AtomicU64,
     replicas: AtomicU64,
     /// One `(table, replica, batches)` entry per shard worker, registered
     /// at engine startup; the counter itself stays lock-free on the hot
-    /// path (workers hold the `Arc` and only `fetch_add`).
-    worker_batches: Mutex<Vec<(usize, usize, Arc<AtomicU64>)>>,
-    latencies_ns: Mutex<Vec<f64>>,
+    /// path (workers hold the `Arc` and only add).
+    worker_batches: Mutex<Vec<(usize, usize, Arc<Counter>)>>,
 }
 
 impl ServerStats {
-    /// Fresh zeroed stats.
+    /// Fresh zeroed stats over a private enabled registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Fresh zeroed stats recording into `registry` (which may be
+    /// disabled, turning all recording into no-ops).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let rejected = RejectReason::ALL
+            .map(|r| registry.counter_with("requests_rejected_total", &[("reason", r.label())]));
+        let queries_by_technique = Technique::ALL
+            .map(|t| registry.counter_with("queries_total", &[("technique", t.label())]));
+        let stage_hists =
+            Stage::ALL.map(|s| registry.histogram_with("stage_ns", &[("stage", s.label())]));
+        ServerStats {
+            accepted: registry.counter("requests_accepted_total"),
+            completed: registry.counter("requests_completed_total"),
+            rejected,
+            queries_by_technique,
+            latency: registry.histogram("request_latency_ns"),
+            stage_hists,
+            swaps_applied: registry.counter("plan_swaps_total"),
+            batch_hist: Default::default(),
+            queue_depth: AtomicU64::new(0),
+            plan_version: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            replicas: AtomicU64::new(0),
+            worker_batches: Mutex::new(Vec::new()),
+            registry,
+        }
+    }
+
+    /// The registry this server records into. The engine hands it to
+    /// ORAM/enclave probes, the adapt controller, and exporters.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Records a request passing admission control.
     pub fn record_accepted(&self, queries: usize) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.accepted.inc();
         self.queue_depth
             .fetch_add(queries as u64, Ordering::Relaxed);
     }
@@ -61,7 +103,7 @@ impl ServerStats {
     /// Records a rejection. For post-admission rejections (a stale request
     /// found at dequeue) the queued queries are also released.
     pub fn record_rejected(&self, reason: RejectReason, queued_queries: usize) {
-        self.rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+        self.rejected[reason.index()].inc();
         self.queue_depth
             .fetch_sub(queued_queries as u64, Ordering::Relaxed);
     }
@@ -76,21 +118,35 @@ impl ServerStats {
         self.batch_hist[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one completed request: its technique, query count, and
-    /// submission-to-reply latency.
-    pub fn record_completed(&self, technique: Technique, queries: usize, latency_ns: f64) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+    /// Records one completed request: its technique, query count,
+    /// submission-to-reply latency, and per-stage attribution.
+    ///
+    /// The write stage is excluded here (it has not happened yet when the
+    /// worker completes the request) — the connection's writer thread
+    /// reports it via [`ServerStats::record_write_ns`].
+    pub fn record_completed(
+        &self,
+        technique: Technique,
+        queries: usize,
+        latency_ns: f64,
+        stages: &StageBreakdown,
+    ) {
+        self.completed.inc();
         self.queue_depth
             .fetch_sub(queries as u64, Ordering::Relaxed);
-        self.queries_by_technique[tech_index(technique)]
-            .fetch_add(queries as u64, Ordering::Relaxed);
-        let seen = self.samples_seen.fetch_add(1, Ordering::Relaxed) as usize;
-        let mut samples = self.latencies_ns.lock().expect("stats lock");
-        if samples.len() < RESERVOIR_CAP {
-            samples.push(latency_ns);
-        } else {
-            samples[seen % RESERVOIR_CAP] = latency_ns;
+        self.queries_by_technique[tech_index(technique)].add(queries as u64);
+        self.latency.record(latency_ns as u64);
+        for (stage, ns) in stages.iter() {
+            if stage != Stage::Write {
+                self.stage_hists[stage.index()].record(ns);
+            }
         }
+    }
+
+    /// Records one reply frame's write stage: reply enqueue to socket
+    /// flush, on the connection's writer thread.
+    pub fn record_write_ns(&self, ns: u64) {
+        self.stage_hists[Stage::Write.index()].record(ns);
     }
 
     /// Records that a new allocation plan became active.
@@ -101,7 +157,7 @@ impl ServerStats {
 
     /// Records one shard worker picking up its swap order.
     pub fn record_swap_applied(&self, _epoch: u64) {
-        self.swaps_applied.fetch_add(1, Ordering::Relaxed);
+        self.swaps_applied.inc();
     }
 
     /// Records the engine's replication factor (worker threads per table).
@@ -113,8 +169,14 @@ impl ServerStats {
     /// counter. Called once per worker at engine startup; the worker
     /// increments the returned counter on every batch it dispatches, so
     /// snapshots can show how evenly load spreads across replicas.
-    pub fn register_worker(&self, table: usize, replica: usize) -> Arc<AtomicU64> {
-        let counter = Arc::new(AtomicU64::new(0));
+    pub fn register_worker(&self, table: usize, replica: usize) -> Arc<Counter> {
+        let counter = self.registry.counter_with(
+            "worker_batches_total",
+            &[
+                ("table", &table.to_string()),
+                ("replica", &replica.to_string()),
+            ],
+        );
         self.worker_batches.lock().expect("stats lock").push((
             table,
             replica,
@@ -128,27 +190,55 @@ impl ServerStats {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// Mirrors the atomically-kept values (queue depth, plan
+    /// version/epoch, replicas) into registry gauges so exporters see
+    /// them. Called before every snapshot/render; cheap enough to call
+    /// from a periodic exporter too.
+    pub fn publish_gauges(&self) {
+        self.registry
+            .gauge("queue_depth")
+            .set(self.queue_depth() as f64);
+        self.registry
+            .gauge("replicas")
+            .set(self.replicas.load(Ordering::Relaxed) as f64);
+        self.registry
+            .gauge("plan_version")
+            .set(self.plan_version.load(Ordering::SeqCst) as f64);
+        self.registry
+            .gauge("plan_epoch")
+            .set(self.epoch.load(Ordering::SeqCst) as f64);
+    }
+
+    /// Renders the whole registry (serving metrics plus whatever the
+    /// layers below registered) as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.publish_gauges();
+        self.registry.snapshot().render_prometheus("secemb_")
+    }
+
+    fn summarize(hist: &Histogram) -> LatencySummary {
+        let snap = hist.snapshot();
+        let buckets: Vec<(f64, u64)> = snap
+            .buckets
+            .iter()
+            .map(|&(upper, c)| (upper as f64, c))
+            .collect();
+        LatencySummary::from_bucket_counts(snap.sum as f64, &buckets)
+    }
+
     /// A consistent-enough copy of every counter for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let latency = {
-            let samples = self.latencies_ns.lock().expect("stats lock");
-            LatencySummary::from_ns(&samples)
-        };
+        self.publish_gauges();
         StatsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            completed: self.completed.get(),
             rejected: RejectReason::ALL
                 .iter()
-                .map(|r| (*r, self.rejected[r.index()].load(Ordering::Relaxed)))
+                .map(|r| (*r, self.rejected[r.index()].get()))
                 .collect(),
             queries_by_technique: Technique::ALL
                 .iter()
-                .map(|t| {
-                    (
-                        *t,
-                        self.queries_by_technique[tech_index(*t)].load(Ordering::Relaxed),
-                    )
-                })
+                .map(|t| (*t, self.queries_by_technique[tech_index(*t)].get()))
                 .collect(),
             batch_hist: self
                 .batch_hist
@@ -159,7 +249,7 @@ impl ServerStats {
             queue_depth: self.queue_depth(),
             plan_version: self.plan_version.load(Ordering::SeqCst),
             epoch: self.epoch.load(Ordering::SeqCst),
-            swaps_applied: self.swaps_applied.load(Ordering::Relaxed),
+            swaps_applied: self.swaps_applied.get(),
             replicas: self.replicas.load(Ordering::Relaxed),
             worker_batches: self
                 .worker_batches
@@ -169,11 +259,18 @@ impl ServerStats {
                 .map(|(table, replica, counter)| WorkerBatches {
                     table: *table,
                     replica: *replica,
-                    batches: counter.load(Ordering::Relaxed),
+                    batches: counter.get(),
                 })
                 .collect(),
-            latency,
+            latency: Self::summarize(&self.latency),
+            stages: Stage::ALL.map(|s| (s.label(), Self::summarize(&self.stage_hists[s.index()]))),
         }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -214,8 +311,22 @@ pub struct StatsSnapshot {
     pub replicas: u64,
     /// Batches dispatched per worker, one entry per `(table, replica)`.
     pub worker_batches: Vec<WorkerBatches>,
-    /// Submission-to-reply latency over recent completed requests.
+    /// Submission-to-reply latency over all completed requests.
     pub latency: LatencySummary,
+    /// Per-stage latency distributions, in lifecycle order
+    /// (`admit`, `queue`, `batch`, `generate`, `reply`, `write`).
+    pub stages: [(&'static str, LatencySummary); Stage::ALL.len()],
+}
+
+fn summary_json(s: &LatencySummary) -> Value {
+    Value::obj([
+        ("count", Value::Num(s.count as f64)),
+        ("mean_ns", Value::Num(s.mean_ns)),
+        ("p50_ns", Value::Num(s.p50_ns)),
+        ("p95_ns", Value::Num(s.p95_ns)),
+        ("p99_ns", Value::Num(s.p99_ns)),
+        ("max_ns", Value::Num(s.max_ns)),
+    ])
 }
 
 impl StatsSnapshot {
@@ -287,16 +398,15 @@ impl StatsSnapshot {
                     ("swaps_applied", Value::Num(self.swaps_applied as f64)),
                 ]),
             ),
+            ("latency", summary_json(&self.latency)),
             (
-                "latency",
-                Value::obj([
-                    ("count", Value::Num(self.latency.count as f64)),
-                    ("mean_ns", Value::Num(self.latency.mean_ns)),
-                    ("p50_ns", Value::Num(self.latency.p50_ns)),
-                    ("p95_ns", Value::Num(self.latency.p95_ns)),
-                    ("p99_ns", Value::Num(self.latency.p99_ns)),
-                    ("max_ns", Value::Num(self.latency.max_ns)),
-                ]),
+                "stages",
+                Value::Obj(
+                    self.stages
+                        .iter()
+                        .map(|(label, s)| (label.to_string(), summary_json(s)))
+                        .collect(),
+                ),
             ),
         ])
         .to_pretty()
@@ -314,6 +424,15 @@ impl std::fmt::Display for StatsSnapshot {
             self.queue_depth
         )?;
         writeln!(f, "latency: {}", self.latency)?;
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(label, s)| format!("{label}={:.1}us", s.p50_ns / 1e3))
+            .collect();
+        if !stages.is_empty() {
+            writeln!(f, "stage p50: [{}]", stages.join(" "))?;
+        }
         let hist: Vec<String> = self
             .batch_hist
             .iter()
@@ -329,13 +448,20 @@ mod tests {
     use super::*;
     use secemb_wire::json;
 
+    fn stages_with(queue_ns: u64, generate_ns: u64) -> StageBreakdown {
+        let mut s = StageBreakdown::default();
+        s.set(Stage::Queue, queue_ns);
+        s.set(Stage::Generate, generate_ns);
+        s
+    }
+
     #[test]
     fn lifecycle_counters_balance() {
         let s = ServerStats::new();
         s.record_accepted(4);
         s.record_accepted(2);
         assert_eq!(s.queue_depth(), 6);
-        s.record_completed(Technique::LinearScan, 4, 1000.0);
+        s.record_completed(Technique::LinearScan, 4, 1000.0, &stages_with(200, 800));
         s.record_rejected(RejectReason::DeadlineExceeded, 2);
         assert_eq!(s.queue_depth(), 0);
         let snap = s.snapshot();
@@ -350,6 +476,8 @@ mod tests {
             .unwrap()
             .1;
         assert_eq!(scan_queries, 4);
+        let queue = snap.stages.iter().find(|(l, _)| *l == "queue").unwrap();
+        assert_eq!(queue.1.count, 1);
     }
 
     #[test]
@@ -385,7 +513,12 @@ mod tests {
         let s = ServerStats::new();
         s.record_accepted(8);
         s.record_batch(8);
-        s.record_completed(Technique::Dhe, 8, 2_000_000.0);
+        s.record_completed(
+            Technique::Dhe,
+            8,
+            2_000_000.0,
+            &stages_with(1000, 1_999_000),
+        );
         s.record_plan(3, 1);
         s.record_swap_applied(1);
         let doc = json::parse(&s.snapshot().to_json()).unwrap();
@@ -403,6 +536,11 @@ mod tests {
             Some(8)
         );
         assert!(doc.get("latency").unwrap().get("p99_ns").is_some());
+        let stages = doc.get("stages").unwrap();
+        assert_eq!(
+            stages.get("queue").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
         assert!(s.snapshot().to_string().contains("completed=1"));
     }
 
@@ -412,8 +550,8 @@ mod tests {
         s.set_replicas(2);
         let w00 = s.register_worker(0, 0);
         let w01 = s.register_worker(0, 1);
-        w00.fetch_add(3, Ordering::Relaxed);
-        w01.fetch_add(5, Ordering::Relaxed);
+        w00.add(3);
+        w01.add(5);
         let snap = s.snapshot();
         assert_eq!(snap.replicas, 2);
         assert_eq!(
@@ -435,5 +573,55 @@ mod tests {
         assert_eq!(doc.get("replicas").unwrap().as_u64(), Some(2));
         let workers = doc.get("worker_batches").unwrap().as_arr().unwrap();
         assert_eq!(workers[1].get("batches").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn latency_percentiles_come_from_histogram_buckets() {
+        let s = ServerStats::new();
+        for i in 1..=100u64 {
+            s.record_completed(
+                Technique::LinearScan,
+                1,
+                (i * 1000) as f64,
+                &StageBreakdown::default(),
+            );
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.latency.count, 100);
+        // Log-bucketed: each percentile is the containing bucket's upper
+        // bound, so it can only overestimate, by at most 12.5%.
+        for (p, exact) in [
+            (snap.latency.p50_ns, 50_000.0),
+            (snap.latency.p99_ns, 99_000.0),
+        ] {
+            assert!(p >= exact, "bucket upper bound must not underestimate");
+            assert!((p - exact) / exact <= 0.125, "p={p} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_serving_metrics() {
+        let s = ServerStats::new();
+        s.record_accepted(1);
+        s.record_completed(Technique::LinearScan, 1, 5000.0, &stages_with(1000, 4000));
+        let text = s.render_prometheus();
+        assert!(text.contains("secemb_requests_accepted_total 1"));
+        assert!(text.contains("secemb_requests_completed_total 1"));
+        assert!(text.contains("secemb_stage_ns_count{stage=\"queue\"} 1"));
+        assert!(text.contains("secemb_queue_depth 0"));
+    }
+
+    #[test]
+    fn disabled_registry_turns_recording_off() {
+        let s = ServerStats::with_registry(Arc::new(Registry::disabled()));
+        s.record_accepted(1);
+        s.record_completed(Technique::LinearScan, 1, 5000.0, &stages_with(1000, 4000));
+        let snap = s.snapshot();
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.latency.count, 0);
+        // Queue depth stays exact even with telemetry off: admission
+        // control depends on it.
+        s.record_accepted(3);
+        assert_eq!(s.queue_depth(), 3);
     }
 }

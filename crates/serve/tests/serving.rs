@@ -6,14 +6,15 @@ use secemb::security::{verify_exact_batched, verify_structural};
 use secemb::{GeneratorSpec, Technique};
 use secemb_serve::protocol::ServerMsg;
 use secemb_serve::{
-    execute_batch, BatchPolicy, Client, Engine, EngineConfig, RejectReason, Request, Response,
-    Server, TableConfig,
+    execute_batch, BatchPolicy, Client, Engine, EngineConfig, Registry, RejectReason, Request,
+    Response, Server, ServerStats, Stage, StageBreakdown, TableConfig,
 };
 use secemb_tensor::Matrix;
 use secemb_trace::check::compare_traces;
+use secemb_trace::tracer::record_trace;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn bits(m: &Matrix) -> Vec<u32> {
     m.as_slice().iter().map(|v| v.to_bits()).collect()
@@ -138,7 +139,7 @@ fn stale_requests_are_rejected_not_dropped() {
     let mut expired = 0;
     for ticket in slow.into_iter().chain(urgent) {
         match ticket.wait() {
-            Response::Embeddings(m) => {
+            Response::Embeddings(m, _) => {
                 assert_eq!(m.cols(), 64);
                 completed += 1;
             }
@@ -176,7 +177,7 @@ fn overload_rejects_queue_full() {
     let mut shed = 0;
     for ticket in tickets {
         match ticket.wait() {
-            Response::Embeddings(_) => completed += 1,
+            Response::Embeddings(..) => completed += 1,
             Response::Rejected(RejectReason::QueueFull) => shed += 1,
             Response::Rejected(other) => panic!("unexpected rejection {other}"),
         }
@@ -203,12 +204,14 @@ fn tcp_round_trip_matches_direct_generation() {
     assert!(tables[0].per_query_ns > 0.0);
 
     let indices = vec![3u64, 7, 9];
-    let served = match client.generate(0, &indices, None).expect("generate") {
-        secemb_serve::protocol::ServerMsg::Embeddings(m) => m,
+    let (served, stages) = match client.generate(0, &indices, None).expect("generate") {
+        secemb_serve::protocol::ServerMsg::Embeddings(m, stages) => (m, stages),
         other => panic!("expected embeddings, got {other:?}"),
     };
     let direct = spec.build(42).generate_batch(&indices);
     assert_eq!(bits(&served), bits(&direct));
+    // The per-stage attribution rides on the frame and is non-trivial.
+    assert!(stages.total_ns() > 0, "stage breakdown must be populated");
 
     // Out-of-range index over the wire is an explicit rejection.
     match client.generate(0, &[999], None).expect("generate") {
@@ -236,7 +239,7 @@ fn shutdown_joins_open_connection_handlers() {
         .collect();
     // One settled request and one still in flight when shutdown lands.
     let msg = clients[0].generate(0, &[1, 2], None).expect("served");
-    assert!(matches!(msg, ServerMsg::Embeddings(_)));
+    assert!(matches!(msg, ServerMsg::Embeddings(..)));
     let pending_id = clients[1].call_async(0, &[3], None).expect("send");
 
     server.shutdown();
@@ -289,7 +292,7 @@ fn pipelined_client_matches_responses_by_id() {
             .remove(&id)
             .expect("response id was never sent (or answered twice)");
         match msg {
-            ServerMsg::Embeddings(served) => {
+            ServerMsg::Embeddings(served, _) => {
                 let direct = spec.build(42).generate_batch(&indices);
                 assert_eq!(bits(&served), bits(&direct), "id {id} content mismatch");
             }
@@ -323,7 +326,7 @@ fn replicated_server_serves_identical_rows_and_reports_replicas() {
         let (id, msg) = client.drain_next().expect("drain");
         let indices = expected.remove(&id).expect("id-matched response");
         let served = match msg {
-            ServerMsg::Embeddings(m) => m,
+            ServerMsg::Embeddings(m, _) => m,
             other => panic!("expected embeddings, got {other:?}"),
         };
         let direct = spec.build(42).generate_batch(&indices);
@@ -383,5 +386,175 @@ fn per_replica_traces_stay_oblivious() {
                 }
             }
         }
+    }
+}
+
+/// A served request's stage breakdown (admit + queue + batch + generate +
+/// reply; `write` belongs to the TCP transport and is zero in-process)
+/// sums to the client-measured total latency within 5%. The stages
+/// telescope by construction, so the gap is only the submit/ticket hop —
+/// negligible once generation does real work.
+#[test]
+fn stage_breakdown_sums_to_measured_latency() {
+    let engine = Engine::start(EngineConfig::new(vec![TableConfig {
+        spec: GeneratorSpec::Scan {
+            rows: 1 << 15,
+            dim: 64,
+        },
+        seed: 3,
+        queue_capacity: 64,
+        cost_override_ns: Some(1_000.0),
+    }]));
+    let mut best_gap = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let response = engine.call(Request::new(0, vec![1, 2, 3, 4]));
+        let wall_ns = t0.elapsed().as_nanos() as f64;
+        let stages = *response.stages().expect("request served");
+        let sum_ns = stages.total_ns() as f64;
+        assert!(stages.get(Stage::Generate) > 0, "generation took real time");
+        assert!(
+            sum_ns <= wall_ns,
+            "server-side stages cannot exceed the caller's wall clock"
+        );
+        best_gap = best_gap.min((wall_ns - sum_ns) / wall_ns);
+    }
+    assert!(
+        best_gap < 0.05,
+        "stage sum must come within 5% of measured latency (best gap {:.1}%)",
+        best_gap * 100.0
+    );
+}
+
+/// The security invariant of the telemetry layer: recording metrics does
+/// not perturb the protected generators' memory traces. For every
+/// protected technique, the trace of a dispatch + full telemetry
+/// recording with an **enabled** registry is bit-identical to the same
+/// dispatch with a **disabled** one (generator builds are deterministic:
+/// same spec + seed ⇒ same trace, including the seeded ORAM randomness).
+#[test]
+fn telemetry_on_vs_off_traces_are_bit_identical() {
+    for technique in [
+        Technique::LinearScan,
+        Technique::PathOram,
+        Technique::CircuitOram,
+        Technique::Dhe,
+    ] {
+        let spec = GeneratorSpec::with_technique(96, 8, technique);
+        let groups: Vec<Vec<u64>> = vec![vec![1, 2], vec![95]];
+        let run = |enabled: bool| {
+            let registry = Arc::new(if enabled {
+                Registry::new()
+            } else {
+                Registry::disabled()
+            });
+            let stats = ServerStats::with_registry(Arc::clone(&registry));
+            // Probe gauges are registered once at engine startup, outside
+            // any request; mirror that here.
+            let stash =
+                registry.gauge_with("oram_stash_occupancy", &[("replica", "0"), ("table", "0")]);
+            let mut generator = spec.build(11);
+            let ((), trace) = record_trace(|| {
+                let outputs = execute_batch(generator.as_mut(), &groups);
+                for out in &outputs {
+                    let mut stages = StageBreakdown::default();
+                    stages.set(Stage::Generate, 1_000);
+                    stats.record_completed(technique, out.rows(), 2_000.0, &stages);
+                }
+                if let Some(occ) = generator.stash_occupancy() {
+                    stash.set(occ as f64);
+                }
+            });
+            trace
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(!on.is_empty(), "{technique}: dispatch must touch memory");
+        assert_eq!(
+            on, off,
+            "{technique}: trace diverged when telemetry was toggled"
+        );
+    }
+}
+
+/// The `METRICS` wire frame returns Prometheus text exposition covering
+/// the serving counters, stage histograms, and below-serve gauges.
+#[test]
+fn metrics_frame_scrapes_over_tcp() {
+    let engine = Arc::new(Engine::start(EngineConfig::new(vec![TableConfig::new(
+        GeneratorSpec::Scan { rows: 128, dim: 8 },
+    )])));
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.generate(0, &[1, 2, 3], None).expect("generate");
+    let text = client.metrics_text().expect("metrics");
+    assert!(text.contains("secemb_requests_completed_total 1"), "{text}");
+    assert!(text.contains("# TYPE secemb_request_latency_ns histogram"));
+    assert!(text.contains("secemb_stage_ns_count{stage=\"generate\"} 1"));
+    assert!(text.contains("secemb_worker_batches_total"));
+    assert!(text.contains("secemb_queue_depth 0"));
+}
+
+/// An engine started with telemetry off hands out an inert registry but
+/// still serves correctly and still attributes stages on every response.
+#[test]
+fn disabled_telemetry_still_serves_with_stage_breakdowns() {
+    let mut config = EngineConfig::new(vec![TableConfig::new(GeneratorSpec::Scan {
+        rows: 64,
+        dim: 8,
+    })]);
+    config.telemetry = false;
+    let engine = Engine::start(config);
+    assert!(!engine.metrics().is_enabled());
+    let response = engine.call(Request::new(0, vec![5, 9]));
+    assert!(response.embeddings().is_some());
+    assert!(response.stages().expect("stages ride along").total_ns() > 0);
+    // Nothing was recorded.
+    assert_eq!(engine.stats().snapshot().completed, 0);
+    assert!(engine.render_metrics().is_empty());
+}
+
+/// The load generator's per-request records account for every answered
+/// request, carry server-attributed stage breakdowns on completions, and
+/// serialize to parseable JSON.
+#[test]
+fn loadgen_records_every_answered_request() {
+    use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
+    let engine = Arc::new(Engine::start(EngineConfig::new(vec![TableConfig::new(
+        GeneratorSpec::Scan { rows: 128, dim: 8 },
+    )])));
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let report = run_load(&LoadConfig {
+        addr: server.addr(),
+        connections: 2,
+        tables: vec![0],
+        batch: 2,
+        offered_rps: 400.0,
+        schedule: Schedule::Paced,
+        duration: Duration::from_millis(300),
+        deadline: None,
+        pipeline_depth: 2,
+        seed: 5,
+        record_requests: true,
+    })
+    .expect("load run");
+    assert!(report.completed > 0, "the run must serve something");
+    assert_eq!(
+        report.records.len() as u64,
+        report.completed + report.total_rejected(),
+        "one record per answered request"
+    );
+    for record in &report.records {
+        assert_eq!(record.table, 0);
+        assert!(record.latency_ns > 0);
+        if record.rejected.is_none() {
+            let stages = record.stages.expect("completions carry stages");
+            assert!(stages.total_ns() > 0);
+            assert!(
+                stages.total_ns() <= record.latency_ns,
+                "server-side stages fit inside the client round trip"
+            );
+        }
+        secemb_wire::json::parse(&record.to_json()).expect("record JSON parses");
     }
 }

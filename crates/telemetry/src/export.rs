@@ -1,0 +1,144 @@
+//! Periodic JSONL snapshot export.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use secemb_wire::json::Value;
+
+use crate::metrics::Registry;
+
+/// Writes one registry snapshot per interval as a JSON line:
+/// `{"seq": n, "uptime_ms": t, "metrics": {...}}`.
+///
+/// The writer runs on a background thread; [`JsonlExporter::stop`] (or
+/// drop) writes a final snapshot and joins it. Timestamps are relative
+/// (milliseconds since exporter start), which keeps output
+/// deterministic enough to diff across runs.
+#[derive(Debug)]
+pub struct JsonlExporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl JsonlExporter {
+    /// Start exporting `registry` to `path` every `interval`.
+    ///
+    /// The file is created (truncated) eagerly so a bad path fails
+    /// here, not on the background thread.
+    pub fn start(
+        registry: Arc<Registry>,
+        path: &Path,
+        interval: Duration,
+    ) -> io::Result<JsonlExporter> {
+        let file = File::create(path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(10));
+        let handle = thread::spawn(move || {
+            let mut w = BufWriter::new(file);
+            let start = Instant::now();
+            let mut seq = 0u64;
+            loop {
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        let _ = write_snapshot(&mut w, &registry, seq, start);
+                        return;
+                    }
+                    thread::sleep(Duration::from_millis(10).min(interval));
+                }
+                if write_snapshot(&mut w, &registry, seq, start).is_err() {
+                    return;
+                }
+                seq += 1;
+            }
+        });
+        Ok(JsonlExporter {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Write a final snapshot and join the writer thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JsonlExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn write_snapshot(
+    w: &mut BufWriter<File>,
+    registry: &Registry,
+    seq: u64,
+    start: Instant,
+) -> io::Result<()> {
+    let line = Value::obj([
+        ("seq", Value::Num(seq as f64)),
+        ("uptime_ms", Value::Num(start.elapsed().as_millis() as f64)),
+        ("metrics", registry.snapshot().to_json()),
+    ]);
+    writeln!(w, "{}", line.to_compact())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exporter_writes_parseable_lines() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("c").add(7);
+        registry
+            .histogram_with("stage_ns", &[("stage", "queue")])
+            .record(100);
+        let path = std::env::temp_dir().join("secemb_telemetry_test_export.jsonl");
+        let exporter =
+            JsonlExporter::start(Arc::clone(&registry), &path, Duration::from_millis(20))
+                .expect("start exporter");
+        thread::sleep(Duration::from_millis(80));
+        exporter.stop();
+        let text = std::fs::read_to_string(&path).expect("read exported file");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "expected at least one snapshot line");
+        for line in &lines {
+            let v = secemb_wire::json::parse(line).expect("line must parse as JSON");
+            assert!(v.get("seq").is_some());
+            assert!(v.get("uptime_ms").is_some());
+            let metrics = v.get("metrics").expect("metrics object");
+            assert_eq!(
+                metrics
+                    .get("c")
+                    .and_then(|c| c.get("value"))
+                    .and_then(|c| c.as_u64()),
+                Some(7)
+            );
+            assert!(metrics.get("stage_ns{stage=\"queue\"}").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_path_fails_eagerly() {
+        let registry = Arc::new(Registry::new());
+        let path = Path::new("/nonexistent-dir-secemb/out.jsonl");
+        assert!(JsonlExporter::start(registry, path, Duration::from_millis(50)).is_err());
+    }
+}

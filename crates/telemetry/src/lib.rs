@@ -1,0 +1,42 @@
+//! Side-channel-safe observability for the secemb serving stack.
+//!
+//! This crate provides three pieces, all designed so that turning
+//! telemetry on or off cannot change the memory-access trace of the
+//! protected embedding-generation paths:
+//!
+//! 1. A lock-free [`Registry`] of named metrics — [`Counter`]s,
+//!    [`Gauge`]s, and log-bucketed [`Histogram`]s with atomic buckets.
+//!    Handles are `Arc`s obtained once; recording on the hot path is a
+//!    handful of relaxed atomic operations with no locking and no
+//!    allocation.
+//! 2. Request-lifecycle span attribution: the [`Stage`] enum names the
+//!    phases a served request passes through (admit → queue → batch →
+//!    generate → reply → write) and [`StageBreakdown`] carries the
+//!    per-stage nanosecond totals on every response.
+//! 3. Exporters: [`JsonlExporter`] writes periodic registry snapshots
+//!    as JSON lines, and [`RegistrySnapshot::render_prometheus`]
+//!    produces Prometheus text exposition for the wire protocol's
+//!    `METRICS` frame.
+//!
+//! # Security invariant
+//!
+//! Every metric in this crate records *per-batch* or *per-request*
+//! quantities — counts, latencies, occupancy after a batch. Nothing is
+//! keyed by an embedding index, a bucket identity, or any other secret.
+//! The serving crate's trace-equivalence tests assert that the recorded
+//! memory-access trace of each protected technique is bit-identical
+//! with telemetry enabled and disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::JsonlExporter;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, Registry,
+    RegistrySnapshot,
+};
+pub use span::{Stage, StageBreakdown};

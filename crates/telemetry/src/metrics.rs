@@ -1,0 +1,722 @@
+//! Lock-free metrics: counters, gauges, log-bucketed histograms, and
+//! the registry that names them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use secemb_wire::json::Value;
+
+/// A monotonically increasing counter.
+///
+/// Recording is a single relaxed `fetch_add`; handles are cheap to
+/// clone (`Arc`) and safe to share across threads.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: bool,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(enabled: bool) -> Self {
+        Counter {
+            enabled,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as bits in an
+/// `AtomicU64`, so reads and writes are lock-free).
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: bool,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new(enabled: bool) -> Self {
+        Gauge {
+            enabled,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        if self.enabled {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two octave (HDR-lite).
+const SUB_BUCKETS: usize = 8;
+/// Total bucket count: 8 exact buckets for values 0..8, then 8
+/// sub-buckets per octave for exponents 3..=63.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - 3) * SUB_BUCKETS;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Values 0..8 land in exact unit buckets; larger values are bucketed
+/// by their power-of-two octave split into 8 linear sub-buckets, which
+/// bounds the relative quantile error at 12.5%. Recording touches
+/// three relaxed atomics and never allocates or locks.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: bool,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(enabled: bool) -> Self {
+        Histogram {
+            enabled,
+            sum: AtomicU64::new(0),
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                count += c;
+                buckets.push((bucket_upper(i), c));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The bucket index for value `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= 3
+        let sub = ((v >> (exp - 3)) & 7) as usize;
+        SUB_BUCKETS + (exp - 3) * SUB_BUCKETS + sub
+    }
+}
+
+/// The inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        i as u64
+    } else {
+        let octave = i - SUB_BUCKETS;
+        let exp = 3 + octave / SUB_BUCKETS;
+        let sub = (octave % SUB_BUCKETS) as u128;
+        let upper = (1u128 << exp) + ((sub + 1) << (exp - 3)) - 1;
+        upper.min(u64::MAX as u128) as u64
+    }
+}
+
+/// A point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded samples (sum of bucket counts).
+    pub count: u64,
+    /// Sum of all recorded sample values.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile (`q` in 0..=1): the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(u, _)| u).unwrap_or(0)
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The value of one registered metric in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's last set value.
+    Gauge(f64),
+    /// A histogram's bucket view.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric (with labels) and its value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name, e.g. `stage_ns`.
+    pub name: String,
+    /// Label pairs, e.g. `[("stage", "queue")]`.
+    pub labels: Vec<(String, String)>,
+    /// The metric's value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl MetricEntry {
+    /// The flat key `name{k="v",...}` (bare name when unlabelled).
+    pub fn key(&self) -> String {
+        format_key(&self.name, &self.labels)
+    }
+}
+
+fn format_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    format!("{}{{{}}}", name, body.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+type MetricKey = (String, Vec<(String, String)>);
+
+/// A named collection of metrics.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call for
+/// a `(name, labels)` key registers the metric, later calls return the
+/// same handle. Registration takes a short mutex; recording through
+/// the returned handles is lock-free. Label order is part of the key.
+///
+/// A registry built with [`Registry::disabled`] hands out inert,
+/// unregistered handles whose recording methods are no-ops, so
+/// instrumented code is identical either way — only the stores are
+/// skipped — and its snapshots and renders stay empty.
+pub struct Registry {
+    enabled: bool,
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry: handles exist but record nothing.
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Get or create an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create a labelled counter.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        if !self.enabled {
+            return Arc::new(Counter::new(false));
+        }
+        let mut map = self.metrics.lock().unwrap();
+        let entry = map
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new(self.enabled))));
+        match entry {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create a labelled gauge.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        if !self.enabled {
+            return Arc::new(Gauge::new(false));
+        }
+        let mut map = self.metrics.lock().unwrap();
+        let entry = map
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new(self.enabled))));
+        match entry {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get or create a labelled histogram.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        if !self.enabled {
+            return Arc::new(Histogram::new(false));
+        }
+        let mut map = self.metrics.lock().unwrap();
+        let entry = map
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(self.enabled))));
+        match entry {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time view of every registered metric, sorted by key.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.metrics.lock().unwrap();
+        let entries = map
+            .iter()
+            .map(|((name, labels), metric)| MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        RegistrySnapshot { entries }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    (
+        name.to_string(),
+        labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    )
+}
+
+/// A point-in-time view of a [`Registry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegistrySnapshot {
+    /// All metrics, sorted by `(name, labels)`.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl RegistrySnapshot {
+    /// The value for an exact `(name, labels)` key, if registered.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == labels.len()
+                    && e.labels
+                        .iter()
+                        .zip(labels.iter())
+                        .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+            })
+            .map(|e| &e.value)
+    }
+
+    /// Render as a JSON object keyed by `name{labels}`.
+    ///
+    /// Counters become `{"type":"counter","value":n}`, gauges
+    /// `{"type":"gauge","value":x}`, and histograms carry count, sum,
+    /// p50/p95/p99 and the non-empty `(le, count)` buckets.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        for e in &self.entries {
+            let v = match &e.value {
+                MetricValue::Counter(n) => Value::obj([
+                    ("type", Value::Str("counter".into())),
+                    ("value", Value::Num(*n as f64)),
+                ]),
+                MetricValue::Gauge(x) => Value::obj([
+                    ("type", Value::Str("gauge".into())),
+                    ("value", Value::Num(*x)),
+                ]),
+                MetricValue::Histogram(h) => {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .map(|&(upper, c)| {
+                            Value::obj([
+                                ("le", Value::Num(upper as f64)),
+                                ("count", Value::Num(c as f64)),
+                            ])
+                        })
+                        .collect();
+                    Value::obj([
+                        ("type", Value::Str("histogram".into())),
+                        ("count", Value::Num(h.count as f64)),
+                        ("sum", Value::Num(h.sum as f64)),
+                        ("p50", Value::Num(h.quantile(0.50) as f64)),
+                        ("p95", Value::Num(h.quantile(0.95) as f64)),
+                        ("p99", Value::Num(h.quantile(0.99) as f64)),
+                        ("buckets", Value::Arr(buckets)),
+                    ])
+                }
+            };
+            obj.insert(e.key(), v);
+        }
+        Value::Obj(obj)
+    }
+
+    /// Render in Prometheus text exposition format.
+    ///
+    /// Every metric name gets `prefix` prepended (e.g. `secemb_`).
+    /// Histograms emit cumulative `_bucket{le=...}` series plus `_sum`
+    /// and `_count`.
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            if last_name != Some(e.name.as_str()) {
+                let kind = match &e.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {}{} {}\n", prefix, e.name, kind));
+                last_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                MetricValue::Counter(n) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        prefix,
+                        format_key(&e.name, &e.labels),
+                        n
+                    ));
+                }
+                MetricValue::Gauge(x) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        prefix,
+                        format_key(&e.name, &e.labels),
+                        x
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for &(upper, c) in &h.buckets {
+                        cumulative += c;
+                        let mut labels = e.labels.clone();
+                        labels.push(("le".to_string(), upper.to_string()));
+                        out.push_str(&format!(
+                            "{}{}_bucket{} {}\n",
+                            prefix,
+                            e.name,
+                            label_block(&labels),
+                            cumulative
+                        ));
+                    }
+                    let mut labels = e.labels.clone();
+                    labels.push(("le".to_string(), "+Inf".to_string()));
+                    out.push_str(&format!(
+                        "{}{}_bucket{} {}\n",
+                        prefix,
+                        e.name,
+                        label_block(&labels),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{}{}_sum{} {}\n",
+                        prefix,
+                        e.name,
+                        label_block(&e.labels),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}{}_count{} {}\n",
+                        prefix,
+                        e.name,
+                        label_block(&e.labels),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",...}` or the empty string when unlabelled.
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bucket_index_and_upper_round_trip() {
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(v <= upper, "v={v} upper={upper}");
+            if i > 0 {
+                let lower = bucket_upper(i - 1);
+                assert!(v > lower, "v={v} lower={lower}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let h = Histogram::new(true);
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10_000);
+        for (q, exact) in [(0.5, 5_000f64), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let est = snap.quantile(q) as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= 0.125, "q={q} est={est} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new(true);
+        for v in [0u64, 1, 2, 7] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.buckets,
+            vec![(0u64, 1u64), (1, 1), (2, 1), (7, 1)],
+            "unit buckets must be exact"
+        );
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter_with("hits", &[("table", "0")]);
+        let b = r.counter_with("hits", &[("table", "0")]);
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        let other = r.counter_with("hits", &[("table", "1")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        c.add(10);
+        g.set(3.5);
+        h.record(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.snapshot().count, 0);
+        // Disabled handles are never registered: exports stay empty.
+        assert!(r.snapshot().entries.is_empty());
+        assert!(r.snapshot().render_prometheus("x_").is_empty());
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_no_counts() {
+        let r = Arc::new(Registry::new());
+        const THREADS: usize = 8;
+        const ITERS: u64 = 20_000;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || {
+                let c = r.counter("hammer_total");
+                let h = r.histogram_with("hammer_ns", &[("thread", &t.to_string())]);
+                let shared = r.histogram("hammer_shared_ns");
+                for i in 0..ITERS {
+                    c.inc();
+                    h.record(i);
+                    shared.record(i % 1024);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = r.snapshot();
+        match snap.get("hammer_total", &[]).unwrap() {
+            MetricValue::Counter(n) => assert_eq!(*n, THREADS as u64 * ITERS),
+            v => panic!("unexpected {v:?}"),
+        }
+        match snap.get("hammer_shared_ns", &[]).unwrap() {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, THREADS as u64 * ITERS);
+                let per_thread: u64 = ITERS / 1024 * 1024;
+                let _ = per_thread;
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+        for t in 0..THREADS {
+            match snap
+                .get("hammer_ns", &[("thread", &t.to_string())])
+                .unwrap()
+            {
+                MetricValue::Histogram(h) => assert_eq!(h.count, ITERS),
+                v => panic!("unexpected {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let r = Registry::new();
+        r.counter("requests_total").add(5);
+        r.gauge_with("depth", &[("table", "0")]).set(2.0);
+        let h = r.histogram_with("lat_ns", &[("stage", "queue")]);
+        h.record(3);
+        h.record(100);
+        let text = r.snapshot().render_prometheus("secemb_");
+        assert!(text.contains("# TYPE secemb_requests_total counter"));
+        assert!(text.contains("secemb_requests_total 5"));
+        assert!(text.contains("secemb_depth{table=\"0\"} 2"));
+        assert!(text.contains("# TYPE secemb_lat_ns histogram"));
+        assert!(text.contains("secemb_lat_ns_bucket{stage=\"queue\",le=\"+Inf\"} 2"));
+        assert!(text.contains("secemb_lat_ns_sum{stage=\"queue\"} 103"));
+        assert!(text.contains("secemb_lat_ns_count{stage=\"queue\"} 2"));
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let r = Registry::new();
+        r.counter("c").add(1);
+        let h = r.histogram_with("stage_ns", &[("stage", "admit")]);
+        h.record(10);
+        let json = r.snapshot().to_json().to_compact();
+        let parsed = secemb_wire::json::parse(&json).expect("snapshot JSON must parse");
+        assert_eq!(
+            parsed
+                .get("c")
+                .and_then(|v| v.get("value"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        let hist = parsed.get("stage_ns{stage=\"admit\"}").expect("hist key");
+        assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+}

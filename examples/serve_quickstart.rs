@@ -73,7 +73,7 @@ fn main() {
                     let request =
                         Request::new(table, indices).with_deadline(Duration::from_millis(20));
                     match engine.call(request) {
-                        Response::Embeddings(m) => {
+                        Response::Embeddings(m, _) => {
                             assert_eq!(m.shape(), (4, 64));
                             served += 1;
                         }
