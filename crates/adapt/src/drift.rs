@@ -84,8 +84,14 @@ impl DriftDetector {
         let a = self.config.alpha;
         self.ewma_ns = a * sample_ns + (1.0 - a) * self.ewma_ns;
         let x = (sample_ns / self.baseline_ns).ln();
-        self.cusum_up = (self.cusum_up + x - self.config.k).max(0.0);
-        self.cusum_down = (self.cusum_down - x - self.config.k).max(0.0);
+        // The statistics are capped at 1.5 * h: detection only needs
+        // them to cross h, and an uncapped sum winds up inertia during a
+        // long shift that then takes hundreds of clean samples to decay
+        // — the verdict would outlive the disturbance itself, so an
+        // oscillating neighbour would read as one long drift episode.
+        let cap = 1.5 * self.config.h;
+        self.cusum_up = (self.cusum_up + x - self.config.k).clamp(0.0, cap);
+        self.cusum_down = (self.cusum_down - x - self.config.k).clamp(0.0, cap);
         self.samples_seen += 1;
     }
 
@@ -198,6 +204,31 @@ mod tests {
         }
         assert!(d.drifted());
         assert!(d.drift_ratio() < 0.7);
+    }
+
+    #[test]
+    fn the_verdict_clears_promptly_after_the_shift_ends() {
+        let mut d = DriftDetector::new(quick(), 1000.0);
+        // An arbitrarily long 3x episode must not wind up inertia...
+        for _ in 0..10_000 {
+            d.observe(3000.0);
+        }
+        assert!(d.drifted());
+        // ...so once costs return to baseline the verdict clears within
+        // a bounded number of samples — (cap - h) / k = 8 here — not in
+        // proportion to the episode length. Without the cap this takes
+        // hundreds of clean samples and an oscillating neighbour reads
+        // as one unbroken drift episode, defeating the dwell damper.
+        let mut cleared_at = None;
+        for i in 1..=20 {
+            d.observe(1000.0);
+            if !d.drifted() {
+                cleared_at = Some(i);
+                break;
+            }
+        }
+        let at = cleared_at.expect("verdict must clear");
+        assert!(at <= 10, "cleared only after {at} clean samples");
     }
 
     #[test]

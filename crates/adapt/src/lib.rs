@@ -23,7 +23,14 @@
 //!   drift, re-profile, derive a fresh versioned
 //!   [`AllocationPlan`], and apply it to the engine as an atomic
 //!   epoch-tagged swap (in-flight batches finish on the old plan; no
-//!   request is dropped).
+//!   request is dropped). Two dampers — a dwell window on the drift
+//!   verdict and a hysteresis band on technique flips — keep oscillating
+//!   costs from thrashing the allocation, and the decision is three-way:
+//!   scan below the crossover, Circuit ORAM on a profiled middle band,
+//!   DHE above it.
+//! - [`persist`] — a small versioned JSON artifact carrying the applied
+//!   crossovers, written after every reallocation and loaded on startup
+//!   so a restarted server resumes from what the last process learned.
 //!
 //! None of this weakens the security argument: the technique chosen for a
 //! table depends only on *public* quantities (table size, measured
@@ -32,11 +39,15 @@
 
 pub mod controller;
 pub mod drift;
+pub mod persist;
 pub mod reprofile;
 
-pub use controller::{AdaptConfig, AdaptiveController, ControllerHandle, StepOutcome};
+pub use controller::{
+    AdaptConfig, AdaptiveController, ControllerHandle, DampedTrigger, StepOutcome, TriggerDecision,
+};
 pub use drift::{DriftConfig, DriftDetector};
+pub use persist::{ProfileArtifact, PROFILE_FORMAT};
 pub use reprofile::{reprofile, ReprofileConfig, ReprofileReport};
 
 // The plan artifact the controller produces and the engine consumes.
-pub use secemb::hybrid::{AllocationPlan, PlannedTable};
+pub use secemb::hybrid::{AllocationPlan, Crossovers, PlannedTable};

@@ -1,0 +1,187 @@
+//! Versioned persistence of re-profiled crossovers.
+//!
+//! Re-profiling is a measurement of *this machine under current
+//! conditions* — expensive to learn, cheap to keep. The controller
+//! writes the crossovers of every applied plan to a small versioned JSON
+//! artifact, and a restarting server loads it back so the first plan it
+//! serves already reflects what the previous process learned, instead of
+//! re-walking the drift → dwell → re-profile path from the stale offline
+//! threshold.
+//!
+//! The artifact carries the execution configuration it was profiled for
+//! (`dim`, `batch`, `threads`): a loader serving a different
+//! configuration should discard it rather than inherit crossovers
+//! measured for someone else's kernels.
+
+use secemb::hybrid::Crossovers;
+use secemb_wire::json::{self, JsonError, Value};
+use std::io;
+use std::path::Path;
+
+/// Artifact format version this build reads and writes. Bumped on any
+/// incompatible field change; [`ProfileArtifact::from_json`] rejects
+/// files from other versions instead of guessing.
+pub const PROFILE_FORMAT: u64 = 1;
+
+/// The persisted state of one controller: where the crossovers stood
+/// when the last plan was applied, and for which execution
+/// configuration they were measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileArtifact {
+    /// Embedding dimension the crossovers were profiled at.
+    pub dim: usize,
+    /// Execution batch size the crossovers were profiled for.
+    pub batch: usize,
+    /// Worker thread count the crossovers were profiled for.
+    pub threads: usize,
+    /// The allocation boundaries of the last applied plan.
+    pub crossovers: Crossovers,
+    /// Version of the last applied [`AllocationPlan`](crate::AllocationPlan);
+    /// a restart resumes numbering above it.
+    pub plan_version: u64,
+}
+
+fn field_error(field: &str) -> JsonError {
+    JsonError {
+        message: format!("ProfileArtifact: missing or invalid field '{field}'"),
+        position: 0,
+    }
+}
+
+impl ProfileArtifact {
+    /// Serializes to the versioned JSON artifact.
+    pub fn to_json(&self) -> String {
+        Value::obj([
+            ("format", Value::Num(PROFILE_FORMAT as f64)),
+            ("dim", Value::Num(self.dim as f64)),
+            ("batch", Value::Num(self.batch as f64)),
+            ("threads", Value::Num(self.threads as f64)),
+            ("scan_to", Value::Num(self.crossovers.scan_to as f64)),
+            ("oram_to", Value::Num(self.crossovers.oram_to as f64)),
+            ("plan_version", Value::Num(self.plan_version as f64)),
+        ])
+        .to_compact()
+    }
+
+    /// Parses the JSON artifact, rejecting unknown format versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON, a missing/invalid
+    /// field, or a `format` other than [`PROFILE_FORMAT`].
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(s)?;
+        let u64_field = |name: &str| -> Result<u64, JsonError> {
+            doc.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| field_error(name))
+        };
+        let format = u64_field("format")?;
+        if format != PROFILE_FORMAT {
+            return Err(JsonError {
+                message: format!(
+                    "ProfileArtifact: unsupported format {format} (this build reads \
+                     {PROFILE_FORMAT})"
+                ),
+                position: 0,
+            });
+        }
+        Ok(ProfileArtifact {
+            dim: u64_field("dim")? as usize,
+            batch: u64_field("batch")? as usize,
+            threads: u64_field("threads")? as usize,
+            crossovers: Crossovers {
+                scan_to: u64_field("scan_to")?,
+                oram_to: u64_field("oram_to")?,
+            },
+            plan_version: u64_field("plan_version")?,
+        })
+    }
+
+    /// Writes the artifact to `path`, atomically where the filesystem
+    /// allows: the JSON goes to a sibling temp file first and is renamed
+    /// over the target, so a crash mid-write never leaves a torn
+    /// artifact for the next startup to trip on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying filesystem error.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads an artifact previously written by [`store`](Self::store).
+    ///
+    /// # Errors
+    ///
+    /// Returns the filesystem error, or [`io::ErrorKind::InvalidData`]
+    /// wrapping the parse failure (malformed JSON, missing field,
+    /// unsupported format version).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> ProfileArtifact {
+        ProfileArtifact {
+            dim: 64,
+            batch: 8,
+            threads: 2,
+            crossovers: Crossovers {
+                scan_to: 100_000,
+                oram_to: 450_000,
+            },
+            plan_version: 7,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let a = artifact();
+        assert_eq!(ProfileArtifact::from_json(&a.to_json()).unwrap(), a);
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        let tampered = artifact().to_json().replace("\"format\":1", "\"format\":2");
+        let err = ProfileArtifact::from_json(&tampered).unwrap_err();
+        assert!(err.message.contains("unsupported format 2"), "{err:?}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let doc = Value::obj([("format", Value::Num(PROFILE_FORMAT as f64))]).to_compact();
+        let err = ProfileArtifact::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("'dim'"), "{err:?}");
+    }
+
+    #[test]
+    fn file_round_trips_and_survives_rewrites() {
+        let path =
+            std::env::temp_dir().join(format!("secemb-profile-test-{}.json", std::process::id()));
+        let a = artifact();
+        a.store(&path).expect("store");
+        assert_eq!(ProfileArtifact::load(&path).expect("load"), a);
+        // Overwrite with a newer artifact; the load sees the new one.
+        let b = ProfileArtifact {
+            plan_version: 8,
+            ..a
+        };
+        b.store(&path).expect("re-store");
+        assert_eq!(ProfileArtifact::load(&path).expect("reload"), b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_of_missing_file_is_not_found() {
+        let err = ProfileArtifact::load(Path::new("/nonexistent/secemb-profile.json")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

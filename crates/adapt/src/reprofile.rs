@@ -1,14 +1,14 @@
 //! Bounded, throttled background re-profiling.
 //!
 //! A full Algorithm 2 sweep is an offline luxury; online we re-measure
-//! only a log window around the previous threshold
+//! only a log window around the previous crossovers
 //! ([`Profiler::refine_sizes`]) and sleep between grid points so the
-//! probe's own scan/DHE kernels never monopolize the cores the serving
-//! workers need. The result is the paper's crossover search re-run under
-//! *current* machine conditions, at `points × repeats` measurements of
-//! total cost, off the request path.
+//! probe's own scan/ORAM/DHE kernels never monopolize the cores the
+//! serving workers need. The result is the paper's crossover search
+//! re-run under *current* machine conditions, at `points × repeats`
+//! measurements of total cost, off the request path.
 
-use secemb::hybrid::Profiler;
+use secemb::hybrid::{Crossovers, Profiler};
 use std::time::{Duration, Instant};
 
 /// Re-profiling budget and window.
@@ -17,9 +17,10 @@ pub struct ReprofileConfig {
     /// Embedding dimension to profile at (must match the served tables).
     pub dim: usize,
     /// Half-width of the search window as a multiplier: sizes span
-    /// `[old / window_factor, old * window_factor]`.
+    /// `[old / window_factor, old * window_factor]` around each old
+    /// crossover.
     pub window_factor: f64,
-    /// Grid points inside the window.
+    /// Grid points inside each window.
     pub points: usize,
     /// Measurement repetitions per point (median is used).
     pub repeats: usize,
@@ -34,11 +35,16 @@ pub struct ReprofileConfig {
     /// online probe must measure the variant it would deploy or the
     /// resulting plan describes a generator nobody runs.
     pub varied_dhe: bool,
+    /// Whether Circuit ORAM is probed as a third candidate, giving the
+    /// report a real ORAM band. `false` pins the band empty (the paper's
+    /// two-way scan/DHE split) and skips the ORAM measurements.
+    pub oram: bool,
 }
 
 impl ReprofileConfig {
     /// A bounded probe at dimension `dim`: 5 points across a 4× window,
-    /// 3 repeats, 2 ms throttle, Varied DHE sizing (as deployed).
+    /// 3 repeats, 2 ms throttle, Varied DHE sizing (as deployed), ORAM
+    /// probed.
     pub fn new(dim: usize) -> Self {
         ReprofileConfig {
             dim,
@@ -47,6 +53,7 @@ impl ReprofileConfig {
             repeats: 3,
             throttle: Duration::from_millis(2),
             varied_dhe: true,
+            oram: true,
         }
     }
 }
@@ -54,57 +61,96 @@ impl ReprofileConfig {
 /// What one re-profiling round measured.
 #[derive(Clone, Copy, Debug)]
 pub struct ReprofileReport {
-    /// The updated scan/DHE crossover. Clamped to the window: the low
-    /// edge when DHE already won there, one past the high edge when scan
-    /// won everywhere (see [`Profiler::find_threshold_near`]).
+    /// The updated allocation boundaries, clamped to the probed window:
+    /// a crossover that fell below it comes back as the low edge, one
+    /// that rose above it as one past the high edge (see
+    /// [`Profiler::find_crossovers_near`]) — either answer moves the
+    /// allocation in the right direction and a later round can refine
+    /// again.
+    pub crossovers: Crossovers,
+    /// The scan boundary alone (`crossovers.scan_to`) — the quantity the
+    /// paper's two-way split calls *the* threshold.
     pub threshold: u64,
-    /// Grid points actually measured (scan + DHE each).
+    /// Grid points actually measured.
     pub points_probed: usize,
     /// Wall-clock cost of the round, throttle sleeps included.
     pub elapsed: Duration,
 }
 
-/// Runs one bounded re-profiling round around `old_threshold` for the
-/// `(batch, threads)` execution configuration.
+/// Runs one bounded re-profiling round around the `old` crossovers for
+/// the `(batch, threads)` execution configuration.
 ///
-/// Semantics match [`Profiler::find_threshold_near`] — the first grid
-/// size where DHE is at least as fast as scan — but measured point by
-/// point with `config.throttle` sleeps in between, and stopping early
-/// once the crossover is found (sizes above it don't need probing).
+/// Semantics match [`Profiler::find_crossovers_near`] — walk the union
+/// of the refinement grids around both old boundaries, take the first
+/// size where scan stops winning as `scan_to` and the first size at or
+/// past it where DHE beats Circuit ORAM as `oram_to` — but measured
+/// point by point with `config.throttle` sleeps in between, and stopping
+/// early once both boundaries are pinned (sizes above them don't need
+/// probing). With `config.oram == false` the ORAM band stays empty and
+/// the walk degenerates to the two-way scan/DHE threshold search.
 ///
 /// # Panics
 ///
 /// Panics if `config.window_factor <= 1.0` or `config.points < 2`.
 pub fn reprofile(
     config: &ReprofileConfig,
-    old_threshold: u64,
+    old: Crossovers,
     batch: usize,
     threads: usize,
 ) -> ReprofileReport {
     let t0 = Instant::now();
-    let sizes = Profiler::refine_sizes(old_threshold, config.window_factor, config.points);
+    let mut sizes = Profiler::refine_sizes(old.scan_to, config.window_factor, config.points);
+    if config.oram && !old.is_two_way() {
+        sizes.extend(Profiler::refine_sizes(
+            old.oram_to,
+            config.window_factor,
+            config.points,
+        ));
+        sizes.sort_unstable();
+        sizes.dedup();
+    }
     let profiler = Profiler {
         dim: config.dim,
         sizes: Vec::new(), // sizes are stepped manually below
         repeats: config.repeats,
         varied_dhe: config.varied_dhe,
     };
-    let mut threshold = sizes.last().map_or(0, |&s| s + 1);
+    let past_grid = sizes.last().map_or(0, |&s| s + 1);
+    let mut scan_to: Option<u64> = None;
+    let mut oram_to: Option<u64> = None;
     let mut points_probed = 0;
     for (i, &rows) in sizes.iter().enumerate() {
         if i > 0 {
             std::thread::sleep(config.throttle);
         }
-        let scan = profiler.measure_scan(rows, batch, threads);
         let dhe = profiler.measure_dhe(rows, batch, threads);
+        let oram = if config.oram {
+            profiler.measure_circuit_oram(rows, batch, threads)
+        } else {
+            f64::INFINITY
+        };
         points_probed += 1;
-        if dhe <= scan {
-            threshold = rows;
-            break;
+        if scan_to.is_none() {
+            let scan = profiler.measure_scan(rows, batch, threads);
+            if dhe.min(oram) <= scan {
+                scan_to = Some(rows);
+            } else {
+                continue; // scan still wins; neither boundary reached
+            }
+        }
+        if dhe <= oram {
+            oram_to = Some(rows);
+            break; // both boundaries pinned; larger sizes are DHE's
         }
     }
+    let crossovers = Crossovers {
+        scan_to: scan_to.unwrap_or(past_grid),
+        oram_to: oram_to.unwrap_or(past_grid),
+    }
+    .normalized();
     ReprofileReport {
-        threshold,
+        crossovers,
+        threshold: crossovers.scan_to,
         points_probed,
         elapsed: t0.elapsed(),
     }
@@ -122,13 +168,14 @@ mod tests {
             repeats: 1,
             throttle: Duration::from_micros(100),
             varied_dhe: false,
+            oram: false,
         }
     }
 
     #[test]
     fn threshold_stays_inside_the_window() {
         let config = tiny();
-        let report = reprofile(&config, 512, 4, 1);
+        let report = reprofile(&config, Crossovers::two_way(512), 4, 1);
         let lo = (512.0 / config.window_factor) as u64;
         let hi = (512.0 * config.window_factor) as u64 + 2;
         assert!(
@@ -136,6 +183,7 @@ mod tests {
             "threshold {} outside [{lo}, {hi}]",
             report.threshold
         );
+        assert_eq!(report.threshold, report.crossovers.scan_to);
         assert!(report.points_probed >= 1 && report.points_probed <= config.points);
         assert!(report.elapsed > Duration::ZERO);
     }
@@ -149,10 +197,44 @@ mod tests {
             window_factor: 1.5,
             ..tiny()
         };
-        let report = reprofile(&config, 4_000_000, 4, 1);
+        let report = reprofile(&config, Crossovers::two_way(4_000_000), 4, 1);
         assert_eq!(report.points_probed, 1);
         let window_low_edge = Profiler::refine_sizes(4_000_000, 1.5, 3)[0];
         assert_eq!(report.threshold, window_low_edge);
+    }
+
+    #[test]
+    fn two_way_probe_reports_an_empty_oram_band() {
+        let report = reprofile(&tiny(), Crossovers::two_way(512), 4, 1);
+        assert!(report.crossovers.is_two_way());
+        assert_eq!(report.crossovers.oram_to, report.crossovers.scan_to);
+    }
+
+    #[test]
+    fn oram_probe_reports_ordered_crossovers() {
+        let config = ReprofileConfig {
+            oram: true,
+            ..tiny()
+        };
+        let report = reprofile(&config, Crossovers::two_way(512), 4, 1);
+        assert!(
+            report.crossovers.scan_to <= report.crossovers.oram_to,
+            "bands out of order: {:?}",
+            report.crossovers
+        );
+        assert_eq!(report.threshold, report.crossovers.scan_to);
+        // The union grid around a non-empty old band is still bounded.
+        let wide = reprofile(
+            &config,
+            Crossovers {
+                scan_to: 256,
+                oram_to: 1024,
+            },
+            4,
+            1,
+        );
+        assert!(wide.crossovers.scan_to <= wide.crossovers.oram_to);
+        assert!(wide.points_probed >= 1);
     }
 
     #[test]
@@ -162,6 +244,6 @@ mod tests {
             window_factor: 1.0,
             ..tiny()
         };
-        reprofile(&config, 100, 1, 1);
+        reprofile(&config, Crossovers::two_way(100), 1, 1);
     }
 }

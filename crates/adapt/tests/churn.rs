@@ -1,0 +1,131 @@
+//! Churn damping under an oscillating co-location disturbance: however
+//! the noisy neighbours flap, the dwell + cooldown damper bounds how
+//! often the controller may rebuild generators, and serving stays
+//! correct throughout.
+
+use secemb::{GeneratorSpec, Technique};
+use secemb_adapt::{AdaptConfig, AdaptiveController, ReprofileConfig};
+use secemb_dlrm::colocate::{start_disturbance, Workload};
+use secemb_serve::{Engine, EngineConfig, Request, TableConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 16;
+const ROWS: u64 = 512;
+
+fn damped_config(dwell: Duration, cooldown: Duration) -> AdaptConfig {
+    let mut config = AdaptConfig::new(DIM);
+    config.dwell = dwell;
+    config.cooldown = cooldown;
+    config.hysteresis = 0.25;
+    config.drift.min_samples = 8;
+    config.reprofile = ReprofileConfig {
+        dim: DIM,
+        window_factor: 2.0,
+        points: 3,
+        repeats: 1,
+        throttle: Duration::from_micros(200),
+        varied_dhe: false,
+        oram: false,
+    };
+    config.batch = 4;
+    config.threads = 1;
+    config
+}
+
+/// An oscillating `start_disturbance` schedule — noise on for a
+/// half-cycle, off for a half-cycle, several times over — while the
+/// controller steps against live traffic. Whatever drift verdicts the
+/// flapping produces, reallocations stay under the damper's bound
+/// `elapsed / (dwell + cooldown) + 1`, and the engine serves correctly
+/// after every cycle.
+#[test]
+fn oscillating_disturbance_swaps_are_bounded_by_the_dwell() {
+    let engine = Arc::new(Engine::start(EngineConfig::new(vec![TableConfig {
+        spec: GeneratorSpec::Scan {
+            rows: ROWS,
+            dim: DIM,
+        },
+        seed: 3,
+        queue_capacity: 512,
+        cost_override_ns: None, // honest startup profile; only real drift counts
+    }])));
+    let dwell = Duration::from_millis(120);
+    let cooldown = Duration::from_millis(120);
+    let mut controller = AdaptiveController::new(
+        Arc::clone(&engine),
+        4 * ROWS,
+        damped_config(dwell, cooldown),
+    );
+
+    let reference = GeneratorSpec::Scan {
+        rows: ROWS,
+        dim: DIM,
+    }
+    .build(3)
+    .generate_batch(&[0, 7, ROWS - 1]);
+
+    let t0 = Instant::now();
+    let half_cycle = Duration::from_millis(150);
+    for cycle in 0..4 {
+        // Noise on: two contending scan workloads on their own threads.
+        let noise = start_disturbance(&[
+            Workload::new(Technique::LinearScan, 1 << 14, DIM, 8),
+            Workload::new(Technique::LinearScan, 1 << 14, DIM, 8),
+        ]);
+        let phase_end = Instant::now() + half_cycle;
+        while Instant::now() < phase_end {
+            for i in 0..8u64 {
+                engine
+                    .call(Request::new(0, vec![(cycle * 8 + i) % ROWS]))
+                    .embeddings()
+                    .expect("served under noise");
+            }
+            controller.step();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(noise); // noise off (joined on drop)
+        let phase_end = Instant::now() + half_cycle;
+        while Instant::now() < phase_end {
+            for i in 0..8u64 {
+                engine
+                    .call(Request::new(0, vec![(cycle * 8 + i) % ROWS]))
+                    .embeddings()
+                    .expect("served in the quiet phase");
+            }
+            controller.step();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    // The damper's hard bound, independent of how the drift verdicts
+    // flapped: one swap per (dwell + cooldown), plus the initial one.
+    let bound = elapsed.as_millis() as u64 / (dwell + cooldown).as_millis() as u64 + 1;
+    assert!(
+        controller.reallocations() <= bound,
+        "{} reallocations in {:?} violates the dwell+cooldown bound of {bound}",
+        controller.reallocations(),
+        elapsed
+    );
+
+    // Serving stayed bit-correct across every applied swap (a swapped
+    // table would produce its own technique's reference instead).
+    if engine.tables()[0].technique == Technique::LinearScan {
+        let out = engine.call(Request::new(0, vec![0, 7, ROWS - 1]));
+        assert_eq!(
+            out.embeddings().expect("served after the churn"),
+            &reference
+        );
+    } else {
+        // The controller legitimately flipped the table; it must still
+        // answer, on whatever generator it chose.
+        engine
+            .call(Request::new(0, vec![0, 7, ROWS - 1]))
+            .embeddings()
+            .expect("served after a flip");
+    }
+    let snapshot = engine.stats().snapshot();
+    assert_eq!(snapshot.total_rejected(), 0, "no request was shed");
+    assert_eq!(snapshot.accepted, snapshot.completed);
+}

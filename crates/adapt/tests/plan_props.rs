@@ -2,7 +2,9 @@
 //! derived allocations are monotone in table size.
 
 use proptest::prelude::*;
-use secemb::hybrid::{AllocationPlan, PlannedTable, Profiler, ThresholdEntry, ThresholdTable};
+use secemb::hybrid::{
+    AllocationPlan, Crossovers, PlannedTable, Profiler, ThresholdEntry, ThresholdTable,
+};
 use secemb::Technique;
 
 /// JSON numbers travel as f64, so integers are exact only below 2^53;
@@ -17,6 +19,7 @@ proptest! {
     fn allocation_plan_json_round_trips(
         header in (0u64..MAX_EXACT, 1usize..512, 1usize..256, 1usize..64),
         threshold in 0u64..MAX_EXACT,
+        oram_to in 0u64..MAX_EXACT,
         tables in prop::collection::vec(
             (1u64..MAX_EXACT, 0usize..5, 0u32..2_000_000, 0u32..1_000_000),
             0..12,
@@ -31,7 +34,7 @@ proptest! {
                 per_query_ns: whole as f64 + frac as f64 / 1e6,
             })
             .collect();
-        let plan = AllocationPlan { version, dim, batch, threads, threshold, tables };
+        let plan = AllocationPlan { version, dim, batch, threads, threshold, oram_to, tables };
         let parsed = AllocationPlan::from_json(&plan.to_json()).unwrap();
         prop_assert_eq!(parsed, plan);
     }
@@ -73,6 +76,31 @@ proptest! {
                 Technique::Dhe
             };
             prop_assert_eq!(table.technique, expect);
+        }
+    }
+
+    #[test]
+    fn three_way_plans_are_monotone_for_any_crossover_pair(
+        version in 0u64..MAX_EXACT,
+        scan_to in 0u64..10_000_000,
+        band in 0u64..10_000_000,
+        sizes in prop::collection::vec(1u64..40_000_000, 1..16),
+    ) {
+        let costs = vec![-1.0; sizes.len()];
+        let crossovers = Crossovers { scan_to, oram_to: scan_to.saturating_add(band) };
+        let plan = AllocationPlan::derive_three_way(
+            version, 64, crossovers, &sizes, &costs, 8, 2,
+        );
+        prop_assert!(plan.is_monotone());
+        prop_assert_eq!(plan.crossovers(), crossovers.normalized());
+        for (table, &rows) in plan.tables.iter().zip(&sizes) {
+            prop_assert_eq!(table.technique, crossovers.choose(rows));
+        }
+        // A collapsed band is exactly the paper's two-way split.
+        if crossovers.is_two_way() {
+            for table in &plan.tables {
+                prop_assert!(table.technique != Technique::CircuitOram);
+            }
         }
     }
 

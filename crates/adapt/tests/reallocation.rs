@@ -40,6 +40,7 @@ fn dhe_flip_plan(version: u64) -> AllocationPlan {
         batch: 8,
         threads: 1,
         threshold: 1, // every table is at/above it: all-DHE
+        oram_to: 1,   // empty ORAM band
         tables: ROWS
             .iter()
             .map(|&rows| PlannedTable {
@@ -218,6 +219,69 @@ fn replicated_swap_never_mixes_epochs_across_replicas() {
     assert_eq!(snapshot.accepted, snapshot.completed);
     assert_eq!(snapshot.total_rejected(), 0);
     assert_eq!(engine.queue_depth(), 0);
+}
+
+/// A three-way plan (non-empty ORAM band) applied to a replicated
+/// engine: every replica of every shard must land on its planned
+/// technique and serve bit-identically to an independent build of that
+/// generator — across the full scan → Circuit ORAM → DHE walk and back.
+#[test]
+fn three_way_swaps_serve_identically_across_replicas() {
+    const REPLICAS: usize = 2;
+    let engine = two_table_engine_with_replicas(REPLICAS);
+    let indices: [Vec<u64>; 2] = [vec![0, 5, 47], vec![1, 50, 95]];
+
+    // Each step: (plan boundaries, expected technique per table).
+    let steps: [(u64, u64, [Technique; 2]); 3] = [
+        // Band covers both tables: everything Circuit ORAM.
+        (1, u64::MAX, [Technique::CircuitOram; 2]),
+        // Split band: table 0 (48 rows) scans, table 1 (96 rows) is DHE.
+        (60, 90, [Technique::LinearScan, Technique::Dhe]),
+        // Collapsed band: the paper's two-way split, all-DHE.
+        (1, 1, [Technique::Dhe; 2]),
+    ];
+    for (version, &(threshold, oram_to, expected)) in (1u64..).zip(&steps) {
+        let plan = AllocationPlan {
+            version,
+            dim: DIM,
+            batch: 8,
+            threads: 1,
+            threshold,
+            oram_to,
+            tables: ROWS
+                .iter()
+                .zip(expected)
+                .map(|(&rows, technique)| PlannedTable {
+                    rows,
+                    technique,
+                    per_query_ns: 2_000.0,
+                })
+                .collect(),
+        };
+        let epoch = engine.apply_plan(&plan).expect("valid plan");
+        assert_eq!(epoch, version);
+        for (table, technique) in expected.iter().enumerate() {
+            assert_eq!(engine.tables()[table].technique, *technique);
+            let want = reference(table, *technique, &indices[table]);
+            // Serial calls land on arbitrary replicas; enough of them
+            // exercises both. Every one must match the reference build.
+            for _ in 0..8 {
+                let response = engine.call(Request::new(table, indices[table].clone()));
+                let got = bits(response.embeddings().expect("served"));
+                assert_eq!(
+                    got, want,
+                    "table {table} diverged from its {technique} reference \
+                     at epoch {epoch}"
+                );
+            }
+        }
+    }
+    // Every replica of every shard acked every swap.
+    let snapshot = engine.stats().snapshot();
+    assert_eq!(
+        snapshot.swaps_applied,
+        (steps.len() * ROWS.len() * REPLICAS) as u64
+    );
 }
 
 #[test]

@@ -85,10 +85,17 @@ fn assert_oblivious(generator: &mut dyn EmbeddingGenerator, phase: &str) {
 }
 
 /// Every protected technique, flipped to a different protected technique
-/// — each appears as both the outgoing and the incoming generator.
-const FLIPS: [(Technique, Technique); 4] = [
+/// — each appears as both the outgoing and the incoming generator, and
+/// every edge of the controller's three-way scan/Circuit-ORAM/DHE
+/// lattice is walked in both directions (a table crossing the
+/// hysteresis band can take any of them live).
+const FLIPS: [(Technique, Technique); 8] = [
     (Technique::LinearScan, Technique::Dhe),
     (Technique::Dhe, Technique::LinearScan),
+    (Technique::LinearScan, Technique::CircuitOram),
+    (Technique::CircuitOram, Technique::LinearScan),
+    (Technique::CircuitOram, Technique::Dhe),
+    (Technique::Dhe, Technique::CircuitOram),
     (Technique::PathOram, Technique::CircuitOram),
     (Technique::CircuitOram, Technique::PathOram),
 ];

@@ -1,0 +1,99 @@
+//! Property tests over the controller's damping and persistence: the
+//! dwell + cooldown trigger bounds the swap rate under *any* oscillating
+//! drift-verdict sequence, and the persisted crossover artifact
+//! round-trips losslessly.
+
+use proptest::prelude::*;
+use secemb_adapt::{Crossovers, DampedTrigger, ProfileArtifact, TriggerDecision};
+use std::time::{Duration, Instant};
+
+/// JSON numbers travel as f64, so integers are exact only below 2^53.
+const MAX_EXACT: u64 = 1 << 50;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However the drift verdict flaps, firings never exceed
+    /// `elapsed / dwell + 1` (and the tighter
+    /// `elapsed / (dwell + cooldown) + 1`): consecutive fires are
+    /// separated by a full cooldown plus a full dwell of uninterrupted
+    /// drift.
+    #[test]
+    fn firings_are_bounded_by_elapsed_over_dwell(
+        dwell_ms in 1u64..400,
+        cooldown_ms in 0u64..400,
+        steps in prop::collection::vec((1u64..97, any::<bool>()), 1..200),
+    ) {
+        let t0 = Instant::now();
+        let mut trigger = DampedTrigger::new(
+            Duration::from_millis(dwell_ms),
+            Duration::from_millis(cooldown_ms),
+        );
+        let mut now_ms = 0u64;
+        let mut fires = 0u64;
+        for &(dt, drifted) in &steps {
+            now_ms += dt;
+            let now = t0 + Duration::from_millis(now_ms);
+            if trigger.decide(drifted, now) == TriggerDecision::Fire {
+                fires += 1;
+            }
+        }
+        prop_assert!(
+            fires <= now_ms / dwell_ms + 1,
+            "{fires} fires in {now_ms} ms violates the dwell bound ({dwell_ms} ms)"
+        );
+        prop_assert!(
+            fires <= now_ms / (dwell_ms + cooldown_ms) + 1,
+            "{fires} fires in {now_ms} ms violates the combined bound \
+             (dwell {dwell_ms} + cooldown {cooldown_ms} ms)"
+        );
+    }
+
+    /// Drift episodes each shorter than the dwell window — the
+    /// oscillation a cost flapping across the crossover produces — never
+    /// fire at all: every clean observation resets the dwell clock.
+    #[test]
+    fn oscillation_faster_than_the_dwell_never_fires(
+        dwell_ms in 51u64..500,
+        runs in prop::collection::vec(1u64..50, 1..40),
+    ) {
+        let t0 = Instant::now();
+        let mut trigger = DampedTrigger::new(Duration::from_millis(dwell_ms), Duration::ZERO);
+        let mut now_ms = 0u64;
+        for &run in &runs {
+            // `run` consecutive drifted observations 1 ms apart: the
+            // episode spans run - 1 < dwell ms of sustained drift...
+            for _ in 0..run {
+                now_ms += 1;
+                let decision = trigger.decide(true, t0 + Duration::from_millis(now_ms));
+                prop_assert_ne!(decision, TriggerDecision::Fire);
+            }
+            // ...then one clean observation ends it and resets the clock.
+            now_ms += 1;
+            let decision = trigger.decide(false, t0 + Duration::from_millis(now_ms));
+            prop_assert_eq!(decision, TriggerDecision::Idle);
+        }
+    }
+
+    /// The persisted crossover artifact is lossless for any well-formed
+    /// crossover pair and execution configuration.
+    #[test]
+    fn profile_artifact_round_trips(
+        dim in 1usize..4096,
+        batch in 1usize..512,
+        threads in 1usize..64,
+        scan_to in 0u64..MAX_EXACT,
+        band in 0u64..MAX_EXACT,
+        plan_version in 0u64..MAX_EXACT,
+    ) {
+        let artifact = ProfileArtifact {
+            dim,
+            batch,
+            threads,
+            crossovers: Crossovers { scan_to, oram_to: scan_to + band },
+            plan_version,
+        };
+        let parsed = ProfileArtifact::from_json(&artifact.to_json()).unwrap();
+        prop_assert_eq!(parsed, artifact);
+    }
+}

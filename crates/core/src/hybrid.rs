@@ -18,12 +18,68 @@
 //!    depends only on public quantities (table size, batch, threads), so
 //!    the hybrid inherits the security of its parts (§V-B).
 
-use crate::{Dhe, DheConfig, LinearScan, Technique};
+use crate::{Dhe, DheConfig, GeneratorSpec, LinearScan, Technique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secemb_tensor::Matrix;
 use secemb_wire::json::{self, JsonError, Value};
 use std::time::Instant;
+
+/// The three-way allocation boundaries: two profiled crossovers carving
+/// table sizes into a linear-scan band, a Circuit-ORAM band, and a DHE
+/// band.
+///
+/// Linear scan is `O(n)` per query, Circuit ORAM `O(log² n)` with large
+/// constants, DHE roughly flat in `n` — so when ORAM beats DHE anywhere
+/// it is on a *middle* band of sizes: big enough that scanning loses,
+/// small enough that the ORAM tree is shallow. An empty band
+/// (`scan_to == oram_to`) degenerates to the paper's two-way scan/DHE
+/// split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crossovers {
+    /// Table sizes strictly below this are served by linear scan.
+    pub scan_to: u64,
+    /// Upper edge of the Circuit-ORAM band: sizes in
+    /// `[scan_to, oram_to)` are served by Circuit ORAM, sizes at or
+    /// above by DHE. Never below `scan_to`.
+    pub oram_to: u64,
+}
+
+impl Crossovers {
+    /// A classic two-way split: scan strictly below `threshold`, DHE at
+    /// or above it, no ORAM band.
+    pub fn two_way(threshold: u64) -> Self {
+        Crossovers {
+            scan_to: threshold,
+            oram_to: threshold,
+        }
+    }
+
+    /// Algorithm 3's per-feature decision, extended with the ORAM band.
+    pub fn choose(&self, table_size: u64) -> Technique {
+        if table_size < self.scan_to {
+            Technique::LinearScan
+        } else if table_size < self.oram_to {
+            Technique::CircuitOram
+        } else {
+            Technique::Dhe
+        }
+    }
+
+    /// Whether the ORAM band is empty (pure scan/DHE split).
+    pub fn is_two_way(&self) -> bool {
+        self.oram_to <= self.scan_to
+    }
+
+    /// Clamps `oram_to` up to `scan_to` so the bands are well-ordered.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        Crossovers {
+            scan_to: self.scan_to,
+            oram_to: self.oram_to.max(self.scan_to),
+        }
+    }
+}
 
 fn field_error(ty: &str, field: &str) -> JsonError {
     JsonError {
@@ -265,15 +321,21 @@ pub struct AllocationPlan {
     pub batch: usize,
     /// Worker thread count the threshold was profiled for.
     pub threads: usize,
-    /// The active scan/DHE crossover.
+    /// The scan crossover: sizes strictly below it scan.
     pub threshold: u64,
+    /// Upper edge of the Circuit-ORAM band (see [`Crossovers`]); equal
+    /// to `threshold` for a plan with no ORAM band, in which case sizes
+    /// at or above `threshold` go straight to DHE — the classic split.
+    pub oram_to: u64,
     /// Per-table assignments, indexed by table id.
     pub tables: Vec<PlannedTable>,
 }
 
 impl AllocationPlan {
-    /// Derives a plan from a profiled threshold: Algorithm 3 applied to
-    /// every table, stamped with `version`.
+    /// Derives a two-way plan from a profiled threshold: Algorithm 3
+    /// applied to every table, stamped with `version`. Equivalent to
+    /// [`derive_three_way`](Self::derive_three_way) with an empty ORAM
+    /// band.
     ///
     /// `costs[i]` is the per-query cost estimate for table `i`
     /// (non-positive = unknown, to be probed when the plan is applied).
@@ -290,40 +352,88 @@ impl AllocationPlan {
         batch: usize,
         threads: usize,
     ) -> Self {
+        Self::derive_three_way(
+            version,
+            dim,
+            Crossovers::two_way(threshold),
+            table_sizes,
+            costs,
+            batch,
+            threads,
+        )
+    }
+
+    /// Derives a plan from both profiled crossovers: scan below
+    /// `crossovers.scan_to`, Circuit ORAM on `[scan_to, oram_to)`, DHE
+    /// at or above `oram_to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != table_sizes.len()`.
+    pub fn derive_three_way(
+        version: u64,
+        dim: usize,
+        crossovers: Crossovers,
+        table_sizes: &[u64],
+        costs: &[f64],
+        batch: usize,
+        threads: usize,
+    ) -> Self {
         assert_eq!(
             table_sizes.len(),
             costs.len(),
             "one cost estimate per table"
         );
+        let crossovers = crossovers.normalized();
         AllocationPlan {
             version,
             dim,
             batch,
             threads,
-            threshold,
+            threshold: crossovers.scan_to,
+            oram_to: crossovers.oram_to,
             tables: table_sizes
                 .iter()
                 .zip(costs)
                 .map(|(&rows, &per_query_ns)| PlannedTable {
                     rows,
-                    technique: choose_technique(rows, threshold),
+                    technique: crossovers.choose(rows),
                     per_query_ns,
                 })
                 .collect(),
         }
     }
 
-    /// Whether the assignment is monotone in table size: sorting tables by
-    /// `rows` never flips from DHE back to scan. Every plan produced by
-    /// [`derive`](Self::derive) satisfies this by construction (Algorithm 3
-    /// thresholds on a single public size), so a `false` here means the
-    /// plan was corrupted in transit.
+    /// The plan's allocation boundaries.
+    pub fn crossovers(&self) -> Crossovers {
+        Crossovers {
+            scan_to: self.threshold,
+            oram_to: self.oram_to,
+        }
+        .normalized()
+    }
+
+    /// Whether the assignment is monotone in table size: sorting tables
+    /// by `rows` walks scan → ORAM → DHE without ever stepping back to
+    /// a cheaper-per-small-table technique. Every plan produced by
+    /// [`derive`](Self::derive)/[`derive_three_way`](Self::derive_three_way)
+    /// satisfies this by construction (the decision thresholds on a
+    /// single public size), so a `false` here means the plan was
+    /// corrupted in transit.
     pub fn is_monotone(&self) -> bool {
+        // Band order by table size; the ORAMs share the middle band.
+        fn rank(t: Technique) -> u8 {
+            match t {
+                Technique::IndexLookup | Technique::LinearScan => 0,
+                Technique::PathOram | Technique::CircuitOram => 1,
+                Technique::Dhe => 2,
+            }
+        }
         let mut by_size: Vec<&PlannedTable> = self.tables.iter().collect();
         by_size.sort_by_key(|t| t.rows);
         by_size
             .windows(2)
-            .all(|w| !(w[0].technique == Technique::Dhe && w[1].technique == Technique::LinearScan))
+            .all(|w| rank(w[0].technique) <= rank(w[1].technique))
     }
 
     /// Serializes to JSON (the persisted plan artifact).
@@ -334,6 +444,7 @@ impl AllocationPlan {
             ("batch", Value::Num(self.batch as f64)),
             ("threads", Value::Num(self.threads as f64)),
             ("threshold", Value::Num(self.threshold as f64)),
+            ("oram_to", Value::Num(self.oram_to as f64)),
             (
                 "tables",
                 Value::Arr(self.tables.iter().map(|t| t.to_value()).collect()),
@@ -342,7 +453,8 @@ impl AllocationPlan {
         .to_pretty()
     }
 
-    /// Parses a persisted plan.
+    /// Parses a persisted plan. Plans written before the ORAM band
+    /// existed carry no `oram_to` field and parse as two-way plans.
     ///
     /// # Errors
     ///
@@ -361,25 +473,30 @@ impl AllocationPlan {
             .iter()
             .map(PlannedTable::from_value)
             .collect::<Result<Vec<_>, _>>()?;
+        let threshold = field("threshold")?;
+        let oram_to = match v.get("oram_to") {
+            None => threshold, // pre-ORAM-band plan
+            Some(raw) => raw
+                .as_u64()
+                .ok_or_else(|| field_error("AllocationPlan", "oram_to"))?,
+        };
         Ok(AllocationPlan {
             version: field("version")?,
             dim: field("dim")? as usize,
             batch: field("batch")? as usize,
             threads: field("threads")? as usize,
-            threshold: field("threshold")?,
+            threshold,
+            oram_to,
             tables,
         })
     }
 }
 
 /// Algorithm 3's per-feature decision: linear scan below the threshold,
-/// DHE at or above it.
+/// DHE at or above it (the two-way split; see [`Crossovers::choose`] for
+/// the three-way decision with an ORAM band).
 pub fn choose_technique(table_size: u64, threshold: u64) -> Technique {
-    if table_size < threshold {
-        Technique::LinearScan
-    } else {
-        Technique::Dhe
-    }
+    Crossovers::two_way(threshold).choose(table_size)
 }
 
 /// Allocates a technique to every feature of a model for the current
@@ -454,6 +571,22 @@ impl Profiler {
         })
     }
 
+    /// Median wall-clock nanoseconds for one batch of Circuit-ORAM
+    /// generation over a synthetic table of `rows` rows. Built exactly
+    /// the way the serving layer builds it (same [`GeneratorSpec`]
+    /// path); the ORAM controller is sequential, so `threads` does not
+    /// apply.
+    pub fn measure_circuit_oram(&self, rows: u64, batch: usize, _threads: usize) -> f64 {
+        let mut oram =
+            GeneratorSpec::with_technique(rows.max(2), self.dim, Technique::CircuitOram).build(0);
+        let indices: Vec<u64> = (0..batch as u64)
+            .map(|i| (i * 7919) % rows.max(1))
+            .collect();
+        self.median_ns(|| {
+            std::hint::black_box(oram.generate_batch(&indices));
+        })
+    }
+
     /// Sweeps the size grid and returns the crossover threshold: the first
     /// size at which DHE is at least as fast as linear scan (or one past
     /// the largest size when scan always wins).
@@ -466,6 +599,45 @@ impl Profiler {
             }
         }
         self.sizes.last().map_or(0, |&s| s + 1)
+    }
+
+    /// Sweeps the size grid measuring all three techniques and returns
+    /// both crossovers: `scan_to` is the first size where scan stops
+    /// being the fastest; `oram_to` the first size at or past `scan_to`
+    /// where DHE is at least as fast as Circuit ORAM. When DHE already
+    /// beats ORAM at `scan_to` the band is empty and the result equals
+    /// [`find_threshold`]'s two-way split (up to measurement noise).
+    /// When scan wins everywhere both crossovers are one past the grid;
+    /// when ORAM still wins at the top of the grid, `oram_to` is one
+    /// past the grid (larger tables default to DHE — its cost is flat
+    /// in `n`, the safe extrapolation).
+    pub fn find_crossovers(&self, batch: usize, threads: usize) -> Crossovers {
+        let mut scan_to: Option<u64> = None;
+        for &rows in &self.sizes {
+            let dhe = self.measure_dhe(rows, batch, threads);
+            let oram = self.measure_circuit_oram(rows, batch, threads);
+            if scan_to.is_none() {
+                let scan = self.measure_scan(rows, batch, threads);
+                if dhe.min(oram) <= scan {
+                    scan_to = Some(rows);
+                } else {
+                    continue;
+                }
+            }
+            if dhe <= oram {
+                return Crossovers {
+                    scan_to: scan_to.expect("set above"),
+                    oram_to: rows,
+                }
+                .normalized();
+            }
+        }
+        let past_grid = self.sizes.last().map_or(0, |&s| s + 1);
+        Crossovers {
+            scan_to: scan_to.unwrap_or(past_grid),
+            oram_to: past_grid,
+        }
+        .normalized()
     }
 
     /// A log-spaced size grid of `points` sizes spanning
@@ -517,6 +689,32 @@ impl Profiler {
             ..self.clone()
         };
         probe.find_threshold(batch, threads)
+    }
+
+    /// Three-way analogue of
+    /// [`find_threshold_near`](Self::find_threshold_near): re-measures a
+    /// bounded window around *both* old crossovers (the union of their
+    /// refinement grids) and returns updated [`Crossovers`] under
+    /// current machine conditions.
+    pub fn find_crossovers_near(
+        &self,
+        old: Crossovers,
+        window_factor: f64,
+        points: usize,
+        batch: usize,
+        threads: usize,
+    ) -> Crossovers {
+        let mut sizes = Self::refine_sizes(old.scan_to, window_factor, points);
+        if !old.is_two_way() {
+            sizes.extend(Self::refine_sizes(old.oram_to, window_factor, points));
+        }
+        sizes.sort_unstable();
+        sizes.dedup();
+        let probe = Profiler {
+            sizes,
+            ..self.clone()
+        };
+        probe.find_crossovers(batch, threads)
     }
 
     /// Profiles a full (batch × threads) grid into a [`ThresholdTable`]
@@ -608,6 +806,116 @@ mod tests {
     fn choose_boundary() {
         assert_eq!(choose_technique(99, 100), Technique::LinearScan);
         assert_eq!(choose_technique(100, 100), Technique::Dhe);
+    }
+
+    #[test]
+    fn three_way_choice_bands() {
+        let c = Crossovers {
+            scan_to: 100,
+            oram_to: 10_000,
+        };
+        assert_eq!(c.choose(99), Technique::LinearScan);
+        assert_eq!(c.choose(100), Technique::CircuitOram);
+        assert_eq!(c.choose(9_999), Technique::CircuitOram);
+        assert_eq!(c.choose(10_000), Technique::Dhe);
+        assert!(!c.is_two_way());
+        // An empty band degenerates to the paper's two-way split.
+        let two = Crossovers::two_way(100);
+        assert!(two.is_two_way());
+        for size in [0, 99, 100, 1_000_000] {
+            assert_eq!(two.choose(size), choose_technique(size, 100));
+        }
+        // Ill-ordered crossovers normalize to an empty band, not an
+        // inverted one.
+        let bad = Crossovers {
+            scan_to: 500,
+            oram_to: 10,
+        }
+        .normalized();
+        assert_eq!(bad.oram_to, 500);
+        assert!(bad.is_two_way());
+    }
+
+    #[test]
+    fn three_way_plan_allocates_and_round_trips() {
+        let sizes = [50u64, 5_000, 1_000_000];
+        let costs = [1000.0, -1.0, 40_000.0];
+        let crossovers = Crossovers {
+            scan_to: 100,
+            oram_to: 100_000,
+        };
+        let plan = AllocationPlan::derive_three_way(7, 64, crossovers, &sizes, &costs, 8, 1);
+        assert_eq!(plan.tables[0].technique, Technique::LinearScan);
+        assert_eq!(plan.tables[1].technique, Technique::CircuitOram);
+        assert_eq!(plan.tables[2].technique, Technique::Dhe);
+        assert!(plan.is_monotone());
+        assert_eq!(plan.crossovers(), crossovers);
+        let back = AllocationPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn pre_oram_band_plan_json_still_parses() {
+        // A plan serialized before the ORAM band existed has no
+        // `oram_to`; it must load as a two-way plan, not an error.
+        let old = "{\"version\": 4, \"dim\": 8, \"batch\": 2, \"threads\": 1, \
+                   \"threshold\": 500, \"tables\": []}";
+        let plan = AllocationPlan::from_json(old).unwrap();
+        assert_eq!(plan.oram_to, 500);
+        assert!(plan.crossovers().is_two_way());
+        // But a present-and-malformed oram_to is an error, not a default.
+        let bad = old.replace("\"tables\"", "\"oram_to\": \"x\", \"tables\"");
+        assert!(AllocationPlan::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn oram_band_breaks_monotonicity_when_misplaced() {
+        let mut plan = AllocationPlan::derive_three_way(
+            0,
+            8,
+            Crossovers {
+                scan_to: 100,
+                oram_to: 10_000,
+            },
+            &[10, 1_000, 100_000],
+            &[0.0, 0.0, 0.0],
+            1,
+            1,
+        );
+        assert!(plan.is_monotone());
+        // Corrupt: the largest table claims ORAM while a smaller one
+        // runs DHE — the size ordering scan -> ORAM -> DHE is broken.
+        plan.tables[1].technique = Technique::Dhe;
+        plan.tables[2].technique = Technique::CircuitOram;
+        assert!(!plan.is_monotone());
+    }
+
+    #[test]
+    fn profiler_measures_circuit_oram() {
+        let prof = Profiler {
+            dim: 8,
+            sizes: vec![],
+            repeats: 2,
+            varied_dhe: false,
+        };
+        let ns = prof.measure_circuit_oram(64, 4, 1);
+        assert!(ns > 0.0, "ORAM batch must take measurable time");
+    }
+
+    #[test]
+    fn find_crossovers_is_ordered_and_in_range() {
+        let prof = Profiler {
+            dim: 8,
+            sizes: vec![16, 128, 1024],
+            repeats: 2,
+            varied_dhe: false,
+        };
+        let c = prof.find_crossovers(4, 1);
+        assert!(c.scan_to <= c.oram_to, "bands must be ordered: {c:?}");
+        assert!(
+            c.scan_to >= 16 && c.oram_to <= 1025,
+            "crossovers {c:?} escaped the grid"
+        );
     }
 
     #[test]

@@ -69,25 +69,52 @@ impl LatencySummary {
     /// Summarizes a histogram given as ascending `(upper_bound_ns,
     /// count)` buckets plus the exact sum of the recorded samples.
     ///
-    /// Percentiles are nearest-rank over the bucket counts: each
-    /// reported value is the upper bound of the bucket containing that
-    /// rank, so the error is bounded by the histogram's bucket width.
-    /// The mean uses the exact `sum_ns`, not bucket midpoints.
+    /// Each bucket's lower edge is taken to be the previous bucket's
+    /// upper bound (0 for the first), so pass *adjacent* buckets —
+    /// skipping empty ones widens the interpolation interval and with it
+    /// the error bound. Callers that know the true edges should use
+    /// [`LatencySummary::from_bucket_bounds`].
     pub fn from_bucket_counts(sum_ns: f64, buckets: &[(f64, u64)]) -> Self {
-        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        let mut lower = 0.0;
+        let bounded: Vec<(f64, f64, u64)> = buckets
+            .iter()
+            .map(|&(upper, c)| {
+                let b = (lower, upper, c);
+                lower = upper;
+                b
+            })
+            .collect();
+        Self::from_bucket_bounds(sum_ns, &bounded)
+    }
+
+    /// Summarizes a histogram given as ascending `(lower_bound_ns,
+    /// upper_bound_ns, count)` buckets plus the exact sum of the
+    /// recorded samples.
+    ///
+    /// Percentiles interpolate linearly *within* the bucket containing
+    /// the nearest rank (assuming samples spread uniformly across it),
+    /// rather than reporting the bucket's upper bound. The upper bound
+    /// systematically overstates tail latency — by up to a full bucket
+    /// width, which for log-spaced buckets grows with the latency
+    /// itself; interpolation keeps the error centred, still bounded by
+    /// the bucket width. The mean uses the exact `sum_ns`, not bucket
+    /// midpoints.
+    pub fn from_bucket_bounds(sum_ns: f64, buckets: &[(f64, f64, u64)]) -> Self {
+        let count: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
         if count == 0 {
             return Self::from_sorted_ns(&[]);
         }
         let rank_value = |p: f64| -> f64 {
             let rank = (((p / 100.0) * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
-            for &(upper, c) in buckets {
-                seen += c;
-                if seen >= rank {
-                    return upper;
+            for &(lower, upper, c) in buckets {
+                if c > 0 && seen + c >= rank {
+                    let fraction = (rank - seen) as f64 / c as f64;
+                    return lower + fraction * (upper - lower);
                 }
+                seen += c;
             }
-            buckets[buckets.len() - 1].0
+            buckets[buckets.len() - 1].1
         };
         LatencySummary {
             count: count as usize,
@@ -98,8 +125,8 @@ impl LatencySummary {
             max_ns: buckets
                 .iter()
                 .rev()
-                .find(|&&(_, c)| c > 0)
-                .map(|&(u, _)| u)
+                .find(|&&(_, _, c)| c > 0)
+                .map(|&(_, u, _)| u)
                 .unwrap_or(0.0),
         }
     }
@@ -161,14 +188,18 @@ mod tests {
 
     #[test]
     fn bucket_summary_pins_known_percentiles() {
-        // 100 samples: 50 at <=1000, 30 at <=2000, 15 at <=3000, 5 at <=4000.
+        // 100 samples: 50 in (0,1000], 30 in (1000,2000], 15 in
+        // (2000,3000], 5 in (3000,4000].
         let buckets = [(1000.0, 50u64), (2000.0, 30), (3000.0, 15), (4000.0, 5)];
         let sum = 50.0 * 1000.0 + 30.0 * 2000.0 + 15.0 * 3000.0 + 5.0 * 4000.0;
         let s = LatencySummary::from_bucket_counts(sum, &buckets);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ns, 1000.0, "rank 50 lands in the first bucket");
-        assert_eq!(s.p95_ns, 3000.0, "rank 95 lands in the third bucket");
-        assert_eq!(s.p99_ns, 4000.0, "rank 99 lands in the last bucket");
+        assert_eq!(s.p50_ns, 1000.0, "rank 50 is the first bucket's far edge");
+        assert_eq!(s.p95_ns, 3000.0, "rank 95 is the third bucket's far edge");
+        assert_eq!(
+            s.p99_ns, 3800.0,
+            "rank 99 is 4/5 of the way through the last bucket"
+        );
         assert_eq!(s.max_ns, 4000.0);
         assert_eq!(s.mean_ns, sum / 100.0);
     }
@@ -183,5 +214,45 @@ mod tests {
             "empty trailing buckets must not inflate max"
         );
         assert_eq!(s.p99_ns, 10.0);
+    }
+
+    /// Regression for the bucket-upper-bound bias: against a known
+    /// distribution, interpolated percentiles must match the exact
+    /// sorted-sample percentiles — where the old rule reported the far
+    /// edge of the containing bucket, overstating the tail by up to a
+    /// full bucket width.
+    #[test]
+    fn bucket_percentiles_track_exact_percentiles() {
+        // 10_000 samples, uniform on [1, 10_000], in width-256 buckets.
+        // Uniform data matches the interpolation's uniform-in-bucket
+        // model, so the summary must recover the exact percentiles.
+        let exact: Vec<f64> = (1..=10_000).map(|v| v as f64).collect();
+        let reference = LatencySummary::from_sorted_ns(&exact);
+        let buckets: Vec<(f64, u64)> = (1..=40)
+            .map(|i| {
+                let (lower, upper) = (((i - 1) * 256) as f64, (i * 256) as f64);
+                let c = exact.iter().filter(|&&v| v > lower && v <= upper).count() as u64;
+                (upper, c)
+            })
+            .collect();
+        let sum: f64 = exact.iter().sum();
+        let s = LatencySummary::from_bucket_counts(sum, &buckets);
+        for (got, want, label) in [
+            (s.p50_ns, reference.p50_ns, "p50"),
+            (s.p95_ns, reference.p95_ns, "p95"),
+            (s.p99_ns, reference.p99_ns, "p99"),
+        ] {
+            assert!(
+                (got - want).abs() < 1e-6,
+                "{label}: interpolated {got} vs exact {want}"
+            );
+            // The old rule returned the containing bucket's upper bound
+            // — a multiple of 256, which none of these percentiles is.
+            let upper_bound_rule = (want / 256.0).ceil() * 256.0;
+            assert_ne!(
+                got, upper_bound_rule,
+                "{label} reproduces the upper-bound bias"
+            );
+        }
     }
 }

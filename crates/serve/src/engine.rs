@@ -28,15 +28,18 @@
 //! one, never a mix.
 
 use crate::batcher::{execute_batch, BatchPolicy};
+use crate::lock_unpoisoned;
 use crate::request::{RejectReason, Request, Response};
 use crate::stats::ServerStats;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use secemb::hybrid::AllocationPlan;
 use secemb::{measure_cost, EmbeddingGenerator, GeneratorSpec, Technique};
 use secemb_enclave::CostModel;
+use secemb_oram::AccessStats;
 use secemb_telemetry::{Counter, Gauge, Registry, Stage, StageBreakdown};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Barrier, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,6 +47,13 @@ use std::time::{Duration, Instant};
 /// control channel — the upper bound on swap application latency for a
 /// completely idle shard replica.
 const IDLE_CONTROL_POLL: Duration = Duration::from_millis(5);
+
+/// How long a replica waits at its shard's swap rendezvous before
+/// installing anyway. The timeout only fires in degraded mode — a
+/// sibling died between the aliveness check and its rendezvous — and
+/// trades a brief window of mixed-epoch batches within that shard for
+/// not deadlocking every survivor on a corpse.
+const SWAP_BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Per-replica control-channel depth. Swap orders are rare (one per
 /// applied plan, serialized by the engine's swap lock) and each replica
@@ -209,18 +219,75 @@ struct SwapOrder {
     generator: Box<dyn EmbeddingGenerator + Send>,
     technique: Technique,
     epoch: u64,
-    /// Rendezvous of every replica of this shard: all replicas finish
-    /// their old-epoch batches before any installs the new generator.
-    barrier: Arc<Barrier>,
+    /// Rendezvous of the live replicas of this shard: all finish their
+    /// old-epoch batches before any installs the new generator.
+    barrier: Arc<SwapBarrier>,
     /// Tells [`Engine::apply_plan`] this replica installed its swap; the
-    /// epoch is published only once every replica has acked.
+    /// epoch is published only once every live replica has acked.
     ack: mpsc::Sender<()>,
+}
+
+/// What flows down a replica's control channel.
+enum ControlMsg {
+    /// Install the next epoch's generator.
+    Swap(SwapOrder),
+    /// Test hook: panic inside the next dispatched batch (see
+    /// [`Engine::inject_worker_panic`]).
+    Poison,
+}
+
+/// A one-shot rendezvous with a timeout, replacing `std::sync::Barrier`
+/// on the swap path: a replica that panicked after the swap order was
+/// cut can never arrive, and `Barrier::wait` would park its siblings
+/// forever. [`SwapBarrier::wait`] gives up after the timeout and lets
+/// the caller install anyway.
+struct SwapBarrier {
+    parties: usize,
+    arrived: Mutex<usize>,
+    all_in: Condvar,
+}
+
+impl SwapBarrier {
+    fn new(parties: usize) -> Self {
+        SwapBarrier {
+            parties,
+            arrived: Mutex::new(0),
+            all_in: Condvar::new(),
+        }
+    }
+
+    /// Blocks until every party arrived, or `timeout` elapsed. Returns
+    /// whether the rendezvous completed.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut arrived = lock_unpoisoned(&self.arrived);
+        *arrived += 1;
+        if *arrived >= self.parties {
+            self.all_in.notify_all();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        while *arrived < self.parties {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            arrived = self
+                .all_in
+                .wait_timeout(arrived, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        true
+    }
 }
 
 struct Shard {
     tx: Sender<Job>,
     /// One control channel per replica, in replica order.
-    ctrl_txs: Vec<Sender<SwapOrder>>,
+    ctrl_txs: Vec<Sender<ControlMsg>>,
+    /// One liveness flag per replica; a worker clears its own flag when
+    /// its generator panics, so swaps and admission route around it.
+    alive: Vec<Arc<AtomicBool>>,
     pending_queries: Arc<AtomicU64>,
     /// Admission-control cost, f64 bits — updated atomically on swap so
     /// the submit path never takes a lock.
@@ -316,7 +383,7 @@ struct WorkerSetup {
     table: usize,
     replica: usize,
     rx: Receiver<Job>,
-    ctrl_rx: Receiver<SwapOrder>,
+    ctrl_rx: Receiver<ControlMsg>,
     generator: Box<dyn EmbeddingGenerator + Send>,
     technique: Technique,
     pending: Arc<AtomicU64>,
@@ -325,12 +392,81 @@ struct WorkerSetup {
     probes: WorkerProbes,
     samples: Arc<Mutex<SampleRing>>,
     policy: BatchPolicy,
+    /// Liveness flags of every replica in this shard (own entry at
+    /// `replica`); cleared on panic, checked to find the last survivor.
+    shard_alive: Vec<Arc<AtomicBool>>,
 }
 
-/// Per-worker gauges for the layers *below* the serving stack: ORAM
+/// The per-counter increments between two cumulative [`AccessStats`]
+/// observations (modeled enclave events included).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ProbeDelta {
+    evictions: u64,
+    bucket_reads: u64,
+    bucket_writes: u64,
+    bytes_moved: u64,
+    ocalls: u64,
+    epc_page_swaps: u64,
+    encrypted_bytes: u64,
+}
+
+/// Turns per-generator cumulative [`AccessStats`] into monotone counter
+/// increments, and instantaneous stash occupancy into a batch-weighted
+/// running mean. Scrape-timing independence lives here: however a scrape
+/// interleaves with batches, counters only ever accumulate the same
+/// total, and the stash gauge reports the mean over every batch rather
+/// than whichever single batch finished last.
+#[derive(Default)]
+struct ProbeAccumulator {
+    last: AccessStats,
+    last_enclave: [u64; 3],
+    stash_sum: f64,
+    stash_batches: u64,
+}
+
+impl ProbeAccumulator {
+    /// Folds one cumulative observation in, returning the increments
+    /// since the previous one.
+    fn observe(&mut self, stats: &AccessStats, model: &CostModel) -> ProbeDelta {
+        let c = model.counters(stats);
+        let delta = ProbeDelta {
+            evictions: stats.evictions.saturating_sub(self.last.evictions),
+            bucket_reads: stats.bucket_reads.saturating_sub(self.last.bucket_reads),
+            bucket_writes: stats.bucket_writes.saturating_sub(self.last.bucket_writes),
+            bytes_moved: stats.bytes_moved.saturating_sub(self.last.bytes_moved),
+            ocalls: c.ocalls.saturating_sub(self.last_enclave[0]),
+            epc_page_swaps: c.epc_page_swaps.saturating_sub(self.last_enclave[1]),
+            encrypted_bytes: c.encrypted_bytes.saturating_sub(self.last_enclave[2]),
+        };
+        self.last = *stats;
+        self.last_enclave = [c.ocalls, c.epc_page_swaps, c.encrypted_bytes];
+        delta
+    }
+
+    /// Folds one batch's stash occupancy in, returning the running mean.
+    fn observe_stash(&mut self, occupancy: usize) -> f64 {
+        self.stash_sum += occupancy as f64;
+        self.stash_batches += 1;
+        self.stash_sum / self.stash_batches as f64
+    }
+
+    /// Restarts the baselines — the freshly swapped-in generator's
+    /// cumulative counters begin at zero again.
+    fn reset(&mut self) {
+        *self = ProbeAccumulator::default();
+    }
+}
+
+/// Per-worker metrics for the layers *below* the serving stack: ORAM
 /// controller aggregates (stash occupancy, eviction passes, bucket
 /// traffic) and modeled enclave event counts derived from the same
-/// [`secemb_oram::AccessStats`] through a [`CostModel`].
+/// [`AccessStats`] through a [`CostModel`].
+///
+/// The event aggregates are **counters** (`oram_evictions_total`, ...):
+/// each publish adds the increment since the previous batch, so a scrape
+/// between batches sees the running total, not a snapshot of whichever
+/// batch happened last. Stash occupancy stays a gauge but publishes the
+/// batch-weighted running mean over the current generator's lifetime.
 ///
 /// Everything published here is a whole-batch aggregate over access
 /// *shapes* — bucket counts, byte volumes, stash depth — never anything
@@ -338,14 +474,15 @@ struct WorkerSetup {
 /// re-open the side channel the generators close.
 struct WorkerProbes {
     stash: Arc<Gauge>,
-    evictions: Arc<Gauge>,
-    bucket_reads: Arc<Gauge>,
-    bucket_writes: Arc<Gauge>,
-    bytes_moved: Arc<Gauge>,
-    ocalls: Arc<Gauge>,
-    epc_page_swaps: Arc<Gauge>,
-    encrypted_bytes: Arc<Gauge>,
+    evictions: Arc<Counter>,
+    bucket_reads: Arc<Counter>,
+    bucket_writes: Arc<Counter>,
+    bytes_moved: Arc<Counter>,
+    ocalls: Arc<Counter>,
+    epc_page_swaps: Arc<Counter>,
+    encrypted_bytes: Arc<Counter>,
     cost_model: CostModel,
+    acc: ProbeAccumulator,
 }
 
 impl WorkerProbes {
@@ -355,34 +492,40 @@ impl WorkerProbes {
         let labels: [(&str, &str); 2] = [("table", &t), ("replica", &r)];
         WorkerProbes {
             stash: registry.gauge_with("oram_stash_occupancy", &labels),
-            evictions: registry.gauge_with("oram_evictions", &labels),
-            bucket_reads: registry.gauge_with("oram_bucket_reads", &labels),
-            bucket_writes: registry.gauge_with("oram_bucket_writes", &labels),
-            bytes_moved: registry.gauge_with("oram_bytes_moved", &labels),
-            ocalls: registry.gauge_with("enclave_ocalls", &labels),
-            epc_page_swaps: registry.gauge_with("enclave_epc_page_swaps", &labels),
-            encrypted_bytes: registry.gauge_with("enclave_encrypted_bytes", &labels),
+            evictions: registry.counter_with("oram_evictions_total", &labels),
+            bucket_reads: registry.counter_with("oram_bucket_reads_total", &labels),
+            bucket_writes: registry.counter_with("oram_bucket_writes_total", &labels),
+            bytes_moved: registry.counter_with("oram_bytes_moved_total", &labels),
+            ocalls: registry.counter_with("enclave_ocalls_total", &labels),
+            epc_page_swaps: registry.counter_with("enclave_epc_page_swaps_total", &labels),
+            encrypted_bytes: registry.counter_with("enclave_encrypted_bytes_total", &labels),
             cost_model: CostModel::scalable_sgx(),
+            acc: ProbeAccumulator::default(),
         }
     }
 
-    /// Publishes this replica's cumulative below-serve aggregates. Called
-    /// once per dispatched batch; a no-op for generators that expose no
-    /// access statistics (e.g. linear scan, DHE).
-    fn publish(&self, generator: &dyn EmbeddingGenerator) {
+    /// Publishes this replica's below-serve aggregates. Called once per
+    /// dispatched batch; a no-op for generators that expose no access
+    /// statistics (e.g. linear scan, DHE).
+    fn publish(&mut self, generator: &dyn EmbeddingGenerator) {
         if let Some(stats) = generator.access_stats() {
-            self.evictions.set(stats.evictions as f64);
-            self.bucket_reads.set(stats.bucket_reads as f64);
-            self.bucket_writes.set(stats.bucket_writes as f64);
-            self.bytes_moved.set(stats.bytes_moved as f64);
-            let c = self.cost_model.counters(&stats);
-            self.ocalls.set(c.ocalls as f64);
-            self.epc_page_swaps.set(c.epc_page_swaps as f64);
-            self.encrypted_bytes.set(c.encrypted_bytes as f64);
+            let d = self.acc.observe(&stats, &self.cost_model);
+            self.evictions.add(d.evictions);
+            self.bucket_reads.add(d.bucket_reads);
+            self.bucket_writes.add(d.bucket_writes);
+            self.bytes_moved.add(d.bytes_moved);
+            self.ocalls.add(d.ocalls);
+            self.epc_page_swaps.add(d.epc_page_swaps);
+            self.encrypted_bytes.add(d.encrypted_bytes);
         }
         if let Some(occ) = generator.stash_occupancy() {
-            self.stash.set(occ as f64);
+            self.stash.set(self.acc.observe_stash(occ));
         }
+    }
+
+    /// Restarts the delta baselines for a freshly swapped-in generator.
+    fn reset(&mut self) {
+        self.acc.reset();
     }
 }
 
@@ -430,9 +573,12 @@ impl Engine {
             let (tx, rx) = channel::bounded::<Job>(t.queue_capacity);
             let pending = Arc::new(AtomicU64::new(0));
             let samples = Arc::new(Mutex::new(SampleRing::new()));
+            let alive: Vec<Arc<AtomicBool>> = (0..replicas)
+                .map(|_| Arc::new(AtomicBool::new(true)))
+                .collect();
             let mut ctrl_txs = Vec::with_capacity(replicas);
             for (replica, generator) in generators.drain(..).enumerate() {
-                let (ctrl_tx, ctrl_rx) = channel::bounded::<SwapOrder>(CONTROL_QUEUE_CAP);
+                let (ctrl_tx, ctrl_rx) = channel::bounded::<ControlMsg>(CONTROL_QUEUE_CAP);
                 ctrl_txs.push(ctrl_tx);
                 let setup = WorkerSetup {
                     table: id,
@@ -447,12 +593,14 @@ impl Engine {
                     probes: WorkerProbes::new(&registry, id, replica),
                     samples: Arc::clone(&samples),
                     policy: config.policy,
+                    shard_alive: alive.clone(),
                 };
                 workers.push(spawn_worker(setup));
             }
             shards.push(Shard {
                 tx,
                 ctrl_txs,
+                alive,
                 pending_queries: pending,
                 cost_ns_bits: Arc::new(AtomicU64::new(per_query_ns.to_bits())),
                 info: Arc::new(Mutex::new(info)),
@@ -478,8 +626,30 @@ impl Engine {
     pub fn tables(&self) -> Vec<TableInfo> {
         self.shards
             .iter()
-            .map(|s| *s.info.lock().expect("table info"))
+            .map(|s| *lock_unpoisoned(&s.info))
             .collect()
+    }
+
+    /// Liveness of every worker, as `per-shard[replica]` flags: `false`
+    /// once a replica's generator panicked and the worker shut down.
+    pub fn worker_health(&self) -> Vec<Vec<bool>> {
+        self.shards
+            .iter()
+            .map(|s| s.alive.iter().map(|a| a.load(Ordering::SeqCst)).collect())
+            .collect()
+    }
+
+    /// Test hook: makes `replica` of `table` panic inside its next
+    /// dispatched batch, exercising the worker-death path — the batch's
+    /// requests are answered [`RejectReason::Internal`], the death is
+    /// recorded in [`ServerStats`], and sibling replicas keep serving.
+    /// Returns `false` for an unknown table/replica.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self, table: usize, replica: usize) -> bool {
+        self.shards
+            .get(table)
+            .and_then(|s| s.ctrl_txs.get(replica))
+            .is_some_and(|tx| tx.send(ControlMsg::Poison).is_ok())
     }
 
     /// Worker threads per shard.
@@ -521,7 +691,7 @@ impl Engine {
     pub fn drain_samples(&self, table: usize) -> Vec<f64> {
         self.shards
             .get(table)
-            .map_or_else(Vec::new, |s| s.samples.lock().expect("sample ring").drain())
+            .map_or_else(Vec::new, |s| lock_unpoisoned(&s.samples).drain())
     }
 
     /// Applies a new allocation plan **live**: builds one replacement
@@ -537,8 +707,9 @@ impl Engine {
     /// Admission-control costs switch to the plan's estimates in the same
     /// critical section; a planned cost `<= 0` (unknown) is probed here on
     /// a freshly built generator before the swap is published. The engine
-    /// epoch is stored only after every replica acknowledges its swap, so
-    /// on return the whole fleet serves the new plan.
+    /// epoch is stored only after every **live** replica acknowledges its
+    /// swap, so on return the whole (surviving) fleet serves the new
+    /// plan; dead replicas are skipped rather than waited on.
     ///
     /// Returns the new epoch.
     ///
@@ -560,49 +731,62 @@ impl Engine {
         }
         // Build (and if necessary probe) every replacement off the swap
         // lock's critical section — construction can take seconds for
-        // large ORAM tables and must not stall admission.
+        // large ORAM tables and must not stall admission. Only live
+        // replicas get a replacement: a dead worker can neither build nor
+        // rendezvous, and must not stall its siblings' swap.
         let mut staged = Vec::with_capacity(self.shards.len());
         for (planned, shard) in plan.tables.iter().zip(&self.shards) {
+            let live: Vec<usize> = shard
+                .alive
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.load(Ordering::SeqCst))
+                .map(|(replica, _)| replica)
+                .collect();
             let spec = GeneratorSpec::with_technique(
                 shard.config.spec.rows(),
                 shard.config.spec.dim(),
                 planned.technique,
             );
-            let mut generators: Vec<_> = (0..self.replicas)
-                .map(|_| spec.build(shard.config.seed))
-                .collect();
+            let mut generators: Vec<_> =
+                live.iter().map(|_| spec.build(shard.config.seed)).collect();
             let per_query_ns = if planned.per_query_ns > 0.0 {
                 planned.per_query_ns
+            } else if let Some(first) = generators.first_mut() {
+                measure_cost(first.as_mut(), self.probe_batch, self.probe_repeats).per_query_ns
             } else {
-                measure_cost(generators[0].as_mut(), self.probe_batch, self.probe_repeats)
-                    .per_query_ns
+                // Whole shard dead: keep the planned (non-)estimate; the
+                // shard rejects at admission anyway.
+                planned.per_query_ns
             };
-            staged.push((generators, planned.technique, per_query_ns));
+            staged.push((live, generators, planned.technique, per_query_ns));
         }
-        let _swap = self.swap_lock.lock().expect("swap lock");
+        let _swap = lock_unpoisoned(&self.swap_lock);
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut expected_acks = 0usize;
-        for (shard, (generators, technique, per_query_ns)) in self.shards.iter().zip(staged) {
-            // One barrier per shard: its replicas install in lockstep.
-            let barrier = Arc::new(Barrier::new(shard.ctrl_txs.len()));
-            for (ctrl_tx, generator) in shard.ctrl_txs.iter().zip(generators) {
+        for (shard, (live, generators, technique, per_query_ns)) in self.shards.iter().zip(staged) {
+            // One barrier per shard: its live replicas install in
+            // lockstep. A replica dying after this snapshot degrades to
+            // the barrier timeout instead of a deadlock.
+            let barrier = Arc::new(SwapBarrier::new(live.len()));
+            for (replica, generator) in live.into_iter().zip(generators) {
                 // A dedicated control channel per replica: the swap order
                 // lands even when the job queue is saturated with
                 // backpressured requests.
-                let _ = ctrl_tx.send(SwapOrder {
+                let _ = shard.ctrl_txs[replica].send(ControlMsg::Swap(SwapOrder {
                     generator,
                     technique,
                     epoch,
                     barrier: Arc::clone(&barrier),
                     ack: ack_tx.clone(),
-                });
+                }));
                 expected_acks += 1;
             }
             shard
                 .cost_ns_bits
                 .store(per_query_ns.to_bits(), Ordering::SeqCst);
-            let mut info = shard.info.lock().expect("table info");
+            let mut info = lock_unpoisoned(&shard.info);
             info.technique = technique;
             info.per_query_ns = per_query_ns;
         }
@@ -639,6 +823,13 @@ impl Engine {
         if n == 0 || request.indices.iter().any(|&i| i >= rows) {
             self.stats.record_rejected(RejectReason::BadRequest, 0);
             reply(Response::Rejected(RejectReason::BadRequest));
+            return;
+        }
+        // A shard whose every replica has died can accept nothing: fail
+        // fast and explicitly instead of queueing work nobody will drain.
+        if shard.alive.iter().all(|a| !a.load(Ordering::SeqCst)) {
+            self.stats.record_rejected(RejectReason::Internal, 0);
+            reply(Response::Rejected(RejectReason::Internal));
             return;
         }
         // SLA gate: predicted queue delay + own compute + worst-case
@@ -708,21 +899,32 @@ impl Engine {
     }
 }
 
-/// Applies every pending swap order on this replica's control channel.
-/// Each order rendezvouses with the shard's sibling replicas before the
-/// exchange, so old- and new-epoch batches never overlap within a shard.
+/// Applies every pending control message on this replica's channel. Each
+/// swap order rendezvouses with the shard's live sibling replicas before
+/// the exchange, so old- and new-epoch batches never overlap within a
+/// shard (a dead sibling degrades to the barrier timeout, never a hang).
 fn drain_control(
-    ctrl_rx: &Receiver<SwapOrder>,
+    ctrl_rx: &Receiver<ControlMsg>,
     generator: &mut Box<dyn EmbeddingGenerator + Send>,
     technique: &mut Technique,
+    probes: &mut WorkerProbes,
+    poisoned: &mut bool,
     stats: &ServerStats,
 ) {
-    while let Ok(order) = ctrl_rx.try_recv() {
-        order.barrier.wait();
-        *generator = order.generator;
-        *technique = order.technique;
-        stats.record_swap_applied(order.epoch);
-        let _ = order.ack.send(());
+    while let Ok(msg) = ctrl_rx.try_recv() {
+        match msg {
+            ControlMsg::Swap(order) => {
+                order.barrier.wait(SWAP_BARRIER_TIMEOUT);
+                *generator = order.generator;
+                *technique = order.technique;
+                // The new generator's cumulative access counters restart
+                // at zero; restart the probe baselines with them.
+                probes.reset();
+                stats.record_swap_applied(order.epoch);
+                let _ = order.ack.send(());
+            }
+            ControlMsg::Poison => *poisoned = true,
+        }
     }
 }
 
@@ -752,17 +954,26 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
         pending,
         stats,
         batches,
-        probes,
+        mut probes,
         samples,
         policy,
+        shard_alive,
     } = setup;
+    let mut poisoned = false;
     std::thread::Builder::new()
         .name(format!("secemb-shard-{table}.{replica}"))
         .spawn(move || loop {
             // Apply any pending reallocation between batches: the swap is
             // a pointer exchange, so requests already dispatched ran to
             // completion on the old generator.
-            drain_control(&ctrl_rx, &mut generator, &mut technique, &stats);
+            drain_control(
+                &ctrl_rx,
+                &mut generator,
+                &mut technique,
+                &mut probes,
+                &mut poisoned,
+                &stats,
+            );
             let mut first = match rx.recv_timeout(IDLE_CONTROL_POLL) {
                 Ok(job) => job,
                 Err(RecvTimeoutError::Timeout) => continue, // idle: re-check control
@@ -793,7 +1004,14 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
             // Re-drain control before dispatch: a swap ordered before these
             // requests were admitted must not be overtaken by them just
             // because the worker was already blocked on the job queue.
-            drain_control(&ctrl_rx, &mut generator, &mut technique, &stats);
+            drain_control(
+                &ctrl_rx,
+                &mut generator,
+                &mut technique,
+                &mut probes,
+                &mut poisoned,
+                &stats,
+            );
             // Re-check deadlines *immediately* before dispatch — the swap
             // rendezvous above can block behind a sibling's batch, and a
             // job that expired in that window must be rejected, not
@@ -807,13 +1025,53 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
             stats.record_batch(total_queries);
             batches.inc();
             let dispatch = Instant::now();
-            let outputs = execute_batch(generator.as_mut(), &groups);
+            // A panicking generator takes down this worker, not the
+            // server: the caught batch is answered `Internal`, the worker
+            // reports its own death and exits, and siblings (or, for the
+            // shard's last replica, the admission gate) take over.
+            let outputs = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if poisoned {
+                    panic!("injected worker fault (test hook)");
+                }
+                execute_batch(generator.as_mut(), &groups)
+            })) {
+                Ok(outputs) => outputs,
+                Err(_) => {
+                    shard_alive[replica].store(false, Ordering::SeqCst);
+                    stats.record_worker_death(table, replica);
+                    for job in live {
+                        pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                        stats.record_rejected(RejectReason::Internal, job.indices.len());
+                        (job.reply)(Response::Rejected(RejectReason::Internal));
+                    }
+                    if shard_alive.iter().any(|a| a.load(Ordering::SeqCst)) {
+                        return; // siblings keep draining the queue
+                    }
+                    // The shard's last replica: new submissions are turned
+                    // away at admission once every flag is down, but a job
+                    // admitted in the race window would be stranded in the
+                    // queue forever. Stay alive as a rejector instead of
+                    // exiting, so every admitted job still gets its one
+                    // explicit answer.
+                    loop {
+                        match rx.recv_timeout(IDLE_CONTROL_POLL) {
+                            Ok(job) => {
+                                pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                                stats.record_rejected(RejectReason::Internal, job.indices.len());
+                                (job.reply)(Response::Rejected(RejectReason::Internal));
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => return, // engine dropped
+                        }
+                    }
+                }
+            };
             let generated = Instant::now();
             probes.publish(generator.as_ref());
             // Export the amortized service cost of this batch as one
             // drift sample: the same per-query quantity admission control
             // budgets with, measured under live co-location conditions.
-            samples.lock().expect("sample ring").push(
+            lock_unpoisoned(&samples).push(
                 generated.saturating_duration_since(dispatch).as_nanos() as f64
                     / total_queries as f64,
             );
@@ -858,7 +1116,7 @@ impl Drop for Engine {
         // Disconnect the queues so every worker's recv() returns Err,
         // then wait for them to finish in-flight batches.
         self.shards.clear();
-        for handle in self.workers.lock().expect("worker list").drain(..) {
+        for handle in lock_unpoisoned(&self.workers).drain(..) {
             let _ = handle.join();
         }
     }
@@ -896,6 +1154,7 @@ mod tests {
             batch: 8,
             threads: 1,
             threshold: 0,
+            oram_to: 0,
             tables,
         }
     }
@@ -1036,6 +1295,7 @@ mod tests {
             batch: 8,
             threads: 1,
             threshold: 0,
+            oram_to: 0,
             tables: vec![],
         };
         assert_eq!(
@@ -1087,6 +1347,158 @@ mod tests {
         assert_eq!(drained[0], 3.0, "oldest three were overwritten");
         assert_eq!(*drained.last().unwrap(), (SAMPLE_CAP + 2) as f64);
         assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn probe_deltas_are_scrape_timing_independent() {
+        let model = CostModel::scalable_sgx();
+        let cum = |n: u64| AccessStats {
+            accesses: n,
+            bucket_reads: 10 * n,
+            bucket_writes: 6 * n,
+            bytes_moved: 4096 * n,
+            evictions: n,
+            ..Default::default()
+        };
+        // One observation after four batches vs an observation (and a
+        // scrape reading the counters) after every batch: the counter
+        // increments must telescope to the same totals either way.
+        let mut coarse = ProbeAccumulator::default();
+        let total = coarse.observe(&cum(4), &model);
+        let mut fine = ProbeAccumulator::default();
+        let mut sum = ProbeDelta::default();
+        for n in 1..=4 {
+            let d = fine.observe(&cum(n), &model);
+            sum.evictions += d.evictions;
+            sum.bucket_reads += d.bucket_reads;
+            sum.bucket_writes += d.bucket_writes;
+            sum.bytes_moved += d.bytes_moved;
+            sum.ocalls += d.ocalls;
+            sum.epc_page_swaps += d.epc_page_swaps;
+            sum.encrypted_bytes += d.encrypted_bytes;
+        }
+        assert_eq!(sum, total);
+        assert!(total.bucket_reads == 40 && total.evictions == 4);
+        // The stash gauge is the batch-weighted mean of the sequence, a
+        // property of the batches — not of when a scrape happens to read
+        // the gauge between them.
+        let mut acc = ProbeAccumulator::default();
+        assert_eq!(acc.observe_stash(4), 4.0);
+        assert_eq!(acc.observe_stash(6), 5.0);
+        assert_eq!(acc.observe_stash(5), 5.0);
+        // After a swap the baselines restart with the fresh generator:
+        // its first cumulative report counts in full, no underflow.
+        fine.reset();
+        let mut from_zero = ProbeAccumulator::default();
+        assert_eq!(
+            fine.observe(&cum(2), &model),
+            from_zero.observe(&cum(2), &model)
+        );
+    }
+
+    #[test]
+    fn swap_barrier_times_out_instead_of_hanging() {
+        let b = SwapBarrier::new(2);
+        let t0 = Instant::now();
+        assert!(
+            !b.wait(Duration::from_millis(50)),
+            "a missing party must time out, not hang"
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        let b = Arc::new(SwapBarrier::new(2));
+        let sibling = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait(Duration::from_secs(5)))
+        };
+        assert!(b.wait(Duration::from_secs(5)));
+        assert!(sibling.join().expect("sibling"));
+    }
+
+    /// Regression for the panicking-hot-path audit: one replica dying
+    /// must cost exactly its in-flight batch (answered `Internal`), get
+    /// reported in [`ServerStats`], and leave siblings serving — and plan
+    /// swaps must keep working against the survivors.
+    #[test]
+    fn killed_replica_reports_death_and_siblings_keep_serving() {
+        let mut config = EngineConfig::new(vec![fast_table()]);
+        config.shard.replicas = 2;
+        let engine = Engine::start(config);
+        assert!(engine.inject_worker_panic(0, 1));
+        assert!(!engine.inject_worker_panic(0, 9), "unknown replica");
+        assert!(!engine.inject_worker_panic(5, 0), "unknown table");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut internals = 0u64;
+        while engine.stats().snapshot().worker_deaths == 0 {
+            assert!(Instant::now() < deadline, "poisoned worker never died");
+            let response = engine.call(Request::new(0, vec![1]));
+            if response.rejection() == Some(RejectReason::Internal) {
+                internals += 1;
+            }
+        }
+        assert_eq!(internals, 1, "exactly the dying batch is rejected");
+        assert_eq!(engine.worker_health(), vec![vec![true, false]]);
+        // The survivor keeps serving bit-correct rows.
+        let mut reference = GeneratorSpec::Scan { rows: 64, dim: 8 }.build(7);
+        for i in 0..8u64 {
+            let out = engine.call(Request::new(0, vec![i]));
+            assert_eq!(
+                out.embeddings().expect("served by survivor"),
+                &reference.generate_batch(&[i])
+            );
+        }
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.worker_deaths, 1);
+        assert!(
+            snap.worker_batches
+                .iter()
+                .any(|w| w.replica == 1 && !w.alive),
+            "snapshot must mark the dead replica"
+        );
+        // Reallocation routes around the corpse: one ack (the survivor),
+        // no barrier wedge, and the new technique serves.
+        let plan = plan_for(&engine, 1, &[Technique::Dhe]);
+        engine.apply_plan(&plan).expect("plan applies to survivors");
+        assert_eq!(engine.stats().snapshot().swaps_applied, 1);
+        let mut reference = GeneratorSpec::Dhe { rows: 64, dim: 8 }.build(7);
+        let out = engine.call(Request::new(0, vec![5]));
+        assert_eq!(
+            out.embeddings().expect("served"),
+            &reference.generate_batch(&[5])
+        );
+    }
+
+    #[test]
+    fn fully_dead_shard_rejects_instead_of_hanging() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        assert!(engine.inject_worker_panic(0, 0));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while engine.stats().snapshot().worker_deaths == 0 {
+            assert!(Instant::now() < deadline, "poisoned worker never died");
+            let _ = engine.call(Request::new(0, vec![1]));
+        }
+        // Every subsequent request resolves — explicitly — rather than
+        // queueing into a shard nobody drains.
+        for _ in 0..4 {
+            assert_eq!(
+                engine.call(Request::new(0, vec![1])).rejection(),
+                Some(RejectReason::Internal)
+            );
+        }
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn apply_plan_swaps_to_circuit_oram() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        let plan = plan_for(&engine, 3, &[Technique::CircuitOram]);
+        engine.apply_plan(&plan).expect("valid plan");
+        assert_eq!(engine.tables()[0].technique, Technique::CircuitOram);
+        let mut reference = GeneratorSpec::CircuitOram { rows: 64, dim: 8 }.build(7);
+        let out = engine.call(Request::new(0, vec![3, 63, 0]));
+        assert_eq!(
+            out.embeddings().expect("served"),
+            &reference.generate_batch(&[3, 63, 0])
+        );
     }
 
     #[test]

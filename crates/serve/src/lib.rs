@@ -67,6 +67,17 @@ mod request;
 mod server;
 mod stats;
 
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Every mutex in this crate guards state that stays consistent across
+/// a panicking critical section (registries of `Arc` handles, sample
+/// rings, connection lists), so a sibling thread's panic must degrade to
+/// that thread's death — never cascade into wedging the whole server
+/// through poisoned-lock unwraps.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 pub use batcher::{execute_batch, BatchPolicy};
 pub use client::{Client, ClientReceiver, ClientSender, RemoteTable};
 pub use engine::{Engine, EngineConfig, PlanError, ShardPolicy, TableConfig, TableInfo, Ticket};

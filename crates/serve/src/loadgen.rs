@@ -446,9 +446,23 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // A panicked connection thread becomes an I/O error on the
+                // report instead of tearing down the whole run.
+                Err(_) => ThreadResult {
+                    latencies_ns: Vec::new(),
+                    deadline_violations: 0,
+                    rejected: [0; RejectReason::ALL.len()],
+                    records: Vec::new(),
+                    io_error: Some(io::Error::other("load connection thread panicked")),
+                },
+            })
+            .collect()
     })
-    .expect("load thread panicked");
+    .expect("load scope teardown");
 
     let mut latencies = Vec::new();
     let mut deadline_violations = 0;
@@ -497,7 +511,7 @@ mod tests {
             achieved_rps: 90.0,
             completed: 90,
             deadline_violations: 6,
-            rejected: [4, 0, 0, 0, 0],
+            rejected: [4, 0, 0, 0, 0, 0],
             latency: LatencySummary::from_ns(&[]),
             records: Vec::new(),
         };

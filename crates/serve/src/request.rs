@@ -51,16 +51,21 @@ pub enum RejectReason {
     UnknownTable,
     /// Empty index list or an index outside the table.
     BadRequest,
+    /// A server-side fault (a panicked shard worker) answered the request
+    /// instead of silently dropping it. The request may be retried.
+    Internal,
 }
 
 impl RejectReason {
-    /// Every reason, in wire-code order.
-    pub const ALL: [RejectReason; 5] = [
+    /// Every reason, in wire-code order. `Internal` is appended last so
+    /// pre-existing wire codes are unchanged.
+    pub const ALL: [RejectReason; 6] = [
         RejectReason::QueueFull,
         RejectReason::DeadlineUnmeetable,
         RejectReason::DeadlineExceeded,
         RejectReason::UnknownTable,
         RejectReason::BadRequest,
+        RejectReason::Internal,
     ];
 
     /// Stable index into [`RejectReason::ALL`] (also the wire code).
@@ -71,6 +76,7 @@ impl RejectReason {
             RejectReason::DeadlineExceeded => 2,
             RejectReason::UnknownTable => 3,
             RejectReason::BadRequest => 4,
+            RejectReason::Internal => 5,
         }
     }
 
@@ -82,6 +88,7 @@ impl RejectReason {
             RejectReason::DeadlineExceeded => "deadline_exceeded",
             RejectReason::UnknownTable => "unknown_table",
             RejectReason::BadRequest => "bad_request",
+            RejectReason::Internal => "internal",
         }
     }
 }

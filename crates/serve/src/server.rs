@@ -12,6 +12,7 @@
 //! joins every handler thread before returning.
 
 use crate::engine::Engine;
+use crate::lock_unpoisoned;
 use crate::protocol::{
     decode_client, encode_metrics, encode_response, encode_stats, encode_tables, ClientMsg,
 };
@@ -67,7 +68,7 @@ impl Server {
                             if stop.load(Ordering::Relaxed) {
                                 break; // the wakeup connection (or a late client)
                             }
-                            let mut conns = connections.lock().expect("connection registry");
+                            let mut conns = lock_unpoisoned(&connections);
                             // Reap naturally finished connections so the
                             // registry tracks live handlers, not history.
                             conns.retain(|c| !c.handle.is_finished());
@@ -76,16 +77,19 @@ impl Server {
                             };
                             let engine = Arc::clone(&engine);
                             let stop = Arc::clone(&stop);
-                            let handle = std::thread::Builder::new()
+                            // A failed spawn (thread exhaustion) drops this
+                            // connection; the server keeps accepting.
+                            let spawned = std::thread::Builder::new()
                                 .name("secemb-conn".into())
                                 .spawn(move || {
                                     let _ = handle_connection(engine, stream, stop);
-                                })
-                                .expect("spawn connection handler");
-                            conns.push(Connection {
-                                handle,
-                                stream: server_side,
-                            });
+                                });
+                            if let Ok(handle) = spawned {
+                                conns.push(Connection {
+                                    handle,
+                                    stream: server_side,
+                                });
+                            }
                         }
                         Err(_) => {
                             if stop.load(Ordering::Relaxed) {
@@ -96,8 +100,7 @@ impl Server {
                             std::thread::sleep(Duration::from_millis(10));
                         }
                     }
-                })
-                .expect("spawn accept thread")
+                })?
         };
         Ok(Server {
             addr,
@@ -128,7 +131,7 @@ impl Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
-        let mut conns = self.connections.lock().expect("connection registry");
+        let mut conns = lock_unpoisoned(&self.connections);
         for conn in conns.iter() {
             // Force blocked reads (and writes) on the handler to return;
             // its reader then drains and the writer flushes what it can.
@@ -176,7 +179,7 @@ fn handle_connection(
         std::thread::Builder::new()
             .name("secemb-conn-wr".into())
             .spawn(move || write_replies(stream, &reply_rx, &stats))
-            .expect("spawn connection writer")
+            .map_err(FrameError::Io)?
     };
     let result = loop {
         // Between frames is the safe point to observe shutdown: nothing

@@ -8,6 +8,7 @@
 //! (ORAM probes, enclave counters, the adapt controller) add their own
 //! gauges to the same registry, so one snapshot covers the whole stack.
 
+use crate::lock_unpoisoned;
 use crate::request::RejectReason;
 use secemb::stats::LatencySummary;
 use secemb::Technique;
@@ -43,15 +44,26 @@ pub struct ServerStats {
     latency: Arc<Histogram>,
     stage_hists: [Arc<Histogram>; Stage::ALL.len()],
     swaps_applied: Arc<Counter>,
+    worker_deaths: Arc<Counter>,
     batch_hist: [AtomicU64; HIST_BUCKETS],
     queue_depth: AtomicU64,
     plan_version: AtomicU64,
     epoch: AtomicU64,
     replicas: AtomicU64,
-    /// One `(table, replica, batches)` entry per shard worker, registered
-    /// at engine startup; the counter itself stays lock-free on the hot
-    /// path (workers hold the `Arc` and only add).
-    worker_batches: Mutex<Vec<(usize, usize, Arc<Counter>)>>,
+    /// One entry per shard worker, registered at engine startup; the
+    /// batch counter itself stays lock-free on the hot path (workers hold
+    /// the `Arc` and only add). The `alive` flag flips on worker death —
+    /// rare enough that the mutex never contends.
+    worker_batches: Mutex<Vec<WorkerSlot>>,
+}
+
+/// Registry entry for one shard worker.
+#[derive(Debug)]
+struct WorkerSlot {
+    table: usize,
+    replica: usize,
+    batches: Arc<Counter>,
+    alive: bool,
 }
 
 impl ServerStats {
@@ -77,6 +89,7 @@ impl ServerStats {
             latency: registry.histogram("request_latency_ns"),
             stage_hists,
             swaps_applied: registry.counter("plan_swaps_total"),
+            worker_deaths: registry.counter("worker_deaths_total"),
             batch_hist: Default::default(),
             queue_depth: AtomicU64::new(0),
             plan_version: AtomicU64::new(0),
@@ -160,6 +173,18 @@ impl ServerStats {
         self.swaps_applied.inc();
     }
 
+    /// Records one shard worker dying (panicked generator): bumps the
+    /// death counter and marks the worker dead in the per-worker table so
+    /// snapshots and the stats endpoint report it.
+    pub fn record_worker_death(&self, table: usize, replica: usize) {
+        self.worker_deaths.inc();
+        for slot in lock_unpoisoned(&self.worker_batches).iter_mut() {
+            if slot.table == table && slot.replica == replica {
+                slot.alive = false;
+            }
+        }
+    }
+
     /// Records the engine's replication factor (worker threads per table).
     pub fn set_replicas(&self, replicas: u64) {
         self.replicas.store(replicas, Ordering::Relaxed);
@@ -177,11 +202,12 @@ impl ServerStats {
                 ("replica", &replica.to_string()),
             ],
         );
-        self.worker_batches.lock().expect("stats lock").push((
+        lock_unpoisoned(&self.worker_batches).push(WorkerSlot {
             table,
             replica,
-            Arc::clone(&counter),
-        ));
+            batches: Arc::clone(&counter),
+            alive: true,
+        });
         counter
     }
 
@@ -218,12 +244,16 @@ impl ServerStats {
 
     fn summarize(hist: &Histogram) -> LatencySummary {
         let snap = hist.snapshot();
-        let buckets: Vec<(f64, u64)> = snap
-            .buckets
+        // The snapshot omits empty buckets, so recover each non-empty
+        // bucket's true lower edge from the layout — interpolating from
+        // the previous *listed* bucket would widen the interval (and the
+        // percentile error) across every empty run.
+        let buckets: Vec<(f64, f64, u64)> = snap
+            .bounded_buckets()
             .iter()
-            .map(|&(upper, c)| (upper as f64, c))
+            .map(|&(lower, upper, c)| (lower as f64, upper as f64, c))
             .collect();
-        LatencySummary::from_bucket_counts(snap.sum as f64, &buckets)
+        LatencySummary::from_bucket_bounds(snap.sum as f64, &buckets)
     }
 
     /// A consistent-enough copy of every counter for reporting.
@@ -250,16 +280,15 @@ impl ServerStats {
             plan_version: self.plan_version.load(Ordering::SeqCst),
             epoch: self.epoch.load(Ordering::SeqCst),
             swaps_applied: self.swaps_applied.get(),
+            worker_deaths: self.worker_deaths.get(),
             replicas: self.replicas.load(Ordering::Relaxed),
-            worker_batches: self
-                .worker_batches
-                .lock()
-                .expect("stats lock")
+            worker_batches: lock_unpoisoned(&self.worker_batches)
                 .iter()
-                .map(|(table, replica, counter)| WorkerBatches {
-                    table: *table,
-                    replica: *replica,
-                    batches: counter.get(),
+                .map(|slot| WorkerBatches {
+                    table: slot.table,
+                    replica: slot.replica,
+                    batches: slot.batches.get(),
+                    alive: slot.alive,
                 })
                 .collect(),
             latency: Self::summarize(&self.latency),
@@ -283,6 +312,9 @@ pub struct WorkerBatches {
     pub replica: usize,
     /// Coalesced batches this worker has dispatched.
     pub batches: u64,
+    /// Whether the worker is still serving (`false` after its generator
+    /// panicked and the worker shut down).
+    pub alive: bool,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -307,6 +339,8 @@ pub struct StatsSnapshot {
     pub epoch: u64,
     /// Per-shard swap orders picked up by workers across all epochs.
     pub swaps_applied: u64,
+    /// Workers that died to a panicking generator since startup.
+    pub worker_deaths: u64,
     /// Worker threads per table (the engine's replication factor).
     pub replicas: u64,
     /// Batches dispatched per worker, one entry per `(table, replica)`.
@@ -375,6 +409,7 @@ impl StatsSnapshot {
             ),
             ("queue_depth", Value::Num(self.queue_depth as f64)),
             ("replicas", Value::Num(self.replicas as f64)),
+            ("worker_deaths", Value::Num(self.worker_deaths as f64)),
             (
                 "worker_batches",
                 Value::Arr(
@@ -385,6 +420,7 @@ impl StatsSnapshot {
                                 ("table", Value::Num(w.table as f64)),
                                 ("replica", Value::Num(w.replica as f64)),
                                 ("batches", Value::Num(w.batches as f64)),
+                                ("alive", Value::Bool(w.alive)),
                             ])
                         })
                         .collect(),
@@ -560,12 +596,14 @@ mod tests {
                 WorkerBatches {
                     table: 0,
                     replica: 0,
-                    batches: 3
+                    batches: 3,
+                    alive: true
                 },
                 WorkerBatches {
                     table: 0,
                     replica: 1,
-                    batches: 5
+                    batches: 5,
+                    alive: true
                 },
             ]
         );
@@ -573,6 +611,16 @@ mod tests {
         assert_eq!(doc.get("replicas").unwrap().as_u64(), Some(2));
         let workers = doc.get("worker_batches").unwrap().as_arr().unwrap();
         assert_eq!(workers[1].get("batches").unwrap().as_u64(), Some(5));
+
+        // A worker death flips its slot and is counted + exported.
+        s.record_worker_death(0, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.worker_deaths, 1);
+        assert!(snap.worker_batches[0].alive && !snap.worker_batches[1].alive);
+        let doc = json::parse(&snap.to_json()).unwrap();
+        assert_eq!(doc.get("worker_deaths").unwrap().as_u64(), Some(1));
+        let workers = doc.get("worker_batches").unwrap().as_arr().unwrap();
+        assert_eq!(workers[1].get("alive"), Some(&json::Value::Bool(false)));
     }
 
     #[test]
@@ -588,14 +636,18 @@ mod tests {
         }
         let snap = s.snapshot();
         assert_eq!(snap.latency.count, 100);
-        // Log-bucketed: each percentile is the containing bucket's upper
-        // bound, so it can only overestimate, by at most 12.5%.
+        // Log-bucketed with in-bucket interpolation: the estimate lands
+        // inside the containing bucket, so the error is bounded by the
+        // bucket's relative width (12.5%) on either side — not the old
+        // upper-bound rule that could only overestimate.
         for (p, exact) in [
             (snap.latency.p50_ns, 50_000.0),
             (snap.latency.p99_ns, 99_000.0),
         ] {
-            assert!(p >= exact, "bucket upper bound must not underestimate");
-            assert!((p - exact) / exact <= 0.125, "p={p} exact={exact}");
+            assert!(
+                (p - exact).abs() / exact <= 0.125,
+                "p={p} exact={exact} strays outside the bucket width"
+            );
         }
     }
 

@@ -164,21 +164,46 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Nearest-rank quantile (`q` in 0..=1): the upper bound of the
-    /// bucket containing the `ceil(q * count)`-th sample.
+    /// Nearest-rank quantile (`q` in 0..=1), interpolated linearly
+    /// within the bucket containing the `ceil(q * count)`-th sample.
+    ///
+    /// Reporting the bucket's *upper bound* (the old rule) overstated
+    /// the value by up to a full bucket width — for these log-spaced
+    /// buckets, an error that grows with the value itself and always
+    /// points the same way. Interpolation assumes samples spread
+    /// uniformly across the bucket; the result always lies within the
+    /// bucket's true `(lower, upper]` range, so the error stays bounded
+    /// by the bucket width but is no longer one-sided.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
-        for &(upper, c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                return upper;
+        for &(lower, upper, c) in &self.bounded_buckets() {
+            if seen + c >= rank {
+                let fraction = (rank - seen) as f64 / c as f64;
+                return lower + (fraction * (upper - lower) as f64).ceil() as u64;
             }
+            seen += c;
         }
         self.buckets.last().map(|&(u, _)| u).unwrap_or(0)
+    }
+
+    /// The non-empty buckets as `(exclusive_lower, inclusive_upper,
+    /// count)`, ascending. The lower bound is the *true* edge of the
+    /// containing bucket (recovered from the bucket layout), not the
+    /// previous non-empty bucket's upper bound — the distinction that
+    /// makes within-bucket interpolation sound on sparse histograms.
+    pub fn bounded_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .map(|&(upper, c)| {
+                let i = bucket_index(upper);
+                let lower = if i == 0 { 0 } else { bucket_upper(i - 1) };
+                (lower, upper, c)
+            })
+            .collect()
     }
 
     /// Mean of the recorded samples (0 when empty).
@@ -583,6 +608,27 @@ mod tests {
             let est = snap.quantile(q) as f64;
             let rel = (est - exact).abs() / exact;
             assert!(rel <= 0.125, "q={q} est={est} exact={exact} rel={rel}");
+        }
+    }
+
+    /// Interpolation on a sparse histogram must use the containing
+    /// bucket's *true* lower edge. Interpolating from the previous
+    /// non-empty bucket instead would drag the estimate far below any
+    /// recorded sample.
+    #[test]
+    fn sparse_histograms_interpolate_within_the_true_bucket() {
+        let h = Histogram::new(true);
+        h.record(10);
+        for _ in 0..99 {
+            h.record(1_000); // lands in the (959, 1023] bucket
+        }
+        let snap = h.snapshot();
+        for q in [0.5, 0.95, 0.99] {
+            let est = snap.quantile(q);
+            assert!(
+                (959..=1023).contains(&est),
+                "q={q}: {est} escaped the bucket holding the samples"
+            );
         }
     }
 
