@@ -21,7 +21,11 @@
 //!   [`AdaptConfig::dwell`] ([`DampedTrigger`]); any drift-free
 //!   observation resets the clock. Combined with the post-swap
 //!   [`AdaptConfig::cooldown`] this bounds the swap rate to one per
-//!   `dwell + cooldown` regardless of how the costs oscillate.
+//!   `dwell + cooldown` regardless of how the costs oscillate. The
+//!   dwell/cooldown state is kept **per table**: a table must itself
+//!   sustain drift for the dwell window to fire, and only a fired
+//!   table's technique is re-decided — one chronically drifting table
+//!   can neither hijack the shared clock nor flip its neighbors.
 //! - **Hysteresis**: a table keeps its incumbent technique while its
 //!   size stays inside the boundary band widened by
 //!   [`AdaptConfig::hysteresis`] — the freshly measured crossover must
@@ -176,6 +180,15 @@ impl DampedTrigger {
     pub fn min_fire_gap(&self) -> Duration {
         self.dwell + self.cooldown
     }
+
+    /// Starts the cooldown window at `now` without recording a firing of
+    /// *this* trigger — used when another table's firing swapped the
+    /// whole plan, which rebased this table's detector too, so its dwell
+    /// credit (earned against the pre-swap baseline) is void.
+    pub fn start_cooldown(&mut self, now: Instant) {
+        self.last_fire = Some(now);
+        self.drift_since = None;
+    }
 }
 
 /// Algorithm 3's decision with a hysteresis band: the fresh crossovers
@@ -290,7 +303,13 @@ pub struct AdaptiveController {
     config: AdaptConfig,
     detectors: Vec<DriftDetector>,
     crossovers: Crossovers,
-    trigger: DampedTrigger,
+    /// One damper per table: a table must *itself* sustain drift for the
+    /// dwell window before it can fire. Keying the dwell/cooldown state
+    /// by table id keeps one chronically drifting table from hijacking
+    /// the shared clock — under a single global trigger, interleaved
+    /// verdicts from different tables OR together and can fire a swap no
+    /// single table earned.
+    triggers: Vec<DampedTrigger>,
     next_version: u64,
     reallocations: u64,
     last_plan: Option<AllocationPlan>,
@@ -332,11 +351,14 @@ impl AdaptiveController {
         threshold_rows.set(crossovers.scan_to as f64);
         let oram_to_rows = registry.gauge("adapt_oram_to_rows");
         oram_to_rows.set(crossovers.oram_to as f64);
-        let trigger = DampedTrigger::new(config.dwell, config.cooldown);
+        let triggers = detectors
+            .iter()
+            .map(|_| DampedTrigger::new(config.dwell, config.cooldown))
+            .collect();
         AdaptiveController {
             detectors,
             crossovers,
-            trigger,
+            triggers,
             next_version: 1,
             reallocations: 0,
             last_plan: None,
@@ -390,13 +412,19 @@ impl AdaptiveController {
     /// monitor drift passively — e.g. a benchmark that wants detector
     /// readings without ever triggering a reallocation.
     pub fn observe(&mut self) -> bool {
+        self.observe_each().into_iter().any(|d| d)
+    }
+
+    /// As [`observe`](Self::observe), but returns the per-table drift
+    /// verdicts the per-table triggers consume.
+    fn observe_each(&mut self) -> Vec<bool> {
         for (table, detector) in self.detectors.iter_mut().enumerate() {
             detector.observe_all(&self.engine.drain_samples(table));
         }
         for (detector, gauges) in self.detectors.iter().zip(&self.table_gauges) {
             gauges.publish(detector);
         }
-        self.detectors.iter().any(DriftDetector::drifted)
+        self.detectors.iter().map(DriftDetector::drifted).collect()
     }
 
     /// Runs one control step: drain samples, update detectors, and if
@@ -409,25 +437,34 @@ impl AdaptiveController {
     /// gauge (0 = stable, 1 = cooling down, 2 = reallocated,
     /// 3 = dwelling, 4 = plan rejected by the engine).
     pub fn step(&mut self) -> StepOutcome {
-        let drifted = self.observe();
-        match self.trigger.decide(drifted, Instant::now()) {
-            TriggerDecision::Idle => {
-                self.last_outcome.set(OUTCOME_STABLE);
-                StepOutcome::Stable
-            }
-            TriggerDecision::Dwelling => {
-                self.last_outcome.set(OUTCOME_DWELLING);
-                StepOutcome::Dwelling
-            }
-            TriggerDecision::Cooling => {
-                self.last_outcome.set(OUTCOME_COOLING);
-                StepOutcome::CoolingDown
-            }
-            TriggerDecision::Fire => self.reallocate(),
+        let verdicts = self.observe_each();
+        let now = Instant::now();
+        let decisions: Vec<TriggerDecision> = self
+            .triggers
+            .iter_mut()
+            .zip(&verdicts)
+            .map(|(trigger, &drifted)| trigger.decide(drifted, now))
+            .collect();
+        let fired: Vec<bool> = decisions
+            .iter()
+            .map(|d| *d == TriggerDecision::Fire)
+            .collect();
+        if fired.iter().any(|&f| f) {
+            return self.reallocate(&fired, now);
         }
+        if decisions.contains(&TriggerDecision::Dwelling) {
+            self.last_outcome.set(OUTCOME_DWELLING);
+            return StepOutcome::Dwelling;
+        }
+        if decisions.contains(&TriggerDecision::Cooling) {
+            self.last_outcome.set(OUTCOME_COOLING);
+            return StepOutcome::CoolingDown;
+        }
+        self.last_outcome.set(OUTCOME_STABLE);
+        StepOutcome::Stable
     }
 
-    fn reallocate(&mut self) -> StepOutcome {
+    fn reallocate(&mut self, fired: &[bool], now: Instant) -> StepOutcome {
         let report = reprofile(
             &self.config.reprofile,
             self.crossovers,
@@ -439,9 +476,17 @@ impl AdaptiveController {
         let tables: Vec<PlannedTable> = infos
             .iter()
             .zip(&self.detectors)
-            .map(|(info, detector)| {
-                let technique =
-                    hysteresis_choice(fresh, info.technique, info.rows, self.config.hysteresis);
+            .enumerate()
+            .map(|(table, (info, detector))| {
+                // Only a table whose own trigger fired may flip its
+                // technique; a neighbor that never sustained drift keeps
+                // its incumbent (re-costed, not rebuilt) no matter where
+                // the re-profiled boundary landed.
+                let technique = if fired.get(table).copied().unwrap_or(false) {
+                    hysteresis_choice(fresh, info.technique, info.rows, self.config.hysteresis)
+                } else {
+                    info.technique
+                };
                 PlannedTable {
                     rows: info.rows,
                     technique,
@@ -486,7 +531,12 @@ impl AdaptiveController {
         };
         // Re-arm every detector against the applied plan's costs (probed
         // values for flipped tables), and discard samples that straddled
-        // the swap.
+        // the swap. The swap rebased every table's baseline, so every
+        // trigger enters its cooldown — dwell credit earned against the
+        // pre-swap baseline would fire on stale evidence.
+        for trigger in &mut self.triggers {
+            trigger.start_cooldown(now);
+        }
         for (info, detector) in self.engine.tables().iter().zip(&mut self.detectors) {
             detector.rebase(info.per_query_ns.max(1.0));
         }
@@ -796,6 +846,41 @@ mod tests {
             hysteresis_choice(fresh, Technique::LinearScan, 110, 0.0),
             Technique::CircuitOram
         );
+    }
+
+    #[test]
+    fn per_table_triggers_isolate_a_drifting_neighbor() {
+        // Table 0's admission baseline is poisoned (drifts instantly);
+        // table 1 never sees traffic, so it never drifts. Only table 0's
+        // trigger may fire — and the resulting plan must keep table 1's
+        // incumbent technique even though pure Algorithm 3 would flip a
+        // 4096-row scan to DHE at any plausible re-profiled boundary.
+        let engine = Arc::new(Engine::start(EngineConfig::new(vec![
+            TableConfig {
+                spec: GeneratorSpec::Scan { rows: 64, dim: 8 },
+                seed: 7,
+                queue_capacity: 256,
+                cost_override_ns: Some(0.001),
+            },
+            TableConfig {
+                spec: GeneratorSpec::Scan { rows: 4096, dim: 8 },
+                seed: 9,
+                queue_capacity: 256,
+                cost_override_ns: Some(50_000.0),
+            },
+        ])));
+        let mut c = AdaptiveController::new(Arc::clone(&engine), 512, quick_config());
+        drive(&engine, 16);
+        assert!(matches!(c.step(), StepOutcome::Reallocated { .. }));
+        assert_eq!(c.reallocations(), 1);
+        let tables = engine.tables();
+        assert_eq!(
+            tables[1].technique,
+            Technique::LinearScan,
+            "a quiet neighbor must keep its incumbent technique"
+        );
+        let plan = c.last_plan().expect("plan recorded");
+        assert_eq!(plan.tables[1].technique, Technique::LinearScan);
     }
 
     #[test]

@@ -117,7 +117,7 @@ fn start_engine(rows: [u64; 2], threshold: u64) -> Arc<Engine> {
 
 fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
     run_load(&LoadConfig {
-        addr,
+        addrs: vec![addr],
         connections: 4,
         tables: vec![0, 1],
         batch: 4,
@@ -202,7 +202,7 @@ fn churn_ab(p: &Params, rows: [u64; 2], threshold: u64) {
 
     let drive_half = |addr: SocketAddr, seed: u64| {
         run_load(&LoadConfig {
-            addr,
+            addrs: vec![addr],
             connections: 2,
             tables: vec![0, 1],
             batch: 4,

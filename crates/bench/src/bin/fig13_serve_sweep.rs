@@ -130,7 +130,7 @@ fn main() {
         let mut rows_out = Vec::new();
         for &rate in rates {
             let report = run_load(&LoadConfig {
-                addr,
+                addrs: vec![addr],
                 connections: 8,
                 tables: vec![table],
                 batch: 4,
@@ -172,7 +172,7 @@ fn main() {
     let mut rows_out = Vec::new();
     for &rate in rates {
         let report = run_load(&LoadConfig {
-            addr,
+            addrs: vec![addr],
             connections: 8,
             tables: vec![0, 1],
             batch: 4,

@@ -1,0 +1,284 @@
+//! A pipelined connection to one backend `secemb-serve-server`.
+//!
+//! The router keeps exactly one TCP connection per backend process and
+//! multiplexes every client's traffic over it: each submitted request
+//! registers a completion callback under a fresh request id, and a
+//! single reader thread per backend dispatches response frames to their
+//! callbacks in completion order — the same pipelining discipline the
+//! server itself uses, with no per-request threads.
+
+use crate::lock_unpoisoned;
+use secemb_serve::protocol::{
+    decode_server, decode_server_traced, encode_generate_multi, encode_generate_traced,
+    encode_hello, encode_metrics_request, encode_plan_pull, encode_plan_push, encode_stats_request,
+    ServerMsg,
+};
+use secemb_serve::RejectReason;
+use secemb_wire::frame::{read_frame, write_frame, FrameError};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Invoked with the backend's response (and its echoed trace id, when
+/// the request carried one) on the backend's reader thread.
+pub type ReplyCallback = Box<dyn FnOnce(ServerMsg, Option<u64>) + Send>;
+
+/// How long a synchronous control call (stats, metrics, plan pull/push)
+/// waits for the backend before giving up.
+const SYNC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One pipelined backend connection. Cheap to share (`Arc<Backend>`);
+/// writes are serialized by an internal lock, responses fan out from
+/// one reader thread.
+pub struct Backend {
+    name: String,
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Server-side handle used to force the reader loop out of a
+    /// blocked read on shutdown.
+    stream: TcpStream,
+    next_id: AtomicU64,
+    pending: Arc<Mutex<HashMap<u64, ReplyCallback>>>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    /// The inventory the backend reported at the `Hello` handshake:
+    /// `(rows, dim, per_query_ns, technique label)` per table.
+    tables: Vec<(u64, usize, f64, String)>,
+}
+
+fn from_frame_error(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+fn bad_reply(kind: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected backend reply: {kind}"),
+    )
+}
+
+impl Backend {
+    /// Connects to `addr`, performs the `Hello` handshake (which
+    /// returns the backend's table inventory), and starts the reader
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns connect/handshake errors.
+    pub fn connect<A: ToSocketAddrs>(name: &str, addr: A) -> io::Result<Arc<Backend>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream.try_clone()?);
+        // Handshake before the reader thread exists: the hello's reply
+        // is the only frame in flight, so read it inline.
+        write_frame(&mut writer, &encode_hello(0, "router"))?;
+        let payload = read_frame(&mut reader).map_err(from_frame_error)?;
+        let (id, msg) = decode_server(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tables = match (id, msg) {
+            (0, ServerMsg::Tables(tables)) => tables,
+            _ => return Err(bad_reply("expected hello inventory")),
+        };
+        let pending: Arc<Mutex<HashMap<u64, ReplyCallback>>> = Arc::default();
+        let backend = Arc::new(Backend {
+            name: name.to_string(),
+            writer: Mutex::new(writer),
+            stream,
+            next_id: AtomicU64::new(1),
+            pending: Arc::clone(&pending),
+            reader: Mutex::new(None),
+            tables,
+        });
+        let handle = {
+            let pending = Arc::clone(&pending);
+            std::thread::Builder::new()
+                .name(format!("secemb-be-{name}"))
+                .spawn(move || {
+                    while let Ok(payload) = read_frame(&mut reader) {
+                        let Ok((id, msg, trace)) = decode_server_traced(&payload) else {
+                            break; // protocol desync: unrecoverable
+                        };
+                        let callback = lock_unpoisoned(&pending).remove(&id);
+                        if let Some(callback) = callback {
+                            callback(msg, trace);
+                        }
+                    }
+                    // The connection is gone: answer everything still in
+                    // flight so no client request hangs on a dead host.
+                    let orphans: Vec<ReplyCallback> = {
+                        let mut map = lock_unpoisoned(&pending);
+                        map.drain().map(|(_, cb)| cb).collect()
+                    };
+                    for callback in orphans {
+                        callback(ServerMsg::Rejected(RejectReason::Internal), None);
+                    }
+                })?
+        };
+        *lock_unpoisoned(&backend.reader) = Some(handle);
+        Ok(backend)
+    }
+
+    /// The backend's display name (used as the `backend` metric label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The inventory reported at the handshake.
+    pub fn tables(&self) -> &[(u64, usize, f64, String)] {
+        &self.tables
+    }
+
+    /// Submits one request: `encode` receives a fresh request id and
+    /// returns the frame payload; `callback` fires when the response
+    /// arrives (or with `Rejected(Internal)` if the connection dies).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors; on error the callback is dropped
+    /// without being invoked.
+    pub fn call(
+        &self,
+        encode: impl FnOnce(u64) -> Vec<u8>,
+        callback: ReplyCallback,
+    ) -> io::Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let payload = encode(id);
+        // Register before writing: the response may race the map insert
+        // otherwise. On a failed write, take the callback back out.
+        lock_unpoisoned(&self.pending).insert(id, callback);
+        let result = {
+            let mut writer = lock_unpoisoned(&self.writer);
+            write_frame(&mut *writer, &payload)
+        };
+        if let Err(e) = result {
+            lock_unpoisoned(&self.pending).remove(&id);
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Submits a traced `Generate` for one table.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::call`].
+    pub fn generate(
+        &self,
+        table: usize,
+        indices: &[u64],
+        deadline: Option<Duration>,
+        trace: Option<u64>,
+        callback: ReplyCallback,
+    ) -> io::Result<u64> {
+        self.call(
+            |id| encode_generate_traced(id, table, indices, deadline, trace),
+            callback,
+        )
+    }
+
+    /// Submits a traced `GenerateMulti` covering several tables.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::call`].
+    pub fn generate_multi(
+        &self,
+        parts: &[(usize, Vec<u64>)],
+        deadline: Option<Duration>,
+        trace: Option<u64>,
+        callback: ReplyCallback,
+    ) -> io::Result<u64> {
+        self.call(
+            |id| encode_generate_multi(id, parts, deadline, trace),
+            callback,
+        )
+    }
+
+    fn round_trip(&self, encode: impl FnOnce(u64) -> Vec<u8>) -> io::Result<ServerMsg> {
+        let (tx, rx) = mpsc::channel();
+        self.call(
+            encode,
+            Box::new(move |msg, _| {
+                let _ = tx.send(msg);
+            }),
+        )?;
+        rx.recv_timeout(SYNC_TIMEOUT)
+            .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "backend timed out"))
+    }
+
+    /// Fetches the backend's stats snapshot JSON, blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/timeout errors or an unexpected reply kind.
+    pub fn stats_json(&self) -> io::Result<String> {
+        match self.round_trip(encode_stats_request)? {
+            ServerMsg::Stats(json) => Ok(json),
+            _ => Err(bad_reply("expected stats")),
+        }
+    }
+
+    /// Fetches the backend's Prometheus metrics text, blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/timeout errors or an unexpected reply kind.
+    pub fn metrics_text(&self) -> io::Result<String> {
+        match self.round_trip(encode_metrics_request)? {
+            ServerMsg::Metrics(text) => Ok(text),
+            _ => Err(bad_reply("expected metrics")),
+        }
+    }
+
+    /// Fetches the backend's active plan JSON, blocking. `None` means
+    /// the backend still serves its construction-time layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/timeout errors or an unexpected reply kind.
+    pub fn plan_json(&self) -> io::Result<Option<String>> {
+        match self.round_trip(encode_plan_pull)? {
+            ServerMsg::Plan(json) => Ok(json),
+            _ => Err(bad_reply("expected plan")),
+        }
+    }
+
+    /// Pushes a plan to the backend, blocking for the epoch-tagged ack.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/timeout errors; a refused plan surfaces as
+    /// `InvalidInput` carrying the backend's error text.
+    pub fn push_plan(&self, plan_json: &str) -> io::Result<u64> {
+        match self.round_trip(|id| encode_plan_push(id, plan_json))? {
+            ServerMsg::PlanAck {
+                ok: true, epoch, ..
+            } => Ok(epoch),
+            ServerMsg::PlanAck { error, .. } => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, error))
+            }
+            _ => Err(bad_reply("expected plan ack")),
+        }
+    }
+
+    /// Closes the connection and joins the reader thread; everything
+    /// still in flight is answered with `Rejected(Internal)`.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(handle) = lock_unpoisoned(&self.reader).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

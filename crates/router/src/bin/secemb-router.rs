@@ -1,0 +1,120 @@
+//! The `secemb-router` binary: a cross-host front-end over N backend
+//! `secemb-serve-server` processes.
+//!
+//! ```text
+//! secemb-router [--bind ADDR] --backend [NAME=]ADDR...
+//!               [--gossip-ms N] [--profile-out FILE] [--run-secs N]
+//! ```
+//!
+//! Repeat `--backend` once per backend process (`NAME=HOST:PORT`, or
+//! bare `HOST:PORT` which names the backend after its address). The
+//! router derives a consistent table → host placement from the
+//! backends' shared inventory, serves the unmodified `secemb-wire`
+//! protocol to clients, and gossips the highest-versioned adaptive plan
+//! across the fleet every `--gossip-ms` (0 disables gossip).
+//! `--profile-out FILE` persists the winning plan's crossovers in the
+//! `ProfileArtifact` format after each round. `--run-secs N` serves for
+//! N seconds then exits 0 — the CI smoke-test mode; without it the
+//! router runs until killed.
+
+use secemb_router::{Router, RouterConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    bind: String,
+    backends: Vec<(String, String)>,
+    gossip: Option<Duration>,
+    profile_out: Option<PathBuf>,
+    run_secs: Option<Duration>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: secemb-router [--bind ADDR] --backend [NAME=]ADDR... \
+         [--gossip-ms N] [--profile-out FILE] [--run-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:7900".to_string(),
+        backends: Vec::new(),
+        gossip: Some(Duration::from_millis(500)),
+        profile_out: None,
+        run_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--bind" => args.bind = value(),
+            "--backend" => {
+                let spec = value();
+                let (name, addr) = match spec.split_once('=') {
+                    Some((name, addr)) => (name.to_string(), addr.to_string()),
+                    None => (spec.clone(), spec),
+                };
+                args.backends.push((name, addr));
+            }
+            "--gossip-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.gossip = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--profile-out" => args.profile_out = Some(PathBuf::from(value())),
+            "--run-secs" => {
+                args.run_secs = Some(Duration::from_secs(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            _ => usage(),
+        }
+    }
+    if args.backends.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = RouterConfig {
+        bind: args.bind,
+        backends: args.backends,
+        gossip_interval: args.gossip,
+        profile_out: args.profile_out,
+    };
+    let router = match Router::start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("secemb-router: {e}");
+            std::process::exit(1);
+        }
+    };
+    let placement = router.placement();
+    println!(
+        "secemb-router listening on {} ({} backends, {} tables)",
+        router.addr(),
+        placement.hosts().len(),
+        placement.tables()
+    );
+    for (h, host) in placement.hosts().iter().enumerate() {
+        let tables: Vec<String> = placement
+            .tables_of(h)
+            .iter()
+            .map(usize::to_string)
+            .collect();
+        println!("  {host}: tables [{}]", tables.join(", "));
+    }
+    match args.run_secs {
+        Some(secs) => {
+            std::thread::sleep(secs);
+            router.shutdown();
+            println!("secemb-router: run-secs elapsed, exiting");
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}

@@ -1,0 +1,124 @@
+//! Versioned plan gossip: cross-host adaptive coordination.
+//!
+//! Each backend's `AdaptiveController` learns independently; without
+//! coordination, a crossover applied on one host leaves its replicas
+//! serving a stale allocation. A gossip round pulls every backend's
+//! active [`AllocationPlan`], picks the **highest version** (plan
+//! versions are monotone per controller, and
+//! `resuming_from_version` keeps them monotone across restarts), and
+//! pushes that plan to every backend still below it. Each push is an
+//! epoch-tagged atomic swap on the receiving engine — all replicas
+//! rendezvous on a barrier before any serves the new plan — so no
+//! batch ever mixes epochs, and after one convergent round every
+//! replica of every table serves the same plan version.
+//!
+//! The winning plan's crossovers are also persisted in the
+//! [`ProfileArtifact`] format, so a restarted backend (pointed at the
+//! same artifact path) resumes from the fleet's newest profile instead
+//! of its own stale one.
+
+use crate::backend::Backend;
+use secemb::hybrid::{AllocationPlan, Crossovers};
+use secemb_adapt::ProfileArtifact;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What one gossip round did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GossipReport {
+    /// The highest plan version seen across the fleet (0 = no backend
+    /// has applied a plan yet).
+    pub winner_version: u64,
+    /// Backends that were behind and received the winning plan.
+    pub pushed: Vec<String>,
+    /// `(backend, epoch)` acks from the pushed backends.
+    pub acked: Vec<(String, u64)>,
+    /// Backends that could not be pulled or pushed this round, with the
+    /// error text; the next round retries them.
+    pub errors: Vec<(String, String)>,
+}
+
+impl GossipReport {
+    /// Whether every reachable backend now reports the winning version.
+    pub fn converged(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Runs one gossip round over `backends`: pull every active plan, pick
+/// the highest version, push it to the stale peers, and (optionally)
+/// persist the winner's crossovers at `profile_out`.
+///
+/// # Errors
+///
+/// Per-backend failures are reported in [`GossipReport::errors`], not
+/// returned; `Err` is reserved for a corrupt winning plan (a backend
+/// acked a plan this function cannot re-parse).
+pub fn gossip_once(
+    backends: &[Arc<Backend>],
+    profile_out: Option<&Path>,
+) -> io::Result<GossipReport> {
+    let mut report = GossipReport::default();
+    let mut winner: Option<(u64, String)> = None;
+    let mut versions = Vec::with_capacity(backends.len());
+    for backend in backends {
+        match backend.plan_json() {
+            Ok(Some(json)) => match AllocationPlan::from_json(&json) {
+                Ok(plan) => {
+                    versions.push(plan.version);
+                    if winner.as_ref().is_none_or(|(v, _)| plan.version > *v) {
+                        winner = Some((plan.version, json));
+                    }
+                }
+                Err(e) => {
+                    report
+                        .errors
+                        .push((backend.name().to_string(), e.to_string()));
+                    versions.push(0);
+                }
+            },
+            Ok(None) => versions.push(0),
+            Err(e) => {
+                report
+                    .errors
+                    .push((backend.name().to_string(), e.to_string()));
+                versions.push(0);
+            }
+        }
+    }
+    let Some((winner_version, winner_json)) = winner else {
+        return Ok(report); // nobody has adapted yet: nothing to spread
+    };
+    report.winner_version = winner_version;
+    for (backend, &version) in backends.iter().zip(&versions) {
+        if version >= winner_version {
+            continue;
+        }
+        report.pushed.push(backend.name().to_string());
+        match backend.push_plan(&winner_json) {
+            Ok(epoch) => report.acked.push((backend.name().to_string(), epoch)),
+            Err(e) => report
+                .errors
+                .push((backend.name().to_string(), e.to_string())),
+        }
+    }
+    if let Some(path) = profile_out {
+        let plan = AllocationPlan::from_json(&winner_json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Best-effort, atomic rename underneath — same contract as the
+        // controller's own persistence.
+        let _ = ProfileArtifact {
+            dim: plan.dim,
+            batch: plan.batch,
+            threads: plan.threads,
+            crossovers: Crossovers {
+                scan_to: plan.threshold,
+                oram_to: plan.oram_to,
+            },
+            plan_version: plan.version,
+        }
+        .store(path);
+    }
+    Ok(report)
+}

@@ -1,0 +1,831 @@
+//! The router front-end: the unmodified serving protocol on the client
+//! side, a pipelined backend fleet behind it.
+//!
+//! Each client connection gets the same reader/writer split as the
+//! single-host server — the reader decodes frames and dispatches, the
+//! writer drains completion-ordered replies — but dispatch resolves
+//! against the [`Placement`] instead of a local engine: a `Generate`
+//! goes to the host owning its table; a `GenerateMulti` is split into
+//! per-host groups, fanned out concurrently, and re-assembled **in part
+//! order** when the last group lands. `Tables`, `Stats`, `Metrics`, and
+//! the plan frames are merged across the whole fleet, so a scrape
+//! through the router sees every backend.
+//!
+//! Every proxied lookup is stamped with a trace id (the client's, or a
+//! router-assigned one), so backend-side stage breakdowns can be joined
+//! with the router-side `router_route_ns` / `router_merge_ns`
+//! histograms into one cross-host span.
+
+use crate::backend::Backend;
+use crate::gossip::{gossip_once, GossipReport};
+use crate::lock_unpoisoned;
+use crate::placement::Placement;
+use secemb::hybrid::AllocationPlan;
+use secemb_serve::protocol::{
+    decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response_traced,
+    encode_stats, encode_table_list, ClientMsg, ServerMsg,
+};
+use secemb_serve::{RejectReason, Response};
+use secemb_telemetry::{Counter, Gauge, Histogram, Registry, StageBreakdown};
+use secemb_tensor::Matrix;
+use secemb_wire::frame::{read_frame, write_frame, FrameError};
+use secemb_wire::json::{self, Value};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address (port 0 for ephemeral).
+    pub bind: String,
+    /// `(name, address)` per backend; the name keys placement and the
+    /// `backend` metric label.
+    pub backends: Vec<(String, String)>,
+    /// Background plan-gossip round interval; `None` disables the
+    /// background loop (gossip can still be driven via
+    /// [`Router::gossip_now`]).
+    pub gossip_interval: Option<Duration>,
+    /// Where the winning plan's crossovers are persisted (in the
+    /// `ProfileArtifact` format) after each gossip round.
+    pub profile_out: Option<PathBuf>,
+}
+
+/// Router-side telemetry: fan-out shape and per-hop latency, so a
+/// cross-host span = router histograms + backend stage breakdowns.
+struct RouterMetrics {
+    requests_total: Arc<Counter>,
+    rejected_local_total: Arc<Counter>,
+    fanout_hosts: Arc<Histogram>,
+    route_ns: Arc<Histogram>,
+    merge_ns: Arc<Histogram>,
+    write_ns: Arc<Histogram>,
+    gossip_rounds_total: Arc<Counter>,
+    gossip_pushes_total: Arc<Counter>,
+    plan_version: Arc<Gauge>,
+}
+
+impl RouterMetrics {
+    fn new(registry: &Registry) -> Self {
+        RouterMetrics {
+            requests_total: registry.counter("router_requests_total"),
+            rejected_local_total: registry.counter("router_rejected_local_total"),
+            fanout_hosts: registry.histogram("router_fanout_hosts"),
+            route_ns: registry.histogram("router_route_ns"),
+            merge_ns: registry.histogram("router_merge_ns"),
+            write_ns: registry.histogram("router_write_ns"),
+            gossip_rounds_total: registry.counter("router_gossip_rounds_total"),
+            gossip_pushes_total: registry.counter("router_gossip_pushes_total"),
+            plan_version: registry.gauge("router_plan_version"),
+        }
+    }
+}
+
+struct Inner {
+    backends: Vec<Arc<Backend>>,
+    placement: Placement,
+    /// The fleet's table inventory (identical across backends, verified
+    /// at startup): `(rows, dim, per_query_ns, technique label)`.
+    inventory: Vec<(u64, usize, f64, String)>,
+    registry: Arc<Registry>,
+    metrics: RouterMetrics,
+    profile_out: Option<PathBuf>,
+    next_trace: AtomicU64,
+}
+
+impl Inner {
+    fn fresh_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn gossip(&self) -> io::Result<GossipReport> {
+        let report = gossip_once(&self.backends, self.profile_out.as_deref())?;
+        self.metrics.gossip_rounds_total.inc();
+        self.metrics
+            .gossip_pushes_total
+            .add(report.pushed.len() as u64);
+        if report.winner_version > 0 {
+            self.metrics.plan_version.set(report.winner_version as f64);
+        }
+        Ok(report)
+    }
+}
+
+/// One live client connection (see `Server` in `secemb-serve`).
+struct Connection {
+    handle: JoinHandle<()>,
+    stream: TcpStream,
+}
+
+/// A running router. Dropping (or [`Router::shutdown`]) stops the
+/// accept loop, closes every client connection, joins every thread, and
+/// disconnects the backends.
+pub struct Router {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    gossip_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+impl Router {
+    /// Connects to every backend, verifies they serve the same table
+    /// set, derives the placement, and starts accepting clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns connect/bind errors, or `InvalidData` if the backends'
+    /// inventories disagree (they must be replicas of one table set).
+    pub fn start(config: RouterConfig) -> io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let mut backends = Vec::with_capacity(config.backends.len());
+        for (name, addr) in &config.backends {
+            backends.push(Backend::connect(name, addr.as_str())?);
+        }
+        let inventory = backends[0].tables().to_vec();
+        for backend in &backends[1..] {
+            let shape = |t: &[(u64, usize, f64, String)]| -> Vec<(u64, usize)> {
+                t.iter().map(|(rows, dim, _, _)| (*rows, *dim)).collect()
+            };
+            if shape(backend.tables()) != shape(&inventory) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "backend {} serves a different table set than {}",
+                        backend.name(),
+                        backends[0].name()
+                    ),
+                ));
+            }
+        }
+        let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
+        let placement = Placement::balanced(&names, inventory.len());
+        let registry = Arc::new(Registry::new());
+        let metrics = RouterMetrics::new(&registry);
+        registry.gauge("router_backends").set(backends.len() as f64);
+        registry.gauge("router_tables").set(inventory.len() as f64);
+        let inner = Arc::new(Inner {
+            backends,
+            placement,
+            inventory,
+            registry,
+            metrics,
+            profile_out: config.profile_out.clone(),
+            next_trace: AtomicU64::new(1),
+        });
+        let listener = TcpListener::bind(config.bind.as_str())?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::<Connection>::new()));
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("secemb-rt-accept".into())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let mut conns = lock_unpoisoned(&connections);
+                            conns.retain(|c| !c.handle.is_finished());
+                            let Ok(server_side) = stream.try_clone() else {
+                                continue;
+                            };
+                            let inner = Arc::clone(&inner);
+                            let stop = Arc::clone(&stop);
+                            let spawned = std::thread::Builder::new()
+                                .name("secemb-rt-conn".into())
+                                .spawn(move || {
+                                    let _ = handle_client(&inner, stream, &stop);
+                                });
+                            if let Ok(handle) = spawned {
+                                conns.push(Connection {
+                                    handle,
+                                    stream: server_side,
+                                });
+                            }
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                })?
+        };
+        let gossip_handle = config.gossip_interval.map(|interval| {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("secemb-rt-gossip".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = inner.gossip();
+                        let deadline = Instant::now() + interval;
+                        while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                            std::thread::sleep(interval.min(Duration::from_millis(10)));
+                        }
+                    }
+                })
+                .expect("spawn gossip thread")
+        });
+        Ok(Router {
+            inner,
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            gossip_handle,
+            connections,
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The table → host placement the router serves with.
+    pub fn placement(&self) -> &Placement {
+        &self.inner.placement
+    }
+
+    /// The router's own metrics registry (`router_*` series).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// Runs one synchronous gossip round (also available continuously
+    /// via [`RouterConfig::gossip_interval`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`gossip_once`].
+    pub fn gossip_now(&self) -> io::Result<GossipReport> {
+        self.inner.gossip()
+    }
+
+    /// Stops accepting, drains every client connection, and joins all
+    /// router threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let _ = TcpStream::connect(wake_addr(self.addr));
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.gossip_handle.take() {
+            let _ = handle.join();
+        }
+        let mut conns = lock_unpoisoned(&self.connections);
+        for conn in conns.iter() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        for conn in conns.drain(..) {
+            let _ = conn.handle.join();
+        }
+        drop(conns);
+        for backend in &self.inner.backends {
+            backend.shutdown();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Loopback-substituted self-connect target for waking a blocked accept.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let ip = match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, addr.port())
+}
+
+type Reply = (Instant, Vec<u8>);
+
+/// Reader half of one client connection; mirrors the single-host
+/// server's handler, with dispatch resolving against the backend fleet.
+fn handle_client(
+    inner: &Arc<Inner>,
+    stream: TcpStream,
+    stop: &AtomicBool,
+) -> Result<(), FrameError> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let writer_handle = {
+        let write_ns = Arc::clone(&inner.metrics.write_ns);
+        std::thread::Builder::new()
+            .name("secemb-rt-wr".into())
+            .spawn(move || write_replies(stream, &reply_rx, &write_ns))
+            .map_err(FrameError::Io)?
+    };
+    let result = loop {
+        if stop.load(Ordering::Relaxed) {
+            break Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => break Ok(()),
+            Err(FrameError::Io(_)) if stop.load(Ordering::Relaxed) => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        match decode_client_traced(&payload) {
+            Ok((id, msg, trace)) => dispatch(inner, &reply_tx, id, msg, trace),
+            Err(_) => break Ok(()),
+        }
+    };
+    drop(reply_tx);
+    let _ = writer_handle.join();
+    result
+}
+
+/// Writer half: completion-ordered reply frames, flushed per burst.
+fn write_replies(stream: TcpStream, reply_rx: &mpsc::Receiver<Reply>, write_ns: &Histogram) {
+    let mut writer = BufWriter::new(stream);
+    let mut burst: Vec<Instant> = Vec::new();
+    while let Ok((t0, frame)) = reply_rx.recv() {
+        burst.clear();
+        if write_frame(&mut writer, &frame).is_err() {
+            return;
+        }
+        burst.push(t0);
+        while let Ok((t0, frame)) = reply_rx.try_recv() {
+            if write_frame(&mut writer, &frame).is_err() {
+                return;
+            }
+            burst.push(t0);
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+        for t0 in &burst {
+            write_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+fn reject(
+    inner: &Inner,
+    reply_tx: &mpsc::Sender<Reply>,
+    id: u64,
+    reason: RejectReason,
+    trace: Option<u64>,
+) {
+    inner.metrics.rejected_local_total.inc();
+    let frame = encode_response_traced(id, &Response::Rejected(reason), trace);
+    let _ = reply_tx.send((Instant::now(), frame));
+}
+
+fn to_response(msg: ServerMsg) -> Response {
+    match msg {
+        ServerMsg::Embeddings(m, stages) => Response::Embeddings(m, stages),
+        ServerMsg::Rejected(reason) => Response::Rejected(reason),
+        _ => Response::Rejected(RejectReason::Internal),
+    }
+}
+
+fn dispatch(
+    inner: &Arc<Inner>,
+    reply_tx: &mpsc::Sender<Reply>,
+    id: u64,
+    msg: ClientMsg,
+    trace: Option<u64>,
+) {
+    match msg {
+        ClientMsg::Generate {
+            table,
+            indices,
+            deadline,
+        } => {
+            inner.metrics.requests_total.inc();
+            // Placement-aware admission: bad requests never cross the
+            // wire to a backend.
+            if table >= inner.placement.tables() {
+                return reject(inner, reply_tx, id, RejectReason::UnknownTable, trace);
+            }
+            if indices.is_empty() {
+                return reject(inner, reply_tx, id, RejectReason::BadRequest, trace);
+            }
+            let host = inner.placement.host_index(table).expect("checked above");
+            inner.metrics.fanout_hosts.record(1);
+            let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
+            let t0 = Instant::now();
+            let tx = reply_tx.clone();
+            let route_ns = Arc::clone(&inner.metrics.route_ns);
+            let sent = inner.backends[host].generate(
+                table,
+                &indices,
+                deadline,
+                Some(hop_trace),
+                Box::new(move |msg, _| {
+                    route_ns.record(t0.elapsed().as_nanos() as u64);
+                    let frame = encode_response_traced(id, &to_response(msg), trace);
+                    let _ = tx.send((Instant::now(), frame));
+                }),
+            );
+            if sent.is_err() {
+                reject(inner, reply_tx, id, RejectReason::Internal, trace);
+            }
+        }
+        ClientMsg::GenerateMulti { parts, deadline } => {
+            dispatch_multi(inner, reply_tx, id, parts, deadline, trace);
+        }
+        ClientMsg::Tables | ClientMsg::Hello(_) => {
+            let frame = encode_table_list(id, &inner.inventory);
+            let _ = reply_tx.send((Instant::now(), frame));
+        }
+        ClientMsg::Stats => {
+            let json = merged_stats(inner);
+            let _ = reply_tx.send((Instant::now(), encode_stats(id, &json)));
+        }
+        ClientMsg::Metrics => {
+            let text = merged_metrics(inner);
+            let _ = reply_tx.send((Instant::now(), encode_metrics(id, &text)));
+        }
+        ClientMsg::PlanPull => {
+            let json = best_plan_json(inner);
+            let _ = reply_tx.send((Instant::now(), encode_plan(id, json.as_deref())));
+        }
+        ClientMsg::PlanPush(json) => {
+            // Fan the plan to the whole fleet; the ack reports the
+            // highest epoch any backend reached and every error.
+            let mut epoch = 0u64;
+            let mut errors = Vec::new();
+            for backend in &inner.backends {
+                match backend.push_plan(&json) {
+                    Ok(e) => epoch = epoch.max(e),
+                    Err(e) => errors.push(format!("{}: {e}", backend.name())),
+                }
+            }
+            let ok = errors.is_empty();
+            let frame = encode_plan_ack(id, ok, epoch, &errors.join("; "));
+            let _ = reply_tx.send((Instant::now(), frame));
+        }
+    }
+}
+
+/// Fan a `GenerateMulti` out per placement host and re-assemble the
+/// reply in part order once the last group completes.
+fn dispatch_multi(
+    inner: &Arc<Inner>,
+    reply_tx: &mpsc::Sender<Reply>,
+    id: u64,
+    parts: Vec<(usize, Vec<u64>)>,
+    deadline: Option<Duration>,
+    trace: Option<u64>,
+) {
+    inner.metrics.requests_total.inc();
+    if parts.is_empty() || parts.iter().any(|(_, ix)| ix.is_empty()) {
+        return reject(inner, reply_tx, id, RejectReason::BadRequest, trace);
+    }
+    if parts.iter().any(|(t, _)| *t >= inner.placement.tables()) {
+        return reject(inner, reply_tx, id, RejectReason::UnknownTable, trace);
+    }
+    // Group part indices by owning host, preserving part order within
+    // each group (and across groups for the single-host fast path).
+    let mut group_of_host: Vec<Option<usize>> = vec![None; inner.backends.len()];
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (host, part indices)
+    for (part, (table, _)) in parts.iter().enumerate() {
+        let host = inner.placement.host_index(*table).expect("checked above");
+        match group_of_host[host] {
+            Some(g) => groups[g].1.push(part),
+            None => {
+                group_of_host[host] = Some(groups.len());
+                groups.push((host, vec![part]));
+            }
+        }
+    }
+    inner.metrics.fanout_hosts.record(groups.len() as u64);
+    let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
+    let t0 = Instant::now();
+    if let [(host, _)] = groups.as_slice() {
+        // Single host: forward unsplit; part order is already reply
+        // order.
+        let tx = reply_tx.clone();
+        let route_ns = Arc::clone(&inner.metrics.route_ns);
+        let sent = inner.backends[*host].generate_multi(
+            &parts,
+            deadline,
+            Some(hop_trace),
+            Box::new(move |msg, _| {
+                route_ns.record(t0.elapsed().as_nanos() as u64);
+                let frame = encode_response_traced(id, &to_response(msg), trace);
+                let _ = tx.send((Instant::now(), frame));
+            }),
+        );
+        if sent.is_err() {
+            reject(inner, reply_tx, id, RejectReason::Internal, trace);
+        }
+        return;
+    }
+    let part_lens: Vec<usize> = parts.iter().map(|(_, ix)| ix.len()).collect();
+    let group_parts: Vec<Vec<usize>> = groups.iter().map(|(_, p)| p.clone()).collect();
+    let state: Arc<Mutex<(Vec<Option<ServerMsg>>, usize)>> =
+        Arc::new(Mutex::new((vec![None; groups.len()], groups.len())));
+    for (g, (host, part_idxs)) in groups.iter().enumerate() {
+        let group: Vec<(usize, Vec<u64>)> = part_idxs
+            .iter()
+            .map(|&p| (parts[p].0, parts[p].1.clone()))
+            .collect();
+        let tx = reply_tx.clone();
+        let inner_cb = Arc::clone(inner);
+        let state_cb = Arc::clone(&state);
+        let group_parts = group_parts.clone();
+        let part_lens = part_lens.clone();
+        let sent = inner.backends[*host].generate_multi(
+            &group,
+            deadline,
+            Some(hop_trace),
+            Box::new(move |msg, _| {
+                let mut guard = lock_unpoisoned(&state_cb);
+                guard.0[g] = Some(msg);
+                guard.1 -= 1;
+                if guard.1 > 0 {
+                    return;
+                }
+                let results: Vec<ServerMsg> = guard
+                    .0
+                    .drain(..)
+                    .map(|r| r.expect("all groups done"))
+                    .collect();
+                drop(guard);
+                inner_cb
+                    .metrics
+                    .route_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+                let m0 = Instant::now();
+                let merged = merge_groups(&group_parts, &part_lens, results);
+                inner_cb
+                    .metrics
+                    .merge_ns
+                    .record(m0.elapsed().as_nanos() as u64);
+                let frame = encode_response_traced(id, &merged, trace);
+                let _ = tx.send((Instant::now(), frame));
+            }),
+        );
+        if sent.is_err() {
+            // Deliver the group's failure through the normal completion
+            // path so the merge still runs exactly once.
+            let mut guard = lock_unpoisoned(&state);
+            if guard.0[g].is_none() {
+                guard.0[g] = Some(ServerMsg::Rejected(RejectReason::Internal));
+                guard.1 -= 1;
+                if guard.1 == 0 {
+                    drop(guard);
+                    let frame = encode_response_traced(
+                        id,
+                        &Response::Rejected(RejectReason::Internal),
+                        trace,
+                    );
+                    let _ = reply_tx.send((Instant::now(), frame));
+                }
+            }
+        }
+    }
+}
+
+/// Re-assembles per-host group replies into one part-ordered response.
+/// The first rejection (by the smallest original part index it covers)
+/// rejects the whole request; stage breakdowns merge by per-stage max,
+/// since the groups ran concurrently.
+fn merge_groups(
+    group_parts: &[Vec<usize>],
+    part_lens: &[usize],
+    results: Vec<ServerMsg>,
+) -> Response {
+    let mut reject: Option<(usize, RejectReason)> = None;
+    for (g, result) in results.iter().enumerate() {
+        let reason = match result {
+            ServerMsg::Embeddings(..) => continue,
+            ServerMsg::Rejected(reason) => *reason,
+            _ => RejectReason::Internal,
+        };
+        let first_part = group_parts[g].first().copied().unwrap_or(usize::MAX);
+        if reject.is_none_or(|(p, _)| first_part < p) {
+            reject = Some((first_part, reason));
+        }
+    }
+    if let Some((_, reason)) = reject {
+        return Response::Rejected(reason);
+    }
+    let mut cols = None;
+    let mut stages = StageBreakdown::default();
+    let mut part_rows: Vec<Option<Vec<f32>>> = vec![None; part_lens.len()];
+    for (g, result) in results.into_iter().enumerate() {
+        let ServerMsg::Embeddings(m, s) = result else {
+            unreachable!("rejections handled above");
+        };
+        if *cols.get_or_insert(m.cols()) != m.cols() {
+            // Heterogeneous dimensions cannot share a reply matrix.
+            return Response::Rejected(RejectReason::BadRequest);
+        }
+        let expected: usize = group_parts[g].iter().map(|&p| part_lens[p]).sum();
+        if m.rows() != expected {
+            return Response::Rejected(RejectReason::Internal);
+        }
+        for (i, ns) in s.ns.iter().enumerate() {
+            stages.ns[i] = stages.ns[i].max(*ns);
+        }
+        let data = m.as_slice();
+        let width = m.cols();
+        let mut offset = 0;
+        for &p in &group_parts[g] {
+            let take = part_lens[p] * width;
+            part_rows[p] = Some(data[offset..offset + take].to_vec());
+            offset += take;
+        }
+    }
+    let cols = cols.unwrap_or(0);
+    let mut data = Vec::with_capacity(part_lens.iter().sum::<usize>() * cols);
+    for rows in part_rows {
+        data.extend_from_slice(&rows.expect("every part filled"));
+    }
+    let rows = part_lens.iter().sum::<usize>();
+    Response::Embeddings(Matrix::from_vec(rows, cols, data), stages)
+}
+
+/// One stats snapshot covering the whole tier: the router's placement
+/// plus every backend's own snapshot (and the plan version each one
+/// reports, so convergence is visible in a single scrape).
+fn merged_stats(inner: &Inner) -> String {
+    let mut entries = Vec::with_capacity(inner.backends.len());
+    let mut versions = Vec::with_capacity(inner.backends.len());
+    for backend in &inner.backends {
+        match backend.stats_json() {
+            Ok(json) => {
+                let parsed = json::parse(&json).unwrap_or(Value::Null);
+                let version = parsed
+                    .get("plan")
+                    .and_then(|p| p.get("version"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                versions.push(Value::Num(version as f64));
+                entries.push(Value::obj([
+                    ("name", Value::Str(backend.name().to_string())),
+                    ("stats", parsed),
+                ]));
+            }
+            Err(e) => {
+                versions.push(Value::Num(0.0));
+                entries.push(Value::obj([
+                    ("name", Value::Str(backend.name().to_string())),
+                    ("error", Value::Str(e.to_string())),
+                ]));
+            }
+        }
+    }
+    Value::obj([
+        ("role", Value::Str("router".to_string())),
+        ("backends", Value::Arr(entries)),
+        ("placement", inner.placement.to_value()),
+        ("plan_versions", Value::Arr(versions)),
+    ])
+    .to_compact()
+}
+
+/// One metrics exposition covering the whole tier: the router's own
+/// `router_*` series followed by every backend's exposition with a
+/// `backend="<name>"` label injected into each sample line.
+fn merged_metrics(inner: &Inner) -> String {
+    let mut out = inner.registry.snapshot().render_prometheus("secemb_");
+    for backend in &inner.backends {
+        match backend.metrics_text() {
+            Ok(text) => out.push_str(&inject_backend_label(&text, backend.name())),
+            Err(e) => {
+                out.push_str(&format!("# backend {} unreachable: {e}\n", backend.name()));
+            }
+        }
+    }
+    out
+}
+
+/// Adds `backend="<name>"` to every sample line of a Prometheus text
+/// exposition (comment lines pass through).
+fn inject_backend_label(text: &str, backend: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(text.len() + text.len() / 4);
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            out.push_str(line);
+        } else if let Some(brace) = line.find('{') {
+            let (head, rest) = line.split_at(brace + 1);
+            out.push_str(head);
+            let _ = write!(out, "backend=\"{backend}\"");
+            if !rest.starts_with('}') {
+                out.push(',');
+            }
+            out.push_str(rest);
+        } else if let Some(space) = line.find(' ') {
+            let (name, rest) = line.split_at(space);
+            let _ = write!(out, "{name}{{backend=\"{backend}\"}}{rest}");
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The highest-versioned plan any backend reports, if any — what a
+/// `PlanPull` through the router answers with.
+fn best_plan_json(inner: &Inner) -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for backend in &inner.backends {
+        if let Ok(Some(json)) = backend.plan_json() {
+            if let Ok(plan) = AllocationPlan::from_json(&json) {
+                if best.as_ref().is_none_or(|(v, _)| plan.version > *v) {
+                    best = Some((plan.version, json));
+                }
+            }
+        }
+    }
+    best.map(|(_, json)| json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_label_injection_covers_every_line_shape() {
+        let text =
+            "# TYPE secemb_x counter\nsecemb_x 3\nsecemb_y{stage=\"admit\"} 1\nsecemb_z{} 2\n";
+        let injected = inject_backend_label(text, "b0");
+        assert!(injected.contains("# TYPE secemb_x counter\n"));
+        assert!(injected.contains("secemb_x{backend=\"b0\"} 3\n"));
+        assert!(injected.contains("secemb_y{backend=\"b0\",stage=\"admit\"} 1\n"));
+        assert!(injected.contains("secemb_z{backend=\"b0\"} 2\n"));
+    }
+
+    #[test]
+    fn group_merge_reassembles_part_order_and_rejects_first() {
+        // Parts 0 and 2 on one host, part 1 on another: reassembly must
+        // interleave the rows back into 0, 1, 2 order.
+        let group_parts = vec![vec![0, 2], vec![1]];
+        let part_lens = vec![1, 1, 1];
+        let cols = 2;
+        let m_a = Matrix::from_vec(2, cols, vec![0.0, 0.0, 2.0, 2.0]);
+        let m_b = Matrix::from_vec(1, cols, vec![1.0, 1.0]);
+        let mut s_a = StageBreakdown::default();
+        s_a.ns[3] = 100;
+        let mut s_b = StageBreakdown::default();
+        s_b.ns[3] = 40;
+        s_b.ns[1] = 7;
+        let merged = merge_groups(
+            &group_parts,
+            &part_lens,
+            vec![
+                ServerMsg::Embeddings(m_a, s_a),
+                ServerMsg::Embeddings(m_b, s_b),
+            ],
+        );
+        let Response::Embeddings(m, stages) = merged else {
+            panic!("expected embeddings");
+        };
+        assert_eq!(m.rows(), 3);
+        assert_eq!(
+            m.as_slice(),
+            &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0],
+            "rows must come back in part order, not group order"
+        );
+        assert_eq!(stages.ns[3], 100, "stage merge takes the max");
+        assert_eq!(stages.ns[1], 7);
+
+        // A rejection wins by earliest part it covers: group B holds
+        // part 1, group A holds parts 0 and 2 — A's reason wins.
+        let merged = merge_groups(
+            &group_parts,
+            &part_lens,
+            vec![
+                ServerMsg::Rejected(RejectReason::QueueFull),
+                ServerMsg::Rejected(RejectReason::DeadlineUnmeetable),
+            ],
+        );
+        assert_eq!(merged, Response::Rejected(RejectReason::QueueFull));
+    }
+}

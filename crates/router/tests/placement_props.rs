@@ -1,0 +1,147 @@
+//! Property tests over the consistent placement: perfect balance, hard
+//! movement bounds under membership change, determinism, and lossless
+//! serialization.
+
+use proptest::prelude::*;
+use secemb_router::Placement;
+
+/// A strategy for small distinct host-name sets. Names are generated
+/// from a pool index so duplicates are impossible by construction.
+fn host_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("backend-{i:02}")).collect()
+}
+
+/// Every load must be ⌊T/N⌋ or ⌈T/N⌉ — the perfect-balance invariant
+/// that makes the movement bound compositional.
+fn assert_perfectly_balanced(p: &Placement) -> Result<(), TestCaseError> {
+    let tables = p.tables();
+    let hosts = p.hosts().len();
+    for host in 0..hosts {
+        let load = p.tables_of(host).len();
+        prop_assert!(
+            load == tables / hosts || load == tables.div_ceil(hosts),
+            "host {host} holds {load} of {tables} tables over {hosts} hosts"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fresh placements are total, perfectly balanced, and a function
+    /// of the *named* membership only (list order is irrelevant).
+    #[test]
+    fn balanced_is_total_balanced_and_deterministic(
+        n_hosts in 1usize..9,
+        tables in 0usize..40,
+        swap in any::<bool>(),
+    ) {
+        let hosts = host_names(n_hosts);
+        let p = Placement::balanced(&hosts, tables);
+        prop_assert_eq!(p.tables(), tables);
+        for table in 0..tables {
+            prop_assert!(p.host_index(table).unwrap() < n_hosts);
+        }
+        assert_perfectly_balanced(&p)?;
+        // Same membership, possibly re-ordered: every table stays on
+        // the same *named* host.
+        let mut reordered = hosts.clone();
+        if swap && n_hosts > 1 {
+            reordered.reverse();
+        }
+        let q = Placement::balanced(&reordered, tables);
+        for table in 0..tables {
+            prop_assert_eq!(p.host_of(table), q.host_of(table), "table {} moved", table);
+        }
+    }
+
+    /// One host joining moves at most ⌈T/(N+1)⌉ tables, and the result
+    /// is again perfectly balanced — so the bound keeps holding under
+    /// further membership changes.
+    #[test]
+    fn join_moves_at_most_one_new_quota(
+        n_hosts in 1usize..8,
+        tables in 0usize..48,
+    ) {
+        let before = Placement::balanced(&host_names(n_hosts), tables);
+        let grown = host_names(n_hosts + 1); // adds backend-<n>
+        let after = before.rebalanced(&grown);
+        assert_perfectly_balanced(&after)?;
+        let bound = tables.div_ceil(n_hosts + 1);
+        let moved = after.moved_from(&before);
+        prop_assert!(
+            moved <= bound,
+            "join moved {moved} > ⌈{tables}/{}⌉ = {bound}", n_hosts + 1
+        );
+    }
+
+    /// One host leaving moves exactly that host's tables — at most
+    /// ⌈T/N⌉ — and nothing held by a survivor.
+    #[test]
+    fn leave_moves_only_the_departed_hosts_tables(
+        n_hosts in 2usize..9,
+        tables in 0usize..48,
+        departing in 0usize..8,
+    ) {
+        let hosts = host_names(n_hosts);
+        let departing = departing % n_hosts;
+        let before = Placement::balanced(&hosts, tables);
+        let shrunk: Vec<String> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(h, _)| *h != departing)
+            .map(|(_, name)| name.clone())
+            .collect();
+        let after = before.rebalanced(&shrunk);
+        assert_perfectly_balanced(&after)?;
+        let bound = tables.div_ceil(n_hosts);
+        let moved = after.moved_from(&before);
+        prop_assert!(moved <= bound, "leave moved {moved} > ⌈{tables}/{n_hosts}⌉ = {bound}");
+        // Survivors keep everything they held: only orphans moved.
+        for table in 0..tables {
+            if before.host_index(table) != Some(departing) {
+                prop_assert_eq!(before.host_of(table), after.host_of(table));
+            }
+        }
+    }
+
+    /// The movement bound survives a whole membership walk: after any
+    /// sequence of single joins/leaves, each step still moves at most
+    /// ⌈T/max(N, N′)⌉ tables.
+    #[test]
+    fn movement_bound_holds_along_membership_walks(
+        tables in 0usize..36,
+        steps in prop::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let mut n = 2usize;
+        let mut placement = Placement::balanced(&host_names(n), tables);
+        for grow in steps {
+            let next_n = if grow { n + 1 } else { (n - 1).max(1) };
+            if next_n == n {
+                continue;
+            }
+            let next = placement.rebalanced(&host_names(next_n));
+            assert_perfectly_balanced(&next)?;
+            let bound = tables.div_ceil(n.max(next_n));
+            let moved = next.moved_from(&placement);
+            prop_assert!(
+                moved <= bound,
+                "{n}→{next_n} hosts moved {moved} > {bound} of {tables} tables"
+            );
+            placement = next;
+            n = next_n;
+        }
+    }
+
+    /// Placements survive JSON serialization losslessly.
+    #[test]
+    fn placement_json_round_trips(
+        n_hosts in 1usize..9,
+        tables in 0usize..40,
+    ) {
+        let p = Placement::balanced(&host_names(n_hosts), tables);
+        let parsed = Placement::from_json(&p.to_json()).unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+}

@@ -3,10 +3,11 @@
 //! latency-throughput curve.
 //!
 //! ```text
-//! secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N]
+//! secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,...
+//!                   [--table N]... [--conns N] [--batch N]
 //!                   [--secs S] [--deadline-ms D] [--schedule paced|poisson]
 //!                   [--pipeline-depth K] [--rate R]... [--out FILE]
-//!                   [--scrape-metrics]
+//!                   [--scrape-metrics] [--scrape-stats]
 //! ```
 //!
 //! `--deadline-ms 0` sends no deadline. Each `--rate` adds one sweep
@@ -14,10 +15,15 @@
 //! over the listed tables; `--schedule poisson` replaces the fixed pacing
 //! with exponential inter-arrival gaps at the same mean rate;
 //! `--pipeline-depth K` keeps up to K id-matched requests in flight per
-//! connection (default 1, the classic closed loop). `--out FILE` appends
-//! one JSON line per answered request (latency, per-stage breakdown,
-//! table, SLA verdict, reject reason); `--scrape-metrics` fetches the
-//! server's Prometheus `METRICS` frame after the sweep and prints it.
+//! connection (default 1, the classic closed loop). `--hosts` lists
+//! several interchangeable front-ends (servers, or `secemb-router`
+//! instances); connections round-robin over the list and the inventory
+//! probe (plus any post-sweep scrape) uses the first entry. `--out FILE`
+//! appends one JSON line per answered request (latency, per-stage
+//! breakdown, table, SLA verdict, reject reason); `--scrape-metrics`
+//! fetches the Prometheus `METRICS` frame after the sweep and prints it;
+//! `--scrape-stats` does the same with the `STATS` snapshot (through a
+//! router, the merged fleet view).
 
 use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::Client;
@@ -27,7 +33,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
-    addr: SocketAddr,
+    addrs: Vec<SocketAddr>,
     tables: Vec<usize>,
     conns: usize,
     batch: usize,
@@ -38,21 +44,29 @@ struct Args {
     rates: Vec<f64>,
     out: Option<PathBuf>,
     scrape_metrics: bool,
+    scrape_stats: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: secemb-serve-load --addr ADDR [--table N]... [--conns N] [--batch N] \
-         [--secs S] [--deadline-ms D] [--schedule paced|poisson] [--pipeline-depth K] \
-         [--rate R]... [--out FILE] [--scrape-metrics]"
+        "usage: secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,... [--table N]... \
+         [--conns N] [--batch N] [--secs S] [--deadline-ms D] \
+         [--schedule paced|poisson] [--pipeline-depth K] \
+         [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats]"
     );
     std::process::exit(2);
 }
 
+fn resolve(addr: &str) -> SocketAddr {
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| usage())
+}
+
 fn parse_args() -> Args {
-    let mut addr = None;
     let mut args = Args {
-        addr: "127.0.0.1:7878".parse().expect("literal addr"),
+        addrs: Vec::new(),
         tables: Vec::new(),
         conns: 8,
         batch: 4,
@@ -63,13 +77,17 @@ fn parse_args() -> Args {
         rates: Vec::new(),
         out: None,
         scrape_metrics: false,
+        scrape_stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--addr" => {
-                addr = value().to_socket_addrs().unwrap_or_else(|_| usage()).next();
+            "--addr" => args.addrs.push(resolve(&value())),
+            "--hosts" => {
+                for host in value().split(',').filter(|h| !h.is_empty()) {
+                    args.addrs.push(resolve(host));
+                }
             }
             "--table" => args
                 .tables
@@ -91,12 +109,12 @@ fn parse_args() -> Args {
             "--rate" => args.rates.push(value().parse().unwrap_or_else(|_| usage())),
             "--out" => args.out = Some(PathBuf::from(value())),
             "--scrape-metrics" => args.scrape_metrics = true,
+            "--scrape-stats" => args.scrape_stats = true,
             _ => usage(),
         }
     }
-    match addr {
-        Some(a) => args.addr = a,
-        None => usage(),
+    if args.addrs.is_empty() {
+        usage();
     }
     if args.tables.is_empty() {
         args.tables = vec![0];
@@ -116,14 +134,23 @@ fn main() {
         })
     });
 
-    let tables = match Client::connect(args.addr).and_then(|mut c| c.tables()) {
+    let probe = args.addrs[0];
+    let tables = match Client::connect(probe).and_then(|mut c| c.tables()) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("connect {}: {e}", args.addr);
+            eprintln!("connect {probe}: {e}");
             std::process::exit(1);
         }
     };
-    println!("server {} serves {} table(s):", args.addr, tables.len());
+    println!("server {probe} serves {} table(s):", tables.len());
+    if args.addrs.len() > 1 {
+        let list: Vec<String> = args.addrs.iter().map(SocketAddr::to_string).collect();
+        println!(
+            "hosts ({} round-robin): {}",
+            args.addrs.len(),
+            list.join(", ")
+        );
+    }
     for (id, t) in tables.iter().enumerate() {
         println!(
             "  table {id}: {} rows x {} dim, {} ({:.0} ns/query)",
@@ -148,7 +175,7 @@ fn main() {
     );
     for &rate in &args.rates {
         let report = run_load(&LoadConfig {
-            addr: args.addr,
+            addrs: args.addrs.clone(),
             connections: args.conns,
             tables: args.tables.clone(),
             batch: args.batch,
@@ -198,10 +225,19 @@ fn main() {
         eprintln!("per-request records -> {}", path.display());
     }
     if args.scrape_metrics {
-        match Client::connect(args.addr).and_then(|mut c| c.metrics_text()) {
+        match Client::connect(probe).and_then(|mut c| c.metrics_text()) {
             Ok(text) => print!("{text}"),
             Err(e) => {
                 eprintln!("scrape metrics: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.scrape_stats {
+        match Client::connect(probe).and_then(|mut c| c.stats_json()) {
+            Ok(json) => println!("STATS {json}"),
+            Err(e) => {
+                eprintln!("scrape stats: {e}");
                 std::process::exit(1);
             }
         }

@@ -11,8 +11,8 @@
 //! shared lock.
 
 use crate::protocol::{
-    decode_server, encode_generate, encode_metrics_request, encode_stats_request,
-    encode_tables_request, ServerMsg,
+    decode_server, encode_generate, encode_generate_multi, encode_metrics_request,
+    encode_plan_pull, encode_plan_push, encode_stats_request, encode_tables_request, ServerMsg,
 };
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::collections::{HashSet, VecDeque};
@@ -290,6 +290,59 @@ impl Client {
         match self.round_trip(id, &encode_metrics_request(id))? {
             ServerMsg::Metrics(text) => Ok(text),
             _ => Err(bad_reply("expected metrics")),
+        }
+    }
+
+    /// Requests embeddings across several tables in one request; the
+    /// reply concatenates the per-part rows in part order.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors; rejections are **not**
+    /// errors.
+    pub fn generate_multi(
+        &mut self,
+        parts: &[(usize, Vec<u64>)],
+        deadline: Option<Duration>,
+    ) -> io::Result<ServerMsg> {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_generate_multi(id, parts, deadline, None))? {
+            msg @ (ServerMsg::Embeddings(..) | ServerMsg::Rejected(_)) => Ok(msg),
+            _ => Err(bad_reply("expected embeddings or rejection")),
+        }
+    }
+
+    /// Fetches the peer's active allocation plan JSON, if it has applied
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn plan_json(&mut self) -> io::Result<Option<String>> {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_plan_pull(id))? {
+            ServerMsg::Plan(json) => Ok(json),
+            _ => Err(bad_reply("expected plan")),
+        }
+    }
+
+    /// Pushes an allocation plan (JSON) to the peer, returning the swap
+    /// epoch it acked with.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors; a refused plan surfaces as
+    /// `InvalidInput` carrying the peer's error text.
+    pub fn push_plan(&mut self, plan_json: &str) -> io::Result<u64> {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_plan_push(id, plan_json))? {
+            ServerMsg::PlanAck {
+                ok: true, epoch, ..
+            } => Ok(epoch),
+            ServerMsg::PlanAck { error, .. } => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, error))
+            }
+            _ => Err(bad_reply("expected plan ack")),
         }
     }
 }

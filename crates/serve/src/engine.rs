@@ -373,6 +373,9 @@ pub struct Engine {
     /// Serializes [`Engine::apply_plan`] calls so epochs are totally
     /// ordered and at most one swap barrier is outstanding per shard.
     swap_lock: Mutex<()>,
+    /// The most recently applied plan (`None` until the first
+    /// [`Engine::apply_plan`]); served to peers over `PlanPull`.
+    active_plan: Mutex<Option<AllocationPlan>>,
     probe_batch: usize,
     probe_repeats: usize,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -616,6 +619,7 @@ impl Engine {
             epoch: AtomicU64::new(0),
             plan_version: AtomicU64::new(0),
             swap_lock: Mutex::new(()),
+            active_plan: Mutex::new(None),
             probe_batch: config.probe_batch,
             probe_repeats: config.probe_repeats,
             workers: Mutex::new(workers),
@@ -802,7 +806,14 @@ impl Engine {
         self.epoch.store(epoch, Ordering::SeqCst);
         self.plan_version.store(plan.version, Ordering::SeqCst);
         self.stats.record_plan(plan.version, epoch);
+        *lock_unpoisoned(&self.active_plan) = Some(plan.clone());
         Ok(epoch)
+    }
+
+    /// The most recently applied plan, if any — what a `PlanPull` peer
+    /// (the router's gossip loop) receives.
+    pub fn active_plan(&self) -> Option<AllocationPlan> {
+        lock_unpoisoned(&self.active_plan).clone()
     }
 
     /// Submits a request whose response is delivered by calling `reply`

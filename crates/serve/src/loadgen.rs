@@ -55,8 +55,11 @@ impl FromStr for Schedule {
 /// One load run's parameters.
 #[derive(Clone, Debug)]
 pub struct LoadConfig {
-    /// Server address.
-    pub addr: SocketAddr,
+    /// Server (or router) addresses. Connections are assigned
+    /// round-robin across the list, so a multi-entry list spreads the
+    /// offered load over a fleet of equivalent front-ends; the table
+    /// inventory is probed from the first entry.
+    pub addrs: Vec<SocketAddr>,
     /// Concurrent connections (each a closed loop of scheduled requests).
     pub connections: usize,
     /// Tables to query; each request picks one uniformly at random, so a
@@ -201,7 +204,9 @@ impl LoadReport {
 ///
 /// Each connection issues requests on its schedule with up to
 /// `pipeline_depth` in flight (depth 1 is a classic closed loop), so
-/// total concurrency is `connections * pipeline_depth`. A dedicated
+/// total concurrency is `connections * pipeline_depth`. Connections
+/// round-robin over [`LoadConfig::addrs`], so the same run drives one
+/// server or a fleet of interchangeable front-ends. A dedicated
 /// receiver thread per connection collects responses in completion
 /// order, matching them to send times by request id, so latency is
 /// client-observed round trip even when responses return out of order.
@@ -218,18 +223,19 @@ impl LoadReport {
 ///
 /// # Panics
 ///
-/// Panics if `connections`, `batch`, `tables`, `offered_rps` or
-/// `pipeline_depth` is zero/empty/negative, or if a requested table does
-/// not exist on the server.
+/// Panics if `connections`, `batch`, `tables`, `addrs`, `offered_rps`
+/// or `pipeline_depth` is zero/empty/negative, or if a requested table
+/// does not exist on the server.
 pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     assert!(config.connections > 0, "run_load: zero connections");
     assert!(config.batch > 0, "run_load: zero batch");
     assert!(!config.tables.is_empty(), "run_load: no tables");
     assert!(config.offered_rps > 0.0, "run_load: non-positive rate");
     assert!(config.pipeline_depth > 0, "run_load: zero pipeline depth");
+    assert!(!config.addrs.is_empty(), "run_load: no addresses");
     // rows[i] = index domain of config.tables[i].
     let rows: Vec<u64> = {
-        let mut probe = Client::connect(config.addr)?;
+        let mut probe = Client::connect(config.addrs[0])?;
         let served = probe.tables()?;
         config
             .tables
@@ -275,7 +281,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         records: Vec::new(),
                         io_error: None,
                     };
-                    let client = match Client::connect(config.addr) {
+                    let client = match Client::connect(config.addrs[conn_id % config.addrs.len()]) {
                         Ok(c) => c,
                         Err(e) => {
                             result.io_error = Some(e);

@@ -16,6 +16,10 @@
 //! | 2 `Tables` | `u64` request id |
 //! | 3 `Stats` | `u64` request id |
 //! | 4 `Metrics` | `u64` request id |
+//! | 5 `GenerateMulti` | `u64` request id, `u64` deadline ns (0 = none), `u32` part count, then per part: `u32` table, `u32` count, `count × u64` indices |
+//! | 6 `PlanPull` | `u64` request id |
+//! | 7 `PlanPush` | `u64` request id, string (the [`AllocationPlan`] JSON) |
+//! | 8 `Hello` | `u64` request id, string (the peer's role, e.g. `router`); answered with a `Tables` response |
 //!
 //! Server → client:
 //!
@@ -26,6 +30,22 @@
 //! | 3 `Tables` | `u64` request id, `u32` count, then per table: `u64` rows, `u32` dim, `f64` per-query ns, string technique label |
 //! | 4 `Stats` | `u64` request id, string (the JSON snapshot, including the active plan's `version`/`epoch` under `"plan"`, the shard `"replicas"`, and the per-stage latency summaries under `"stages"`) |
 //! | 5 `Metrics` | `u64` request id, string (Prometheus text exposition of the server's metrics registry) |
+//! | 6 `Plan` | `u64` request id, `u8` present flag, string (the active [`AllocationPlan`] JSON when present) |
+//! | 7 `PlanAck` | `u64` request id, `u8` ok flag, `u64` swap epoch, string (error text when not ok) |
+//!
+//! ## Trace ids
+//!
+//! `Generate` and `GenerateMulti` requests may carry an optional
+//! trailing `u64` *trace id*; `Embeddings` and `Rejected` responses echo
+//! it as a trailing `u64` **only when the request carried one**. The
+//! trailing placement keeps the extension backward compatible: the
+//! request decoders read exactly the fields they know, so an old server
+//! ignores a trace id it never echoes, and an old client never receives
+//! one. A router stamps each hop of a fanned-out request with the same
+//! trace id so the per-host [`StageBreakdown`]s join into one
+//! cross-host span.
+//!
+//! [`AllocationPlan`]: secemb::hybrid::AllocationPlan
 
 use crate::engine::TableInfo;
 use crate::request::{RejectReason, Response};
@@ -39,12 +59,21 @@ const TAG_GENERATE: u8 = 1;
 const TAG_TABLES: u8 = 2;
 const TAG_STATS: u8 = 3;
 const TAG_METRICS: u8 = 4;
+const TAG_GENERATE_MULTI: u8 = 5;
+const TAG_PLAN_PULL: u8 = 6;
+const TAG_PLAN_PUSH: u8 = 7;
+const TAG_HELLO: u8 = 8;
 
 const TAG_EMBEDDINGS: u8 = 1;
 const TAG_REJECTED: u8 = 2;
 const TAG_TABLES_RESP: u8 = 3;
 const TAG_STATS_RESP: u8 = 4;
 const TAG_METRICS_RESP: u8 = 5;
+const TAG_PLAN_RESP: u8 = 6;
+const TAG_PLAN_ACK: u8 = 7;
+
+/// Largest part count one `GenerateMulti` message may carry.
+pub const MAX_PARTS: usize = 1 << 12;
 
 /// Largest per-stage value count an `Embeddings` frame may carry; newer
 /// servers may append stages, older clients ignore the extras.
@@ -95,6 +124,20 @@ pub enum ClientMsg {
         /// Latency budget, if any.
         deadline: Option<Duration>,
     },
+    /// Generate embeddings across several tables in one request; the
+    /// reply concatenates the per-part rows in part order.
+    GenerateMulti {
+        /// `(table id, indices)` per part, in reply order.
+        parts: Vec<(usize, Vec<u64>)>,
+        /// Latency budget for the whole request, if any.
+        deadline: Option<Duration>,
+    },
+    /// Fetch the active allocation plan, if any.
+    PlanPull,
+    /// Install an allocation plan (JSON, versioned).
+    PlanPush(String),
+    /// Identify the peer (role string); answered with `Tables`.
+    Hello(String),
     /// List served tables.
     Tables,
     /// Fetch the statistics snapshot.
@@ -116,6 +159,18 @@ pub enum ServerMsg {
     Stats(String),
     /// The Prometheus text exposition of the server's metrics.
     Metrics(String),
+    /// The active allocation plan JSON (`None` while still on the
+    /// construction-time layout).
+    Plan(Option<String>),
+    /// Outcome of a `PlanPush`.
+    PlanAck {
+        /// Whether the plan was applied.
+        ok: bool,
+        /// The swap epoch after application (0 on failure).
+        epoch: u64,
+        /// Error text when not ok.
+        error: String,
+    },
 }
 
 /// Encodes a `Generate` request payload.
@@ -125,7 +180,18 @@ pub fn encode_generate(
     indices: &[u64],
     deadline: Option<Duration>,
 ) -> Vec<u8> {
-    let mut w = ByteWriter::with_capacity(25 + indices.len() * 8);
+    encode_generate_traced(request_id, table, indices, deadline, None)
+}
+
+/// Encodes a `Generate` request payload with an optional trace id.
+pub fn encode_generate_traced(
+    request_id: u64,
+    table: usize,
+    indices: &[u64],
+    deadline: Option<Duration>,
+    trace_id: Option<u64>,
+) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(33 + indices.len() * 8);
     w.put_u8(TAG_GENERATE);
     w.put_u64_le(request_id);
     w.put_u32_le(table as u32);
@@ -134,6 +200,61 @@ pub fn encode_generate(
     for &i in indices {
         w.put_u64_le(i);
     }
+    if let Some(t) = trace_id {
+        w.put_u64_le(t);
+    }
+    w.into_vec()
+}
+
+/// Encodes a `GenerateMulti` request payload with an optional trace id.
+pub fn encode_generate_multi(
+    request_id: u64,
+    parts: &[(usize, Vec<u64>)],
+    deadline: Option<Duration>,
+    trace_id: Option<u64>,
+) -> Vec<u8> {
+    let total: usize = parts.iter().map(|(_, ix)| ix.len()).sum();
+    let mut w = ByteWriter::with_capacity(29 + parts.len() * 8 + total * 8);
+    w.put_u8(TAG_GENERATE_MULTI);
+    w.put_u64_le(request_id);
+    w.put_u64_le(deadline.map_or(0, |d| d.as_nanos() as u64));
+    w.put_u32_le(parts.len() as u32);
+    for (table, indices) in parts {
+        w.put_u32_le(*table as u32);
+        w.put_u32_le(indices.len() as u32);
+        for &i in indices {
+            w.put_u64_le(i);
+        }
+    }
+    if let Some(t) = trace_id {
+        w.put_u64_le(t);
+    }
+    w.into_vec()
+}
+
+/// Encodes a `PlanPull` request payload.
+pub fn encode_plan_pull(request_id: u64) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(9);
+    w.put_u8(TAG_PLAN_PULL);
+    w.put_u64_le(request_id);
+    w.into_vec()
+}
+
+/// Encodes a `PlanPush` request payload.
+pub fn encode_plan_push(request_id: u64, plan_json: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(13 + plan_json.len());
+    w.put_u8(TAG_PLAN_PUSH);
+    w.put_u64_le(request_id);
+    w.put_str(plan_json);
+    w.into_vec()
+}
+
+/// Encodes a `Hello` request payload.
+pub fn encode_hello(request_id: u64, role: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(13 + role.len());
+    w.put_u8(TAG_HELLO);
+    w.put_u64_le(request_id);
+    w.put_str(role);
     w.into_vec()
 }
 
@@ -168,9 +289,22 @@ pub fn encode_metrics_request(request_id: u64) -> Vec<u8> {
 /// Returns [`ProtocolError`] on a truncated payload, unknown tag, or an
 /// index count above [`MAX_INDICES`].
 pub fn decode_client(payload: &[u8]) -> Result<(u64, ClientMsg), ProtocolError> {
+    decode_client_traced(payload).map(|(id, msg, _)| (id, msg))
+}
+
+/// Decodes a client message payload, also returning the optional
+/// trailing trace id on `Generate`/`GenerateMulti`.
+///
+/// # Errors
+///
+/// Same as [`decode_client`].
+pub fn decode_client_traced(
+    payload: &[u8],
+) -> Result<(u64, ClientMsg, Option<u64>), ProtocolError> {
     let mut r = ByteReader::new(payload);
     let tag = r.get_u8()?;
     let request_id = r.get_u64_le()?;
+    let mut trace_id = None;
     let msg = match tag {
         TAG_GENERATE => {
             let table = r.get_u32_le()? as usize;
@@ -183,26 +317,74 @@ pub fn decode_client(payload: &[u8]) -> Result<(u64, ClientMsg), ProtocolError> 
             for _ in 0..count {
                 indices.push(r.get_u64_le()?);
             }
+            if r.remaining() == 8 {
+                trace_id = Some(r.get_u64_le()?);
+            }
             ClientMsg::Generate {
                 table,
                 indices,
                 deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
             }
         }
+        TAG_GENERATE_MULTI => {
+            let deadline_ns = r.get_u64_le()?;
+            let n_parts = r.get_u32_le()? as usize;
+            if n_parts > MAX_PARTS {
+                return Err(ProtocolError::BadField("part count"));
+            }
+            let mut parts = Vec::with_capacity(n_parts);
+            let mut total = 0usize;
+            for _ in 0..n_parts {
+                let table = r.get_u32_le()? as usize;
+                let count = r.get_u32_le()? as usize;
+                total += count;
+                if total > MAX_INDICES {
+                    return Err(ProtocolError::BadField("index count"));
+                }
+                let mut indices = Vec::with_capacity(count);
+                for _ in 0..count {
+                    indices.push(r.get_u64_le()?);
+                }
+                parts.push((table, indices));
+            }
+            if r.remaining() == 8 {
+                trace_id = Some(r.get_u64_le()?);
+            }
+            ClientMsg::GenerateMulti {
+                parts,
+                deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
+            }
+        }
+        TAG_PLAN_PULL => ClientMsg::PlanPull,
+        TAG_PLAN_PUSH => ClientMsg::PlanPush(r.get_str()?),
+        TAG_HELLO => ClientMsg::Hello(r.get_str()?),
         TAG_TABLES => ClientMsg::Tables,
         TAG_STATS => ClientMsg::Stats,
         TAG_METRICS => ClientMsg::Metrics,
         t => return Err(ProtocolError::BadTag(t)),
     };
-    Ok((request_id, msg))
+    Ok((request_id, msg, trace_id))
 }
 
 /// Encodes an engine [`Response`] as a server message payload.
 pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
+    encode_response_traced(request_id, response, None)
+}
+
+/// Encodes an engine [`Response`], echoing a trace id when the request
+/// carried one. The trace travels as a trailing `u64`, which an old
+/// decoder on the `Rejected` path simply ignores; it is only appended
+/// when the requester asked for it, so peers that never send trace ids
+/// never see one.
+pub fn encode_response_traced(
+    request_id: u64,
+    response: &Response,
+    trace_id: Option<u64>,
+) -> Vec<u8> {
     match response {
         Response::Embeddings(m, stages) => {
             let n_stages = Stage::ALL.len();
-            let mut w = ByteWriter::with_capacity(18 + n_stages * 8 + m.len() * 4);
+            let mut w = ByteWriter::with_capacity(26 + n_stages * 8 + m.len() * 4);
             w.put_u8(TAG_EMBEDDINGS);
             w.put_u64_le(request_id);
             w.put_u32_le(m.rows() as u32);
@@ -214,13 +396,19 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             for &v in m.as_slice() {
                 w.put_f32_le(v);
             }
+            if let Some(t) = trace_id {
+                w.put_u64_le(t);
+            }
             w.into_vec()
         }
         Response::Rejected(reason) => {
-            let mut w = ByteWriter::with_capacity(10);
+            let mut w = ByteWriter::with_capacity(18);
             w.put_u8(TAG_REJECTED);
             w.put_u64_le(request_id);
             w.put_u8(reason.index() as u8);
+            if let Some(t) = trace_id {
+                w.put_u64_le(t);
+            }
             w.into_vec()
         }
     }
@@ -259,6 +447,45 @@ pub fn encode_metrics(request_id: u64, text: &str) -> Vec<u8> {
     w.into_vec()
 }
 
+/// Encodes a raw `Tables` response from decoded tuples (used by the
+/// router, which forwards a backend's inventory without holding
+/// engine-side [`TableInfo`] values).
+pub fn encode_table_list(request_id: u64, tables: &[(u64, usize, f64, String)]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_TABLES_RESP);
+    w.put_u64_le(request_id);
+    w.put_u32_le(tables.len() as u32);
+    for (rows, dim, per_query_ns, label) in tables {
+        w.put_u64_le(*rows);
+        w.put_u32_le(*dim as u32);
+        w.put_f64_le(*per_query_ns);
+        w.put_str(label);
+    }
+    w.into_vec()
+}
+
+/// Encodes the `Plan` response payload.
+pub fn encode_plan(request_id: u64, plan_json: Option<&str>) -> Vec<u8> {
+    let json = plan_json.unwrap_or("");
+    let mut w = ByteWriter::with_capacity(14 + json.len());
+    w.put_u8(TAG_PLAN_RESP);
+    w.put_u64_le(request_id);
+    w.put_u8(u8::from(plan_json.is_some()));
+    w.put_str(json);
+    w.into_vec()
+}
+
+/// Encodes the `PlanAck` response payload.
+pub fn encode_plan_ack(request_id: u64, ok: bool, epoch: u64, error: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(22 + error.len());
+    w.put_u8(TAG_PLAN_ACK);
+    w.put_u64_le(request_id);
+    w.put_u8(u8::from(ok));
+    w.put_u64_le(epoch);
+    w.put_str(error);
+    w.into_vec()
+}
+
 /// Decodes a server message payload into its request id and message.
 ///
 /// # Errors
@@ -266,9 +493,22 @@ pub fn encode_metrics(request_id: u64, text: &str) -> Vec<u8> {
 /// Returns [`ProtocolError`] on truncation, an unknown tag, an unknown
 /// reject code, or an implausible embedding shape.
 pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> {
+    decode_server_traced(payload).map(|(id, msg, _)| (id, msg))
+}
+
+/// Decodes a server message payload, also returning the optional
+/// trailing trace id on `Embeddings`/`Rejected`.
+///
+/// # Errors
+///
+/// Same as [`decode_server`].
+pub fn decode_server_traced(
+    payload: &[u8],
+) -> Result<(u64, ServerMsg, Option<u64>), ProtocolError> {
     let mut r = ByteReader::new(payload);
     let tag = r.get_u8()?;
     let request_id = r.get_u64_le()?;
+    let mut trace_id = None;
     let msg = match tag {
         TAG_EMBEDDINGS => {
             let rows = r.get_u32_le()? as usize;
@@ -284,13 +524,17 @@ pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> 
                     stages.set(stage, ns);
                 }
             }
+            // The payload may end with a trailing 8-byte trace id.
             let elems = rows
                 .checked_mul(cols)
-                .filter(|&e| e * 4 == r.remaining())
+                .filter(|&e| e * 4 == r.remaining() || e * 4 + 8 == r.remaining())
                 .ok_or(ProtocolError::BadField("embedding shape"))?;
             let mut data = Vec::with_capacity(elems);
             for _ in 0..elems {
                 data.push(r.get_f32_le()?);
+            }
+            if r.remaining() == 8 {
+                trace_id = Some(r.get_u64_le()?);
             }
             ServerMsg::Embeddings(Matrix::from_vec(rows, cols, data), stages)
         }
@@ -299,6 +543,9 @@ pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> 
             let reason = *RejectReason::ALL
                 .get(code)
                 .ok_or(ProtocolError::BadField("reject code"))?;
+            if r.remaining() == 8 {
+                trace_id = Some(r.get_u64_le()?);
+            }
             ServerMsg::Rejected(reason)
         }
         TAG_TABLES_RESP => {
@@ -318,9 +565,20 @@ pub fn decode_server(payload: &[u8]) -> Result<(u64, ServerMsg), ProtocolError> 
         }
         TAG_STATS_RESP => ServerMsg::Stats(r.get_str()?),
         TAG_METRICS_RESP => ServerMsg::Metrics(r.get_str()?),
+        TAG_PLAN_RESP => {
+            let present = r.get_u8()? != 0;
+            let json = r.get_str()?;
+            ServerMsg::Plan(present.then_some(json))
+        }
+        TAG_PLAN_ACK => {
+            let ok = r.get_u8()? != 0;
+            let epoch = r.get_u64_le()?;
+            let error = r.get_str()?;
+            ServerMsg::PlanAck { ok, epoch, error }
+        }
         t => return Err(ProtocolError::BadTag(t)),
     };
-    Ok((request_id, msg))
+    Ok((request_id, msg, trace_id))
 }
 
 #[cfg(test)]
@@ -453,5 +711,125 @@ mod tests {
             decode_server(&bad),
             Err(ProtocolError::BadField("reject code"))
         );
+    }
+
+    #[test]
+    fn generate_multi_round_trips() {
+        let parts = vec![(0usize, vec![1u64, 2, 3]), (7, vec![]), (2, vec![u64::MAX])];
+        let payload = encode_generate_multi(42, &parts, Some(Duration::from_millis(5)), None);
+        let (id, msg, trace) = decode_client_traced(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(trace, None);
+        assert_eq!(
+            msg,
+            ClientMsg::GenerateMulti {
+                parts,
+                deadline: Some(Duration::from_millis(5)),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_ids_ride_as_trailing_u64s() {
+        // Request side: traced frames decode with the trace, and the
+        // legacy decoder still accepts them (it ignores trailing bytes).
+        let traced = encode_generate_traced(5, 1, &[4, 5], None, Some(0xFEED));
+        let (id, msg, trace) = decode_client_traced(&traced).unwrap();
+        assert_eq!((id, trace), (5, Some(0xFEED)));
+        assert!(matches!(msg, ClientMsg::Generate { .. }));
+        assert_eq!(decode_client(&traced).unwrap().0, 5);
+        // An untraced frame yields None.
+        assert_eq!(
+            decode_client_traced(&encode_generate(5, 1, &[4, 5], None))
+                .unwrap()
+                .2,
+            None
+        );
+        let multi = encode_generate_multi(6, &[(0, vec![1])], None, Some(9));
+        assert_eq!(decode_client_traced(&multi).unwrap().2, Some(9));
+
+        // Response side: echoed on embeddings and rejections alike.
+        let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let frame = encode_response_traced(
+            7,
+            &Response::Embeddings(m.clone(), StageBreakdown::default()),
+            Some(31),
+        );
+        let (id, msg, trace) = decode_server_traced(&frame).unwrap();
+        assert_eq!((id, trace), (7, Some(31)));
+        assert_eq!(msg, ServerMsg::Embeddings(m, StageBreakdown::default()));
+        // Untraced decode of a traced frame still sees the embeddings.
+        assert!(matches!(
+            decode_server(&frame).unwrap().1,
+            ServerMsg::Embeddings(..)
+        ));
+        let frame =
+            encode_response_traced(8, &Response::Rejected(RejectReason::QueueFull), Some(99));
+        let (_, msg, trace) = decode_server_traced(&frame).unwrap();
+        assert_eq!(trace, Some(99));
+        assert_eq!(msg, ServerMsg::Rejected(RejectReason::QueueFull));
+    }
+
+    #[test]
+    fn plan_frames_round_trip() {
+        assert_eq!(
+            decode_client(&encode_plan_pull(13)).unwrap(),
+            (13, ClientMsg::PlanPull)
+        );
+        assert_eq!(
+            decode_client(&encode_plan_push(14, "{\"version\":3}")).unwrap(),
+            (14, ClientMsg::PlanPush("{\"version\":3}".into()))
+        );
+        assert_eq!(
+            decode_client(&encode_hello(15, "router")).unwrap(),
+            (15, ClientMsg::Hello("router".into()))
+        );
+
+        assert_eq!(
+            decode_server(&encode_plan(16, Some("{\"version\":3}"))).unwrap(),
+            (16, ServerMsg::Plan(Some("{\"version\":3}".into())))
+        );
+        assert_eq!(
+            decode_server(&encode_plan(17, None)).unwrap(),
+            (17, ServerMsg::Plan(None))
+        );
+        assert_eq!(
+            decode_server(&encode_plan_ack(18, true, 12, "")).unwrap(),
+            (
+                18,
+                ServerMsg::PlanAck {
+                    ok: true,
+                    epoch: 12,
+                    error: String::new(),
+                }
+            )
+        );
+        assert_eq!(
+            decode_server(&encode_plan_ack(19, false, 0, "bad table count")).unwrap(),
+            (
+                19,
+                ServerMsg::PlanAck {
+                    ok: false,
+                    epoch: 0,
+                    error: "bad table count".into(),
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn table_list_re_encoding_matches_engine_encoding() {
+        let info = TableInfo {
+            rows: 512,
+            dim: 16,
+            technique: Technique::LinearScan,
+            per_query_ns: 88.5,
+        };
+        let direct = encode_tables(21, &[info]);
+        let (_, msg) = decode_server(&direct).unwrap();
+        let ServerMsg::Tables(tuples) = msg else {
+            panic!("expected tables");
+        };
+        assert_eq!(encode_table_list(21, &tuples), direct);
     }
 }

@@ -14,10 +14,14 @@
 use crate::engine::Engine;
 use crate::lock_unpoisoned;
 use crate::protocol::{
-    decode_client, encode_metrics, encode_response, encode_stats, encode_tables, ClientMsg,
+    decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response_traced,
+    encode_stats, encode_tables, ClientMsg,
 };
-use crate::request::Request;
+use crate::request::{RejectReason, Request, Response};
 use crate::stats::ServerStats;
+use secemb::hybrid::AllocationPlan;
+use secemb_telemetry::StageBreakdown;
+use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -195,7 +199,7 @@ fn handle_connection(
             }
             Err(e) => break Err(e),
         };
-        match decode_client(&payload) {
+        match decode_client_traced(&payload) {
             Ok((
                 id,
                 ClientMsg::Generate {
@@ -203,28 +207,51 @@ fn handle_connection(
                     indices,
                     deadline,
                 },
+                trace,
             )) => {
                 let mut request = Request::new(table, indices);
                 request.deadline = deadline;
                 let tx = reply_tx.clone();
                 // The engine answers on whatever thread resolves the
                 // request; the closure routes it straight to this
-                // connection's writer, tagged with the caller's id.
+                // connection's writer, tagged with the caller's id (and
+                // the caller's trace id, when it sent one).
                 engine.submit_with(
                     request,
                     Box::new(move |response| {
-                        let _ = tx.send((Instant::now(), encode_response(id, &response)));
+                        let frame = encode_response_traced(id, &response, trace);
+                        let _ = tx.send((Instant::now(), frame));
                     }),
                 );
             }
-            Ok((id, ClientMsg::Tables)) => {
+            Ok((id, ClientMsg::GenerateMulti { parts, deadline }, trace)) => {
+                submit_multi(&engine, &reply_tx, id, parts, deadline, trace);
+            }
+            Ok((id, ClientMsg::PlanPull, _)) => {
+                let json = engine.active_plan().map(|p| p.to_json());
+                let _ = reply_tx.send((Instant::now(), encode_plan(id, json.as_deref())));
+            }
+            Ok((id, ClientMsg::PlanPush(json), _)) => {
+                let frame = match AllocationPlan::from_json(&json)
+                    .map_err(|e| e.to_string())
+                    .and_then(|plan| engine.apply_plan(&plan).map_err(|e| e.to_string()))
+                {
+                    Ok(epoch) => encode_plan_ack(id, true, epoch, ""),
+                    Err(e) => encode_plan_ack(id, false, 0, &e),
+                };
+                let _ = reply_tx.send((Instant::now(), frame));
+            }
+            // A `Hello` is a registration handshake: the answer is the
+            // table inventory, which is all a router needs to bootstrap
+            // placement for this backend.
+            Ok((id, ClientMsg::Hello(_), _)) | Ok((id, ClientMsg::Tables, _)) => {
                 let _ = reply_tx.send((Instant::now(), encode_tables(id, &engine.tables())));
             }
-            Ok((id, ClientMsg::Stats)) => {
+            Ok((id, ClientMsg::Stats, _)) => {
                 let json = engine.stats().snapshot().to_json();
                 let _ = reply_tx.send((Instant::now(), encode_stats(id, &json)));
             }
-            Ok((id, ClientMsg::Metrics)) => {
+            Ok((id, ClientMsg::Metrics, _)) => {
                 let text = engine.render_metrics();
                 let _ = reply_tx.send((Instant::now(), encode_metrics(id, &text)));
             }
@@ -238,6 +265,89 @@ fn handle_connection(
     drop(reply_tx);
     let _ = writer_handle.join();
     result
+}
+
+/// Fans a `GenerateMulti` request out to the engine as one request per
+/// part, merging the part responses into a single reply once the last
+/// part completes. The merge runs on whichever worker thread finishes
+/// last; part order (not completion order) decides row order.
+fn submit_multi(
+    engine: &Arc<Engine>,
+    reply_tx: &mpsc::Sender<(Instant, Vec<u8>)>,
+    id: u64,
+    parts: Vec<(usize, Vec<u64>)>,
+    deadline: Option<Duration>,
+    trace: Option<u64>,
+) {
+    if parts.is_empty() {
+        let frame =
+            encode_response_traced(id, &Response::Rejected(RejectReason::BadRequest), trace);
+        let _ = reply_tx.send((Instant::now(), frame));
+        return;
+    }
+    let n = parts.len();
+    let slots: Arc<Mutex<(Vec<Option<Response>>, usize)>> =
+        Arc::new(Mutex::new((vec![None; n], n)));
+    for (slot, (table, indices)) in parts.into_iter().enumerate() {
+        let mut request = Request::new(table, indices);
+        request.deadline = deadline;
+        let tx = reply_tx.clone();
+        let slots = Arc::clone(&slots);
+        engine.submit_with(
+            request,
+            Box::new(move |response| {
+                let mut guard = lock_unpoisoned(&slots);
+                guard.0[slot] = Some(response);
+                guard.1 -= 1;
+                if guard.1 == 0 {
+                    let parts: Vec<Response> = guard
+                        .0
+                        .drain(..)
+                        .map(|r| r.expect("all parts done"))
+                        .collect();
+                    drop(guard);
+                    let merged = merge_part_responses(parts);
+                    let frame = encode_response_traced(id, &merged, trace);
+                    let _ = tx.send((Instant::now(), frame));
+                }
+            }),
+        );
+    }
+}
+
+/// Merges per-part responses: the first rejection (in part order)
+/// rejects the whole request; otherwise rows concatenate in part order
+/// and the stage breakdown takes the per-stage maximum — the parts ran
+/// concurrently, so the slowest part bounds each stage's contribution
+/// to the end-to-end latency.
+fn merge_part_responses(parts: Vec<Response>) -> Response {
+    let mut cols = None;
+    for part in &parts {
+        match part {
+            Response::Rejected(reason) => return Response::Rejected(*reason),
+            Response::Embeddings(m, _) => {
+                if *cols.get_or_insert(m.cols()) != m.cols() {
+                    // Tables of different dimension cannot share a reply
+                    // matrix; the client grouped incompatible parts.
+                    return Response::Rejected(RejectReason::BadRequest);
+                }
+            }
+        }
+    }
+    let cols = cols.unwrap_or(0);
+    let mut rows = 0;
+    let mut data = Vec::new();
+    let mut stages = StageBreakdown::default();
+    for part in &parts {
+        if let Response::Embeddings(m, s) = part {
+            rows += m.rows();
+            data.extend_from_slice(m.as_slice());
+            for (i, ns) in s.ns.iter().enumerate() {
+                stages.ns[i] = stages.ns[i].max(*ns);
+            }
+        }
+    }
+    Response::Embeddings(Matrix::from_vec(rows, cols, data), stages)
 }
 
 /// Writer half of one connection: drains encoded reply frames until every

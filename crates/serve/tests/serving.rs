@@ -525,7 +525,7 @@ fn loadgen_records_every_answered_request() {
     )])));
     let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
     let report = run_load(&LoadConfig {
-        addr: server.addr(),
+        addrs: vec![server.addr()],
         connections: 2,
         tables: vec![0],
         batch: 2,
