@@ -43,7 +43,8 @@ pub mod persist;
 pub mod reprofile;
 
 pub use controller::{
-    AdaptConfig, AdaptiveController, ControllerHandle, DampedTrigger, StepOutcome, TriggerDecision,
+    AdaptConfig, AdaptiveController, ControllerHandle, DampedTrigger, StepOutcome,
+    SwapPricingConfig, TriggerDecision,
 };
 pub use drift::{DriftConfig, DriftDetector};
 pub use persist::{ProfileArtifact, PROFILE_FORMAT};

@@ -74,7 +74,7 @@ fn assert_oblivious(generator: &mut dyn EmbeddingGenerator, phase: &str) {
                 "{technique} leaked in batched generation ({phase})"
             );
         }
-        Technique::PathOram | Technique::CircuitOram => {
+        Technique::PathOram | Technique::CircuitOram | Technique::LaOram => {
             assert!(
                 verify_structural(generator, &candidates()),
                 "{technique} trace structure varies with the secret ({phase})"
@@ -89,7 +89,7 @@ fn assert_oblivious(generator: &mut dyn EmbeddingGenerator, phase: &str) {
 /// every edge of the controller's three-way scan/Circuit-ORAM/DHE
 /// lattice is walked in both directions (a table crossing the
 /// hysteresis band can take any of them live).
-const FLIPS: [(Technique, Technique); 8] = [
+const FLIPS: [(Technique, Technique); 10] = [
     (Technique::LinearScan, Technique::Dhe),
     (Technique::Dhe, Technique::LinearScan),
     (Technique::LinearScan, Technique::CircuitOram),
@@ -98,6 +98,8 @@ const FLIPS: [(Technique, Technique); 8] = [
     (Technique::Dhe, Technique::CircuitOram),
     (Technique::PathOram, Technique::CircuitOram),
     (Technique::CircuitOram, Technique::PathOram),
+    (Technique::CircuitOram, Technique::LaOram),
+    (Technique::LaOram, Technique::LinearScan),
 ];
 
 #[test]

@@ -127,6 +127,7 @@ fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
         deadline: Some(Duration::from_millis(20)),
         pipeline_depth: 1,
         seed,
+        write_frac: 0.0,
         record_requests: false,
     })
     .expect("load run")
@@ -212,6 +213,7 @@ fn churn_ab(p: &Params, rows: [u64; 2], threshold: u64) {
             deadline: Some(Duration::from_millis(20)),
             pipeline_depth: 1,
             seed,
+            write_frac: 0.0,
             record_requests: false,
         })
         .expect("churn load")

@@ -140,6 +140,7 @@ fn main() {
                 deadline: Some(Duration::from_millis(20)),
                 pipeline_depth,
                 seed: 1,
+                write_frac: 0.0,
                 record_requests: false,
             })
             .expect("load run");
@@ -182,6 +183,7 @@ fn main() {
             deadline: Some(Duration::from_millis(20)),
             pipeline_depth,
             seed: 1,
+            write_frac: 0.0,
             record_requests: false,
         })
         .expect("load run");

@@ -89,6 +89,7 @@ fn main() {
             deadline: Some(Duration::from_millis(20)),
             pipeline_depth: 2,
             seed: 1,
+            write_frac: 0.0,
             record_requests: false,
         })
         .expect("load run");

@@ -16,16 +16,22 @@ pub enum Technique {
     CircuitOram,
     /// Deep Hash Embedding — compute-based, `O(k²)` per query.
     Dhe,
+    /// Table behind a look-ahead ORAM: batch-windowed prefetch with
+    /// combined evictions, `O(log² n)` amortized per query, plus an
+    /// oblivious write path for protected training.
+    LaOram,
 }
 
 impl Technique {
-    /// All techniques, in the paper's presentation order.
-    pub const ALL: [Technique; 5] = [
+    /// All techniques, in the paper's presentation order (repo extensions
+    /// appended last so plan serialization indices stay stable).
+    pub const ALL: [Technique; 6] = [
         Technique::IndexLookup,
         Technique::LinearScan,
         Technique::PathOram,
         Technique::CircuitOram,
         Technique::Dhe,
+        Technique::LaOram,
     ];
 
     /// Whether the technique's memory access pattern hides the index.
@@ -41,6 +47,7 @@ impl Technique {
             Technique::PathOram => "Path ORAM",
             Technique::CircuitOram => "Circuit ORAM",
             Technique::Dhe => "DHE",
+            Technique::LaOram => "Look-ahead ORAM",
         }
     }
 
@@ -54,6 +61,7 @@ impl Technique {
             Technique::PathOram => "path",
             Technique::CircuitOram => "circuit",
             Technique::Dhe => "dhe",
+            Technique::LaOram => "laoram",
         }
     }
 
@@ -67,7 +75,7 @@ impl Technique {
         match self {
             Technique::IndexLookup => "O(1)",
             Technique::LinearScan => "O(n)",
-            Technique::PathOram | Technique::CircuitOram => "O(log^2 n)",
+            Technique::PathOram | Technique::CircuitOram | Technique::LaOram => "O(log^2 n)",
             Technique::Dhe => "O(k^2)",
         }
     }
@@ -76,7 +84,7 @@ impl Technique {
     pub fn memory_complexity(self) -> &'static str {
         match self {
             Technique::IndexLookup | Technique::LinearScan => "O(n)",
-            Technique::PathOram | Technique::CircuitOram => "O(n)",
+            Technique::PathOram | Technique::CircuitOram | Technique::LaOram => "O(n)",
             Technique::Dhe => "O(k^2)",
         }
     }
@@ -138,6 +146,40 @@ pub trait EmbeddingGenerator {
     fn stash_occupancy(&self) -> Option<usize> {
         None
     }
+
+    /// Whether this generator supports in-place row updates (the protected
+    /// training write path). Only look-ahead-ORAM-backed tables do.
+    fn supports_updates(&self) -> bool {
+        false
+    }
+
+    /// Executes one mixed read/update window: row `k` of the result is the
+    /// (post-update) embedding of `indices[k]`; when `updates[k]` is
+    /// `Some(delta)`, `delta` (length `dim`) is added to the stored row
+    /// first. Generators without a write path only accept all-`None`
+    /// updates and degrade to [`Self::generate_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range, a delta has the wrong width,
+    /// or an update is passed to a generator where
+    /// [`Self::supports_updates`] is `false`.
+    fn generate_window(&mut self, indices: &[u64], updates: &[Option<&[f32]>]) -> Matrix {
+        assert_eq!(indices.len(), updates.len(), "generate_window: shape");
+        assert!(
+            updates.iter().all(Option::is_none),
+            "{}: updates unsupported",
+            self.technique()
+        );
+        self.generate_batch(indices)
+    }
+
+    /// Look-ahead window statistics, for generators backed by the
+    /// look-ahead ORAM (`None` otherwise). Aggregates only — never the
+    /// read/write mix, which the oblivious write path exists to hide.
+    fn lookahead_stats(&self) -> Option<secemb_laoram::LaStats> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +194,7 @@ mod tests {
             Technique::PathOram,
             Technique::CircuitOram,
             Technique::Dhe,
+            Technique::LaOram,
         ] {
             assert!(t.is_oblivious(), "{t} must be oblivious");
         }
@@ -170,8 +213,9 @@ mod tests {
 
     #[test]
     fn all_covers_every_variant() {
-        assert_eq!(Technique::ALL.len(), 5);
+        assert_eq!(Technique::ALL.len(), 6);
         assert_eq!(format!("{}", Technique::Dhe), "DHE");
+        assert_eq!(format!("{}", Technique::LaOram), "Look-ahead ORAM");
     }
 
     #[test]

@@ -425,7 +425,7 @@ impl AllocationPlan {
         fn rank(t: Technique) -> u8 {
             match t {
                 Technique::IndexLookup | Technique::LinearScan => 0,
-                Technique::PathOram | Technique::CircuitOram => 1,
+                Technique::PathOram | Technique::CircuitOram | Technique::LaOram => 1,
                 Technique::Dhe => 2,
             }
         }

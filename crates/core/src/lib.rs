@@ -46,6 +46,7 @@ pub mod footprint;
 mod generator;
 mod hash;
 pub mod hybrid;
+mod laoram_table;
 mod lookup;
 mod oram_table;
 mod scan_table;
@@ -56,7 +57,9 @@ pub mod stats;
 pub use dhe::{Dhe, DheConfig};
 pub use generator::{EmbeddingGenerator, Technique};
 pub use hash::UniversalHashFamily;
+pub use laoram_table::LaOramTable;
 pub use lookup::IndexLookup;
 pub use oram_table::OramTable;
 pub use scan_table::LinearScan;
+pub use secemb_laoram::{LaConfig, LaStats};
 pub use spec::{measure_cost, CostEstimate, GeneratorSpec, SpecParseError};

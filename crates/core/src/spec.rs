@@ -3,7 +3,9 @@
 //! their latency.
 
 use crate::hybrid::choose_technique;
-use crate::{Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LinearScan, OramTable, Technique};
+use crate::{
+    Dhe, DheConfig, EmbeddingGenerator, IndexLookup, LaOramTable, LinearScan, OramTable, Technique,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secemb_tensor::Matrix;
@@ -54,6 +56,13 @@ pub enum GeneratorSpec {
         /// Embedding dimension.
         dim: usize,
     },
+    /// Look-ahead ORAM table (windowed prefetch + oblivious writes).
+    LaOram {
+        /// Table rows.
+        rows: u64,
+        /// Embedding dimension.
+        dim: usize,
+    },
     /// The paper's hybrid: scan below `threshold` rows, DHE at or above
     /// (Algorithm 3 applied to a single table).
     Hybrid {
@@ -75,6 +84,7 @@ impl GeneratorSpec {
             | GeneratorSpec::PathOram { rows, .. }
             | GeneratorSpec::CircuitOram { rows, .. }
             | GeneratorSpec::Dhe { rows, .. }
+            | GeneratorSpec::LaOram { rows, .. }
             | GeneratorSpec::Hybrid { rows, .. } => rows,
         }
     }
@@ -87,6 +97,7 @@ impl GeneratorSpec {
             | GeneratorSpec::PathOram { dim, .. }
             | GeneratorSpec::CircuitOram { dim, .. }
             | GeneratorSpec::Dhe { dim, .. }
+            | GeneratorSpec::LaOram { dim, .. }
             | GeneratorSpec::Hybrid { dim, .. } => dim,
         }
     }
@@ -100,6 +111,7 @@ impl GeneratorSpec {
             GeneratorSpec::PathOram { .. } => Technique::PathOram,
             GeneratorSpec::CircuitOram { .. } => Technique::CircuitOram,
             GeneratorSpec::Dhe { .. } => Technique::Dhe,
+            GeneratorSpec::LaOram { .. } => Technique::LaOram,
             GeneratorSpec::Hybrid {
                 rows, threshold, ..
             } => choose_technique(rows, threshold),
@@ -116,6 +128,7 @@ impl GeneratorSpec {
             Technique::PathOram => GeneratorSpec::PathOram { rows, dim },
             Technique::CircuitOram => GeneratorSpec::CircuitOram { rows, dim },
             Technique::Dhe => GeneratorSpec::Dhe { rows, dim },
+            Technique::LaOram => GeneratorSpec::LaOram { rows, dim },
         }
     }
 
@@ -147,6 +160,10 @@ impl GeneratorSpec {
                 Box::new(OramTable::circuit(&table, rng))
             }
             Technique::Dhe => Box::new(Dhe::new(DheConfig::varied(dim, rows), &mut rng)),
+            Technique::LaOram => {
+                let table = synthetic_table(rows, dim, &mut rng);
+                Box::new(LaOramTable::new(&table, rng))
+            }
         }
     }
 }
@@ -163,6 +180,7 @@ impl fmt::Display for GeneratorSpec {
             GeneratorSpec::PathOram { .. } => "path",
             GeneratorSpec::CircuitOram { .. } => "circuit",
             GeneratorSpec::Dhe { .. } => "dhe",
+            GeneratorSpec::LaOram { .. } => "laoram",
             GeneratorSpec::Hybrid { .. } => "hybrid",
         };
         write!(f, "{name}:{}x{}", self.rows(), self.dim())?;
@@ -182,7 +200,7 @@ impl fmt::Display for SpecParseError {
         write!(
             f,
             "bad generator spec '{}'; expected TECH:ROWSxDIM \
-             (TECH in lookup|scan|path|circuit|dhe, or hybrid:ROWSxDIM:THRESHOLD)",
+             (TECH in lookup|scan|path|circuit|dhe|laoram, or hybrid:ROWSxDIM:THRESHOLD)",
             self.0
         )
     }
@@ -209,6 +227,7 @@ impl FromStr for GeneratorSpec {
             "path" => GeneratorSpec::PathOram { rows, dim },
             "circuit" => GeneratorSpec::CircuitOram { rows, dim },
             "dhe" => GeneratorSpec::Dhe { rows, dim },
+            "laoram" => GeneratorSpec::LaOram { rows, dim },
             "hybrid" => {
                 let threshold: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
                 GeneratorSpec::Hybrid {
@@ -287,6 +306,7 @@ mod tests {
             "path:64x16",
             "circuit:64x16",
             "dhe:1000000x64",
+            "laoram:64x16",
             "hybrid:100000x64:8000",
         ] {
             let spec: GeneratorSpec = text.parse().unwrap();
@@ -349,6 +369,7 @@ mod tests {
             GeneratorSpec::PathOram { rows: 32, dim: 4 },
             GeneratorSpec::CircuitOram { rows: 32, dim: 4 },
             GeneratorSpec::Dhe { rows: 32, dim: 4 },
+            GeneratorSpec::LaOram { rows: 32, dim: 4 },
         ];
         for spec in specs {
             let mut g = spec.build(1);

@@ -16,6 +16,9 @@
 //!   feature chosen per Algorithm 3 (linear scan, ORAM, DHE, or the
 //!   non-secure lookup baseline). [`colocate`] adds the multi-model
 //!   contention harness behind Figs. 8, 9 and 13.
+//! - [`ProtectedDlrm`] — *protected training*: sparse tables sealed in a
+//!   look-ahead ORAM, with gradient scatter routed through the same
+//!   oblivious window machinery as the forward lookups ([`training`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +28,9 @@ mod interaction;
 pub mod metrics;
 mod model;
 mod secure;
+pub mod training;
 
 pub use interaction::DotInteraction;
 pub use model::{Dlrm, EmbeddingKind, SparseLayer};
 pub use secure::{FeatureGenerator, SecureDlrm};
+pub use training::{ProtectedDlrm, ProtectedEmbedding};

@@ -3,12 +3,14 @@
 use crate::{Dlrm, DotInteraction};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use secemb::{Dhe, EmbeddingGenerator, IndexLookup, LinearScan, OramTable, Technique};
+use secemb::{Dhe, EmbeddingGenerator, IndexLookup, LaOramTable, LinearScan, OramTable, Technique};
 use secemb_data::CriteoSample;
 use secemb_nn::Mlp;
 use secemb_tensor::Matrix;
 
 /// One sparse feature's serving-time generator (Algorithm 3's menu).
+// One long-lived value per sparse feature, so variant size skew is moot.
+#[allow(clippy::large_enum_variant)]
 pub enum FeatureGenerator {
     /// Non-secure direct lookup (baseline).
     Lookup(IndexLookup),
@@ -18,6 +20,9 @@ pub enum FeatureGenerator {
     Oram(OramTable),
     /// Deep Hash Embedding.
     Dhe(Dhe),
+    /// Look-ahead ORAM (windowed prefetch; also the protected training
+    /// write path — see [`crate::training`]).
+    LaOram(LaOramTable),
 }
 
 impl std::fmt::Debug for FeatureGenerator {
@@ -36,6 +41,7 @@ impl FeatureGenerator {
             FeatureGenerator::Scan(g) => g.generate_batch_threaded(indices, threads.max(1)),
             FeatureGenerator::Oram(g) => g.generate_batch(indices),
             FeatureGenerator::Dhe(g) => g.infer_threaded(indices, threads.max(1)),
+            FeatureGenerator::LaOram(g) => g.generate_batch(indices),
         }
     }
 
@@ -46,6 +52,7 @@ impl FeatureGenerator {
             FeatureGenerator::Scan(_) => Technique::LinearScan,
             FeatureGenerator::Oram(g) => EmbeddingGenerator::technique(g),
             FeatureGenerator::Dhe(_) => Technique::Dhe,
+            FeatureGenerator::LaOram(_) => Technique::LaOram,
         }
     }
 
@@ -56,6 +63,7 @@ impl FeatureGenerator {
             FeatureGenerator::Scan(g) => g.memory_bytes(),
             FeatureGenerator::Oram(g) => g.memory_bytes(),
             FeatureGenerator::Dhe(g) => g.memory_bytes(),
+            FeatureGenerator::LaOram(g) => g.memory_bytes(),
         }
     }
 }
@@ -129,6 +137,10 @@ impl SecureDlrm {
                         .expect("Technique::Dhe requires a DHE-trained feature")
                         .clone(),
                 ),
+                Technique::LaOram => FeatureGenerator::LaOram(LaOramTable::new(
+                    &layer.to_table(rows),
+                    StdRng::seed_from_u64(rng.gen()),
+                )),
             })
             .collect();
         SecureDlrm {
@@ -286,6 +298,7 @@ mod tests {
             Technique::PathOram,
             Technique::CircuitOram,
             Technique::Dhe,
+            Technique::LaOram,
         ] {
             let mut secure = SecureDlrm::from_trained(&model, &[tech; 3], 9);
             outputs.push(secure.infer(&batch));

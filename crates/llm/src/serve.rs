@@ -4,11 +4,13 @@
 use crate::model::Gpt;
 use crate::GptConfig;
 use rand::rngs::StdRng;
-use secemb::{Dhe, IndexLookup, LinearScan, OramTable, Technique};
+use secemb::{Dhe, IndexLookup, LaOramTable, LinearScan, OramTable, Technique};
 use secemb_nn::Linear;
 use secemb_tensor::{ops, Matrix};
 
 /// The token-embedding generator used at serving time.
+// One long-lived value per served model, so variant size skew is moot.
+#[allow(clippy::large_enum_variant)]
 pub enum TokenEmbedder {
     /// Non-secure direct lookup (baseline).
     Lookup(IndexLookup),
@@ -18,6 +20,9 @@ pub enum TokenEmbedder {
     Oram(OramTable),
     /// DHE computation (no table).
     Dhe(Dhe),
+    /// Token table behind the look-ahead ORAM (the decode loop's known
+    /// next-token window maps onto its staged prefetch).
+    LaOram(LaOramTable),
 }
 
 impl std::fmt::Debug for TokenEmbedder {
@@ -35,6 +40,7 @@ impl TokenEmbedder {
             TokenEmbedder::Scan(g) => g.generate_batch_ref(&ids),
             TokenEmbedder::Oram(g) => secemb::EmbeddingGenerator::generate_batch(g, &ids),
             TokenEmbedder::Dhe(g) => g.infer(&ids),
+            TokenEmbedder::LaOram(g) => secemb::EmbeddingGenerator::generate_batch(g, &ids),
         }
     }
 
@@ -45,6 +51,7 @@ impl TokenEmbedder {
             TokenEmbedder::Scan(_) => Technique::LinearScan,
             TokenEmbedder::Oram(g) => secemb::EmbeddingGenerator::technique(g),
             TokenEmbedder::Dhe(_) => Technique::Dhe,
+            TokenEmbedder::LaOram(_) => Technique::LaOram,
         }
     }
 
@@ -55,6 +62,7 @@ impl TokenEmbedder {
             TokenEmbedder::Scan(g) => secemb::EmbeddingGenerator::memory_bytes(g),
             TokenEmbedder::Oram(g) => secemb::EmbeddingGenerator::memory_bytes(g),
             TokenEmbedder::Dhe(g) => secemb::EmbeddingGenerator::memory_bytes(g),
+            TokenEmbedder::LaOram(g) => secemb::EmbeddingGenerator::memory_bytes(g),
         }
     }
 
@@ -83,6 +91,10 @@ impl TokenEmbedder {
                     .expect("Technique::Dhe requires a DHE-trained model")
                     .clone(),
             ),
+            Technique::LaOram => TokenEmbedder::LaOram(LaOramTable::new(
+                &gpt.token_table(),
+                StdRng::seed_from_u64(seed),
+            )),
         }
     }
 }

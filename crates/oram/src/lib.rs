@@ -24,6 +24,11 @@
 //! assumed: the structural access pattern is input-independent, and fetched
 //! paths are uniformly distributed regardless of the request sequence.
 //!
+//! The building blocks ([`tree`], [`stash`], [`posmap`], [`block`],
+//! [`setup`]) are public so sibling controllers — notably the look-ahead
+//! ORAM in `secemb-laoram` — can compose them without re-implementing the
+//! oblivious scans.
+//!
 //! # Example
 //!
 //! ```
@@ -41,15 +46,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod block;
+pub mod block;
 mod circuit;
 mod config;
 mod path;
-mod posmap;
-pub(crate) mod setup;
-mod stash;
+pub mod posmap;
+pub mod setup;
+pub mod stash;
 mod stats;
-mod tree;
+pub mod tree;
 
 pub use block::{Block, DUMMY_ID};
 pub use circuit::CircuitOram;

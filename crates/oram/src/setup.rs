@@ -7,17 +7,17 @@ use rand::Rng;
 use secemb_trace::tracer::RegionId;
 
 /// Trace region of the bucket tree at recursion depth `depth`.
-pub(crate) fn tree_region(depth: u32) -> RegionId {
+pub fn tree_region(depth: u32) -> RegionId {
     RegionId(0x100 + 4 * depth)
 }
 
 /// Trace region of the stash at recursion depth `depth`.
-pub(crate) fn stash_region(depth: u32) -> RegionId {
+pub fn stash_region(depth: u32) -> RegionId {
     RegionId(0x100 + 4 * depth + 1)
 }
 
 /// Trace region of a flat position map at recursion depth `depth`.
-pub(crate) fn posmap_region(depth: u32) -> RegionId {
+pub fn posmap_region(depth: u32) -> RegionId {
     RegionId(0x100 + 4 * depth + 2)
 }
 
@@ -27,7 +27,7 @@ pub(crate) fn posmap_region(depth: u32) -> RegionId {
 /// Runs at construction time, before any secret-dependent request exists,
 /// so it is intentionally untraced — a real deployment performs the same
 /// one-time oblivious build before serving.
-pub(crate) fn initial_layout(
+pub fn initial_layout(
     blocks: &[Vec<u32>],
     tree: &mut Tree,
     stash: &mut Stash,
@@ -67,7 +67,7 @@ pub(crate) fn initial_layout(
 
 /// Reverses the low `bits` bits of `x` (reverse-lexicographic eviction
 /// order for Circuit ORAM).
-pub(crate) fn bit_reverse(x: u64, bits: u32) -> u64 {
+pub fn bit_reverse(x: u64, bits: u32) -> u64 {
     if bits == 0 {
         return 0;
     }

@@ -169,10 +169,26 @@ impl Stash {
         deepest_legal: impl Fn(u64) -> u32,
         stats: &mut AccessStats,
     ) -> Block {
+        self.extract_eligible_if(Choice::TRUE, min_level, deepest_legal, stats)
+    }
+
+    /// As [`Stash::extract_eligible`], but only takes a block when `want`
+    /// is set — the whole-stash scan (and its trace event) happens either
+    /// way, so callers can fold the stash into a larger constant-shape
+    /// selection. LAORAM's combined eviction scans its local path scratch
+    /// first and falls through to the stash only when the scratch had no
+    /// candidate, without the trace revealing which source won.
+    pub fn extract_eligible_if(
+        &mut self,
+        want: Choice,
+        min_level: u32,
+        deepest_legal: impl Fn(u64) -> u32,
+        stats: &mut AccessStats,
+    ) -> Block {
         self.trace_scan(stats, true);
         let words = self.slots.first().map_or(0, |b| b.data.len());
         let mut out = Block::dummy(words);
-        let mut done = Choice::FALSE;
+        let mut done = !want;
         for slot in &mut self.slots {
             let eligible =
                 !slot.ct_is_dummy() & Choice::from_bool(deepest_legal(slot.leaf) >= min_level);
@@ -300,6 +316,20 @@ mod tests {
         let (mut s, mut st) = stash(2);
         assert!(s.extract_deepest(|_| 0, &mut st).is_dummy());
         assert_eq!(s.deepest_level(|_| 0), None);
+    }
+
+    #[test]
+    fn extract_eligible_if_false_scans_but_takes_nothing() {
+        let (mut s, mut st) = stash(4);
+        s.insert(&blk(1, 0), &mut st);
+        let scans_before = st.stash_scans;
+        let b = s.extract_eligible_if(Choice::FALSE, 0, |_| 5, &mut st);
+        assert!(b.is_dummy(), "want=FALSE must extract nothing");
+        assert_eq!(s.occupancy(), 1, "stash contents must be untouched");
+        assert_eq!(st.stash_scans, scans_before + 1, "the scan still runs");
+        let b = s.extract_eligible_if(Choice::TRUE, 0, |_| 5, &mut st);
+        assert_eq!(b.id, 1, "want=TRUE behaves like extract_eligible");
+        assert_eq!(s.occupancy(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::lock_unpoisoned;
 use secemb_serve::protocol::{
     decode_server, decode_server_traced, encode_generate_multi, encode_generate_traced,
     encode_hello, encode_metrics_request, encode_plan_pull, encode_plan_push, encode_stats_request,
-    ServerMsg,
+    encode_update_traced, ServerMsg,
 };
 use secemb_serve::RejectReason;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
@@ -178,6 +178,27 @@ impl Backend {
     ) -> io::Result<u64> {
         self.call(
             |id| encode_generate_traced(id, table, indices, deadline, trace),
+            callback,
+        )
+    }
+
+    /// Submits a traced `Update` (oblivious read-modify-write) for one
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::call`].
+    pub fn update(
+        &self,
+        table: usize,
+        indices: &[u64],
+        deltas: &secemb_tensor::Matrix,
+        deadline: Option<Duration>,
+        trace: Option<u64>,
+        callback: ReplyCallback,
+    ) -> io::Result<u64> {
+        self.call(
+            |id| encode_update_traced(id, table, indices, deltas, deadline, trace),
             callback,
         )
     }

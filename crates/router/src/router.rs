@@ -452,6 +452,44 @@ fn dispatch(
                 reject(inner, reply_tx, id, RejectReason::Internal, trace);
             }
         }
+        ClientMsg::Update {
+            table,
+            indices,
+            deltas,
+            deadline,
+        } => {
+            inner.metrics.requests_total.inc();
+            // Same placement-aware admission as Generate; the delta shape
+            // was already validated at decode, and the owning backend
+            // gates update capability per table.
+            if table >= inner.placement.tables() {
+                return reject(inner, reply_tx, id, RejectReason::UnknownTable, trace);
+            }
+            if indices.is_empty() {
+                return reject(inner, reply_tx, id, RejectReason::BadRequest, trace);
+            }
+            let host = inner.placement.host_index(table).expect("checked above");
+            inner.metrics.fanout_hosts.record(1);
+            let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
+            let t0 = Instant::now();
+            let tx = reply_tx.clone();
+            let route_ns = Arc::clone(&inner.metrics.route_ns);
+            let sent = inner.backends[host].update(
+                table,
+                &indices,
+                &deltas,
+                deadline,
+                Some(hop_trace),
+                Box::new(move |msg, _| {
+                    route_ns.record(t0.elapsed().as_nanos() as u64);
+                    let frame = encode_response_traced(id, &to_response(msg), trace);
+                    let _ = tx.send((Instant::now(), frame));
+                }),
+            );
+            if sent.is_err() {
+                reject(inner, reply_tx, id, RejectReason::Internal, trace);
+            }
+        }
         ClientMsg::GenerateMulti { parts, deadline } => {
             dispatch_multi(inner, reply_tx, id, parts, deadline, trace);
         }

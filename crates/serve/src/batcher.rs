@@ -68,6 +68,66 @@ pub fn execute_batch(generator: &mut dyn EmbeddingGenerator, groups: &[Vec<u64>]
     result
 }
 
+/// Runs one coalesced batch of mixed reads and updates: concatenates
+/// every group's indices (and per-index delta rows, where a group carries
+/// them) into a **single** `generate_window` call, then splits the result
+/// back into one matrix per group.
+///
+/// This is the look-ahead hand-off: the whole coalesced batch reaches the
+/// generator as one future access window, so a window-aware backend (the
+/// look-ahead ORAM) prefetches and deduplicates across *all* the groups,
+/// and read-only and updating requests travel through the identical code
+/// path — a trace observer cannot tell which groups carried gradients.
+/// For read-only batches against any other generator it degrades to
+/// exactly [`execute_batch`]'s semantics.
+///
+/// # Panics
+///
+/// Panics if a group is empty, an update's row count disagrees with its
+/// group's index count, or an update reaches a generator without an
+/// oblivious write path (the engine gates all three at admission).
+pub fn execute_batch_ops(
+    generator: &mut dyn EmbeddingGenerator,
+    groups: &[(Vec<u64>, Option<Matrix>)],
+) -> Vec<Matrix> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = groups.iter().map(|(ix, _)| ix.len()).sum();
+    let mut flat = Vec::with_capacity(total);
+    let mut updates: Vec<Option<&[f32]>> = Vec::with_capacity(total);
+    for (indices, deltas) in groups {
+        assert!(!indices.is_empty(), "execute_batch_ops: empty group");
+        flat.extend_from_slice(indices);
+        match deltas {
+            None => updates.extend(indices.iter().map(|_| None)),
+            Some(m) => {
+                assert_eq!(
+                    m.rows(),
+                    indices.len(),
+                    "execute_batch_ops: update row count != index count"
+                );
+                updates.extend(m.iter_rows().map(Some));
+            }
+        }
+    }
+    let out = generator.generate_window(&flat, &updates);
+    let dim = out.cols();
+    let data = out.as_slice();
+    let mut result = Vec::with_capacity(groups.len());
+    let mut start = 0;
+    for (indices, _) in groups {
+        let rows = indices.len();
+        result.push(Matrix::from_vec(
+            rows,
+            dim,
+            data[start * dim..(start + rows) * dim].to_vec(),
+        ));
+        start += rows;
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +164,46 @@ mod tests {
     fn empty_group_is_a_bug() {
         let mut g = GeneratorSpec::Scan { rows: 10, dim: 4 }.build(0);
         execute_batch(g.as_mut(), &[vec![]]);
+    }
+
+    #[test]
+    fn read_only_ops_match_execute_batch() {
+        let spec = GeneratorSpec::Scan { rows: 100, dim: 8 };
+        let mut via_ops = spec.build(9);
+        let mut via_batch = spec.build(9);
+        let groups = vec![vec![5u64, 99], vec![0], vec![41, 41, 7]];
+        let op_groups: Vec<(Vec<u64>, Option<Matrix>)> =
+            groups.iter().map(|g| (g.clone(), None)).collect();
+        assert_eq!(
+            execute_batch_ops(via_ops.as_mut(), &op_groups),
+            execute_batch(via_batch.as_mut(), &groups)
+        );
+    }
+
+    #[test]
+    fn mixed_ops_apply_updates_through_laoram() {
+        let spec = GeneratorSpec::LaOram { rows: 32, dim: 4 };
+        let mut g = spec.build(3);
+        let deltas = Matrix::from_fn(2, 4, |_, c| (c as f32) + 1.0);
+        let before = g.generate_batch(&[6, 7]);
+        let groups = vec![
+            (vec![6u64, 7], Some(deltas.clone())),
+            (vec![6u64], None), // reads in a later group see the update
+        ];
+        let outs = execute_batch_ops(g.as_mut(), &groups);
+        assert_eq!(outs.len(), 2);
+        for r in 0..2 {
+            for c in 0..4 {
+                assert_eq!(outs[0].row(r)[c], before.row(r)[c] + deltas.row(r)[c]);
+            }
+        }
+        assert_eq!(outs[1].row(0), outs[0].row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "update row count")]
+    fn mismatched_update_shape_is_a_bug() {
+        let mut g = GeneratorSpec::LaOram { rows: 16, dim: 4 }.build(0);
+        execute_batch_ops(g.as_mut(), &[(vec![1, 2], Some(Matrix::zeros(1, 4)))]);
     }
 }

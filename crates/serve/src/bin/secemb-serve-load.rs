@@ -6,7 +6,7 @@
 //! secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,...
 //!                   [--table N]... [--conns N] [--batch N]
 //!                   [--secs S] [--deadline-ms D] [--schedule paced|poisson]
-//!                   [--pipeline-depth K] [--rate R]... [--out FILE]
+//!                   [--pipeline-depth K] [--write-frac F] [--rate R]... [--out FILE]
 //!                   [--scrape-metrics] [--scrape-stats]
 //! ```
 //!
@@ -15,7 +15,10 @@
 //! over the listed tables; `--schedule poisson` replaces the fixed pacing
 //! with exponential inter-arrival gaps at the same mean rate;
 //! `--pipeline-depth K` keeps up to K id-matched requests in flight per
-//! connection (default 1, the classic closed loop). `--hosts` lists
+//! connection (default 1, the classic closed loop); `--write-frac F`
+//! sends fraction F of requests as oblivious updates (read-modify-write
+//! with gradient-sized random deltas) — a mixed training/inference
+//! schedule over the wire, meaningful against look-ahead ORAM tables. `--hosts` lists
 //! several interchangeable front-ends (servers, or `secemb-router`
 //! instances); connections round-robin over the list and the inventory
 //! probe (plus any post-sweep scrape) uses the first entry. `--out FILE`
@@ -41,6 +44,7 @@ struct Args {
     deadline: Option<Duration>,
     schedule: Schedule,
     pipeline_depth: usize,
+    write_frac: f64,
     rates: Vec<f64>,
     out: Option<PathBuf>,
     scrape_metrics: bool,
@@ -51,7 +55,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,... [--table N]... \
          [--conns N] [--batch N] [--secs S] [--deadline-ms D] \
-         [--schedule paced|poisson] [--pipeline-depth K] \
+         [--schedule paced|poisson] [--pipeline-depth K] [--write-frac F] \
          [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats]"
     );
     std::process::exit(2);
@@ -74,6 +78,7 @@ fn parse_args() -> Args {
         deadline: Some(Duration::from_millis(20)),
         schedule: Schedule::Paced,
         pipeline_depth: 1,
+        write_frac: 0.0,
         rates: Vec::new(),
         out: None,
         scrape_metrics: false,
@@ -103,6 +108,12 @@ fn parse_args() -> Args {
             "--pipeline-depth" => {
                 args.pipeline_depth = value().parse().unwrap_or_else(|_| usage());
                 if args.pipeline_depth == 0 {
+                    usage();
+                }
+            }
+            "--write-frac" => {
+                args.write_frac = value().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&args.write_frac) {
                     usage();
                 }
             }
@@ -184,6 +195,7 @@ fn main() {
             duration: Duration::from_secs_f64(args.secs),
             deadline: args.deadline,
             pipeline_depth: args.pipeline_depth,
+            write_frac: args.write_frac,
             seed: 1,
             record_requests: out.is_some(),
         });

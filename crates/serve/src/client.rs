@@ -12,8 +12,10 @@
 
 use crate::protocol::{
     decode_server, encode_generate, encode_generate_multi, encode_metrics_request,
-    encode_plan_pull, encode_plan_push, encode_stats_request, encode_tables_request, ServerMsg,
+    encode_plan_pull, encode_plan_push, encode_stats_request, encode_tables_request, encode_update,
+    ServerMsg,
 };
+use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::collections::{HashSet, VecDeque};
 use std::io::{self, BufReader, BufWriter};
@@ -93,6 +95,32 @@ impl ClientSender {
         write_frame(
             &mut self.writer,
             &encode_generate(id, table, indices, deadline),
+        )?;
+        Ok(id)
+    }
+
+    /// Sends an update (oblivious read-modify-write) request without
+    /// waiting, returning the request id its response will carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not `indices.len() × dim`.
+    pub fn send_update(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deltas: &Matrix,
+        deadline: Option<Duration>,
+    ) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(
+            &mut self.writer,
+            &encode_update(id, table, indices, deltas, deadline),
         )?;
         Ok(id)
     }
@@ -240,6 +268,33 @@ impl Client {
     ) -> io::Result<ServerMsg> {
         let id = self.fresh_id();
         match self.round_trip(id, &encode_generate(id, table, indices, deadline))? {
+            msg @ (ServerMsg::Embeddings(..) | ServerMsg::Rejected(_)) => Ok(msg),
+            _ => Err(bad_reply("expected embeddings or rejection")),
+        }
+    }
+
+    /// Obliviously adds one delta row per index to `table`'s rows (the
+    /// protected training write path), returning the post-update rows as
+    /// `Embeddings` — or `Rejected` (`UpdateUnsupported` when the table's
+    /// generator has no write path).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors; rejections are **not**
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not `indices.len() × dim`.
+    pub fn update(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deltas: &Matrix,
+        deadline: Option<Duration>,
+    ) -> io::Result<ServerMsg> {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_update(id, table, indices, deltas, deadline))? {
             msg @ (ServerMsg::Embeddings(..) | ServerMsg::Rejected(_)) => Ok(msg),
             _ => Err(bad_reply("expected embeddings or rejection")),
         }

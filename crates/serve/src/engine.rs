@@ -27,7 +27,7 @@
 //! lock — a concurrent request observes either the old plan or the new
 //! one, never a mix.
 
-use crate::batcher::{execute_batch, BatchPolicy};
+use crate::batcher::{execute_batch_ops, BatchPolicy};
 use crate::lock_unpoisoned;
 use crate::request::{RejectReason, Request, Response};
 use crate::stats::ServerStats;
@@ -35,8 +35,10 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError}
 use secemb::hybrid::AllocationPlan;
 use secemb::{measure_cost, EmbeddingGenerator, GeneratorSpec, Technique};
 use secemb_enclave::CostModel;
+use secemb_laoram::LaStats;
 use secemb_oram::AccessStats;
 use secemb_telemetry::{Counter, Gauge, Registry, Stage, StageBreakdown};
+use secemb_tensor::Matrix;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -161,6 +163,9 @@ pub struct TableInfo {
     pub technique: Technique,
     /// Per-query cost used for admission, nanoseconds.
     pub per_query_ns: f64,
+    /// Whether the serving generator has an oblivious write path
+    /// (requests with update payloads are admitted only when true).
+    pub supports_updates: bool,
 }
 
 /// Error from [`Engine::apply_plan`].
@@ -202,6 +207,9 @@ type ReplyFn = Box<dyn FnOnce(Response) + Send + 'static>;
 
 struct Job {
     indices: Vec<u64>,
+    /// Delta rows to scatter-add through the oblivious write path
+    /// (`indices.len() × dim`, validated at admission).
+    update: Option<Matrix>,
     deadline: Option<Instant>,
     enqueued: Instant,
     /// Time spent in validation + admission control before enqueue.
@@ -292,6 +300,9 @@ struct Shard {
     /// Admission-control cost, f64 bits — updated atomically on swap so
     /// the submit path never takes a lock.
     cost_ns_bits: Arc<AtomicU64>,
+    /// Whether the active generator accepts update payloads — checked
+    /// lock-free at admission, flipped under the swap lock.
+    supports_updates: Arc<AtomicBool>,
     /// Full metadata (infrequent reads; updated under the swap lock).
     info: Arc<Mutex<TableInfo>>,
     /// Recent per-query service-time samples exported to drift detectors.
@@ -413,6 +424,18 @@ struct ProbeDelta {
     encrypted_bytes: u64,
 }
 
+/// The per-counter increments between two cumulative [`LaStats`]
+/// observations (look-ahead generators only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct LaDelta {
+    windows: u64,
+    prefetch_hits: u64,
+    staged_fetches: u64,
+    bucket_reads_saved: u64,
+    combined_evictions: u64,
+    evictions_saved: u64,
+}
+
 /// Turns per-generator cumulative [`AccessStats`] into monotone counter
 /// increments, and instantaneous stash occupancy into a batch-weighted
 /// running mean. Scrape-timing independence lives here: however a scrape
@@ -423,6 +446,7 @@ struct ProbeDelta {
 struct ProbeAccumulator {
     last: AccessStats,
     last_enclave: [u64; 3],
+    last_la: LaStats,
     stash_sum: f64,
     stash_batches: u64,
 }
@@ -443,6 +467,29 @@ impl ProbeAccumulator {
         };
         self.last = *stats;
         self.last_enclave = [c.ocalls, c.epc_page_swaps, c.encrypted_bytes];
+        delta
+    }
+
+    /// Folds one cumulative look-ahead observation in, returning the
+    /// increments since the previous one.
+    fn observe_la(&mut self, la: &LaStats) -> LaDelta {
+        let delta = LaDelta {
+            windows: la.windows.saturating_sub(self.last_la.windows),
+            prefetch_hits: la.prefetch_hits.saturating_sub(self.last_la.prefetch_hits),
+            staged_fetches: la
+                .staged_fetches
+                .saturating_sub(self.last_la.staged_fetches),
+            bucket_reads_saved: la
+                .bucket_reads_saved
+                .saturating_sub(self.last_la.bucket_reads_saved),
+            combined_evictions: la
+                .combined_evictions
+                .saturating_sub(self.last_la.combined_evictions),
+            evictions_saved: la
+                .evictions_saved
+                .saturating_sub(self.last_la.evictions_saved),
+        };
+        self.last_la = *la;
         delta
     }
 
@@ -484,6 +531,18 @@ struct WorkerProbes {
     ocalls: Arc<Counter>,
     epc_page_swaps: Arc<Counter>,
     encrypted_bytes: Arc<Counter>,
+    /// Look-ahead probes (only move for window-aware generators): the
+    /// prefetch hit/miss split, the work the window dedup avoided, and
+    /// the stash high-water mark since the generator was installed. All
+    /// are whole-window aggregates — never read/write mix or per-index
+    /// information, which stays closed.
+    la_windows: Arc<Counter>,
+    la_prefetch_hits: Arc<Counter>,
+    la_staged_fetches: Arc<Counter>,
+    la_bucket_reads_saved: Arc<Counter>,
+    la_combined_evictions: Arc<Counter>,
+    la_evictions_saved: Arc<Counter>,
+    la_stash_high_water: Arc<Gauge>,
     cost_model: CostModel,
     acc: ProbeAccumulator,
 }
@@ -502,6 +561,15 @@ impl WorkerProbes {
             ocalls: registry.counter_with("enclave_ocalls_total", &labels),
             epc_page_swaps: registry.counter_with("enclave_epc_page_swaps_total", &labels),
             encrypted_bytes: registry.counter_with("enclave_encrypted_bytes_total", &labels),
+            la_windows: registry.counter_with("laoram_windows_total", &labels),
+            la_prefetch_hits: registry.counter_with("laoram_prefetch_hits_total", &labels),
+            la_staged_fetches: registry.counter_with("laoram_staged_fetches_total", &labels),
+            la_bucket_reads_saved: registry
+                .counter_with("laoram_bucket_reads_saved_total", &labels),
+            la_combined_evictions: registry
+                .counter_with("laoram_combined_evictions_total", &labels),
+            la_evictions_saved: registry.counter_with("laoram_evictions_saved_total", &labels),
+            la_stash_high_water: registry.gauge_with("laoram_stash_high_water", &labels),
             cost_model: CostModel::scalable_sgx(),
             acc: ProbeAccumulator::default(),
         }
@@ -523,6 +591,16 @@ impl WorkerProbes {
         }
         if let Some(occ) = generator.stash_occupancy() {
             self.stash.set(self.acc.observe_stash(occ));
+        }
+        if let Some(la) = generator.lookahead_stats() {
+            let d = self.acc.observe_la(&la);
+            self.la_windows.add(d.windows);
+            self.la_prefetch_hits.add(d.prefetch_hits);
+            self.la_staged_fetches.add(d.staged_fetches);
+            self.la_bucket_reads_saved.add(d.bucket_reads_saved);
+            self.la_combined_evictions.add(d.combined_evictions);
+            self.la_evictions_saved.add(d.evictions_saved);
+            self.la_stash_high_water.set(la.stash_high_water as f64);
         }
     }
 
@@ -572,6 +650,7 @@ impl Engine {
                 dim: t.spec.dim(),
                 technique: generators[0].technique(),
                 per_query_ns,
+                supports_updates: generators[0].supports_updates(),
             };
             let (tx, rx) = channel::bounded::<Job>(t.queue_capacity);
             let pending = Arc::new(AtomicU64::new(0));
@@ -606,6 +685,7 @@ impl Engine {
                 alive,
                 pending_queries: pending,
                 cost_ns_bits: Arc::new(AtomicU64::new(per_query_ns.to_bits())),
+                supports_updates: Arc::new(AtomicBool::new(info.supports_updates)),
                 info: Arc::new(Mutex::new(info)),
                 samples,
                 config: *t,
@@ -763,13 +843,22 @@ impl Engine {
                 // shard rejects at admission anyway.
                 planned.per_query_ns
             };
-            staged.push((live, generators, planned.technique, per_query_ns));
+            let supports_updates = generators.first().is_some_and(|g| g.supports_updates());
+            staged.push((
+                live,
+                generators,
+                planned.technique,
+                per_query_ns,
+                supports_updates,
+            ));
         }
         let _swap = lock_unpoisoned(&self.swap_lock);
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut expected_acks = 0usize;
-        for (shard, (live, generators, technique, per_query_ns)) in self.shards.iter().zip(staged) {
+        for (shard, (live, generators, technique, per_query_ns, supports_updates)) in
+            self.shards.iter().zip(staged)
+        {
             // One barrier per shard: its live replicas install in
             // lockstep. A replica dying after this snapshot degrades to
             // the barrier timeout instead of a deadlock.
@@ -790,9 +879,13 @@ impl Engine {
             shard
                 .cost_ns_bits
                 .store(per_query_ns.to_bits(), Ordering::SeqCst);
+            shard
+                .supports_updates
+                .store(supports_updates, Ordering::SeqCst);
             let mut info = lock_unpoisoned(&shard.info);
             info.technique = technique;
             info.per_query_ns = per_query_ns;
+            info.supports_updates = supports_updates;
         }
         drop(ack_tx);
         // The epoch becomes observable only after every replica has
@@ -836,6 +929,23 @@ impl Engine {
             reply(Response::Rejected(RejectReason::BadRequest));
             return;
         }
+        if let Some(update) = &request.update {
+            // An update must address exactly the requested indices at the
+            // table's width, and the active generator must have an
+            // oblivious write path — both checked before any queue space
+            // is consumed.
+            if update.shape() != (n, shard.config.spec.dim()) {
+                self.stats.record_rejected(RejectReason::BadRequest, 0);
+                reply(Response::Rejected(RejectReason::BadRequest));
+                return;
+            }
+            if !shard.supports_updates.load(Ordering::SeqCst) {
+                self.stats
+                    .record_rejected(RejectReason::UpdateUnsupported, 0);
+                reply(Response::Rejected(RejectReason::UpdateUnsupported));
+                return;
+            }
+        }
         // A shard whose every replica has died can accept nothing: fail
         // fast and explicitly instead of queueing work nobody will drain.
         if shard.alive.iter().all(|a| !a.load(Ordering::SeqCst)) {
@@ -864,6 +974,7 @@ impl Engine {
         let job = Job {
             deadline: request.deadline.map(|d| enqueued + d),
             indices: request.indices,
+            update: request.update,
             enqueued,
             admit_ns: enqueued.saturating_duration_since(t0).as_nanos() as u64,
             dequeued: enqueued,
@@ -1031,8 +1142,29 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
             if live.is_empty() {
                 continue;
             }
-            let groups: Vec<Vec<u64>> = live.iter().map(|j| j.indices.clone()).collect();
-            let total_queries: usize = groups.iter().map(Vec::len).sum();
+            // An update admitted against the previous epoch's generator
+            // may land just after a swap to one without a write path;
+            // answer it explicitly rather than panicking the worker.
+            let live = if generator.supports_updates() {
+                live
+            } else {
+                let (ok, unsupported): (Vec<Job>, Vec<Job>) =
+                    live.into_iter().partition(|j| j.update.is_none());
+                for job in unsupported {
+                    pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
+                    stats.record_rejected(RejectReason::UpdateUnsupported, job.indices.len());
+                    (job.reply)(Response::Rejected(RejectReason::UpdateUnsupported));
+                }
+                if ok.is_empty() {
+                    continue;
+                }
+                ok
+            };
+            let groups: Vec<(Vec<u64>, Option<Matrix>)> = live
+                .iter()
+                .map(|j| (j.indices.clone(), j.update.clone()))
+                .collect();
+            let total_queries: usize = groups.iter().map(|(ix, _)| ix.len()).sum();
             stats.record_batch(total_queries);
             batches.inc();
             let dispatch = Instant::now();
@@ -1044,7 +1176,7 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
                 if poisoned {
                     panic!("injected worker fault (test hook)");
                 }
-                execute_batch(generator.as_mut(), &groups)
+                execute_batch_ops(generator.as_mut(), &groups)
             })) {
                 Ok(outputs) => outputs,
                 Err(_) => {
@@ -1510,6 +1642,78 @@ mod tests {
             out.embeddings().expect("served"),
             &reference.generate_batch(&[3, 63, 0])
         );
+    }
+
+    #[test]
+    fn update_requests_scatter_through_laoram() {
+        let table = TableConfig {
+            spec: GeneratorSpec::LaOram { rows: 64, dim: 8 },
+            seed: 7,
+            queue_capacity: 64,
+            cost_override_ns: Some(1_000.0),
+        };
+        let engine = Engine::start(EngineConfig::new(vec![table]));
+        assert!(engine.tables()[0].supports_updates);
+        let base = engine
+            .call(Request::new(0, vec![3, 9]))
+            .embeddings()
+            .expect("read served")
+            .clone();
+        let deltas = Matrix::from_fn(2, 8, |r, c| (r + 1) as f32 + c as f32 * 0.25);
+        let updated = engine
+            .call(Request::new(0, vec![3, 9]).with_update(deltas.clone()))
+            .embeddings()
+            .expect("update served")
+            .clone();
+        for r in 0..2 {
+            for c in 0..8 {
+                assert_eq!(updated.row(r)[c], base.row(r)[c] + deltas.row(r)[c]);
+            }
+        }
+        // The write persisted: a later read sees the updated rows.
+        let after = engine
+            .call(Request::new(0, vec![3, 9]))
+            .embeddings()
+            .expect("read served")
+            .clone();
+        assert_eq!(after, updated);
+    }
+
+    #[test]
+    fn updates_rejected_without_a_write_path() {
+        let engine = Engine::start(EngineConfig::new(vec![fast_table()]));
+        assert!(!engine.tables()[0].supports_updates);
+        let response = engine.call(Request::new(0, vec![1, 2]).with_update(Matrix::zeros(2, 8)));
+        assert_eq!(response.rejection(), Some(RejectReason::UpdateUnsupported));
+        // A malformed update is a bad request even on a capable table.
+        let table = TableConfig {
+            spec: GeneratorSpec::LaOram { rows: 64, dim: 8 },
+            seed: 7,
+            queue_capacity: 64,
+            cost_override_ns: Some(1_000.0),
+        };
+        let engine = Engine::start(EngineConfig::new(vec![table]));
+        let response = engine.call(Request::new(0, vec![1, 2]).with_update(Matrix::zeros(1, 8)));
+        assert_eq!(response.rejection(), Some(RejectReason::BadRequest));
+        // Rejections leave no queued work behind.
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn swap_away_from_laoram_flips_update_admission() {
+        let table = TableConfig {
+            spec: GeneratorSpec::LaOram { rows: 64, dim: 8 },
+            seed: 7,
+            queue_capacity: 64,
+            cost_override_ns: Some(1_000.0),
+        };
+        let engine = Engine::start(EngineConfig::new(vec![table]));
+        assert!(engine.tables()[0].supports_updates);
+        let plan = plan_for(&engine, 1, &[Technique::Dhe]);
+        engine.apply_plan(&plan).expect("valid plan");
+        assert!(!engine.tables()[0].supports_updates);
+        let response = engine.call(Request::new(0, vec![1]).with_update(Matrix::zeros(1, 8)));
+        assert_eq!(response.rejection(), Some(RejectReason::UpdateUnsupported));
     }
 
     #[test]

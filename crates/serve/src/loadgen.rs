@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secemb::stats::LatencySummary;
 use secemb_telemetry::{Stage, StageBreakdown};
+use secemb_tensor::Matrix;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
@@ -80,6 +81,12 @@ pub struct LoadConfig {
     /// up to `K` id-matched requests on each connection, the way a
     /// batching front-end multiplexes one upstream socket.
     pub pipeline_depth: usize,
+    /// Fraction of requests sent as oblivious updates (read-modify-write
+    /// with random small delta rows) instead of plain reads, in `[0, 1]`.
+    /// 0.0 is the classic read-only workload; against a table without a
+    /// write path the updates come back `UpdateUnsupported` and count as
+    /// rejections.
+    pub write_frac: f64,
     /// RNG seed for index/table selection and Poisson arrivals.
     pub seed: u64,
     /// When true, the report carries one [`RequestRecord`] per answered
@@ -233,15 +240,19 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     assert!(config.offered_rps > 0.0, "run_load: non-positive rate");
     assert!(config.pipeline_depth > 0, "run_load: zero pipeline depth");
     assert!(!config.addrs.is_empty(), "run_load: no addresses");
-    // rows[i] = index domain of config.tables[i].
-    let rows: Vec<u64> = {
+    assert!(
+        (0.0..=1.0).contains(&config.write_frac),
+        "run_load: write_frac outside [0, 1]"
+    );
+    // shapes[i] = (index domain, dim) of config.tables[i].
+    let shapes: Vec<(u64, usize)> = {
         let mut probe = Client::connect(config.addrs[0])?;
         let served = probe.tables()?;
         config
             .tables
             .iter()
             .map(|&id| match served.get(id) {
-                Some(t) => Ok(t.rows),
+                Some(t) => Ok((t.rows, t.dim)),
                 None => Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
                     format!("server has no table {id} (it serves {})", served.len()),
@@ -269,7 +280,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         io_error: Option<io::Error>,
     }
 
-    let rows = &rows;
+    let shapes = &shapes;
     let results: Vec<ThreadResult> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..config.connections)
             .map(|conn_id| {
@@ -397,11 +408,22 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         }
                         let slot = rng.gen_range(0..config.tables.len());
                         let table = config.tables[slot];
-                        let indices: Vec<u64> = (0..config.batch)
-                            .map(|_| rng.gen_range(0..rows[slot]))
-                            .collect();
+                        let (rows, dim) = shapes[slot];
+                        let indices: Vec<u64> =
+                            (0..config.batch).map(|_| rng.gen_range(0..rows)).collect();
+                        let is_write =
+                            config.write_frac > 0.0 && rng.gen::<f64>() < config.write_frac;
                         let t0 = Instant::now();
-                        match sender.send_generate(table, &indices, config.deadline) {
+                        let sent = if is_write {
+                            // Gradient-sized deltas: small, zero-mean.
+                            let deltas = Matrix::from_fn(indices.len(), dim, |_, _| {
+                                (rng.gen::<f32>() - 0.5) * 1e-3
+                            });
+                            sender.send_update(table, &indices, &deltas, config.deadline)
+                        } else {
+                            sender.send_generate(table, &indices, config.deadline)
+                        };
+                        match sent {
                             Ok(id) => {
                                 if meta_tx.send((id, table, t0)).is_err() {
                                     break;
@@ -517,7 +539,7 @@ mod tests {
             achieved_rps: 90.0,
             completed: 90,
             deadline_violations: 6,
-            rejected: [4, 0, 0, 0, 0, 0],
+            rejected: [4, 0, 0, 0, 0, 0, 0],
             latency: LatencySummary::from_ns(&[]),
             records: Vec::new(),
         };

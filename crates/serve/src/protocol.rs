@@ -20,6 +20,7 @@
 //! | 6 `PlanPull` | `u64` request id |
 //! | 7 `PlanPush` | `u64` request id, string (the [`AllocationPlan`] JSON) |
 //! | 8 `Hello` | `u64` request id, string (the peer's role, e.g. `router`); answered with a `Tables` response |
+//! | 9 `Update` | `u64` request id, `u32` table, `u64` deadline ns (0 = none), `u32` count, `count × u64` indices, `u32` dim, `count·dim × f32` delta rows; answered with the post-update rows as an `Embeddings` response |
 //!
 //! Server → client:
 //!
@@ -63,6 +64,7 @@ const TAG_GENERATE_MULTI: u8 = 5;
 const TAG_PLAN_PULL: u8 = 6;
 const TAG_PLAN_PUSH: u8 = 7;
 const TAG_HELLO: u8 = 8;
+const TAG_UPDATE: u8 = 9;
 
 const TAG_EMBEDDINGS: u8 = 1;
 const TAG_REJECTED: u8 = 2;
@@ -113,7 +115,7 @@ impl From<Truncated> for ProtocolError {
 }
 
 /// A decoded client message.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ClientMsg {
     /// Generate embeddings.
     Generate {
@@ -121,6 +123,19 @@ pub enum ClientMsg {
         table: usize,
         /// The secret indices.
         indices: Vec<u64>,
+        /// Latency budget, if any.
+        deadline: Option<Duration>,
+    },
+    /// Obliviously read-modify-write: add one delta row per index to the
+    /// addressed table rows, answered with the post-update rows. Only
+    /// update-capable tables (the look-ahead ORAM) accept it.
+    Update {
+        /// Target table id.
+        table: usize,
+        /// The secret indices.
+        indices: Vec<u64>,
+        /// One delta row per index (`indices.len() × dim`).
+        deltas: Matrix,
         /// Latency budget, if any.
         deadline: Option<Duration>,
     },
@@ -199,6 +214,58 @@ pub fn encode_generate_traced(
     w.put_u32_le(indices.len() as u32);
     for &i in indices {
         w.put_u64_le(i);
+    }
+    if let Some(t) = trace_id {
+        w.put_u64_le(t);
+    }
+    w.into_vec()
+}
+
+/// Encodes an `Update` request payload.
+///
+/// # Panics
+///
+/// Panics if `deltas` is not `indices.len() × dim` for some `dim`.
+pub fn encode_update(
+    request_id: u64,
+    table: usize,
+    indices: &[u64],
+    deltas: &Matrix,
+    deadline: Option<Duration>,
+) -> Vec<u8> {
+    encode_update_traced(request_id, table, indices, deltas, deadline, None)
+}
+
+/// Encodes an `Update` request payload with an optional trace id.
+///
+/// # Panics
+///
+/// Panics if `deltas` is not `indices.len() × dim` for some `dim`.
+pub fn encode_update_traced(
+    request_id: u64,
+    table: usize,
+    indices: &[u64],
+    deltas: &Matrix,
+    deadline: Option<Duration>,
+    trace_id: Option<u64>,
+) -> Vec<u8> {
+    assert_eq!(
+        deltas.rows(),
+        indices.len(),
+        "encode_update: one delta row per index"
+    );
+    let mut w = ByteWriter::with_capacity(37 + indices.len() * 8 + deltas.len() * 4);
+    w.put_u8(TAG_UPDATE);
+    w.put_u64_le(request_id);
+    w.put_u32_le(table as u32);
+    w.put_u64_le(deadline.map_or(0, |d| d.as_nanos() as u64));
+    w.put_u32_le(indices.len() as u32);
+    for &i in indices {
+        w.put_u64_le(i);
+    }
+    w.put_u32_le(deltas.cols() as u32);
+    for &v in deltas.as_slice() {
+        w.put_f32_le(v);
     }
     if let Some(t) = trace_id {
         w.put_u64_le(t);
@@ -323,6 +390,38 @@ pub fn decode_client_traced(
             ClientMsg::Generate {
                 table,
                 indices,
+                deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
+            }
+        }
+        TAG_UPDATE => {
+            let table = r.get_u32_le()? as usize;
+            let deadline_ns = r.get_u64_le()?;
+            let count = r.get_u32_le()? as usize;
+            if count > MAX_INDICES {
+                return Err(ProtocolError::BadField("index count"));
+            }
+            let mut indices = Vec::with_capacity(count);
+            for _ in 0..count {
+                indices.push(r.get_u64_le()?);
+            }
+            let dim = r.get_u32_le()? as usize;
+            // Bound the allocation by what the payload can actually hold
+            // before trusting count·dim.
+            let elems = count
+                .checked_mul(dim)
+                .filter(|&e| e * 4 == r.remaining() || e * 4 + 8 == r.remaining())
+                .ok_or(ProtocolError::BadField("delta shape"))?;
+            let mut data = Vec::with_capacity(elems);
+            for _ in 0..elems {
+                data.push(r.get_f32_le()?);
+            }
+            if r.remaining() == 8 {
+                trace_id = Some(r.get_u64_le()?);
+            }
+            ClientMsg::Update {
+                table,
+                indices,
+                deltas: Matrix::from_vec(count, dim, data),
                 deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
             }
         }
@@ -658,6 +757,7 @@ mod tests {
             dim: 64,
             technique: Technique::Dhe,
             per_query_ns: 1234.5,
+            supports_updates: false,
         };
         let back = decode_server(&encode_tables(3, &[info])).unwrap();
         assert_eq!(
@@ -710,6 +810,38 @@ mod tests {
         assert_eq!(
             decode_server(&bad),
             Err(ProtocolError::BadField("reject code"))
+        );
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let deltas = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5 - 1.0);
+        let payload = encode_update(21, 2, &[9, 0, 5], &deltas, Some(Duration::from_millis(8)));
+        let (id, msg) = decode_client(&payload).unwrap();
+        assert_eq!(id, 21);
+        assert_eq!(
+            msg,
+            ClientMsg::Update {
+                table: 2,
+                indices: vec![9, 0, 5],
+                deltas: deltas.clone(),
+                deadline: Some(Duration::from_millis(8)),
+            }
+        );
+        // Traced frames carry the trailing id; untraced ones yield None.
+        let traced = encode_update_traced(22, 0, &[1], &Matrix::zeros(1, 2), None, Some(0xABCD));
+        let (id, msg, trace) = decode_client_traced(&traced).unwrap();
+        assert_eq!((id, trace), (22, Some(0xABCD)));
+        assert!(matches!(msg, ClientMsg::Update { deadline: None, .. }));
+        assert_eq!(decode_client_traced(&payload).unwrap().2, None);
+        // A delta count that disagrees with the payload is rejected (the
+        // dim field sits after tag+id+table+deadline+count+indices).
+        let mut bad = encode_update(0, 0, &[1], &Matrix::zeros(1, 2), None);
+        let dim_at = 1 + 8 + 4 + 8 + 4 + 8;
+        bad[dim_at..dim_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_client(&bad),
+            Err(ProtocolError::BadField("delta shape"))
         );
     }
 
@@ -824,6 +956,7 @@ mod tests {
             dim: 16,
             technique: Technique::LinearScan,
             per_query_ns: 88.5,
+            supports_updates: false,
         };
         let direct = encode_tables(21, &[info]);
         let (_, msg) = decode_server(&direct).unwrap();

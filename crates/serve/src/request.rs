@@ -6,8 +6,9 @@ use std::fmt;
 use std::time::Duration;
 
 /// One embedding-generation request: a batch of secret indices against
-/// one table, with an optional latency budget.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// one table, with an optional latency budget and an optional update
+/// payload (the protected training write path).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Request {
     /// Which table (shard) to query.
     pub table: usize,
@@ -16,6 +17,12 @@ pub struct Request {
     pub indices: Vec<u64>,
     /// Total latency budget from submission, if the caller has an SLA.
     pub deadline: Option<Duration>,
+    /// Per-index delta rows (`indices.len() × dim`) to *add* to the
+    /// addressed table rows through the oblivious write path; the
+    /// response then carries the post-update rows. Only tables backed by
+    /// an update-capable generator (the look-ahead ORAM) accept one —
+    /// others reject [`RejectReason::UpdateUnsupported`] at admission.
+    pub update: Option<Matrix>,
 }
 
 impl Request {
@@ -25,6 +32,7 @@ impl Request {
             table,
             indices,
             deadline: None,
+            update: None,
         }
     }
 
@@ -32,6 +40,14 @@ impl Request {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches gradient-style delta rows, one per index, turning the
+    /// request into an oblivious read-modify-write.
+    #[must_use]
+    pub fn with_update(mut self, deltas: Matrix) -> Self {
+        self.update = Some(deltas);
         self
     }
 }
@@ -54,18 +70,22 @@ pub enum RejectReason {
     /// A server-side fault (a panicked shard worker) answered the request
     /// instead of silently dropping it. The request may be retried.
     Internal,
+    /// The request carried an update payload but the table's generator
+    /// has no oblivious write path (only the look-ahead ORAM does).
+    UpdateUnsupported,
 }
 
 impl RejectReason {
-    /// Every reason, in wire-code order. `Internal` is appended last so
+    /// Every reason, in wire-code order. New reasons are appended last so
     /// pre-existing wire codes are unchanged.
-    pub const ALL: [RejectReason; 6] = [
+    pub const ALL: [RejectReason; 7] = [
         RejectReason::QueueFull,
         RejectReason::DeadlineUnmeetable,
         RejectReason::DeadlineExceeded,
         RejectReason::UnknownTable,
         RejectReason::BadRequest,
         RejectReason::Internal,
+        RejectReason::UpdateUnsupported,
     ];
 
     /// Stable index into [`RejectReason::ALL`] (also the wire code).
@@ -77,6 +97,7 @@ impl RejectReason {
             RejectReason::UnknownTable => 3,
             RejectReason::BadRequest => 4,
             RejectReason::Internal => 5,
+            RejectReason::UpdateUnsupported => 6,
         }
     }
 
@@ -89,6 +110,7 @@ impl RejectReason {
             RejectReason::UnknownTable => "unknown_table",
             RejectReason::BadRequest => "bad_request",
             RejectReason::Internal => "internal",
+            RejectReason::UpdateUnsupported => "update_unsupported",
         }
     }
 }
@@ -146,6 +168,14 @@ mod tests {
         let r = Request::new(2, vec![1, 2, 3]).with_deadline(Duration::from_millis(20));
         assert_eq!(r.table, 2);
         assert_eq!(r.deadline, Some(Duration::from_millis(20)));
+        assert_eq!(r.update, None);
+    }
+
+    #[test]
+    fn builder_sets_update() {
+        let deltas = Matrix::from_fn(2, 4, |r, c| (r + c) as f32);
+        let r = Request::new(0, vec![5, 9]).with_update(deltas.clone());
+        assert_eq!(r.update, Some(deltas));
     }
 
     #[test]

@@ -224,6 +224,27 @@ fn handle_connection(
                     }),
                 );
             }
+            Ok((
+                id,
+                ClientMsg::Update {
+                    table,
+                    indices,
+                    deltas,
+                    deadline,
+                },
+                trace,
+            )) => {
+                let mut request = Request::new(table, indices).with_update(deltas);
+                request.deadline = deadline;
+                let tx = reply_tx.clone();
+                engine.submit_with(
+                    request,
+                    Box::new(move |response| {
+                        let frame = encode_response_traced(id, &response, trace);
+                        let _ = tx.send((Instant::now(), frame));
+                    }),
+                );
+            }
             Ok((id, ClientMsg::GenerateMulti { parts, deadline }, trace)) => {
                 submit_multi(&engine, &reply_tx, id, parts, deadline, trace);
             }

@@ -535,6 +535,7 @@ fn loadgen_records_every_answered_request() {
         deadline: None,
         pipeline_depth: 2,
         seed: 5,
+        write_frac: 0.0,
         record_requests: true,
     })
     .expect("load run");
