@@ -8,7 +8,7 @@
 //!                     [--stats-interval S] [--no-telemetry]
 //!                     [--adaptive] [--adapt-profile FILE]
 //!                     [--adapt-dwell-ms N] [--adapt-cooldown-ms N]
-//!                     [--run-secs N]
+//!                     [--run-secs N] [--reactor]
 //! ```
 //!
 //! `SPEC` is `TECH:ROWSxDIM` (`lookup|scan|path|circuit|dhe`) or
@@ -29,10 +29,15 @@
 //! instead of re-learning. `--run-secs N` serves for N seconds, then
 //! tears the controller and server down and exits 0 — the CI smoke-test
 //! mode; without it the server runs until killed.
+//!
+//! `--reactor` serves all connections from one epoll reactor thread
+//! (nonblocking sockets, per-connection state machines) instead of two
+//! threads per connection — same wire protocol, same responses, O(1)
+//! threads regardless of connection count.
 
 use secemb::GeneratorSpec;
 use secemb_adapt::{AdaptConfig, AdaptiveController, Crossovers, ProfileArtifact};
-use secemb_serve::{BatchPolicy, Engine, EngineConfig, Server, TableConfig};
+use secemb_serve::{BatchPolicy, ConnectionBackend, Engine, EngineConfig, Server, TableConfig};
 use secemb_telemetry::JsonlExporter;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -54,6 +59,7 @@ struct Args {
     adapt_dwell: Duration,
     adapt_cooldown: Duration,
     run_secs: Option<Duration>,
+    backend: ConnectionBackend,
 }
 
 fn usage() -> ! {
@@ -62,7 +68,7 @@ fn usage() -> ! {
          [--max-batch N] [--max-wait-us N] [--queue N] [--seed N] [--replicas N] \
          [--telemetry-out FILE] [--stats-interval S] [--no-telemetry] \
          [--adaptive] [--adapt-profile FILE] [--adapt-dwell-ms N] \
-         [--adapt-cooldown-ms N] [--run-secs N]\n\
+         [--adapt-cooldown-ms N] [--run-secs N] [--reactor]\n\
          SPEC: lookup|scan|path|circuit|dhe:ROWSxDIM, or hybrid:ROWSxDIM:THRESHOLD"
     );
     std::process::exit(2);
@@ -85,6 +91,7 @@ fn parse_args() -> Args {
         adapt_dwell: Duration::from_millis(500),
         adapt_cooldown: Duration::from_secs(2),
         run_secs: None,
+        backend: ConnectionBackend::Threaded,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -136,6 +143,7 @@ fn parse_args() -> Args {
                 }
                 args.run_secs = Some(Duration::from_secs_f64(secs));
             }
+            "--reactor" => args.backend = ConnectionBackend::Reactor,
             _ => usage(),
         }
     }
@@ -263,14 +271,21 @@ fn main() {
         None
     };
 
-    let server = match Server::start(Arc::clone(&engine), &args.listen) {
+    let server = match Server::start_with(Arc::clone(&engine), &args.listen, args.backend) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind {}: {e}", args.listen);
             std::process::exit(1);
         }
     };
-    eprintln!("listening on {}", server.addr());
+    eprintln!(
+        "listening on {} ({} connection backend)",
+        server.addr(),
+        match args.backend {
+            ConnectionBackend::Threaded => "threaded",
+            ConnectionBackend::Reactor => "reactor",
+        }
+    );
 
     // Periodic JSONL registry snapshots, if requested. The exporter runs
     // its own thread; holding the handle keeps it alive for the server's

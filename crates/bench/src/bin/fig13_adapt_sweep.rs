@@ -119,6 +119,7 @@ fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
     run_load(&LoadConfig {
         addrs: vec![addr],
         connections: 4,
+        idle_connections: 0,
         tables: vec![0, 1],
         batch: 4,
         offered_rps: p.rate,
@@ -205,6 +206,7 @@ fn churn_ab(p: &Params, rows: [u64; 2], threshold: u64) {
         run_load(&LoadConfig {
             addrs: vec![addr],
             connections: 2,
+            idle_connections: 0,
             tables: vec![0, 1],
             batch: 4,
             offered_rps: p.churn_rate,

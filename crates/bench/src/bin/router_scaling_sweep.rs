@@ -71,7 +71,7 @@ fn main() {
                 .map(|(i, (_, s))| (format!("b{i}"), s.addr().to_string()))
                 .collect(),
             gossip_interval: Some(Duration::from_millis(200)),
-            profile_out: None,
+            ..RouterConfig::default()
         })
         .expect("router start");
         let spread: Vec<String> = (0..fleet)
@@ -81,6 +81,7 @@ fn main() {
         let report = run_load(&LoadConfig {
             addrs: vec![router.addr()],
             connections: 4,
+            idle_connections: 0,
             tables: (0..specs.len()).collect(),
             batch: 4,
             offered_rps: rate,

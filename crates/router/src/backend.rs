@@ -71,8 +71,29 @@ impl Backend {
     ///
     /// Returns connect/handshake errors.
     pub fn connect<A: ToSocketAddrs>(name: &str, addr: A) -> io::Result<Arc<Backend>> {
+        Self::connect_with(name, addr, None)
+    }
+
+    /// [`Backend::connect`] with an optional idle timeout on the reader:
+    /// when set, a backend that stops responding **while requests are in
+    /// flight** for longer than `idle_timeout` is declared dead — the
+    /// connection closes and every pending callback fires with
+    /// `Rejected(Internal)` — instead of the reader thread blocking
+    /// forever on a half-open peer. Timeouts with nothing in flight are
+    /// benign idleness and keep the connection open. `None` (the
+    /// [`Backend::connect`] path) keeps the old block-forever behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns connect/handshake errors.
+    pub fn connect_with<A: ToSocketAddrs>(
+        name: &str,
+        addr: A,
+        idle_timeout: Option<Duration>,
+    ) -> io::Result<Arc<Backend>> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(idle_timeout)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream.try_clone()?);
         // Handshake before the reader thread exists: the hello's reply
@@ -97,10 +118,35 @@ impl Backend {
         });
         let handle = {
             let pending = Arc::clone(&pending);
+            let idle_detection = idle_timeout.is_some();
             std::thread::Builder::new()
                 .name(format!("secemb-be-{name}"))
                 .spawn(move || {
-                    while let Ok(payload) = read_frame(&mut reader) {
+                    loop {
+                        let payload = match read_frame(&mut reader) {
+                            Ok(p) => p,
+                            Err(FrameError::Io(e))
+                                if idle_detection
+                                    && matches!(
+                                        e.kind(),
+                                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                                    ) =>
+                            {
+                                // Nothing owed: benign idleness, keep
+                                // listening. (Responses only exist for
+                                // pending ids, so a timeout mid-frame
+                                // always has a non-empty pending map and
+                                // correctly lands in the dead branch —
+                                // the stream cannot silently desync.)
+                                if lock_unpoisoned(&pending).is_empty() {
+                                    continue;
+                                }
+                                // Requests in flight with no bytes for a
+                                // whole idle window: half-open peer.
+                                break;
+                            }
+                            Err(_) => break,
+                        };
                         let Ok((id, msg, trace)) = decode_server_traced(&payload) else {
                             break; // protocol desync: unrecoverable
                         };

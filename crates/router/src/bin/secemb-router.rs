@@ -4,6 +4,7 @@
 //! ```text
 //! secemb-router [--bind ADDR] --backend [NAME=]ADDR...
 //!               [--gossip-ms N] [--profile-out FILE] [--run-secs N]
+//!               [--reactor] [--backend-idle-ms N]
 //! ```
 //!
 //! Repeat `--backend` once per backend process (`NAME=HOST:PORT`, or
@@ -15,7 +16,10 @@
 //! `--profile-out FILE` persists the winning plan's crossovers in the
 //! `ProfileArtifact` format after each round. `--run-secs N` serves for
 //! N seconds then exits 0 — the CI smoke-test mode; without it the
-//! router runs until killed.
+//! router runs until killed. `--reactor` serves client connections from
+//! one epoll reactor thread instead of two threads per connection;
+//! `--backend-idle-ms N` declares a backend dead when requests are in
+//! flight and no byte arrives for N ms (default: wait forever).
 
 use secemb_router::{Router, RouterConfig};
 use std::path::PathBuf;
@@ -27,12 +31,15 @@ struct Args {
     gossip: Option<Duration>,
     profile_out: Option<PathBuf>,
     run_secs: Option<Duration>,
+    reactor: bool,
+    backend_idle: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-router [--bind ADDR] --backend [NAME=]ADDR... \
-         [--gossip-ms N] [--profile-out FILE] [--run-secs N]"
+         [--gossip-ms N] [--profile-out FILE] [--run-secs N] \
+         [--reactor] [--backend-idle-ms N]"
     );
     std::process::exit(2);
 }
@@ -44,6 +51,8 @@ fn parse_args() -> Args {
         gossip: Some(Duration::from_millis(500)),
         profile_out: None,
         run_secs: None,
+        reactor: false,
+        backend_idle: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +77,11 @@ fn parse_args() -> Args {
                     value().parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--reactor" => args.reactor = true,
+            "--backend-idle-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.backend_idle = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             _ => usage(),
         }
     }
@@ -84,6 +98,8 @@ fn main() {
         backends: args.backends,
         gossip_interval: args.gossip,
         profile_out: args.profile_out,
+        reactor: args.reactor,
+        backend_idle_timeout: args.backend_idle,
     };
     let router = match Router::start(config) {
         Ok(router) => router,

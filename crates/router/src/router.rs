@@ -1,10 +1,12 @@
 //! The router front-end: the unmodified serving protocol on the client
 //! side, a pipelined backend fleet behind it.
 //!
-//! Each client connection gets the same reader/writer split as the
-//! single-host server — the reader decodes frames and dispatches, the
-//! writer drains completion-ordered replies — but dispatch resolves
-//! against the [`Placement`] instead of a local engine: a `Generate`
+//! Client connections run on either of the serving layer's connection
+//! backends — thread-per-connection reader/writer pairs, or every
+//! connection multiplexed onto one epoll
+//! [`FrameReactor`](secemb_serve::reactor::FrameReactor) thread
+//! ([`RouterConfig::reactor`]) — but dispatch resolves against the
+//! [`Placement`] instead of a local engine: a `Generate`
 //! goes to the host owning its table; a `GenerateMulti` is split into
 //! per-host groups, fanned out concurrently, and re-assembled **in part
 //! order** when the last group lands. `Tables`, `Stats`, `Metrics`, and
@@ -20,18 +22,20 @@ use crate::backend::Backend;
 use crate::gossip::{gossip_once, GossipReport};
 use crate::lock_unpoisoned;
 use crate::placement::Placement;
+use mio::{Events, Interest, Poll, Token, Waker};
 use secemb::hybrid::AllocationPlan;
 use secemb_serve::protocol::{
-    decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response_traced,
-    encode_stats, encode_table_list, ClientMsg, ServerMsg,
+    decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response,
+    encode_response_traced, encode_stats, encode_table_list, ClientMsg, ServerMsg,
 };
-use secemb_serve::{RejectReason, Response};
+use secemb_serve::reactor::{Dispatch, FrameReactor};
+use secemb_serve::{RejectReason, ReplySender, Response};
 use secemb_telemetry::{Counter, Gauge, Histogram, Registry, StageBreakdown};
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use secemb_wire::json::{self, Value};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -53,6 +57,26 @@ pub struct RouterConfig {
     /// Where the winning plan's crossovers are persisted (in the
     /// `ProfileArtifact` format) after each gossip round.
     pub profile_out: Option<PathBuf>,
+    /// Serve client connections on the epoll reactor (one thread for
+    /// all connections) instead of thread-per-connection.
+    pub reactor: bool,
+    /// Declare a backend dead when requests are in flight and it sends
+    /// nothing for this long (see [`crate::Backend::connect_with`]);
+    /// `None` waits forever (the historical behavior).
+    pub backend_idle_timeout: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            bind: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            gossip_interval: None,
+            profile_out: None,
+            reactor: false,
+            backend_idle_timeout: None,
+        }
+    }
 }
 
 /// Router-side telemetry: fan-out shape and per-hop latency, so a
@@ -64,6 +88,7 @@ struct RouterMetrics {
     route_ns: Arc<Histogram>,
     merge_ns: Arc<Histogram>,
     write_ns: Arc<Histogram>,
+    accept_spawn_failures: Arc<Counter>,
     gossip_rounds_total: Arc<Counter>,
     gossip_pushes_total: Arc<Counter>,
     plan_version: Arc<Gauge>,
@@ -78,6 +103,7 @@ impl RouterMetrics {
             route_ns: registry.histogram("router_route_ns"),
             merge_ns: registry.histogram("router_merge_ns"),
             write_ns: registry.histogram("router_write_ns"),
+            accept_spawn_failures: registry.counter("router_accept_spawn_failures_total"),
             gossip_rounds_total: registry.counter("router_gossip_rounds_total"),
             gossip_pushes_total: registry.counter("router_gossip_pushes_total"),
             plan_version: registry.gauge("router_plan_version"),
@@ -128,10 +154,23 @@ pub struct Router {
     inner: Arc<Inner>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    frontend: Frontend,
     gossip_handle: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<Connection>>>,
 }
+
+/// The client-facing connection machinery (mirrors the serving layer's
+/// `ConnectionBackend`).
+enum Frontend {
+    Threaded {
+        waker: Arc<Waker>,
+        accept_handle: Option<JoinHandle<()>>,
+        connections: Arc<Mutex<Vec<Connection>>>,
+    },
+    Reactor(Option<FrameReactor>),
+}
+
+const ACCEPT_LISTENER: Token = Token(0);
+const ACCEPT_WAKE: Token = Token(1);
 
 impl Router {
     /// Connects to every backend, verifies they serve the same table
@@ -150,7 +189,11 @@ impl Router {
         }
         let mut backends = Vec::with_capacity(config.backends.len());
         for (name, addr) in &config.backends {
-            backends.push(Backend::connect(name, addr.as_str())?);
+            backends.push(Backend::connect_with(
+                name,
+                addr.as_str(),
+                config.backend_idle_timeout,
+            )?);
         }
         let inventory = backends[0].tables().to_vec();
         for backend in &backends[1..] {
@@ -186,46 +229,55 @@ impl Router {
         let listener = TcpListener::bind(config.bind.as_str())?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let connections = Arc::new(Mutex::new(Vec::<Connection>::new()));
-        let accept_handle = {
-            let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("secemb-rt-accept".into())
-                .spawn(move || loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if stop.load(Ordering::Relaxed) {
-                                break;
+        let frontend = if config.reactor {
+            // Every client connection multiplexed onto one reactor
+            // thread; dispatch is shared with the threaded path below.
+            let inner_factory = Arc::clone(&inner);
+            let write_ns = Arc::clone(&inner.metrics.write_ns);
+            let reactor =
+                FrameReactor::start(
+                    listener,
+                    Box::new(move |_conn| {
+                        let inner = Arc::clone(&inner_factory);
+                        Box::new(move |payload: &[u8], replies: &ReplySender| {
+                            match decode_client_traced(payload) {
+                                Ok((id, msg, trace)) => {
+                                    dispatch(&inner, replies, id, msg, trace);
+                                    true
+                                }
+                                Err(_) => false,
                             }
-                            let mut conns = lock_unpoisoned(&connections);
-                            conns.retain(|c| !c.handle.is_finished());
-                            let Ok(server_side) = stream.try_clone() else {
-                                continue;
-                            };
-                            let inner = Arc::clone(&inner);
-                            let stop = Arc::clone(&stop);
-                            let spawned = std::thread::Builder::new()
-                                .name("secemb-rt-conn".into())
-                                .spawn(move || {
-                                    let _ = handle_client(&inner, stream, &stop);
-                                });
-                            if let Ok(handle) = spawned {
-                                conns.push(Connection {
-                                    handle,
-                                    stream: server_side,
-                                });
-                            }
-                        }
-                        Err(_) => {
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                    }
-                })?
+                        }) as Dispatch
+                    }),
+                    Box::new(move |ns| write_ns.record(ns)),
+                )?;
+            Frontend::Reactor(Some(reactor))
+        } else {
+            // The threaded accept loop polls a nonblocking listener plus
+            // a wakeup fd — shutdown is a waker call, not the old
+            // throwaway self-connection.
+            listener.set_nonblocking(true)?;
+            let poll = Poll::new()?;
+            poll.registry()
+                .register(&listener, ACCEPT_LISTENER, Interest::READABLE)?;
+            let waker = Arc::new(Waker::new(poll.registry(), ACCEPT_WAKE)?);
+            let connections = Arc::new(Mutex::new(Vec::<Connection>::new()));
+            let accept_handle = {
+                let stop = Arc::clone(&stop);
+                let waker = Arc::clone(&waker);
+                let connections = Arc::clone(&connections);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name("secemb-rt-accept".into())
+                    .spawn(move || {
+                        accept_loop(poll, &listener, &inner, &stop, &waker, &connections)
+                    })?
+            };
+            Frontend::Threaded {
+                waker,
+                accept_handle: Some(accept_handle),
+                connections,
+            }
         };
         let gossip_handle = config.gossip_interval.map(|interval| {
             let inner = Arc::clone(&inner);
@@ -247,9 +299,8 @@ impl Router {
             inner,
             addr,
             stop,
-            accept_handle: Some(accept_handle),
+            frontend,
             gossip_handle,
-            connections,
         })
     }
 
@@ -288,21 +339,33 @@ impl Router {
         if self.stop.swap(true, Ordering::Relaxed) {
             return;
         }
-        let _ = TcpStream::connect(wake_addr(self.addr));
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+        match &mut self.frontend {
+            Frontend::Threaded {
+                waker,
+                accept_handle,
+                connections,
+            } => {
+                let _ = waker.wake();
+                if let Some(handle) = accept_handle.take() {
+                    let _ = handle.join();
+                }
+                let mut conns = lock_unpoisoned(connections);
+                for conn in conns.iter() {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                }
+                for conn in conns.drain(..) {
+                    let _ = conn.handle.join();
+                }
+            }
+            Frontend::Reactor(reactor) => {
+                if let Some(reactor) = reactor.take() {
+                    reactor.shutdown();
+                }
+            }
         }
         if let Some(handle) = self.gossip_handle.take() {
             let _ = handle.join();
         }
-        let mut conns = lock_unpoisoned(&self.connections);
-        for conn in conns.iter() {
-            let _ = conn.stream.shutdown(Shutdown::Both);
-        }
-        for conn in conns.drain(..) {
-            let _ = conn.handle.join();
-        }
-        drop(conns);
         for backend in &self.inner.backends {
             backend.shutdown();
         }
@@ -315,25 +378,81 @@ impl Drop for Router {
     }
 }
 
-/// Loopback-substituted self-connect target for waking a blocked accept.
-fn wake_addr(addr: SocketAddr) -> SocketAddr {
-    let ip = match addr.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        ip => ip,
-    };
-    SocketAddr::new(ip, addr.port())
-}
-
 type Reply = (Instant, Vec<u8>);
+
+/// Threaded frontend's accept loop: blocks in epoll (zero idle CPU),
+/// wakes on listener readiness or the shutdown waker, and spawns a
+/// handler per client connection.
+fn accept_loop(
+    mut poll: Poll,
+    listener: &TcpListener,
+    inner: &Arc<Inner>,
+    stop: &AtomicBool,
+    waker: &Waker,
+    connections: &Arc<Mutex<Vec<Connection>>>,
+) {
+    let mut events = Events::with_capacity(64);
+    loop {
+        if poll.poll(&mut events, None).is_err() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if events.iter().any(|e| e.token() == ACCEPT_WAKE) {
+            waker.drain();
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let mut conns = lock_unpoisoned(connections);
+                    conns.retain(|c| !c.handle.is_finished());
+                    let Ok(server_side) = stream.try_clone() else {
+                        continue;
+                    };
+                    let inner_conn = Arc::clone(inner);
+                    let spawned = std::thread::Builder::new()
+                        .name("secemb-rt-conn".into())
+                        .spawn(move || {
+                            let _ = handle_client(&inner_conn, stream);
+                        });
+                    match spawned {
+                        Ok(handle) => conns.push(Connection {
+                            handle,
+                            stream: server_side,
+                        }),
+                        Err(_) => {
+                            // Thread exhaustion: count it and give the
+                            // client a best-effort reject instead of a
+                            // silent close-with-no-answer.
+                            inner.metrics.accept_spawn_failures.inc();
+                            let mut w = &server_side;
+                            let _ = write_frame(
+                                &mut w,
+                                &encode_response(0, &Response::Rejected(RejectReason::Internal)),
+                            );
+                            let _ = server_side.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
 
 /// Reader half of one client connection; mirrors the single-host
 /// server's handler, with dispatch resolving against the backend fleet.
-fn handle_client(
-    inner: &Arc<Inner>,
-    stream: TcpStream,
-    stop: &AtomicBool,
-) -> Result<(), FrameError> {
+fn handle_client(inner: &Arc<Inner>, stream: TcpStream) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
@@ -344,21 +463,22 @@ fn handle_client(
             .spawn(move || write_replies(stream, &reply_rx, &write_ns))
             .map_err(FrameError::Io)?
     };
+    let replies = ReplySender::Thread(reply_tx.clone());
     let result = loop {
-        if stop.load(Ordering::Relaxed) {
-            break Ok(());
-        }
         let payload = match read_frame(&mut reader) {
             Ok(p) => p,
             Err(FrameError::Closed) => break Ok(()),
-            Err(FrameError::Io(_)) if stop.load(Ordering::Relaxed) => break Ok(()),
+            // Shutdown closes the stream under us; either way the
+            // connection is over.
+            Err(FrameError::Io(_)) => break Ok(()),
             Err(e) => break Err(e),
         };
         match decode_client_traced(&payload) {
-            Ok((id, msg, trace)) => dispatch(inner, &reply_tx, id, msg, trace),
+            Ok((id, msg, trace)) => dispatch(inner, &replies, id, msg, trace),
             Err(_) => break Ok(()),
         }
     };
+    drop(replies);
     drop(reply_tx);
     let _ = writer_handle.join();
     result
@@ -389,16 +509,13 @@ fn write_replies(stream: TcpStream, reply_rx: &mpsc::Receiver<Reply>, write_ns: 
     }
 }
 
-fn reject(
-    inner: &Inner,
-    reply_tx: &mpsc::Sender<Reply>,
-    id: u64,
-    reason: RejectReason,
-    trace: Option<u64>,
-) {
+fn reject(inner: &Inner, replies: &ReplySender, id: u64, reason: RejectReason, trace: Option<u64>) {
     inner.metrics.rejected_local_total.inc();
-    let frame = encode_response_traced(id, &Response::Rejected(reason), trace);
-    let _ = reply_tx.send((Instant::now(), frame));
+    replies.send(encode_response_traced(
+        id,
+        &Response::Rejected(reason),
+        trace,
+    ));
 }
 
 fn to_response(msg: ServerMsg) -> Response {
@@ -411,7 +528,7 @@ fn to_response(msg: ServerMsg) -> Response {
 
 fn dispatch(
     inner: &Arc<Inner>,
-    reply_tx: &mpsc::Sender<Reply>,
+    replies: &ReplySender,
     id: u64,
     msg: ClientMsg,
     trace: Option<u64>,
@@ -426,16 +543,16 @@ fn dispatch(
             // Placement-aware admission: bad requests never cross the
             // wire to a backend.
             if table >= inner.placement.tables() {
-                return reject(inner, reply_tx, id, RejectReason::UnknownTable, trace);
+                return reject(inner, replies, id, RejectReason::UnknownTable, trace);
             }
             if indices.is_empty() {
-                return reject(inner, reply_tx, id, RejectReason::BadRequest, trace);
+                return reject(inner, replies, id, RejectReason::BadRequest, trace);
             }
             let host = inner.placement.host_index(table).expect("checked above");
             inner.metrics.fanout_hosts.record(1);
             let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
             let t0 = Instant::now();
-            let tx = reply_tx.clone();
+            let replies_cb = replies.clone();
             let route_ns = Arc::clone(&inner.metrics.route_ns);
             let sent = inner.backends[host].generate(
                 table,
@@ -444,12 +561,11 @@ fn dispatch(
                 Some(hop_trace),
                 Box::new(move |msg, _| {
                     route_ns.record(t0.elapsed().as_nanos() as u64);
-                    let frame = encode_response_traced(id, &to_response(msg), trace);
-                    let _ = tx.send((Instant::now(), frame));
+                    replies_cb.send(encode_response_traced(id, &to_response(msg), trace));
                 }),
             );
             if sent.is_err() {
-                reject(inner, reply_tx, id, RejectReason::Internal, trace);
+                reject(inner, replies, id, RejectReason::Internal, trace);
             }
         }
         ClientMsg::Update {
@@ -463,16 +579,16 @@ fn dispatch(
             // was already validated at decode, and the owning backend
             // gates update capability per table.
             if table >= inner.placement.tables() {
-                return reject(inner, reply_tx, id, RejectReason::UnknownTable, trace);
+                return reject(inner, replies, id, RejectReason::UnknownTable, trace);
             }
             if indices.is_empty() {
-                return reject(inner, reply_tx, id, RejectReason::BadRequest, trace);
+                return reject(inner, replies, id, RejectReason::BadRequest, trace);
             }
             let host = inner.placement.host_index(table).expect("checked above");
             inner.metrics.fanout_hosts.record(1);
             let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
             let t0 = Instant::now();
-            let tx = reply_tx.clone();
+            let replies_cb = replies.clone();
             let route_ns = Arc::clone(&inner.metrics.route_ns);
             let sent = inner.backends[host].update(
                 table,
@@ -482,32 +598,30 @@ fn dispatch(
                 Some(hop_trace),
                 Box::new(move |msg, _| {
                     route_ns.record(t0.elapsed().as_nanos() as u64);
-                    let frame = encode_response_traced(id, &to_response(msg), trace);
-                    let _ = tx.send((Instant::now(), frame));
+                    replies_cb.send(encode_response_traced(id, &to_response(msg), trace));
                 }),
             );
             if sent.is_err() {
-                reject(inner, reply_tx, id, RejectReason::Internal, trace);
+                reject(inner, replies, id, RejectReason::Internal, trace);
             }
         }
         ClientMsg::GenerateMulti { parts, deadline } => {
-            dispatch_multi(inner, reply_tx, id, parts, deadline, trace);
+            dispatch_multi(inner, replies, id, parts, deadline, trace);
         }
         ClientMsg::Tables | ClientMsg::Hello(_) => {
-            let frame = encode_table_list(id, &inner.inventory);
-            let _ = reply_tx.send((Instant::now(), frame));
+            replies.send(encode_table_list(id, &inner.inventory));
         }
         ClientMsg::Stats => {
             let json = merged_stats(inner);
-            let _ = reply_tx.send((Instant::now(), encode_stats(id, &json)));
+            replies.send(encode_stats(id, &json));
         }
         ClientMsg::Metrics => {
             let text = merged_metrics(inner);
-            let _ = reply_tx.send((Instant::now(), encode_metrics(id, &text)));
+            replies.send(encode_metrics(id, &text));
         }
         ClientMsg::PlanPull => {
             let json = best_plan_json(inner);
-            let _ = reply_tx.send((Instant::now(), encode_plan(id, json.as_deref())));
+            replies.send(encode_plan(id, json.as_deref()));
         }
         ClientMsg::PlanPush(json) => {
             // Fan the plan to the whole fleet; the ack reports the
@@ -521,8 +635,7 @@ fn dispatch(
                 }
             }
             let ok = errors.is_empty();
-            let frame = encode_plan_ack(id, ok, epoch, &errors.join("; "));
-            let _ = reply_tx.send((Instant::now(), frame));
+            replies.send(encode_plan_ack(id, ok, epoch, &errors.join("; ")));
         }
     }
 }
@@ -531,7 +644,7 @@ fn dispatch(
 /// reply in part order once the last group completes.
 fn dispatch_multi(
     inner: &Arc<Inner>,
-    reply_tx: &mpsc::Sender<Reply>,
+    replies: &ReplySender,
     id: u64,
     parts: Vec<(usize, Vec<u64>)>,
     deadline: Option<Duration>,
@@ -539,10 +652,10 @@ fn dispatch_multi(
 ) {
     inner.metrics.requests_total.inc();
     if parts.is_empty() || parts.iter().any(|(_, ix)| ix.is_empty()) {
-        return reject(inner, reply_tx, id, RejectReason::BadRequest, trace);
+        return reject(inner, replies, id, RejectReason::BadRequest, trace);
     }
     if parts.iter().any(|(t, _)| *t >= inner.placement.tables()) {
-        return reject(inner, reply_tx, id, RejectReason::UnknownTable, trace);
+        return reject(inner, replies, id, RejectReason::UnknownTable, trace);
     }
     // Group part indices by owning host, preserving part order within
     // each group (and across groups for the single-host fast path).
@@ -564,7 +677,7 @@ fn dispatch_multi(
     if let [(host, _)] = groups.as_slice() {
         // Single host: forward unsplit; part order is already reply
         // order.
-        let tx = reply_tx.clone();
+        let replies_cb = replies.clone();
         let route_ns = Arc::clone(&inner.metrics.route_ns);
         let sent = inner.backends[*host].generate_multi(
             &parts,
@@ -572,12 +685,11 @@ fn dispatch_multi(
             Some(hop_trace),
             Box::new(move |msg, _| {
                 route_ns.record(t0.elapsed().as_nanos() as u64);
-                let frame = encode_response_traced(id, &to_response(msg), trace);
-                let _ = tx.send((Instant::now(), frame));
+                replies_cb.send(encode_response_traced(id, &to_response(msg), trace));
             }),
         );
         if sent.is_err() {
-            reject(inner, reply_tx, id, RejectReason::Internal, trace);
+            reject(inner, replies, id, RejectReason::Internal, trace);
         }
         return;
     }
@@ -590,7 +702,7 @@ fn dispatch_multi(
             .iter()
             .map(|&p| (parts[p].0, parts[p].1.clone()))
             .collect();
-        let tx = reply_tx.clone();
+        let replies_cb = replies.clone();
         let inner_cb = Arc::clone(inner);
         let state_cb = Arc::clone(&state);
         let group_parts = group_parts.clone();
@@ -606,10 +718,14 @@ fn dispatch_multi(
                 if guard.1 > 0 {
                     return;
                 }
+                // A group slot can only be empty if a completion path
+                // was skipped (e.g. a callback thread died mid-flight);
+                // degrade that group to a rejection rather than taking
+                // the whole connection down with a panic.
                 let results: Vec<ServerMsg> = guard
                     .0
                     .drain(..)
-                    .map(|r| r.expect("all groups done"))
+                    .map(|r| r.unwrap_or(ServerMsg::Rejected(RejectReason::Internal)))
                     .collect();
                 drop(guard);
                 inner_cb
@@ -622,8 +738,7 @@ fn dispatch_multi(
                     .metrics
                     .merge_ns
                     .record(m0.elapsed().as_nanos() as u64);
-                let frame = encode_response_traced(id, &merged, trace);
-                let _ = tx.send((Instant::now(), frame));
+                replies_cb.send(encode_response_traced(id, &merged, trace));
             }),
         );
         if sent.is_err() {
@@ -635,12 +750,11 @@ fn dispatch_multi(
                 guard.1 -= 1;
                 if guard.1 == 0 {
                     drop(guard);
-                    let frame = encode_response_traced(
+                    replies.send(encode_response_traced(
                         id,
                         &Response::Rejected(RejectReason::Internal),
                         trace,
-                    );
-                    let _ = reply_tx.send((Instant::now(), frame));
+                    ));
                 }
             }
         }

@@ -50,7 +50,7 @@ fn start_router(backends: &[&Server]) -> Router {
             .map(|(i, s)| (format!("b{i}"), s.addr().to_string()))
             .collect(),
         gossip_interval: None,
-        profile_out: None,
+        ..RouterConfig::default()
     })
     .expect("router start")
 }

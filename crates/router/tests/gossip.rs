@@ -33,6 +33,7 @@ fn start_router(backends: &[&Server], profile_out: Option<std::path::PathBuf>) -
             .collect(),
         gossip_interval: None,
         profile_out,
+        ..RouterConfig::default()
     })
     .expect("router start")
 }

@@ -1,0 +1,150 @@
+//! Router-side tests for the event-driven connection layer: the epoll
+//! reactor front-end answers bit-identically to the threaded front-end,
+//! and a half-open backend is detected by the idle timeout instead of
+//! wedging its reader thread forever.
+
+use secemb::GeneratorSpec;
+use secemb_router::{Backend, Router, RouterConfig};
+use secemb_serve::protocol::{decode_client, encode_table_list, ClientMsg, ServerMsg};
+use secemb_serve::{Client, Engine, EngineConfig, RejectReason, Server, TableConfig};
+use secemb_tensor::Matrix;
+use secemb_wire::frame::{read_frame, write_frame};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn specs() -> Vec<GeneratorSpec> {
+    vec![
+        GeneratorSpec::Scan { rows: 128, dim: 8 },
+        GeneratorSpec::Dhe { rows: 96, dim: 8 },
+        GeneratorSpec::Scan { rows: 64, dim: 8 },
+    ]
+}
+
+fn start_backend() -> (Arc<Engine>, Server) {
+    let engine = Arc::new(Engine::start(EngineConfig::new(
+        specs().into_iter().map(TableConfig::new).collect(),
+    )));
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind backend");
+    (engine, server)
+}
+
+fn start_router(backends: &[&Server], reactor: bool) -> Router {
+    Router::start(RouterConfig {
+        bind: "127.0.0.1:0".to_string(),
+        backends: backends
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("b{i}"), s.addr().to_string()))
+            .collect(),
+        gossip_interval: None,
+        reactor,
+        ..RouterConfig::default()
+    })
+    .expect("router start")
+}
+
+/// The reactor front-end is a drop-in: single-table, multi-part, and
+/// control-plane requests through it answer bit-identically to the
+/// threaded front-end over an equivalent fleet, including pipelined
+/// requests interleaved on one connection.
+#[test]
+fn reactor_front_end_matches_threaded() {
+    let rows = [128u64, 96, 64];
+    let run = |reactor: bool| {
+        let (_e0, b0) = start_backend();
+        let (_e1, b1) = start_backend();
+        let router = start_router(&[&b0, &b1], reactor);
+        let mut client = Client::connect(router.addr()).expect("connect");
+        // Pipelined singles over every table.
+        let mut ids = Vec::new();
+        for slot in 0..12usize {
+            let table = slot % 3;
+            let indices: Vec<u64> = (0..3)
+                .map(|k| ((slot * 11 + k * 5) as u64) % rows[table])
+                .collect();
+            ids.push(client.call_async(table, &indices, None).expect("send"));
+        }
+        let mut singles = vec![Vec::new(); ids.len()];
+        for _ in 0..ids.len() {
+            let (id, msg) = client.drain_next().expect("drain");
+            let slot = ids.iter().position(|&i| i == id).expect("known id");
+            match msg {
+                ServerMsg::Embeddings(m, _) => singles[slot] = bits(&m),
+                other => panic!("slot {slot}: {other:?}"),
+            }
+        }
+        // One cross-host multi-part request.
+        let parts = vec![
+            (0usize, vec![1u64, 2]),
+            (1usize, vec![3u64]),
+            (2usize, vec![4u64, 5]),
+        ];
+        let multi = match client.generate_multi(&parts, None).expect("multi") {
+            ServerMsg::Embeddings(m, _) => bits(&m),
+            other => panic!("multi: {other:?}"),
+        };
+        let tables = client.tables().expect("tables").len();
+        router.shutdown();
+        (singles, multi, tables)
+    };
+    assert_eq!(run(false), run(true), "front-ends disagree");
+}
+
+/// A backend that completes the handshake and then goes silent while
+/// requests are in flight is declared dead after the idle timeout: the
+/// pending callback fires with `Rejected(Internal)` instead of the
+/// reader thread blocking forever on the half-open connection.
+#[test]
+fn backend_idle_timeout_orphan_rejects_pending_requests() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let silent = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        // Answer the hello so connect_with succeeds, then say nothing.
+        let payload = read_frame(&mut reader).expect("hello");
+        let (id, msg) = decode_client(&payload).expect("decodable hello");
+        assert!(matches!(msg, ClientMsg::Hello(_)));
+        let inventory = vec![(128u64, 8usize, 100.0f64, "scan".to_string())];
+        write_frame(&mut writer, &encode_table_list(id, &inventory)).expect("inventory");
+        // Hold the socket open until the test ends.
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut reader, &mut sink);
+    });
+
+    let backend =
+        Backend::connect_with("silent", addr, Some(Duration::from_millis(100))).expect("handshake");
+    let (tx, rx) = mpsc::channel();
+    let t0 = Instant::now();
+    backend
+        .generate(
+            0,
+            &[1, 2, 3],
+            None,
+            None,
+            Box::new(move |msg, _| {
+                let _ = tx.send(msg);
+            }),
+        )
+        .expect("submit");
+    let msg = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("idle detection must answer the orphan");
+    assert!(
+        matches!(msg, ServerMsg::Rejected(RejectReason::Internal)),
+        "expected Rejected(Internal), got {msg:?}"
+    );
+    assert!(
+        t0.elapsed() >= Duration::from_millis(90),
+        "rejected before the idle window elapsed"
+    );
+    backend.shutdown();
+    silent.join().expect("silent backend thread");
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,...
-//!                   [--table N]... [--conns N] [--batch N]
+//!                   [--table N]... [--conns N] [--idle-conns N] [--batch N]
 //!                   [--secs S] [--deadline-ms D] [--schedule paced|poisson]
 //!                   [--pipeline-depth K] [--write-frac F] [--rate R]... [--out FILE]
 //!                   [--scrape-metrics] [--scrape-stats]
@@ -18,7 +18,10 @@
 //! connection (default 1, the classic closed loop); `--write-frac F`
 //! sends fraction F of requests as oblivious updates (read-modify-write
 //! with gradient-sized random deltas) — a mixed training/inference
-//! schedule over the wire, meaningful against look-ahead ORAM tables. `--hosts` lists
+//! schedule over the wire, meaningful against look-ahead ORAM tables;
+//! `--idle-conns N` additionally holds N open-but-silent connections for
+//! the whole sweep — the mostly-idle fleet that separates the epoll
+//! reactor backend from thread-per-connection. `--hosts` lists
 //! several interchangeable front-ends (servers, or `secemb-router`
 //! instances); connections round-robin over the list and the inventory
 //! probe (plus any post-sweep scrape) uses the first entry. `--out FILE`
@@ -39,6 +42,7 @@ struct Args {
     addrs: Vec<SocketAddr>,
     tables: Vec<usize>,
     conns: usize,
+    idle_conns: usize,
     batch: usize,
     secs: f64,
     deadline: Option<Duration>,
@@ -54,7 +58,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,... [--table N]... \
-         [--conns N] [--batch N] [--secs S] [--deadline-ms D] \
+         [--conns N] [--idle-conns N] [--batch N] [--secs S] [--deadline-ms D] \
          [--schedule paced|poisson] [--pipeline-depth K] [--write-frac F] \
          [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats]"
     );
@@ -73,6 +77,7 @@ fn parse_args() -> Args {
         addrs: Vec::new(),
         tables: Vec::new(),
         conns: 8,
+        idle_conns: 0,
         batch: 4,
         secs: 2.0,
         deadline: Some(Duration::from_millis(20)),
@@ -98,6 +103,7 @@ fn parse_args() -> Args {
                 .tables
                 .push(value().parse().unwrap_or_else(|_| usage())),
             "--conns" => args.conns = value().parse().unwrap_or_else(|_| usage()),
+            "--idle-conns" => args.idle_conns = value().parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
             "--secs" => args.secs = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => {
@@ -188,6 +194,7 @@ fn main() {
         let report = run_load(&LoadConfig {
             addrs: args.addrs.clone(),
             connections: args.conns,
+            idle_connections: args.idle_conns,
             tables: args.tables.clone(),
             batch: args.batch,
             offered_rps: rate,

@@ -157,8 +157,27 @@ impl Client {
     ///
     /// Returns the connect error.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Self::connect_with(addr, None)
+    }
+
+    /// Connects with an optional idle timeout: when set, any receive
+    /// that waits longer than `idle_timeout` for the server fails with
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] instead
+    /// of blocking forever — so a half-open peer (dead server, dropped
+    /// NAT mapping) surfaces as an error rather than a stuck
+    /// [`Client::drain_next`]. `None` (the default path) keeps the old
+    /// block-forever behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        idle_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(idle_timeout)?;
         Ok(Client {
             receiver: ClientReceiver {
                 reader: BufReader::new(stream.try_clone()?),

@@ -63,6 +63,7 @@ mod client;
 mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor;
 mod request;
 mod server;
 mod stats;
@@ -81,7 +82,8 @@ pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGua
 pub use batcher::{execute_batch, BatchPolicy};
 pub use client::{Client, ClientReceiver, ClientSender, RemoteTable};
 pub use engine::{Engine, EngineConfig, PlanError, ShardPolicy, TableConfig, TableInfo, Ticket};
+pub use reactor::{FrameReactor, ReplySender};
 pub use request::{RejectReason, Request, Response};
 pub use secemb_telemetry::{Registry, Stage, StageBreakdown};
-pub use server::Server;
+pub use server::{ConnectionBackend, Server};
 pub use stats::{ServerStats, StatsSnapshot, WorkerBatches};

@@ -1,34 +1,52 @@
-//! The TCP front end: length-prefixed frames over `std::net`.
+//! The TCP front end: length-prefixed frames over `std::net`, on either
+//! of two connection backends sharing one dispatch layer.
 //!
-//! Each connection is served by a **reader** thread (the handler) and a
-//! **writer** thread around a reply channel, so one connection can have
-//! many requests in flight: the reader decodes frames and submits them to
-//! the engine with a closure that encodes the response under the frame's
-//! request id and hands it to the writer. Responses are therefore written
-//! in *completion* order, not arrival order — clients match them by id.
+//! - [`ConnectionBackend::Threaded`]: a **reader** thread (the handler)
+//!   and a **writer** thread per connection around a reply channel. The
+//!   accept loop polls a nonblocking listener through the epoll stand-in
+//!   and is woken for shutdown by a wakeup fd — no self-connection.
+//! - [`ConnectionBackend::Reactor`]: every connection multiplexed onto
+//!   one [`FrameReactor`](crate::reactor::FrameReactor) thread
+//!   (nonblocking sockets, incremental frame decode, completion-ordered
+//!   write queues) — thread count is O(workers), not O(connections).
 //!
-//! The accept loop blocks in `accept` (no polling); `shutdown` wakes it
-//! with a self-connection, closes every live connection's stream and
-//! joins every handler thread before returning.
+//! Both backends answer in *completion* order, not arrival order —
+//! clients match responses by request id — and both route every decoded
+//! frame through the same [`dispatch_frame`], so wire behavior (traces,
+//! stage breakdowns, STATS/METRICS frames) is bit-identical across them.
 
 use crate::engine::Engine;
 use crate::lock_unpoisoned;
 use crate::protocol::{
-    decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response_traced,
-    encode_stats, encode_tables, ClientMsg,
+    decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response,
+    encode_response_traced, encode_stats, encode_tables, ClientMsg,
 };
+use crate::reactor::{Dispatch, FrameReactor, ReplySender};
 use crate::request::{RejectReason, Request, Response};
 use crate::stats::ServerStats;
+use mio::{Events, Interest, Poll, Token, Waker};
 use secemb::hybrid::AllocationPlan;
 use secemb_telemetry::StageBreakdown;
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the server maps connections onto OS resources. Wire behavior is
+/// identical; only the concurrency model differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConnectionBackend {
+    /// Two threads per connection (reader + writer). Simple, but caps
+    /// out at a few thousand sockets.
+    #[default]
+    Threaded,
+    /// One epoll reactor thread for all connections.
+    Reactor,
+}
 
 /// One live connection: its handler thread plus a server-side handle on
 /// the stream so shutdown can force a blocked read to return.
@@ -37,101 +55,172 @@ struct Connection {
     stream: TcpStream,
 }
 
-/// A running TCP server. One OS thread accepts connections; each
-/// connection gets a reader (handler) thread and a writer thread that
-/// drive the shared [`Engine`]. All of them are joined on shutdown.
+const ACCEPT_LISTENER: Token = Token(0);
+const ACCEPT_WAKE: Token = Token(1);
+
+/// A running TCP server over a shared [`Engine`], on either connection
+/// backend. All of its threads are joined on shutdown.
 pub struct Server {
+    inner: ServerImpl,
+}
+
+enum ServerImpl {
+    Threaded(ThreadedServer),
+    Reactor(Option<FrameReactor>),
+}
+
+/// Thread-per-connection backend state.
+struct ThreadedServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
     accept_handle: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<Connection>>>,
+    /// Test hook: pretend the next N handler spawns failed (thread
+    /// exhaustion is otherwise unreproducible in a test).
+    inject_spawn_failures: Arc<AtomicU64>,
 }
 
 impl Server {
     /// Binds `bind` (use port 0 for an ephemeral port) and starts
-    /// accepting.
+    /// accepting on the default ([`ConnectionBackend::Threaded`])
+    /// backend.
     ///
     /// # Errors
     ///
     /// Returns the bind error.
     pub fn start(engine: Arc<Engine>, bind: &str) -> io::Result<Server> {
+        Self::start_with(engine, bind, ConnectionBackend::default())
+    }
+
+    /// Binds `bind` and starts accepting on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/reactor-setup errors.
+    pub fn start_with(
+        engine: Arc<Engine>,
+        bind: &str,
+        backend: ConnectionBackend,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let connections = Arc::new(Mutex::new(Vec::<Connection>::new()));
-        let accept_handle = {
-            let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
-            std::thread::Builder::new()
-                .name("secemb-accept".into())
-                .spawn(move || loop {
-                    // Blocking accept: zero idle CPU, zero accept latency.
-                    // `stop_and_join` wakes it with a self-connection.
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if stop.load(Ordering::Relaxed) {
-                                break; // the wakeup connection (or a late client)
-                            }
-                            let mut conns = lock_unpoisoned(&connections);
-                            // Reap naturally finished connections so the
-                            // registry tracks live handlers, not history.
-                            conns.retain(|c| !c.handle.is_finished());
-                            let Ok(server_side) = stream.try_clone() else {
-                                continue;
-                            };
-                            let engine = Arc::clone(&engine);
-                            let stop = Arc::clone(&stop);
-                            // A failed spawn (thread exhaustion) drops this
-                            // connection; the server keeps accepting.
-                            let spawned = std::thread::Builder::new()
-                                .name("secemb-conn".into())
-                                .spawn(move || {
-                                    let _ = handle_connection(engine, stream, stop);
-                                });
-                            if let Ok(handle) = spawned {
-                                conns.push(Connection {
-                                    handle,
-                                    stream: server_side,
-                                });
-                            }
-                        }
-                        Err(_) => {
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            // Transient accept failure (fd exhaustion,
-                            // aborted handshake): back off briefly.
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                    }
-                })?
-        };
-        Ok(Server {
-            addr,
-            stop,
-            accept_handle: Some(accept_handle),
-            connections,
-        })
+        match backend {
+            ConnectionBackend::Threaded => Ok(Server {
+                inner: ServerImpl::Threaded(ThreadedServer::start(engine, listener)?),
+            }),
+            ConnectionBackend::Reactor => {
+                let stats = engine.stats();
+                let reactor = FrameReactor::start(
+                    listener,
+                    Box::new(move |_conn| {
+                        let engine = Arc::clone(&engine);
+                        Box::new(move |payload: &[u8], replies: &ReplySender| {
+                            dispatch_frame(&engine, payload, replies)
+                        }) as Dispatch
+                    }),
+                    Box::new(move |ns| stats.record_write_ns(ns)),
+                )?;
+                Ok(Server {
+                    inner: ServerImpl::Reactor(Some(reactor)),
+                })
+            }
+        }
     }
 
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        match &self.inner {
+            ServerImpl::Threaded(t) => t.addr,
+            ServerImpl::Reactor(r) => r.as_ref().expect("reactor running").addr(),
+        }
     }
 
-    /// Stops accepting, closes every live connection's stream, and joins
-    /// the accept thread **and every connection handler** — no detached
-    /// threads outlive the server.
+    /// Connections currently open (reactor: exact; threaded: live
+    /// handler threads).
+    pub fn connections(&self) -> u64 {
+        match &self.inner {
+            ServerImpl::Threaded(t) => lock_unpoisoned(&t.connections)
+                .iter()
+                .filter(|c| !c.handle.is_finished())
+                .count() as u64,
+            ServerImpl::Reactor(r) => r.as_ref().map_or(0, FrameReactor::connections),
+        }
+    }
+
+    /// Test hook: make the threaded accept loop treat the next `n`
+    /// handler spawns as failed, exercising the spawn-failure reject
+    /// path. No-op on the reactor backend (it never spawns per
+    /// connection).
+    pub fn inject_spawn_failures(&self, n: u64) {
+        if let ServerImpl::Threaded(t) = &self.inner {
+            t.inject_spawn_failures.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+
+    /// Stops accepting, closes every live connection, and joins every
+    /// server thread — no detached threads outlive the server.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        if self.stop.swap(true, Ordering::Relaxed) {
+        match &mut self.inner {
+            ServerImpl::Threaded(t) => t.stop_and_join(),
+            ServerImpl::Reactor(r) => {
+                if let Some(reactor) = r.take() {
+                    reactor.shutdown();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl ThreadedServer {
+    fn start(engine: Arc<Engine>, listener: TcpListener) -> io::Result<ThreadedServer> {
+        let addr = listener.local_addr()?;
+        // The accept loop polls the listener alongside a wakeup fd, so
+        // shutdown is a waker call — not the old throwaway
+        // self-connection to the listener.
+        listener.set_nonblocking(true)?;
+        let poll = Poll::new()?;
+        poll.registry()
+            .register(&listener, ACCEPT_LISTENER, Interest::READABLE)?;
+        let waker = Arc::new(Waker::new(poll.registry(), ACCEPT_WAKE)?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::<Connection>::new()));
+        let inject_spawn_failures = Arc::new(AtomicU64::new(0));
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let waker = Arc::clone(&waker);
+            let connections = Arc::clone(&connections);
+            let inject = Arc::clone(&inject_spawn_failures);
+            std::thread::Builder::new()
+                .name("secemb-accept".into())
+                .spawn(move || {
+                    accept_loop(poll, listener, engine, &stop, &waker, &connections, &inject);
+                })?
+        };
+        Ok(ThreadedServer {
+            addr,
+            stop,
+            waker,
+            accept_handle: Some(accept_handle),
+            connections,
+            inject_spawn_failures,
+        })
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
             return; // already shut down
         }
-        // Wake the blocking accept with a throwaway self-connection.
-        let _ = TcpStream::connect(wake_addr(self.addr));
+        let _ = self.waker.wake();
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
@@ -147,32 +236,100 @@ impl Server {
     }
 }
 
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.stop_and_join();
+/// Threaded backend's accept loop: blocks in epoll (zero idle CPU),
+/// wakes on listener readiness or the shutdown waker, accepts until the
+/// backlog drains, and spawns a handler per connection.
+fn accept_loop(
+    mut poll: Poll,
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: &AtomicBool,
+    waker: &Waker,
+    connections: &Arc<Mutex<Vec<Connection>>>,
+    inject_spawn_failures: &AtomicU64,
+) {
+    let mut events = Events::with_capacity(64);
+    loop {
+        if poll.poll(&mut events, None).is_err() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if events.iter().any(|e| e.token() == ACCEPT_WAKE) {
+            waker.drain();
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Handler threads expect blocking I/O; inheritance of
+                    // the listener's nonblocking flag is unspecified.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let mut conns = lock_unpoisoned(connections);
+                    // Reap naturally finished connections so the
+                    // registry tracks live handlers, not history.
+                    conns.retain(|c| !c.handle.is_finished());
+                    let Ok(server_side) = stream.try_clone() else {
+                        continue;
+                    };
+                    let spawned = if take_injected_failure(inject_spawn_failures) {
+                        Err(io::Error::other("injected spawn failure"))
+                    } else {
+                        let engine = Arc::clone(&engine);
+                        std::thread::Builder::new()
+                            .name("secemb-conn".into())
+                            .spawn(move || {
+                                let _ = handle_connection(engine, stream);
+                            })
+                    };
+                    match spawned {
+                        Ok(handle) => conns.push(Connection {
+                            handle,
+                            stream: server_side,
+                        }),
+                        Err(_) => {
+                            // Thread exhaustion: the client gets a
+                            // best-effort reject and a close rather than
+                            // a silent hang, and the drop is counted.
+                            engine.stats().record_accept_spawn_failure();
+                            let mut w = &server_side;
+                            let _ = write_frame(
+                                &mut w,
+                                &encode_response(0, &Response::Rejected(RejectReason::Internal)),
+                            );
+                            let _ = server_side.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failure (fd exhaustion, aborted
+                // handshake): leave it to the next readiness event.
+                Err(_) => break,
+            }
+        }
     }
 }
 
-/// Where to self-connect to wake a listener blocked on `addr`: a wildcard
-/// bind address is not connectable, so aim at loopback on the same port.
-fn wake_addr(addr: SocketAddr) -> SocketAddr {
-    let ip = match addr.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        ip => ip,
-    };
-    SocketAddr::new(ip, addr.port())
+/// Consumes one injected spawn failure if any are pending.
+fn take_injected_failure(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
 }
 
-/// Reader half of one connection. Decodes frames and dispatches them;
-/// responses flow through `reply_tx` to the writer thread, each already
-/// encoded under its request id. Joins the writer before returning, so
-/// joining the handler thread joins the whole connection.
-fn handle_connection(
-    engine: Arc<Engine>,
-    stream: TcpStream,
-    stop: Arc<AtomicBool>,
-) -> Result<(), FrameError> {
+/// Reader half of one threaded connection. Decodes frames and routes
+/// them through [`dispatch_frame`]; responses flow through the reply
+/// channel to the writer thread, each already encoded under its request
+/// id. Joins the writer before returning, so joining the handler thread
+/// joins the whole connection.
+fn handle_connection(engine: Arc<Engine>, stream: TcpStream) -> Result<(), FrameError> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     // Replies carry their enqueue instant so the writer can attribute the
@@ -185,107 +342,114 @@ fn handle_connection(
             .spawn(move || write_replies(stream, &reply_rx, &stats))
             .map_err(FrameError::Io)?
     };
+    let replies = ReplySender::Thread(reply_tx.clone());
     let result = loop {
-        // Between frames is the safe point to observe shutdown: nothing
-        // is half-read, and in-flight requests still get their replies.
-        if stop.load(Ordering::Relaxed) {
-            break Ok(());
-        }
         let payload = match read_frame(&mut reader) {
             Ok(p) => p,
             Err(FrameError::Closed) => break Ok(()), // client hung up
-            Err(FrameError::Io(_)) if stop.load(Ordering::Relaxed) => {
-                break Ok(()); // shutdown closed the stream under us
-            }
+            // Shutdown closes the stream under us; either way the
+            // connection is over.
+            Err(FrameError::Io(_)) => break Ok(()),
             Err(e) => break Err(e),
         };
-        match decode_client_traced(&payload) {
-            Ok((
-                id,
-                ClientMsg::Generate {
-                    table,
-                    indices,
-                    deadline,
-                },
-                trace,
-            )) => {
-                let mut request = Request::new(table, indices);
-                request.deadline = deadline;
-                let tx = reply_tx.clone();
-                // The engine answers on whatever thread resolves the
-                // request; the closure routes it straight to this
-                // connection's writer, tagged with the caller's id (and
-                // the caller's trace id, when it sent one).
-                engine.submit_with(
-                    request,
-                    Box::new(move |response| {
-                        let frame = encode_response_traced(id, &response, trace);
-                        let _ = tx.send((Instant::now(), frame));
-                    }),
-                );
-            }
-            Ok((
-                id,
-                ClientMsg::Update {
-                    table,
-                    indices,
-                    deltas,
-                    deadline,
-                },
-                trace,
-            )) => {
-                let mut request = Request::new(table, indices).with_update(deltas);
-                request.deadline = deadline;
-                let tx = reply_tx.clone();
-                engine.submit_with(
-                    request,
-                    Box::new(move |response| {
-                        let frame = encode_response_traced(id, &response, trace);
-                        let _ = tx.send((Instant::now(), frame));
-                    }),
-                );
-            }
-            Ok((id, ClientMsg::GenerateMulti { parts, deadline }, trace)) => {
-                submit_multi(&engine, &reply_tx, id, parts, deadline, trace);
-            }
-            Ok((id, ClientMsg::PlanPull, _)) => {
-                let json = engine.active_plan().map(|p| p.to_json());
-                let _ = reply_tx.send((Instant::now(), encode_plan(id, json.as_deref())));
-            }
-            Ok((id, ClientMsg::PlanPush(json), _)) => {
-                let frame = match AllocationPlan::from_json(&json)
-                    .map_err(|e| e.to_string())
-                    .and_then(|plan| engine.apply_plan(&plan).map_err(|e| e.to_string()))
-                {
-                    Ok(epoch) => encode_plan_ack(id, true, epoch, ""),
-                    Err(e) => encode_plan_ack(id, false, 0, &e),
-                };
-                let _ = reply_tx.send((Instant::now(), frame));
-            }
-            // A `Hello` is a registration handshake: the answer is the
-            // table inventory, which is all a router needs to bootstrap
-            // placement for this backend.
-            Ok((id, ClientMsg::Hello(_), _)) | Ok((id, ClientMsg::Tables, _)) => {
-                let _ = reply_tx.send((Instant::now(), encode_tables(id, &engine.tables())));
-            }
-            Ok((id, ClientMsg::Stats, _)) => {
-                let json = engine.stats().snapshot().to_json();
-                let _ = reply_tx.send((Instant::now(), encode_stats(id, &json)));
-            }
-            Ok((id, ClientMsg::Metrics, _)) => {
-                let text = engine.render_metrics();
-                let _ = reply_tx.send((Instant::now(), encode_metrics(id, &text)));
-            }
+        if !dispatch_frame(&engine, &payload, &replies) {
             // A malformed frame is unrecoverable mid-stream: drop the
             // connection rather than guess at framing.
-            Err(_) => break Ok(()),
+            break Ok(());
         }
     };
     // Dropping our sender lets the writer exit once every in-flight
     // request's closure has fired (or been dropped by a stopping engine).
+    drop(replies);
     drop(reply_tx);
     let _ = writer_handle.join();
     result
+}
+
+/// Decodes and serves one request frame — the single dispatch layer
+/// under both connection backends (and the router's reactor mode).
+/// Returns `false` when the frame is malformed and the connection should
+/// close; every `true` return produces exactly one reply through
+/// `replies`, now or on whatever thread completes the request.
+pub(crate) fn dispatch_frame(engine: &Arc<Engine>, payload: &[u8], replies: &ReplySender) -> bool {
+    match decode_client_traced(payload) {
+        Ok((
+            id,
+            ClientMsg::Generate {
+                table,
+                indices,
+                deadline,
+            },
+            trace,
+        )) => {
+            let mut request = Request::new(table, indices);
+            request.deadline = deadline;
+            let replies = replies.clone();
+            // The engine answers on whatever thread resolves the
+            // request; the closure routes it straight to this
+            // connection, tagged with the caller's id (and the caller's
+            // trace id, when it sent one).
+            engine.submit_with(
+                request,
+                Box::new(move |response| {
+                    replies.send(encode_response_traced(id, &response, trace));
+                }),
+            );
+        }
+        Ok((
+            id,
+            ClientMsg::Update {
+                table,
+                indices,
+                deltas,
+                deadline,
+            },
+            trace,
+        )) => {
+            let mut request = Request::new(table, indices).with_update(deltas);
+            request.deadline = deadline;
+            let replies = replies.clone();
+            engine.submit_with(
+                request,
+                Box::new(move |response| {
+                    replies.send(encode_response_traced(id, &response, trace));
+                }),
+            );
+        }
+        Ok((id, ClientMsg::GenerateMulti { parts, deadline }, trace)) => {
+            submit_multi(engine, replies, id, parts, deadline, trace);
+        }
+        Ok((id, ClientMsg::PlanPull, _)) => {
+            let json = engine.active_plan().map(|p| p.to_json());
+            replies.send(encode_plan(id, json.as_deref()));
+        }
+        Ok((id, ClientMsg::PlanPush(json), _)) => {
+            let frame = match AllocationPlan::from_json(&json)
+                .map_err(|e| e.to_string())
+                .and_then(|plan| engine.apply_plan(&plan).map_err(|e| e.to_string()))
+            {
+                Ok(epoch) => encode_plan_ack(id, true, epoch, ""),
+                Err(e) => encode_plan_ack(id, false, 0, &e),
+            };
+            replies.send(frame);
+        }
+        // A `Hello` is a registration handshake: the answer is the
+        // table inventory, which is all a router needs to bootstrap
+        // placement for this backend.
+        Ok((id, ClientMsg::Hello(_), _)) | Ok((id, ClientMsg::Tables, _)) => {
+            replies.send(encode_tables(id, &engine.tables()));
+        }
+        Ok((id, ClientMsg::Stats, _)) => {
+            let json = engine.stats().snapshot().to_json();
+            replies.send(encode_stats(id, &json));
+        }
+        Ok((id, ClientMsg::Metrics, _)) => {
+            let text = engine.render_metrics();
+            replies.send(encode_metrics(id, &text));
+        }
+        Err(_) => return false,
+    }
+    true
 }
 
 /// Fans a `GenerateMulti` request out to the engine as one request per
@@ -294,16 +458,18 @@ fn handle_connection(
 /// last; part order (not completion order) decides row order.
 fn submit_multi(
     engine: &Arc<Engine>,
-    reply_tx: &mpsc::Sender<(Instant, Vec<u8>)>,
+    replies: &ReplySender,
     id: u64,
     parts: Vec<(usize, Vec<u64>)>,
     deadline: Option<Duration>,
     trace: Option<u64>,
 ) {
     if parts.is_empty() {
-        let frame =
-            encode_response_traced(id, &Response::Rejected(RejectReason::BadRequest), trace);
-        let _ = reply_tx.send((Instant::now(), frame));
+        replies.send(encode_response_traced(
+            id,
+            &Response::Rejected(RejectReason::BadRequest),
+            trace,
+        ));
         return;
     }
     let n = parts.len();
@@ -312,7 +478,7 @@ fn submit_multi(
     for (slot, (table, indices)) in parts.into_iter().enumerate() {
         let mut request = Request::new(table, indices);
         request.deadline = deadline;
-        let tx = reply_tx.clone();
+        let replies = replies.clone();
         let slots = Arc::clone(&slots);
         engine.submit_with(
             request,
@@ -321,15 +487,17 @@ fn submit_multi(
                 guard.0[slot] = Some(response);
                 guard.1 -= 1;
                 if guard.1 == 0 {
+                    // A part worker dying mid-merge must degrade to an
+                    // explicit Internal rejection for this request, never
+                    // a panic that poisons the whole connection.
                     let parts: Vec<Response> = guard
                         .0
                         .drain(..)
-                        .map(|r| r.expect("all parts done"))
+                        .map(|r| r.unwrap_or(Response::Rejected(RejectReason::Internal)))
                         .collect();
                     drop(guard);
                     let merged = merge_part_responses(parts);
-                    let frame = encode_response_traced(id, &merged, trace);
-                    let _ = tx.send((Instant::now(), frame));
+                    replies.send(encode_response_traced(id, &merged, trace));
                 }
             }),
         );
@@ -371,10 +539,11 @@ fn merge_part_responses(parts: Vec<Response>) -> Response {
     Response::Embeddings(Matrix::from_vec(rows, cols, data), stages)
 }
 
-/// Writer half of one connection: drains encoded reply frames until every
-/// sender (the reader plus all in-flight reply closures) is gone or the
-/// socket dies. Flushes once per drained burst, not per frame. Each
-/// frame's reply-enqueue → flush time feeds the `write` stage histogram.
+/// Writer half of one threaded connection: drains encoded reply frames
+/// until every sender (the reader plus all in-flight reply closures) is
+/// gone or the socket dies. Flushes once per drained burst, not per
+/// frame. Each frame's reply-enqueue → flush time feeds the `write`
+/// stage histogram.
 fn write_replies(
     stream: TcpStream,
     reply_rx: &mpsc::Receiver<(Instant, Vec<u8>)>,

@@ -1,0 +1,253 @@
+//! End-to-end tests for the epoll reactor connection backend: soak
+//! behavior at ≥1024 mostly-idle connections with O(workers) threads,
+//! bit-identical responses vs the threaded backend under interleaved
+//! pipelining, the multi-part worker-death regression, accept-time
+//! spawn-failure accounting, and client-side idle detection.
+
+use secemb::GeneratorSpec;
+use secemb_serve::protocol::{decode_server, ServerMsg};
+use secemb_serve::{
+    Client, ConnectionBackend, Engine, EngineConfig, RejectReason, Server, TableConfig,
+};
+use secemb_tensor::Matrix;
+use secemb_wire::frame::read_frame;
+use std::collections::HashMap;
+use std::io::{BufReader, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn small_engine(seed: u64) -> Arc<Engine> {
+    Arc::new(Engine::start(EngineConfig::new(vec![
+        TableConfig {
+            spec: GeneratorSpec::Scan { rows: 128, dim: 8 },
+            seed,
+            queue_capacity: 4096,
+            cost_override_ns: None,
+        },
+        TableConfig {
+            spec: GeneratorSpec::Dhe { rows: 96, dim: 8 },
+            seed,
+            queue_capacity: 4096,
+            cost_override_ns: None,
+        },
+    ])))
+}
+
+/// This process's thread count, from `/proc/self/status`.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Runs the same interleaved pipelined request mix against one server and
+/// returns the per-request embedding bits keyed by `(conn, slot)`.
+fn pipelined_mix(addr: std::net::SocketAddr) -> HashMap<(usize, usize), Vec<u32>> {
+    const CONNS: usize = 4;
+    const REQUESTS: usize = 24;
+    let mut out = HashMap::new();
+    let mut clients: Vec<Client> = (0..CONNS)
+        .map(|_| Client::connect(addr).expect("connect"))
+        .collect();
+    // Interleave sends round-robin across connections so responses from
+    // different requests are in flight together on every socket.
+    let mut ids: Vec<Vec<u64>> = vec![Vec::new(); CONNS];
+    for slot in 0..REQUESTS {
+        for (conn, client) in clients.iter_mut().enumerate() {
+            let table = (conn + slot) % 2;
+            let rows = if table == 0 { 128 } else { 96 };
+            let indices: Vec<u64> = (0..4)
+                .map(|k| ((conn * 31 + slot * 7 + k * 13) as u64) % rows)
+                .collect();
+            ids[conn].push(client.call_async(table, &indices, None).expect("send"));
+        }
+    }
+    for (conn, client) in clients.iter_mut().enumerate() {
+        for _ in 0..REQUESTS {
+            let (id, msg) = client.drain_next().expect("drain");
+            let slot = ids[conn].iter().position(|&i| i == id).expect("known id");
+            match msg {
+                ServerMsg::Embeddings(m, _) => {
+                    out.insert((conn, slot), bits(&m));
+                }
+                other => panic!("conn {conn} slot {slot}: unexpected {other:?}"),
+            }
+        }
+    }
+    out
+}
+
+/// The tentpole's soak criterion: ≥1024 concurrently open, mostly-idle
+/// connections served by O(workers) threads — opening them adds no
+/// threads at all on the reactor backend — while interleaved pipelined
+/// traffic through the same reactor stays bit-identical to a threaded
+/// server built from the same seed.
+#[test]
+fn soak_1024_idle_connections_o1_threads_and_bit_identical_replies() {
+    let reactor_server =
+        Server::start_with(small_engine(42), "127.0.0.1:0", ConnectionBackend::Reactor)
+            .expect("bind reactor");
+    let threaded_server =
+        Server::start_with(small_engine(42), "127.0.0.1:0", ConnectionBackend::Threaded)
+            .expect("bind threaded");
+
+    let before = thread_count();
+    let idle: Vec<TcpStream> = (0..1024)
+        .map(|i| {
+            TcpStream::connect(reactor_server.addr()).unwrap_or_else(|e| panic!("conn {i}: {e}"))
+        })
+        .collect();
+    wait_for(
+        || reactor_server.connections() >= 1024,
+        "1024 accepted connections",
+    );
+    let after = thread_count();
+    assert!(
+        after <= before + 2,
+        "opening 1024 idle connections grew threads {before} -> {after}; \
+         the reactor must serve them without per-connection threads"
+    );
+
+    // Pipelined traffic interleaved with the idle fleet still held open.
+    let via_reactor = pipelined_mix(reactor_server.addr());
+    let via_threads = pipelined_mix(threaded_server.addr());
+    assert_eq!(via_reactor, via_threads, "backends disagree on embeddings");
+
+    drop(idle);
+    wait_for(
+        || reactor_server.connections() == 0,
+        "idle fleet reaped after close",
+    );
+    reactor_server.shutdown();
+    threaded_server.shutdown();
+}
+
+/// Regression for the multi-part merge panic: killing the worker that
+/// owns one part of a `GenerateMulti` must answer the request with an
+/// explicit `Rejected(Internal)` — not hang the client or poison the
+/// connection — and the connection must keep serving afterwards.
+#[test]
+fn multi_part_with_dead_worker_rejects_instead_of_hanging() {
+    for backend in [ConnectionBackend::Threaded, ConnectionBackend::Reactor] {
+        let engine = small_engine(7);
+        let server = Server::start_with(Arc::clone(&engine), "127.0.0.1:0", backend).expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+
+        // Poison table 1's only replica: its next batch (our part) is
+        // answered Internal and the worker dies.
+        assert!(engine.inject_worker_panic(1, 0));
+        let parts = vec![(0usize, vec![1u64, 2, 3]), (1usize, vec![4u64, 5])];
+        match client.generate_multi(&parts, None).expect("round trip") {
+            ServerMsg::Rejected(RejectReason::Internal) => {}
+            other => panic!("{backend:?}: expected Rejected(Internal), got {other:?}"),
+        }
+
+        // The connection survived the partial failure.
+        match client.generate(0, &[9, 10], None).expect("round trip") {
+            ServerMsg::Embeddings(m, _) => assert_eq!(m.shape(), (2, 8)),
+            other => panic!("{backend:?}: healthy table failed: {other:?}"),
+        }
+        server.shutdown();
+    }
+}
+
+/// A connection the threaded server cannot staff (thread-spawn failure)
+/// is counted in `ServerStats` and receives a best-effort
+/// `Rejected(Internal)` frame before the close — never a silent drop.
+#[test]
+fn spawn_failure_is_counted_and_rejected_not_silently_dropped() {
+    let engine = small_engine(3);
+    let server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ConnectionBackend::Threaded,
+    )
+    .expect("bind");
+    server.inject_spawn_failures(1);
+
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream);
+    let payload = read_frame(&mut reader).expect("reject frame before close");
+    let (id, msg) = decode_server(&payload).expect("decodable reject");
+    assert_eq!(id, 0, "pre-request reject carries the reserved id 0");
+    assert!(
+        matches!(msg, ServerMsg::Rejected(RejectReason::Internal)),
+        "expected Rejected(Internal), got {msg:?}"
+    );
+    // And nothing but the reject: the connection is closed.
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "bytes after the reject frame: {rest:?}");
+    assert_eq!(engine.stats().snapshot().accept_spawn_failures, 1);
+
+    // The failure was transient: the next connection is served normally.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    assert_eq!(client.tables().expect("tables").len(), 2);
+    server.shutdown();
+}
+
+/// `Client::connect_with` idle detection: a half-open peer (accepts,
+/// never answers) surfaces as a timeout error instead of a receive that
+/// blocks forever.
+#[test]
+fn client_idle_timeout_errors_on_silent_peer() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.addr_of();
+    // Hold accepted sockets open but never respond.
+    let hold = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = listener.accept() {
+            held.push(s);
+        }
+    });
+
+    let mut client = Client::connect_with(addr, Some(Duration::from_millis(100))).expect("connect");
+    let t0 = Instant::now();
+    let err = client
+        .generate(0, &[1, 2, 3], None)
+        .expect_err("silent peer must error, not block");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "unexpected error kind: {err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "timeout took {:?}", // far beyond the configured 100ms
+        t0.elapsed()
+    );
+    drop(client);
+    drop(hold); // detach; the listener thread dies with the process
+}
+
+/// Small helper: `TcpListener::local_addr` with the expect inline, so the
+/// silent-peer test reads linearly.
+trait AddrOf {
+    fn addr_of(&self) -> std::net::SocketAddr;
+}
+
+impl AddrOf for TcpListener {
+    fn addr_of(&self) -> std::net::SocketAddr {
+        self.local_addr().expect("listener addr")
+    }
+}

@@ -527,6 +527,7 @@ fn loadgen_records_every_answered_request() {
     let report = run_load(&LoadConfig {
         addrs: vec![server.addr()],
         connections: 2,
+        idle_connections: 0,
         tables: vec![0],
         batch: 2,
         offered_rps: 400.0,

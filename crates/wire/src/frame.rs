@@ -102,6 +102,114 @@ pub fn read_frame_limited<R: Read>(r: &mut R, max: usize) -> Result<Vec<u8>, Fra
     Ok(payload)
 }
 
+/// Appends one encoded frame (length prefix + payload) to `out` without
+/// touching any stream — the buffer-building half of [`write_frame`],
+/// used by nonblocking writers that flush on readiness instead of
+/// inline.
+pub fn encode_frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.reserve(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Incremental decoder for the same length-prefixed framing that
+/// [`read_frame`] consumes, for nonblocking sockets where bytes arrive
+/// in arbitrary slices: feed whatever `read` produced via
+/// [`FrameDecoder::extend`], then pull zero or more complete payloads
+/// with [`FrameDecoder::next_frame`]. Splitting one byte stream into
+/// any sequence of `extend` calls yields exactly the frames
+/// [`read_frame`] would.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`; consumed bytes are
+    /// compacted away lazily so each decoded frame is not an O(buffer)
+    /// memmove.
+    start: usize,
+    max: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder capped at [`DEFAULT_MAX_FRAME`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max(DEFAULT_MAX_FRAME)
+    }
+
+    /// A decoder with an explicit payload-size cap (the
+    /// [`read_frame_limited`] counterpart).
+    #[must_use]
+    pub fn with_max(max: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max,
+        }
+    }
+
+    /// Feeds freshly-read bytes into the decoder.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing, not after draining: the common case —
+        // every extend is followed by a full drain — then never memmoves
+        // because start == buf.len() resets to empty for free.
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when a length prefix exceeds the cap —
+    /// the stream is unrecoverable past this point, matching
+    /// [`read_frame_limited`].
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > self.max {
+            return Err(FrameError::TooLarge {
+                declared: len,
+                max: self.max,
+            });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes fed but not yet consumed as complete frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when no partial frame is pending — i.e. an EOF here is a
+    /// clean close ([`FrameError::Closed`]), not a mid-frame truncation.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.buffered() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +250,119 @@ mod tests {
         buf.extend_from_slice(b"shor"); // 4 of 8 promised bytes
         let mut cur = Cursor::new(buf);
         assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn encode_frame_into_matches_write_frame() {
+        for payload in [&b""[..], b"x", &[0xCD; 7777]] {
+            let mut via_writer = Vec::new();
+            write_frame(&mut via_writer, payload).unwrap();
+            let mut via_encoder = Vec::new();
+            encode_frame_into(&mut via_encoder, payload);
+            assert_eq!(via_writer, via_encoder);
+        }
+    }
+
+    /// Drains every complete frame currently decodable.
+    fn drain(dec: &mut FrameDecoder) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(frame) = dec.next_frame().unwrap() {
+            out.push(frame);
+        }
+        out
+    }
+
+    #[test]
+    fn decoder_byte_at_a_time_matches_blocking_reader() {
+        let payloads: Vec<Vec<u8>> =
+            vec![b"first".to_vec(), Vec::new(), vec![0xAB; 300], vec![7; 4]];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            dec.extend(&[byte]);
+            got.extend(drain(&mut dec));
+        }
+        assert_eq!(got, payloads);
+        assert!(dec.is_clean(), "no partial frame after a whole stream");
+    }
+
+    #[test]
+    fn decoder_arbitrary_splits_match_blocking_reader() {
+        let payloads: Vec<Vec<u8>> = (0..40_usize)
+            .map(|i| vec![i as u8; (i * 37) % 259])
+            .collect();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+
+        // Deterministic "random" chunk sizes, including zero-length feeds.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut step = 1usize;
+        while pos < stream.len() {
+            let n = (step * 31 + 7) % 97;
+            let n = n.min(stream.len() - pos);
+            dec.extend(&stream[pos..pos + n]);
+            got.extend(drain(&mut dec));
+            pos += n;
+            step += 1;
+        }
+        assert_eq!(got, payloads);
+        assert!(dec.is_clean());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_mid_frame_is_not_clean() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[1; 32]).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..10]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(!dec.is_clean());
+        dec.extend(&stream[10..]);
+        assert_eq!(drain(&mut dec), vec![vec![1; 32]]);
+        assert!(dec.is_clean());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix() {
+        let mut dec = FrameDecoder::with_max(1024);
+        dec.extend(&(u32::MAX).to_le_bytes());
+        match dec.next_frame() {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoder_compaction_preserves_partial_frames() {
+        // Many small frames followed by feeding a split frame across the
+        // compaction threshold: the partial bytes must survive the memmove.
+        let mut stream = Vec::new();
+        for _ in 0..2000 {
+            write_frame(&mut stream, &[9; 3]).unwrap();
+        }
+        let mut tail = Vec::new();
+        write_frame(&mut tail, &[5; 64]).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        let drained = drain(&mut dec);
+        assert_eq!(drained.len(), 2000);
+        dec.extend(&tail[..20]); // partial: triggers the reset-to-empty path
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.extend(&tail[20..]);
+        assert_eq!(drain(&mut dec), vec![vec![5; 64]]);
     }
 }

@@ -1,0 +1,625 @@
+//! Vendored stand-in for the `mio 0.8` API subset this workspace uses:
+//! a level-triggered epoll readiness reactor ([`Poll`], [`Registry`],
+//! [`Events`], [`Token`], [`Interest`]) plus a cross-thread [`Waker`].
+//! See `third_party/README.md` for the full surface and the documented
+//! deviations from upstream.
+//!
+//! The build environment has no crates.io access, so epoll is reached
+//! through raw Linux syscalls (inline `asm!`, no `libc`); everything
+//! else is `std`. Linux-only (x86_64 and aarch64) — exactly the targets
+//! this repository builds on. Deviations from upstream `mio`, by design:
+//!
+//! - **Level-triggered only.** Upstream mio is edge-triggered; this
+//!   stand-in registers every interest level-triggered, so a consumer
+//!   that does not drain a ready source is re-notified on the next
+//!   [`Poll::poll`] instead of hanging. Callers that fully drain (the
+//!   only pattern in this workspace) behave identically under both.
+//! - **[`Waker`] is a nonblocking socketpair, not an eventfd**, and is
+//!   therefore level-triggered like everything else: the poll loop must
+//!   call [`Waker::drain`] when the waker's token fires (upstream mio
+//!   resets its eventfd internally). Wakes coalesce once the pair's
+//!   buffer is full, so `wake` never blocks and never errors on a
+//!   healthy reactor.
+//! - Any type implementing [`AsRawFd`] is a registration source; there
+//!   is no `Source` trait to implement.
+//! - `EINTR` during [`Poll::poll`] returns an empty [`Events`] batch
+//!   (upstream surfaces `ErrorKind::Interrupted`); reactor loops treat
+//!   both as a spurious wakeup.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+compile_error!(
+    "third_party/mio is a Linux-only epoll stand-in (x86_64/aarch64); \
+     see third_party/README.md"
+);
+
+/// Raw Linux syscalls — the only unsafe code in the stand-in. Numbers
+/// come from the kernel's `unistd` tables for each architecture.
+mod sys {
+    use std::io;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_WAIT: usize = 232;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const CLOSE: usize = 57;
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+    }
+
+    /// One epoll readiness record. x86_64 is the one Linux architecture
+    /// whose kernel declares this struct packed.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy, Default)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: usize = 1;
+    pub const EPOLL_CTL_DEL: usize = 2;
+    pub const EPOLL_CTL_MOD: usize = 3;
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall5(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall5(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        check(unsafe { syscall5(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0) }).map(|fd| fd as i32)
+    }
+
+    pub fn epoll_ctl(
+        epfd: i32,
+        op: usize,
+        fd: i32,
+        event: Option<&mut EpollEvent>,
+    ) -> io::Result<()> {
+        let ptr = event.map_or(0usize, |e| e as *mut EpollEvent as usize);
+        check(unsafe { syscall5(nr::EPOLL_CTL, epfd as usize, op, fd as usize, ptr, 0) })
+            .map(|_| ())
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) for readiness events.
+    /// `EINTR` is reported as zero events, not an error.
+    pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = unsafe {
+            #[cfg(target_arch = "x86_64")]
+            {
+                syscall5(
+                    nr::EPOLL_WAIT,
+                    epfd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                )
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                // aarch64 has no plain epoll_wait; epoll_pwait with a null
+                // sigmask is equivalent.
+                syscall5(
+                    nr::EPOLL_PWAIT,
+                    epfd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                )
+            }
+        };
+        const EINTR: isize = -4;
+        if ret == EINTR {
+            return Ok(0);
+        }
+        check(ret)
+    }
+
+    pub fn close(fd: i32) {
+        let _ = unsafe { syscall5(nr::CLOSE, fd as usize, 0, 0, 0, 0) };
+    }
+}
+
+/// Identifies one registered source in an [`Events`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in the source becoming readable.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in the source becoming writable.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)` polls for both).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readability.
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: usize,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the ready source was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// The source has bytes to read — or is at EOF/errored, in which
+    /// case a read observes the condition directly (`Ok(0)` or `Err`).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR | sys::EPOLLRDHUP) != 0
+    }
+
+    /// The source can accept writes — or errored, in which case a write
+    /// observes the error directly.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// The source is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+
+    /// The peer closed its write half (or the whole connection).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// A reusable batch of readiness events.
+pub struct Events {
+    inner: Vec<Event>,
+    raw: Vec<sys::EpollEvent>,
+}
+
+impl Events {
+    /// A batch that collects at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.max(1);
+        Events {
+            inner: Vec::with_capacity(capacity),
+            raw: vec![sys::EpollEvent::default(); capacity],
+        }
+    }
+
+    /// Iterates the events collected by the last [`Poll::poll`].
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll collected no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Registers sources with the reactor. Obtained from
+/// [`Poll::registry`]; registration is keyed by raw fd, so a source may
+/// be moved freely after registering.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: i32,
+}
+
+impl Registry {
+    /// Registers `source` for level-triggered readiness under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` errors (e.g. `EEXIST` for a double
+    /// registration).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let mut event = sys::EpollEvent {
+            events: interests.epoll_bits(),
+            data: token.0 as u64,
+        };
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            source.as_raw_fd(),
+            Some(&mut event),
+        )
+    }
+
+    /// Replaces the interest/token of an already-registered source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` errors (e.g. `ENOENT` if never registered).
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let mut event = sys::EpollEvent {
+            events: interests.epoll_bits(),
+            data: token.0 as u64,
+        };
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            source.as_raw_fd(),
+            Some(&mut event),
+        )
+    }
+
+    /// Removes a source from the reactor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` errors.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        sys::close(self.epfd);
+    }
+}
+
+/// The reactor: an epoll instance polled for readiness events.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` errors.
+    pub fn new() -> io::Result<Poll> {
+        let epfd = sys::epoll_create1()?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle for this reactor.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready (or
+    /// `timeout` elapses; `None` waits forever), filling `events`.
+    /// A signal interruption fills zero events and returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` errors.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round up so a sub-millisecond timeout sleeps rather
+                // than busy-polls.
+                let ms = d.as_millis();
+                let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                ms.try_into().unwrap_or(i32::MAX)
+            }
+        };
+        let n = sys::epoll_wait(self.registry.epfd, &mut events.raw, timeout_ms)?;
+        for raw in &events.raw[..n] {
+            // Copy the (possibly packed) fields out by value.
+            let bits = raw.events;
+            let data = raw.data;
+            events.inner.push(Event {
+                token: data as usize,
+                bits,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread.
+///
+/// Built on a nonblocking `UnixStream` pair whose read half is
+/// registered (level-triggered) under the waker's token: `wake` writes
+/// one byte, the poll loop calls [`Waker::drain`] when the token fires.
+/// Wakes coalesce once the pair's buffer fills, so `wake` never blocks.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates a waker and registers its read half under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair/registration errors.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        registry.register(&rx, token, Interest::READABLE)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Makes the next (or current) [`Poll::poll`] return. Callable from
+    /// any thread; coalesces when wakes outpace drains.
+    ///
+    /// # Errors
+    ///
+    /// Never errors on a healthy reactor: a full buffer means a wake is
+    /// already pending and is treated as success.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wake bytes. The poll loop must call this when
+    /// the waker's token fires — the registration is level-triggered, so
+    /// an undrained waker re-fires on every subsequent poll.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    const LISTENER: Token = Token(0);
+    const WAKER: Token = Token(1);
+    const CONN: Token = Token(2);
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let mut poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&listener, LISTENER, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending: a short poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let tokens: Vec<Token> = events.iter().map(Event::token).collect();
+        assert!(tokens.contains(&LISTENER), "got {tokens:?}");
+        let event = events.iter().find(|e| e.token() == LISTENER).unwrap();
+        assert!(event.is_readable());
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+    }
+
+    #[test]
+    fn waker_unblocks_poll_and_drains() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            // Several wakes coalesce into (at least) one event.
+            for _ in 0..100 {
+                remote.wake().unwrap();
+            }
+        });
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(4), "poll never woke");
+        assert!(events.iter().any(|e| e.token() == WAKER));
+        waker.drain();
+        handle.join().unwrap();
+
+        // Drained: the level-triggered waker no longer fires.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            !events.iter().any(|e| e.token() == WAKER),
+            "waker re-fired after drain"
+        );
+    }
+
+    #[test]
+    fn writable_interest_and_reregister_and_deregister() {
+        let mut poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&client, CONN, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token() == CONN).expect("writable");
+        assert!(event.is_writable());
+        assert!(!event.is_error());
+
+        // Swap to read interest: idle socket, nothing fires...
+        poll.registry()
+            .reregister(&client, CONN, Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token() == CONN));
+
+        // ...until the peer writes.
+        (&server).write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token() == CONN).expect("readable");
+        assert!(event.is_readable());
+
+        poll.registry().deregister(&client).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            !events.iter().any(|e| e.token() == CONN),
+            "deregistered source still firing"
+        );
+    }
+
+    #[test]
+    fn peer_close_is_visible_as_read_closed() {
+        let mut poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&client, CONN, Interest::READABLE)
+            .unwrap();
+        drop(server);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token() == CONN).expect("hup");
+        assert!(event.is_readable(), "EOF must surface through a read");
+        assert!(event.is_read_closed());
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert_eq!(Interest::READABLE.add(Interest::WRITABLE), both);
+    }
+}
