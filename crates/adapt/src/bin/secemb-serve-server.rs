@@ -8,7 +8,9 @@
 //!                     [--stats-interval S] [--no-telemetry]
 //!                     [--adaptive] [--adapt-profile FILE]
 //!                     [--adapt-dwell-ms N] [--adapt-cooldown-ms N]
-//!                     [--run-secs N] [--reactor]
+//!                     [--run-secs N] [--threaded] [--conn-idle-ms N]
+//!                     [--trace-sample N] [--trace-host NAME]
+//!                     [--trace-out FILE]
 //! ```
 //!
 //! `SPEC` is `TECH:ROWSxDIM` (`lookup|scan|path|circuit|dhe`) or
@@ -30,14 +32,28 @@
 //! tears the controller and server down and exits 0 — the CI smoke-test
 //! mode; without it the server runs until killed.
 //!
-//! `--reactor` serves all connections from one epoll reactor thread
-//! (nonblocking sockets, per-connection state machines) instead of two
-//! threads per connection — same wire protocol, same responses, O(1)
-//! threads regardless of connection count.
+//! Connections are served from one epoll reactor thread by default
+//! (nonblocking sockets, per-connection state machines) — same wire
+//! protocol, same responses, O(1) threads regardless of connection
+//! count. `--threaded` falls back to two threads per connection
+//! (`--reactor` is still accepted as a no-op for old scripts);
+//! `--conn-idle-ms N` reaps connections idle for N ms (reactor backend
+//! only; default: never).
+//!
+//! `--trace-sample N` collects distributed-tracing spans for every N-th
+//! traced request (head-sampled on the public trace id alone; 0, the
+//! default, disables collection); `--trace-host NAME` sets the host
+//! label spans carry (default `server`). Spans drain through the wire
+//! `TRACES` frame (`secemb-tracecat --scrape`), or — with `--trace-out
+//! FILE` — append to a JSONL file every `--stats-interval` (the two
+//! drains split the same buffer; pick one per process).
 
 use secemb::GeneratorSpec;
 use secemb_adapt::{AdaptConfig, AdaptiveController, Crossovers, ProfileArtifact};
-use secemb_serve::{BatchPolicy, ConnectionBackend, Engine, EngineConfig, Server, TableConfig};
+use secemb_serve::{
+    BatchPolicy, ConnectionBackend, Engine, EngineConfig, Server, ServerOptions, TableConfig,
+    TraceSettings,
+};
 use secemb_telemetry::JsonlExporter;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -60,6 +76,10 @@ struct Args {
     adapt_cooldown: Duration,
     run_secs: Option<Duration>,
     backend: ConnectionBackend,
+    conn_idle: Option<Duration>,
+    trace_sample: u64,
+    trace_host: String,
+    trace_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -68,7 +88,8 @@ fn usage() -> ! {
          [--max-batch N] [--max-wait-us N] [--queue N] [--seed N] [--replicas N] \
          [--telemetry-out FILE] [--stats-interval S] [--no-telemetry] \
          [--adaptive] [--adapt-profile FILE] [--adapt-dwell-ms N] \
-         [--adapt-cooldown-ms N] [--run-secs N] [--reactor]\n\
+         [--adapt-cooldown-ms N] [--run-secs N] [--threaded] [--conn-idle-ms N] \
+         [--trace-sample N] [--trace-host NAME] [--trace-out FILE]\n\
          SPEC: lookup|scan|path|circuit|dhe:ROWSxDIM, or hybrid:ROWSxDIM:THRESHOLD"
     );
     std::process::exit(2);
@@ -91,7 +112,11 @@ fn parse_args() -> Args {
         adapt_dwell: Duration::from_millis(500),
         adapt_cooldown: Duration::from_secs(2),
         run_secs: None,
-        backend: ConnectionBackend::Threaded,
+        backend: ConnectionBackend::Reactor,
+        conn_idle: None,
+        trace_sample: 0,
+        trace_host: "server".to_string(),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -143,7 +168,16 @@ fn parse_args() -> Args {
                 }
                 args.run_secs = Some(Duration::from_secs_f64(secs));
             }
+            "--threaded" => args.backend = ConnectionBackend::Threaded,
+            // The reactor is the default now; kept for old scripts.
             "--reactor" => args.backend = ConnectionBackend::Reactor,
+            "--conn-idle-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.conn_idle = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--trace-sample" => args.trace_sample = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-host" => args.trace_host = value(),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value())),
             _ => usage(),
         }
     }
@@ -233,6 +267,8 @@ fn main() {
     };
     config.shard.replicas = args.replicas;
     config.telemetry = args.telemetry;
+    config.tracing =
+        (args.trace_sample > 0).then(|| TraceSettings::new(&args.trace_host, args.trace_sample));
 
     eprintln!(
         "building {} table(s) x {} replica(s) and probing costs...",
@@ -271,7 +307,11 @@ fn main() {
         None
     };
 
-    let server = match Server::start_with(Arc::clone(&engine), &args.listen, args.backend) {
+    let options = ServerOptions {
+        backend: args.backend,
+        conn_idle: args.conn_idle,
+    };
+    let server = match Server::start_opts(Arc::clone(&engine), &args.listen, options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind {}: {e}", args.listen);
@@ -307,6 +347,50 @@ fn main() {
         }
     });
 
+    // Periodic span drain to a JSONL file, if requested. Sharing the
+    // stats cadence keeps this loop the only clock in the binary.
+    let mut trace_out = args.trace_out.as_ref().map(|path| {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => {
+                eprintln!(
+                    "spans -> {} every {:?}",
+                    path.display(),
+                    args.stats_interval
+                );
+                file
+            }
+            Err(e) => {
+                eprintln!("trace out {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    });
+    let drain_spans = |file: &mut std::fs::File, with_meta: bool| {
+        use std::io::Write;
+        let spans = engine.spans();
+        let text = if with_meta {
+            // The final drain: remaining spans plus the emit/drop
+            // trailer, so the joiner can report holes.
+            spans.drain_jsonl()
+        } else {
+            let mut text = String::new();
+            for span in spans.drain() {
+                text.push_str(&spans.span_to_json(&span));
+                text.push('\n');
+            }
+            text
+        };
+        if !text.is_empty() {
+            if let Err(e) = file.write_all(text.as_bytes()) {
+                eprintln!("write spans: {e}");
+            }
+        }
+    };
+
     // Serve until killed (or --run-secs elapses), printing a stats line
     // per interval of activity.
     let deadline = args.run_secs.map(|d| Instant::now() + d);
@@ -323,11 +407,17 @@ fn main() {
             None => args.stats_interval,
         };
         std::thread::sleep(sleep);
+        if let Some(file) = trace_out.as_mut() {
+            drain_spans(file, false);
+        }
         let snap = engine.stats().snapshot();
         if snap.completed != last_completed {
             last_completed = snap.completed;
             eprintln!("{snap}");
         }
+    }
+    if let Some(file) = trace_out.as_mut() {
+        drain_spans(file, true);
     }
 
     // --run-secs teardown: stop the controller, close every connection,

@@ -130,6 +130,7 @@ fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
         seed,
         write_frac: 0.0,
         record_requests: false,
+        trace: false,
     })
     .expect("load run")
 }
@@ -217,6 +218,7 @@ fn churn_ab(p: &Params, rows: [u64; 2], threshold: u64) {
             seed,
             write_frac: 0.0,
             record_requests: false,
+            trace: false,
         })
         .expect("churn load")
     };

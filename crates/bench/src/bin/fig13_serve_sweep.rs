@@ -162,6 +162,7 @@ fn main() {
                 seed: 1,
                 write_frac: 0.0,
                 record_requests: false,
+                trace: false,
             })
             .expect("load run");
             monitor.observe();
@@ -206,6 +207,7 @@ fn main() {
             seed: 1,
             write_frac: 0.0,
             record_requests: false,
+            trace: false,
         })
         .expect("load run");
         monitor.observe();

@@ -92,6 +92,7 @@ fn main() {
             seed: 1,
             write_frac: 0.0,
             record_requests: false,
+            trace: false,
         })
         .expect("load run");
 

@@ -11,9 +11,9 @@ use crate::lock_unpoisoned;
 use secemb_serve::protocol::{
     decode_server, decode_server_traced, encode_generate_multi, encode_generate_traced,
     encode_hello, encode_metrics_request, encode_plan_pull, encode_plan_push, encode_stats_request,
-    encode_update_traced, ServerMsg,
+    encode_traces_request, encode_update_traced, ServerMsg,
 };
-use secemb_serve::RejectReason;
+use secemb_serve::{RejectReason, TraceCtx};
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -219,7 +219,7 @@ impl Backend {
         table: usize,
         indices: &[u64],
         deadline: Option<Duration>,
-        trace: Option<u64>,
+        trace: Option<TraceCtx>,
         callback: ReplyCallback,
     ) -> io::Result<u64> {
         self.call(
@@ -240,7 +240,7 @@ impl Backend {
         indices: &[u64],
         deltas: &secemb_tensor::Matrix,
         deadline: Option<Duration>,
-        trace: Option<u64>,
+        trace: Option<TraceCtx>,
         callback: ReplyCallback,
     ) -> io::Result<u64> {
         self.call(
@@ -258,7 +258,7 @@ impl Backend {
         &self,
         parts: &[(usize, Vec<u64>)],
         deadline: Option<Duration>,
-        trace: Option<u64>,
+        trace: Option<TraceCtx>,
         callback: ReplyCallback,
     ) -> io::Result<u64> {
         self.call(
@@ -313,6 +313,19 @@ impl Backend {
         match self.round_trip(encode_plan_pull)? {
             ServerMsg::Plan(json) => Ok(json),
             _ => Err(bad_reply("expected plan")),
+        }
+    }
+
+    /// Scrapes the backend's span buffer (drains it server-side), blocking.
+    /// Returns span JSONL — one span per line plus a collector meta line.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/timeout errors or an unexpected reply kind.
+    pub fn traces_jsonl(&self) -> io::Result<String> {
+        match self.round_trip(encode_traces_request)? {
+            ServerMsg::Traces(jsonl) => Ok(jsonl),
+            _ => Err(bad_reply("expected traces")),
         }
     }
 

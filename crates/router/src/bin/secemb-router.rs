@@ -4,7 +4,8 @@
 //! ```text
 //! secemb-router [--bind ADDR] --backend [NAME=]ADDR...
 //!               [--gossip-ms N] [--profile-out FILE] [--run-secs N]
-//!               [--reactor] [--backend-idle-ms N]
+//!               [--threaded] [--backend-idle-ms N] [--conn-idle-ms N]
+//!               [--trace-sample N] [--trace-host NAME]
 //! ```
 //!
 //! Repeat `--backend` once per backend process (`NAME=HOST:PORT`, or
@@ -16,12 +17,26 @@
 //! `--profile-out FILE` persists the winning plan's crossovers in the
 //! `ProfileArtifact` format after each round. `--run-secs N` serves for
 //! N seconds then exits 0 — the CI smoke-test mode; without it the
-//! router runs until killed. `--reactor` serves client connections from
-//! one epoll reactor thread instead of two threads per connection;
-//! `--backend-idle-ms N` declares a backend dead when requests are in
-//! flight and no byte arrives for N ms (default: wait forever).
+//! router runs until killed.
+//!
+//! Client connections run on the epoll reactor (one thread for every
+//! connection) by default; `--threaded` falls back to two threads per
+//! connection (`--reactor` is still accepted as a no-op for old
+//! scripts). `--backend-idle-ms N` declares a backend dead when
+//! requests are in flight and no byte arrives for N ms (default: wait
+//! forever); `--conn-idle-ms N` reaps *client* connections idle for N
+//! ms (reactor frontend only; default: never).
+//!
+//! `--trace-sample N` collects distributed-tracing spans for every
+//! N-th trace id (head-sampled on the public trace id alone; 0, the
+//! default, disables collection); `--trace-host NAME` sets the host
+//! label spans carry (default `router`). Spans are scraped — and
+//! drained — through the wire `Traces` frame, which also scrapes every
+//! backend, so one `secemb-tracecat --scrape` against the router sees
+//! the whole tier.
 
 use secemb_router::{Router, RouterConfig};
+use secemb_serve::TraceSettings;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -31,15 +46,19 @@ struct Args {
     gossip: Option<Duration>,
     profile_out: Option<PathBuf>,
     run_secs: Option<Duration>,
-    reactor: bool,
+    threaded: bool,
     backend_idle: Option<Duration>,
+    conn_idle: Option<Duration>,
+    trace_sample: u64,
+    trace_host: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secemb-router [--bind ADDR] --backend [NAME=]ADDR... \
          [--gossip-ms N] [--profile-out FILE] [--run-secs N] \
-         [--reactor] [--backend-idle-ms N]"
+         [--threaded] [--backend-idle-ms N] [--conn-idle-ms N] \
+         [--trace-sample N] [--trace-host NAME]"
     );
     std::process::exit(2);
 }
@@ -51,8 +70,11 @@ fn parse_args() -> Args {
         gossip: Some(Duration::from_millis(500)),
         profile_out: None,
         run_secs: None,
-        reactor: false,
+        threaded: false,
         backend_idle: None,
+        conn_idle: None,
+        trace_sample: 0,
+        trace_host: "router".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,11 +99,19 @@ fn parse_args() -> Args {
                     value().parse().unwrap_or_else(|_| usage()),
                 ));
             }
-            "--reactor" => args.reactor = true,
+            "--threaded" => args.threaded = true,
+            // The reactor is the default now; kept for old scripts.
+            "--reactor" => args.threaded = false,
             "--backend-idle-ms" => {
                 let ms: u64 = value().parse().unwrap_or_else(|_| usage());
                 args.backend_idle = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--conn-idle-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.conn_idle = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--trace-sample" => args.trace_sample = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-host" => args.trace_host = value(),
             _ => usage(),
         }
     }
@@ -98,8 +128,11 @@ fn main() {
         backends: args.backends,
         gossip_interval: args.gossip,
         profile_out: args.profile_out,
-        reactor: args.reactor,
+        reactor: !args.threaded,
         backend_idle_timeout: args.backend_idle,
+        conn_idle: args.conn_idle,
+        trace: (args.trace_sample > 0)
+            .then(|| TraceSettings::new(&args.trace_host, args.trace_sample)),
     };
     let router = match Router::start(config) {
         Ok(router) => router,

@@ -26,11 +26,13 @@ use mio::{Events, Interest, Poll, Token, Waker};
 use secemb::hybrid::AllocationPlan;
 use secemb_serve::protocol::{
     decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response,
-    encode_response_traced, encode_stats, encode_table_list, ClientMsg, ServerMsg,
+    encode_response_traced, encode_stats, encode_table_list, encode_traces, ClientMsg, ServerMsg,
 };
-use secemb_serve::reactor::{Dispatch, FrameReactor};
-use secemb_serve::{RejectReason, ReplySender, Response};
-use secemb_telemetry::{Counter, Gauge, Histogram, Registry, StageBreakdown};
+use secemb_serve::reactor::{Dispatch, FrameReactor, ReactorConfig};
+use secemb_serve::{RejectReason, ReplySender, Response, TraceSettings};
+use secemb_telemetry::{
+    Counter, Gauge, Histogram, Registry, SpanCollector, SpanRecord, StageBreakdown, TraceCtx,
+};
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use secemb_wire::json::{self, Value};
@@ -64,6 +66,13 @@ pub struct RouterConfig {
     /// nothing for this long (see [`crate::Backend::connect_with`]);
     /// `None` waits forever (the historical behavior).
     pub backend_idle_timeout: Option<Duration>,
+    /// Reap idle *client* connections after this long with no socket
+    /// activity (reactor frontend only); `None` never reaps.
+    pub conn_idle: Option<Duration>,
+    /// Distributed-tracing settings for the router's own span collector
+    /// (host label, head-sampling rate). `None` collects nothing; the
+    /// instrumented path still runs with an inert handle.
+    pub trace: Option<TraceSettings>,
 }
 
 impl Default for RouterConfig {
@@ -75,6 +84,8 @@ impl Default for RouterConfig {
             profile_out: None,
             reactor: false,
             backend_idle_timeout: None,
+            conn_idle: None,
+            trace: None,
         }
     }
 }
@@ -119,6 +130,7 @@ struct Inner {
     inventory: Vec<(u64, usize, f64, String)>,
     registry: Arc<Registry>,
     metrics: RouterMetrics,
+    spans: Arc<SpanCollector>,
     profile_out: Option<PathBuf>,
     next_trace: AtomicU64,
 }
@@ -217,12 +229,17 @@ impl Router {
         let metrics = RouterMetrics::new(&registry);
         registry.gauge("router_backends").set(backends.len() as f64);
         registry.gauge("router_tables").set(inventory.len() as f64);
+        let spans = Arc::new(match &config.trace {
+            Some(t) => SpanCollector::with_capacity(&t.host, t.sample_every, t.capacity),
+            None => SpanCollector::disabled(),
+        });
         let inner = Arc::new(Inner {
             backends,
             placement,
             inventory,
             registry,
             metrics,
+            spans,
             profile_out: config.profile_out.clone(),
             next_trace: AtomicU64::new(1),
         });
@@ -234,8 +251,12 @@ impl Router {
             // thread; dispatch is shared with the threaded path below.
             let inner_factory = Arc::clone(&inner);
             let write_ns = Arc::clone(&inner.metrics.write_ns);
+            let reactor_config = ReactorConfig {
+                registry: Some(Arc::clone(&inner.registry)),
+                idle_timeout: config.conn_idle,
+            };
             let reactor =
-                FrameReactor::start(
+                FrameReactor::start_with(
                     listener,
                     Box::new(move |_conn| {
                         let inner = Arc::clone(&inner_factory);
@@ -250,6 +271,7 @@ impl Router {
                         }) as Dispatch
                     }),
                     Box::new(move |ns| write_ns.record(ns)),
+                    reactor_config,
                 )?;
             Frontend::Reactor(Some(reactor))
         } else {
@@ -317,6 +339,12 @@ impl Router {
     /// The router's own metrics registry (`router_*` series).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.inner.registry)
+    }
+
+    /// The router's own span collector (inert unless
+    /// [`RouterConfig::trace`] was set).
+    pub fn spans(&self) -> Arc<SpanCollector> {
+        Arc::clone(&self.inner.spans)
     }
 
     /// Runs one synchronous gossip round (also available continuously
@@ -518,6 +546,109 @@ fn reject(inner: &Inner, replies: &ReplySender, id: u64, reason: RejectReason, t
     ));
 }
 
+/// Span bookkeeping for one sampled routed request. Span ids are
+/// allocated eagerly at admission so each backend hop can be told its
+/// parent (`fanout_ids[g]`) *before* the hop's reply — that forwarded id
+/// is what joins the router's timeline to the backends'. Sampling is
+/// keyed on the public trace id alone, so none of this branches on
+/// tables or indices beyond putting their public counts in attrs.
+struct RouteSpans {
+    spans: Arc<SpanCollector>,
+    trace_id: u64,
+    /// The client's own parent span, if the client is itself traced.
+    client_parent: Option<u64>,
+    root_id: u64,
+    /// One eagerly-allocated "fanout" span id per backend hop.
+    fanout_ids: Vec<u64>,
+    /// Placement host index per hop (span attr).
+    hosts: Vec<u64>,
+    start: Instant,
+    queries: u64,
+}
+
+impl RouteSpans {
+    /// Starts bookkeeping if `hop_trace` is sampled; `hosts` is the
+    /// placement host index per hop (one per fan-out group).
+    fn begin(
+        inner: &Inner,
+        trace: Option<TraceCtx>,
+        hop_trace: u64,
+        hosts: Vec<u64>,
+        queries: u64,
+    ) -> Option<Arc<RouteSpans>> {
+        if !inner.spans.sampled(hop_trace) {
+            return None;
+        }
+        let spans = Arc::clone(&inner.spans);
+        let root_id = spans.fresh_span_id();
+        let fanout_ids = hosts.iter().map(|_| spans.fresh_span_id()).collect();
+        Some(Arc::new(RouteSpans {
+            spans,
+            trace_id: hop_trace,
+            client_parent: trace.and_then(|t| t.parent_span),
+            root_id,
+            fanout_ids,
+            hosts,
+            start: Instant::now(),
+            queries,
+        }))
+    }
+
+    /// The trace context forwarded to hop `g`'s backend: same trace id,
+    /// parented under that hop's fanout span.
+    fn forward(&self, g: usize) -> TraceCtx {
+        TraceCtx::with_parent(self.trace_id, self.fanout_ids[g])
+    }
+
+    fn span(&self, span_id: u64, parent: Option<u64>, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            trace_id: self.trace_id,
+            span_id,
+            parent_span: parent,
+            host: self.spans.host().to_string(),
+            component: "router",
+            name,
+            start_ns: 0,
+            end_ns: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Records the admission span: decode → every hop sent.
+    fn record_admit(&self, sent: Instant) {
+        let mut s = self.span(self.spans.fresh_span_id(), Some(self.root_id), "admit");
+        s.start_ns = self.spans.ns_of(self.start);
+        s.end_ns = self.spans.ns_of(sent);
+        self.spans.record(s);
+    }
+
+    /// Records hop `g`'s fanout span when its backend reply lands.
+    fn record_fanout(&self, g: usize) {
+        let mut s = self.span(self.fanout_ids[g], Some(self.root_id), "fanout");
+        s.start_ns = self.spans.ns_of(self.start);
+        s.end_ns = self.spans.now_ns();
+        s.attrs = vec![("host", self.hosts[g])];
+        self.spans.record(s);
+    }
+
+    /// Records the reassembly span (multi-host requests only).
+    fn record_merge(&self, m0: Instant, m1: Instant) {
+        let mut s = self.span(self.spans.fresh_span_id(), Some(self.root_id), "merge");
+        s.start_ns = self.spans.ns_of(m0);
+        s.end_ns = self.spans.ns_of(m1);
+        self.spans.record(s);
+    }
+
+    /// Records the root request span once the reply is on its way.
+    fn record_root(&self) {
+        let mut s = self.span(self.root_id, self.client_parent, "request");
+        s.start_ns = self.spans.ns_of(self.start);
+        s.end_ns = self.spans.now_ns();
+        s.attrs = vec![("queries", self.queries), ("hops", self.hosts.len() as u64)];
+        self.spans.record(s);
+    }
+}
+
 fn to_response(msg: ServerMsg) -> Response {
     match msg {
         ServerMsg::Embeddings(m, stages) => Response::Embeddings(m, stages),
@@ -531,8 +662,9 @@ fn dispatch(
     replies: &ReplySender,
     id: u64,
     msg: ClientMsg,
-    trace: Option<u64>,
+    trace: Option<TraceCtx>,
 ) {
+    let echo = trace.map(|t| t.trace_id);
     match msg {
         ClientMsg::Generate {
             table,
@@ -543,29 +675,47 @@ fn dispatch(
             // Placement-aware admission: bad requests never cross the
             // wire to a backend.
             if table >= inner.placement.tables() {
-                return reject(inner, replies, id, RejectReason::UnknownTable, trace);
+                return reject(inner, replies, id, RejectReason::UnknownTable, echo);
             }
             if indices.is_empty() {
-                return reject(inner, replies, id, RejectReason::BadRequest, trace);
+                return reject(inner, replies, id, RejectReason::BadRequest, echo);
             }
             let host = inner.placement.host_index(table).expect("checked above");
             inner.metrics.fanout_hosts.record(1);
-            let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
+            let hop_trace = echo.unwrap_or_else(|| inner.fresh_trace());
+            let route = RouteSpans::begin(
+                inner,
+                trace,
+                hop_trace,
+                vec![host as u64],
+                indices.len() as u64,
+            );
+            let forward = route
+                .as_ref()
+                .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(0));
             let t0 = Instant::now();
             let replies_cb = replies.clone();
+            let route_cb = route.clone();
             let route_ns = Arc::clone(&inner.metrics.route_ns);
             let sent = inner.backends[host].generate(
                 table,
                 &indices,
                 deadline,
-                Some(hop_trace),
+                Some(forward),
                 Box::new(move |msg, _| {
                     route_ns.record(t0.elapsed().as_nanos() as u64);
-                    replies_cb.send(encode_response_traced(id, &to_response(msg), trace));
+                    if let Some(route) = &route_cb {
+                        route.record_fanout(0);
+                        route.record_root();
+                    }
+                    replies_cb.send(encode_response_traced(id, &to_response(msg), echo));
                 }),
             );
+            if let Some(route) = &route {
+                route.record_admit(Instant::now());
+            }
             if sent.is_err() {
-                reject(inner, replies, id, RejectReason::Internal, trace);
+                reject(inner, replies, id, RejectReason::Internal, echo);
             }
         }
         ClientMsg::Update {
@@ -579,34 +729,69 @@ fn dispatch(
             // was already validated at decode, and the owning backend
             // gates update capability per table.
             if table >= inner.placement.tables() {
-                return reject(inner, replies, id, RejectReason::UnknownTable, trace);
+                return reject(inner, replies, id, RejectReason::UnknownTable, echo);
             }
             if indices.is_empty() {
-                return reject(inner, replies, id, RejectReason::BadRequest, trace);
+                return reject(inner, replies, id, RejectReason::BadRequest, echo);
             }
             let host = inner.placement.host_index(table).expect("checked above");
             inner.metrics.fanout_hosts.record(1);
-            let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
+            let hop_trace = echo.unwrap_or_else(|| inner.fresh_trace());
+            let route = RouteSpans::begin(
+                inner,
+                trace,
+                hop_trace,
+                vec![host as u64],
+                indices.len() as u64,
+            );
+            let forward = route
+                .as_ref()
+                .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(0));
             let t0 = Instant::now();
             let replies_cb = replies.clone();
+            let route_cb = route.clone();
             let route_ns = Arc::clone(&inner.metrics.route_ns);
             let sent = inner.backends[host].update(
                 table,
                 &indices,
                 &deltas,
                 deadline,
-                Some(hop_trace),
+                Some(forward),
                 Box::new(move |msg, _| {
                     route_ns.record(t0.elapsed().as_nanos() as u64);
-                    replies_cb.send(encode_response_traced(id, &to_response(msg), trace));
+                    if let Some(route) = &route_cb {
+                        route.record_fanout(0);
+                        route.record_root();
+                    }
+                    replies_cb.send(encode_response_traced(id, &to_response(msg), echo));
                 }),
             );
+            if let Some(route) = &route {
+                route.record_admit(Instant::now());
+            }
             if sent.is_err() {
-                reject(inner, replies, id, RejectReason::Internal, trace);
+                reject(inner, replies, id, RejectReason::Internal, echo);
             }
         }
         ClientMsg::GenerateMulti { parts, deadline } => {
             dispatch_multi(inner, replies, id, parts, deadline, trace);
+        }
+        ClientMsg::Traces => {
+            // One scrape covers the tier: the router's own spans first,
+            // then every backend's (each drain empties its buffer, so a
+            // span is reported exactly once across scrapes).
+            let mut out = inner.spans.drain_jsonl();
+            for backend in &inner.backends {
+                match backend.traces_jsonl() {
+                    Ok(jsonl) => out.push_str(&jsonl),
+                    Err(_) => {
+                        // An unreachable backend loses its spans for this
+                        // scrape only; the joiner sees a partial timeline
+                        // rather than the scrape failing outright.
+                    }
+                }
+            }
+            replies.send(encode_traces(id, &out));
         }
         ClientMsg::Tables | ClientMsg::Hello(_) => {
             replies.send(encode_table_list(id, &inner.inventory));
@@ -648,14 +833,15 @@ fn dispatch_multi(
     id: u64,
     parts: Vec<(usize, Vec<u64>)>,
     deadline: Option<Duration>,
-    trace: Option<u64>,
+    trace: Option<TraceCtx>,
 ) {
+    let echo = trace.map(|t| t.trace_id);
     inner.metrics.requests_total.inc();
     if parts.is_empty() || parts.iter().any(|(_, ix)| ix.is_empty()) {
-        return reject(inner, replies, id, RejectReason::BadRequest, trace);
+        return reject(inner, replies, id, RejectReason::BadRequest, echo);
     }
     if parts.iter().any(|(t, _)| *t >= inner.placement.tables()) {
-        return reject(inner, replies, id, RejectReason::UnknownTable, trace);
+        return reject(inner, replies, id, RejectReason::UnknownTable, echo);
     }
     // Group part indices by owning host, preserving part order within
     // each group (and across groups for the single-host fast path).
@@ -672,24 +858,43 @@ fn dispatch_multi(
         }
     }
     inner.metrics.fanout_hosts.record(groups.len() as u64);
-    let hop_trace = trace.unwrap_or_else(|| inner.fresh_trace());
+    let hop_trace = echo.unwrap_or_else(|| inner.fresh_trace());
+    let total_queries: u64 = parts.iter().map(|(_, ix)| ix.len() as u64).sum();
+    let route = RouteSpans::begin(
+        inner,
+        trace,
+        hop_trace,
+        groups.iter().map(|(h, _)| *h as u64).collect(),
+        total_queries,
+    );
     let t0 = Instant::now();
     if let [(host, _)] = groups.as_slice() {
         // Single host: forward unsplit; part order is already reply
         // order.
+        let forward = route
+            .as_ref()
+            .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(0));
         let replies_cb = replies.clone();
+        let route_cb = route.clone();
         let route_ns = Arc::clone(&inner.metrics.route_ns);
         let sent = inner.backends[*host].generate_multi(
             &parts,
             deadline,
-            Some(hop_trace),
+            Some(forward),
             Box::new(move |msg, _| {
                 route_ns.record(t0.elapsed().as_nanos() as u64);
-                replies_cb.send(encode_response_traced(id, &to_response(msg), trace));
+                if let Some(route) = &route_cb {
+                    route.record_fanout(0);
+                    route.record_root();
+                }
+                replies_cb.send(encode_response_traced(id, &to_response(msg), echo));
             }),
         );
+        if let Some(route) = &route {
+            route.record_admit(Instant::now());
+        }
         if sent.is_err() {
-            reject(inner, replies, id, RejectReason::Internal, trace);
+            reject(inner, replies, id, RejectReason::Internal, echo);
         }
         return;
     }
@@ -702,16 +907,25 @@ fn dispatch_multi(
             .iter()
             .map(|&p| (parts[p].0, parts[p].1.clone()))
             .collect();
+        let forward = route
+            .as_ref()
+            .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(g));
         let replies_cb = replies.clone();
         let inner_cb = Arc::clone(inner);
         let state_cb = Arc::clone(&state);
+        let route_cb = route.clone();
         let group_parts = group_parts.clone();
         let part_lens = part_lens.clone();
         let sent = inner.backends[*host].generate_multi(
             &group,
             deadline,
-            Some(hop_trace),
+            Some(forward),
             Box::new(move |msg, _| {
+                // This hop's fanout span closes when its reply lands,
+                // whether or not it is the last one home.
+                if let Some(route) = &route_cb {
+                    route.record_fanout(g);
+                }
                 let mut guard = lock_unpoisoned(&state_cb);
                 guard.0[g] = Some(msg);
                 guard.1 -= 1;
@@ -734,11 +948,16 @@ fn dispatch_multi(
                     .record(t0.elapsed().as_nanos() as u64);
                 let m0 = Instant::now();
                 let merged = merge_groups(&group_parts, &part_lens, results);
+                let m1 = Instant::now();
                 inner_cb
                     .metrics
                     .merge_ns
-                    .record(m0.elapsed().as_nanos() as u64);
-                replies_cb.send(encode_response_traced(id, &merged, trace));
+                    .record((m1 - m0).as_nanos() as u64);
+                if let Some(route) = &route_cb {
+                    route.record_merge(m0, m1);
+                    route.record_root();
+                }
+                replies_cb.send(encode_response_traced(id, &merged, echo));
             }),
         );
         if sent.is_err() {
@@ -753,11 +972,14 @@ fn dispatch_multi(
                     replies.send(encode_response_traced(
                         id,
                         &Response::Rejected(RejectReason::Internal),
-                        trace,
+                        echo,
                     ));
                 }
             }
         }
+    }
+    if let Some(route) = &route {
+        route.record_admit(Instant::now());
     }
 }
 

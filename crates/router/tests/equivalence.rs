@@ -8,7 +8,7 @@ use secemb_serve::protocol::{
     decode_server_traced, encode_generate, encode_generate_traced, ServerMsg,
 };
 use secemb_serve::{
-    execute_batch, Client, Engine, EngineConfig, RejectReason, Server, TableConfig,
+    execute_batch, Client, Engine, EngineConfig, RejectReason, Server, TableConfig, TraceCtx,
 };
 use secemb_tensor::Matrix;
 use secemb_trace::check::compare_traces;
@@ -161,7 +161,7 @@ fn trace_ids_survive_the_router_hop() {
 
     write_frame(
         &mut writer,
-        &encode_generate_traced(1, 0, &[1, 2], None, Some(0xDEAD_BEEF)),
+        &encode_generate_traced(1, 0, &[1, 2], None, Some(TraceCtx::new(0xDEAD_BEEF))),
     )
     .expect("write traced");
     let payload = read_frame(&mut reader).expect("read traced");

@@ -29,7 +29,9 @@
 //! breakdown, table, SLA verdict, reject reason); `--scrape-metrics`
 //! fetches the Prometheus `METRICS` frame after the sweep and prints it;
 //! `--scrape-stats` does the same with the `STATS` snapshot (through a
-//! router, the merged fleet view).
+//! router, the merged fleet view). `--trace` stamps every request with
+//! a sequential public trace id so sampled servers emit spans for the
+//! run (pair with a server-side `--trace-sample`).
 
 use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::Client;
@@ -53,6 +55,7 @@ struct Args {
     out: Option<PathBuf>,
     scrape_metrics: bool,
     scrape_stats: bool,
+    trace: bool,
 }
 
 fn usage() -> ! {
@@ -60,7 +63,7 @@ fn usage() -> ! {
         "usage: secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,... [--table N]... \
          [--conns N] [--idle-conns N] [--batch N] [--secs S] [--deadline-ms D] \
          [--schedule paced|poisson] [--pipeline-depth K] [--write-frac F] \
-         [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats]"
+         [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats] [--trace]"
     );
     std::process::exit(2);
 }
@@ -88,6 +91,7 @@ fn parse_args() -> Args {
         out: None,
         scrape_metrics: false,
         scrape_stats: false,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -127,6 +131,7 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(PathBuf::from(value())),
             "--scrape-metrics" => args.scrape_metrics = true,
             "--scrape-stats" => args.scrape_stats = true,
+            "--trace" => args.trace = true,
             _ => usage(),
         }
     }
@@ -205,6 +210,7 @@ fn main() {
             write_frac: args.write_frac,
             seed: 1,
             record_requests: out.is_some(),
+            trace: args.trace,
         });
         match report {
             Ok(r) => {

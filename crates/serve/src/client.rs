@@ -11,10 +11,11 @@
 //! shared lock.
 
 use crate::protocol::{
-    decode_server, encode_generate, encode_generate_multi, encode_metrics_request,
-    encode_plan_pull, encode_plan_push, encode_stats_request, encode_tables_request, encode_update,
-    ServerMsg,
+    decode_server, encode_generate, encode_generate_multi, encode_generate_traced,
+    encode_metrics_request, encode_plan_pull, encode_plan_push, encode_stats_request,
+    encode_tables_request, encode_traces_request, encode_update, ServerMsg,
 };
+use secemb_telemetry::TraceCtx;
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::collections::{HashSet, VecDeque};
@@ -99,6 +100,29 @@ impl ClientSender {
         Ok(id)
     }
 
+    /// [`ClientSender::send_generate`] with a distributed-trace context
+    /// riding the frame. The trace id is public — servers key span
+    /// sampling on it and nothing else — and is echoed on the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn send_generate_traced(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deadline: Option<Duration>,
+        trace: TraceCtx,
+    ) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(
+            &mut self.writer,
+            &encode_generate_traced(id, table, indices, deadline, Some(trace)),
+        )?;
+        Ok(id)
+    }
+
     /// Sends an update (oblivious read-modify-write) request without
     /// waiting, returning the request id its response will carry.
     ///
@@ -121,6 +145,40 @@ impl ClientSender {
         write_frame(
             &mut self.writer,
             &encode_update(id, table, indices, deltas, deadline),
+        )?;
+        Ok(id)
+    }
+
+    /// [`ClientSender::send_update`] with a distributed-trace context
+    /// riding the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not `indices.len() × dim`.
+    pub fn send_update_traced(
+        &mut self,
+        table: usize,
+        indices: &[u64],
+        deltas: &Matrix,
+        deadline: Option<Duration>,
+        trace: TraceCtx,
+    ) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(
+            &mut self.writer,
+            &crate::protocol::encode_update_traced(
+                id,
+                table,
+                indices,
+                deltas,
+                deadline,
+                Some(trace),
+            ),
         )?;
         Ok(id)
     }
@@ -364,6 +422,23 @@ impl Client {
         match self.round_trip(id, &encode_metrics_request(id))? {
             ServerMsg::Metrics(text) => Ok(text),
             _ => Err(bad_reply("expected metrics")),
+        }
+    }
+
+    /// Scrapes the peer's span buffer: every span recorded since the
+    /// last scrape as JSONL (one span per line, plus one collector meta
+    /// line per scraped host). Scraping a router returns the whole
+    /// tier's spans — the router appends each backend's drain to its
+    /// own.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn traces_jsonl(&mut self) -> io::Result<String> {
+        let id = self.fresh_id();
+        match self.round_trip(id, &encode_traces_request(id))? {
+            ServerMsg::Traces(jsonl) => Ok(jsonl),
+            _ => Err(bad_reply("expected traces")),
         }
     }
 

@@ -37,7 +37,10 @@ use secemb::{measure_cost, EmbeddingGenerator, GeneratorSpec, Technique};
 use secemb_enclave::CostModel;
 use secemb_laoram::LaStats;
 use secemb_oram::AccessStats;
-use secemb_telemetry::{Counter, Gauge, Registry, Stage, StageBreakdown};
+use secemb_telemetry::{
+    Counter, Gauge, Registry, SpanCollector, SpanRecord, Stage, StageBreakdown, TraceCtx,
+    DEFAULT_SPAN_CAPACITY,
+};
 use secemb_tensor::Matrix;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -136,6 +139,34 @@ pub struct EngineConfig {
     /// path is identical, only the atomic stores are skipped — and
     /// responses still carry their stage breakdowns.
     pub telemetry: bool,
+    /// Distributed-trace span collection (default off). When set, the
+    /// engine records per-request spans for traced requests whose
+    /// public trace id passes the sampling test — never keyed on a
+    /// table or index.
+    pub tracing: Option<TraceSettings>,
+}
+
+/// Span-collection settings for an engine's [`SpanCollector`].
+#[derive(Clone, Debug)]
+pub struct TraceSettings {
+    /// Host label stamped on every span this process emits.
+    pub host: String,
+    /// Record spans only for trace ids divisible by this (1 keeps
+    /// every traced request, 0 none).
+    pub sample_every: u64,
+    /// Bound on buffered spans between scrapes.
+    pub capacity: usize,
+}
+
+impl TraceSettings {
+    /// Settings with the default span-buffer capacity.
+    pub fn new(host: &str, sample_every: u64) -> Self {
+        TraceSettings {
+            host: host.to_string(),
+            sample_every,
+            capacity: DEFAULT_SPAN_CAPACITY,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -148,6 +179,7 @@ impl EngineConfig {
             probe_batch: 8,
             probe_repeats: 3,
             telemetry: true,
+            tracing: None,
         }
     }
 }
@@ -217,6 +249,9 @@ struct Job {
     /// When a worker popped this job off the shard queue (initialized to
     /// `enqueued`; overwritten at dequeue).
     dequeued: Instant,
+    /// The sampled trace context, if this request is being traced. Set
+    /// at admission by a test keyed only on the public trace id.
+    trace: Option<TraceCtx>,
     reply: ReplyFn,
 }
 
@@ -389,6 +424,9 @@ pub struct Engine {
     active_plan: Mutex<Option<AllocationPlan>>,
     probe_batch: usize,
     probe_repeats: usize,
+    /// Per-request span buffer (inert unless `EngineConfig::tracing`
+    /// was set).
+    spans: Arc<SpanCollector>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -409,6 +447,7 @@ struct WorkerSetup {
     /// Liveness flags of every replica in this shard (own entry at
     /// `replica`); cleared on panic, checked to find the last survivor.
     shard_alive: Vec<Arc<AtomicBool>>,
+    spans: Arc<SpanCollector>,
 }
 
 /// The per-counter increments between two cumulative [`AccessStats`]
@@ -630,6 +669,10 @@ impl Engine {
         });
         let stats = Arc::new(ServerStats::with_registry(Arc::clone(&registry)));
         stats.set_replicas(replicas as u64);
+        let spans = Arc::new(match &config.tracing {
+            Some(t) => SpanCollector::with_capacity(&t.host, t.sample_every, t.capacity),
+            None => SpanCollector::disabled(),
+        });
         let mut shards = Vec::with_capacity(config.tables.len());
         let mut workers = Vec::with_capacity(config.tables.len() * replicas);
         for (id, t) in config.tables.iter().enumerate() {
@@ -676,6 +719,7 @@ impl Engine {
                     samples: Arc::clone(&samples),
                     policy: config.policy,
                     shard_alive: alive.clone(),
+                    spans: Arc::clone(&spans),
                 };
                 workers.push(spawn_worker(setup));
             }
@@ -702,6 +746,7 @@ impl Engine {
             active_plan: Mutex::new(None),
             probe_batch: config.probe_batch,
             probe_repeats: config.probe_repeats,
+            spans,
             workers: Mutex::new(workers),
         }
     }
@@ -756,6 +801,13 @@ impl Engine {
     /// Renders the full registry in Prometheus text exposition format.
     pub fn render_metrics(&self) -> String {
         self.stats.render_prometheus()
+    }
+
+    /// The engine's span collector. Inert (samples nothing, buffers
+    /// nothing) when the engine was started without
+    /// `EngineConfig::tracing`.
+    pub fn spans(&self) -> Arc<SpanCollector> {
+        Arc::clone(&self.spans)
     }
 
     /// The epoch of the active allocation (bumped once per applied plan).
@@ -978,6 +1030,9 @@ impl Engine {
             enqueued,
             admit_ns: enqueued.saturating_duration_since(t0).as_nanos() as u64,
             dequeued: enqueued,
+            // The sampling decision reads only the wire-level trace id —
+            // never the table, the indices, or any other request content.
+            trace: request.trace.filter(|t| self.spans.sampled(t.trace_id)),
             reply,
         };
         shard.pending_queries.fetch_add(n as u64, Ordering::Relaxed);
@@ -1080,6 +1135,7 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
         samples,
         policy,
         shard_alive,
+        spans,
     } = setup;
     let mut poisoned = false;
     std::thread::Builder::new()
@@ -1218,6 +1274,7 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
                 generated.saturating_duration_since(dispatch).as_nanos() as f64
                     / total_queries as f64,
             );
+            let batch_jobs = live.len();
             for (job, out) in live.into_iter().zip(outputs) {
                 pending.fetch_sub(job.indices.len() as u64, Ordering::Relaxed);
                 let done = Instant::now();
@@ -1248,6 +1305,72 @@ fn spawn_worker(setup: WorkerSetup) -> JoinHandle<()> {
                 let latency_ns =
                     job.admit_ns + done.saturating_duration_since(job.enqueued).as_nanos() as u64;
                 stats.record_completed(technique, job.indices.len(), latency_ns as f64, &stages);
+                if let Some(ctx) = job.trace {
+                    // Spans are derived from the SAME instants as the
+                    // breakdown above: each stage span's duration equals
+                    // the corresponding `StageBreakdown` entry exactly
+                    // (`ns_of` is a fixed-anchor shift, so differences
+                    // reproduce `saturating_duration_since` verbatim).
+                    let root_id = spans.fresh_span_id();
+                    let root_start = spans.ns_of(job.enqueued).saturating_sub(job.admit_ns);
+                    let marks = [
+                        root_start,
+                        spans.ns_of(job.enqueued),
+                        spans.ns_of(job.dequeued),
+                        spans.ns_of(dispatch),
+                        spans.ns_of(generated),
+                        spans.ns_of(done),
+                    ];
+                    spans.record(SpanRecord {
+                        trace_id: ctx.trace_id,
+                        span_id: root_id,
+                        parent_span: ctx.parent_span,
+                        host: spans.host().to_string(),
+                        component: "server",
+                        name: "request",
+                        start_ns: root_start,
+                        end_ns: marks[5],
+                        attrs: vec![
+                            ("table", table as u64),
+                            ("queries", job.indices.len() as u64),
+                        ],
+                    });
+                    // One child per measured stage (`write` belongs to
+                    // the transport and is emitted by the connection
+                    // writer's metrics, not here).
+                    for (i, stage) in Stage::ALL.iter().take(5).enumerate() {
+                        spans.record(SpanRecord {
+                            trace_id: ctx.trace_id,
+                            span_id: spans.fresh_span_id(),
+                            parent_span: Some(root_id),
+                            host: spans.host().to_string(),
+                            component: "server",
+                            name: stage.label(),
+                            start_ns: marks[i],
+                            end_ns: marks[i + 1],
+                            attrs: Vec::new(),
+                        });
+                    }
+                    // The worker's view of the coalesced batch this job
+                    // rode in: which shard replica ran it and how much
+                    // company it had — all size-shaped, public values.
+                    spans.record(SpanRecord {
+                        trace_id: ctx.trace_id,
+                        span_id: spans.fresh_span_id(),
+                        parent_span: Some(root_id),
+                        host: spans.host().to_string(),
+                        component: "worker",
+                        name: "batch",
+                        start_ns: marks[3],
+                        end_ns: marks[4],
+                        attrs: vec![
+                            ("table", table as u64),
+                            ("replica", replica as u64),
+                            ("batch_jobs", batch_jobs as u64),
+                            ("batch_queries", total_queries as u64),
+                        ],
+                    });
+                }
                 (job.reply)(Response::Embeddings(out, stages));
             }
         })

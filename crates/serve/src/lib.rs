@@ -81,9 +81,11 @@ pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGua
 
 pub use batcher::{execute_batch, BatchPolicy};
 pub use client::{Client, ClientReceiver, ClientSender, RemoteTable};
-pub use engine::{Engine, EngineConfig, PlanError, ShardPolicy, TableConfig, TableInfo, Ticket};
-pub use reactor::{FrameReactor, ReplySender};
+pub use engine::{
+    Engine, EngineConfig, PlanError, ShardPolicy, TableConfig, TableInfo, Ticket, TraceSettings,
+};
+pub use reactor::{FrameReactor, ReactorConfig, ReplySender};
 pub use request::{RejectReason, Request, Response};
-pub use secemb_telemetry::{Registry, Stage, StageBreakdown};
-pub use server::{ConnectionBackend, Server};
+pub use secemb_telemetry::{Registry, SpanCollector, Stage, StageBreakdown, TraceCtx};
+pub use server::{ConnectionBackend, Server, ServerOptions};
 pub use stats::{ServerStats, StatsSnapshot, WorkerBatches};

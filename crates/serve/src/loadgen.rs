@@ -8,13 +8,13 @@ use crate::request::RejectReason;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secemb::stats::LatencySummary;
-use secemb_telemetry::{Stage, StageBreakdown};
+use secemb_telemetry::{Stage, StageBreakdown, TraceCtx};
 use secemb_tensor::Matrix;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -99,6 +99,11 @@ pub struct LoadConfig {
     /// When true, the report carries one [`RequestRecord`] per answered
     /// request (completed or rejected) for per-request JSONL export.
     pub record_requests: bool,
+    /// When true, every request carries a distributed-trace context with
+    /// a sequential public trace id (shared counter across connections),
+    /// so a server running `--trace-sample N` records spans for every
+    /// N-th request. The trace id never encodes tables or indices.
+    pub trace: bool,
 }
 
 /// One answered request, as the client observed it. Only present in a
@@ -295,6 +300,11 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         io_error: Option<io::Error>,
     }
 
+    // Sequential public trace ids, shared across every connection; the
+    // server head-samples on `trace_id % N`, so sequential ids sample
+    // uniformly over the run regardless of which connection sent what.
+    let next_trace = AtomicU64::new(1);
+    let next_trace = &next_trace;
     let shapes = &shapes;
     let results: Vec<ThreadResult> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..config.connections)
@@ -428,15 +438,36 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                             (0..config.batch).map(|_| rng.gen_range(0..rows)).collect();
                         let is_write =
                             config.write_frac > 0.0 && rng.gen::<f64>() < config.write_frac;
+                        let trace = config
+                            .trace
+                            .then(|| TraceCtx::new(next_trace.fetch_add(1, Ordering::Relaxed)));
                         let t0 = Instant::now();
-                        let sent = if is_write {
-                            // Gradient-sized deltas: small, zero-mean.
-                            let deltas = Matrix::from_fn(indices.len(), dim, |_, _| {
-                                (rng.gen::<f32>() - 0.5) * 1e-3
-                            });
-                            sender.send_update(table, &indices, &deltas, config.deadline)
-                        } else {
-                            sender.send_generate(table, &indices, config.deadline)
+                        let sent = match (is_write, trace) {
+                            (true, trace) => {
+                                // Gradient-sized deltas: small, zero-mean.
+                                let deltas = Matrix::from_fn(indices.len(), dim, |_, _| {
+                                    (rng.gen::<f32>() - 0.5) * 1e-3
+                                });
+                                match trace {
+                                    Some(t) => sender.send_update_traced(
+                                        table,
+                                        &indices,
+                                        &deltas,
+                                        config.deadline,
+                                        t,
+                                    ),
+                                    None => sender.send_update(
+                                        table,
+                                        &indices,
+                                        &deltas,
+                                        config.deadline,
+                                    ),
+                                }
+                            }
+                            (false, Some(t)) => {
+                                sender.send_generate_traced(table, &indices, config.deadline, t)
+                            }
+                            (false, None) => sender.send_generate(table, &indices, config.deadline),
                         };
                         match sent {
                             Ok(id) => {

@@ -21,6 +21,7 @@
 //! | 7 `PlanPush` | `u64` request id, string (the [`AllocationPlan`] JSON) |
 //! | 8 `Hello` | `u64` request id, string (the peer's role, e.g. `router`); answered with a `Tables` response |
 //! | 9 `Update` | `u64` request id, `u32` table, `u64` deadline ns (0 = none), `u32` count, `count × u64` indices, `u32` dim, `count·dim × f32` delta rows; answered with the post-update rows as an `Embeddings` response |
+//! | 10 `Traces` | `u64` request id; drains the peer's buffered spans, answered with a `Traces` response |
 //!
 //! Server → client:
 //!
@@ -33,24 +34,28 @@
 //! | 5 `Metrics` | `u64` request id, string (Prometheus text exposition of the server's metrics registry) |
 //! | 6 `Plan` | `u64` request id, `u8` present flag, string (the active [`AllocationPlan`] JSON when present) |
 //! | 7 `PlanAck` | `u64` request id, `u8` ok flag, `u64` swap epoch, string (error text when not ok) |
+//! | 8 `Traces` | `u64` request id, string (the peer's drained spans as JSONL, see `secemb-telemetry`) |
 //!
 //! ## Trace ids
 //!
-//! `Generate` and `GenerateMulti` requests may carry an optional
-//! trailing `u64` *trace id*; `Embeddings` and `Rejected` responses echo
-//! it as a trailing `u64` **only when the request carried one**. The
-//! trailing placement keeps the extension backward compatible: the
-//! request decoders read exactly the fields they know, so an old server
-//! ignores a trace id it never echoes, and an old client never receives
-//! one. A router stamps each hop of a fanned-out request with the same
-//! trace id so the per-host [`StageBreakdown`]s join into one
-//! cross-host span.
+//! `Generate`, `Update`, and `GenerateMulti` requests may carry an
+//! optional trailing *trace context*: either a `u64` trace id alone
+//! (8 trailing bytes) or a trace id followed by the sender's `u64`
+//! *parent span id* (16 trailing bytes) — the span the receiving host
+//! should parent its own spans under. `Embeddings` and `Rejected`
+//! responses echo the trace id as a trailing `u64` **only when the
+//! request carried one**. The trailing placement keeps the extension
+//! backward compatible: the request decoders read exactly the fields
+//! they know, so an old server ignores a trace context it never echoes,
+//! and an old client never receives one. A router stamps each hop of a
+//! fanned-out request with the same trace id (plus its fan-out span as
+//! the parent) so the per-host spans join into one cross-host timeline.
 //!
 //! [`AllocationPlan`]: secemb::hybrid::AllocationPlan
 
 use crate::engine::TableInfo;
 use crate::request::{RejectReason, Response};
-use secemb_telemetry::{Stage, StageBreakdown};
+use secemb_telemetry::{Stage, StageBreakdown, TraceCtx};
 use secemb_tensor::Matrix;
 use secemb_wire::bytes::{ByteReader, ByteWriter, Truncated};
 use std::fmt;
@@ -65,6 +70,7 @@ const TAG_PLAN_PULL: u8 = 6;
 const TAG_PLAN_PUSH: u8 = 7;
 const TAG_HELLO: u8 = 8;
 const TAG_UPDATE: u8 = 9;
+const TAG_TRACES: u8 = 10;
 
 const TAG_EMBEDDINGS: u8 = 1;
 const TAG_REJECTED: u8 = 2;
@@ -73,6 +79,7 @@ const TAG_STATS_RESP: u8 = 4;
 const TAG_METRICS_RESP: u8 = 5;
 const TAG_PLAN_RESP: u8 = 6;
 const TAG_PLAN_ACK: u8 = 7;
+const TAG_TRACES_RESP: u8 = 8;
 
 /// Largest part count one `GenerateMulti` message may carry.
 pub const MAX_PARTS: usize = 1 << 12;
@@ -159,6 +166,8 @@ pub enum ClientMsg {
     Stats,
     /// Fetch the Prometheus-style metrics rendering.
     Metrics,
+    /// Drain the peer's buffered spans (answered with `Traces`).
+    Traces,
 }
 
 /// A decoded server message.
@@ -186,6 +195,29 @@ pub enum ServerMsg {
         /// Error text when not ok.
         error: String,
     },
+    /// The peer's drained spans as JSONL text.
+    Traces(String),
+}
+
+/// Appends a trace context as trailing bytes: the trace id, then the
+/// parent span id when present.
+fn put_trailing_trace(w: &mut ByteWriter, trace: Option<TraceCtx>) {
+    if let Some(t) = trace {
+        w.put_u64_le(t.trace_id);
+        if let Some(parent) = t.parent_span {
+            w.put_u64_le(parent);
+        }
+    }
+}
+
+/// Reads the optional trailing trace context: 8 remaining bytes carry a
+/// bare trace id, 16 carry trace id + parent span id.
+fn take_trailing_trace(r: &mut ByteReader<'_>) -> Result<Option<TraceCtx>, ProtocolError> {
+    Ok(match r.remaining() {
+        8 => Some(TraceCtx::new(r.get_u64_le()?)),
+        16 => Some(TraceCtx::with_parent(r.get_u64_le()?, r.get_u64_le()?)),
+        _ => None,
+    })
 }
 
 /// Encodes a `Generate` request payload.
@@ -198,15 +230,15 @@ pub fn encode_generate(
     encode_generate_traced(request_id, table, indices, deadline, None)
 }
 
-/// Encodes a `Generate` request payload with an optional trace id.
+/// Encodes a `Generate` request payload with an optional trace context.
 pub fn encode_generate_traced(
     request_id: u64,
     table: usize,
     indices: &[u64],
     deadline: Option<Duration>,
-    trace_id: Option<u64>,
+    trace: Option<TraceCtx>,
 ) -> Vec<u8> {
-    let mut w = ByteWriter::with_capacity(33 + indices.len() * 8);
+    let mut w = ByteWriter::with_capacity(41 + indices.len() * 8);
     w.put_u8(TAG_GENERATE);
     w.put_u64_le(request_id);
     w.put_u32_le(table as u32);
@@ -215,9 +247,7 @@ pub fn encode_generate_traced(
     for &i in indices {
         w.put_u64_le(i);
     }
-    if let Some(t) = trace_id {
-        w.put_u64_le(t);
-    }
+    put_trailing_trace(&mut w, trace);
     w.into_vec()
 }
 
@@ -236,7 +266,7 @@ pub fn encode_update(
     encode_update_traced(request_id, table, indices, deltas, deadline, None)
 }
 
-/// Encodes an `Update` request payload with an optional trace id.
+/// Encodes an `Update` request payload with an optional trace context.
 ///
 /// # Panics
 ///
@@ -247,14 +277,14 @@ pub fn encode_update_traced(
     indices: &[u64],
     deltas: &Matrix,
     deadline: Option<Duration>,
-    trace_id: Option<u64>,
+    trace: Option<TraceCtx>,
 ) -> Vec<u8> {
     assert_eq!(
         deltas.rows(),
         indices.len(),
         "encode_update: one delta row per index"
     );
-    let mut w = ByteWriter::with_capacity(37 + indices.len() * 8 + deltas.len() * 4);
+    let mut w = ByteWriter::with_capacity(45 + indices.len() * 8 + deltas.len() * 4);
     w.put_u8(TAG_UPDATE);
     w.put_u64_le(request_id);
     w.put_u32_le(table as u32);
@@ -267,21 +297,20 @@ pub fn encode_update_traced(
     for &v in deltas.as_slice() {
         w.put_f32_le(v);
     }
-    if let Some(t) = trace_id {
-        w.put_u64_le(t);
-    }
+    put_trailing_trace(&mut w, trace);
     w.into_vec()
 }
 
-/// Encodes a `GenerateMulti` request payload with an optional trace id.
+/// Encodes a `GenerateMulti` request payload with an optional trace
+/// context.
 pub fn encode_generate_multi(
     request_id: u64,
     parts: &[(usize, Vec<u64>)],
     deadline: Option<Duration>,
-    trace_id: Option<u64>,
+    trace: Option<TraceCtx>,
 ) -> Vec<u8> {
     let total: usize = parts.iter().map(|(_, ix)| ix.len()).sum();
-    let mut w = ByteWriter::with_capacity(29 + parts.len() * 8 + total * 8);
+    let mut w = ByteWriter::with_capacity(37 + parts.len() * 8 + total * 8);
     w.put_u8(TAG_GENERATE_MULTI);
     w.put_u64_le(request_id);
     w.put_u64_le(deadline.map_or(0, |d| d.as_nanos() as u64));
@@ -293,9 +322,7 @@ pub fn encode_generate_multi(
             w.put_u64_le(i);
         }
     }
-    if let Some(t) = trace_id {
-        w.put_u64_le(t);
-    }
+    put_trailing_trace(&mut w, trace);
     w.into_vec()
 }
 
@@ -349,6 +376,14 @@ pub fn encode_metrics_request(request_id: u64) -> Vec<u8> {
     w.into_vec()
 }
 
+/// Encodes a `Traces` request payload (drain the peer's span buffer).
+pub fn encode_traces_request(request_id: u64) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(9);
+    w.put_u8(TAG_TRACES);
+    w.put_u64_le(request_id);
+    w.into_vec()
+}
+
 /// Decodes a client message payload into its request id and message.
 ///
 /// # Errors
@@ -360,18 +395,18 @@ pub fn decode_client(payload: &[u8]) -> Result<(u64, ClientMsg), ProtocolError> 
 }
 
 /// Decodes a client message payload, also returning the optional
-/// trailing trace id on `Generate`/`GenerateMulti`.
+/// trailing trace context on `Generate`/`Update`/`GenerateMulti`.
 ///
 /// # Errors
 ///
 /// Same as [`decode_client`].
 pub fn decode_client_traced(
     payload: &[u8],
-) -> Result<(u64, ClientMsg, Option<u64>), ProtocolError> {
+) -> Result<(u64, ClientMsg, Option<TraceCtx>), ProtocolError> {
     let mut r = ByteReader::new(payload);
     let tag = r.get_u8()?;
     let request_id = r.get_u64_le()?;
-    let mut trace_id = None;
+    let mut trace = None;
     let msg = match tag {
         TAG_GENERATE => {
             let table = r.get_u32_le()? as usize;
@@ -384,9 +419,7 @@ pub fn decode_client_traced(
             for _ in 0..count {
                 indices.push(r.get_u64_le()?);
             }
-            if r.remaining() == 8 {
-                trace_id = Some(r.get_u64_le()?);
-            }
+            trace = take_trailing_trace(&mut r)?;
             ClientMsg::Generate {
                 table,
                 indices,
@@ -406,18 +439,21 @@ pub fn decode_client_traced(
             }
             let dim = r.get_u32_le()? as usize;
             // Bound the allocation by what the payload can actually hold
-            // before trusting count·dim.
+            // before trusting count·dim; the trailing trace context may
+            // occupy 8 or 16 bytes past the rows.
             let elems = count
                 .checked_mul(dim)
-                .filter(|&e| e * 4 == r.remaining() || e * 4 + 8 == r.remaining())
+                .filter(|&e| {
+                    e * 4 == r.remaining()
+                        || e * 4 + 8 == r.remaining()
+                        || e * 4 + 16 == r.remaining()
+                })
                 .ok_or(ProtocolError::BadField("delta shape"))?;
             let mut data = Vec::with_capacity(elems);
             for _ in 0..elems {
                 data.push(r.get_f32_le()?);
             }
-            if r.remaining() == 8 {
-                trace_id = Some(r.get_u64_le()?);
-            }
+            trace = take_trailing_trace(&mut r)?;
             ClientMsg::Update {
                 table,
                 indices,
@@ -446,9 +482,7 @@ pub fn decode_client_traced(
                 }
                 parts.push((table, indices));
             }
-            if r.remaining() == 8 {
-                trace_id = Some(r.get_u64_le()?);
-            }
+            trace = take_trailing_trace(&mut r)?;
             ClientMsg::GenerateMulti {
                 parts,
                 deadline: (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns)),
@@ -460,9 +494,10 @@ pub fn decode_client_traced(
         TAG_TABLES => ClientMsg::Tables,
         TAG_STATS => ClientMsg::Stats,
         TAG_METRICS => ClientMsg::Metrics,
+        TAG_TRACES => ClientMsg::Traces,
         t => return Err(ProtocolError::BadTag(t)),
     };
-    Ok((request_id, msg, trace_id))
+    Ok((request_id, msg, trace))
 }
 
 /// Encodes an engine [`Response`] as a server message payload.
@@ -585,6 +620,16 @@ pub fn encode_plan_ack(request_id: u64, ok: bool, epoch: u64, error: &str) -> Ve
     w.into_vec()
 }
 
+/// Encodes the `Traces` response payload (the peer's drained spans as
+/// JSONL text).
+pub fn encode_traces(request_id: u64, jsonl: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(13 + jsonl.len());
+    w.put_u8(TAG_TRACES_RESP);
+    w.put_u64_le(request_id);
+    w.put_str(jsonl);
+    w.into_vec()
+}
+
 /// Decodes a server message payload into its request id and message.
 ///
 /// # Errors
@@ -675,6 +720,7 @@ pub fn decode_server_traced(
             let error = r.get_str()?;
             ServerMsg::PlanAck { ok, epoch, error }
         }
+        TAG_TRACES_RESP => ServerMsg::Traces(r.get_str()?),
         t => return Err(ProtocolError::BadTag(t)),
     };
     Ok((request_id, msg, trace_id))
@@ -828,10 +874,17 @@ mod tests {
                 deadline: Some(Duration::from_millis(8)),
             }
         );
-        // Traced frames carry the trailing id; untraced ones yield None.
-        let traced = encode_update_traced(22, 0, &[1], &Matrix::zeros(1, 2), None, Some(0xABCD));
+        // Traced frames carry the trailing context; untraced ones yield None.
+        let traced = encode_update_traced(
+            22,
+            0,
+            &[1],
+            &Matrix::zeros(1, 2),
+            None,
+            Some(TraceCtx::new(0xABCD)),
+        );
         let (id, msg, trace) = decode_client_traced(&traced).unwrap();
-        assert_eq!((id, trace), (22, Some(0xABCD)));
+        assert_eq!((id, trace), (22, Some(TraceCtx::new(0xABCD))));
         assert!(matches!(msg, ClientMsg::Update { deadline: None, .. }));
         assert_eq!(decode_client_traced(&payload).unwrap().2, None);
         // A delta count that disagrees with the payload is rejected (the
@@ -865,9 +918,9 @@ mod tests {
     fn trace_ids_ride_as_trailing_u64s() {
         // Request side: traced frames decode with the trace, and the
         // legacy decoder still accepts them (it ignores trailing bytes).
-        let traced = encode_generate_traced(5, 1, &[4, 5], None, Some(0xFEED));
+        let traced = encode_generate_traced(5, 1, &[4, 5], None, Some(TraceCtx::new(0xFEED)));
         let (id, msg, trace) = decode_client_traced(&traced).unwrap();
-        assert_eq!((id, trace), (5, Some(0xFEED)));
+        assert_eq!((id, trace), (5, Some(TraceCtx::new(0xFEED))));
         assert!(matches!(msg, ClientMsg::Generate { .. }));
         assert_eq!(decode_client(&traced).unwrap().0, 5);
         // An untraced frame yields None.
@@ -877,8 +930,11 @@ mod tests {
                 .2,
             None
         );
-        let multi = encode_generate_multi(6, &[(0, vec![1])], None, Some(9));
-        assert_eq!(decode_client_traced(&multi).unwrap().2, Some(9));
+        let multi = encode_generate_multi(6, &[(0, vec![1])], None, Some(TraceCtx::new(9)));
+        assert_eq!(
+            decode_client_traced(&multi).unwrap().2,
+            Some(TraceCtx::new(9))
+        );
 
         // Response side: echoed on embeddings and rejections alike.
         let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
@@ -900,6 +956,39 @@ mod tests {
         let (_, msg, trace) = decode_server_traced(&frame).unwrap();
         assert_eq!(trace, Some(99));
         assert_eq!(msg, ServerMsg::Rejected(RejectReason::QueueFull));
+    }
+
+    #[test]
+    fn parent_spans_ride_as_a_16_byte_trailer() {
+        // Every traceable request type round-trips the full context.
+        let ctx = TraceCtx::with_parent(0xFEED, 0xBEEF);
+        let gen = encode_generate_traced(1, 0, &[3, 4], None, Some(ctx));
+        assert_eq!(decode_client_traced(&gen).unwrap().2, Some(ctx));
+        assert_eq!(decode_client(&gen).unwrap().0, 1);
+        let upd = encode_update_traced(2, 0, &[1], &Matrix::zeros(1, 2), None, Some(ctx));
+        assert_eq!(decode_client_traced(&upd).unwrap().2, Some(ctx));
+        let multi = encode_generate_multi(3, &[(0, vec![1]), (1, vec![2])], None, Some(ctx));
+        assert_eq!(decode_client_traced(&multi).unwrap().2, Some(ctx));
+        // The 16-byte trailer is exactly 8 bytes longer than the bare id.
+        let bare = encode_generate_traced(1, 0, &[3, 4], None, Some(TraceCtx::new(0xFEED)));
+        assert_eq!(gen.len(), bare.len() + 8);
+    }
+
+    #[test]
+    fn traces_frames_round_trip() {
+        assert_eq!(
+            decode_client(&encode_traces_request(40)).unwrap(),
+            (40, ClientMsg::Traces)
+        );
+        let jsonl = "{\"trace_id\":1,\"span_id\":2}\n";
+        assert_eq!(
+            decode_server(&encode_traces(41, jsonl)).unwrap(),
+            (41, ServerMsg::Traces(jsonl.into()))
+        );
+        assert_eq!(
+            decode_server(&encode_traces(42, "")).unwrap(),
+            (42, ServerMsg::Traces(String::new()))
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! one dispatch implementation across both backends.
 
 use mio::{Events, Interest, Poll, Token, Waker};
+use secemb_telemetry::{Counter, Histogram, Registry};
 use secemb_wire::frame::{encode_frame_into, FrameDecoder};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -31,7 +32,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::lock_unpoisoned;
 
@@ -60,6 +61,63 @@ pub type ConnFactory = Box<dyn FnMut(usize) -> Dispatch + Send>;
 /// Write-stage callback: reply-enqueue → socket-write nanoseconds for
 /// each flushed reply frame.
 pub type WriteRecorder = Box<dyn Fn(u64) + Send>;
+
+/// Optional reactor behavior beyond the defaults of
+/// [`FrameReactor::start`].
+#[derive(Default)]
+pub struct ReactorConfig {
+    /// Registry for the reactor's event-loop metrics (poll-wait and
+    /// dispatch durations, ready-batch sizes, backpressure stalls,
+    /// read-budget exhaustions, idle reaps). `None` leaves them inert.
+    pub registry: Option<Arc<Registry>>,
+    /// Reap connections idle (no bytes read or written) longer than
+    /// this. `None` (the default) never reaps — the server waits for
+    /// peers to close, as before.
+    pub idle_timeout: Option<Duration>,
+}
+
+/// The reactor's own observability: what the event loop spends its time
+/// on and which safety valves fire. All handles come from one registry
+/// (inert when the reactor was started without one), so enabling them
+/// cannot change scheduling — recording is a relaxed atomic op.
+struct ReactorMetrics {
+    /// Time blocked in `epoll_wait` per wakeup.
+    poll_wait_ns: Arc<Histogram>,
+    /// Time spent servicing one wakeup's readiness events (reads,
+    /// dispatches, flushes).
+    dispatch_ns: Arc<Histogram>,
+    /// Readiness events delivered per wakeup.
+    ready_batch: Arc<Histogram>,
+    /// Cross-thread replies drained from the outbox per wakeup.
+    outbox_drained: Arc<Histogram>,
+    /// A connection's unflushed reply queue depth, sampled when worker
+    /// replies join it.
+    conn_wq_depth: Arc<Histogram>,
+    /// Reads paused because a connection's write queue crossed
+    /// [`WQ_HIGH_WATER`].
+    backpressure_stalls: Arc<Counter>,
+    /// Reads cut short by the per-event fairness budget.
+    read_budget_exhausted: Arc<Counter>,
+    /// Connections closed by the idle sweep.
+    idle_reaped: Arc<Counter>,
+}
+
+impl ReactorMetrics {
+    fn new(registry: Option<&Arc<Registry>>) -> ReactorMetrics {
+        let disabled = Registry::disabled();
+        let r = registry.map_or(&disabled, Arc::as_ref);
+        ReactorMetrics {
+            poll_wait_ns: r.histogram("reactor_poll_wait_ns"),
+            dispatch_ns: r.histogram("reactor_dispatch_ns"),
+            ready_batch: r.histogram("reactor_ready_batch"),
+            outbox_drained: r.histogram("reactor_outbox_drained"),
+            conn_wq_depth: r.histogram("reactor_conn_wq_depth"),
+            backpressure_stalls: r.counter("reactor_backpressure_stalls_total"),
+            read_budget_exhausted: r.counter("reactor_read_budget_exhausted_total"),
+            idle_reaped: r.counter("reactor_idle_reaped_total"),
+        }
+    }
+}
 
 /// Where a dispatched request's encoded reply goes: the threaded
 /// backend's per-connection writer channel, or the reactor's outbox.
@@ -148,6 +206,9 @@ struct Conn {
     read_paused: bool,
     /// Interest currently registered with epoll (`None` = deregistered).
     registered: Option<Interest>,
+    /// Last instant any byte moved on this socket (either direction);
+    /// the idle sweep compares against it.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -209,6 +270,22 @@ impl FrameReactor {
         factory: ConnFactory,
         on_write_ns: WriteRecorder,
     ) -> io::Result<FrameReactor> {
+        FrameReactor::start_with(listener, factory, on_write_ns, ReactorConfig::default())
+    }
+
+    /// [`FrameReactor::start`] with explicit [`ReactorConfig`]: event-loop
+    /// metrics land in `config.registry`, and `config.idle_timeout` arms
+    /// the idle-connection sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns setup errors (epoll creation, registration, spawn).
+    pub fn start_with(
+        listener: TcpListener,
+        factory: ConnFactory,
+        on_write_ns: WriteRecorder,
+        config: ReactorConfig,
+    ) -> io::Result<FrameReactor> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let poll = Poll::new()?;
@@ -227,15 +304,12 @@ impl FrameReactor {
             std::thread::Builder::new()
                 .name("secemb-reactor".into())
                 .spawn(move || {
-                    run_loop(
-                        poll,
-                        listener,
-                        outbox,
-                        stop,
-                        live_conns,
+                    let loop_io = LoopIo {
                         factory,
                         on_write_ns,
-                    );
+                        config,
+                    };
+                    run_loop(poll, listener, outbox, stop, live_conns, loop_io);
                 })?
         };
         Ok(FrameReactor {
@@ -281,6 +355,14 @@ impl Drop for FrameReactor {
     }
 }
 
+/// The callbacks and behavior knobs [`run_loop`] consumes, bundled so
+/// the loop's signature stays readable.
+struct LoopIo {
+    factory: ConnFactory,
+    on_write_ns: WriteRecorder,
+    config: ReactorConfig,
+}
+
 #[allow(clippy::too_many_lines)]
 fn run_loop(
     mut poll: Poll,
@@ -288,9 +370,22 @@ fn run_loop(
     outbox: Arc<Outbox>,
     stop: Arc<AtomicBool>,
     live_conns: Arc<AtomicU64>,
-    mut factory: ConnFactory,
-    on_write_ns: WriteRecorder,
+    io: LoopIo,
 ) {
+    let LoopIo {
+        mut factory,
+        on_write_ns,
+        config,
+    } = io;
+    let metrics = ReactorMetrics::new(config.registry.as_ref());
+    // With reaping armed, epoll must wake even on a silent fleet, so the
+    // sweep can run; a quarter of the timeout bounds reap latency to
+    // ~1.25× the configured idle time without busy-waking.
+    let poll_timeout = config
+        .idle_timeout
+        .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+    let mut last_sweep = Instant::now();
+
     let mut events = Events::with_capacity(1024);
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_id: usize = 0;
@@ -298,13 +393,19 @@ fn run_loop(
     let mut dead: Vec<usize> = Vec::new();
 
     loop {
-        if poll.poll(&mut events, None).is_err() {
+        let wait_start = Instant::now();
+        if poll.poll(&mut events, poll_timeout).is_err() {
             // Unrecoverable epoll failure; nothing to serve without it.
             break;
         }
+        metrics
+            .poll_wait_ns
+            .record(wait_start.elapsed().as_nanos() as u64);
         if stop.load(Ordering::SeqCst) {
             break;
         }
+        let service_start = Instant::now();
+        metrics.ready_batch.record(events.iter().count() as u64);
 
         for event in &events {
             match event.token() {
@@ -341,6 +442,7 @@ fn run_loop(
                                         closing: false,
                                         read_paused: false,
                                         registered: Some(Interest::READABLE),
+                                        last_activity: Instant::now(),
                                     },
                                 );
                                 live_conns.fetch_add(1, Ordering::Relaxed);
@@ -363,7 +465,7 @@ fn run_loop(
                             outbox: Arc::clone(&outbox),
                             conn: id,
                         };
-                        if !read_and_dispatch(conn, &mut read_buf, &outbox_handle) {
+                        if !read_and_dispatch(conn, &mut read_buf, &outbox_handle, &metrics) {
                             // I/O error beyond EOF: nothing more can be
                             // read *or* written reliably.
                             dead.push(id);
@@ -379,11 +481,34 @@ fn run_loop(
 
         // Replies that completed on engine worker threads since the last
         // pass join their connections' write queues in completion order.
-        for (id, t0, frame) in outbox.drain() {
+        let staged = outbox.drain();
+        metrics.outbox_drained.record(staged.len() as u64);
+        for (id, t0, frame) in staged {
             if let Some(conn) = conns.get_mut(&id) {
                 conn.enqueue(t0, &frame);
+                metrics.conn_wq_depth.record(conn.wq.len() as u64);
             }
             // else: the connection died with requests in flight; drop.
+        }
+
+        // Idle sweep: reap connections with no socket activity for the
+        // configured window and nothing owed in either direction — a
+        // mid-frame read buffer or an in-flight reply keeps a slow peer
+        // alive; only truly quiescent connections go.
+        if let Some(idle) = config.idle_timeout {
+            if last_sweep.elapsed() >= idle / 4 {
+                last_sweep = Instant::now();
+                for (&id, conn) in &conns {
+                    if conn.last_activity.elapsed() > idle
+                        && conn.wq.is_empty()
+                        && conn.dispatched == conn.replied
+                        && conn.decoder.is_clean()
+                    {
+                        dead.push(id);
+                        metrics.idle_reaped.inc();
+                    }
+                }
+            }
         }
 
         // Eager flush (skip a poll round when the socket has room),
@@ -430,6 +555,10 @@ fn run_loop(
                 live_conns.fetch_sub(1, Ordering::Relaxed);
             }
         }
+
+        metrics
+            .dispatch_ns
+            .record(service_start.elapsed().as_nanos() as u64);
     }
 
     live_conns.store(0, Ordering::Relaxed);
@@ -440,7 +569,12 @@ fn run_loop(
 /// frames. Returns `false` on a hard I/O error (connection unusable);
 /// EOF and protocol errors instead mark the connection closing so queued
 /// and in-flight replies still drain.
-fn read_and_dispatch(conn: &mut Conn, buf: &mut [u8], replies: &ReplySender) -> bool {
+fn read_and_dispatch(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    replies: &ReplySender,
+    metrics: &ReactorMetrics,
+) -> bool {
     let mut taken = 0usize;
     loop {
         match conn.stream.read(buf) {
@@ -449,6 +583,7 @@ fn read_and_dispatch(conn: &mut Conn, buf: &mut [u8], replies: &ReplySender) -> 
                 break;
             }
             Ok(n) => {
+                conn.last_activity = Instant::now();
                 conn.decoder.extend(&buf[..n]);
                 loop {
                     match conn.decoder.next_frame() {
@@ -473,10 +608,12 @@ fn read_and_dispatch(conn: &mut Conn, buf: &mut [u8], replies: &ReplySender) -> 
                 }
                 if conn.wq_bytes >= WQ_HIGH_WATER {
                     conn.read_paused = true;
+                    metrics.backpressure_stalls.inc();
                     break;
                 }
                 taken += n;
                 if taken >= READ_BUDGET {
+                    metrics.read_budget_exhausted.inc();
                     break; // level-triggered epoll re-fires for the rest
                 }
             }
@@ -495,6 +632,7 @@ fn flush(conn: &mut Conn, on_write_ns: &WriteRecorder) -> bool {
     while let Some(front) = conn.wq.front_mut() {
         match conn.stream.write(&front.bytes[front.written..]) {
             Ok(n) => {
+                conn.last_activity = Instant::now();
                 front.written += n;
                 conn.wq_bytes -= n;
                 if front.written == front.bytes.len() {
@@ -587,6 +725,87 @@ mod tests {
         write_frame(&mut w, b"bad").unwrap();
         assert_eq!(read_frame(&mut reader).unwrap(), b"ko");
         assert!(read_frame(&mut reader).is_err());
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn idle_sweep_reaps_quiet_connections_and_counts_them() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let registry = Arc::new(Registry::new());
+        let reactor = FrameReactor::start_with(
+            listener,
+            Box::new(|_conn| {
+                Box::new(|payload: &[u8], replies: &ReplySender| {
+                    let mut reversed = payload.to_vec();
+                    reversed.reverse();
+                    replies.send(reversed);
+                    true
+                })
+            }),
+            Box::new(|_ns| {}),
+            ReactorConfig {
+                registry: Some(Arc::clone(&registry)),
+                idle_timeout: Some(Duration::from_millis(80)),
+            },
+        )
+        .unwrap();
+        let stream = TcpStream::connect(reactor.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream.try_clone().unwrap();
+        write_frame(&mut w, b"hi").unwrap();
+        assert_eq!(read_frame(&mut reader).unwrap(), b"ih");
+        // Go quiet without closing: the sweep must cut us loose.
+        let t0 = Instant::now();
+        while reactor.connections() > 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(reactor.connections(), 0, "idle conn not reaped");
+        assert!(
+            registry.counter("reactor_idle_reaped_total").get() >= 1,
+            "reap not counted"
+        );
+        // The server closed the socket: the client sees EOF.
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(secemb_wire::frame::FrameError::Closed)
+        ));
+        // Event-loop metrics recorded real samples along the way.
+        let polls = registry.histogram("reactor_poll_wait_ns").snapshot();
+        assert!(polls.count > 0, "poll-wait histogram empty");
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn active_connections_survive_the_idle_sweep() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let reactor = FrameReactor::start_with(
+            listener,
+            Box::new(|_conn| {
+                Box::new(|payload: &[u8], replies: &ReplySender| {
+                    let mut reversed = payload.to_vec();
+                    reversed.reverse();
+                    replies.send(reversed);
+                    true
+                })
+            }),
+            Box::new(|_ns| {}),
+            ReactorConfig {
+                registry: None,
+                idle_timeout: Some(Duration::from_millis(120)),
+            },
+        )
+        .unwrap();
+        let stream = TcpStream::connect(reactor.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream.try_clone().unwrap();
+        // Keep traffic flowing well past several sweep intervals.
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(500) {
+            write_frame(&mut w, b"ping").unwrap();
+            assert_eq!(read_frame(&mut reader).unwrap(), b"gnip");
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        assert_eq!(reactor.connections(), 1, "active conn was reaped");
         reactor.shutdown();
     }
 

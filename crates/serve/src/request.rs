@@ -1,6 +1,6 @@
 //! The serving request/response model.
 
-use secemb_telemetry::StageBreakdown;
+use secemb_telemetry::{StageBreakdown, TraceCtx};
 use secemb_tensor::Matrix;
 use std::fmt;
 use std::time::Duration;
@@ -23,6 +23,11 @@ pub struct Request {
     /// an update-capable generator (the look-ahead ORAM) accept one —
     /// others reject [`RejectReason::UpdateUnsupported`] at admission.
     pub update: Option<Matrix>,
+    /// The distributed-trace context this request rides in, if the
+    /// caller is tracing. The trace id is public (it travels the wire
+    /// in the clear); whether the engine records spans for the request
+    /// is keyed on it and *only* it.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Request {
@@ -33,6 +38,7 @@ impl Request {
             indices,
             deadline: None,
             update: None,
+            trace: None,
         }
     }
 
@@ -48,6 +54,13 @@ impl Request {
     #[must_use]
     pub fn with_update(mut self, deltas: Matrix) -> Self {
         self.update = Some(deltas);
+        self
+    }
+
+    /// Attaches a distributed-trace context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = Some(trace);
         self
     }
 }

@@ -19,14 +19,14 @@ use crate::engine::Engine;
 use crate::lock_unpoisoned;
 use crate::protocol::{
     decode_client_traced, encode_metrics, encode_plan, encode_plan_ack, encode_response,
-    encode_response_traced, encode_stats, encode_tables, ClientMsg,
+    encode_response_traced, encode_stats, encode_tables, encode_traces, ClientMsg,
 };
-use crate::reactor::{Dispatch, FrameReactor, ReplySender};
+use crate::reactor::{Dispatch, FrameReactor, ReactorConfig, ReplySender};
 use crate::request::{RejectReason, Request, Response};
 use crate::stats::ServerStats;
 use mio::{Events, Interest, Poll, Token, Waker};
 use secemb::hybrid::AllocationPlan;
-use secemb_telemetry::StageBreakdown;
+use secemb_telemetry::{StageBreakdown, TraceCtx};
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::io::{self, BufReader, BufWriter, Write};
@@ -46,6 +46,17 @@ pub enum ConnectionBackend {
     Threaded,
     /// One epoll reactor thread for all connections.
     Reactor,
+}
+
+/// Everything [`Server::start_opts`] can tune beyond the bind address.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerOptions {
+    /// Connection backend (see [`ConnectionBackend`]).
+    pub backend: ConnectionBackend,
+    /// Reap connections idle longer than this (reactor backend only —
+    /// the threaded backend's blocking readers wait for peer close).
+    /// `None`, the default, never reaps.
+    pub conn_idle: Option<Duration>,
 }
 
 /// One live connection: its handler thread plus a server-side handle on
@@ -103,14 +114,39 @@ impl Server {
         bind: &str,
         backend: ConnectionBackend,
     ) -> io::Result<Server> {
+        Self::start_opts(
+            engine,
+            bind,
+            ServerOptions {
+                backend,
+                ..ServerOptions::default()
+            },
+        )
+    }
+
+    /// Binds `bind` and starts accepting with full [`ServerOptions`]
+    /// (backend choice plus idle-connection reaping).
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/reactor-setup errors.
+    pub fn start_opts(
+        engine: Arc<Engine>,
+        bind: &str,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
-        match backend {
+        match options.backend {
             ConnectionBackend::Threaded => Ok(Server {
                 inner: ServerImpl::Threaded(ThreadedServer::start(engine, listener)?),
             }),
             ConnectionBackend::Reactor => {
                 let stats = engine.stats();
-                let reactor = FrameReactor::start(
+                let config = ReactorConfig {
+                    registry: Some(engine.metrics()),
+                    idle_timeout: options.conn_idle,
+                };
+                let reactor = FrameReactor::start_with(
                     listener,
                     Box::new(move |_conn| {
                         let engine = Arc::clone(&engine);
@@ -119,6 +155,7 @@ impl Server {
                         }) as Dispatch
                     }),
                     Box::new(move |ns| stats.record_write_ns(ns)),
+                    config,
                 )?;
                 Ok(Server {
                     inner: ServerImpl::Reactor(Some(reactor)),
@@ -384,6 +421,8 @@ pub(crate) fn dispatch_frame(engine: &Arc<Engine>, payload: &[u8], replies: &Rep
         )) => {
             let mut request = Request::new(table, indices);
             request.deadline = deadline;
+            request.trace = trace;
+            let echo = trace.map(|t| t.trace_id);
             let replies = replies.clone();
             // The engine answers on whatever thread resolves the
             // request; the closure routes it straight to this
@@ -392,7 +431,7 @@ pub(crate) fn dispatch_frame(engine: &Arc<Engine>, payload: &[u8], replies: &Rep
             engine.submit_with(
                 request,
                 Box::new(move |response| {
-                    replies.send(encode_response_traced(id, &response, trace));
+                    replies.send(encode_response_traced(id, &response, echo));
                 }),
             );
         }
@@ -408,11 +447,13 @@ pub(crate) fn dispatch_frame(engine: &Arc<Engine>, payload: &[u8], replies: &Rep
         )) => {
             let mut request = Request::new(table, indices).with_update(deltas);
             request.deadline = deadline;
+            request.trace = trace;
+            let echo = trace.map(|t| t.trace_id);
             let replies = replies.clone();
             engine.submit_with(
                 request,
                 Box::new(move |response| {
-                    replies.send(encode_response_traced(id, &response, trace));
+                    replies.send(encode_response_traced(id, &response, echo));
                 }),
             );
         }
@@ -447,6 +488,11 @@ pub(crate) fn dispatch_frame(engine: &Arc<Engine>, payload: &[u8], replies: &Rep
             let text = engine.render_metrics();
             replies.send(encode_metrics(id, &text));
         }
+        Ok((id, ClientMsg::Traces, _)) => {
+            // A scrape drains the span buffer: each buffered span is
+            // reported exactly once across scrapes.
+            replies.send(encode_traces(id, &engine.spans().drain_jsonl()));
+        }
         Err(_) => return false,
     }
     true
@@ -462,13 +508,14 @@ fn submit_multi(
     id: u64,
     parts: Vec<(usize, Vec<u64>)>,
     deadline: Option<Duration>,
-    trace: Option<u64>,
+    trace: Option<TraceCtx>,
 ) {
+    let echo = trace.map(|t| t.trace_id);
     if parts.is_empty() {
         replies.send(encode_response_traced(
             id,
             &Response::Rejected(RejectReason::BadRequest),
-            trace,
+            echo,
         ));
         return;
     }
@@ -478,6 +525,7 @@ fn submit_multi(
     for (slot, (table, indices)) in parts.into_iter().enumerate() {
         let mut request = Request::new(table, indices);
         request.deadline = deadline;
+        request.trace = trace;
         let replies = replies.clone();
         let slots = Arc::clone(&slots);
         engine.submit_with(
@@ -497,7 +545,7 @@ fn submit_multi(
                         .collect();
                     drop(guard);
                     let merged = merge_part_responses(parts);
-                    replies.send(encode_response_traced(id, &merged, trace));
+                    replies.send(encode_response_traced(id, &merged, echo));
                 }
             }),
         );

@@ -1,0 +1,154 @@
+//! Property tests over the wire protocol's trace trailers under
+//! incremental framing: however a byte stream is split across `read`
+//! calls, the nonblocking `FrameDecoder` must recover exactly the
+//! frames the blocking reader sees, and the traced decoders must
+//! recover exactly the trace context each frame was encoded with — for
+//! every frame type, traced and untraced alike. This is the property
+//! the reactor backend leans on: trace ids ride as *trailing* bytes, so
+//! any off-by-one in frame reassembly would silently corrupt or drop
+//! them rather than fail loudly.
+
+use proptest::prelude::*;
+use secemb_serve::protocol::{
+    decode_client_traced, decode_server_traced, encode_generate_multi, encode_generate_traced,
+    encode_response_traced, encode_stats_request, encode_traces, encode_traces_request,
+    encode_update_traced,
+};
+use secemb_serve::{RejectReason, Response, StageBreakdown, TraceCtx};
+use secemb_tensor::Matrix;
+use secemb_wire::frame::{encode_frame_into, read_frame, FrameDecoder, FrameError};
+use std::io::Cursor;
+
+/// Which decoder applies to a frame, and the trace context it must
+/// recover. Client frames carry a full [`TraceCtx`] trailer; server
+/// frames echo at most the bare trace id.
+#[derive(Debug, PartialEq)]
+enum Expect {
+    Client(Option<TraceCtx>),
+    Server(Option<u64>),
+}
+
+/// Builds one encoded payload of the requested kind plus its expected
+/// decode outcome.
+fn build_frame(kind: u8, id: u64, trace: Option<TraceCtx>, n_idx: usize) -> (Vec<u8>, Expect) {
+    let indices: Vec<u64> = (0..n_idx as u64).map(|i| i * 7 + 1).collect();
+    let table = (id % 8) as usize;
+    match kind % 8 {
+        0 => (
+            encode_generate_traced(id, table, &indices, None, trace),
+            Expect::Client(trace),
+        ),
+        1 => {
+            let deltas = Matrix::from_vec(n_idx, 2, vec![0.5; n_idx * 2]);
+            (
+                encode_update_traced(id, table, &indices, &deltas, None, trace),
+                Expect::Client(trace),
+            )
+        }
+        2 => (
+            encode_generate_multi(id, &[(table, indices)], None, trace),
+            Expect::Client(trace),
+        ),
+        3 => (encode_traces_request(id), Expect::Client(None)),
+        4 => (encode_stats_request(id), Expect::Client(None)),
+        5 => {
+            let response = Response::Embeddings(
+                Matrix::from_vec(1, 2, vec![1.0, 2.0]),
+                StageBreakdown::default(),
+            );
+            let echo = trace.map(|t| t.trace_id);
+            (
+                encode_response_traced(id, &response, echo),
+                Expect::Server(echo),
+            )
+        }
+        6 => {
+            let reason = RejectReason::ALL[(id % RejectReason::ALL.len() as u64) as usize];
+            let echo = trace.map(|t| t.trace_id);
+            (
+                encode_response_traced(id, &Response::Rejected(reason), echo),
+                Expect::Server(echo),
+            )
+        }
+        _ => (
+            encode_traces(id, "{\"trace_id\":1,\"span_id\":2}\n"),
+            Expect::Server(None),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Frames fed to the incremental decoder in arbitrary chunks match
+    /// the blocking reader byte-for-byte, and every recovered frame
+    /// yields back exactly the trace context it was encoded with.
+    #[test]
+    fn incremental_decode_recovers_trace_trailers_across_any_split(
+        frames in prop::collection::vec((0u8..8, any::<u64>(), (0u8..3, any::<u64>(), any::<u64>()), 1usize..6), 1..9),
+        splits in prop::collection::vec(1usize..97, 1..24),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for &(kind, id, (trace_kind, trace_id, parent), n_idx) in &frames {
+            let trace = match trace_kind {
+                0 => None,
+                1 => Some(TraceCtx::new(trace_id)),
+                _ => Some(TraceCtx::with_parent(trace_id, parent)),
+            };
+            let (payload, expect) = build_frame(kind, id, trace, n_idx);
+            encode_frame_into(&mut stream, &payload);
+            expected.push((payload, expect));
+        }
+
+        // The blocking reference: read_frame until a clean close.
+        let mut cursor = Cursor::new(stream.clone());
+        let mut blocking = Vec::new();
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(payload) => blocking.push(payload),
+                Err(FrameError::Closed) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("blocking read: {e}"))),
+            }
+        }
+
+        // The incremental path, split wherever the case says.
+        let mut decoder = FrameDecoder::new();
+        let mut incremental = Vec::new();
+        let mut pos = 0;
+        let mut turn = 0;
+        while pos < stream.len() {
+            let n = splits[turn % splits.len()].min(stream.len() - pos);
+            decoder.extend(&stream[pos..pos + n]);
+            pos += n;
+            turn += 1;
+            while let Some(frame) = decoder
+                .next_frame()
+                .map_err(|e| TestCaseError::fail(format!("decode: {e}")))?
+            {
+                incremental.push(frame);
+            }
+        }
+        prop_assert!(decoder.is_clean(), "stream must end on a frame boundary");
+        prop_assert_eq!(&incremental, &blocking);
+        prop_assert_eq!(incremental.len(), expected.len());
+
+        for (frame, (payload, expect)) in incremental.iter().zip(&expected) {
+            prop_assert_eq!(frame, payload);
+            match expect {
+                Expect::Client(trace) => {
+                    let (rid, _msg, got) = decode_client_traced(frame)
+                        .map_err(|e| TestCaseError::fail(format!("client decode: {e}")))?;
+                    prop_assert_eq!(got, *trace, "client trace trailer must round-trip");
+                    prop_assert!(frames.iter().any(|f| f.1 == rid));
+                }
+                Expect::Server(echo) => {
+                    let (rid, _msg, got) = decode_server_traced(frame)
+                        .map_err(|e| TestCaseError::fail(format!("server decode: {e}")))?;
+                    prop_assert_eq!(got, *echo, "server trace echo must round-trip");
+                    prop_assert!(frames.iter().any(|f| f.1 == rid));
+                }
+            }
+        }
+    }
+}

@@ -7,7 +7,8 @@ use secemb::{GeneratorSpec, Technique};
 use secemb_serve::protocol::ServerMsg;
 use secemb_serve::{
     execute_batch, BatchPolicy, Client, Engine, EngineConfig, Registry, RejectReason, Request,
-    Response, Server, ServerStats, Stage, StageBreakdown, TableConfig,
+    Response, Server, ServerStats, SpanCollector, Stage, StageBreakdown, TableConfig, TraceCtx,
+    TraceSettings,
 };
 use secemb_tensor::Matrix;
 use secemb_trace::check::compare_traces;
@@ -538,6 +539,7 @@ fn loadgen_records_every_answered_request() {
         seed: 5,
         write_frac: 0.0,
         record_requests: true,
+        trace: false,
     })
     .expect("load run");
     assert!(report.completed > 0, "the run must serve something");
@@ -558,5 +560,129 @@ fn loadgen_records_every_answered_request() {
             );
         }
         secemb_wire::json::parse(&record.to_json()).expect("record JSON parses");
+    }
+}
+
+/// Stage spans and the `StageBreakdown` riding the response are two
+/// views of the *same* instants: for a traced request, each stage
+/// child span's duration equals the corresponding breakdown entry
+/// exactly, bit-for-bit — no re-measurement, no drift. This is what
+/// makes tracecat's per-stage attribution trustworthy against the
+/// metrics the server already reports.
+#[test]
+fn stage_spans_agree_exactly_with_the_breakdown() {
+    let mut config = EngineConfig::new(vec![TableConfig::new(GeneratorSpec::Scan {
+        rows: 128,
+        dim: 8,
+    })]);
+    config.tracing = Some(TraceSettings::new("s0", 1));
+    let engine = Engine::start(config);
+
+    let response = engine.call(Request::new(0, vec![3, 9, 17]).with_trace(TraceCtx::new(42)));
+    let stages = *response.stages().expect("traced request served");
+    let spans = engine.spans().drain();
+
+    // Root request span + one child per measured stage + the worker's
+    // batch view (the `write` stage belongs to the transport).
+    assert_eq!(spans.len(), 7, "root + 5 stage children + worker batch");
+    let root = spans
+        .iter()
+        .find(|s| s.component == "server" && s.name == "request")
+        .expect("root span");
+    assert_eq!(root.trace_id, 42);
+    assert_eq!(root.parent_span, None);
+    assert!(root.attrs.contains(&("queries", 3)));
+
+    for stage in Stage::ALL.iter().take(5) {
+        let span = spans
+            .iter()
+            .find(|s| s.component == "server" && s.name == stage.label())
+            .unwrap_or_else(|| panic!("missing stage span {}", stage.label()));
+        assert_eq!(
+            span.end_ns - span.start_ns,
+            stages.get(*stage),
+            "span duration for `{}` must equal the breakdown entry exactly",
+            stage.label()
+        );
+        assert_eq!(span.parent_span, Some(root.span_id), "stages nest in root");
+        assert_eq!(span.trace_id, 42);
+    }
+    // Stage spans telescope: each starts where the previous ended, so
+    // they tile the root span with no gaps (sum == root duration).
+    let stage_sum: u64 = spans
+        .iter()
+        .filter(|s| s.component == "server" && s.name != "request")
+        .map(|s| s.end_ns - s.start_ns)
+        .sum();
+    assert_eq!(stage_sum, root.end_ns - root.start_ns);
+
+    let batch = spans
+        .iter()
+        .find(|s| s.component == "worker" && s.name == "batch")
+        .expect("worker batch span");
+    assert_eq!(batch.parent_span, Some(root.span_id));
+    assert_eq!(batch.end_ns - batch.start_ns, stages.get(Stage::Generate));
+    assert!(batch.attrs.contains(&("batch_queries", 3)));
+
+    // An untraced request through the same engine emits nothing.
+    engine.call(Request::new(0, vec![1]));
+    assert!(engine.spans().drain().is_empty(), "untraced ⇒ no spans");
+}
+
+/// The tracing analogue of `telemetry_on_vs_off_traces_are_bit_identical`:
+/// recording spans must not perturb the protected generators' memory
+/// traces. For every protected technique, a dispatch plus span recording
+/// against an **enabled** collector leaves a memory trace bit-identical
+/// to the same dispatch against a **disabled** one — span collection is
+/// observationally free at the side-channel level.
+#[test]
+fn span_collection_on_vs_off_traces_are_bit_identical() {
+    for technique in [
+        Technique::LinearScan,
+        Technique::PathOram,
+        Technique::CircuitOram,
+        Technique::Dhe,
+    ] {
+        let spec = GeneratorSpec::with_technique(96, 8, technique);
+        let groups: Vec<Vec<u64>> = vec![vec![1, 2], vec![95]];
+        let run = |enabled: bool| {
+            let spans = if enabled {
+                SpanCollector::new("h0", 1)
+            } else {
+                SpanCollector::disabled()
+            };
+            let mut generator = spec.build(11);
+            let ((), trace) = record_trace(|| {
+                let outputs = execute_batch(generator.as_mut(), &groups);
+                // Mirror the engine's per-request emission: same calls,
+                // same record path, enabled and disabled alike.
+                for (i, out) in outputs.iter().enumerate() {
+                    let trace_id = i as u64;
+                    if spans.sampled(trace_id) {
+                        let now = Instant::now();
+                        let mut span = spans.span_between(
+                            TraceCtx::new(trace_id),
+                            spans.fresh_span_id(),
+                            "server",
+                            "request",
+                            now,
+                            now,
+                        );
+                        span.attrs.push(("queries", out.rows() as u64));
+                        spans.record(span);
+                    }
+                }
+            });
+            (trace, spans.emitted())
+        };
+        let (on, emitted_on) = run(true);
+        let (off, emitted_off) = run(false);
+        assert_eq!(emitted_on, 2, "{technique}: enabled collector records");
+        assert_eq!(emitted_off, 0, "{technique}: disabled collector is inert");
+        assert!(!on.is_empty(), "{technique}: dispatch must touch memory");
+        assert_eq!(
+            on, off,
+            "{technique}: trace diverged when span collection was toggled"
+        );
     }
 }

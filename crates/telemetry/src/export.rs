@@ -3,25 +3,27 @@
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use secemb_wire::json::Value;
 
 use crate::metrics::Registry;
 
 /// Writes one registry snapshot per interval as a JSON line:
-/// `{"seq": n, "uptime_ms": t, "metrics": {...}}`.
+/// `{"seq": n, "uptime_ms": t, "unix_ms": u, "metrics": {...}}`.
 ///
-/// The writer runs on a background thread; [`JsonlExporter::stop`] (or
-/// drop) writes a final snapshot and joins it. Timestamps are relative
-/// (milliseconds since exporter start), which keeps output
-/// deterministic enough to diff across runs.
+/// The writer runs on a background thread parked on a condvar between
+/// snapshots; [`JsonlExporter::stop`] (or drop) signals it, which
+/// writes a final snapshot and joins immediately — no stop-polling.
+/// `uptime_ms` is relative (milliseconds since exporter start), which
+/// keeps output deterministic enough to diff across runs; `unix_ms` is
+/// the wall clock, so snapshots from different hosts join on a common
+/// timeline.
 #[derive(Debug)]
 pub struct JsonlExporter {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -36,23 +38,30 @@ impl JsonlExporter {
         interval: Duration,
     ) -> io::Result<JsonlExporter> {
         let file = File::create(path)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_pair = Arc::clone(&stop);
         let interval = interval.max(Duration::from_millis(10));
         let handle = thread::spawn(move || {
             let mut w = BufWriter::new(file);
             let start = Instant::now();
             let mut seq = 0u64;
+            let (lock, cvar) = &*stop_pair;
             loop {
                 let deadline = Instant::now() + interval;
-                while Instant::now() < deadline {
-                    if stop_flag.load(Ordering::Relaxed) {
-                        let _ = write_snapshot(&mut w, &registry, seq, start);
-                        return;
+                let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*stopped {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
                     }
-                    thread::sleep(Duration::from_millis(10).min(interval));
+                    let (guard, _timeout) = cvar
+                        .wait_timeout(stopped, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    stopped = guard;
                 }
-                if write_snapshot(&mut w, &registry, seq, start).is_err() {
+                let done = *stopped;
+                drop(stopped);
+                if write_snapshot(&mut w, &registry, seq, start).is_err() || done {
                     return;
                 }
                 seq += 1;
@@ -70,7 +79,9 @@ impl JsonlExporter {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cvar.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -89,9 +100,13 @@ fn write_snapshot(
     seq: u64,
     start: Instant,
 ) -> io::Result<()> {
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
     let line = Value::obj([
         ("seq", Value::Num(seq as f64)),
         ("uptime_ms", Value::Num(start.elapsed().as_millis() as f64)),
+        ("unix_ms", Value::Num(unix_ms as f64)),
         ("metrics", registry.snapshot().to_json()),
     ]);
     writeln!(w, "{}", line.to_compact())?;
@@ -122,6 +137,10 @@ mod tests {
             let v = secemb_wire::json::parse(line).expect("line must parse as JSON");
             assert!(v.get("seq").is_some());
             assert!(v.get("uptime_ms").is_some());
+            assert!(
+                v.get("unix_ms").and_then(|u| u.as_u64()).unwrap_or(0) > 0,
+                "snapshots carry a wall-clock field for cross-host joins"
+            );
             let metrics = v.get("metrics").expect("metrics object");
             assert_eq!(
                 metrics
@@ -132,6 +151,24 @@ mod tests {
             );
             assert!(metrics.get("stage_ns{stage=\"queue\"}").is_some());
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stop_returns_promptly_under_a_long_interval() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("c").add(1);
+        let path = std::env::temp_dir().join("secemb_telemetry_test_prompt_stop.jsonl");
+        let exporter = JsonlExporter::start(Arc::clone(&registry), &path, Duration::from_secs(30))
+            .expect("start exporter");
+        let begin = Instant::now();
+        exporter.stop();
+        assert!(
+            begin.elapsed() < Duration::from_secs(5),
+            "condvar stop must not wait out the 30s interval"
+        );
+        let text = std::fs::read_to_string(&path).expect("read exported file");
+        assert_eq!(text.lines().count(), 1, "stop writes the final snapshot");
         let _ = std::fs::remove_file(&path);
     }
 

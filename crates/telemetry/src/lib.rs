@@ -17,6 +17,11 @@
 //!    as JSON lines, and [`RegistrySnapshot::render_prometheus`]
 //!    produces Prometheus text exposition for the wire protocol's
 //!    `METRICS` frame.
+//! 4. Distributed tracing: [`SpanRecord`]s buffered in a bounded
+//!    [`SpanCollector`] (head-sampled by the public trace id carried in
+//!    [`TraceCtx`]), exported as JSONL with both monotonic and
+//!    unix-epoch timestamps so `secemb-tracecat` can join per-request
+//!    timelines across hosts.
 //!
 //! # Security invariant
 //!
@@ -33,6 +38,7 @@
 mod export;
 mod metrics;
 mod span;
+mod trace;
 
 pub use export::JsonlExporter;
 pub use metrics::{
@@ -40,3 +46,4 @@ pub use metrics::{
     RegistrySnapshot,
 };
 pub use span::{Stage, StageBreakdown};
+pub use trace::{SpanCollector, SpanRecord, TraceCtx, DEFAULT_SPAN_CAPACITY};

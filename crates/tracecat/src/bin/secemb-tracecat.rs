@@ -1,0 +1,150 @@
+//! The `secemb-tracecat` binary: joins span streams from N hosts into
+//! per-request cross-host timelines and prints the latency reports.
+//!
+//! ```text
+//! secemb-tracecat [FILE]... [--scrape ADDR]... [--top N] [--require-joined N]
+//! ```
+//!
+//! Span sources compose: every positional `FILE` is a span JSONL file
+//! (as written by a server's `--trace-out`, or a previous scrape), and
+//! every `--scrape ADDR` fetches — and drains — the live span buffer of
+//! a running server or router over the wire `TRACES` frame. Scraping a
+//! router returns the router's own spans plus every backend's, so one
+//! `--scrape` against the front door covers the whole tier.
+//!
+//! The joiner groups spans by public trace id, stitches parent links
+//! (span ids are host-salted, so cross-host links resolve exactly),
+//! and prints: per-collector drop counters, the count of fully-joined
+//! cross-host timelines (the CI smoke greps this line), the `--top N`
+//! slowest requests as indented timelines with their critical path,
+//! and the p99 attribution table. `--require-joined N` exits 1 when
+//! fewer than N fully-joined cross-host timelines were assembled.
+
+use secemb_serve::Client;
+use secemb_tracecat::{join, p99_attribution, parse_jsonl, slowest, Parsed};
+use std::net::{SocketAddr, ToSocketAddrs};
+
+struct Args {
+    files: Vec<String>,
+    scrapes: Vec<SocketAddr>,
+    top: usize,
+    require_joined: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: secemb-tracecat [FILE]... [--scrape ADDR]... [--top N] [--require-joined N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        files: Vec::new(),
+        scrapes: Vec::new(),
+        top: 3,
+        require_joined: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scrape" => {
+                let addr = value();
+                let resolved = addr
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut it| it.next())
+                    .unwrap_or_else(|| usage());
+                args.scrapes.push(resolved);
+            }
+            "--top" => args.top = value().parse().unwrap_or_else(|_| usage()),
+            "--require-joined" => {
+                args.require_joined = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            _ if flag.starts_with("--") => usage(),
+            _ => args.files.push(flag),
+        }
+    }
+    if args.files.is_empty() && args.scrapes.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut pool = Parsed::default();
+    for path in &args.files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => pool.merge(parse_jsonl(&text)),
+            Err(e) => {
+                eprintln!("read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    for &addr in &args.scrapes {
+        match Client::connect(addr).and_then(|mut c| c.traces_jsonl()) {
+            Ok(text) => pool.merge(parse_jsonl(&text)),
+            Err(e) => {
+                eprintln!("scrape {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "parsed {} span(s) from {} file(s) + {} scrape(s), {} malformed line(s)",
+        pool.spans.len(),
+        args.files.len(),
+        args.scrapes.len(),
+        pool.malformed
+    );
+    for meta in &pool.metas {
+        println!(
+            "collector host={} emitted={} dropped={}{}",
+            meta.host,
+            meta.emitted,
+            meta.dropped,
+            if meta.dropped > 0 {
+                "  [timelines may have holes]"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let timelines = join(pool.spans);
+    let joined = timelines
+        .iter()
+        .filter(|t| t.is_fully_joined_cross_host())
+        .count();
+    println!("traces: {} total", timelines.len());
+    // The CI tracing smoke greps this exact prefix.
+    println!("fully-joined cross-host timelines: {joined}");
+
+    for timeline in slowest(&timelines).into_iter().take(args.top) {
+        println!();
+        print!("{}", timeline.render());
+        println!(
+            "{}",
+            secemb_tracecat::report::render_critical_path(timeline)
+        );
+    }
+    if !timelines.is_empty() {
+        println!();
+        print!(
+            "{}",
+            secemb_tracecat::report::render_attribution(
+                &p99_attribution(&timelines),
+                timelines.len()
+            )
+        );
+    }
+
+    if let Some(need) = args.require_joined {
+        if joined < need {
+            eprintln!("secemb-tracecat: required {need} fully-joined cross-host timeline(s), found {joined}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Joining spans from N hosts into per-request timelines.
+
+use crate::parse::Span;
+use std::collections::BTreeMap;
+
+/// The joined view of one trace: every span any host emitted for one
+/// `trace_id`, stitched into a tree by `parent_span` links.
+#[derive(Debug)]
+pub struct Timeline {
+    pub trace_id: u64,
+    /// All spans of the trace. Tree structure is kept as indices into
+    /// this vector.
+    pub spans: Vec<Span>,
+    /// Resolved parent index per span (`None` for roots and orphans).
+    parent: Vec<Option<usize>>,
+    /// Children per span, sorted by unix start time.
+    children: Vec<Vec<usize>>,
+    /// Spans with no resolved parent, sorted by unix start time: the
+    /// true root first, then any orphans.
+    roots: Vec<usize>,
+}
+
+/// Groups a span pool by `trace_id` and builds one [`Timeline`] per
+/// trace, ordered by trace id.
+#[must_use]
+pub fn join(spans: Vec<Span>) -> Vec<Timeline> {
+    let mut by_trace: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
+    for span in spans {
+        by_trace.entry(span.trace_id).or_default().push(span);
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace_id, spans)| Timeline::build(trace_id, spans))
+        .collect()
+}
+
+impl Timeline {
+    fn build(trace_id: u64, spans: Vec<Span>) -> Timeline {
+        // Span ids are globally unique across hosts (each collector
+        // salts its id space with a hash of its host label), so a flat
+        // id → index map resolves cross-host parent links directly.
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, span) in spans.iter().enumerate() {
+            by_id.entry(span.span_id).or_insert(i);
+        }
+        let parent: Vec<Option<usize>> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, span)| {
+                span.parent_span
+                    .and_then(|p| by_id.get(&p).copied())
+                    .filter(|&p| p != i)
+            })
+            .collect();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots = Vec::new();
+        for (i, parent_of) in parent.iter().enumerate() {
+            match parent_of {
+                Some(p) => children[*p].push(i),
+                None => roots.push(i),
+            }
+        }
+        let start_of = |&i: &usize| spans[i].start_unix_ns;
+        for list in &mut children {
+            list.sort_by_key(start_of);
+        }
+        // The true root (sent unparented by the client edge) sorts
+        // before orphans; among several, earliest start wins.
+        roots.sort_by_key(|&i| (spans[i].parent_span.is_some(), spans[i].start_unix_ns));
+        Timeline {
+            trace_id,
+            spans,
+            parent,
+            children,
+            roots,
+        }
+    }
+
+    /// The root span index: the earliest span that carries no
+    /// `parent_span` at all (preferred over orphans whose parent simply
+    /// never arrived).
+    #[must_use]
+    pub fn root(&self) -> Option<usize> {
+        self.roots.first().copied()
+    }
+
+    /// Children of span `i`, ordered by unix start time.
+    #[must_use]
+    pub fn children_of(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Distinct hosts contributing spans, in first-seen order.
+    #[must_use]
+    pub fn hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = Vec::new();
+        for span in &self.spans {
+            if !hosts.contains(&span.host.as_str()) {
+                hosts.push(&span.host);
+            }
+        }
+        hosts
+    }
+
+    /// Resolved parent→child edges whose endpoints live on different
+    /// hosts — the stitches that make the timeline *cross-host*.
+    #[must_use]
+    pub fn cross_host_edges(&self) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| p.is_some_and(|p| self.spans[p].host != self.spans[i].host))
+            .count()
+    }
+
+    /// Spans that name a parent no stream delivered.
+    #[must_use]
+    pub fn orphans(&self) -> usize {
+        self.roots
+            .iter()
+            .filter(|&&i| self.spans[i].parent_span.is_some())
+            .count()
+    }
+
+    /// A timeline counts as fully joined across hosts when one true
+    /// root anchors it, every other span's parent resolved, and at
+    /// least one resolved edge crosses a host boundary.
+    #[must_use]
+    pub fn is_fully_joined_cross_host(&self) -> bool {
+        self.roots.len() == 1
+            && self
+                .root()
+                .is_some_and(|r| self.spans[r].parent_span.is_none())
+            && self.cross_host_edges() > 0
+    }
+
+    /// End-to-end duration: the root span's duration on its own
+    /// monotonic clock (skew-free — root start and end were stamped by
+    /// the same host).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.root().map_or(0, |r| self.spans[r].duration_ns())
+    }
+
+    /// The critical path: from the root, repeatedly descend into the
+    /// child that *finished last* (unix clock, the only one comparable
+    /// across hosts) — the chain that gated the request's completion.
+    #[must_use]
+    pub fn critical_path(&self) -> Vec<usize> {
+        let mut path = Vec::new();
+        let Some(mut at) = self.root() else {
+            return path;
+        };
+        loop {
+            path.push(at);
+            let Some(&last) = self.children[at]
+                .iter()
+                .max_by_key(|&&c| self.spans[c].end_unix_ns)
+            else {
+                return path;
+            };
+            at = last;
+        }
+    }
+
+    /// Span `i`'s exclusive (self) time: its own monotonic duration
+    /// minus its children's, floored at zero. Children on other hosts
+    /// still subtract — their durations are monotonic on *their* host,
+    /// which is exactly the time the parent spent waiting on them up to
+    /// wire overhead.
+    #[must_use]
+    pub fn exclusive_ns(&self, i: usize) -> u64 {
+        let nested: u64 = self.children[i]
+            .iter()
+            .map(|&c| self.spans[c].duration_ns())
+            .sum();
+        self.spans[i].duration_ns().saturating_sub(nested)
+    }
+
+    /// Renders the tree, one span per line, indented by depth: offset
+    /// from the root's unix start (signed — skew can pull a remote
+    /// child "before" its parent), host, label, duration, attrs, and a
+    /// `*` on every critical-path span.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let critical = self.critical_path();
+        let root_start = self.root().map_or(0, |r| self.spans[r].start_unix_ns);
+        let mut out = format!(
+            "trace {}: {} spans on {} host(s), {:.3} ms{}\n",
+            self.trace_id,
+            self.spans.len(),
+            self.hosts().len(),
+            self.duration_ns() as f64 / 1e6,
+            if self.orphans() > 0 {
+                " [incomplete: orphaned spans]"
+            } else {
+                ""
+            }
+        );
+        for &root in &self.roots {
+            self.render_into(&mut out, root, 1, root_start, &critical);
+        }
+        out
+    }
+
+    fn render_into(
+        &self,
+        out: &mut String,
+        i: usize,
+        depth: usize,
+        root_start: u64,
+        critical: &[usize],
+    ) {
+        let span = &self.spans[i];
+        let offset_ms = (span.start_unix_ns as i128 - root_start as i128) as f64 / 1e6;
+        let mark = if critical.contains(&i) { " *" } else { "" };
+        out.push_str(&format!(
+            "{}{:+9.3}ms {}/{} {:.3}ms",
+            "  ".repeat(depth),
+            offset_ms,
+            span.host,
+            span.label(),
+            span.duration_ns() as f64 / 1e6,
+        ));
+        for (key, value) in &span.attrs {
+            out.push_str(&format!(" {key}={value}"));
+        }
+        out.push_str(mark);
+        out.push('\n');
+        for &child in &self.children[i] {
+            self.render_into(out, child, depth + 1, root_start, critical);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace_id: u64,
+        span_id: u64,
+        parent: Option<u64>,
+        host: &str,
+        name: &str,
+        start: u64,
+        end: u64,
+    ) -> Span {
+        Span {
+            trace_id,
+            span_id,
+            parent_span: parent,
+            host: host.to_string(),
+            component: if host == "router" { "router" } else { "server" }.to_string(),
+            name: name.to_string(),
+            start_ns: start,
+            end_ns: end,
+            // Give each host a distinct wall-clock base so the unix
+            // projection actually exercises cross-host alignment.
+            start_unix_ns: host_base(host) + start,
+            end_unix_ns: host_base(host) + end,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn host_base(host: &str) -> u64 {
+        match host {
+            "router" => 1_000_000_000,
+            "b0" => 2_000_000_000,
+            _ => 3_000_000_000,
+        }
+    }
+
+    /// Router root (id 1) fans out to two backends; the backends'
+    /// roots parent under the router's fanout spans (ids 2 and 3).
+    fn two_host_trace() -> Vec<Span> {
+        const R: u64 = 0xaaaa_0000_0000_0000;
+        const B0: u64 = 0xbbbb_0000_0000_0000;
+        const B1: u64 = 0xcccc_0000_0000_0000;
+        vec![
+            span(7, R | 1, None, "router", "request", 0, 1_000_000),
+            span(7, R | 2, Some(R | 1), "router", "fanout", 100, 400_000),
+            span(7, R | 3, Some(R | 1), "router", "fanout", 100, 900_000),
+            span(7, B0 | 1, Some(R | 2), "b0", "request", 0, 300_000),
+            span(7, B0 | 2, Some(B0 | 1), "b0", "generate", 10, 250_000),
+            span(7, B1 | 1, Some(R | 3), "b1", "request", 0, 800_000),
+        ]
+    }
+
+    #[test]
+    fn joins_a_two_host_trace_into_one_tree() {
+        let timelines = join(two_host_trace());
+        assert_eq!(timelines.len(), 1);
+        let t = &timelines[0];
+        assert_eq!(t.trace_id, 7);
+        assert_eq!(t.hosts(), vec!["router", "b0", "b1"]);
+        assert_eq!(t.orphans(), 0);
+        assert_eq!(t.cross_host_edges(), 2, "one per backend root");
+        assert!(t.is_fully_joined_cross_host());
+        let root = t.root().expect("root");
+        assert_eq!(t.spans[root].name, "request");
+        assert_eq!(t.spans[root].host, "router");
+        assert_eq!(t.children_of(root).len(), 2);
+        assert_eq!(t.duration_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn critical_path_follows_the_latest_finishing_child_across_hosts() {
+        let timelines = join(two_host_trace());
+        let t = &timelines[0];
+        let labels: Vec<(&str, &str)> = t
+            .critical_path()
+            .iter()
+            .map(|&i| (t.spans[i].host.as_str(), t.spans[i].name.as_str()))
+            .collect();
+        // The b1 branch ends latest (0.8ms + its base beats b0's 0.3ms
+        // branch), so the path runs router → slow fanout → b1.
+        assert_eq!(
+            labels,
+            vec![
+                ("router", "request"),
+                ("router", "fanout"),
+                ("b1", "request"),
+            ]
+        );
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children_and_floors_at_zero() {
+        let timelines = join(two_host_trace());
+        let t = &timelines[0];
+        let root = t.root().unwrap();
+        // Root 1.0ms minus fanouts (0.3999 + 0.8999) floors at 0.
+        assert_eq!(t.exclusive_ns(root), 0);
+        let b0_root = t
+            .spans
+            .iter()
+            .position(|s| s.host == "b0" && s.name == "request")
+            .unwrap();
+        assert_eq!(t.exclusive_ns(b0_root), 300_000 - 249_990);
+    }
+
+    #[test]
+    fn orphaned_spans_break_full_join_but_not_grouping() {
+        let mut spans = two_host_trace();
+        spans.retain(|s| !(s.host == "router" && s.name == "fanout" && s.end_ns == 900_000));
+        let timelines = join(spans);
+        let t = &timelines[0];
+        assert_eq!(t.orphans(), 1, "b1's root lost its parent");
+        assert!(!t.is_fully_joined_cross_host());
+        assert_eq!(t.spans.len(), 5);
+        let rendered = t.render();
+        assert!(rendered.contains("[incomplete: orphaned spans]"));
+    }
+
+    #[test]
+    fn single_host_trace_is_joined_but_not_cross_host() {
+        let spans = vec![
+            span(3, 0xaa01, None, "b0", "request", 0, 100),
+            span(3, 0xaa02, Some(0xaa01), "b0", "generate", 10, 90),
+        ];
+        let t = &join(spans)[0];
+        assert_eq!(t.orphans(), 0);
+        assert_eq!(t.cross_host_edges(), 0);
+        assert!(!t.is_fully_joined_cross_host());
+    }
+
+    #[test]
+    fn traces_group_independently() {
+        let mut spans = two_host_trace();
+        spans.push(span(9, 0xdd01, None, "router", "request", 0, 50));
+        let timelines = join(spans);
+        assert_eq!(timelines.len(), 2);
+        assert_eq!(timelines[0].trace_id, 7);
+        assert_eq!(timelines[1].trace_id, 9);
+        assert_eq!(timelines[1].spans.len(), 1);
+    }
+
+    #[test]
+    fn render_marks_the_critical_path_and_offsets_by_unix_clock() {
+        let timelines = join(two_host_trace());
+        let rendered = timelines[0].render();
+        let critical_lines: Vec<&str> = rendered.lines().filter(|l| l.ends_with('*')).collect();
+        assert_eq!(critical_lines.len(), 3);
+        assert!(critical_lines[2].contains("b1/server:request"));
+    }
+}

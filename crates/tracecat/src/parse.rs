@@ -1,0 +1,398 @@
+//! Span JSONL parsing.
+//!
+//! The span lines are machine-written by `SpanCollector::span_to_json`,
+//! but the joiner re-parses them with its own scanner instead of the
+//! workspace JSON tree for one load-bearing reason: span ids carry a
+//! host hash in their top 32 bits, and the workspace `Value` holds
+//! numbers as `f64`, which collapses nearby ids above 2^53. Ids and
+//! timestamps here must survive the round trip **exactly** — a
+//! parent-link off by one rounding step silently orphans a subtree.
+
+/// One span parsed back from a JSONL line. The owned mirror of the
+/// telemetry crate's `SpanRecord`, plus the unix-epoch projections the
+/// exporter stamps at serialization time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_span: Option<u64>,
+    pub host: String,
+    pub component: String,
+    pub name: String,
+    /// Start/end on the emitting host's monotonic span clock.
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// The same instants projected onto the unix epoch — the only
+    /// timestamps comparable across hosts (up to wall-clock skew).
+    pub start_unix_ns: u64,
+    pub end_unix_ns: u64,
+    /// Size-shaped attributes (batch sizes, host ordinals, part counts).
+    pub attrs: Vec<(String, u64)>,
+}
+
+impl Span {
+    /// Span duration on the emitting host's monotonic clock.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// `component:name`, the label reports bucket by.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.component, self.name)
+    }
+}
+
+/// The trailer line each collector appends to a drain: how many spans
+/// it buffered and how many it shed to a full buffer. A scrape that
+/// reads `dropped > 0` knows its timelines may have holes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectorMeta {
+    pub host: String,
+    pub emitted: u64,
+    pub dropped: u64,
+}
+
+/// Everything recovered from one or more JSONL streams.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    pub spans: Vec<Span>,
+    pub metas: Vec<CollectorMeta>,
+    /// Non-empty lines that parsed as neither span nor meta. Counted,
+    /// never fatal: a truncated tail must not hide the rest of a file.
+    pub malformed: usize,
+}
+
+impl Parsed {
+    /// Folds another parse result into this one.
+    pub fn merge(&mut self, other: Parsed) {
+        self.spans.extend(other.spans);
+        self.metas.extend(other.metas);
+        self.malformed += other.malformed;
+    }
+}
+
+/// Parses a span JSONL stream: span lines, collector meta trailers, and
+/// a tolerant skip-and-count for anything else.
+#[must_use]
+pub fn parse_jsonl(text: &str) -> Parsed {
+    let mut out = Parsed::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(Line::Span(span)) => out.spans.push(span),
+            Some(Line::Meta(meta)) => out.metas.push(meta),
+            None => out.malformed += 1,
+        }
+    }
+    out
+}
+
+enum Line {
+    Span(Span),
+    Meta(CollectorMeta),
+}
+
+/// A parsed JSON scalar from the span grammar: every number in the
+/// format is an unsigned integer, and the only nesting is the flat
+/// string→integer `attrs` object.
+enum Tok {
+    Num(u64),
+    Str(String),
+    Null,
+    Obj(Vec<(String, u64)>),
+}
+
+fn parse_line(line: &str) -> Option<Line> {
+    let mut cur = Cur {
+        bytes: line.as_bytes(),
+        i: 0,
+    };
+    let fields = cur.object()?;
+    cur.ws();
+    if cur.i != cur.bytes.len() {
+        return None; // trailing garbage: treat the line as malformed
+    }
+
+    let mut meta = false;
+    for (key, value) in &fields {
+        if key == "meta" {
+            match value {
+                Tok::Str(kind) if kind == "span_collector" => meta = true,
+                _ => return None,
+            }
+        }
+    }
+    if meta {
+        return Some(Line::Meta(CollectorMeta {
+            host: take_str(&fields, "host")?,
+            emitted: take_num(&fields, "emitted")?,
+            dropped: take_num(&fields, "dropped")?,
+        }));
+    }
+    let parent_span = match fields.iter().find(|(k, _)| k == "parent_span") {
+        Some((_, Tok::Num(n))) => Some(*n),
+        Some((_, Tok::Null)) | None => None,
+        Some(_) => return None,
+    };
+    let attrs = match fields.iter().find(|(k, _)| k == "attrs") {
+        Some((_, Tok::Obj(pairs))) => pairs.clone(),
+        None => Vec::new(),
+        Some(_) => return None,
+    };
+    Some(Line::Span(Span {
+        trace_id: take_num(&fields, "trace_id")?,
+        span_id: take_num(&fields, "span_id")?,
+        parent_span,
+        host: take_str(&fields, "host")?,
+        component: take_str(&fields, "component")?,
+        name: take_str(&fields, "name")?,
+        start_ns: take_num(&fields, "start_ns")?,
+        end_ns: take_num(&fields, "end_ns")?,
+        start_unix_ns: take_num(&fields, "start_unix_ns").unwrap_or(0),
+        end_unix_ns: take_num(&fields, "end_unix_ns").unwrap_or(0),
+        attrs,
+    }))
+}
+
+fn take_num(fields: &[(String, Tok)], key: &str) -> Option<u64> {
+    match fields.iter().find(|(k, _)| k == key)? {
+        (_, Tok::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn take_str(fields: &[(String, Tok)], key: &str) -> Option<String> {
+    match fields.iter().find(|(k, _)| k == key)? {
+        (_, Tok::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// A byte cursor over one line.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Cur<'_> {
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Option<()> {
+        self.ws();
+        if self.bytes.get(self.i) == Some(&want) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.bytes.get(self.i).copied()
+    }
+
+    /// The top-level object: string keys mapping to span-grammar scalars.
+    fn object(&mut self) -> Option<Vec<(String, Tok)>> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Some(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = match self.peek()? {
+                b'"' => Tok::Str(self.string()?),
+                b'n' => {
+                    self.literal(b"null")?;
+                    Tok::Null
+                }
+                b'{' => Tok::Obj(self.flat_object()?),
+                _ => Tok::Num(self.number()?),
+            };
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(fields);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The nested `attrs` object: string keys, unsigned-integer values.
+    fn flat_object(&mut self) -> Option<Vec<(String, u64)>> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Some(pairs);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.number()?));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(pairs);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn literal(&mut self, word: &[u8]) -> Option<()> {
+        self.ws();
+        if self.bytes[self.i..].starts_with(word) {
+            self.i += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// An unsigned integer parsed exactly — no float detour.
+    fn number(&mut self) -> Option<u64> {
+        self.ws();
+        let start = self.i;
+        while self.bytes.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// A quoted string with the JSON escapes the exporter can emit.
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.bytes.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                &byte if byte < 0x80 => {
+                    out.push(byte as char);
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar through.
+                    let rest = std::str::from_utf8(&self.bytes[self.i..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_span_line_with_exact_u64s() {
+        // A span id with the host salt in the top 32 bits: adjacent
+        // values here are indistinguishable after an f64 round trip.
+        let big = (0xdead_beef_u64 << 32) | 7;
+        let line = format!(
+            "{{\"trace_id\":42,\"span_id\":{big},\"parent_span\":{},\
+             \"host\":\"b0\",\"component\":\"server\",\"name\":\"request\",\
+             \"start_ns\":1000,\"end_ns\":2500,\
+             \"start_unix_ns\":1754700000000000001,\"end_unix_ns\":1754700000000001501,\
+             \"attrs\":{{\"queries\":3,\"table\":1}}}}",
+            big + 1
+        );
+        let parsed = parse_jsonl(&line);
+        assert_eq!(parsed.malformed, 0);
+        assert_eq!(parsed.spans.len(), 1);
+        let span = &parsed.spans[0];
+        assert_eq!(span.span_id, big);
+        assert_eq!(span.parent_span, Some(big + 1));
+        assert_eq!(span.start_unix_ns, 1_754_700_000_000_000_001);
+        assert_eq!(span.duration_ns(), 1500);
+        assert_eq!(span.attrs, vec![("queries".into(), 3), ("table".into(), 1)]);
+        assert_eq!(span.label(), "server:request");
+    }
+
+    #[test]
+    fn parses_meta_null_parent_and_counts_garbage() {
+        let text = "\
+            {\"trace_id\":1,\"span_id\":2,\"parent_span\":null,\"host\":\"r\",\
+             \"component\":\"router\",\"name\":\"request\",\"start_ns\":0,\"end_ns\":9,\
+             \"start_unix_ns\":0,\"end_unix_ns\":9,\"attrs\":{}}\n\
+            {\"meta\":\"span_collector\",\"host\":\"r\",\"emitted\":5,\"dropped\":2}\n\
+            \n\
+            not json at all\n\
+            {\"trace_id\":1,\"span_id\":3,\"parent_span\":2,\"host\":\"r\",\"compo";
+        let parsed = parse_jsonl(text);
+        assert_eq!(parsed.spans.len(), 1);
+        assert_eq!(parsed.spans[0].parent_span, None);
+        assert_eq!(
+            parsed.metas,
+            vec![CollectorMeta {
+                host: "r".to_string(),
+                emitted: 5,
+                dropped: 2,
+            }]
+        );
+        assert_eq!(parsed.malformed, 2, "garbage and the truncated tail");
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let line = "{\"trace_id\":1,\"span_id\":2,\"parent_span\":null,\
+             \"host\":\"b\\\"0\\\\x\\u0007\",\"component\":\"server\",\"name\":\"request\",\
+             \"start_ns\":0,\"end_ns\":1,\"start_unix_ns\":0,\"end_unix_ns\":1,\"attrs\":{}}";
+        let parsed = parse_jsonl(line);
+        assert_eq!(parsed.spans[0].host, "b\"0\\x\u{7}");
+    }
+}

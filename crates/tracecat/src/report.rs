@@ -1,0 +1,195 @@
+//! Fleet-level reports over joined timelines.
+
+use crate::join::Timeline;
+use std::collections::BTreeMap;
+
+/// One bucket of the p99 attribution table: where the slowest traces
+/// spent their time, by host and span label, in exclusive (self) time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributionRow {
+    pub host: String,
+    pub label: String,
+    /// Summed exclusive time across the attributed traces.
+    pub total_ns: u64,
+    /// Spans contributing to the bucket.
+    pub count: u64,
+    /// `total_ns` as a fraction of all attributed exclusive time.
+    pub share: f64,
+}
+
+/// Timelines sorted slowest-first by root duration.
+#[must_use]
+pub fn slowest(timelines: &[Timeline]) -> Vec<&Timeline> {
+    let mut sorted: Vec<&Timeline> = timelines.iter().collect();
+    sorted.sort_by_key(|t| std::cmp::Reverse(t.duration_ns()));
+    sorted
+}
+
+/// Attributes the latency of the slowest 1% of traces (always at least
+/// one) across `(host, span label)` buckets by exclusive time: each
+/// span contributes its own duration minus its children's, so a bucket
+/// names the code that actually held the request, not every frame above
+/// it on the path.
+#[must_use]
+pub fn p99_attribution(timelines: &[Timeline]) -> Vec<AttributionRow> {
+    let ranked = slowest(timelines);
+    if ranked.is_empty() {
+        return Vec::new();
+    }
+    let take = ranked.len().div_ceil(100);
+    let mut buckets: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    for timeline in &ranked[..take] {
+        for i in 0..timeline.spans.len() {
+            let span = &timeline.spans[i];
+            let entry = buckets
+                .entry((span.host.clone(), span.label()))
+                .or_insert((0, 0));
+            entry.0 += timeline.exclusive_ns(i);
+            entry.1 += 1;
+        }
+    }
+    let grand_total: u64 = buckets.values().map(|&(ns, _)| ns).sum();
+    let mut rows: Vec<AttributionRow> = buckets
+        .into_iter()
+        .map(|((host, label), (total_ns, count))| AttributionRow {
+            host,
+            label,
+            total_ns,
+            count,
+            share: if grand_total == 0 {
+                0.0
+            } else {
+                total_ns as f64 / grand_total as f64
+            },
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    rows
+}
+
+/// The p99 attribution table rendered for a terminal.
+#[must_use]
+pub fn render_attribution(rows: &[AttributionRow], trace_count: usize) -> String {
+    let attributed = trace_count.div_ceil(100).min(trace_count);
+    let mut out = format!(
+        "p99 attribution ({attributed} slowest of {trace_count} traces, exclusive time):\n\
+         {:>10}  {:<12} {:<24} {:>9} {:>7}\n",
+        "total ms", "host", "span", "spans", "share"
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10.3}  {:<12} {:<24} {:>9} {:>6.1}%\n",
+            row.total_ns as f64 / 1e6,
+            row.host,
+            row.label,
+            row.count,
+            row.share * 100.0
+        ));
+    }
+    out
+}
+
+/// One-line critical-path summary for a timeline: the gating chain of
+/// spans with per-hop durations.
+#[must_use]
+pub fn render_critical_path(timeline: &Timeline) -> String {
+    let hops: Vec<String> = timeline
+        .critical_path()
+        .iter()
+        .map(|&i| {
+            let span = &timeline.spans[i];
+            format!(
+                "{}/{} {:.3}ms",
+                span.host,
+                span.label(),
+                span.duration_ns() as f64 / 1e6
+            )
+        })
+        .collect();
+    format!("critical path: {}", hops.join(" -> "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::join;
+    use crate::parse::Span;
+
+    fn span(
+        trace_id: u64,
+        span_id: u64,
+        parent: Option<u64>,
+        host: &str,
+        name: &str,
+        dur: u64,
+    ) -> Span {
+        Span {
+            trace_id,
+            span_id,
+            parent_span: parent,
+            host: host.to_string(),
+            component: "server".to_string(),
+            name: name.to_string(),
+            start_ns: 0,
+            end_ns: dur,
+            start_unix_ns: 0,
+            end_unix_ns: dur,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn attribution_buckets_exclusive_time_by_host_and_label() {
+        // One slow trace: root 100us holds 10us itself, a generate
+        // child holds 90us. A second fast trace must not pollute the
+        // top-1% bucket set (with 2 traces, top 1% rounds up to 1).
+        let spans = vec![
+            span(1, 0xa1, None, "b0", "request", 100_000),
+            span(1, 0xa2, Some(0xa1), "b0", "generate", 90_000),
+            span(2, 0xb1, None, "b1", "request", 5),
+        ];
+        let timelines = join(spans);
+        let rows = p99_attribution(&timelines);
+        assert_eq!(rows.len(), 2, "only the slowest trace is attributed");
+        assert_eq!(rows[0].host, "b0");
+        assert_eq!(rows[0].label, "server:generate");
+        assert_eq!(rows[0].total_ns, 90_000);
+        assert_eq!(rows[1].total_ns, 10_000, "root keeps only its self time");
+        let total_share: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowest_ranks_by_root_duration() {
+        let spans = vec![
+            span(1, 0xa1, None, "b0", "request", 10),
+            span(2, 0xb1, None, "b0", "request", 30),
+            span(3, 0xc1, None, "b0", "request", 20),
+        ];
+        let timelines = join(spans);
+        let ranked = slowest(&timelines);
+        let ids: Vec<u64> = ranked.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn renders_are_greppable() {
+        let spans = vec![
+            span(1, 0xa1, None, "router", "request", 100),
+            span(1, 0xa2, Some(0xa1), "router", "fanout", 80),
+        ];
+        let timelines = join(spans);
+        let path = render_critical_path(&timelines[0]);
+        assert!(path.starts_with("critical path: router/server:request"));
+        assert!(path.contains(" -> router/server:fanout"));
+        let table = render_attribution(&p99_attribution(&timelines), timelines.len());
+        assert!(table.contains("p99 attribution (1 slowest of 1 traces"));
+        assert!(table.contains("router"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_reports() {
+        assert!(p99_attribution(&[]).is_empty());
+        assert!(slowest(&[]).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end over the real exporter: spans emitted by two live
+//! `SpanCollector`s (the telemetry crate's JSONL writer, host-salted
+//! span ids, dual clocks) must parse back exactly and join into one
+//! fully-linked cross-host timeline.
+
+use secemb_telemetry::{SpanCollector, TraceCtx};
+use secemb_tracecat::{join, p99_attribution, parse_jsonl, Parsed};
+use std::time::{Duration, Instant};
+
+/// Emits the span shape the serving stack produces for one routed
+/// request: a router root + fanout, and a backend request parented
+/// under the router's fanout span via the forwarded trace context.
+fn emit_routed_request(router: &SpanCollector, backend: &SpanCollector, trace_id: u64) {
+    assert!(router.sampled(trace_id) && backend.sampled(trace_id));
+    let t0 = Instant::now();
+    let t1 = t0 + Duration::from_micros(300);
+    let t2 = t0 + Duration::from_micros(400);
+
+    let root_id = router.fresh_span_id();
+    let fanout_id = router.fresh_span_id();
+    router.record(router.span_between(
+        TraceCtx::new(trace_id),
+        root_id,
+        "router",
+        "request",
+        t0,
+        t2,
+    ));
+    let mut fanout = router.span_between(
+        TraceCtx::with_parent(trace_id, root_id),
+        fanout_id,
+        "router",
+        "fanout",
+        t0,
+        t1,
+    );
+    fanout.attrs.push(("host", 0));
+    router.record(fanout);
+
+    // The backend learned `fanout_id` from the wire trace trailer.
+    let request_id = backend.fresh_span_id();
+    backend.record(backend.span_between(
+        TraceCtx::with_parent(trace_id, fanout_id),
+        request_id,
+        "server",
+        "request",
+        t0,
+        t1,
+    ));
+    let mut generate = backend.span_between(
+        TraceCtx::with_parent(trace_id, request_id),
+        backend.fresh_span_id(),
+        "worker",
+        "generate",
+        t0,
+        t1,
+    );
+    generate.attrs.push(("batch_queries", 4));
+    backend.record(generate);
+}
+
+#[test]
+fn exported_jsonl_round_trips_and_joins_across_hosts() {
+    let router = SpanCollector::new("router", 2);
+    let backend = SpanCollector::new("b0", 2);
+    for trace_id in [2, 4, 6] {
+        emit_routed_request(&router, &backend, trace_id);
+    }
+
+    // Two independent drains — exactly what tracecat sees when it
+    // scrapes two hosts.
+    let mut pool = Parsed::default();
+    pool.merge(parse_jsonl(&router.drain_jsonl()));
+    pool.merge(parse_jsonl(&backend.drain_jsonl()));
+    assert_eq!(pool.malformed, 0, "exporter output must parse cleanly");
+    assert_eq!(pool.spans.len(), 12);
+    assert_eq!(pool.metas.len(), 2);
+    assert!(pool.metas.iter().all(|m| m.dropped == 0));
+
+    let timelines = join(pool.spans);
+    assert_eq!(timelines.len(), 3);
+    for timeline in &timelines {
+        assert!(
+            timeline.is_fully_joined_cross_host(),
+            "trace {} did not fully join: {}",
+            timeline.trace_id,
+            timeline.render()
+        );
+        assert_eq!(timeline.hosts(), vec!["router", "b0"]);
+        assert_eq!(timeline.orphans(), 0);
+        // router root → router fanout → backend request → worker span.
+        let path: Vec<String> = timeline
+            .critical_path()
+            .iter()
+            .map(|&i| timeline.spans[i].label())
+            .collect();
+        assert_eq!(
+            path,
+            vec![
+                "router:request",
+                "router:fanout",
+                "server:request",
+                "worker:generate"
+            ]
+        );
+    }
+
+    let rows = p99_attribution(&timelines);
+    assert!(!rows.is_empty());
+    assert!(
+        rows.iter()
+            .any(|r| r.host == "b0" && r.label == "worker:generate"),
+        "backend worker time must appear in the attribution table"
+    );
+}
+
+#[test]
+fn attrs_and_ids_survive_the_export_parse_round_trip() {
+    let collector = SpanCollector::new("b\"quoted\\host", 1);
+    let span_id = collector.fresh_span_id();
+    assert!(span_id > u64::from(u32::MAX), "ids carry the host salt");
+    let mut span = collector.span_between(
+        TraceCtx::new(11),
+        span_id,
+        "server",
+        "request",
+        Instant::now(),
+        Instant::now(),
+    );
+    span.attrs.push(("queries", u64::from(u32::MAX) + 7));
+    collector.record(span);
+
+    let parsed = parse_jsonl(&collector.drain_jsonl());
+    assert_eq!(parsed.malformed, 0);
+    let got = &parsed.spans[0];
+    assert_eq!(got.span_id, span_id, "span id must round-trip bit-exactly");
+    assert_eq!(got.host, "b\"quoted\\host");
+    assert_eq!(
+        got.attrs,
+        vec![("queries".to_string(), u64::from(u32::MAX) + 7)]
+    );
+    assert_eq!(
+        got.end_unix_ns - got.start_unix_ns,
+        collector.unix_ns_of(got.end_ns) - collector.unix_ns_of(got.start_ns)
+    );
+}

@@ -543,8 +543,11 @@ mod tests {
             .unwrap();
         assert!(t0.elapsed() < Duration::from_secs(4), "poll never woke");
         assert!(events.iter().any(|e| e.token() == WAKER));
-        waker.drain();
+        // Join before draining: wakes issued after the drain would
+        // legitimately re-arm the level-triggered waker and race the
+        // assertion below.
         handle.join().unwrap();
+        waker.drain();
 
         // Drained: the level-triggered waker no longer fires.
         poll.poll(&mut events, Some(Duration::from_millis(10)))
