@@ -131,6 +131,8 @@ fn drive(addr: SocketAddr, p: &Params, seed: u64) -> LoadReport {
         write_frac: 0.0,
         record_requests: false,
         trace: false,
+        timeline_bucket: None,
+        tail_window: None,
     })
     .expect("load run")
 }
@@ -219,6 +221,8 @@ fn churn_ab(p: &Params, rows: [u64; 2], threshold: u64) {
             write_frac: 0.0,
             record_requests: false,
             trace: false,
+            timeline_bucket: None,
+            tail_window: None,
         })
         .expect("churn load")
     };

@@ -163,6 +163,8 @@ fn main() {
                 write_frac: 0.0,
                 record_requests: false,
                 trace: false,
+                timeline_bucket: None,
+                tail_window: None,
             })
             .expect("load run");
             monitor.observe();
@@ -208,6 +210,8 @@ fn main() {
             write_frac: 0.0,
             record_requests: false,
             trace: false,
+            timeline_bucket: None,
+            tail_window: None,
         })
         .expect("load run");
         monitor.observe();

@@ -93,6 +93,8 @@ fn main() {
             write_frac: 0.0,
             record_requests: false,
             trace: false,
+            timeline_bucket: None,
+            tail_window: None,
         })
         .expect("load run");
 

@@ -1,4 +1,5 @@
-//! A pipelined connection to one backend `secemb-serve-server`.
+//! A pipelined, reconnecting connection to one backend
+//! `secemb-serve-server`.
 //!
 //! The router keeps exactly one TCP connection per backend process and
 //! multiplexes every client's traffic over it: each submitted request
@@ -6,6 +7,16 @@
 //! single reader thread per backend dispatches response frames to their
 //! callbacks in completion order — the same pipelining discipline the
 //! server itself uses, with no per-request threads.
+//!
+//! A backend is allowed to *die and come back*. When the link drops,
+//! every in-flight callback fires with `Rejected(Internal)` (nothing is
+//! replayed — a retried `Update` that had already crossed the wire
+//! would apply twice), and a supervisor thread reconnects with jittered
+//! exponential backoff, re-running the `Hello` handshake and refusing a
+//! peer whose table inventory no longer matches the fleet's. Between
+//! links, [`Backend::call`] fails fast with `NotConnected` so the
+//! router can fail the request over to a replica instead of queueing on
+//! a corpse.
 
 use crate::lock_unpoisoned;
 use secemb_serve::protocol::{
@@ -17,9 +28,9 @@ use secemb_serve::{RejectReason, TraceCtx};
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -31,21 +42,109 @@ pub type ReplyCallback = Box<dyn FnOnce(ServerMsg, Option<u64>) + Send>;
 /// waits for the backend before giving up.
 const SYNC_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// One pipelined backend connection. Cheap to share (`Arc<Backend>`);
-/// writes are serialized by an internal lock, responses fan out from
-/// one reader thread.
-pub struct Backend {
-    name: String,
-    writer: Mutex<BufWriter<TcpStream>>,
-    /// Server-side handle used to force the reader loop out of a
-    /// blocked read on shutdown.
+/// How long a liveness probe ([`Backend::probe`]) waits — probes run on
+/// the health tick, so they must fail fast rather than wedge it.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long one reconnect attempt waits for the TCP connect and for
+/// each handshake frame.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Reconnect backoff schedule: attempts are spaced `base`, `2·base`,
+/// `4·base`, … capped at `max`, each multiplied by a deterministic
+/// jitter in `[0.5, 1.5)` so a fleet of routers does not stampede a
+/// recovering backend in lockstep.
+#[derive(Clone, Debug)]
+pub struct ReconnectPolicy {
+    /// First retry delay.
+    pub base: Duration,
+    /// Ceiling for the doubled delay.
+    pub max: Duration,
+    /// Consecutive failed attempts before the backend is declared
+    /// [`LinkState::Exhausted`] and reconnection stops. `0` retries
+    /// forever (the default — a down replica should rejoin whenever it
+    /// comes back, however long that takes).
+    pub budget: u32,
+    /// Jitter seed, mixed with the backend name so two backends of one
+    /// router do not share a jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            budget: 0,
+            seed: 0x5ec3_4b00_7c0f_fee5,
+        }
+    }
+}
+
+/// Options for [`Backend::start`].
+#[derive(Clone, Debug, Default)]
+pub struct BackendOptions {
+    /// Declare the link dead when requests are in flight and the
+    /// backend sends nothing for this long (half-open detection).
+    /// `None` blocks forever, trusting TCP.
+    pub idle_timeout: Option<Duration>,
+    /// Reconnect automatically after link death using this backoff
+    /// schedule. `None` keeps the pre-failover behavior: the first
+    /// link death is final.
+    pub reconnect: Option<ReconnectPolicy>,
+}
+
+/// The link lifecycle, observable via [`Backend::link_state`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkState {
+    /// Connected and handshaken.
+    Up,
+    /// Disconnected; the supervisor (if any) is backing off to retry.
+    Down,
+    /// The reconnect budget ran out — no further attempts.
+    Exhausted,
+    /// [`Backend::shutdown`] was called.
+    Stopped,
+}
+
+const STATE_UP: u8 = 0;
+const STATE_DOWN: u8 = 1;
+const STATE_EXHAUSTED: u8 = 2;
+const STATE_STOPPED: u8 = 3;
+
+/// One live connection: the buffered writer plus a raw handle for
+/// forcing the reader out of a blocked read.
+struct Link {
+    writer: BufWriter<TcpStream>,
     stream: TcpStream,
-    next_id: AtomicU64,
-    pending: Arc<Mutex<HashMap<u64, ReplyCallback>>>,
+}
+
+/// State shared between the caller-facing [`Backend`], its reader
+/// thread, and its reconnect supervisor.
+struct Shared {
+    name: String,
+    addr: SocketAddr,
+    idle_timeout: Option<Duration>,
+    link: Mutex<Option<Link>>,
+    state: AtomicU8,
+    /// Signals the supervisor on link death and shutdown.
+    wake: Condvar,
+    wake_lock: Mutex<()>,
+    pending: Mutex<HashMap<u64, ReplyCallback>>,
     reader: Mutex<Option<JoinHandle<()>>>,
-    /// The inventory the backend reported at the `Hello` handshake:
-    /// `(rows, dim, per_query_ns, technique label)` per table.
-    tables: Vec<(u64, usize, f64, String)>,
+    /// The inventory the backend reported at its most recent `Hello`
+    /// handshake: `(rows, dim, per_query_ns, technique label)` per
+    /// table.
+    tables: Mutex<Vec<(u64, usize, f64, String)>>,
+    /// When set, a reconnect handshake reporting a different
+    /// `(rows, dim)` shape is refused — a replica that restarted with
+    /// different tables must not silently rejoin the fleet.
+    expected_shape: Mutex<Option<Vec<(u64, usize)>>>,
+    reconnects: AtomicU64,
+    connect_failures: AtomicU64,
+    /// Response frames whose id matched nothing pending (duplicate or
+    /// stale replies from a misbehaving backend).
+    unmatched_replies: AtomicU64,
 }
 
 fn from_frame_error(e: FrameError) -> io::Error {
@@ -62,10 +161,248 @@ fn bad_reply(kind: &str) -> io::Error {
     )
 }
 
+fn not_connected(name: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotConnected,
+        format!("backend {name} is down"),
+    )
+}
+
+impl Shared {
+    /// Dials, handshakes, and installs a fresh link, spawning its
+    /// reader thread. The previous reader (if any) must already be
+    /// joined by the caller.
+    fn try_connect(self: &Arc<Self>) -> io::Result<()> {
+        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        // Bound the handshake read separately from steady-state: a peer
+        // that accepts but never answers `Hello` must not wedge the
+        // supervisor.
+        stream.set_read_timeout(Some(CONNECT_TIMEOUT))?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream.try_clone()?);
+        // Handshake before the reader thread exists: the hello's reply
+        // is the only frame in flight, so read it inline.
+        write_frame(&mut writer, &encode_hello(0, "router"))?;
+        let payload = read_frame(&mut reader).map_err(from_frame_error)?;
+        let (id, msg) = decode_server(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tables = match (id, msg) {
+            (0, ServerMsg::Tables(tables)) => tables,
+            _ => return Err(bad_reply("expected hello inventory")),
+        };
+        if let Some(expected) = lock_unpoisoned(&self.expected_shape).as_ref() {
+            let got: Vec<(u64, usize)> = tables.iter().map(|t| (t.0, t.1)).collect();
+            if got != *expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("backend {} rejoined with a different table set", self.name),
+                ));
+            }
+        }
+        stream.set_read_timeout(self.idle_timeout)?;
+        *lock_unpoisoned(&self.tables) = tables;
+        {
+            // Install the link and flip the state under one lock: a
+            // concurrent writer-failure teardown must never interleave
+            // between them, or the state could stick `Up` with no link.
+            let mut link = lock_unpoisoned(&self.link);
+            *link = Some(Link { stream, writer });
+            self.state.store(STATE_UP, Ordering::SeqCst);
+        }
+        match self.spawn_reader(reader) {
+            Ok(handle) => {
+                *lock_unpoisoned(&self.reader) = Some(handle);
+                Ok(())
+            }
+            Err(e) => {
+                // Thread exhaustion: a link nobody reads is useless.
+                self.note_link_down();
+                Err(e)
+            }
+        }
+    }
+
+    fn spawn_reader(
+        self: &Arc<Self>,
+        mut reader: BufReader<TcpStream>,
+    ) -> io::Result<JoinHandle<()>> {
+        let shared = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("secemb-be-{}", self.name))
+            .spawn(move || {
+                let idle_detection = shared.idle_timeout.is_some();
+                loop {
+                    let payload = match read_frame(&mut reader) {
+                        Ok(p) => p,
+                        Err(FrameError::Io(e))
+                            if idle_detection
+                                && matches!(
+                                    e.kind(),
+                                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                                ) =>
+                        {
+                            // Nothing owed: benign idleness, keep
+                            // listening. (Responses only exist for
+                            // pending ids, so a timeout mid-frame
+                            // always has a non-empty pending map and
+                            // correctly lands in the dead branch —
+                            // the stream cannot silently desync.)
+                            if lock_unpoisoned(&shared.pending).is_empty() {
+                                continue;
+                            }
+                            // Requests in flight with no bytes for a
+                            // whole idle window: half-open peer.
+                            break;
+                        }
+                        Err(_) => break,
+                    };
+                    let Ok((id, msg, trace)) = decode_server_traced(&payload) else {
+                        break; // protocol desync: unrecoverable
+                    };
+                    let callback = lock_unpoisoned(&shared.pending).remove(&id);
+                    match callback {
+                        Some(callback) => callback(msg, trace),
+                        // A reply nothing asked for: a duplicate frame
+                        // or a stale id from before a reconnect. Count
+                        // it and keep the stream alive — the frame
+                        // itself parsed fine.
+                        None => {
+                            shared.unmatched_replies.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                shared.note_link_down();
+            })
+    }
+
+    /// Tears down the current link (if any) and orphan-rejects every
+    /// in-flight request. Called by the reader on exit and by the write
+    /// path on a failed send; idempotent.
+    fn note_link_down(&self) {
+        {
+            let mut link = lock_unpoisoned(&self.link);
+            if let Some(link) = link.take() {
+                let _ = link.stream.shutdown(Shutdown::Both);
+            }
+            let _ = self.state.compare_exchange(
+                STATE_UP,
+                STATE_DOWN,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        // The connection is gone: answer everything still in flight so
+        // no client request hangs on a dead host. Nothing is replayed.
+        let orphans: Vec<ReplyCallback> = {
+            let mut map = lock_unpoisoned(&self.pending);
+            map.drain().map(|(_, cb)| cb).collect()
+        };
+        for callback in orphans {
+            callback(ServerMsg::Rejected(RejectReason::Internal), None);
+        }
+        self.wake.notify_all();
+    }
+
+    fn stopping(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == STATE_STOPPED
+    }
+
+    /// Interruptible sleep: returns early if shutdown is requested.
+    fn backoff_sleep(&self, d: Duration) {
+        let guard = lock_unpoisoned(&self.wake_lock);
+        if self.stopping() {
+            return;
+        }
+        let _unused = self.wake.wait_timeout(guard, d);
+    }
+}
+
+/// `xorshift64*` step — the jitter source for reconnect backoff. No
+/// `rand` dependency, deterministic per seed, statistically plenty for
+/// de-synchronizing retry storms.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The reconnect supervisor: parks while the link is up, and on link
+/// death retries with jittered exponential backoff until it succeeds,
+/// the budget runs out, or shutdown.
+fn run_supervisor(shared: Arc<Shared>, policy: ReconnectPolicy) {
+    let mut jitter = policy.seed;
+    for b in shared.name.as_bytes() {
+        jitter = (jitter ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if jitter == 0 {
+        jitter = 1;
+    }
+    loop {
+        match shared.state.load(Ordering::SeqCst) {
+            STATE_STOPPED | STATE_EXHAUSTED => return,
+            STATE_UP => {
+                // Park until the reader (or a failed write) signals.
+                let guard = lock_unpoisoned(&shared.wake_lock);
+                let _unused = shared.wake.wait_timeout(guard, Duration::from_millis(500));
+            }
+            _ => {
+                // Down: join the dead reader before dialing so exactly
+                // one reader ever exists per backend.
+                if let Some(handle) = lock_unpoisoned(&shared.reader).take() {
+                    let _ = handle.join();
+                }
+                let mut delay = policy.base;
+                let mut attempts: u32 = 0;
+                while shared.state.load(Ordering::SeqCst) == STATE_DOWN {
+                    let frac = 0.5 + (xorshift64(&mut jitter) as f64) / (u64::MAX as f64);
+                    shared.backoff_sleep(delay.mul_f64(frac));
+                    if shared.stopping() {
+                        return;
+                    }
+                    match shared.try_connect() {
+                        Ok(()) => {
+                            shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(_) => {
+                            shared.connect_failures.fetch_add(1, Ordering::Relaxed);
+                            attempts += 1;
+                            if policy.budget > 0 && attempts >= policy.budget {
+                                let _ = shared.state.compare_exchange(
+                                    STATE_DOWN,
+                                    STATE_EXHAUSTED,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                );
+                                return;
+                            }
+                            delay = (delay * 2).min(policy.max);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One pipelined backend connection. Cheap to share (`Arc<Backend>`);
+/// writes are serialized by an internal lock, responses fan out from
+/// one reader thread, and a supervisor thread (when reconnection is
+/// enabled) re-establishes the link after failures.
+pub struct Backend {
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
 impl Backend {
     /// Connects to `addr`, performs the `Hello` handshake (which
     /// returns the backend's table inventory), and starts the reader
-    /// thread.
+    /// thread. No reconnection: the first link death is final.
     ///
     /// # Errors
     ///
@@ -91,93 +428,133 @@ impl Backend {
         addr: A,
         idle_timeout: Option<Duration>,
     ) -> io::Result<Arc<Backend>> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(idle_timeout)?;
-        let mut writer = BufWriter::new(stream.try_clone()?);
-        let mut reader = BufReader::new(stream.try_clone()?);
-        // Handshake before the reader thread exists: the hello's reply
-        // is the only frame in flight, so read it inline.
-        write_frame(&mut writer, &encode_hello(0, "router"))?;
-        let payload = read_frame(&mut reader).map_err(from_frame_error)?;
-        let (id, msg) = decode_server(&payload)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let tables = match (id, msg) {
-            (0, ServerMsg::Tables(tables)) => tables,
-            _ => return Err(bad_reply("expected hello inventory")),
-        };
-        let pending: Arc<Mutex<HashMap<u64, ReplyCallback>>> = Arc::default();
-        let backend = Arc::new(Backend {
-            name: name.to_string(),
-            writer: Mutex::new(writer),
-            stream,
-            next_id: AtomicU64::new(1),
-            pending: Arc::clone(&pending),
-            reader: Mutex::new(None),
-            tables,
-        });
-        let handle = {
-            let pending = Arc::clone(&pending);
-            let idle_detection = idle_timeout.is_some();
-            std::thread::Builder::new()
-                .name(format!("secemb-be-{name}"))
-                .spawn(move || {
-                    loop {
-                        let payload = match read_frame(&mut reader) {
-                            Ok(p) => p,
-                            Err(FrameError::Io(e))
-                                if idle_detection
-                                    && matches!(
-                                        e.kind(),
-                                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                                    ) =>
-                            {
-                                // Nothing owed: benign idleness, keep
-                                // listening. (Responses only exist for
-                                // pending ids, so a timeout mid-frame
-                                // always has a non-empty pending map and
-                                // correctly lands in the dead branch —
-                                // the stream cannot silently desync.)
-                                if lock_unpoisoned(&pending).is_empty() {
-                                    continue;
-                                }
-                                // Requests in flight with no bytes for a
-                                // whole idle window: half-open peer.
-                                break;
-                            }
-                            Err(_) => break,
-                        };
-                        let Ok((id, msg, trace)) = decode_server_traced(&payload) else {
-                            break; // protocol desync: unrecoverable
-                        };
-                        let callback = lock_unpoisoned(&pending).remove(&id);
-                        if let Some(callback) = callback {
-                            callback(msg, trace);
-                        }
-                    }
-                    // The connection is gone: answer everything still in
-                    // flight so no client request hangs on a dead host.
-                    let orphans: Vec<ReplyCallback> = {
-                        let mut map = lock_unpoisoned(&pending);
-                        map.drain().map(|(_, cb)| cb).collect()
-                    };
-                    for callback in orphans {
-                        callback(ServerMsg::Rejected(RejectReason::Internal), None);
-                    }
-                })?
-        };
-        *lock_unpoisoned(&backend.reader) = Some(handle);
+        let backend = Self::start(
+            name,
+            addr,
+            BackendOptions {
+                idle_timeout,
+                reconnect: None,
+            },
+        )?;
+        if !backend.is_up() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("backend {name} unreachable"),
+            ));
+        }
         Ok(backend)
+    }
+
+    /// Starts a backend handle that *tolerates* the peer being down:
+    /// the initial connect is attempted once, and on failure the
+    /// backend simply starts in [`LinkState::Down`] — with a
+    /// [`ReconnectPolicy`] configured, the supervisor keeps dialing
+    /// until the peer appears. This is the live-membership entry point:
+    /// a `--backend` host that is down at router startup joins the
+    /// fleet when its first connect succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if `addr` does not resolve (a
+    /// configuration problem, not a liveness one).
+    pub fn start<A: ToSocketAddrs>(
+        name: &str,
+        addr: A,
+        opts: BackendOptions,
+    ) -> io::Result<Arc<Backend>> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "backend address resolves to nothing",
+            )
+        })?;
+        let shared = Arc::new(Shared {
+            name: name.to_string(),
+            addr,
+            idle_timeout: opts.idle_timeout,
+            link: Mutex::new(None),
+            state: AtomicU8::new(STATE_DOWN),
+            wake: Condvar::new(),
+            wake_lock: Mutex::new(()),
+            pending: Mutex::default(),
+            reader: Mutex::new(None),
+            tables: Mutex::new(Vec::new()),
+            expected_shape: Mutex::new(None),
+            reconnects: AtomicU64::new(0),
+            connect_failures: AtomicU64::new(0),
+            unmatched_replies: AtomicU64::new(0),
+        });
+        if shared.try_connect().is_err() {
+            shared.connect_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let supervisor = match opts.reconnect {
+            Some(policy) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("secemb-be-sup-{name}"))
+                        .spawn(move || run_supervisor(shared, policy))?,
+                )
+            }
+            None => None,
+        };
+        Ok(Arc::new(Backend {
+            shared,
+            next_id: AtomicU64::new(1),
+            supervisor: Mutex::new(supervisor),
+        }))
     }
 
     /// The backend's display name (used as the `backend` metric label).
     pub fn name(&self) -> &str {
-        &self.name
+        &self.shared.name
     }
 
-    /// The inventory reported at the handshake.
-    pub fn tables(&self) -> &[(u64, usize, f64, String)] {
-        &self.tables
+    /// The resolved address this backend dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The inventory reported at the most recent handshake (empty if
+    /// the backend has never connected).
+    pub fn tables(&self) -> Vec<(u64, usize, f64, String)> {
+        lock_unpoisoned(&self.shared.tables).clone()
+    }
+
+    /// Pins the `(rows, dim)` shape a reconnect handshake must report;
+    /// a peer that restarted with different tables is refused.
+    pub fn set_expected_shape(&self, shape: Vec<(u64, usize)>) {
+        *lock_unpoisoned(&self.shared.expected_shape) = Some(shape);
+    }
+
+    /// Current link lifecycle state.
+    pub fn link_state(&self) -> LinkState {
+        match self.shared.state.load(Ordering::SeqCst) {
+            STATE_UP => LinkState::Up,
+            STATE_DOWN => LinkState::Down,
+            STATE_EXHAUSTED => LinkState::Exhausted,
+            _ => LinkState::Stopped,
+        }
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.link_state() == LinkState::Up
+    }
+
+    /// Successful reconnects (the initial connect does not count).
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Failed connect attempts (initial + supervisor retries).
+    pub fn connect_failures(&self) -> u64 {
+        self.shared.connect_failures.load(Ordering::Relaxed)
+    }
+
+    /// Response frames that matched no pending request.
+    pub fn unmatched_replies(&self) -> u64 {
+        self.shared.unmatched_replies.load(Ordering::Relaxed)
     }
 
     /// Submits one request: `encode` receives a fresh request id and
@@ -186,8 +563,11 @@ impl Backend {
     ///
     /// # Errors
     ///
-    /// Returns transport errors; on error the callback is dropped
-    /// without being invoked.
+    /// Returns `NotConnected` immediately when the link is down, or the
+    /// transport error from a failed send (which also tears the link
+    /// down). On error the callback is dropped without being invoked —
+    /// nothing crossed the wire, so the caller may safely retry on a
+    /// replica, even for `Update` traffic.
     pub fn call(
         &self,
         encode: impl FnOnce(u64) -> Vec<u8>,
@@ -197,13 +577,22 @@ impl Backend {
         let payload = encode(id);
         // Register before writing: the response may race the map insert
         // otherwise. On a failed write, take the callback back out.
-        lock_unpoisoned(&self.pending).insert(id, callback);
+        lock_unpoisoned(&self.shared.pending).insert(id, callback);
         let result = {
-            let mut writer = lock_unpoisoned(&self.writer);
-            write_frame(&mut *writer, &payload)
+            let mut link = lock_unpoisoned(&self.shared.link);
+            match link.as_mut() {
+                Some(l) => write_frame(&mut l.writer, &payload),
+                None => Err(not_connected(&self.shared.name)),
+            }
         };
         if let Err(e) = result {
-            lock_unpoisoned(&self.pending).remove(&id);
+            lock_unpoisoned(&self.shared.pending).remove(&id);
+            if e.kind() != io::ErrorKind::NotConnected {
+                // A failed write leaves the stream in an unknown state;
+                // kill the link so the reader orphan-rejects and the
+                // supervisor redials.
+                self.shared.note_link_down();
+            }
             return Err(e);
         }
         Ok(id)
@@ -267,7 +656,11 @@ impl Backend {
         )
     }
 
-    fn round_trip(&self, encode: impl FnOnce(u64) -> Vec<u8>) -> io::Result<ServerMsg> {
+    fn round_trip_timeout(
+        &self,
+        encode: impl FnOnce(u64) -> Vec<u8>,
+        timeout: Duration,
+    ) -> io::Result<ServerMsg> {
         let (tx, rx) = mpsc::channel();
         self.call(
             encode,
@@ -275,8 +668,27 @@ impl Backend {
                 let _ = tx.send(msg);
             }),
         )?;
-        rx.recv_timeout(SYNC_TIMEOUT)
+        rx.recv_timeout(timeout)
             .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "backend timed out"))
+    }
+
+    fn round_trip(&self, encode: impl FnOnce(u64) -> Vec<u8>) -> io::Result<ServerMsg> {
+        self.round_trip_timeout(encode, SYNC_TIMEOUT)
+    }
+
+    /// A fast liveness probe: one stats round trip with a short
+    /// timeout. Success means the backend answered a real request on
+    /// the live link — the signal the router's health machine uses to
+    /// flip a backend back to healthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/timeout errors or an unexpected reply kind.
+    pub fn probe(&self) -> io::Result<()> {
+        match self.round_trip_timeout(encode_stats_request, PROBE_TIMEOUT)? {
+            ServerMsg::Stats(_) => Ok(()),
+            _ => Err(bad_reply("expected stats")),
+        }
     }
 
     /// Fetches the backend's stats snapshot JSON, blocking.
@@ -347,13 +759,24 @@ impl Backend {
         }
     }
 
-    /// Closes the connection and joins the reader thread; everything
-    /// still in flight is answered with `Rejected(Internal)`.
+    /// Closes the connection, stops the supervisor, and joins both
+    /// threads; everything still in flight is answered with
+    /// `Rejected(Internal)`.
     pub fn shutdown(&self) {
-        let _ = self.stream.shutdown(Shutdown::Both);
-        if let Some(handle) = lock_unpoisoned(&self.reader).take() {
+        self.shared.state.store(STATE_STOPPED, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(link) = lock_unpoisoned(&self.shared.link).as_ref() {
+            let _ = link.stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = lock_unpoisoned(&self.supervisor).take() {
             let _ = handle.join();
         }
+        if let Some(handle) = lock_unpoisoned(&self.shared.reader).take() {
+            let _ = handle.join();
+        }
+        // The reader's exit path orphan-rejects, but if the backend
+        // never connected there is no reader — drain here too.
+        self.shared.note_link_down();
     }
 }
 

@@ -6,6 +6,9 @@
 //!               [--gossip-ms N] [--profile-out FILE] [--run-secs N]
 //!               [--threaded] [--backend-idle-ms N] [--conn-idle-ms N]
 //!               [--trace-sample N] [--trace-host NAME]
+//!               [--health-trip N] [--health-probe-ms N]
+//!               [--reconnect-base-ms N] [--reconnect-max-ms N]
+//!               [--reconnect-budget N]
 //! ```
 //!
 //! Repeat `--backend` once per backend process (`NAME=HOST:PORT`, or
@@ -34,8 +37,20 @@
 //! drained — through the wire `Traces` frame, which also scrapes every
 //! backend, so one `secemb-tracecat --scrape` against the router sees
 //! the whole tier.
+//!
+//! Resilience knobs: `--health-trip N` trips a backend out of the
+//! serving rotation after N consecutive internal failures (default 3);
+//! `--health-probe-ms N` sets the probe cadence that recovers a
+//! tripped backend (0 disables recovery probing). A dropped TCP link
+//! redials with jittered exponential backoff between
+//! `--reconnect-base-ms` (default 50) and `--reconnect-max-ms`
+//! (default 2000); `--reconnect-budget N` gives up after N consecutive
+//! failed dials (default 0 = retry forever). Backends that are down at
+//! startup no longer abort the router — they join the rotation when
+//! their first probe succeeds — but at least one backend must be
+//! reachable to learn the table inventory.
 
-use secemb_router::{Router, RouterConfig};
+use secemb_router::{ReconnectPolicy, Router, RouterConfig};
 use secemb_serve::TraceSettings;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -51,6 +66,9 @@ struct Args {
     conn_idle: Option<Duration>,
     trace_sample: u64,
     trace_host: String,
+    health_trip: u32,
+    health_probe: Option<Duration>,
+    reconnect: ReconnectPolicy,
 }
 
 fn usage() -> ! {
@@ -58,7 +76,10 @@ fn usage() -> ! {
         "usage: secemb-router [--bind ADDR] --backend [NAME=]ADDR... \
          [--gossip-ms N] [--profile-out FILE] [--run-secs N] \
          [--threaded] [--backend-idle-ms N] [--conn-idle-ms N] \
-         [--trace-sample N] [--trace-host NAME]"
+         [--trace-sample N] [--trace-host NAME] \
+         [--health-trip N] [--health-probe-ms N] \
+         [--reconnect-base-ms N] [--reconnect-max-ms N] \
+         [--reconnect-budget N]"
     );
     std::process::exit(2);
 }
@@ -75,6 +96,9 @@ fn parse_args() -> Args {
         conn_idle: None,
         trace_sample: 0,
         trace_host: "router".to_string(),
+        health_trip: 3,
+        health_probe: Some(Duration::from_millis(200)),
+        reconnect: ReconnectPolicy::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -112,6 +136,22 @@ fn parse_args() -> Args {
             }
             "--trace-sample" => args.trace_sample = value().parse().unwrap_or_else(|_| usage()),
             "--trace-host" => args.trace_host = value(),
+            "--health-trip" => args.health_trip = value().parse().unwrap_or_else(|_| usage()),
+            "--health-probe-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.health_probe = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--reconnect-base-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.reconnect.base = Duration::from_millis(ms.max(1));
+            }
+            "--reconnect-max-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.reconnect.max = Duration::from_millis(ms.max(1));
+            }
+            "--reconnect-budget" => {
+                args.reconnect.budget = value().parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
     }
@@ -133,6 +173,10 @@ fn main() {
         conn_idle: args.conn_idle,
         trace: (args.trace_sample > 0)
             .then(|| TraceSettings::new(&args.trace_host, args.trace_sample)),
+        health_trip: args.health_trip,
+        health_probe: args.health_probe,
+        reconnect: args.reconnect,
+        inject_gossip_spawn_failure: false,
     };
     let router = match Router::start(config) {
         Ok(router) => router,

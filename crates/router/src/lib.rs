@@ -33,7 +33,7 @@ pub mod gossip;
 pub mod placement;
 pub mod router;
 
-pub use backend::Backend;
+pub use backend::{Backend, BackendOptions, LinkState, ReconnectPolicy};
 pub use gossip::{gossip_once, GossipReport};
 pub use placement::Placement;
 pub use router::{Router, RouterConfig};

@@ -211,6 +211,29 @@ impl Placement {
         self.host_index(table).map(|h| self.hosts[h].as_str())
     }
 
+    /// The ordered failover candidates for `table`: a permutation of
+    /// all host indices with the assigned host first (rank 0), then
+    /// every other host by descending rendezvous score with the same
+    /// name tiebreak [`Placement::preferred`] uses. A router forwarding
+    /// to the highest-ranked *live* candidate therefore (a) agrees with
+    /// the placement whenever the assigned host is up, and (b) fails
+    /// over deterministically — every router derives the same ranking
+    /// from the same membership, with no coordination.
+    pub fn candidates(&self, table: usize) -> Option<Vec<usize>> {
+        let primary = self.host_index(table)?;
+        let mut rest: Vec<usize> = (0..self.hosts.len()).filter(|&h| h != primary).collect();
+        rest.sort_by_key(|&h| {
+            (
+                std::cmp::Reverse(score(&self.hosts[h], table)),
+                self.hosts[h].as_str(),
+            )
+        });
+        let mut ranked = Vec::with_capacity(self.hosts.len());
+        ranked.push(primary);
+        ranked.extend(rest);
+        Some(ranked)
+    }
+
     /// The tables assigned to host index `host`, ascending.
     pub fn tables_of(&self, host: usize) -> Vec<usize> {
         self.assignment
@@ -356,6 +379,48 @@ mod tests {
         assert!(back.moved_from(&p3) <= tables.div_ceil(3));
         for host in 0..2 {
             assert!(back.tables_of(host).len() <= tables.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn candidates_are_a_permutation_led_by_the_assignment() {
+        let names = hosts(&["h0", "h1", "h2", "h3"]);
+        let p = Placement::balanced(&names, 16);
+        for t in 0..16 {
+            let ranked = p.candidates(t).unwrap();
+            assert_eq!(ranked[0], p.host_index(t).unwrap(), "rank 0 != assignment");
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "not a permutation: {ranked:?}");
+            // Deterministic: recomputing yields the identical ranking.
+            assert_eq!(p.candidates(t).unwrap(), ranked);
+        }
+        assert_eq!(p.candidates(16), None, "out-of-range table has no ranking");
+    }
+
+    #[test]
+    fn candidates_are_name_keyed_like_the_assignment() {
+        // The same membership listed in a different order ranks every
+        // table over the same *named* hosts.
+        let a = Placement::balanced(&hosts(&["alpha", "beta", "gamma"]), 9);
+        let b = Placement::balanced(&hosts(&["gamma", "alpha", "beta"]), 9);
+        for t in 0..9 {
+            let named = |p: &Placement, ranked: Vec<usize>| -> Vec<String> {
+                ranked.iter().map(|&h| p.hosts()[h].clone()).collect()
+            };
+            assert_eq!(
+                named(&a, a.candidates(t).unwrap()),
+                named(&b, b.candidates(t).unwrap()),
+                "table {t} ranking moved with host-list reorder"
+            );
+        }
+    }
+
+    #[test]
+    fn single_host_candidates_are_trivial() {
+        let p = Placement::balanced(&hosts(&["only"]), 5);
+        for t in 0..5 {
+            assert_eq!(p.candidates(t).unwrap(), vec![0]);
         }
     }
 

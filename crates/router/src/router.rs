@@ -18,7 +18,7 @@
 //! with the router-side `router_route_ns` / `router_merge_ns`
 //! histograms into one cross-host span.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, BackendOptions, ReconnectPolicy};
 use crate::gossip::{gossip_once, GossipReport};
 use crate::lock_unpoisoned;
 use crate::placement::Placement;
@@ -36,6 +36,7 @@ use secemb_telemetry::{
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use secemb_wire::json::{self, Value};
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -73,6 +74,23 @@ pub struct RouterConfig {
     /// (host label, head-sampling rate). `None` collects nothing; the
     /// instrumented path still runs with an inert handle.
     pub trace: Option<TraceSettings>,
+    /// Consecutive failed replies (`Rejected(Internal)` or send errors)
+    /// before a backend's health trips to `Down` and traffic fails over
+    /// to the next-ranked replica.
+    pub health_trip: u32,
+    /// Health-tick interval: every tick, tripped backends whose link is
+    /// back are probed, and on probe success the fleet's newest plan is
+    /// gossiped to them *before* they re-admit traffic (no mixed-epoch
+    /// window). `None` disables probing — a tripped backend stays
+    /// tripped.
+    pub health_probe: Option<Duration>,
+    /// Backoff schedule for backend reconnection (see
+    /// [`ReconnectPolicy`]).
+    pub reconnect: ReconnectPolicy,
+    /// Test hook: pretend the gossip-thread spawn failed, to exercise
+    /// the inline-gossip fallback without exhausting real threads.
+    #[doc(hidden)]
+    pub inject_gossip_spawn_failure: bool,
 }
 
 impl Default for RouterConfig {
@@ -86,6 +104,10 @@ impl Default for RouterConfig {
             backend_idle_timeout: None,
             conn_idle: None,
             trace: None,
+            health_trip: 3,
+            health_probe: Some(Duration::from_millis(200)),
+            reconnect: ReconnectPolicy::default(),
+            inject_gossip_spawn_failure: false,
         }
     }
 }
@@ -102,7 +124,18 @@ struct RouterMetrics {
     accept_spawn_failures: Arc<Counter>,
     gossip_rounds_total: Arc<Counter>,
     gossip_pushes_total: Arc<Counter>,
+    gossip_spawn_failures: Arc<Counter>,
     plan_version: Arc<Gauge>,
+    /// Requests routed to a non-primary replica because the primary was
+    /// unhealthy.
+    failovers_total: Arc<Counter>,
+    health_trips_total: Arc<Counter>,
+    health_recoveries_total: Arc<Counter>,
+    /// Backend frames that violated the protocol contract (unexpected
+    /// kind where embeddings were due, duplicate part fills, missing
+    /// merge slots) — each degraded to `Rejected(Internal)` instead of
+    /// a panic.
+    protocol_violations: Arc<Counter>,
 }
 
 impl RouterMetrics {
@@ -117,14 +150,34 @@ impl RouterMetrics {
             accept_spawn_failures: registry.counter("router_accept_spawn_failures_total"),
             gossip_rounds_total: registry.counter("router_gossip_rounds_total"),
             gossip_pushes_total: registry.counter("router_gossip_pushes_total"),
+            gossip_spawn_failures: registry.counter("router_gossip_spawn_failures_total"),
             plan_version: registry.gauge("router_plan_version"),
+            failovers_total: registry.counter("router_failovers_total"),
+            health_trips_total: registry.counter("router_health_trips_total"),
+            health_recoveries_total: registry.counter("router_health_recoveries_total"),
+            protocol_violations: registry.counter("router_protocol_violations_total"),
         }
     }
+}
+
+/// Router-side health of one backend: separate from the TCP link state
+/// (a backend can be connected yet failing every request), driven by a
+/// consecutive-failure trip and a probe-based recovery.
+struct HealthState {
+    up: AtomicBool,
+    consecutive_failures: AtomicU64,
+    up_gauge: Arc<Gauge>,
 }
 
 struct Inner {
     backends: Vec<Arc<Backend>>,
     placement: Placement,
+    /// Per-table ordered failover candidates (rank 0 = the placement's
+    /// assignment), precomputed from [`Placement::candidates`].
+    candidates: Vec<Vec<usize>>,
+    /// Per-backend router-side health, indexed like `backends`.
+    health: Vec<HealthState>,
+    health_trip: u32,
     /// The fleet's table inventory (identical across backends, verified
     /// at startup): `(rows, dim, per_query_ns, technique label)`.
     inventory: Vec<(u64, usize, f64, String)>,
@@ -133,6 +186,11 @@ struct Inner {
     spans: Arc<SpanCollector>,
     profile_out: Option<PathBuf>,
     next_trace: AtomicU64,
+    /// Set when the background gossip thread could not be spawned:
+    /// gossip then runs inline, rate-limited, on stats/metrics scrapes.
+    inline_gossip: AtomicBool,
+    inline_gossip_interval: Duration,
+    last_inline_gossip: Mutex<Option<Instant>>,
 }
 
 impl Inner {
@@ -151,6 +209,84 @@ impl Inner {
         }
         Ok(report)
     }
+
+    /// Fallback gossip when the background thread could not be spawned:
+    /// runs a round inline on the calling (scrape) thread, at most once
+    /// per configured interval.
+    fn maybe_inline_gossip(&self) {
+        if !self.inline_gossip.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut last = lock_unpoisoned(&self.last_inline_gossip);
+        let due = last.is_none_or(|t| t.elapsed() >= self.inline_gossip_interval);
+        if due {
+            *last = Some(Instant::now());
+            drop(last);
+            let _ = self.gossip();
+        }
+    }
+
+    /// Whether backend `host` is currently eligible to serve: its
+    /// router-side health is up *and* its TCP link is up.
+    fn serving(&self, host: usize) -> bool {
+        self.health[host].up.load(Ordering::Relaxed) && self.backends[host].is_up()
+    }
+
+    /// The highest-ranked live candidate for `table`, skipping hosts in
+    /// `tried` (send attempts that already failed this request). Counts
+    /// a failover when the pick is not the primary. `None` means no
+    /// replica can serve.
+    fn pick_host(&self, table: usize, tried: &[usize]) -> Option<usize> {
+        let ranked = self.candidates.get(table)?;
+        for (rank, &host) in ranked.iter().enumerate() {
+            if tried.contains(&host) || !self.serving(host) {
+                continue;
+            }
+            if rank > 0 {
+                self.metrics.failovers_total.inc();
+            }
+            return Some(host);
+        }
+        None
+    }
+
+    /// Records one failed interaction with `host` (an
+    /// `Rejected(Internal)` reply or a failed send); trips the health
+    /// state after `health_trip` consecutive failures.
+    fn note_failure(&self, host: usize) {
+        let h = &self.health[host];
+        let fails = h.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails >= u64::from(self.health_trip) {
+            self.trip(host);
+        }
+    }
+
+    /// Records one successful reply from `host`.
+    fn note_success(&self, host: usize) {
+        self.health[host]
+            .consecutive_failures
+            .store(0, Ordering::Relaxed);
+    }
+
+    /// Trips `host` to unhealthy (idempotent).
+    fn trip(&self, host: usize) {
+        let h = &self.health[host];
+        if h.up.swap(false, Ordering::Relaxed) {
+            self.metrics.health_trips_total.inc();
+            h.up_gauge.set(0.0);
+        }
+    }
+
+    /// Flips `host` back to healthy after a successful probe
+    /// (idempotent).
+    fn recover(&self, host: usize) {
+        let h = &self.health[host];
+        h.consecutive_failures.store(0, Ordering::Relaxed);
+        if !h.up.swap(true, Ordering::Relaxed) {
+            self.metrics.health_recoveries_total.inc();
+            h.up_gauge.set(1.0);
+        }
+    }
 }
 
 /// One live client connection (see `Server` in `secemb-serve`).
@@ -168,6 +304,7 @@ pub struct Router {
     stop: Arc<AtomicBool>,
     frontend: Frontend,
     gossip_handle: Option<JoinHandle<()>>,
+    health_handle: Option<JoinHandle<()>>,
 }
 
 /// The client-facing connection machinery (mirrors the serving layer's
@@ -185,13 +322,18 @@ const ACCEPT_LISTENER: Token = Token(0);
 const ACCEPT_WAKE: Token = Token(1);
 
 impl Router {
-    /// Connects to every backend, verifies they serve the same table
-    /// set, derives the placement, and starts accepting clients.
+    /// Connects to every backend (tolerating peers that are down — they
+    /// start `Down` and join when their reconnect succeeds), verifies
+    /// the reachable ones serve the same table set, derives the
+    /// placement over the *full* configured membership, and starts
+    /// accepting clients.
     ///
     /// # Errors
     ///
-    /// Returns connect/bind errors, or `InvalidData` if the backends'
-    /// inventories disagree (they must be replicas of one table set).
+    /// Returns bind errors, `ConnectionRefused` if *no* backend is
+    /// reachable at startup (the inventory must come from somewhere),
+    /// or `InvalidData` if reachable backends' inventories disagree
+    /// (they must be replicas of one table set).
     pub fn start(config: RouterConfig) -> io::Result<Router> {
         if config.backends.is_empty() {
             return Err(io::Error::new(
@@ -201,34 +343,69 @@ impl Router {
         }
         let mut backends = Vec::with_capacity(config.backends.len());
         for (name, addr) in &config.backends {
-            backends.push(Backend::connect_with(
+            backends.push(Backend::start(
                 name,
                 addr.as_str(),
-                config.backend_idle_timeout,
+                BackendOptions {
+                    idle_timeout: config.backend_idle_timeout,
+                    reconnect: Some(config.reconnect.clone()),
+                },
             )?);
         }
-        let inventory = backends[0].tables().to_vec();
-        for backend in &backends[1..] {
-            let shape = |t: &[(u64, usize, f64, String)]| -> Vec<(u64, usize)> {
-                t.iter().map(|(rows, dim, _, _)| (*rows, *dim)).collect()
-            };
-            if shape(backend.tables()) != shape(&inventory) {
+        let shape = |t: &[(u64, usize, f64, String)]| -> Vec<(u64, usize)> {
+            t.iter().map(|(rows, dim, _, _)| (*rows, *dim)).collect()
+        };
+        // The inventory comes from the first reachable backend; any
+        // other reachable backend must agree, and unreachable backends
+        // are held to the same shape at their reconnect handshake.
+        let Some(reference) = backends.iter().find(|b| b.is_up()) else {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "no backend reachable at startup",
+            ));
+        };
+        let inventory = reference.tables();
+        let reference_name = reference.name().to_string();
+        let expected = shape(&inventory);
+        for backend in &backends {
+            if backend.is_up() && shape(&backend.tables()) != expected {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
                         "backend {} serves a different table set than {}",
                         backend.name(),
-                        backends[0].name()
+                        reference_name,
                     ),
                 ));
             }
+            backend.set_expected_shape(expected.clone());
         }
         let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
         let placement = Placement::balanced(&names, inventory.len());
+        let candidates: Vec<Vec<usize>> = (0..inventory.len())
+            .map(|t| {
+                placement
+                    .candidates(t)
+                    .expect("placement is total over 0..tables")
+            })
+            .collect();
         let registry = Arc::new(Registry::new());
         let metrics = RouterMetrics::new(&registry);
         registry.gauge("router_backends").set(backends.len() as f64);
         registry.gauge("router_tables").set(inventory.len() as f64);
+        let health: Vec<HealthState> = backends
+            .iter()
+            .map(|b| {
+                let up = b.is_up();
+                let up_gauge = registry.gauge_with("router_backend_up", &[("backend", b.name())]);
+                up_gauge.set(if up { 1.0 } else { 0.0 });
+                HealthState {
+                    up: AtomicBool::new(up),
+                    consecutive_failures: AtomicU64::new(0),
+                    up_gauge,
+                }
+            })
+            .collect();
         let spans = Arc::new(match &config.trace {
             Some(t) => SpanCollector::with_capacity(&t.host, t.sample_every, t.capacity),
             None => SpanCollector::disabled(),
@@ -236,14 +413,36 @@ impl Router {
         let inner = Arc::new(Inner {
             backends,
             placement,
+            candidates,
+            health,
+            health_trip: config.health_trip.max(1),
             inventory,
             registry,
             metrics,
             spans,
             profile_out: config.profile_out.clone(),
             next_trace: AtomicU64::new(1),
+            inline_gossip: AtomicBool::new(false),
+            inline_gossip_interval: config.gossip_interval.unwrap_or(Duration::from_millis(500)),
+            last_inline_gossip: Mutex::new(None),
         });
-        let listener = TcpListener::bind(config.bind.as_str())?;
+        // SO_REUSEADDR bind: a router restarted onto its old port must
+        // not spend a TIME_WAIT minute in EADDRINUSE.
+        let bind_addr = {
+            use std::net::ToSocketAddrs;
+            config
+                .bind
+                .as_str()
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "bind address resolves to nothing",
+                    )
+                })?
+        };
+        let listener = mio::net::bind_reusable(bind_addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let frontend = if config.reactor {
@@ -301,29 +500,82 @@ impl Router {
                 connections,
             }
         };
-        let gossip_handle = config.gossip_interval.map(|interval| {
-            let inner = Arc::clone(&inner);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("secemb-rt-gossip".into())
-                .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        let _ = inner.gossip();
-                        let deadline = Instant::now() + interval;
-                        while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
-                            std::thread::sleep(interval.min(Duration::from_millis(10)));
-                        }
+        let gossip_handle = match config.gossip_interval {
+            Some(interval) => {
+                let spawned = if config.inject_gossip_spawn_failure {
+                    Err(io::Error::new(io::ErrorKind::WouldBlock, "injected"))
+                } else {
+                    let inner = Arc::clone(&inner);
+                    let stop = Arc::clone(&stop);
+                    std::thread::Builder::new()
+                        .name("secemb-rt-gossip".into())
+                        .spawn(move || {
+                            while !stop.load(Ordering::Relaxed) {
+                                let _ = inner.gossip();
+                                let deadline = Instant::now() + interval;
+                                while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                                    std::thread::sleep(interval.min(Duration::from_millis(10)));
+                                }
+                            }
+                        })
+                };
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(_) => {
+                        // Thread exhaustion must not abort a router that
+                        // can otherwise serve: count it and degrade to
+                        // inline gossip on the stats/metrics tick
+                        // (mirrors the accept-path spawn-failure
+                        // handling).
+                        inner.metrics.gossip_spawn_failures.inc();
+                        inner.inline_gossip.store(true, Ordering::Relaxed);
+                        None
                     }
-                })
-                .expect("spawn gossip thread")
-        });
+                }
+            }
+            None => None,
+        };
+        let health_handle = match config.health_probe {
+            Some(interval) => {
+                let inner = Arc::clone(&inner);
+                let stop = Arc::clone(&stop);
+                let spawned = std::thread::Builder::new()
+                    .name("secemb-rt-health".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            health_tick(&inner);
+                            let deadline = Instant::now() + interval;
+                            while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                                std::thread::sleep(interval.min(Duration::from_millis(10)));
+                            }
+                        }
+                    });
+                // Same degradation as gossip: without the probe thread
+                // the router still serves, it just cannot auto-recover
+                // tripped backends.
+                spawned.ok()
+            }
+            None => None,
+        };
         Ok(Router {
             inner,
             addr,
             stop,
             frontend,
             gossip_handle,
+            health_handle,
         })
+    }
+
+    /// Per-backend `(name, serving)` health snapshot — serving means
+    /// router-side health *and* the TCP link are both up.
+    pub fn backend_health(&self) -> Vec<(String, bool)> {
+        self.inner
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(h, b)| (b.name().to_string(), self.inner.serving(h)))
+            .collect()
     }
 
     /// The bound client-facing address.
@@ -394,8 +646,46 @@ impl Router {
         if let Some(handle) = self.gossip_handle.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.health_handle.take() {
+            let _ = handle.join();
+        }
         for backend in &self.inner.backends {
             backend.shutdown();
+        }
+    }
+}
+
+/// One health-thread round: trip backends whose link dropped, probe
+/// tripped backends whose link is back, and — on probe success — gossip
+/// the fleet's newest plan to them *before* re-admitting traffic, so a
+/// recovered replica never serves a stale epoch next to fresh peers.
+/// Also refreshes the per-backend reconnect gauges.
+fn health_tick(inner: &Arc<Inner>) {
+    for (h, backend) in inner.backends.iter().enumerate() {
+        inner
+            .registry
+            .gauge_with("router_backend_reconnects", &[("backend", backend.name())])
+            .set(backend.reconnects() as f64);
+        inner
+            .registry
+            .gauge_with(
+                "router_backend_connect_failures",
+                &[("backend", backend.name())],
+            )
+            .set(backend.connect_failures() as f64);
+        let healthy = inner.health[h].up.load(Ordering::Relaxed);
+        if !backend.is_up() {
+            if healthy {
+                inner.trip(h);
+            }
+            continue;
+        }
+        if !healthy && backend.probe().is_ok() {
+            // Plan convergence before re-admission: push the winning
+            // plan (the recovered replica restarted at version 0, so it
+            // is stale by construction whenever the fleet adapted).
+            let _ = inner.gossip();
+            inner.recover(h);
         }
     }
 }
@@ -560,8 +850,9 @@ struct RouteSpans {
     root_id: u64,
     /// One eagerly-allocated "fanout" span id per backend hop.
     fanout_ids: Vec<u64>,
-    /// Placement host index per hop (span attr).
-    hosts: Vec<u64>,
+    /// Serving host index per hop (span attr). Atomic because failover
+    /// can move a hop to a replica after the spans were allocated.
+    hosts: Vec<AtomicU64>,
     start: Instant,
     queries: u64,
 }
@@ -588,10 +879,16 @@ impl RouteSpans {
             client_parent: trace.and_then(|t| t.parent_span),
             root_id,
             fanout_ids,
-            hosts,
+            hosts: hosts.into_iter().map(AtomicU64::new).collect(),
             start: Instant::now(),
             queries,
         }))
+    }
+
+    /// Re-labels hop `g` with the host that actually served it (set
+    /// when failover moved the hop off its primary candidate).
+    fn set_host(&self, g: usize, host: u64) {
+        self.hosts[g].store(host, Ordering::Relaxed);
     }
 
     /// The trace context forwarded to hop `g`'s backend: same trace id,
@@ -627,7 +924,7 @@ impl RouteSpans {
         let mut s = self.span(self.fanout_ids[g], Some(self.root_id), "fanout");
         s.start_ns = self.spans.ns_of(self.start);
         s.end_ns = self.spans.now_ns();
-        s.attrs = vec![("host", self.hosts[g])];
+        s.attrs = vec![("host", self.hosts[g].load(Ordering::Relaxed))];
         self.spans.record(s);
     }
 
@@ -649,12 +946,58 @@ impl RouteSpans {
     }
 }
 
-fn to_response(msg: ServerMsg) -> Response {
+/// Maps a backend reply onto the client-facing response. A frame kind
+/// that is neither embeddings nor a rejection (e.g. a stats frame where
+/// embeddings were due) is a protocol violation: counted and degraded
+/// to `Rejected(Internal)` — never a panic on the dispatch path.
+fn to_response(msg: ServerMsg, violations: &Counter) -> Response {
     match msg {
         ServerMsg::Embeddings(m, stages) => Response::Embeddings(m, stages),
         ServerMsg::Rejected(reason) => Response::Rejected(reason),
-        _ => Response::Rejected(RejectReason::Internal),
+        _ => {
+            violations.inc();
+            Response::Rejected(RejectReason::Internal)
+        }
     }
+}
+
+/// Feeds one backend reply into the health machine: an internal
+/// rejection (which is also what a died-mid-flight link orphan-rejects
+/// with) counts toward the consecutive-failure trip; anything else —
+/// including *legitimate* rejections like `QueueFull` — resets it.
+fn note_outcome(inner: &Inner, host: usize, msg: &ServerMsg) {
+    match msg {
+        ServerMsg::Rejected(RejectReason::Internal) => inner.note_failure(host),
+        _ => inner.note_success(host),
+    }
+}
+
+/// Sends one request to the highest-ranked live candidate for `table`,
+/// walking down the candidate list while the *send* itself fails. A
+/// failed send never put a complete frame on the wire, so retrying on a
+/// replica is duplicate-safe even for `Update` traffic (in-flight
+/// requests whose link dies after a successful send are rejected, not
+/// replayed). Returns the serving host, or `None` when no replica is
+/// live.
+fn send_with_failover(
+    inner: &Inner,
+    table: usize,
+    initial: Option<usize>,
+    mut send: impl FnMut(usize) -> io::Result<u64>,
+) -> Option<usize> {
+    let mut tried: Vec<usize> = Vec::new();
+    let mut next = initial.or_else(|| inner.pick_host(table, &tried));
+    while let Some(host) = next {
+        match send(host) {
+            Ok(_) => return Some(host),
+            Err(_) => {
+                inner.note_failure(host);
+                tried.push(host);
+                next = inner.pick_host(table, &tried);
+            }
+        }
+    }
+    None
 }
 
 fn dispatch(
@@ -680,41 +1023,46 @@ fn dispatch(
             if indices.is_empty() {
                 return reject(inner, replies, id, RejectReason::BadRequest, echo);
             }
-            let host = inner.placement.host_index(table).expect("checked above");
             inner.metrics.fanout_hosts.record(1);
             let hop_trace = echo.unwrap_or_else(|| inner.fresh_trace());
-            let route = RouteSpans::begin(
-                inner,
-                trace,
-                hop_trace,
-                vec![host as u64],
-                indices.len() as u64,
-            );
+            // Span host attr starts at the primary candidate; failover
+            // re-labels it with the host that actually serves.
+            let primary = inner.candidates[table][0] as u64;
+            let route =
+                RouteSpans::begin(inner, trace, hop_trace, vec![primary], indices.len() as u64);
             let forward = route
                 .as_ref()
                 .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(0));
             let t0 = Instant::now();
-            let replies_cb = replies.clone();
-            let route_cb = route.clone();
-            let route_ns = Arc::clone(&inner.metrics.route_ns);
-            let sent = inner.backends[host].generate(
-                table,
-                &indices,
-                deadline,
-                Some(forward),
-                Box::new(move |msg, _| {
-                    route_ns.record(t0.elapsed().as_nanos() as u64);
-                    if let Some(route) = &route_cb {
-                        route.record_fanout(0);
-                        route.record_root();
-                    }
-                    replies_cb.send(encode_response_traced(id, &to_response(msg), echo));
-                }),
-            );
+            let served = send_with_failover(inner, table, None, |host| {
+                let replies_cb = replies.clone();
+                let route_cb = route.clone();
+                let route_ns = Arc::clone(&inner.metrics.route_ns);
+                let inner_cb = Arc::clone(inner);
+                inner.backends[host].generate(
+                    table,
+                    &indices,
+                    deadline,
+                    Some(forward),
+                    Box::new(move |msg, _| {
+                        route_ns.record(t0.elapsed().as_nanos() as u64);
+                        note_outcome(&inner_cb, host, &msg);
+                        if let Some(route) = &route_cb {
+                            route.record_fanout(0);
+                            route.record_root();
+                        }
+                        let response = to_response(msg, &inner_cb.metrics.protocol_violations);
+                        replies_cb.send(encode_response_traced(id, &response, echo));
+                    }),
+                )
+            });
+            if let (Some(host), Some(route)) = (served, &route) {
+                route.set_host(0, host as u64);
+            }
             if let Some(route) = &route {
                 route.record_admit(Instant::now());
             }
-            if sent.is_err() {
+            if served.is_none() {
                 reject(inner, replies, id, RejectReason::Internal, echo);
             }
         }
@@ -734,42 +1082,48 @@ fn dispatch(
             if indices.is_empty() {
                 return reject(inner, replies, id, RejectReason::BadRequest, echo);
             }
-            let host = inner.placement.host_index(table).expect("checked above");
             inner.metrics.fanout_hosts.record(1);
             let hop_trace = echo.unwrap_or_else(|| inner.fresh_trace());
-            let route = RouteSpans::begin(
-                inner,
-                trace,
-                hop_trace,
-                vec![host as u64],
-                indices.len() as u64,
-            );
+            let primary = inner.candidates[table][0] as u64;
+            let route =
+                RouteSpans::begin(inner, trace, hop_trace, vec![primary], indices.len() as u64);
             let forward = route
                 .as_ref()
                 .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(0));
             let t0 = Instant::now();
-            let replies_cb = replies.clone();
-            let route_cb = route.clone();
-            let route_ns = Arc::clone(&inner.metrics.route_ns);
-            let sent = inner.backends[host].update(
-                table,
-                &indices,
-                &deltas,
-                deadline,
-                Some(forward),
-                Box::new(move |msg, _| {
-                    route_ns.record(t0.elapsed().as_nanos() as u64);
-                    if let Some(route) = &route_cb {
-                        route.record_fanout(0);
-                        route.record_root();
-                    }
-                    replies_cb.send(encode_response_traced(id, &to_response(msg), echo));
-                }),
-            );
+            // Failing a *send* over to a replica is safe for updates:
+            // the failed send never delivered a complete frame, and an
+            // update that dies after delivery is rejected, not retried.
+            let served = send_with_failover(inner, table, None, |host| {
+                let replies_cb = replies.clone();
+                let route_cb = route.clone();
+                let route_ns = Arc::clone(&inner.metrics.route_ns);
+                let inner_cb = Arc::clone(inner);
+                inner.backends[host].update(
+                    table,
+                    &indices,
+                    &deltas,
+                    deadline,
+                    Some(forward),
+                    Box::new(move |msg, _| {
+                        route_ns.record(t0.elapsed().as_nanos() as u64);
+                        note_outcome(&inner_cb, host, &msg);
+                        if let Some(route) = &route_cb {
+                            route.record_fanout(0);
+                            route.record_root();
+                        }
+                        let response = to_response(msg, &inner_cb.metrics.protocol_violations);
+                        replies_cb.send(encode_response_traced(id, &response, echo));
+                    }),
+                )
+            });
+            if let (Some(host), Some(route)) = (served, &route) {
+                route.set_host(0, host as u64);
+            }
             if let Some(route) = &route {
                 route.record_admit(Instant::now());
             }
-            if sent.is_err() {
+            if served.is_none() {
                 reject(inner, replies, id, RejectReason::Internal, echo);
             }
         }
@@ -797,10 +1151,12 @@ fn dispatch(
             replies.send(encode_table_list(id, &inner.inventory));
         }
         ClientMsg::Stats => {
+            inner.maybe_inline_gossip();
             let json = merged_stats(inner);
             replies.send(encode_stats(id, &json));
         }
         ClientMsg::Metrics => {
+            inner.maybe_inline_gossip();
             let text = merged_metrics(inner);
             replies.send(encode_metrics(id, &text));
         }
@@ -843,12 +1199,24 @@ fn dispatch_multi(
     if parts.iter().any(|(t, _)| *t >= inner.placement.tables()) {
         return reject(inner, replies, id, RejectReason::UnknownTable, echo);
     }
-    // Group part indices by owning host, preserving part order within
-    // each group (and across groups for the single-host fast path).
+    // Group part indices by *serving* host — the highest-ranked live
+    // candidate per table, resolved once per table for this request —
+    // preserving part order within each group (and across groups for
+    // the single-host fast path).
+    let mut host_of_table: HashMap<usize, usize> = HashMap::new();
     let mut group_of_host: Vec<Option<usize>> = vec![None; inner.backends.len()];
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (host, part indices)
     for (part, (table, _)) in parts.iter().enumerate() {
-        let host = inner.placement.host_index(*table).expect("checked above");
+        let host = match host_of_table.get(table) {
+            Some(&h) => h,
+            None => {
+                let Some(h) = inner.pick_host(*table, &[]) else {
+                    return reject(inner, replies, id, RejectReason::Internal, echo);
+                };
+                host_of_table.insert(*table, h);
+                h
+            }
+        };
         match group_of_host[host] {
             Some(g) => groups[g].1.push(part),
             None => {
@@ -870,30 +1238,40 @@ fn dispatch_multi(
     let t0 = Instant::now();
     if let [(host, _)] = groups.as_slice() {
         // Single host: forward unsplit; part order is already reply
-        // order.
+        // order. `GenerateMulti` is read-only, so a failed send walks
+        // the candidate list like `Generate` does.
         let forward = route
             .as_ref()
             .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(0));
-        let replies_cb = replies.clone();
-        let route_cb = route.clone();
-        let route_ns = Arc::clone(&inner.metrics.route_ns);
-        let sent = inner.backends[*host].generate_multi(
-            &parts,
-            deadline,
-            Some(forward),
-            Box::new(move |msg, _| {
-                route_ns.record(t0.elapsed().as_nanos() as u64);
-                if let Some(route) = &route_cb {
-                    route.record_fanout(0);
-                    route.record_root();
-                }
-                replies_cb.send(encode_response_traced(id, &to_response(msg), echo));
-            }),
-        );
+        let first_table = parts[0].0;
+        let served = send_with_failover(inner, first_table, Some(*host), |h| {
+            let replies_cb = replies.clone();
+            let route_cb = route.clone();
+            let route_ns = Arc::clone(&inner.metrics.route_ns);
+            let inner_cb = Arc::clone(inner);
+            inner.backends[h].generate_multi(
+                &parts,
+                deadline,
+                Some(forward),
+                Box::new(move |msg, _| {
+                    route_ns.record(t0.elapsed().as_nanos() as u64);
+                    note_outcome(&inner_cb, h, &msg);
+                    if let Some(route) = &route_cb {
+                        route.record_fanout(0);
+                        route.record_root();
+                    }
+                    let response = to_response(msg, &inner_cb.metrics.protocol_violations);
+                    replies_cb.send(encode_response_traced(id, &response, echo));
+                }),
+            )
+        });
+        if let (Some(h), Some(route)) = (served, &route) {
+            route.set_host(0, h as u64);
+        }
         if let Some(route) = &route {
             route.record_admit(Instant::now());
         }
-        if sent.is_err() {
+        if served.is_none() {
             reject(inner, replies, id, RejectReason::Internal, echo);
         }
         return;
@@ -910,70 +1288,98 @@ fn dispatch_multi(
         let forward = route
             .as_ref()
             .map_or_else(|| TraceCtx::new(hop_trace), |route| route.forward(g));
-        let replies_cb = replies.clone();
-        let inner_cb = Arc::clone(inner);
-        let state_cb = Arc::clone(&state);
-        let route_cb = route.clone();
-        let group_parts = group_parts.clone();
-        let part_lens = part_lens.clone();
-        let sent = inner.backends[*host].generate_multi(
-            &group,
-            deadline,
-            Some(forward),
-            Box::new(move |msg, _| {
-                // This hop's fanout span closes when its reply lands,
-                // whether or not it is the last one home.
-                if let Some(route) = &route_cb {
-                    route.record_fanout(g);
-                }
-                let mut guard = lock_unpoisoned(&state_cb);
-                guard.0[g] = Some(msg);
-                guard.1 -= 1;
-                if guard.1 > 0 {
-                    return;
-                }
-                // A group slot can only be empty if a completion path
-                // was skipped (e.g. a callback thread died mid-flight);
-                // degrade that group to a rejection rather than taking
-                // the whole connection down with a panic.
-                let results: Vec<ServerMsg> = guard
-                    .0
-                    .drain(..)
-                    .map(|r| r.unwrap_or(ServerMsg::Rejected(RejectReason::Internal)))
-                    .collect();
-                drop(guard);
-                inner_cb
-                    .metrics
-                    .route_ns
-                    .record(t0.elapsed().as_nanos() as u64);
-                let m0 = Instant::now();
-                let merged = merge_groups(&group_parts, &part_lens, results);
-                let m1 = Instant::now();
-                inner_cb
-                    .metrics
-                    .merge_ns
-                    .record((m1 - m0).as_nanos() as u64);
-                if let Some(route) = &route_cb {
-                    route.record_merge(m0, m1);
-                    route.record_root();
-                }
-                replies_cb.send(encode_response_traced(id, &merged, echo));
-            }),
-        );
-        if sent.is_err() {
-            // Deliver the group's failure through the normal completion
-            // path so the merge still runs exactly once.
-            let mut guard = lock_unpoisoned(&state);
-            if guard.0[g].is_none() {
-                guard.0[g] = Some(ServerMsg::Rejected(RejectReason::Internal));
-                guard.1 -= 1;
-                if guard.1 == 0 {
+        // A group whose send fails walks the candidate list of its first
+        // part's table (every backend is a full replica, so any live
+        // host can serve the whole group). `GenerateMulti` is read-only.
+        let group_table = parts[part_idxs[0]].0;
+        let served = send_with_failover(inner, group_table, Some(*host), |h| {
+            let replies_cb = replies.clone();
+            let inner_cb = Arc::clone(inner);
+            let state_cb = Arc::clone(&state);
+            let route_cb = route.clone();
+            let group_parts = group_parts.clone();
+            let part_lens = part_lens.clone();
+            inner.backends[h].generate_multi(
+                &group,
+                deadline,
+                Some(forward),
+                Box::new(move |msg, _| {
+                    // This hop's fanout span closes when its reply lands,
+                    // whether or not it is the last one home.
+                    if let Some(route) = &route_cb {
+                        route.record_fanout(g);
+                    }
+                    note_outcome(&inner_cb, h, &msg);
+                    let mut guard = lock_unpoisoned(&state_cb);
+                    if guard.0[g].is_some() {
+                        // Two replies landed for one group: a protocol
+                        // violation. Keep the first; decrementing the
+                        // countdown twice would underflow (the old
+                        // `expect("every part filled")` panic class).
+                        inner_cb.metrics.protocol_violations.inc();
+                        return;
+                    }
+                    guard.0[g] = Some(msg);
+                    guard.1 -= 1;
+                    if guard.1 > 0 {
+                        return;
+                    }
+                    // A group slot can only be empty if a completion path
+                    // was skipped (e.g. a callback thread died mid-flight);
+                    // degrade that group to a rejection rather than taking
+                    // the whole connection down with a panic.
+                    let results: Vec<ServerMsg> = guard
+                        .0
+                        .drain(..)
+                        .map(|r| r.unwrap_or(ServerMsg::Rejected(RejectReason::Internal)))
+                        .collect();
                     drop(guard);
-                    replies.send(encode_response_traced(
-                        id,
-                        &Response::Rejected(RejectReason::Internal),
-                        echo,
-                    ));
+                    inner_cb
+                        .metrics
+                        .route_ns
+                        .record(t0.elapsed().as_nanos() as u64);
+                    let m0 = Instant::now();
+                    let merged = merge_groups(
+                        &group_parts,
+                        &part_lens,
+                        results,
+                        &inner_cb.metrics.protocol_violations,
+                    );
+                    let m1 = Instant::now();
+                    inner_cb
+                        .metrics
+                        .merge_ns
+                        .record((m1 - m0).as_nanos() as u64);
+                    if let Some(route) = &route_cb {
+                        route.record_merge(m0, m1);
+                        route.record_root();
+                    }
+                    replies_cb.send(encode_response_traced(id, &merged, echo));
+                }),
+            )
+        });
+        match served {
+            Some(h) => {
+                if let Some(route) = &route {
+                    route.set_host(g, h as u64);
+                }
+            }
+            None => {
+                // No replica could take the group: deliver its failure
+                // through the normal completion path so the merge still
+                // runs exactly once.
+                let mut guard = lock_unpoisoned(&state);
+                if guard.0[g].is_none() {
+                    guard.0[g] = Some(ServerMsg::Rejected(RejectReason::Internal));
+                    guard.1 -= 1;
+                    if guard.1 == 0 {
+                        drop(guard);
+                        replies.send(encode_response_traced(
+                            id,
+                            &Response::Rejected(RejectReason::Internal),
+                            echo,
+                        ));
+                    }
                 }
             }
         }
@@ -986,18 +1392,25 @@ fn dispatch_multi(
 /// Re-assembles per-host group replies into one part-ordered response.
 /// The first rejection (by the smallest original part index it covers)
 /// rejects the whole request; stage breakdowns merge by per-stage max,
-/// since the groups ran concurrently.
+/// since the groups ran concurrently. Malformed reply sets — a frame
+/// kind that is neither embeddings nor rejection, a part filled twice,
+/// a part never filled — count a protocol violation and reject the
+/// request instead of panicking the dispatch path.
 fn merge_groups(
     group_parts: &[Vec<usize>],
     part_lens: &[usize],
     results: Vec<ServerMsg>,
+    violations: &Counter,
 ) -> Response {
     let mut reject: Option<(usize, RejectReason)> = None;
     for (g, result) in results.iter().enumerate() {
         let reason = match result {
             ServerMsg::Embeddings(..) => continue,
             ServerMsg::Rejected(reason) => *reason,
-            _ => RejectReason::Internal,
+            _ => {
+                violations.inc();
+                RejectReason::Internal
+            }
         };
         let first_part = group_parts[g].first().copied().unwrap_or(usize::MAX);
         if reject.is_none_or(|(p, _)| first_part < p) {
@@ -1012,7 +1425,10 @@ fn merge_groups(
     let mut part_rows: Vec<Option<Vec<f32>>> = vec![None; part_lens.len()];
     for (g, result) in results.into_iter().enumerate() {
         let ServerMsg::Embeddings(m, s) = result else {
-            unreachable!("rejections handled above");
+            // Unreachable if the scan above was exhaustive, but a
+            // malformed frame must degrade, not panic, this path.
+            violations.inc();
+            return Response::Rejected(RejectReason::Internal);
         };
         if *cols.get_or_insert(m.cols()) != m.cols() {
             // Heterogeneous dimensions cannot share a reply matrix.
@@ -1029,6 +1445,13 @@ fn merge_groups(
         let width = m.cols();
         let mut offset = 0;
         for &p in &group_parts[g] {
+            if part_rows[p].is_some() {
+                // Two groups claim the same part (a duplicate reply or a
+                // corrupted grouping): reject rather than serve one
+                // part's rows under another's index.
+                violations.inc();
+                return Response::Rejected(RejectReason::Internal);
+            }
             let take = part_lens[p] * width;
             part_rows[p] = Some(data[offset..offset + take].to_vec());
             offset += take;
@@ -1037,7 +1460,13 @@ fn merge_groups(
     let cols = cols.unwrap_or(0);
     let mut data = Vec::with_capacity(part_lens.iter().sum::<usize>() * cols);
     for rows in part_rows {
-        data.extend_from_slice(&rows.expect("every part filled"));
+        let Some(rows) = rows else {
+            // A part no group filled: the reply set does not cover the
+            // request. Degrade to a rejection.
+            violations.inc();
+            return Response::Rejected(RejectReason::Internal);
+        };
+        data.extend_from_slice(&rows);
     }
     let rows = part_lens.iter().sum::<usize>();
     Response::Embeddings(Matrix::from_vec(rows, cols, data), stages)
@@ -1156,6 +1585,10 @@ mod tests {
         assert!(injected.contains("secemb_z{backend=\"b0\"} 2\n"));
     }
 
+    fn test_counter() -> Arc<Counter> {
+        Registry::new().counter("test_violations")
+    }
+
     #[test]
     fn group_merge_reassembles_part_order_and_rejects_first() {
         // Parts 0 and 2 on one host, part 1 on another: reassembly must
@@ -1170,6 +1603,7 @@ mod tests {
         let mut s_b = StageBreakdown::default();
         s_b.ns[3] = 40;
         s_b.ns[1] = 7;
+        let violations = test_counter();
         let merged = merge_groups(
             &group_parts,
             &part_lens,
@@ -1177,6 +1611,7 @@ mod tests {
                 ServerMsg::Embeddings(m_a, s_a),
                 ServerMsg::Embeddings(m_b, s_b),
             ],
+            &violations,
         );
         let Response::Embeddings(m, stages) = merged else {
             panic!("expected embeddings");
@@ -1189,6 +1624,7 @@ mod tests {
         );
         assert_eq!(stages.ns[3], 100, "stage merge takes the max");
         assert_eq!(stages.ns[1], 7);
+        assert_eq!(violations.get(), 0, "clean merge counts no violations");
 
         // A rejection wins by earliest part it covers: group B holds
         // part 1, group A holds parts 0 and 2 — A's reason wins.
@@ -1199,7 +1635,72 @@ mod tests {
                 ServerMsg::Rejected(RejectReason::QueueFull),
                 ServerMsg::Rejected(RejectReason::DeadlineUnmeetable),
             ],
+            &violations,
         );
         assert_eq!(merged, Response::Rejected(RejectReason::QueueFull));
+    }
+
+    #[test]
+    fn unexpected_frame_where_embeddings_were_due_degrades_and_counts() {
+        // The regression the panic fix is for: a backend answers a
+        // generate slot with a *stats* frame. to_response must degrade
+        // to Rejected(Internal) and count the violation, not panic.
+        let violations = test_counter();
+        let resp = to_response(ServerMsg::Stats("{}".to_string()), &violations);
+        assert_eq!(resp, Response::Rejected(RejectReason::Internal));
+        assert_eq!(violations.get(), 1);
+
+        // Same malformed frame inside a multi-part merge.
+        let group_parts = vec![vec![0], vec![1]];
+        let part_lens = vec![1, 1];
+        let merged = merge_groups(
+            &group_parts,
+            &part_lens,
+            vec![
+                ServerMsg::Embeddings(
+                    Matrix::from_vec(1, 2, vec![0.0; 2]),
+                    StageBreakdown::default(),
+                ),
+                ServerMsg::Stats("{}".to_string()),
+            ],
+            &violations,
+        );
+        assert_eq!(merged, Response::Rejected(RejectReason::Internal));
+        assert_eq!(violations.get(), 2);
+
+        // Legitimate replies never count.
+        let v2 = test_counter();
+        let _ = to_response(ServerMsg::Rejected(RejectReason::QueueFull), &v2);
+        let _ = to_response(
+            ServerMsg::Embeddings(Matrix::from_vec(1, 1, vec![0.0]), StageBreakdown::default()),
+            &v2,
+        );
+        assert_eq!(v2.get(), 0);
+    }
+
+    #[test]
+    fn duplicate_part_fill_rejects_instead_of_panicking() {
+        // Two groups both claim part 0 (a duplicate reply per part id):
+        // the old path panicked on `expect("every part filled")` for
+        // part 1; the merge must reject and count instead.
+        let group_parts = vec![vec![0], vec![0]];
+        let part_lens = vec![1, 1];
+        let violations = test_counter();
+        let mk = || {
+            ServerMsg::Embeddings(
+                Matrix::from_vec(1, 2, vec![1.0, 2.0]),
+                StageBreakdown::default(),
+            )
+        };
+        let merged = merge_groups(&group_parts, &part_lens, vec![mk(), mk()], &violations);
+        assert_eq!(merged, Response::Rejected(RejectReason::Internal));
+        assert_eq!(violations.get(), 1);
+
+        // A part no group covers (reply set does not span the request)
+        // is the dual failure: also reject + count, not panic.
+        let gp = vec![vec![0]];
+        let merged = merge_groups(&gp, &part_lens, vec![mk()], &violations);
+        assert_eq!(merged, Response::Rejected(RejectReason::Internal));
+        assert_eq!(violations.get(), 2);
     }
 }

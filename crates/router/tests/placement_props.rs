@@ -144,4 +144,83 @@ proptest! {
         let parsed = Placement::from_json(&p.to_json()).unwrap();
         prop_assert_eq!(parsed, p);
     }
+
+    /// The failover candidate list is a permutation of all hosts led by
+    /// the placement's assignment, and — like the assignment itself —
+    /// it is a function of the *named* membership only.
+    #[test]
+    fn candidates_are_a_deterministic_permutation(
+        n_hosts in 1usize..9,
+        tables in 1usize..40,
+        swap in any::<bool>(),
+    ) {
+        let hosts = host_names(n_hosts);
+        let p = Placement::balanced(&hosts, tables);
+        let mut reordered = hosts.clone();
+        if swap && n_hosts > 1 {
+            reordered.reverse();
+        }
+        let q = Placement::balanced(&reordered, tables);
+        for table in 0..tables {
+            let ranked = p.candidates(table).unwrap();
+            prop_assert_eq!(ranked.len(), n_hosts);
+            prop_assert_eq!(Some(ranked[0]), p.host_index(table));
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n_hosts).collect::<Vec<_>>());
+            // Name-keyed determinism: the ranked *names* agree across
+            // membership-list orderings.
+            let names_p: Vec<&str> =
+                ranked.iter().map(|&h| p.hosts()[h].as_str()).collect();
+            let names_q: Vec<&str> = q
+                .candidates(table)
+                .unwrap()
+                .iter()
+                .map(|&h| q.hosts()[h].as_str())
+                .collect();
+            prop_assert_eq!(names_p, names_q, "table {} ranking moved", table);
+        }
+    }
+
+    /// Failover availability: however many hosts die, as long as one
+    /// candidate survives, walking a table's ranked list past the dead
+    /// set always yields a live host — and *which* live host is a pure
+    /// function of (table, named membership, dead set), independent of
+    /// the membership list's order. That determinism is what keeps two
+    /// routers in front of the same degraded fleet picking the same
+    /// replica.
+    #[test]
+    fn first_live_candidate_exists_and_is_name_deterministic(
+        n_hosts in 2usize..9,
+        tables in 1usize..40,
+        dead_mask in 0usize..255,
+        swap in any::<bool>(),
+    ) {
+        let hosts = host_names(n_hosts);
+        let mut dead: Vec<bool> = (0..n_hosts).map(|h| dead_mask & (1 << h) != 0).collect();
+        if dead.iter().all(|&d| d) {
+            dead[0] = false; // keep at least one survivor
+        }
+        let p = Placement::balanced(&hosts, tables);
+        let mut reordered = hosts.clone();
+        if swap {
+            reordered.reverse();
+        }
+        let q = Placement::balanced(&reordered, tables);
+        for table in 0..tables {
+            let pick = |placement: &Placement| -> String {
+                placement
+                    .candidates(table)
+                    .unwrap()
+                    .iter()
+                    .map(|&h| placement.hosts()[h].clone())
+                    .find(|name| !dead[hosts.iter().position(|n| n == name).unwrap()])
+                    .expect("a live candidate must exist")
+            };
+            prop_assert_eq!(
+                pick(&p), pick(&q),
+                "table {} failover pick depends on membership-list order", table
+            );
+        }
+    }
 }

@@ -32,6 +32,13 @@
 //! router, the merged fleet view). `--trace` stamps every request with
 //! a sequential public trace id so sampled servers emit spans for the
 //! run (pair with a server-side `--trace-sample`).
+//!
+//! `--timeline-secs S` buckets outcomes into S-second windows from run
+//! start and prints one grep-able `timeline t=K ok=… rejected=…
+//! internal=…` line per bucket — the view that makes a mid-run backend
+//! kill legible as a bounded dip. `--tail-secs S` separately tallies
+//! the final S seconds and prints `tail ok=… rejected=… internal=…`,
+//! the recovery assertion a failover smoke test greps for.
 
 use secemb_serve::loadgen::{run_load, LoadConfig, Schedule};
 use secemb_serve::Client;
@@ -56,6 +63,8 @@ struct Args {
     scrape_metrics: bool,
     scrape_stats: bool,
     trace: bool,
+    timeline: Option<Duration>,
+    tail: Option<Duration>,
 }
 
 fn usage() -> ! {
@@ -63,7 +72,8 @@ fn usage() -> ! {
         "usage: secemb-serve-load --addr ADDR | --hosts ADDR,ADDR,... [--table N]... \
          [--conns N] [--idle-conns N] [--batch N] [--secs S] [--deadline-ms D] \
          [--schedule paced|poisson] [--pipeline-depth K] [--write-frac F] \
-         [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats] [--trace]"
+         [--rate R]... [--out FILE] [--scrape-metrics] [--scrape-stats] [--trace] \
+         [--timeline-secs S] [--tail-secs S]"
     );
     std::process::exit(2);
 }
@@ -92,6 +102,8 @@ fn parse_args() -> Args {
         scrape_metrics: false,
         scrape_stats: false,
         trace: false,
+        timeline: None,
+        tail: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -132,6 +144,14 @@ fn parse_args() -> Args {
             "--scrape-metrics" => args.scrape_metrics = true,
             "--scrape-stats" => args.scrape_stats = true,
             "--trace" => args.trace = true,
+            "--timeline-secs" => {
+                let secs: f64 = value().parse().unwrap_or_else(|_| usage());
+                args.timeline = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+            }
+            "--tail-secs" => {
+                let secs: f64 = value().parse().unwrap_or_else(|_| usage());
+                args.tail = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+            }
             _ => usage(),
         }
     }
@@ -211,6 +231,8 @@ fn main() {
             seed: 1,
             record_requests: out.is_some(),
             trace: args.trace,
+            timeline_bucket: args.timeline,
+            tail_window: args.tail,
         });
         match report {
             Ok(r) => {
@@ -224,6 +246,12 @@ fn main() {
                     r.rejected_fraction() * 100.0,
                     r.sla_miss_fraction() * 100.0
                 );
+                for (t, bucket) in r.timeline.iter().enumerate() {
+                    println!("timeline t={t} {}", bucket.render());
+                }
+                if let Some(tail) = &r.tail {
+                    println!("tail {}", tail.render());
+                }
                 if let Some(file) = out.as_mut() {
                     for record in &r.records {
                         // Stamp each record with its sweep point so one

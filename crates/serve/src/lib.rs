@@ -87,5 +87,5 @@ pub use engine::{
 pub use reactor::{FrameReactor, ReactorConfig, ReplySender};
 pub use request::{RejectReason, Request, Response};
 pub use secemb_telemetry::{Registry, SpanCollector, Stage, StageBreakdown, TraceCtx};
-pub use server::{ConnectionBackend, Server, ServerOptions};
+pub use server::{bind_reusable, ConnectionBackend, Server, ServerOptions};
 pub use stats::{ServerStats, StatsSnapshot, WorkerBatches};

@@ -104,6 +104,55 @@ pub struct LoadConfig {
     /// so a server running `--trace-sample N` records spans for every
     /// N-th request. The trace id never encodes tables or indices.
     pub trace: bool,
+    /// Bucket response outcomes into fixed windows measured from run
+    /// start (`None` disables). Feeds [`LoadReport::timeline`] — the
+    /// view that makes a mid-run backend kill legible as a bounded dip
+    /// rather than an averaged-away blip.
+    pub timeline_bucket: Option<Duration>,
+    /// Separately tally outcomes landing in the final window of the run
+    /// (`None` disables). Feeds [`LoadReport::tail`] — "had the tier
+    /// recovered by the end?", the assertion a failover smoke test
+    /// needs after killing and restarting a backend.
+    pub tail_window: Option<Duration>,
+}
+
+/// Response outcomes over one window: completions, ordinary rejections,
+/// and `Internal` rejections broken out on their own because they are
+/// the client-visible signature of an unhealthy backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Requests answered with embeddings.
+    pub ok: u64,
+    /// Requests rejected for any reason other than `Internal`
+    /// (admission control, deadlines, shutdown — expected behavior).
+    pub rejected: u64,
+    /// Requests rejected with [`RejectReason::Internal`] — the failure
+    /// mode replica failover exists to bound.
+    pub internal: u64,
+}
+
+impl OutcomeCounts {
+    fn note(&mut self, rejected: Option<RejectReason>) {
+        match rejected {
+            None => self.ok += 1,
+            Some(RejectReason::Internal) => self.internal += 1,
+            Some(_) => self.rejected += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &OutcomeCounts) {
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.internal += other.internal;
+    }
+
+    /// Grep-able key=value rendering (`ok=12 rejected=0 internal=0`).
+    pub fn render(&self) -> String {
+        format!(
+            "ok={} rejected={} internal={}",
+            self.ok, self.rejected, self.internal
+        )
+    }
 }
 
 /// One answered request, as the client observed it. Only present in a
@@ -190,6 +239,13 @@ pub struct LoadReport {
     /// Per-request records, in no particular order; empty unless
     /// [`LoadConfig::record_requests`] was set.
     pub records: Vec<RequestRecord>,
+    /// Outcome counts per [`LoadConfig::timeline_bucket`] window from
+    /// run start; empty when bucketing was disabled. The last bucket
+    /// also absorbs responses drained after the offered window closed.
+    pub timeline: Vec<OutcomeCounts>,
+    /// Outcomes landing in the final [`LoadConfig::tail_window`] of the
+    /// run (including the post-run drain); `None` when disabled.
+    pub tail: Option<OutcomeCounts>,
 }
 
 impl LoadReport {
@@ -281,12 +337,16 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         idle.push(client);
     }
     let mean_interval = Duration::from_secs_f64(config.connections as f64 / config.offered_rps);
+    let run_start = Instant::now();
+    let run_end = run_start + config.duration;
 
     struct ThreadResult {
         latencies_ns: Vec<f64>,
         deadline_violations: u64,
         rejected: [u64; RejectReason::ALL.len()],
         records: Vec<RequestRecord>,
+        timeline: Vec<OutcomeCounts>,
+        tail: OutcomeCounts,
         io_error: Option<io::Error>,
     }
 
@@ -297,7 +357,41 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         deadline_violations: u64,
         rejected: [u64; RejectReason::ALL.len()],
         records: Vec<RequestRecord>,
+        timeline: Vec<OutcomeCounts>,
+        tail: OutcomeCounts,
         io_error: Option<io::Error>,
+    }
+
+    /// Files one response outcome into the timeline bucket and tail
+    /// window tallies (no-ops when both knobs are off). Responses
+    /// drained after the offered window land in the last bucket.
+    fn tally_windows(
+        config: &LoadConfig,
+        run_start: Instant,
+        run_end: Instant,
+        timeline: &mut Vec<OutcomeCounts>,
+        tail: &mut OutcomeCounts,
+        rejected: Option<RejectReason>,
+    ) {
+        let now = Instant::now();
+        if let Some(bucket) = config.timeline_bucket.filter(|b| !b.is_zero()) {
+            let cap = (config.duration.as_nanos() / bucket.as_nanos()).max(1) as usize;
+            let idx =
+                (now.saturating_duration_since(run_start).as_nanos() / bucket.as_nanos()) as usize;
+            let idx = idx.min(cap - 1);
+            if timeline.len() <= idx {
+                timeline.resize(idx + 1, OutcomeCounts::default());
+            }
+            timeline[idx].note(rejected);
+        }
+        if let Some(window) = config.tail_window {
+            let in_tail = run_end
+                .checked_sub(window)
+                .is_none_or(|tail_start| now >= tail_start);
+            if in_tail {
+                tail.note(rejected);
+            }
+        }
     }
 
     // Sequential public trace ids, shared across every connection; the
@@ -315,6 +409,8 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         deadline_violations: 0,
                         rejected: [0; RejectReason::ALL.len()],
                         records: Vec::new(),
+                        timeline: Vec::new(),
+                        tail: OutcomeCounts::default(),
                         io_error: None,
                     };
                     let client = match Client::connect(config.addrs[conn_id % config.addrs.len()]) {
@@ -375,6 +471,14 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                                     if !sla_ok {
                                         rx.deadline_violations += 1;
                                     }
+                                    tally_windows(
+                                        config,
+                                        run_start,
+                                        run_end,
+                                        &mut rx.timeline,
+                                        &mut rx.tail,
+                                        None,
+                                    );
                                     rx.latencies_ns.push(elapsed.as_nanos() as f64);
                                     if config.record_requests {
                                         rx.records.push(RequestRecord {
@@ -389,6 +493,14 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                                 }
                                 ServerMsg::Rejected(reason) => {
                                     rx.rejected[reason.index()] += 1;
+                                    tally_windows(
+                                        config,
+                                        run_start,
+                                        run_end,
+                                        &mut rx.timeline,
+                                        &mut rx.tail,
+                                        Some(reason),
+                                    );
                                     if config.record_requests {
                                         rx.records.push(RequestRecord {
                                             conn: conn_id,
@@ -416,7 +528,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                     });
                     let mut rng =
                         StdRng::seed_from_u64(config.seed ^ (conn_id as u64).wrapping_mul(0x9E37));
-                    let end = Instant::now() + config.duration;
+                    let end = run_end;
                     // Stagger connection start times across one interval.
                     let mut next_send = Instant::now()
                         + mean_interval.mul_f64(conn_id as f64 / config.connections as f64);
@@ -512,6 +624,15 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         for (total, n) in result.rejected.iter_mut().zip(rx.rejected) {
                             *total += n;
                         }
+                        if result.timeline.len() < rx.timeline.len() {
+                            result
+                                .timeline
+                                .resize(rx.timeline.len(), OutcomeCounts::default());
+                        }
+                        for (total, b) in result.timeline.iter_mut().zip(&rx.timeline) {
+                            total.merge(b);
+                        }
+                        result.tail.merge(&rx.tail);
                         if result.io_error.is_none() {
                             result.io_error = rx.io_error;
                         }
@@ -531,6 +652,8 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                     deadline_violations: 0,
                     rejected: [0; RejectReason::ALL.len()],
                     records: Vec::new(),
+                    timeline: Vec::new(),
+                    tail: OutcomeCounts::default(),
                     io_error: Some(io::Error::other("load connection thread panicked")),
                 },
             })
@@ -544,6 +667,8 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
     let mut deadline_violations = 0;
     let mut rejected = [0u64; RejectReason::ALL.len()];
     let mut records = Vec::new();
+    let mut timeline: Vec<OutcomeCounts> = Vec::new();
+    let mut tail = OutcomeCounts::default();
     for mut r in results {
         if let Some(e) = r.io_error.take() {
             return Err(e);
@@ -553,6 +678,21 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         records.extend(r.records);
         for (total, n) in rejected.iter_mut().zip(r.rejected) {
             *total += n;
+        }
+        if timeline.len() < r.timeline.len() {
+            timeline.resize(r.timeline.len(), OutcomeCounts::default());
+        }
+        for (total, b) in timeline.iter_mut().zip(&r.timeline) {
+            total.merge(b);
+        }
+        tail.merge(&r.tail);
+    }
+    // Pad to the full run so an all-dead trailing window still shows up
+    // as explicit zero buckets rather than a shorter vector.
+    if let Some(bucket) = config.timeline_bucket.filter(|b| !b.is_zero()) {
+        let cap = (config.duration.as_nanos() / bucket.as_nanos()).max(1) as usize;
+        if timeline.len() < cap {
+            timeline.resize(cap, OutcomeCounts::default());
         }
     }
     let completed = latencies.len() as u64;
@@ -564,6 +704,8 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         rejected,
         latency: LatencySummary::from_ns(&latencies),
         records,
+        timeline,
+        tail: config.tail_window.map(|_| tail),
     })
 }
 
@@ -590,6 +732,8 @@ mod tests {
             rejected: [4, 0, 0, 0, 0, 0, 0],
             latency: LatencySummary::from_ns(&[]),
             records: Vec::new(),
+            timeline: Vec::new(),
+            tail: None,
         };
         report.rejected[1] = 6;
         assert_eq!(report.total_rejected(), 10);
@@ -607,9 +751,34 @@ mod tests {
             rejected: [0; RejectReason::ALL.len()],
             latency: LatencySummary::from_ns(&[]),
             records: Vec::new(),
+            timeline: Vec::new(),
+            tail: None,
         };
         assert_eq!(report.rejected_fraction(), 0.0);
         assert_eq!(report.sla_miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn outcome_counts_classify_and_render() {
+        let mut counts = OutcomeCounts::default();
+        counts.note(None);
+        counts.note(None);
+        counts.note(Some(RejectReason::QueueFull));
+        counts.note(Some(RejectReason::Internal));
+        assert_eq!(
+            counts,
+            OutcomeCounts {
+                ok: 2,
+                rejected: 1,
+                internal: 1
+            }
+        );
+        let mut merged = OutcomeCounts::default();
+        merged.merge(&counts);
+        merged.merge(&counts);
+        assert_eq!(merged.ok, 4);
+        assert_eq!(merged.internal, 2);
+        assert_eq!(counts.render(), "ok=2 rejected=1 internal=1");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use secemb_telemetry::{StageBreakdown, TraceCtx};
 use secemb_tensor::Matrix;
 use secemb_wire::frame::{read_frame, write_frame, FrameError};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -92,6 +92,30 @@ struct ThreadedServer {
     inject_spawn_failures: Arc<AtomicU64>,
 }
 
+/// Binds a listener with `SO_REUSEADDR` set, so a restarted server can
+/// reclaim its port immediately while connections from the previous
+/// incarnation linger in `TIME_WAIT` — the kill-and-restart path a
+/// failover smoke test exercises. Resolves `bind` and takes the first
+/// address that accepts the reusable bind (IPv6 addresses fall back to
+/// a plain bind inside [`mio::net::bind_reusable`]).
+///
+/// # Errors
+///
+/// Returns the resolution error, or the last bind error when every
+/// resolved address refuses.
+pub fn bind_reusable(bind: &str) -> io::Result<TcpListener> {
+    let mut last = None;
+    for addr in bind.to_socket_addrs()? {
+        match mio::net::bind_reusable(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    }))
+}
+
 impl Server {
     /// Binds `bind` (use port 0 for an ephemeral port) and starts
     /// accepting on the default ([`ConnectionBackend::Threaded`])
@@ -135,7 +159,7 @@ impl Server {
         bind: &str,
         options: ServerOptions,
     ) -> io::Result<Server> {
-        let listener = TcpListener::bind(bind)?;
+        let listener = bind_reusable(bind)?;
         match options.backend {
             ConnectionBackend::Threaded => Ok(Server {
                 inner: ServerImpl::Threaded(ThreadedServer::start(engine, listener)?),

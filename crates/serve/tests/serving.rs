@@ -540,6 +540,8 @@ fn loadgen_records_every_answered_request() {
         write_frac: 0.0,
         record_requests: true,
         trace: false,
+        timeline_bucket: None,
+        tail_window: None,
     })
     .expect("load run");
     assert!(report.completed > 0, "the run must serve something");

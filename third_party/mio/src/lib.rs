@@ -50,6 +50,10 @@ mod sys {
     #[cfg(target_arch = "x86_64")]
     mod nr {
         pub const CLOSE: usize = 3;
+        pub const SOCKET: usize = 41;
+        pub const BIND: usize = 49;
+        pub const LISTEN: usize = 50;
+        pub const SETSOCKOPT: usize = 54;
         pub const EPOLL_WAIT: usize = 232;
         pub const EPOLL_CTL: usize = 233;
         pub const EPOLL_CREATE1: usize = 291;
@@ -61,6 +65,10 @@ mod sys {
         pub const EPOLL_CREATE1: usize = 20;
         pub const EPOLL_CTL: usize = 21;
         pub const EPOLL_PWAIT: usize = 22;
+        pub const SOCKET: usize = 198;
+        pub const BIND: usize = 200;
+        pub const LISTEN: usize = 201;
+        pub const SETSOCKOPT: usize = 208;
     }
 
     /// One epoll readiness record. x86_64 is the one Linux architecture
@@ -180,6 +188,106 @@ mod sys {
 
     pub fn close(fd: i32) {
         let _ = unsafe { syscall5(nr::CLOSE, fd as usize, 0, 0, 0, 0) };
+    }
+
+    pub fn socket(domain: usize, ty: usize, protocol: usize) -> io::Result<i32> {
+        check(unsafe { syscall5(nr::SOCKET, domain, ty, protocol, 0, 0) }).map(|fd| fd as i32)
+    }
+
+    pub fn setsockopt(fd: i32, level: usize, optname: usize, optval: i32) -> io::Result<()> {
+        let val = optval;
+        check(unsafe {
+            syscall5(
+                nr::SETSOCKOPT,
+                fd as usize,
+                level,
+                optname,
+                &val as *const i32 as usize,
+                std::mem::size_of::<i32>(),
+            )
+        })
+        .map(|_| ())
+    }
+
+    pub fn bind(fd: i32, addr: &[u8]) -> io::Result<()> {
+        check(unsafe {
+            syscall5(
+                nr::BIND,
+                fd as usize,
+                addr.as_ptr() as usize,
+                addr.len(),
+                0,
+                0,
+            )
+        })
+        .map(|_| ())
+    }
+
+    pub fn listen(fd: i32, backlog: usize) -> io::Result<()> {
+        check(unsafe { syscall5(nr::LISTEN, fd as usize, backlog, 0, 0, 0) }).map(|_| ())
+    }
+}
+
+/// Minimal socket construction helpers that need options `std` cannot
+/// set before binding. The one consumer-facing entry point is
+/// [`net::bind_reusable`], which binds a TCP listener with
+/// `SO_REUSEADDR` so a restarted server can rebind its port while the
+/// previous incarnation's sockets sit in `TIME_WAIT` (std's
+/// `TcpListener::bind` sets no socket options and fails with
+/// `EADDRINUSE` for up to a minute after an unclean shutdown).
+pub mod net {
+    use super::sys;
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: usize = 2;
+    const SOCK_STREAM: usize = 1;
+    const SOCK_CLOEXEC: usize = 0o2000000;
+    const SOL_SOCKET: usize = 1;
+    const SO_REUSEADDR: usize = 2;
+
+    /// Binds a TCP listener on `addr` with `SO_REUSEADDR` set, so the
+    /// port can be re-taken immediately after a previous process
+    /// instance died or shut down uncleanly (its sockets linger in
+    /// `TIME_WAIT`). IPv4 addresses take the raw-syscall path; IPv6
+    /// falls back to a plain `std` bind (no workload in this
+    /// repository listens on IPv6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/bind/listen errors; `EADDRINUSE` still occurs
+    /// if another *live* listener holds the port.
+    pub fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+        let SocketAddr::V4(v4) = addr else {
+            return TcpListener::bind(addr);
+        };
+        let fd = sys::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)?;
+        let guard = CloseOnDrop(fd);
+        sys::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, 1)?;
+        // struct sockaddr_in: family (host order), port (network
+        // order), address (network order), 8 bytes zero padding.
+        let mut sockaddr = [0u8; 16];
+        sockaddr[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+        sockaddr[2..4].copy_from_slice(&v4.port().to_be_bytes());
+        sockaddr[4..8].copy_from_slice(&v4.ip().octets());
+        sys::bind(fd, &sockaddr)?;
+        sys::listen(fd, 1024)?;
+        std::mem::forget(guard);
+        // SAFETY: `fd` is a freshly created, bound, listening TCP
+        // socket owned by no other handle; `from_raw_fd` takes sole
+        // ownership.
+        Ok(unsafe { TcpListener::from_raw_fd(fd) })
+    }
+
+    /// Closes the fd if an error path drops it before ownership moves
+    /// into the returned `TcpListener`.
+    struct CloseOnDrop(i32);
+
+    impl Drop for CloseOnDrop {
+        fn drop(&mut self) {
+            sys::close(self.0);
+        }
     }
 }
 
@@ -616,6 +724,31 @@ mod tests {
         let event = events.iter().find(|e| e.token() == CONN).expect("hup");
         assert!(event.is_readable(), "EOF must surface through a read");
         assert!(event.is_read_closed());
+    }
+
+    #[test]
+    fn bind_reusable_accepts_and_rebinds() {
+        // Plain functional check: the listener accepts connections.
+        let listener = crate::net::bind_reusable("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        drop(client);
+        drop(server);
+        // The whole point: after dropping the listener (with lingering
+        // TIME_WAIT state from the accepted connection), the same port
+        // rebinds immediately.
+        drop(listener);
+        let again = crate::net::bind_reusable(addr).unwrap();
+        assert_eq!(again.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn bind_reusable_rejects_port_held_by_live_listener() {
+        let listener = crate::net::bind_reusable("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let err = crate::net::bind_reusable(addr).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
     }
 
     #[test]
